@@ -1,0 +1,547 @@
+(* The benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md section 4 for the experiment index). Each
+   experiment prints the paper's reported values next to the values measured
+   in this reproduction; EXPERIMENTS.md records the comparison.
+
+   Run everything:        dune exec bench/main.exe
+   Run a subset:          dune exec bench/main.exe -- table2 fig7 *)
+
+open Partir
+module T = Models.Transformer
+module U = Models.Unet
+module G = Models.Gns
+module Train = Models.Train
+
+let hr title =
+  Printf.printf "\n%s\n%s\n%!" title (String.make (String.length title) '=')
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* Model and schedule zoo at paper scale                               *)
+(* ------------------------------------------------------------------ *)
+
+let t32_step = lazy (Train.training_step (T.forward T.t32))
+let t48_step = lazy (Train.training_step (T.forward T.t48))
+let unet_step = lazy (Train.training_step (U.forward U.paper))
+let gns_step = lazy (Train.training_step (G.forward G.paper))
+(* Inference batch 64: divisible by the full device count so multi-query
+   sharding can re-tile the attention batch over the model axis. *)
+let it32_cfg = { T.t32 with T.batch = 64 }
+let it32_func = lazy (T.inference it32_cfg ~decode_steps:1536)
+let t_inputs = [ "tokens"; "targets" ]
+let u_inputs = [ "x"; "temb"; "target" ]
+
+let t_tactic hardware budget = function
+  | "BP" -> Strategies.bp ~axis:"batch" ~inputs:t_inputs ()
+  | "MP" -> Strategies.transformer_mp ~axis:"model"
+  | "Z2" -> Strategies.transformer_z2 ~axis:"batch"
+  | "Z3" -> Strategies.transformer_z3 ~axis:"batch"
+  | "EMB" -> Strategies.transformer_emb ~axis:"model"
+  | "AutoMP" ->
+      Auto.mcts ~axes:[ "model" ]
+        { Auto.default_options with hardware; budget; max_positions = 10 }
+  | "AutoBP" ->
+      Auto.mcts ~axes:[ "batch" ]
+        { Auto.default_options with hardware; budget; max_positions = 10 }
+  | "AllAuto" ->
+      Auto.mcts ~axes:[ "batch"; "model" ]
+        { Auto.default_options with hardware; budget; max_positions = 10 }
+  | s -> failwith ("unknown transformer tactic " ^ s)
+
+let u_tactic hardware budget = function
+  | "BP" -> Strategies.bp ~axis:"batch" ~inputs:u_inputs ()
+  | "MP" -> Strategies.unet_mp ~axis:"model"
+  | "Z2" -> Strategies.unet_z ~level:`Z2 ~axis:"batch"
+  | "Z3" -> Strategies.unet_z ~level:`Z3 ~axis:"batch"
+  | "AutoMP" ->
+      Auto.mcts ~axes:[ "model" ]
+        { Auto.default_options with hardware; budget; max_positions = 10 }
+  | "AllAuto" ->
+      Auto.mcts ~axes:[ "batch"; "model" ]
+        { Auto.default_options with hardware; budget; max_positions = 10 }
+  | s -> failwith ("unknown unet tactic " ^ s)
+
+let g_tactic hardware budget = function
+  | "ES" -> Strategies.gns_es ~axis:"batch"
+  | "AutoMP" ->
+      Auto.mcts ~axes:[ "model" ]
+        { Auto.default_options with hardware; budget; max_positions = 10 }
+  | "AutoBP" ->
+      Auto.mcts ~axes:[ "batch" ]
+        { Auto.default_options with hardware; budget; max_positions = 10 }
+  | "AllAuto" ->
+      Auto.mcts ~axes:[ "batch"; "model" ]
+        { Auto.default_options with hardware; budget; max_positions = 10 }
+  | s -> failwith ("unknown gns tactic " ^ s)
+
+let it_tactic hardware budget = function
+  | "BP" -> Strategies.it32_bp ~axis:"batch" ~layers:it32_cfg.T.layers
+  | "MP" -> Strategies.transformer_mp ~axis:"model"
+  | "MQ" -> Strategies.it32_mq ~axis:"model" ~cfg:it32_cfg
+  | "AutoMP" ->
+      Auto.mcts ~axes:[ "model" ]
+        { Auto.default_options with hardware; budget; max_positions = 10 }
+  | s -> failwith ("unknown it32 tactic " ^ s)
+
+type workload = {
+  name : string;
+  func : Func.t Lazy.t;
+  ties : (int * int) list Lazy.t;
+  tactic : Hardware.t -> int -> string -> Schedule.tactic;
+}
+
+let wl_t32 =
+  {
+    name = "T32";
+    func = lazy (Lazy.force t32_step).Train.func;
+    ties = lazy (Lazy.force t32_step).Train.ties;
+    tactic = t_tactic;
+  }
+
+let wl_t48 =
+  {
+    name = "T48";
+    func = lazy (Lazy.force t48_step).Train.func;
+    ties = lazy (Lazy.force t48_step).Train.ties;
+    tactic = t_tactic;
+  }
+
+let wl_unet =
+  {
+    name = "UNet";
+    func = lazy (Lazy.force unet_step).Train.func;
+    ties = lazy (Lazy.force unet_step).Train.ties;
+    tactic = u_tactic;
+  }
+
+let wl_gns =
+  {
+    name = "GNS";
+    func = lazy (Lazy.force gns_step).Train.func;
+    ties = lazy (Lazy.force gns_step).Train.ties;
+    tactic = g_tactic;
+  }
+
+let wl_it32 =
+  { name = "IT32"; func = it32_func; ties = lazy []; tactic = it_tactic }
+
+let split_schedule s = String.split_on_char '+' s
+
+let jit_workload ?(hardware = Hardware.tpu_v3) ?(budget = 6) ?single_tactic wl
+    mesh schedule =
+  let tactics = List.map (wl.tactic hardware budget) (split_schedule schedule) in
+  jit ~hardware ?single_tactic ~ties:(Lazy.force wl.ties) mesh
+    (Lazy.force wl.func) tactics
+
+(* Cached results so experiments sharing schedules pay once. *)
+let cache : (string, Schedule.result) Hashtbl.t = Hashtbl.create 32
+
+let cached_jit ?hardware ?budget wl mesh schedule =
+  let key = Printf.sprintf "%s/%s/%s" wl.name (Mesh.to_string mesh) schedule in
+  match Hashtbl.find_opt cache key with
+  | Some r -> r
+  | None ->
+      let r = jit_workload ?hardware ?budget wl mesh schedule in
+      Hashtbl.replace cache key r;
+      r
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: MFU + HBM, PartIR vs GSPMD                                 *)
+(* ------------------------------------------------------------------ *)
+
+let gspmd_annotations_from (r : Schedule.result) =
+  List.concat_map
+    (fun (name, layout) ->
+      List.concat
+        (List.mapi
+           (fun dim axes ->
+             List.map (fun axis -> { Gspmd.name; dim; axis }) axes)
+           (Array.to_list layout)))
+    r.Schedule.input_shardings
+
+let table1 () =
+  hr "Table 1: MFU (%) and HBM (GB), PartIR vs GSPMD";
+  Printf.printf "%-12s %-5s | %-22s | %-22s | paper (PartIR, GSPMD)\n" "Mesh"
+    "Size" "PartIR MFU / HBM" "GSPMD MFU / HBM";
+  let row mesh_name mesh hw wl size paper =
+    let r = cached_jit ~hardware:hw wl mesh "BP+MP+Z3+EMB" in
+    let est = Cost_model.run Cost_model.measured hw r.Schedule.program in
+    let annos = gspmd_annotations_from r in
+    let gp, _ =
+      Gspmd.partition ~variant:`Expert ~ties:(Lazy.force wl.ties) mesh
+        (Lazy.force wl.func) annos
+    in
+    let gest = Cost_model.run Cost_model.measured hw gp in
+    Printf.printf "%-12s %-5s | MFU %5.1f  HBM %6.2f | MFU %5.1f  HBM %6.2f | %s\n%!"
+      mesh_name size est.Cost_model.mfu_percent
+      (est.Cost_model.peak_memory_mb /. 1e3)
+      gest.Cost_model.mfu_percent
+      (gest.Cost_model.peak_memory_mb /. 1e3)
+      paper
+  in
+  row "16x2 TPU" (Mesh.create [ ("batch", 16); ("model", 2) ]) Hardware.tpu_v3
+    wl_t32 "5B" "58.5/14.38, 58.3/14.38";
+  row "32x4 TPU" (Mesh.create [ ("batch", 32); ("model", 4) ]) Hardware.tpu_v3
+    wl_t48 "32B" "52.3/14.48, 52.2/14.48";
+  row "8x2 GPU" (Mesh.create [ ("batch", 8); ("model", 2) ]) Hardware.a100
+    wl_t32 "5B" "42.2/27.02, 42.9/26.73"
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: collective counts                                          *)
+(* ------------------------------------------------------------------ *)
+
+let table2 () =
+  hr "Table 2: collectives introduced by different schedules";
+  Printf.printf "%-6s %-14s | %8s %8s %8s %8s | paper (AG AR RS A2A)\n" "Model"
+    "Schedule" "AG" "AR" "RS" "A2A";
+  let row wl mesh schedule paper =
+    let r = cached_jit wl mesh schedule in
+    let c = Census.of_program r.Schedule.program in
+    Printf.printf "%-6s %-14s | %8d %8d %8d %8d | %s\n%!" wl.name schedule
+      c.Census.all_gather c.Census.all_reduce c.Census.reduce_scatter
+      c.Census.all_to_all paper
+  in
+  let tmesh = Mesh.create [ ("batch", 16); ("model", 2) ] in
+  row wl_t32 tmesh "BP" "0 290 0 0";
+  row wl_t32 tmesh "BP+MP" "0 418 0 0";
+  row wl_t32 tmesh "BP+MP+Z2" "129 289 129 0";
+  row wl_t32 tmesh "BP+MP+Z3" "259 289 129 0";
+  row wl_t32 tmesh "BP+MP+Z3+EMB" "515 354 257 0";
+  row wl_t32 tmesh "MP" "0 128 0 0";
+  row wl_t32 tmesh "EMB" "256 193 128 0";
+  let imesh = Mesh.create [ ("batch", 16); ("model", 2) ] in
+  row wl_it32 imesh "BP" "0 0 0 0";
+  row wl_it32 imesh "BP+MP" "0 98304 0 0";
+  row wl_it32 imesh "BP+MP+MQ" "64 98304 0 98240";
+  row wl_it32 imesh "MP" "0 98304 0 0";
+  let umesh = Mesh.create [ ("batch", 8); ("model", 2) ] in
+  row wl_unet umesh "BP" "0 503 0 0";
+  row wl_unet umesh "BP+Z2" "517 2 501 0";
+  row wl_unet umesh "BP+Z3" "799 2 501 0";
+  let gmesh = Mesh.create [ ("batch", 8) ] in
+  row wl_gns gmesh "ES" "0 423 0 0"
+
+(* ------------------------------------------------------------------ *)
+(* Table 3 (A.4) + Figures 6, 9, 10                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* (model, schedule, paper (Mem MB, est. runtime ms)) on a 8x4 TPU mesh. *)
+let table3_rows =
+  [
+    (`GNS, "ES", (10379.47, 294.13));
+    (`GNS, "ES+AutoMP", (8424.38, 146.43));
+    (`GNS, "ES+AutoBP", (8141.38, 101.47));
+    (`GNS, "AllAuto", (2508.92, 118.12));
+    (`IT32, "BP", (18302.16, 1139.31));
+    (`IT32, "BP+MP", (5607.73, 1447.83));
+    (`IT32, "BP+MP+MQ", (5439.73, 1498.92));
+    (`IT32, "MP", (5151.44, 4327.35));
+    (`T32, "BP", (100343.69, 4803.34));
+    (`T32, "BP+AutoMP+Z3", (40472.80, 4902.41));
+    (`T32, "BP+MP", (59826.45, 4856.25));
+    (`T32, "BP+MP+Z2", (50124.45, 4856.25));
+    (`T32, "BP+MP+Z3", (45068.63, 4960.32));
+    (`T32, "BP+MP+Z3+EMB", (47541.60, 4946.35));
+    (`T32, "MP", (177148.23, 10837.42));
+    (`T32, "EMB", (176974.51, 10934.86));
+    (`UNet, "BP", (2406.68, 25.80));
+    (`UNet, "BP+AutoMP", (1693.65, 20.51));
+    (`UNet, "BP+Z2", (933.36, 25.80));
+    (`UNet, "BP+Z3", (309.48, 37.73));
+    (`UNet, "AllAuto", (1126.94, 15.74));
+  ]
+
+let wl_of = function
+  | `GNS -> wl_gns
+  | `IT32 -> wl_it32
+  | `T32 -> wl_t32
+  | `UNet -> wl_unet
+
+let mesh84 () = Mesh.create [ ("batch", 8); ("model", 4) ]
+
+let run_table3_row (m, schedule, _) =
+  let wl = wl_of m in
+  let r = cached_jit ~budget:6 wl (mesh84 ()) schedule in
+  let est = Cost_model.run Cost_model.analytic Hardware.tpu_v3 r.Schedule.program in
+  let meas = Cost_model.run Cost_model.measured Hardware.tpu_v3 r.Schedule.program in
+  let c = Census.of_program r.Schedule.program in
+  (wl, schedule, est, meas, c)
+
+let table3_results =
+  lazy (List.map (fun row -> (row, run_table3_row row)) table3_rows)
+
+let table3 () =
+  hr
+    "Table 3 (A.4): simulator estimates and collectives for manual+auto schedules (8x4 TPU)";
+  Printf.printf
+    "%-6s %-14s | %10s %12s %6s %6s %6s %8s | paper (Mem MB, est ms)\n" "Model"
+    "Strategy" "Mem(MB)" "Est.rt(ms)" "AG" "AR" "RS" "A2A";
+  List.iter
+    (fun ((_, _, (pm, prt)), (wl, schedule, est, _, c)) ->
+      Printf.printf "%-6s %-14s | %10.1f %12.2f %6d %6d %6d %8d | %.1f, %.2f\n%!"
+        wl.name schedule est.Cost_model.peak_memory_mb est.Cost_model.runtime_ms
+        c.Census.all_gather c.Census.all_reduce c.Census.reduce_scatter
+        c.Census.all_to_all pm prt)
+    (Lazy.force table3_results)
+
+let fig6 () =
+  hr
+    "Figure 6: training runtime on a 8x4 TPU mesh (manual vs automatic; lower is better)";
+  Printf.printf "%-6s %-14s | %12s\n" "Model" "Schedule" "runtime(ms)";
+  Printf.printf
+    "(paper expectations: AllAuto ~ manual for T32; manual+auto improves \
+     UNet/GNS; BP+AutoMP+Z3 slower than fully manual for T32)\n";
+  List.iter
+    (fun ((m, schedule, _), (wl, _, _, meas, _)) ->
+      match m with
+      | `IT32 -> ()
+      | _ ->
+          Printf.printf "%-6s %-14s | %12.2f\n%!" wl.name schedule
+            meas.Cost_model.runtime_ms)
+    (Lazy.force table3_results)
+
+let fig9 () =
+  hr
+    "Figure 9 (A.5.1): simulator runtime estimate vs measured (closer to 0 better)";
+  Printf.printf "%-6s %-14s | %12s %12s %12s\n" "Model" "Schedule" "est(ms)"
+    "measured(ms)" "error(ms)";
+  List.iter
+    (fun ((_, schedule, _), (wl, _, est, meas, _)) ->
+      Printf.printf "%-6s %-14s | %12.2f %12.2f %+12.2f\n%!" wl.name schedule
+        est.Cost_model.runtime_ms meas.Cost_model.runtime_ms
+        (est.Cost_model.runtime_ms -. meas.Cost_model.runtime_ms))
+    (Lazy.force table3_results)
+
+let fig10 () =
+  hr
+    "Figure 10 (A.5.2): simulator memory estimate vs measured (over-estimation preferred)";
+  Printf.printf "%-6s %-14s | %12s %12s %12s\n" "Model" "Schedule" "est(MB)"
+    "measured(MB)" "error(MB)";
+  List.iter
+    (fun ((_, schedule, _), (wl, _, est, meas, _)) ->
+      Printf.printf "%-6s %-14s | %12.1f %12.1f %+12.1f\n%!" wl.name schedule
+        est.Cost_model.peak_memory_mb meas.Cost_model.peak_memory_mb
+        (est.Cost_model.peak_memory_mb -. meas.Cost_model.peak_memory_mb))
+    (Lazy.force table3_results)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7: incrementality vs single-tactic vs GSPMD on UNet          *)
+(* ------------------------------------------------------------------ *)
+
+let fig7 () =
+  hr "Figure 7: relative slowdown vs PartIR, UNet on a {8:batch, 2:model} TPU mesh";
+  let mesh = Mesh.create [ ("batch", 8); ("model", 2) ] in
+  let hw = Hardware.tpu_v3 in
+  Printf.printf "%-10s | %8s %18s %18s %18s\n" "Schedule" "PartIR"
+    "PartIR-st" "GSPMD" "GSPMD--";
+  Printf.printf
+    "(paper expectations: PartIR fastest; PartIR-st exceeds memory; GSPMD ~ \
+     PartIR; GSPMD-- fits but noticeably slower)\n";
+  let user_annotations schedule =
+    (* GSPMD--: only the user-level input annotations (batch inputs; Z state
+       on its first divisible dim; MP conv dims) without the inferred
+       internal refinements the expert variant gets. *)
+    let base =
+      List.map (fun n -> { Gspmd.name = n; dim = 0; axis = "batch" }) u_inputs
+    in
+    let specs = (Lazy.force unet_step).Train.func.Func.params in
+    let parts = split_schedule schedule in
+    let mp =
+      if List.mem "MP" parts then
+        List.filter_map
+          (fun (p : Value.t) ->
+            match U.mp_shard_dim p.Value.name p.Value.ty.Value.shape with
+            | Some d ->
+                Some { Gspmd.name = p.Value.name; dim = d; axis = "model" }
+            | None -> None)
+          specs
+      else []
+    in
+    let z =
+      if List.mem "Z2" parts || List.mem "Z3" parts then
+        List.filter_map
+          (fun (p : Value.t) ->
+            if
+              Filename.check_suffix p.Value.name ".m"
+              || Filename.check_suffix p.Value.name ".v"
+            then
+              match U.first_divisible_dim p.Value.ty.Value.shape ~size:8 with
+              | Some d ->
+                  Some { Gspmd.name = p.Value.name; dim = d; axis = "batch" }
+              | None -> None
+            else None)
+          specs
+      else []
+    in
+    base @ mp @ z
+  in
+  let runtime_of program =
+    let est = Cost_model.run Cost_model.measured hw program in
+    (est.Cost_model.runtime_ms, est.Cost_model.peak_memory_mb)
+  in
+  (* At this (reduced) UNet scale every variant fits in HBM; the paper's
+     full-scale UNet pushed the unsharded single-tactic programs over the
+     16 GB limit. We therefore report the runtime ratio and the
+     peak-memory ratio (the paper's OOM shows up as the memory blow-up of
+     the conflicted, unsharded training state). *)
+  let show (ms, mem) (base_ms, base_mem) =
+    let tag = if mem > hw.Hardware.hbm_gb *. 1e3 then " OOM" else "" in
+    Printf.sprintf "%.2fx/%.2fxMem%s" (ms /. base_ms) (mem /. base_mem) tag
+  in
+  List.iter
+    (fun schedule ->
+      let partir = cached_jit wl_unet mesh schedule in
+      let base = runtime_of partir.Schedule.program in
+      let st = jit_workload ~single_tactic:true wl_unet mesh schedule in
+      let expert_annos = gspmd_annotations_from partir in
+      let ties = (Lazy.force unet_step).Train.ties in
+      let gspmd, _ =
+        Gspmd.partition ~variant:`Expert ~ties mesh (Lazy.force wl_unet.func)
+          expert_annos
+      in
+      let gspmd_mm, _ =
+        Gspmd.partition ~variant:`No_internal ~ties mesh
+          (Lazy.force wl_unet.func) (user_annotations schedule)
+      in
+      Printf.printf "%-10s | %8s %18s %18s %18s\n%!" schedule "1.00x"
+        (show (runtime_of st.Schedule.program) base)
+        (show (runtime_of gspmd) base)
+        (show (runtime_of gspmd_mm) base))
+    [ "BP+Z2"; "BP+Z3"; "BP+MP+Z2"; "BP+MP+Z3" ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8: partition time vs total compile time                      *)
+(* ------------------------------------------------------------------ *)
+
+let fig8 () =
+  hr
+    "Figure 8: PartIR partitioning time as a fraction of total compilation (paper: <= 14%)";
+  Printf.printf "%-6s | %12s %12s %10s\n" "Model" "partition(s)" "backend(s)"
+    "fraction";
+  let row wl mesh schedule =
+    let r = jit_workload wl mesh schedule in
+    let backend_s = Backend.compile r.Schedule.program in
+    let total = r.Schedule.partition_seconds +. backend_s in
+    Printf.printf "%-6s | %12.2f %12.2f %9.1f%%\n%!" wl.name
+      r.Schedule.partition_seconds backend_s
+      (100. *. r.Schedule.partition_seconds /. total)
+  in
+  row wl_t32 (Mesh.create [ ("batch", 16); ("model", 2) ]) "BP+MP+Z3";
+  row wl_unet (Mesh.create [ ("batch", 8); ("model", 2) ]) "BP+Z3";
+  row wl_gns (Mesh.create [ ("batch", 8) ]) "ES";
+  row wl_it32 (Mesh.create [ ("batch", 16); ("model", 2) ]) "BP+MP"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 11: automatic partitioning search time                       *)
+(* ------------------------------------------------------------------ *)
+
+let fig11 () =
+  hr
+    "Figure 11 (A.5.3): automatic-search time vs number of axes (paper: grows with axes)";
+  Printf.printf "%-6s %-18s | %9s | %10s\n" "Model" "Automatic tactic"
+    "#axes" "search(s)";
+  (* The search budget scales with the decision space, as in the paper's
+     search algorithms; more axes = more decisions to evaluate. *)
+  let row wl mesh schedule ~axes =
+    let (_ : Schedule.result), secs =
+      time (fun () -> jit_workload ~budget:(8 * axes) wl mesh schedule)
+    in
+    Printf.printf "%-6s %-18s | %9d | %10.2f\n%!" wl.name schedule axes secs
+  in
+  let mesh = mesh84 () in
+  row wl_unet mesh "AutoMP" ~axes:1;
+  row wl_unet mesh "AllAuto" ~axes:2;
+  row wl_gns mesh "AutoBP" ~axes:1;
+  row wl_gns mesh "AllAuto" ~axes:2;
+  row wl_t32 mesh "AutoMP" ~axes:1
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the partitioner itself                 *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_suite () =
+  hr "Partitioner micro-benchmarks (bechamel)";
+  let open Bechamel in
+  let small =
+    Train.training_step (T.forward { T.tiny with layers = 4; batch = 8; heads = 4 })
+  in
+  let mesh = Mesh.create [ ("batch", 4); ("model", 2) ] in
+  let make_staged () =
+    let staged = Partir.Staged.of_func mesh small.Train.func in
+    let x = Func.find_param small.Train.func "tokens" in
+    ignore (Partir.Staged.tile staged ~value:x ~dim:0 ~axis:"batch");
+    staged
+  in
+  let tests =
+    [
+      Test.make ~name:"propagate"
+        (Staged.stage (fun () ->
+             let staged = make_staged () in
+             ignore (Partir.Propagate.run staged)));
+      Test.make ~name:"lower"
+        (Staged.stage
+           (let staged = make_staged () in
+            ignore (Partir.Propagate.run staged);
+            fun () -> ignore (Lower.lower staged)));
+      Test.make ~name:"jit-BP+MP+Z3"
+        (Staged.stage (fun () ->
+             ignore
+               (jit ~ties:small.Train.ties mesh small.Train.func
+                  [
+                    Strategies.bp ~axis:"batch" ~inputs:t_inputs ();
+                    Strategies.transformer_mp ~axis:"model";
+                    Strategies.transformer_z3 ~axis:"batch";
+                  ])));
+    ]
+  in
+  let benchmark test =
+    let instance = Toolkit.Instance.monotonic_clock in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+    let raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"partir" [ test ]) in
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+    in
+    let results = Analyze.all ols instance raw in
+    Hashtbl.iter
+      (fun name est ->
+        match Analyze.OLS.estimates est with
+        | Some [ ns ] -> Printf.printf "%-28s %10.3f ms/run\n%!" name (ns /. 1e6)
+        | _ -> Printf.printf "%-28s (no estimate)\n%!" name)
+      results
+  in
+  List.iter benchmark tests
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("table1", table1);
+    ("table2", table2);
+    ("table3", table3);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("fig10", fig10);
+    ("fig11", fig11);
+    ("micro", bechamel_suite);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None -> Printf.printf "unknown experiment %s\n" name)
+    requested;
+  Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

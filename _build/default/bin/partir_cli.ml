@@ -1,0 +1,189 @@
+(* partir_cli: partition a benchmark model from the command line and report
+   the per-tactic metadata (collective censuses, simulator estimates), the
+   inferred input/output shardings, and optionally the device-local IR.
+
+   Examples:
+     dune exec bin/partir_cli.exe -- --model t32-small --schedule bp,mp,z3
+     dune exec bin/partir_cli.exe -- --model unet --schedule bp,z2 \
+         --mesh batch=8,model=2 --hardware tpu_v3 --dump *)
+
+open Partir
+module Transformer = Models.Transformer
+module Unet = Models.Unet
+module Gns = Models.Gns
+module Mlp = Models.Mlp
+module Train = Models.Train
+
+let parse_mesh spec =
+  Mesh.create
+    (List.map
+       (fun part ->
+         match String.split_on_char '=' part with
+         | [ name; size ] -> (name, int_of_string size)
+         | _ -> failwith ("bad mesh entry: " ^ part))
+       (String.split_on_char ',' spec))
+
+type prepared = {
+  func : Func.t;
+  ties : (int * int) list;
+  batch_inputs : string list;
+  model_name : string;
+  transformer_cfg : Transformer.config option;
+}
+
+let prepare = function
+  | "t32" | "t32-small" as m ->
+      let cfg =
+        if m = "t32" then Transformer.t32
+        else { Transformer.tiny with layers = 4; batch = 8; heads = 4 }
+      in
+      let step = Train.training_step (Transformer.forward cfg) in
+      {
+        func = step.Train.func;
+        ties = step.Train.ties;
+        batch_inputs = [ "tokens"; "targets" ];
+        model_name = m;
+        transformer_cfg = Some cfg;
+      }
+  | "t48" ->
+      let step = Train.training_step (Transformer.forward Transformer.t48) in
+      {
+        func = step.Train.func;
+        ties = step.Train.ties;
+        batch_inputs = [ "tokens"; "targets" ];
+        model_name = "t48";
+        transformer_cfg = Some Transformer.t48;
+      }
+  | "it32" | "it32-small" as m ->
+      let cfg =
+        if m = "it32" then Transformer.t32
+        else { Transformer.tiny with layers = 2; batch = 4; heads = 2 }
+      in
+      let steps = if m = "it32" then 1536 else 4 in
+      {
+        func = Transformer.inference cfg ~decode_steps:steps;
+        ties = [];
+        batch_inputs = [ "prompt" ];
+        model_name = m;
+        transformer_cfg = Some cfg;
+      }
+  | "unet" | "unet-small" as m ->
+      let cfg = if m = "unet" then Unet.paper else Unet.tiny in
+      let step = Train.training_step (Unet.forward cfg) in
+      {
+        func = step.Train.func;
+        ties = step.Train.ties;
+        batch_inputs = [ "x"; "temb"; "target" ];
+        model_name = m;
+        transformer_cfg = None;
+      }
+  | "gns" | "gns-small" as m ->
+      let cfg = if m = "gns" then Gns.paper else Gns.tiny in
+      let step = Train.training_step (Gns.forward cfg) in
+      {
+        func = step.Train.func;
+        ties = step.Train.ties;
+        batch_inputs = [];
+        model_name = m;
+        transformer_cfg = None;
+      }
+  | "mlp" ->
+      let step = Train.training_step (Mlp.forward Mlp.default) in
+      {
+        func = step.Train.func;
+        ties = step.Train.ties;
+        batch_inputs = [ "x"; "target" ];
+        model_name = "mlp";
+        transformer_cfg = None;
+      }
+  | other -> failwith ("unknown model: " ^ other)
+
+let tactic_of prepared hardware budget name =
+  let batch = "batch" and model = "model" in
+  match name with
+  | "bp" -> (
+      match prepared.model_name with
+      | "it32" | "it32-small" ->
+          Strategies.it32_bp ~axis:batch
+            ~layers:(Option.get prepared.transformer_cfg).Transformer.layers
+      | _ -> Strategies.bp ~axis:batch ~inputs:prepared.batch_inputs ())
+  | "mp" -> (
+      match prepared.model_name with
+      | "unet" | "unet-small" -> Strategies.unet_mp ~axis:model
+      | _ -> Strategies.transformer_mp ~axis:model)
+  | "z2" -> (
+      match prepared.model_name with
+      | "unet" | "unet-small" -> Strategies.unet_z ~level:`Z2 ~axis:batch
+      | _ -> Strategies.transformer_z2 ~axis:batch)
+  | "z3" -> (
+      match prepared.model_name with
+      | "unet" | "unet-small" -> Strategies.unet_z ~level:`Z3 ~axis:batch
+      | _ -> Strategies.transformer_z3 ~axis:batch)
+  | "emb" -> Strategies.transformer_emb ~axis:model
+  | "es" -> Strategies.gns_es ~axis:batch
+  | "mq" ->
+      Strategies.it32_mq ~axis:model ~cfg:(Option.get prepared.transformer_cfg)
+  | "auto" | "automp" ->
+      Auto.mcts ~axes:[ model ] { Auto.default_options with hardware; budget }
+  | "autobp" ->
+      Auto.mcts ~axes:[ batch ] { Auto.default_options with hardware; budget }
+  | "autoall" ->
+      Auto.mcts ~axes:[ batch; model ]
+        { Auto.default_options with hardware; budget }
+  | other -> failwith ("unknown tactic: " ^ other)
+
+let run model schedule mesh_spec hardware_name dump single_tactic budget =
+  let prepared = prepare model in
+  let mesh = parse_mesh mesh_spec in
+  let hardware = Hardware.find hardware_name in
+  let tactics =
+    List.map (tactic_of prepared hardware budget) (String.split_on_char ',' schedule)
+  in
+  Format.printf "model %s: %d ops, mesh %s@." model
+    (Func.op_count prepared.func) (Mesh.to_string mesh);
+  let r =
+    jit ~hardware ~ties:prepared.ties ~single_tactic mesh prepared.func tactics
+  in
+  List.iter
+    (fun (rep : Schedule.tactic_report) ->
+      Format.printf "tactic %-12s %a  conflicts:%d  (%.2fs)@."
+        rep.Schedule.label Census.pp rep.Schedule.census
+        (List.length rep.Schedule.conflicts)
+        rep.Schedule.seconds;
+      Option.iter
+        (fun e -> Format.printf "  %a@." Cost_model.pp_estimate e)
+        rep.Schedule.estimate)
+    r.Schedule.reports;
+  Format.printf "total partition time: %.2fs@." r.Schedule.partition_seconds;
+  let measured = Cost_model.run Cost_model.measured hardware r.Schedule.program in
+  Format.printf "measured (discrete-event) estimate: %a@." Cost_model.pp_estimate
+    measured;
+  if dump then begin
+    Format.printf "@.=== device-local SPMD module ===@.";
+    print_endline (Printer.func_to_string r.Schedule.program.Lower.func)
+  end
+
+open Cmdliner
+
+let model =
+  Arg.(value & opt string "t32-small" & info [ "model" ] ~doc:"Benchmark model")
+
+let schedule =
+  Arg.(value & opt string "bp,mp,z3" & info [ "schedule" ] ~doc:"Comma-separated tactics")
+
+let mesh = Arg.(value & opt string "batch=4,model=2" & info [ "mesh" ] ~doc:"Mesh axes")
+let hw = Arg.(value & opt string "tpu_v3" & info [ "hardware" ] ~doc:"Device spec")
+let dump = Arg.(value & flag & info [ "dump" ] ~doc:"Print the SPMD module")
+
+let single =
+  Arg.(value & flag & info [ "single-tactic" ] ~doc:"PartIR-st ablation")
+
+let budget =
+  Arg.(value & opt int 16 & info [ "budget" ] ~doc:"Automatic-search budget")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "partir_cli" ~doc:"Partition benchmark models with PartIR schedules")
+    Term.(const run $ model $ schedule $ mesh $ hw $ dump $ single $ budget)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/auto_partition.ml: Auto Census Cost_model Format Hardware Mesh Models Partir Schedule Strategies

@@ -1,0 +1,1 @@
+examples/gns_edge_sharding.ml: Census Dtype Filename Float Format Func Hardware Interp Layout List Literal Mesh Models Partir Random Schedule Spmd_interp Strategies Value

@@ -1,0 +1,1 @@
+examples/gns_edge_sharding.mli:

@@ -1,0 +1,1 @@
+examples/microbatch.ml: Filename Float Format Func Interp List Literal Mesh Models Partir Propagate Random Staged Temporal Value

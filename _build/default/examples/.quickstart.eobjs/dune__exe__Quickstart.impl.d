@@ -1,0 +1,1 @@
+examples/quickstart.ml: Builder Census Cost_model Dtype Float Format Func Hardware Interp Layout List Literal Lower Mesh Option Partir Printer Random Schedule Spmd_interp Value

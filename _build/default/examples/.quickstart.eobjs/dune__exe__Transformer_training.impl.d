@@ -1,0 +1,1 @@
+examples/transformer_training.ml: Census Cost_model Dtype Filename Float Format Func Hardware Interp List Literal Mesh Models Option Partir Random Schedule Spmd_interp Strategies Value

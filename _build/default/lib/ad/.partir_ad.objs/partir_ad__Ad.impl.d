@@ -1,0 +1,1 @@
+lib/ad/ad.ml: Array Builder Format Hashtbl List Op Option Partir_hlo Partir_tensor Shape Value

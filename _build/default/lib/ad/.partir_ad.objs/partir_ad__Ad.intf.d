@@ -1,0 +1,1 @@
+lib/ad/ad.mli: Builder Partir_hlo Value

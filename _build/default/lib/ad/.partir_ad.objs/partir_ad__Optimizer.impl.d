@@ -1,0 +1,1 @@
+lib/ad/optimizer.ml: Builder Partir_hlo

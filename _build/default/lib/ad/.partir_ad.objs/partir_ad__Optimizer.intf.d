@@ -1,0 +1,1 @@
+lib/ad/optimizer.mli: Builder Partir_hlo Value

@@ -1,0 +1,254 @@
+open Partir_tensor
+open Partir_hlo
+
+exception Not_differentiable of string
+
+let not_differentiable fmt =
+  Format.kasprintf (fun s -> raise (Not_differentiable s)) fmt
+
+let shape_of (v : Value.t) = v.Value.ty.Value.shape
+let rank_of v = Shape.rank (shape_of v)
+
+(* Transpose of the last two dims (for batched matmul VJPs). *)
+let swap_last_two b (v : Value.t) =
+  let r = rank_of v in
+  let perm = Array.init r (fun i -> i) in
+  perm.(r - 2) <- r - 1;
+  perm.(r - 1) <- r - 2;
+  Builder.transpose b v perm
+
+let zeros_like b (v : Value.t) =
+  Builder.zeros b ~dtype:v.Value.ty.Value.dtype (shape_of v)
+
+(* VJP of one op: adjoints of the operands given adjoints of the results.
+   [g] has one (optional) adjoint per result. Returns one optional adjoint
+   per operand. *)
+let vjp b (op : Op.t) (g : Value.t option list) : Value.t option list =
+  let g1 () =
+    match g with
+    | [ Some g ] -> g
+    | _ -> not_differentiable "missing adjoint"
+  in
+  let x k = List.nth op.operands k in
+  let r k = List.nth op.results k in
+  match op.kind with
+  | Op.Constant _ | Op.Splat _ | Op.Iota _ -> []
+  | Op.Identity -> [ Some (g1 ()) ]
+  | Op.Unary u -> (
+      let g = g1 () in
+      let x0 = x 0 and r0 = r 0 in
+      match u with
+      | Op.Neg -> [ Some (Builder.neg b g) ]
+      | Op.Exp -> [ Some (Builder.mul b g r0) ]
+      | Op.Log -> [ Some (Builder.div b g x0) ]
+      | Op.Tanh ->
+          let r2 = Builder.mul b r0 r0 in
+          let one = Builder.splat b r0 1. in
+          [ Some (Builder.mul b g (Builder.sub b one r2)) ]
+      | Op.Sqrt ->
+          let two_r = Builder.mul_scalar b r0 2. in
+          [ Some (Builder.div b g two_r) ]
+      | Op.Rsqrt ->
+          let r3 = Builder.mul b r0 (Builder.mul b r0 r0) in
+          [ Some (Builder.mul_scalar b (Builder.mul b g r3) (-0.5)) ]
+      | Op.Relu ->
+          let zero = Builder.splat b x0 0. in
+          let pred = Builder.add b (Op.Compare Op.Gt) [ x0; zero ] in
+          [ Some (Builder.add b Op.Select [ pred; g; zero ]) ]
+      | Op.Abs ->
+          let s = Builder.add b (Op.Unary Op.Sign) [ x0 ] in
+          [ Some (Builder.mul b g s) ]
+      | Op.Sign -> [ Some (zeros_like b x0) ])
+  | Op.Binary bk -> (
+      let g = g1 () in
+      let x0 = x 0 and x1 = x 1 and r0 = r 0 in
+      match bk with
+      | Op.Add -> [ Some g; Some g ]
+      | Op.Sub -> [ Some g; Some (Builder.neg b g) ]
+      | Op.Mul -> [ Some (Builder.mul b g x1); Some (Builder.mul b g x0) ]
+      | Op.Div ->
+          let gx = Builder.div b g x1 in
+          let gy = Builder.neg b (Builder.div b (Builder.mul b g r0) x1) in
+          [ Some gx; Some gy ]
+      | Op.Max | Op.Min ->
+          let cmp = match bk with Op.Max -> Op.Ge | _ -> Op.Le in
+          let pred = Builder.add b (Op.Compare cmp) [ x0; x1 ] in
+          let zero = Builder.splat b g 0. in
+          [
+            Some (Builder.add b Op.Select [ pred; g; zero ]);
+            Some (Builder.add b Op.Select [ pred; zero; g ]);
+          ]
+      | Op.Pow ->
+          (* d/dx x^y = y x^(y-1); d/dy x^y = x^y log x *)
+          let one = Builder.splat b x1 1. in
+          let ym1 = Builder.sub b x1 one in
+          let xp = Builder.add b (Op.Binary Op.Pow) [ x0; ym1 ] in
+          let gx = Builder.mul b g (Builder.mul b x1 xp) in
+          let gy = Builder.mul b g (Builder.mul b r0 (Builder.log b x0)) in
+          [ Some gx; Some gy ])
+  | Op.Compare _ -> [ None; None ]
+  | Op.Select ->
+      let g = g1 () in
+      let zero = Builder.splat b g 0. in
+      [
+        None;
+        Some (Builder.add b Op.Select [ x 0; g; zero ]);
+        Some (Builder.add b Op.Select [ x 0; zero; g ]);
+      ]
+  | Op.Matmul ->
+      let g = g1 () in
+      let gx = Builder.matmul b g (swap_last_two b (x 1)) in
+      let gy = Builder.matmul b (swap_last_two b (x 0)) g in
+      [ Some gx; Some gy ]
+  | Op.Transpose { perm } ->
+      let g = g1 () in
+      let inv = Array.make (Array.length perm) 0 in
+      Array.iteri (fun i p -> inv.(p) <- i) perm;
+      [ Some (Builder.transpose b g inv) ]
+  | Op.Reshape _ -> [ Some (Builder.reshape b (g1 ()) (shape_of (x 0))) ]
+  | Op.Broadcast { target; dims } ->
+      let g = g1 () in
+      let x0 = x 0 in
+      let xs = shape_of x0 in
+      (* Reduce the target dims that do not correspond to a non-degenerate
+         operand dim, then reshape back (dims are increasing by builder
+         convention). *)
+      let keep = Hashtbl.create 8 in
+      Array.iteri (fun i d -> if xs.(i) <> 1 then Hashtbl.replace keep d ()) dims;
+      let reduce_dims =
+        List.filter
+          (fun d -> not (Hashtbl.mem keep d))
+          (List.init (Array.length target) (fun i -> i))
+      in
+      let summed =
+        if reduce_dims = [] then g
+        else Builder.reduce_sum b g (Array.of_list reduce_dims)
+      in
+      [ Some (Builder.reshape b summed xs) ]
+  | Op.Reduce { kind = Op.Rsum; dims } ->
+      let g = g1 () in
+      [ Some (Builder.broadcast_like b g ~reduced_dims:dims (x 0)) ]
+  | Op.Reduce { kind = Op.Rmax | Op.Rmin; dims } ->
+      let g = g1 () in
+      let x0 = x 0 in
+      let rb = Builder.broadcast_like b (r 0) ~reduced_dims:dims x0 in
+      let gb = Builder.broadcast_like b g ~reduced_dims:dims x0 in
+      let pred = Builder.add b (Op.Compare Op.Eq) [ x0; rb ] in
+      let zero = Builder.splat b x0 0. in
+      [ Some (Builder.add b Op.Select [ pred; gb; zero ]) ]
+  | Op.Concat { dim } ->
+      let g = g1 () in
+      let gs = shape_of g in
+      let offset = ref 0 in
+      List.map
+        (fun (o : Value.t) ->
+          let os = shape_of o in
+          let starts = Array.make (Array.length gs) 0 in
+          let limits = Array.copy gs in
+          starts.(dim) <- !offset;
+          limits.(dim) <- !offset + os.(dim);
+          offset := !offset + os.(dim);
+          Some (Builder.add b (Op.Slice { starts; limits }) [ g ]))
+        op.operands
+  | Op.Slice { starts; limits } ->
+      let g = g1 () in
+      let xs = shape_of (x 0) in
+      let low = starts in
+      let high = Array.mapi (fun i s -> s - limits.(i)) xs in
+      [ Some (Builder.add b (Op.Pad { low; high; value = 0. }) [ g ]) ]
+  | Op.Pad { low; high; _ } ->
+      let g = g1 () in
+      let gs = shape_of g in
+      let starts = low in
+      let limits = Array.mapi (fun i s -> s - high.(i)) gs in
+      [ Some (Builder.add b (Op.Slice { starts; limits }) [ g ]) ]
+  | Op.Dynamic_slice _ ->
+      let g = g1 () in
+      let zx = zeros_like b (x 0) in
+      let starts = List.filteri (fun i _ -> i >= 1) op.operands in
+      Some (Builder.add b Op.Dynamic_update_slice ([ zx; g ] @ starts))
+      :: List.map (fun _ -> None) starts
+  | Op.Dynamic_update_slice ->
+      let g = g1 () in
+      let upd = x 1 in
+      let starts = List.filteri (fun i _ -> i >= 2) op.operands in
+      let zu = zeros_like b upd in
+      let gx = Builder.add b Op.Dynamic_update_slice ([ g; zu ] @ starts) in
+      let gu =
+        Builder.add b (Op.Dynamic_slice { sizes = shape_of upd }) (g :: starts)
+      in
+      [ Some gx; Some gu ] @ List.map (fun _ -> None) starts
+  | Op.Take { axis } ->
+      let g = g1 () in
+      let zx = zeros_like b (x 0) in
+      [ Some (Builder.add b (Op.Scatter_add { axis }) [ zx; x 1; g ]); None ]
+  | Op.Scatter_add { axis } ->
+      let g = g1 () in
+      [ Some g; None; Some (Builder.take b g (x 1) ~axis) ]
+  | Op.Conv2d { stride; padding } ->
+      let g = g1 () in
+      let gx =
+        Builder.add b
+          (Op.Conv2d_input_grad { input_shape = shape_of (x 0); stride; padding })
+          [ g; x 1 ]
+      in
+      let gk =
+        Builder.add b
+          (Op.Conv2d_kernel_grad { kernel_shape = shape_of (x 1); stride; padding })
+          [ x 0; g ]
+      in
+      [ Some gx; Some gk ]
+  | Op.Conv2d_input_grad _ | Op.Conv2d_kernel_grad _ ->
+      not_differentiable "second-order convolution gradients are not supported"
+  | Op.For _ ->
+      not_differentiable "cannot differentiate through For (serving loops)"
+  | Op.All_reduce _ | Op.All_gather _ | Op.All_slice _ | Op.Reduce_scatter _
+  | Op.All_to_all _ ->
+      not_differentiable "cannot differentiate through collectives"
+
+let gradients b ~loss ~wrt =
+  if not (Shape.is_scalar (shape_of loss)) then
+    not_differentiable "loss must be a scalar";
+  let tape = Builder.ops b in
+  (* Which values influence the loss starting from wrt? We differentiate the
+     full tape conservatively; ops without adjoint contributions are
+     skipped. *)
+  let adjoints : (int, Value.t) Hashtbl.t = Hashtbl.create 128 in
+  let accumulate (v : Value.t) (contrib : Value.t) =
+    match Hashtbl.find_opt adjoints v.Value.id with
+    | None -> Hashtbl.replace adjoints v.Value.id contrib
+    | Some prev -> Hashtbl.replace adjoints v.Value.id (Builder.add2 b prev contrib)
+  in
+  Hashtbl.replace adjoints loss.Value.id
+    (Builder.scalar b ~dtype:loss.Value.ty.Value.dtype 1.);
+  (* Ops recorded after the loss cannot influence it: restrict the tape to
+     the prefix ending at the loss definition. *)
+  let rec prefix acc = function
+    | [] -> List.rev acc
+    | (op : Op.t) :: rest ->
+        if List.exists (fun (r : Value.t) -> r.Value.id = loss.Value.id) op.results
+        then List.rev (op :: acc)
+        else prefix (op :: acc) rest
+  in
+  let tape = prefix [] tape in
+  List.iter
+    (fun (op : Op.t) ->
+      let gs =
+        List.map (fun (r : Value.t) -> Hashtbl.find_opt adjoints r.Value.id) op.results
+      in
+      if List.exists Option.is_some gs then begin
+        let contribs = vjp b op gs in
+        List.iter2
+          (fun (operand : Value.t) contrib ->
+            match contrib with
+            | Some c -> accumulate operand c
+            | None -> ())
+          op.operands contribs
+      end)
+    (List.rev tape);
+  List.map
+    (fun (w : Value.t) ->
+      match Hashtbl.find_opt adjoints w.Value.id with
+      | Some g -> g
+      | None -> zeros_like b w)
+    wrt

@@ -1,0 +1,18 @@
+(** Reverse-mode automatic differentiation over the tensor IR.
+
+    Training-step programs — the unit PartIR partitions — are built by
+    tracing a forward computation into a {!Partir_hlo.Builder} and calling
+    {!gradients}, which appends the backward ops to the same tape; optimizer
+    updates are then built on top (see {!Optimizer}). *)
+
+open Partir_hlo
+
+exception Not_differentiable of string
+
+val gradients :
+  Builder.t -> loss:Value.t -> wrt:Value.t list -> Value.t list
+(** Append reverse-mode ops computing d[loss]/d[w] for each [w] in [wrt]
+    (loss must be a scalar already traced into the builder). Values in
+    [wrt] that the loss does not depend on get zero gradients.
+    Raises {!Not_differentiable} for ops without a VJP ([For], collectives)
+    on the differentiation path. *)

@@ -1,0 +1,42 @@
+open Partir_hlo
+
+type spec =
+  | Sgd of { lr : float }
+  | Momentum of { lr : float; beta : float }
+  | Adam of { lr : float; beta1 : float; beta2 : float; eps : float }
+
+let state_slots = function Sgd _ -> 0 | Momentum _ -> 1 | Adam _ -> 2
+let slot_names = function
+  | Sgd _ -> []
+  | Momentum _ -> [ "mom" ]
+  | Adam _ -> [ "m"; "v" ]
+
+let default_adam = Adam { lr = 1e-3; beta1 = 0.9; beta2 = 0.999; eps = 1e-8 }
+
+let apply b spec ~param ~grad ~state =
+  match (spec, state) with
+  | Sgd { lr }, [] ->
+      let step = Builder.mul_scalar b grad lr in
+      (Builder.sub b param step, [])
+  | Momentum { lr; beta }, [ m ] ->
+      let m' =
+        Builder.add2 b (Builder.mul_scalar b m beta) (Builder.mul_scalar b grad (1. -. beta))
+      in
+      (Builder.sub b param (Builder.mul_scalar b m' lr), [ m' ])
+  | Adam { lr; beta1; beta2; eps }, [ m; v ] ->
+      let m' =
+        Builder.add2 b
+          (Builder.mul_scalar b m beta1)
+          (Builder.mul_scalar b grad (1. -. beta1))
+      in
+      let g2 = Builder.mul b grad grad in
+      let v' =
+        Builder.add2 b
+          (Builder.mul_scalar b v beta2)
+          (Builder.mul_scalar b g2 (1. -. beta2))
+      in
+      let denom = Builder.add_scalar b (Builder.sqrt b v') eps in
+      let step = Builder.mul_scalar b (Builder.div b m' denom) lr in
+      (Builder.sub b param step, [ m'; v' ])
+  | _ ->
+      invalid_arg "Optimizer.apply: state slot count does not match the spec"

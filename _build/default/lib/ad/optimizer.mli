@@ -1,0 +1,28 @@
+(** Optimizers expressed as IR ops, for building full training steps
+    (parameters + optimizer state are what ZeRO-style strategies shard). *)
+
+open Partir_hlo
+
+type spec =
+  | Sgd of { lr : float }
+  | Momentum of { lr : float; beta : float }  (** one state slot per param *)
+  | Adam of { lr : float; beta1 : float; beta2 : float; eps : float }
+      (** two state slots per param (first and second moments); the paper's
+          models all train with Adam (§A.3) *)
+
+val state_slots : spec -> int
+(** Number of optimizer-state tensors per parameter. *)
+
+val slot_names : spec -> string list
+
+val apply :
+  Builder.t ->
+  spec ->
+  param:Value.t ->
+  grad:Value.t ->
+  state:Value.t list ->
+  Value.t * Value.t list
+(** [apply b spec ~param ~grad ~state] appends the update computation and
+    returns (new parameter, new state), with state in slot order. *)
+
+val default_adam : spec

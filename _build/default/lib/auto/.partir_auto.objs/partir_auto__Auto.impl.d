@@ -1,0 +1,1 @@
+lib/auto/auto.ml: Array Hashtbl Int List Option Partir_core Partir_hlo Partir_mesh Partir_schedule Partir_sim Partir_spmd Partir_tensor Propagate Random Shape Staged Stdlib Value

@@ -1,0 +1,1 @@
+lib/auto/auto.mli: Partir_core Partir_schedule Partir_sim

@@ -1,0 +1,200 @@
+open Partir_tensor
+open Partir_hlo
+open Partir_core
+module Schedule = Partir_schedule.Schedule
+module Cost_model = Partir_sim.Cost_model
+module Hardware = Partir_sim.Hardware
+
+type options = {
+  hardware : Hardware.t;
+  budget : int;
+  memory_limit_bytes : float option;
+  seed : int;
+  max_positions : int;
+}
+
+let default_options =
+  {
+    hardware = Hardware.tpu_v3;
+    budget = 32;
+    memory_limit_bytes = None;
+    seed = 1;
+    max_positions = 24;
+  }
+
+type decision = Skip | Atomic | Tile of int
+
+let evaluate opts (staged : Staged.t) =
+  let program = Partir_spmd.Lower.lower staged in
+  let est = Cost_model.run Cost_model.analytic opts.hardware program in
+  let limit =
+    Option.value opts.memory_limit_bytes
+      ~default:(opts.hardware.Hardware.hbm_gb *. 1e9)
+  in
+  let mem = est.Cost_model.peak_memory_mb *. 1e6 in
+  let penalty = if mem > limit then 1. +. (10. *. (mem -. limit) /. limit) else 1. in
+  est.Cost_model.runtime_ms *. penalty
+
+(* The decision positions: one per (axis, module input), biggest inputs
+   first, capped to keep the search space tractable. *)
+let positions ?(max_positions = max_int) (staged : Staged.t) axes =
+  let params =
+    List.filter
+      (fun (p : Value.t) -> Shape.rank p.Value.ty.Value.shape >= 1)
+      staged.Staged.params
+    |> List.stable_sort (fun (a : Value.t) (b : Value.t) ->
+           Int.compare (Value.size_in_bytes b) (Value.size_in_bytes a))
+  in
+  let params = List.filteri (fun i _ -> i * List.length axes < max_positions) params in
+  List.concat_map (fun axis -> List.map (fun p -> (axis, p)) params) axes
+
+let options_at (staged : Staged.t) (axis, (p : Value.t)) =
+  let size = Partir_mesh.Mesh.axis_size staged.Staged.mesh axis in
+  let shape = p.Value.ty.Value.shape in
+  let dims =
+    List.filter
+      (fun d -> shape.(d) mod size = 0 && shape.(d) >= size)
+      (List.init (Shape.rank shape) (fun i -> i))
+  in
+  let dims = List.filteri (fun i _ -> i < 3) dims in
+  Skip :: Atomic :: List.map (fun d -> Tile d) dims
+
+let apply_decision staged (axis, (p : Value.t)) = function
+  | Skip -> ()
+  | Atomic -> ignore (Staged.atomic staged ~value:p ~axis)
+  | Tile d -> ignore (Staged.tile staged ~value:p ~dim:d ~axis)
+
+(* Evaluate a complete decision vector against a fresh copy of the base. *)
+let rollout_cost opts base poss decisions =
+  let staged = Staged.copy base in
+  List.iter2 (fun pos d -> apply_decision staged pos d) poss decisions;
+  ignore (Propagate.run staged);
+  evaluate opts staged
+
+let apply_best base poss decisions =
+  List.iter2 (fun pos d -> apply_decision base pos d) poss decisions;
+  ignore (Propagate.run base)
+
+let greedy_search opts (staged : Staged.t) ~axes =
+  let poss = positions ~max_positions:opts.max_positions staged axes in
+  let evals = ref 0 in
+  let chosen = ref [] in
+  List.iter
+    (fun pos ->
+      let remaining d =
+        List.rev !chosen @ [ d ]
+        @ List.map (fun _ -> Skip)
+            (List.filteri
+               (fun i _ -> i > List.length !chosen)
+               poss)
+      in
+      let opts_at = options_at staged pos in
+      let best = ref Skip and best_cost = ref infinity in
+      List.iter
+        (fun d ->
+          if !evals < opts.budget then begin
+            incr evals;
+            let cost = rollout_cost opts staged poss (remaining d) in
+            if cost < !best_cost then begin
+              best_cost := cost;
+              best := d
+            end
+          end)
+        opts_at;
+      chosen := !best :: !chosen)
+    poss;
+  apply_best staged poss (List.rev !chosen)
+
+(* Monte-Carlo tree search with UCB1 over decision prefixes. *)
+type node = { mutable visits : int; mutable total_reward : float }
+
+let mcts_search opts (staged : Staged.t) ~axes =
+  let poss = positions ~max_positions:opts.max_positions staged axes in
+  let n = List.length poss in
+  let opts_arr = Array.of_list (List.map (options_at staged) poss) in
+  let rng = Random.State.make [| opts.seed |] in
+  let tree : (decision list, node) Hashtbl.t = Hashtbl.create 256 in
+  let node_of prefix =
+    match Hashtbl.find_opt tree prefix with
+    | Some nd -> nd
+    | None ->
+        let nd = { visits = 0; total_reward = 0. } in
+        Hashtbl.replace tree prefix nd;
+        nd
+  in
+  (* Reward scale: the all-skip baseline cost. *)
+  let baseline = rollout_cost opts staged poss (List.map (fun _ -> Skip) poss) in
+  let reward cost = baseline /. (cost +. (0.01 *. baseline)) in
+  let best_cost = ref baseline and best = ref (List.map (fun _ -> Skip) poss) in
+  for _iter = 1 to max 1 (opts.budget - 1) do
+    (* Selection + expansion. *)
+    let rec select prefix depth =
+      if depth >= n then List.rev prefix
+      else begin
+        let choices = opts_arr.(depth) in
+        let parent = node_of (List.rev prefix) in
+        let unvisited =
+          List.filter
+            (fun d -> not (Hashtbl.mem tree (List.rev (d :: prefix))))
+            choices
+        in
+        let pick =
+          match unvisited with
+          | _ :: _ ->
+              List.nth unvisited (Random.State.int rng (List.length unvisited))
+          | [] ->
+              (* UCB1 over visited children. *)
+              let ucb d =
+                let nd = node_of (List.rev (d :: prefix)) in
+                (nd.total_reward /. float_of_int nd.visits)
+                +. 1.4
+                   *. Stdlib.sqrt
+                        (Stdlib.log (float_of_int (max 1 parent.visits))
+                        /. float_of_int nd.visits)
+              in
+              List.fold_left
+                (fun acc d -> if ucb d > ucb acc then d else acc)
+                (List.hd choices) (List.tl choices)
+        in
+        (* After expanding a new child, finish the episode with a random
+           rollout. *)
+        if not (Hashtbl.mem tree (List.rev (pick :: prefix))) then begin
+          ignore (node_of (List.rev (pick :: prefix)));
+          let tail =
+            List.filteri (fun i _ -> i > depth) poss
+            |> List.mapi (fun i _ ->
+                   let cs = opts_arr.(depth + 1 + i) in
+                   List.nth cs (Random.State.int rng (List.length cs)))
+          in
+          List.rev prefix @ (pick :: tail)
+        end
+        else select (pick :: prefix) (depth + 1)
+      end
+    in
+    let decisions = select [] 0 in
+    let cost = rollout_cost opts staged poss decisions in
+    if cost < !best_cost then begin
+      best_cost := cost;
+      best := decisions
+    end;
+    (* Backpropagate along the prefix path. *)
+    let r = reward cost in
+    let rec backprop prefix rest =
+      let nd = node_of prefix in
+      nd.visits <- nd.visits + 1;
+      nd.total_reward <- nd.total_reward +. r;
+      match rest with
+      | [] -> ()
+      | d :: tl -> backprop (prefix @ [ d ]) tl
+    in
+    backprop [] decisions
+  done;
+  apply_best staged poss !best
+
+let mcts ~axes opts =
+  Schedule.Automatic
+    { label = "Auto(mcts)"; axes; search = mcts_search opts }
+
+let greedy ~axes opts =
+  Schedule.Automatic
+    { label = "Auto(greedy)"; axes; search = greedy_search opts }

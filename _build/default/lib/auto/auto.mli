@@ -1,0 +1,34 @@
+(** Automatic partitioning tactics (paper §3, §7.3.1, §A.5.3).
+
+    The [AutomaticPartition] tactic is an interface for any optimization
+    algorithm; like the paper we implement a Monte-Carlo tree search over
+    PartIR actions, guided by the analytical simulator's runtime estimate
+    with a penalty for exceeding device memory, plus a cheaper greedy
+    search. Both issue exactly the same tile/atomic actions manual tactics
+    do, so they compose with manual tactics in a schedule. *)
+
+type options = {
+  hardware : Partir_sim.Hardware.t;
+  budget : int;  (** candidate evaluations (search cost knob, Fig. 11) *)
+  memory_limit_bytes : float option;
+      (** defaults to the hardware HBM capacity *)
+  seed : int;
+  max_positions : int;
+      (** decision positions considered, largest inputs first (keeps the
+          search space tractable on models with hundreds of parameters) *)
+}
+
+val default_options : options
+
+type decision = Skip | Atomic | Tile of int
+
+val mcts : axes:string list -> options -> Partir_schedule.Schedule.tactic
+(** MCTS over per-input decisions, one (value, axis) at a time. *)
+
+val greedy : axes:string list -> options -> Partir_schedule.Schedule.tactic
+(** One pass over the inputs, keeping each locally-best decision. *)
+
+val evaluate :
+  options -> Partir_core.Staged.t -> float
+(** Cost of a staged module: simulated runtime (ms), multiplied by a
+    penalty when estimated memory exceeds the limit. Exposed for tests. *)

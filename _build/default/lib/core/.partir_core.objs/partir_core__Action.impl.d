@@ -1,0 +1,1 @@
+lib/core/action.ml: Array Format Partir_hlo Printf String

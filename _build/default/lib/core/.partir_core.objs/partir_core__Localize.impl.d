@@ -1,0 +1,1 @@
+lib/core/localize.ml: Action Array List Op Partir_hlo Partir_mesh Partir_tensor Shape Value

@@ -1,0 +1,1 @@
+lib/core/localize.mli: Action Partir_hlo Partir_mesh Partir_tensor Shape

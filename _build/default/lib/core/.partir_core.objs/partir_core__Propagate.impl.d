@@ -1,0 +1,1 @@
+lib/core/propagate.ml: Action Array Hashtbl List Op Option Partir_hlo Partir_mesh Partir_tensor Printf Staged String Tmr Value

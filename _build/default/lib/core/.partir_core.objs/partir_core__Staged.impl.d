@@ -1,0 +1,1 @@
+lib/core/staged.ml: Action Array Format Func List Op Partir_hlo Partir_mesh Partir_tensor Printer Printf String Value

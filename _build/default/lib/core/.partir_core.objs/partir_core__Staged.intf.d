@@ -1,0 +1,1 @@
+lib/core/staged.mli: Action Format Func Op Partir_hlo Partir_mesh Value

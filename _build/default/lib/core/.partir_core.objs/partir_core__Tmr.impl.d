@@ -1,0 +1,1 @@
+lib/core/tmr.ml: Action Array Hashtbl List Op Partir_hlo Partir_tensor Printf Shape String Value

@@ -1,0 +1,1 @@
+lib/core/tmr.mli: Action Partir_hlo

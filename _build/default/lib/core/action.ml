@@ -1,0 +1,33 @@
+type t =
+  | Tile of int
+  | Reduce of Partir_hlo.Op.reduce_kind
+  | Any
+
+type entry = {
+  axis : string;
+  operand_dims : int option array;
+  result_actions : t array;
+}
+
+let equal (a : t) (b : t) = a = b
+
+let to_string = function
+  | Tile d -> Printf.sprintf "#tile<%d>" d
+  | Reduce Partir_hlo.Op.Rsum -> "#sum"
+  | Reduce Partir_hlo.Op.Rmax -> "#sum<@max>"
+  | Reduce Partir_hlo.Op.Rmin -> "#sum<@min>"
+  | Any -> "#any"
+
+let entry_to_string e =
+  let operands =
+    String.concat ","
+      (Array.to_list
+         (Array.map
+            (function None -> "_" | Some d -> string_of_int d)
+            e.operand_dims))
+  in
+  Printf.sprintf "loop %S [%s] (operands: %s)" e.axis
+    (String.concat ", " (Array.to_list (Array.map to_string e.result_actions)))
+    operands
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,32 @@
+(** PartIR:Core loop actions and loop-nest entries.
+
+    The paper's PartIR:Core wraps tensor ops in [loop] constructs carrying a
+    mesh axis and an action attribute, with [slice] ops consuming the loop
+    index. We represent each op's (maximal) loop nest as an ordered list of
+    {!entry} records: one per enclosing loop, outermost first. An entry
+    records, for its axis, which dimension of each operand is sliced by the
+    loop index, and the action of each result. *)
+
+type t =
+  | Tile of int
+      (** [#tile<d>]: each iteration yields the chunk of result dimension
+          [d] selected by the loop index; results are stacked. *)
+  | Reduce of Partir_hlo.Op.reduce_kind
+      (** [#sum] (generalized to any monoid in the registry): iteration
+          results are combined by the reduction. *)
+  | Any
+      (** The consensus monoid of [atomic] actions: every iteration computes
+          the same value; blocks propagation through the value. *)
+
+type entry = {
+  axis : string;
+  operand_dims : int option array;
+      (** For each operand, the dimension sliced by this loop's index
+          ([None]: the operand is used whole inside the loop). *)
+  result_actions : t array;  (** Action per op result. *)
+}
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val entry_to_string : entry -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,49 @@
+open Partir_tensor
+open Partir_hlo
+module Mesh = Partir_mesh.Mesh
+
+let local_result_shapes mesh (op : Op.t) (nest : Action.entry list) =
+  List.mapi
+    (fun r (v : Value.t) ->
+      let shape = Array.copy v.Value.ty.Value.shape in
+      List.iter
+        (fun (e : Action.entry) ->
+          match e.Action.result_actions.(r) with
+          | Action.Tile d -> shape.(d) <- shape.(d) / Mesh.axis_size mesh e.Action.axis
+          | Action.Reduce _ | Action.Any -> ())
+        nest;
+      shape)
+    op.results
+
+let local_operand_shapes mesh (op : Op.t) (nest : Action.entry list) =
+  List.mapi
+    (fun k (v : Value.t) ->
+      let shape = Array.copy v.Value.ty.Value.shape in
+      List.iter
+        (fun (e : Action.entry) ->
+          match e.Action.operand_dims.(k) with
+          | Some d -> shape.(d) <- shape.(d) / Mesh.axis_size mesh e.Action.axis
+          | None -> ())
+        nest;
+      shape)
+    op.operands
+
+let localize_kind (kind : Op.kind) ~(local_results : Shape.t list) : Op.kind =
+  let result0 () = List.hd local_results in
+  match kind with
+  | Op.Splat s -> Op.Splat { s with shape = result0 () }
+  | Op.Reshape _ -> Op.Reshape { target = result0 () }
+  | Op.Broadcast { dims; _ } -> Op.Broadcast { target = result0 (); dims }
+  | Op.Slice { starts; _ } ->
+      let local = result0 () in
+      Op.Slice
+        {
+          starts;
+          limits = Array.init (Array.length starts) (fun d -> starts.(d) + local.(d));
+        }
+  | Op.Dynamic_slice _ -> Op.Dynamic_slice { sizes = result0 () }
+  | Op.Conv2d_input_grad c ->
+      Op.Conv2d_input_grad { c with input_shape = result0 () }
+  | Op.Conv2d_kernel_grad c ->
+      Op.Conv2d_kernel_grad { c with kernel_shape = result0 () }
+  | other -> other

@@ -1,0 +1,22 @@
+(** Rewriting op attributes for loop-local (or device-local) execution.
+
+    When an op is placed under tiling loops, shape-bearing attributes
+    (reshape/broadcast targets, splat shapes, slice limits, ...) must be
+    scaled down to the chunk sizes. Both the temporal interpreter and the
+    SPMD lowering share this logic. *)
+
+open Partir_tensor
+module Mesh = Partir_mesh.Mesh
+
+val local_result_shapes :
+  Mesh.t -> Partir_hlo.Op.t -> Action.entry list -> Shape.t list
+(** Result shapes after applying every [Tile] division in the nest. *)
+
+val local_operand_shapes :
+  Mesh.t -> Partir_hlo.Op.t -> Action.entry list -> Shape.t list
+(** Operand shapes after applying every slice in the nest. *)
+
+val localize_kind :
+  Partir_hlo.Op.kind -> local_results:Shape.t list -> Partir_hlo.Op.kind
+(** Rewrite the kind's attributes for the given local result shapes.
+    Attribute-free kinds are returned unchanged. *)

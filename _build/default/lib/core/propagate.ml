@@ -1,0 +1,425 @@
+open Partir_hlo
+module Mesh = Partir_mesh.Mesh
+
+type conflict = {
+  op_id : int;
+  op_name : string;
+  axis : string;
+  detail : string;
+}
+
+(* Producer of a value: a staged op's result. Module/region parameters are
+   absent from the table; their evidence flows through union-find classes. *)
+type source = Produced of Staged.sop * int
+
+type index = {
+  producers : (int, source) Hashtbl.t;
+  uses : (int, (Staged.sop * int) list) Hashtbl.t;
+  parent : (int, int) Hashtbl.t;  (* union-find over value ids *)
+  members : (int, int list) Hashtbl.t;  (* class representative -> members *)
+}
+
+let rec uf_find idx v =
+  match Hashtbl.find_opt idx.parent v with
+  | None -> v
+  | Some p when p = v -> v
+  | Some p ->
+      let r = uf_find idx p in
+      Hashtbl.replace idx.parent v r;
+      r
+
+let uf_union idx a b =
+  let ra = uf_find idx a and rb = uf_find idx b in
+  if ra <> rb then Hashtbl.replace idx.parent rb ra
+
+let build_index (t : Staged.t) =
+  let idx =
+    {
+      producers = Hashtbl.create 256;
+      uses = Hashtbl.create 256;
+      parent = Hashtbl.create 64;
+      members = Hashtbl.create 64;
+    }
+  in
+  let note_use (v : Value.t) sop i =
+    let prev = Option.value ~default:[] (Hashtbl.find_opt idx.uses v.Value.id) in
+    Hashtbl.replace idx.uses v.Value.id ((sop, i) :: prev)
+  in
+  let rec walk sops =
+    List.iter
+      (fun (s : Staged.sop) ->
+        List.iteri (fun i v -> note_use v s i) s.Staged.op.operands;
+        List.iteri
+          (fun i (v : Value.t) ->
+            Hashtbl.replace idx.producers v.Value.id (Produced (s, i)))
+          s.Staged.op.results;
+        (match (s.Staged.op.kind, s.Staged.op.region) with
+        | Op.For { n_carries; _ }, Some r ->
+            let params =
+              match r.params with _iter :: ps -> ps | [] -> []
+            in
+            List.iteri
+              (fun k (p : Value.t) ->
+                match List.nth_opt s.Staged.op.operands k with
+                | Some (o : Value.t) -> uf_union idx p.Value.id o.Value.id
+                | None -> ())
+              params;
+            List.iteri
+              (fun k (res : Value.t) ->
+                if k < n_carries then begin
+                  (match List.nth_opt r.yields k with
+                  | Some (y : Value.t) -> uf_union idx res.Value.id y.Value.id
+                  | None -> ());
+                  match List.nth_opt s.Staged.op.operands k with
+                  | Some (o : Value.t) -> uf_union idx res.Value.id o.Value.id
+                  | None -> ()
+                end)
+              s.Staged.op.results
+        | _ -> ());
+        walk s.Staged.region_body)
+      sops
+  in
+  walk t.Staged.body;
+  (* Materialize class member lists. *)
+  let note_member v =
+    let r = uf_find idx v in
+    let prev = Option.value ~default:[] (Hashtbl.find_opt idx.members r) in
+    if not (List.mem v prev) then Hashtbl.replace idx.members r (v :: prev)
+  in
+  Hashtbl.iter (fun v _ -> note_member v) idx.producers;
+  Hashtbl.iter (fun v _ -> note_member v) idx.uses;
+  Hashtbl.iter (fun v _ -> note_member v) idx.parent;
+  idx
+
+let class_members idx v =
+  let r = uf_find idx v in
+  match Hashtbl.find_opt idx.members r with
+  | Some ms -> if List.mem v ms then ms else v :: ms
+  | None -> [ v ]
+
+(* Producer-side tiling exposed for [v] along [axis]:
+   [Ok (Some (d, hint))] tiled at dim d (hint: the sop providing the
+   evidence, used to order the new nest entry), [Ok None] no information,
+   [Error] means contradictory producer evidence. *)
+let producer_tiling idx (v : Value.t) axis =
+  let tilings = ref [] in
+  let blocked = ref false in
+  List.iter
+    (fun m ->
+      match Hashtbl.find_opt idx.producers m with
+      | Some (Produced (p, r)) -> (
+          match Staged.entry_on p axis with
+          | Some e -> (
+              match e.Action.result_actions.(r) with
+              | Action.Tile d ->
+                  if not (List.exists (fun (d', _) -> d' = d) !tilings) then
+                    tilings := (d, p) :: !tilings
+              | Action.Any -> blocked := true
+              | Action.Reduce _ -> ())
+          | None -> ())
+      | None -> ())
+    (class_members idx v.Value.id);
+  match !tilings with
+  | [] -> Ok None
+  | [ dh ] -> if !blocked then Ok None else Ok (Some dh)
+  | _ -> Error "contradictory producer tilings"
+
+(* Consumer-side slicing of result [v] along [axis], excluding op [self]. *)
+let consumer_slicing idx (v : Value.t) axis ~(self : Staged.sop) =
+  let dims = ref [] in
+  List.iter
+    (fun m ->
+      List.iter
+        (fun ((c : Staged.sop), j) ->
+          if c != self then
+            match Staged.entry_on c axis with
+            | Some e -> (
+                match e.Action.operand_dims.(j) with
+                | Some d ->
+                    if not (List.exists (fun (d', _) -> d' = d) !dims) then
+                      dims := (d, c) :: !dims
+                | None -> ())
+            | None -> ())
+        (Option.value ~default:[] (Hashtbl.find_opt idx.uses m)))
+    (class_members idx v.Value.id);
+  match !dims with
+  | [] -> Ok None
+  | [ dh ] -> Ok (Some dh)
+  | _ -> Error "contradictory consumer slicings"
+
+(* Insert [entry] into [nest] at a position consistent with the per-axis
+   order of the [hint] op's nest (the evidence source): producer and
+   consumer then slice multiply-tiled dimensions in the same order, which
+   keeps conversions prefix-compatible (free slices, reduce_scatter and
+   all_to_all fusion). Default: innermost (append). *)
+let insert_entry nest (entry : Action.entry) (hint : Staged.sop option) =
+  let default () = nest @ [ entry ] in
+  match hint with
+  | None -> default ()
+  | Some h ->
+      let hint_axes =
+        List.map (fun (e : Action.entry) -> e.Action.axis) h.Staged.nest
+      in
+      let pos_of ax =
+        let rec go i = function
+          | [] -> None
+          | x :: rest -> if x = ax then Some i else go (i + 1) rest
+        in
+        go 0 hint_axes
+      in
+      (match pos_of entry.Action.axis with
+      | None -> default ()
+      | Some pa ->
+          let rec go acc = function
+            | [] -> List.rev (entry :: acc)
+            | (e : Action.entry) :: rest -> (
+                match pos_of e.Action.axis with
+                | Some pe when pe > pa -> List.rev acc @ (entry :: e :: rest)
+                | _ -> go (e :: acc) rest)
+          in
+          go [] nest)
+
+(* Cumulative divisibility: adding [entry] must keep every sliced operand
+   dim and tiled result dim divisible by the product of ALL axis sizes
+   slicing that dim (deep tiling shrinks the residual chunk). *)
+let entry_legal mesh (s : Staged.sop) (entry : Action.entry) =
+  let axis_size a = Mesh.axis_size mesh a in
+  let ok = ref true in
+  let check shape d per_dim_axes =
+    let product =
+      List.fold_left (fun acc a -> acc * axis_size a) (axis_size entry.Action.axis)
+        per_dim_axes
+    in
+    if shape.(d) mod product <> 0 then ok := false
+  in
+  List.iteri
+    (fun k (v : Value.t) ->
+      match entry.Action.operand_dims.(k) with
+      | None -> ()
+      | Some d ->
+          let existing =
+            List.filter_map
+              (fun (e : Action.entry) ->
+                match e.Action.operand_dims.(k) with
+                | Some d' when d' = d -> Some e.Action.axis
+                | _ -> None)
+              s.Staged.nest
+          in
+          check v.Value.ty.Value.shape d existing)
+    s.Staged.op.operands;
+  List.iteri
+    (fun r (v : Value.t) ->
+      match entry.Action.result_actions.(r) with
+      | Action.Tile d ->
+          let existing =
+            List.filter_map
+              (fun (e : Action.entry) ->
+                match e.Action.result_actions.(r) with
+                | Action.Tile d' when d' = d -> Some e.Action.axis
+                | _ -> None)
+              s.Staged.nest
+          in
+          check v.Value.ty.Value.shape d existing
+      | Action.Reduce _ | Action.Any -> ())
+    s.Staged.op.results;
+  !ok
+
+let rule_consistent (rule : Tmr.rule) ~op_ev ~res_ev =
+  let ok = ref true in
+  Array.iteri
+    (fun k ev ->
+      match (ev, rule.Tmr.operand_dims.(k)) with
+      | Some d, Some d' when d <> d' -> ok := false
+      | _ -> ())
+    op_ev;
+  Array.iteri
+    (fun r ev ->
+      match (ev, rule.Tmr.result_actions.(r)) with
+      | Some d, Action.Tile d' when d <> d' -> ok := false
+      | Some _, Action.Any -> ok := false
+      | _ -> ())
+    res_ev;
+  !ok
+
+let rule_explains (rule : Tmr.rule) ~op_ev ~res_ev =
+  let explains = ref false in
+  Array.iteri
+    (fun k ev ->
+      match (ev, rule.Tmr.operand_dims.(k)) with
+      | Some d, Some d' when d = d' -> explains := true
+      | _ -> ())
+    op_ev;
+  Array.iteri
+    (fun r ev ->
+      match (ev, rule.Tmr.result_actions.(r)) with
+      | Some d, Action.Tile d' when d = d' -> explains := true
+      | _ -> ())
+    res_ev;
+  !explains
+
+(* GSPMD-style resolution heuristic: most evidence explained; prefer tiled
+   results over reductions; registry order breaks ties. *)
+let resolve_pick rules ~op_ev ~res_ev =
+  let score (rule : Tmr.rule) =
+    let explained = ref 0 in
+    Array.iteri
+      (fun k ev ->
+        match (ev, rule.Tmr.operand_dims.(k)) with
+        | Some d, Some d' when d = d' -> incr explained
+        | _ -> ())
+      op_ev;
+    Array.iteri
+      (fun r ev ->
+        match (ev, rule.Tmr.result_actions.(r)) with
+        | Some d, Action.Tile d' when d = d' -> incr explained
+        | _ -> ())
+      res_ev;
+    let tiled =
+      if Array.for_all (function Action.Tile _ -> true | _ -> false)
+           rule.Tmr.result_actions
+      then 1
+      else 0
+    in
+    ((!explained * 2) + tiled : int)
+  in
+  let best = ref (List.hd rules) in
+  List.iteri
+    (fun i rule ->
+      if i > 0 && score rule > score !best then best := rule)
+    rules;
+  !best
+
+let run ?(resolve_conflicts = false) (t : Staged.t) =
+  let mesh = t.Staged.mesh in
+  let idx = build_index t in
+  let sops = Staged.all_sops t in
+  let conflicts : (int * string, conflict) Hashtbl.t = Hashtbl.create 16 in
+  let note_conflict (s : Staged.sop) axis detail =
+    let key = (s.Staged.op.id, axis) in
+    if not (Hashtbl.mem conflicts key) then
+      Hashtbl.replace conflicts key
+        {
+          op_id = s.Staged.op.id;
+          op_name = Op.kind_name s.Staged.op.kind;
+          axis;
+          detail;
+        }
+  in
+  let try_axis (s : Staged.sop) (axis, axis_size) =
+    if Staged.entry_on s axis <> None then false
+    else begin
+      match s.Staged.op.kind with
+      | Op.For _ | Op.Constant _ -> false
+      | _ -> (
+          let op_ev = Array.make (List.length s.Staged.op.operands) None in
+          let res_ev = Array.make (List.length s.Staged.op.results) None in
+          let hint = ref None in
+          let note_hint h = if !hint = None then hint := Some h in
+          let bad = ref false in
+          List.iteri
+            (fun k (v : Value.t) ->
+              match producer_tiling idx v axis with
+              | Ok (Some (d, h)) ->
+                  op_ev.(k) <- Some d;
+                  note_hint h
+              | Ok None -> ()
+              | Error msg ->
+                  bad := true;
+                  note_conflict s axis msg)
+            s.Staged.op.operands;
+          List.iteri
+            (fun r (v : Value.t) ->
+              match consumer_slicing idx v axis ~self:s with
+              | Ok (Some (d, h)) ->
+                  res_ev.(r) <- Some d;
+                  note_hint h
+              | Ok None -> ()
+              | Error msg ->
+                  bad := true;
+                  note_conflict s axis msg)
+            s.Staged.op.results;
+          let has_evidence =
+            Array.exists Option.is_some op_ev
+            || Array.exists Option.is_some res_ev
+          in
+          if !bad || not has_evidence then false
+          else
+            let operand_is_zero k =
+              match List.nth_opt s.Staged.op.operands k with
+              | None -> false
+              | Some (v : Value.t) -> (
+                  match Hashtbl.find_opt idx.producers v.Value.id with
+                  | Some (Produced (p, _)) -> (
+                      match p.Staged.op.kind with
+                      | Op.Splat { value = 0.; _ } -> true
+                      | Op.Constant l ->
+                          Array.for_all (fun x -> x = 0.) l.Partir_tensor.Literal.data
+                      | _ -> false)
+                  | None -> false)
+            in
+            let rules = Tmr.rules_for ~operand_is_zero ~axis_size s.Staged.op in
+            let candidates =
+              List.filter
+                (fun r ->
+                  rule_consistent r ~op_ev ~res_ev
+                  && rule_explains r ~op_ev ~res_ev)
+                rules
+            in
+            let candidates =
+              List.fold_left
+                (fun acc r ->
+                  if List.exists (Tmr.rule_equal r) acc then acc else r :: acc)
+                [] candidates
+              |> List.rev
+            in
+            match candidates with
+            | [] -> false
+            | [ rule ] ->
+                let entry =
+                  {
+                    Action.axis;
+                    operand_dims = rule.Tmr.operand_dims;
+                    result_actions = rule.Tmr.result_actions;
+                  }
+                in
+                if entry_legal mesh s entry then begin
+                  s.Staged.nest <- insert_entry s.Staged.nest entry !hint;
+                  true
+                end
+                else false
+            | many ->
+                note_conflict s axis
+                  (Printf.sprintf "%d TMR rules match: %s" (List.length many)
+                     (String.concat " | " (List.map Tmr.rule_to_string many)));
+                if resolve_conflicts then begin
+                  let rule = resolve_pick many ~op_ev ~res_ev in
+                  let entry =
+                    {
+                      Action.axis;
+                      operand_dims = rule.Tmr.operand_dims;
+                      result_actions = rule.Tmr.result_actions;
+                    }
+                  in
+                  if entry_legal mesh s entry then begin
+                    s.Staged.nest <- insert_entry s.Staged.nest entry !hint;
+                    true
+                  end
+                  else false
+                end
+                else false)
+    end
+  in
+  let axes = Mesh.axes mesh in
+  let sweep order =
+    List.fold_left
+      (fun changed s ->
+        List.fold_left (fun ch ax -> try_axis s ax || ch) changed axes)
+      false order
+  in
+  let rec fixpoint () =
+    let fwd = sweep sops in
+    let bwd = sweep (List.rev sops) in
+    if fwd || bwd then fixpoint ()
+  in
+  fixpoint ();
+  Hashtbl.fold (fun _ c acc -> c :: acc) conflicts []

@@ -1,0 +1,33 @@
+(** The PartIR:Core propagation pass (paper §5.2.2).
+
+    Greedily propagates known and partially-known tiling information across
+    the module, driven purely by the TMR's linear-algebra homomorphisms —
+    no cost heuristics. Forward propagation matches producer-side tiling of
+    operands; backward propagation matches consumer-side slicing of results;
+    inference extends partial matches by slicing further operands.
+
+    A conflict (multiple distinct TMR rules consistent with the evidence, or
+    contradictory evidence) blocks propagation for that (op, axis) and is
+    reported; the canonical resolution is tactic incrementality (§5.2.3).
+
+    [For] loops are handled by unifying each region parameter with its
+    operand (and each carry with its yield and result) so tiling decisions
+    flow across the loop boundary and stay consistent across iterations. *)
+
+type conflict = {
+  op_id : int;
+  op_name : string;
+  axis : string;
+  detail : string;
+}
+
+val run : ?resolve_conflicts:bool -> Staged.t -> conflict list
+(** Propagate to fixpoint, growing op nests in place. Returns the conflicts
+    encountered (deduplicated per (op, axis)).
+
+    With [resolve_conflicts] (default false — PartIR never resolves
+    conflicts, §5.2.3), multi-rule matches are resolved by a fixed
+    GSPMD-style heuristic (most evidence explained, tiling preferred over
+    reduction, registry order breaks ties) instead of blocking; this powers
+    the GSPMD/GSPMD-- baselines of §7.4. Resolved conflicts are still
+    reported. *)

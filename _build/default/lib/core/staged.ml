@@ -1,0 +1,332 @@
+open Partir_hlo
+module Mesh = Partir_mesh.Mesh
+
+type sop = {
+  mutable op : Op.t;
+  mutable nest : Action.entry list;
+  mutable region_body : sop list;
+}
+
+type t = {
+  name : string;
+  mesh : Mesh.t;
+  params : Value.t list;
+  mutable body : sop list;
+  mutable results : Value.t list;
+}
+
+exception Action_error of string
+
+let action_errorf fmt = Format.kasprintf (fun s -> raise (Action_error s)) fmt
+
+let rec stage_op (op : Op.t) =
+  let region_body =
+    match op.region with
+    | None -> []
+    | Some r -> List.map stage_op r.body
+  in
+  { op; nest = []; region_body }
+
+let of_func mesh (f : Func.t) =
+  {
+    name = f.name;
+    mesh;
+    params = f.params;
+    body = List.map stage_op f.body;
+    results = f.results;
+  }
+
+let rec unstage_op (s : sop) : Op.t =
+  match s.op.region with
+  | None -> s.op
+  | Some r ->
+      { s.op with region = Some { r with body = List.map unstage_op s.region_body } }
+
+let to_func t =
+  let f =
+    {
+      Func.name = t.name;
+      params = t.params;
+      body = List.map unstage_op t.body;
+      results = t.results;
+    }
+  in
+  Func.verify f;
+  f
+
+let rec copy_sop (s : sop) =
+  { op = s.op; nest = s.nest; region_body = List.map copy_sop s.region_body }
+
+let copy t = { t with body = List.map copy_sop t.body }
+
+let nest_axes s = List.map (fun (e : Action.entry) -> e.Action.axis) s.nest
+
+let entry_on s axis =
+  List.find_opt (fun (e : Action.entry) -> e.Action.axis = axis) s.nest
+
+let rec all_sops_of_list sops =
+  List.concat_map (fun s -> s :: all_sops_of_list s.region_body) sops
+
+let all_sops t = all_sops_of_list t.body
+
+(* Where a seed can be inserted: the top-level body, or a For region body. *)
+type scope =
+  | Top
+  | Region of sop  (** the [For] sop owning the region *)
+
+let scope_params t = function
+  | Top -> t.params
+  | Region s -> (
+      match s.op.region with Some r -> r.params | None -> [])
+
+let scope_body t = function Top -> t.body | Region s -> s.region_body
+
+let set_scope_body t scope body =
+  match scope with
+  | Top -> t.body <- body
+  | Region s -> s.region_body <- body
+
+let replace_value subst (v : Value.t) =
+  match Value.Map.find_opt v.Value.id subst with Some v' -> v' | None -> v
+
+(* Rewrite uses of old values in an op's operands (regions are closed, so
+   region bodies need no rewriting; [For] yields are handled separately by
+   the caller when the defining scope is a region). *)
+let rewrite_operands subst (s : sop) =
+  if
+    List.exists
+      (fun (v : Value.t) -> Value.Map.mem v.Value.id subst)
+      s.op.operands
+  then
+    s.op <- { s.op with operands = List.map (replace_value subst) s.op.operands }
+
+let rewrite_terminator t scope subst =
+  match scope with
+  | Top -> t.results <- List.map (replace_value subst) t.results
+  | Region s -> (
+      match s.op.region with
+      | None -> ()
+      | Some r ->
+          s.op <-
+            {
+              s.op with
+              region = Some { r with yields = List.map (replace_value subst) r.yields };
+            })
+
+(* Insert [seed] into the scope defining [value]; returns true on success. *)
+let rec insert_in_scope t scope ~(value : Value.t) ~(seed : sop) =
+  let body = scope_body t scope in
+  let is_param =
+    List.exists (fun (p : Value.t) -> p.Value.id = value.Value.id) (scope_params t scope)
+  in
+  let subst =
+    Value.Map.singleton value.Value.id (List.hd seed.op.results)
+  in
+  if is_param then begin
+    List.iter (rewrite_operands subst) body;
+    rewrite_terminator t scope subst;
+    set_scope_body t scope (seed :: body);
+    true
+  end
+  else
+    let rec split acc = function
+      | [] -> None
+      | (s : sop) :: rest ->
+          if List.exists (fun (r : Value.t) -> r.Value.id = value.Value.id) s.op.results
+          then Some (List.rev (s :: acc), rest)
+          else split (s :: acc) rest
+    in
+    match split [] body with
+    | Some (before, after) ->
+        List.iter (rewrite_operands subst) after;
+        rewrite_terminator t scope subst;
+        set_scope_body t scope (before @ (seed :: after));
+        true
+    | None ->
+        (* Recurse into region scopes. *)
+        List.exists
+          (fun (s : sop) ->
+            s.region_body <> [] && insert_in_scope t (Region s) ~value ~seed)
+          body
+
+(* Follow the identity(-seed/tag) chain rooted at [value] to its end, so a
+   new action applies below earlier actions on the same value: later tactics
+   see (and can never undo) earlier decisions, and an [atomic] inserted
+   after a tile protects the consumer-facing end of the chain. *)
+let rec chain_end t (value : Value.t) =
+  let next =
+    List.find_opt
+      (fun (s : sop) ->
+        (match s.op.kind with Op.Identity -> true | _ -> false)
+        &&
+        match s.op.operands with
+        | [ o ] -> o.Value.id = value.Value.id
+        | _ -> false)
+      (all_sops t)
+  in
+  match next with
+  | Some s -> chain_end t (List.hd s.op.results)
+  | None -> value
+
+let value_dim_axes t (value : Value.t) =
+  (* Producer-side tilings. *)
+  let producer_tilings (v : Value.t) =
+    List.concat_map
+      (fun (s : sop) ->
+        let idx = ref (-1) in
+        List.iteri
+          (fun i (r : Value.t) -> if r.Value.id = v.Value.id then idx := i)
+          s.op.results;
+        if !idx < 0 then []
+        else
+          List.filter_map
+            (fun (e : Action.entry) ->
+              match e.Action.result_actions.(!idx) with
+              | Action.Tile d -> Some (d, e.Action.axis)
+              | Action.Reduce _ | Action.Any -> None)
+            s.nest)
+      (all_sops t)
+  in
+  (* Follow the identity-seed chain downstream. *)
+  let rec follow (v : Value.t) acc =
+    let acc = acc @ producer_tilings v in
+    let next =
+      List.find_opt
+        (fun (s : sop) ->
+          (match s.op.kind with Op.Identity -> true | _ -> false)
+          && match s.op.operands with
+             | [ o ] -> o.Value.id = v.Value.id
+             | _ -> false)
+        (all_sops t)
+    in
+    match next with
+    | Some s -> follow (List.hd s.op.results) acc
+    | None -> acc
+  in
+  follow value []
+
+let insert_seed t ~(value : Value.t) ~(entry : Action.entry) =
+  let value = chain_end t value in
+  let op = Op.make Op.Identity [ value ] () in
+  let seed = { op; nest = [ entry ]; region_body = [] } in
+  if not (insert_in_scope t Top ~value ~seed) then
+    action_errorf "value %%%d (%s) not found in module %s" value.Value.id
+      value.Value.name t.name;
+  List.hd op.results
+
+let tile t ~value ~dim ~axis =
+  if not (Mesh.has_axis t.mesh axis) then
+    action_errorf "tile: unknown mesh axis %S in mesh %s" axis
+      (Mesh.to_string t.mesh);
+  let size = Mesh.axis_size t.mesh axis in
+  let shape = value.Value.ty.Value.shape in
+  let rank = Partir_tensor.Shape.rank shape in
+  if dim < 0 || dim >= rank then
+    action_errorf "tile: dim %d out of range for %%%s (rank %d)" dim
+      value.Value.name rank;
+  (* Deep tiling: the new axis must divide the residual chunk left by the
+     tilings already applied to this dim by OTHER axes (re-tiling onto the
+     same axis is a resharding conversion, not a deepening). *)
+  let existing =
+    List.fold_left
+      (fun acc (d, a) ->
+        if d = dim && a <> axis then acc * Mesh.axis_size t.mesh a else acc)
+      1 (value_dim_axes t value)
+  in
+  if shape.(dim) mod (size * existing) <> 0 then
+    action_errorf
+      "tile: dim %d of %%%s (size %d, already tiled %dx) not divisible by        axis %S (%d)"
+      dim value.Value.name shape.(dim) existing axis size;
+  insert_seed t ~value
+    ~entry:
+      {
+        Action.axis;
+        operand_dims = [| Some dim |];
+        result_actions = [| Action.Tile dim |];
+      }
+
+let atomic t ~value ~axis =
+  if not (Mesh.has_axis t.mesh axis) then
+    action_errorf "atomic: unknown mesh axis %S" axis;
+  insert_seed t ~value
+    ~entry:
+      {
+        Action.axis;
+        operand_dims = [| None |];
+        result_actions = [| Action.Any |];
+      }
+
+let find_value t name =
+  let found (v : Value.t) = v.Value.name = name in
+  match List.find_opt found t.params with
+  | Some v -> Some v
+  | None ->
+      let rec search sops =
+        List.fold_left
+          (fun acc (s : sop) ->
+            match acc with
+            | Some _ -> acc
+            | None -> (
+                match List.find_opt found s.op.results with
+                | Some v -> Some v
+                | None -> (
+                    let from_params =
+                      match s.op.region with
+                      | Some r -> List.find_opt found r.params
+                      | None -> None
+                    in
+                    match from_params with
+                    | Some v -> Some v
+                    | None -> search s.region_body)))
+          None sops
+      in
+      search t.body
+
+let collect_tags t =
+  List.concat_map
+    (fun (s : sop) ->
+      List.filter_map
+        (fun (v : Value.t) ->
+          if v.Value.name = "" then None else Some (v.Value.name, v))
+        s.op.results)
+    (all_sops t)
+
+let pp ppf t =
+  let f = to_func t in
+  let names = Printer.build_names f in
+  Format.fprintf ppf "staged @%s mesh=%s {@\n" t.name (Mesh.to_string t.mesh);
+  let rec print_sops indent sops =
+    List.iter
+      (fun (s : sop) ->
+        let nest_str =
+          match s.nest with
+          | [] -> ""
+          | nest ->
+              " in "
+              ^ String.concat " "
+                  (List.map
+                     (fun (e : Action.entry) ->
+                       Printf.sprintf "loop %S [%s]" e.Action.axis
+                         (String.concat ", "
+                            (Array.to_list
+                               (Array.map Action.to_string
+                                  e.Action.result_actions))))
+                     nest)
+        in
+        let op_str = Printer.op_to_string ~names (unstage_op s) in
+        (* Only print the head line for region ops; bodies printed below. *)
+        let head = List.hd (String.split_on_char '\n' op_str) in
+        Format.fprintf ppf "%s%s%s@\n" indent head nest_str;
+        if s.region_body <> [] then begin
+          print_sops (indent ^ "  ") s.region_body;
+          Format.fprintf ppf "%s}@\n" indent
+        end)
+      sops
+  in
+  print_sops "  " t.body;
+  let rets =
+    String.concat ", " (List.map (fun (v : Value.t) -> names v.Value.id) t.results)
+  in
+  Format.fprintf ppf "  return %s@\n}" rets
+
+let to_string t = Format.asprintf "%a" pp t

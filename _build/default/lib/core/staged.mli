@@ -1,0 +1,73 @@
+(** Staged modules: PartIR:Core programs in per-op maximal loop-nest normal
+    form (see DESIGN.md §2).
+
+    Every tensor op carries the list of loops enclosing it ([nest],
+    outermost first). Value-tiling and atomic actions insert [Identity]
+    anchor ops ("seeds") whose single nest entry expresses the requested
+    tiling; propagation (see {!Propagate}) then grows nests across the
+    module. *)
+
+open Partir_hlo
+
+type sop = {
+  mutable op : Op.t;
+  mutable nest : Action.entry list;  (** outermost first *)
+  mutable region_body : sop list;
+      (** staged mirror of [op.region]'s body ([[]] when region-free) *)
+}
+
+type t = {
+  name : string;
+  mesh : Partir_mesh.Mesh.t;
+  params : Value.t list;
+  mutable body : sop list;
+  mutable results : Value.t list;
+}
+
+val of_func : Partir_mesh.Mesh.t -> Func.t -> t
+val to_func : t -> Func.t
+(** Materialize back into a plain (verified) function: seeds remain as
+    [Identity] ops; nests are dropped. *)
+
+val copy : t -> t
+(** Deep copy (fresh sop records, shared immutable ops/values); actions and
+    propagation on the copy leave the original untouched. Used by automatic
+    partitioning to evaluate candidate action sequences. *)
+
+exception Action_error of string
+
+val tile : t -> value:Value.t -> dim:int -> axis:string -> Value.t
+(** The paper's [tile<%v, dim, axis>] compiler action: insert a value-tiling
+    seed after the producer of [value] and redirect downstream uses.
+    Returns the seed's result value. Raises {!Action_error} if the axis is
+    unknown, the dimension is out of range, or not divisible by the axis
+    size. Tiling an already-tiled value performs deep tiling (appends to the
+    seed chain). *)
+
+val atomic : t -> value:Value.t -> axis:string -> Value.t
+(** The paper's [atomic<%v, axis>] action: keep [value] replicated along
+    [axis] by inserting an [Any] seed that blocks propagation. *)
+
+val find_value : t -> string -> Value.t option
+(** Look up a parameter or (tagged) op-result value by name, searching
+    region bodies too. First match in program order. *)
+
+val all_sops : t -> sop list
+(** All staged ops in program order, region bodies inlined after their
+    [For]. *)
+
+val nest_axes : sop -> string list
+val entry_on : sop -> string -> Action.entry option
+val value_dim_axes : t -> Value.t -> (int * string) list
+(** For a value: the (dim, axis) tilings its producing op (or seed chain)
+    exposes — the sharding spec that would be reported for it. For function
+    parameters this looks through the seed chain rooted at the parameter. *)
+
+val collect_tags : t -> (string * Value.t) list
+(** All named op-result values (tags usable for model-internal actions). *)
+
+val pp : Format.formatter -> t -> unit
+(** Print in the paper's loop/slice surface syntax (per-op nests shown as
+    loop headers). *)
+
+val to_string : t -> string

@@ -1,0 +1,364 @@
+open Partir_tensor
+open Partir_hlo
+
+type rule = {
+  operand_dims : int option array;
+  result_actions : Action.t array;
+}
+
+let rule_to_string r =
+  let operands =
+    String.concat ", "
+      (Array.to_list
+         (Array.map
+            (function
+              | None -> "_"
+              | Some d -> Printf.sprintf "#tile<%d>" d)
+            r.operand_dims))
+  in
+  let results =
+    String.concat ", "
+      (Array.to_list (Array.map Action.to_string r.result_actions))
+  in
+  Printf.sprintf "(%s) -> (%s)" operands results
+
+let rule_equal (a : rule) (b : rule) =
+  a.operand_dims = b.operand_dims && a.result_actions = b.result_actions
+
+(* Decompose a reshape into minimal groups of (input dims, output dims) with
+   equal element products. Tiling is only mapped across groups through their
+   major (first) dimensions; anything else blocks propagation, reproducing
+   the paper's reshape limitation (§8). *)
+let reshape_groups in_shape out_shape =
+  let groups = ref [] in
+  let i = ref 0 and j = ref 0 in
+  let ri = Array.length in_shape and rj = Array.length out_shape in
+  while !i < ri || !j < rj do
+    let gi = ref [] and gj = ref [] in
+    let pi = ref 1 and pj = ref 1 in
+    let step () =
+      if !pi <= !pj && !i < ri then begin
+        pi := !pi * in_shape.(!i);
+        gi := !i :: !gi;
+        incr i
+      end
+      else if !j < rj then begin
+        pj := !pj * out_shape.(!j);
+        gj := !j :: !gj;
+        incr j
+      end
+      else if !i < ri then begin
+        pi := !pi * in_shape.(!i);
+        gi := !i :: !gi;
+        incr i
+      end
+    in
+    step ();
+    while !pi <> !pj && (!i < ri || !j < rj) do
+      step ()
+    done;
+    if !pi = !pj then groups := (List.rev !gi, List.rev !gj) :: !groups
+  done;
+  List.rev !groups
+
+let shape_of (v : Value.t) = v.Value.ty.Value.shape
+
+let rules_for ?(operand_is_zero = fun _ -> false) ~axis_size (op : Op.t) :
+    rule list =
+  let n_operands = List.length op.operands in
+  let operand_shape k = shape_of (List.nth op.operands k) in
+  let result_shape k = shape_of (List.nth op.results k) in
+  let none () = Array.make n_operands None in
+  let rule operands results = { operand_dims = operands; result_actions = results } in
+  let divisible shape d = d >= 0 && d < Shape.rank shape && shape.(d) mod axis_size = 0 && shape.(d) >= axis_size in
+  (* A rule is legal only if every sliced operand dim and tiled result dim is
+     divisible by the axis size. *)
+  let legal r =
+    let ok = ref true in
+    Array.iteri
+      (fun k dim ->
+        match dim with
+        | None -> ()
+        | Some d -> if not (divisible (operand_shape k) d) then ok := false)
+      r.operand_dims;
+    Array.iteri
+      (fun k action ->
+        match action with
+        | Action.Tile d -> if not (divisible (result_shape k) d) then ok := false
+        | Action.Reduce _ | Action.Any -> ())
+      r.result_actions;
+    !ok
+  in
+  let elementwise_rules () =
+    (* All operands and results share one shape; tiling any dim tiles all. *)
+    let shape = result_shape 0 in
+    List.filter_map
+      (fun d ->
+        if divisible shape d then
+          Some (rule (Array.make n_operands (Some d)) [| Action.Tile d |])
+        else None)
+      (List.init (Shape.rank shape) (fun i -> i))
+  in
+  let raw =
+    match op.kind with
+    | Op.Identity | Op.Unary _ | Op.Binary _ | Op.Compare _ | Op.Select ->
+        elementwise_rules ()
+    | Op.Splat { shape; _ } ->
+        List.filter_map
+          (fun d ->
+            if divisible shape d then Some (rule [||] [| Action.Tile d |])
+            else None)
+          (List.init (Shape.rank shape) (fun i -> i))
+    | Op.Matmul ->
+        let sa = operand_shape 0 in
+        let r = Shape.rank sa in
+        let batch_rules =
+          List.map
+            (fun b ->
+              let o = none () in
+              o.(0) <- Some b;
+              o.(1) <- Some b;
+              rule o [| Action.Tile b |])
+            (List.init (r - 2) (fun i -> i))
+        in
+        let m_rule =
+          let o = none () in
+          o.(0) <- Some (r - 2);
+          rule o [| Action.Tile (r - 2) |]
+        in
+        let n_rule =
+          let o = none () in
+          o.(1) <- Some (r - 1);
+          rule o [| Action.Tile (r - 1) |]
+        in
+        let k_rule =
+          let o = none () in
+          o.(0) <- Some (r - 1);
+          o.(1) <- Some (r - 2);
+          rule o [| Action.Reduce Op.Rsum |]
+        in
+        batch_rules @ [ m_rule; n_rule; k_rule ]
+    | Op.Transpose { perm } ->
+        List.map
+          (fun d ->
+            let o = none () in
+            o.(0) <- Some perm.(d);
+            rule o [| Action.Tile d |])
+          (List.init (Array.length perm) (fun i -> i))
+    | Op.Reshape { target } ->
+        let in_shape = operand_shape 0 in
+        let groups = reshape_groups in_shape target in
+        (* Within a group, tiling maps between the leading non-unit
+           dimensions (leading 1s do not affect the flattened order). *)
+        let first_non_unit shape dims =
+          List.find_opt (fun d -> shape.(d) > 1) dims
+        in
+        List.filter_map
+          (fun (gin, gout) ->
+            match (first_non_unit in_shape gin, first_non_unit target gout) with
+            | Some i0, Some o0 ->
+                let o = none () in
+                o.(0) <- Some i0;
+                Some (rule o [| Action.Tile o0 |])
+            | _ -> None)
+          groups
+    | Op.Broadcast { target; dims } ->
+        let in_shape = operand_shape 0 in
+        let mapped = Hashtbl.create 8 in
+        Array.iteri
+          (fun i d -> if in_shape.(i) <> 1 then Hashtbl.replace mapped d i)
+          dims;
+        List.map
+          (fun d ->
+            match Hashtbl.find_opt mapped d with
+            | Some i ->
+                let o = none () in
+                o.(0) <- Some i;
+                rule o [| Action.Tile d |]
+            | None -> rule (none ()) [| Action.Tile d |])
+          (List.init (Shape.rank target) (fun i -> i))
+    | Op.Reduce { kind; dims } ->
+        let in_shape = operand_shape 0 in
+        let is_reduced i = Array.exists (fun d -> d = i) dims in
+        let out_dim i =
+          (* Position of input dim [i] in the output shape. *)
+          let c = ref 0 in
+          for k = 0 to i - 1 do
+            if not (is_reduced k) then incr c
+          done;
+          !c
+        in
+        List.map
+          (fun i ->
+            let o = none () in
+            o.(0) <- Some i;
+            if is_reduced i then rule o [| Action.Reduce kind |]
+            else rule o [| Action.Tile (out_dim i) |])
+          (List.init (Shape.rank in_shape) (fun i -> i))
+    | Op.Concat { dim } ->
+        let shape = result_shape 0 in
+        List.filter_map
+          (fun d ->
+            if d = dim then None
+            else Some (rule (Array.make n_operands (Some d)) [| Action.Tile d |]))
+          (List.init (Shape.rank shape) (fun i -> i))
+    | Op.Slice { starts; limits } ->
+        let in_shape = operand_shape 0 in
+        List.filter_map
+          (fun d ->
+            if starts.(d) = 0 && limits.(d) = in_shape.(d) then
+              let o = none () in
+              o.(0) <- Some d;
+              Some (rule o [| Action.Tile d |])
+            else None)
+          (List.init (Shape.rank in_shape) (fun i -> i))
+    | Op.Pad { low; high; _ } ->
+        let in_shape = operand_shape 0 in
+        List.filter_map
+          (fun d ->
+            if low.(d) = 0 && high.(d) = 0 then
+              let o = none () in
+              o.(0) <- Some d;
+              Some (rule o [| Action.Tile d |])
+            else None)
+          (List.init (Shape.rank in_shape) (fun i -> i))
+    | Op.Dynamic_slice { sizes } ->
+        let in_shape = operand_shape 0 in
+        List.filter_map
+          (fun d ->
+            if sizes.(d) = in_shape.(d) then
+              let o = none () in
+              o.(0) <- Some d;
+              Some (rule o [| Action.Tile d |])
+            else None)
+          (List.init (Shape.rank in_shape) (fun i -> i))
+    | Op.Dynamic_update_slice ->
+        let in_shape = operand_shape 0 in
+        let upd_shape = operand_shape 1 in
+        List.filter_map
+          (fun d ->
+            if upd_shape.(d) = in_shape.(d) then begin
+              let o = none () in
+              o.(0) <- Some d;
+              o.(1) <- Some d;
+              Some (rule o [| Action.Tile d |])
+            end
+            else None)
+          (List.init (Shape.rank in_shape) (fun i -> i))
+    | Op.Take { axis } ->
+        let in_shape = operand_shape 0 in
+        let idx_rank = Shape.rank (operand_shape 1) in
+        let operand_rules =
+          List.filter_map
+            (fun i ->
+              if i = axis then None
+              else begin
+                let mapped = if i < axis then i else i + idx_rank - 1 in
+                let o = none () in
+                o.(0) <- Some i;
+                Some (rule o [| Action.Tile mapped |])
+              end)
+            (List.init (Shape.rank in_shape) (fun i -> i))
+        in
+        let index_rules =
+          List.map
+            (fun j ->
+              let o = none () in
+              o.(1) <- Some j;
+              rule o [| Action.Tile (axis + j) |])
+            (List.init idx_rank (fun i -> i))
+        in
+        operand_rules @ index_rules
+    | Op.Scatter_add { axis } ->
+        let in_shape = operand_shape 0 in
+        let idx_rank = Shape.rank (operand_shape 1) in
+        let operand_rules =
+          List.filter_map
+            (fun i ->
+              if i = axis then None
+              else begin
+                let mapped = if i < axis then i else i + idx_rank - 1 in
+                let o = none () in
+                o.(0) <- Some i;
+                o.(2) <- Some mapped;
+                Some (rule o [| Action.Tile i |])
+              end)
+            (List.init (Shape.rank in_shape) (fun i -> i))
+        in
+        let edge_rules =
+          (* Sharding the scattered updates produces partial sums — a valid
+             homomorphism only when the accumulator is zero (otherwise it
+             would be counted once per shard): the GNS edge-sharding
+             pattern, where the aggregation buffer is a zero splat. *)
+          if operand_is_zero 0 then
+            List.map
+              (fun j ->
+                let o = none () in
+                o.(1) <- Some j;
+                o.(2) <- Some (axis + j);
+                rule o [| Action.Reduce Op.Rsum |])
+              (List.init idx_rank (fun i -> i))
+          else []
+        in
+        operand_rules @ edge_rules
+    | Op.Conv2d _ ->
+        let batch =
+          let o = none () in
+          o.(0) <- Some 0;
+          rule o [| Action.Tile 0 |]
+        in
+        let out_channels =
+          let o = none () in
+          o.(1) <- Some 3;
+          rule o [| Action.Tile 3 |]
+        in
+        let contraction =
+          let o = none () in
+          o.(0) <- Some 3;
+          o.(1) <- Some 2;
+          rule o [| Action.Reduce Op.Rsum |]
+        in
+        [ batch; out_channels; contraction ]
+    | Op.Conv2d_input_grad _ ->
+        (* operands: grad_out (NHWC over co), kernel (HWIO); result NHWC ci *)
+        let batch =
+          let o = none () in
+          o.(0) <- Some 0;
+          rule o [| Action.Tile 0 |]
+        in
+        let in_channels =
+          let o = none () in
+          o.(1) <- Some 2;
+          rule o [| Action.Tile 3 |]
+        in
+        let contraction =
+          let o = none () in
+          o.(0) <- Some 3;
+          o.(1) <- Some 3;
+          rule o [| Action.Reduce Op.Rsum |]
+        in
+        [ batch; in_channels; contraction ]
+    | Op.Conv2d_kernel_grad _ ->
+        (* operands: input (NHWC), grad_out (NHWC); result HWIO *)
+        let contraction =
+          let o = none () in
+          o.(0) <- Some 0;
+          o.(1) <- Some 0;
+          rule o [| Action.Reduce Op.Rsum |]
+        in
+        let in_channels =
+          let o = none () in
+          o.(0) <- Some 3;
+          rule o [| Action.Tile 2 |]
+        in
+        let out_channels =
+          let o = none () in
+          o.(1) <- Some 3;
+          rule o [| Action.Tile 3 |]
+        in
+        [ contraction; in_channels; out_channels ]
+    | Op.Constant _ | Op.Iota _ | Op.For _ | Op.All_reduce _ | Op.All_gather _
+    | Op.All_slice _ | Op.Reduce_scatter _ | Op.All_to_all _ ->
+        []
+  in
+  List.filter legal raw

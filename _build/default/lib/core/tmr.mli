@@ -1,0 +1,31 @@
+(** The tile-mapping registry (TMR).
+
+    For every tensor op, the TMR encodes its linear-algebra homomorphisms as
+    rules [t1,..,tn -> s1,..,sk]: the op can be rewritten as a loop with
+    result actions [s1..sk] if its operands are sliced according to
+    [t1..tn] (a missing [ti] means the operand is used whole). The
+    propagation pass is generic over ops: it only consults this registry
+    (paper §5.2.1). *)
+
+type rule = {
+  operand_dims : int option array;
+  result_actions : Action.t array;
+}
+
+val rules_for :
+  ?operand_is_zero:(int -> bool) ->
+  axis_size:int ->
+  Partir_hlo.Op.t ->
+  rule list
+(** All rules applicable to a concrete op instance when looping over an
+    axis of [axis_size] devices. Rules whose sliced dimensions are not
+    divisible by [axis_size] are filtered out (the paper's padding
+    limitation, §8). [For] and collective ops have no rules.
+
+    [operand_is_zero k] reports whether operand [k] is known to be a zero
+    splat; scatter_add's update-sharding homomorphism (partial sums of the
+    accumulator) is only linear when the accumulator is zero, so that rule
+    is guarded on it. *)
+
+val rule_to_string : rule -> string
+val rule_equal : rule -> rule -> bool

@@ -1,0 +1,1 @@
+lib/gspmd/gspmd.ml: List Partir_core Partir_spmd Printf Propagate Staged

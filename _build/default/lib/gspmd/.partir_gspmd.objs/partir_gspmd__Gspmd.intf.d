@@ -1,0 +1,1 @@
+lib/gspmd/gspmd.mli: Partir_core Partir_hlo Partir_mesh Partir_spmd

@@ -1,0 +1,21 @@
+open Partir_core
+
+type annotation = { name : string; dim : int; axis : string }
+
+let apply_annotation staged { name; dim; axis } =
+  match Staged.find_value staged name with
+  | Some v -> ignore (Staged.tile staged ~value:v ~dim ~axis)
+  | None ->
+      raise
+        (Staged.Action_error
+           (Printf.sprintf "gspmd: no value named %S to annotate" name))
+
+let partition ~variant ?(internal = []) ?ties mesh f annotations =
+  let staged = Staged.of_func mesh f in
+  List.iter (apply_annotation staged) annotations;
+  (match variant with
+  | `Expert -> List.iter (apply_annotation staged) internal
+  | `No_internal -> ());
+  let conflicts = Propagate.run ~resolve_conflicts:true staged in
+  let program = Partir_spmd.Lower.lower ?ties staged in
+  (program, conflicts)

@@ -1,0 +1,27 @@
+(** GSPMD-style baseline partitioner (see DESIGN.md §1).
+
+    GSPMD propagates sharding annotations through the module in one pass
+    and resolves propagation conflicts with tuned internal heuristics,
+    optionally guided by expert sharding constraints baked into the model
+    (annotations on internal, named values). This baseline shares PartIR's
+    linear-algebra-homomorphism registry and SPMD lowering, so Figure 7's
+    comparison isolates exactly the conflict-handling regime:
+
+    - [`Expert]: input annotations + internal constraints, conflicts
+      resolved heuristically ("GSPMD" in §7.4);
+    - [`No_internal]: input annotations only, conflicts resolved
+      heuristically ("GSPMD--" in §7.4). *)
+
+type annotation = { name : string; dim : int; axis : string }
+
+val partition :
+  variant:[ `Expert | `No_internal ] ->
+  ?internal:annotation list ->
+  ?ties:(int * int) list ->
+  Partir_mesh.Mesh.t ->
+  Partir_hlo.Func.t ->
+  annotation list ->
+  Partir_spmd.Lower.program * Partir_core.Propagate.conflict list
+(** [partition ~variant mesh f input_annotations]: apply every annotation at
+    once (no incrementality), propagate with heuristic conflict resolution,
+    lower. [internal] constraints are only applied for [`Expert]. *)

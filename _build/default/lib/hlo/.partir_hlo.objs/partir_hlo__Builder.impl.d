@@ -1,0 +1,1 @@
+lib/hlo/builder.ml: Array Dtype Func List Literal Op Partir_tensor Shape Value

@@ -1,0 +1,1 @@
+lib/hlo/builder.mli: Dtype Func Literal Op Partir_tensor Shape Value

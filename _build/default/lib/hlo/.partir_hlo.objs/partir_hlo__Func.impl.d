@@ -1,0 +1,1 @@
+lib/hlo/func.ml: Format List Op Option Value

@@ -1,0 +1,1 @@
+lib/hlo/func.mli: Op Value

@@ -1,0 +1,1 @@
+lib/hlo/interp.ml: Array Dtype Float Format Func Hashtbl List Literal Op Partir_tensor Shape Stdlib Value

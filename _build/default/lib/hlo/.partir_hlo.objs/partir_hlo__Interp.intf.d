@@ -1,0 +1,1 @@
+lib/hlo/interp.mli: Func Literal Op Partir_tensor

@@ -1,0 +1,1 @@
+lib/hlo/op.ml: Array Dtype Format List Literal Partir_tensor Printf Shape Value

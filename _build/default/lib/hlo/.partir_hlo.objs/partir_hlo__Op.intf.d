@@ -1,0 +1,1 @@
+lib/hlo/op.mli: Dtype Literal Partir_tensor Shape Value

@@ -1,0 +1,1 @@
+lib/hlo/printer.ml: Array Format Func Hashtbl List Literal Op Partir_tensor Printf Shape String Value

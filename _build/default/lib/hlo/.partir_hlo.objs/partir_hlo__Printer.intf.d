@@ -1,0 +1,1 @@
+lib/hlo/printer.mli: Format Func Op

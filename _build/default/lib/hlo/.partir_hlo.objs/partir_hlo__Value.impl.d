@@ -1,0 +1,1 @@
+lib/hlo/value.ml: Dtype Format Int Map Partir_tensor Set Shape

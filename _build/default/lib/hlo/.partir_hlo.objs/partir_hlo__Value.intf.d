@@ -1,0 +1,1 @@
+lib/hlo/value.mli: Format Map Partir_tensor Set

@@ -1,0 +1,137 @@
+open Partir_tensor
+
+type t = {
+  name : string;
+  mutable rev_params : Value.t list;
+  mutable rev_body : Op.t list;
+}
+
+let create name = { name; rev_params = []; rev_body = [] }
+
+let param t name shape dtype =
+  let v = Value.fresh ~name (Value.ttype shape dtype) in
+  t.rev_params <- v :: t.rev_params;
+  v
+
+let push t op = t.rev_body <- op :: t.rev_body
+
+let add t kind operands =
+  let op = Op.make kind operands () in
+  push t op;
+  match op.results with
+  | [ r ] -> r
+  | _ -> invalid_arg "Builder.add: multi-result op, use add_multi"
+
+let add_named t name kind operands =
+  let op = Op.make_named name kind operands () in
+  push t op;
+  match op.results with
+  | [ r ] -> r
+  | _ -> invalid_arg "Builder.add_named: multi-result op"
+
+let add_multi t kind operands ?region () =
+  let op = Op.make kind operands ?region () in
+  push t op;
+  op.results
+
+let finish t results =
+  let f =
+    {
+      Func.name = t.name;
+      params = List.rev t.rev_params;
+      body = List.rev t.rev_body;
+      results;
+    }
+  in
+  Func.verify f;
+  f
+
+let ops t = List.rev t.rev_body
+let const t lit = add t (Op.Constant lit) []
+let scalar t ?(dtype = Dtype.F32) v = const t (Literal.scalar dtype v)
+
+let full t ?(dtype = Dtype.F32) shape v =
+  add t (Op.Splat { value = v; shape; dtype }) []
+
+let zeros t ?(dtype = Dtype.F32) shape = full t ~dtype shape 0.
+
+let splat t (v : Value.t) x =
+  add t
+    (Op.Splat { value = x; shape = v.ty.Value.shape; dtype = v.ty.Value.dtype })
+    []
+
+let bin t k a b = add t (Op.Binary k) [ a; b ]
+let add2 t = bin t Op.Add
+let sub t = bin t Op.Sub
+let mul t = bin t Op.Mul
+let div t = bin t Op.Div
+let maximum t = bin t Op.Max
+let un t k a = add t (Op.Unary k) [ a ]
+let neg t = un t Op.Neg
+let exp t = un t Op.Exp
+let log t = un t Op.Log
+let tanh t = un t Op.Tanh
+let sqrt t = un t Op.Sqrt
+let rsqrt t = un t Op.Rsqrt
+let relu t = un t Op.Relu
+let matmul t a b = add t Op.Matmul [ a; b ]
+let transpose t a perm = add t (Op.Transpose { perm }) [ a ]
+let reshape t a target = add t (Op.Reshape { target }) [ a ]
+let broadcast t a target dims = add t (Op.Broadcast { target; dims }) [ a ]
+
+let broadcast_like t small ~reduced_dims (big : Value.t) =
+  let big_shape = big.ty.Value.shape in
+  let rank = Shape.rank big_shape in
+  let kept =
+    List.filter
+      (fun i -> not (Array.exists (fun d -> d = i) reduced_dims))
+      (List.init rank (fun i -> i))
+  in
+  broadcast t small big_shape (Array.of_list kept)
+
+let reduce_sum t a dims = add t (Op.Reduce { kind = Op.Rsum; dims }) [ a ]
+let reduce_max t a dims = add t (Op.Reduce { kind = Op.Rmax; dims }) [ a ]
+
+let mul_scalar t a x =
+  let c = splat t a x in
+  mul t a c
+
+let add_scalar t a x =
+  let c = splat t a x in
+  add2 t a c
+
+let mean t (a : Value.t) dims =
+  let n =
+    Array.fold_left (fun acc d -> acc * a.ty.Value.shape.(d)) 1 dims
+  in
+  let s = reduce_sum t a dims in
+  mul_scalar t s (1. /. float_of_int n)
+
+let concat t vs dim = add t (Op.Concat { dim }) vs
+let take t a idx ~axis = add t (Op.Take { axis }) [ a; idx ]
+
+let softmax t (a : Value.t) ~dim =
+  let m = reduce_max t a [| dim |] in
+  let m = broadcast_like t m ~reduced_dims:[| dim |] a in
+  let shifted = sub t a m in
+  let e = exp t shifted in
+  let s = reduce_sum t e [| dim |] in
+  let s = broadcast_like t s ~reduced_dims:[| dim |] a in
+  div t e s
+
+let layer_norm t (a : Value.t) ~scale ~bias ~dim =
+  let mu = mean t a [| dim |] in
+  let mu = broadcast_like t mu ~reduced_dims:[| dim |] a in
+  let centered = sub t a mu in
+  let var = mean t (mul t centered centered) [| dim |] in
+  let var = broadcast_like t var ~reduced_dims:[| dim |] a in
+  let inv = rsqrt t (add_scalar t var 1e-6) in
+  let normed = mul t centered inv in
+  let rank = Shape.rank a.ty.Value.shape in
+  let scale_b = broadcast t scale a.ty.Value.shape [| rank - 1 |] in
+  let scaled = mul t normed scale_b in
+  match bias with
+  | None -> scaled
+  | Some b ->
+      let bias_b = broadcast t b a.ty.Value.shape [| rank - 1 |] in
+      add2 t scaled bias_b

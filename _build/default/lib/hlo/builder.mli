@@ -1,0 +1,63 @@
+(** Imperative construction of IR functions, playing the role of the JAX
+    tracer in the paper's stack: models are written against this API and
+    yield StableHLO-like modules. *)
+
+open Partir_tensor
+
+type t
+
+val create : string -> t
+val param : t -> string -> Shape.t -> Dtype.t -> Value.t
+val add : t -> Op.kind -> Value.t list -> Value.t
+(** Append a single-result op; returns its result. *)
+
+val add_named : t -> string -> Op.kind -> Value.t list -> Value.t
+val add_multi : t -> Op.kind -> Value.t list -> ?region:Op.region -> unit -> Value.t list
+val finish : t -> Value.t list -> Func.t
+(** Seal the function with the given results; verifies the result. *)
+
+val ops : t -> Op.t list
+(** The ops recorded so far, in program order (the tape used by autodiff). *)
+
+(** {1 Convenience combinators} *)
+
+val const : t -> Literal.t -> Value.t
+val scalar : t -> ?dtype:Dtype.t -> float -> Value.t
+val zeros : t -> ?dtype:Dtype.t -> Shape.t -> Value.t
+val full : t -> ?dtype:Dtype.t -> Shape.t -> float -> Value.t
+val splat : t -> Value.t -> float -> Value.t
+(** Constant with the shape and dtype of the given value. *)
+
+val add2 : t -> Value.t -> Value.t -> Value.t
+val sub : t -> Value.t -> Value.t -> Value.t
+val mul : t -> Value.t -> Value.t -> Value.t
+val div : t -> Value.t -> Value.t -> Value.t
+val maximum : t -> Value.t -> Value.t -> Value.t
+val neg : t -> Value.t -> Value.t
+val exp : t -> Value.t -> Value.t
+val log : t -> Value.t -> Value.t
+val tanh : t -> Value.t -> Value.t
+val sqrt : t -> Value.t -> Value.t
+val rsqrt : t -> Value.t -> Value.t
+val relu : t -> Value.t -> Value.t
+val matmul : t -> Value.t -> Value.t -> Value.t
+val transpose : t -> Value.t -> int array -> Value.t
+val reshape : t -> Value.t -> Shape.t -> Value.t
+val broadcast : t -> Value.t -> Shape.t -> int array -> Value.t
+val broadcast_like : t -> Value.t -> reduced_dims:int array -> Value.t -> Value.t
+(** [broadcast_like b small ~reduced_dims big]: re-expand a reduction result
+    back to [big]'s shape (the dual of [reduce ~dims:reduced_dims]). *)
+
+val reduce_sum : t -> Value.t -> int array -> Value.t
+val reduce_max : t -> Value.t -> int array -> Value.t
+val mean : t -> Value.t -> int array -> Value.t
+val concat : t -> Value.t list -> int -> Value.t
+val take : t -> Value.t -> Value.t -> axis:int -> Value.t
+val mul_scalar : t -> Value.t -> float -> Value.t
+val add_scalar : t -> Value.t -> float -> Value.t
+val softmax : t -> Value.t -> dim:int -> Value.t
+(** Numerically stabilized softmax along [dim], composed from primitives. *)
+
+val layer_norm : t -> Value.t -> scale:Value.t -> bias:Value.t option -> dim:int -> Value.t
+(** Layer normalization over [dim] with a learned scale (and optional bias),
+    composed from primitives. *)

@@ -1,0 +1,127 @@
+type t = {
+  name : string;
+  params : Value.t list;
+  body : Op.t list;
+  results : Value.t list;
+}
+
+exception Verification_error of string
+
+let verification_errorf fmt =
+  Format.kasprintf (fun s -> raise (Verification_error s)) fmt
+
+let rec verify_ops ~defined ~where (ops : Op.t list) =
+  List.fold_left
+    (fun defined (op : Op.t) ->
+      List.iter
+        (fun (v : Value.t) ->
+          if not (Value.Set.mem v.id defined) then
+            verification_errorf "%s: operand %%%d (%s) of %s used before def"
+              where v.id v.name (Op.kind_name op.kind))
+        op.operands;
+      let inferred =
+        try
+          Op.infer op.kind
+            (List.map (fun (v : Value.t) -> v.Value.ty) op.operands)
+            op.region
+        with Op.Type_error msg ->
+          verification_errorf "%s: %s: %s" where (Op.kind_name op.kind) msg
+      in
+      if List.length inferred <> List.length op.results then
+        verification_errorf "%s: %s: result arity mismatch" where
+          (Op.kind_name op.kind);
+      List.iter2
+        (fun ty (v : Value.t) ->
+          if not (Value.ttype_equal ty v.ty) then
+            verification_errorf "%s: %s: result %%%d type mismatch" where
+              (Op.kind_name op.kind) v.id)
+        inferred op.results;
+      (match op.region with
+      | None -> ()
+      | Some r ->
+          let region_defined =
+            List.fold_left
+              (fun acc (v : Value.t) -> Value.Set.add v.id acc)
+              Value.Set.empty r.params
+          in
+          let region_defined =
+            verify_ops ~defined:region_defined
+              ~where:(where ^ "/" ^ Op.kind_name op.kind)
+              r.body
+          in
+          List.iter
+            (fun (v : Value.t) ->
+              if not (Value.Set.mem v.id region_defined) then
+                verification_errorf "%s: region yield %%%d undefined" where
+                  v.id)
+            r.yields);
+      List.fold_left
+        (fun acc (v : Value.t) ->
+          if Value.Set.mem v.id acc then
+            verification_errorf "%s: duplicate definition of %%%d" where v.id
+          else Value.Set.add v.id acc)
+        defined op.results)
+    defined ops
+
+let verify t =
+  let defined =
+    List.fold_left
+      (fun acc (v : Value.t) -> Value.Set.add v.id acc)
+      Value.Set.empty t.params
+  in
+  let defined = verify_ops ~defined ~where:t.name t.body in
+  List.iter
+    (fun (v : Value.t) ->
+      if not (Value.Set.mem v.id defined) then
+        verification_errorf "%s: result %%%d undefined" t.name v.id)
+    t.results
+
+let defs t =
+  List.fold_left
+    (fun acc (op : Op.t) ->
+      List.fold_left
+        (fun (acc, i) (v : Value.t) -> (Value.Map.add v.id (op, i) acc, i + 1))
+        (acc, 0) op.results
+      |> fst)
+    Value.Map.empty t.body
+
+let param_index t id =
+  let rec go i = function
+    | [] -> None
+    | (v : Value.t) :: rest -> if v.id = id then Some i else go (i + 1) rest
+  in
+  go 0 t.params
+
+let find_param t name =
+  List.find (fun (v : Value.t) -> v.name = name) t.params
+
+let rec op_count_ops ops =
+  List.fold_left
+    (fun acc (op : Op.t) ->
+      acc + 1
+      + match op.region with None -> 0 | Some r -> op_count_ops r.body)
+    0 ops
+
+let op_count t = op_count_ops t.body
+
+let flops t = List.fold_left (fun acc op -> acc +. Op.flops op) 0. t.body
+
+let uses t =
+  List.fold_left
+    (fun acc (op : Op.t) ->
+      List.fold_left
+        (fun (acc, i) (v : Value.t) ->
+          let prev = Option.value ~default:[] (Value.Map.find_opt v.id acc) in
+          (Value.Map.add v.id ((op, i) :: prev) acc, i + 1))
+        (acc, 0) op.operands
+      |> fst)
+    Value.Map.empty t.body
+
+let result_index t id =
+  let rec go i = function
+    | [] -> None
+    | (v : Value.t) :: rest -> if v.id = id then Some i else go (i + 1) rest
+  in
+  go 0 t.results
+
+let map_body f t = { t with body = f t.body }

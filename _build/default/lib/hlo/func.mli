@@ -1,0 +1,39 @@
+(** Functions (modules) of the tensor IR: a named parameter list, a
+    straight-line body in SSA form, and result values. *)
+
+type t = {
+  name : string;
+  params : Value.t list;
+  body : Op.t list;
+  results : Value.t list;
+}
+
+exception Verification_error of string
+
+val verify : t -> unit
+(** Check SSA well-formedness: every operand is defined before use, result
+    ids are unique, regions are closed over their parameters, and op result
+    types agree with {!Op.infer}. Raises {!Verification_error}. *)
+
+val defs : t -> (Op.t * int) Value.Map.t
+(** Map from value id to its defining op and result index (params absent). *)
+
+val param_index : t -> int -> int option
+(** Position of a value id in the parameter list, if it is a parameter. *)
+
+val find_param : t -> string -> Value.t
+(** Find a parameter by name. Raises [Not_found]. *)
+
+val flops : t -> float
+val op_count : t -> int
+(** Number of ops including region bodies (each counted once, not weighted
+    by trip counts). *)
+
+val uses : t -> (Op.t * int) list Value.Map.t
+(** Map from value id to the list of (op, operand index) uses in the
+    top-level body (region-internal uses are not included). *)
+
+val result_index : t -> int -> int option
+(** Position of a value id in the result list, if it is a result. *)
+
+val map_body : (Op.t list -> Op.t list) -> t -> t

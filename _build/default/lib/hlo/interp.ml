@@ -1,0 +1,148 @@
+open Partir_tensor
+
+exception Runtime_error of string
+
+let runtime_errorf fmt =
+  Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
+
+let unary_fn : Op.unary_kind -> float -> float = function
+  | Op.Neg -> fun x -> -.x
+  | Op.Exp -> Stdlib.exp
+  | Op.Log -> Stdlib.log
+  | Op.Tanh -> Stdlib.tanh
+  | Op.Sqrt -> Stdlib.sqrt
+  | Op.Rsqrt -> fun x -> 1. /. Stdlib.sqrt x
+  | Op.Relu -> fun x -> Float.max 0. x
+  | Op.Abs -> Float.abs
+  | Op.Sign -> fun x -> if x > 0. then 1. else if x < 0. then -1. else 0.
+
+let binary_fn : Op.binary_kind -> float -> float -> float = function
+  | Op.Add -> ( +. )
+  | Op.Sub -> ( -. )
+  | Op.Mul -> ( *. )
+  | Op.Div -> ( /. )
+  | Op.Max -> Float.max
+  | Op.Min -> Float.min
+  | Op.Pow -> Float.pow
+
+let compare_fn : Op.compare_kind -> float -> float -> bool = function
+  | Op.Eq -> ( = )
+  | Op.Ne -> ( <> )
+  | Op.Lt -> ( < )
+  | Op.Le -> ( <= )
+  | Op.Gt -> ( > )
+  | Op.Ge -> ( >= )
+
+let int_of_scalar (l : Literal.t) = int_of_float (Float.round l.Literal.data.(0))
+
+let eval_kind (kind : Op.kind) (args : Literal.t list) : Literal.t list =
+  match (kind, args) with
+  | Op.Constant lit, [] -> [ lit ]
+  | Op.Splat { value; shape; dtype }, [] -> [ Literal.full dtype shape value ]
+  | Op.Iota _, [] -> [ Literal.scalar Dtype.I32 0. ]
+  | Op.Identity, [ x ] -> [ x ]
+  | Op.Unary u, [ x ] -> [ Literal.map (unary_fn u) x ]
+  | Op.Binary b, [ x; y ] -> [ Literal.map2 (binary_fn b) x y ]
+  | Op.Compare c, [ x; y ] ->
+      let f = compare_fn c in
+      [ Literal.map2 (fun a b -> if f a b then 1. else 0.) x y ]
+  | Op.Select, [ p; a; b ] -> [ Literal.select p a b ]
+  | Op.Matmul, [ a; b ] -> [ Literal.matmul a b ]
+  | Op.Transpose { perm }, [ a ] -> [ Literal.transpose a perm ]
+  | Op.Reshape { target }, [ a ] -> [ Literal.reshape a target ]
+  | Op.Broadcast { target; dims }, [ a ] ->
+      [ Literal.broadcast_in_dim a target dims ]
+  | Op.Reduce { kind = rk; dims }, [ a ] ->
+      let k =
+        match rk with Op.Rsum -> `Sum | Op.Rmax -> `Max | Op.Rmin -> `Min
+      in
+      [ Literal.reduce k a dims ]
+  | Op.Concat { dim }, parts -> [ Literal.concat parts dim ]
+  | Op.Slice { starts; limits }, [ a ] -> [ Literal.slice a ~starts ~limits ]
+  | Op.Dynamic_slice { sizes }, a :: starts ->
+      let starts = Array.of_list (List.map int_of_scalar starts) in
+      [ Literal.dynamic_slice a ~starts ~sizes ]
+  | Op.Dynamic_update_slice, a :: upd :: starts ->
+      let starts = Array.of_list (List.map int_of_scalar starts) in
+      [ Literal.dynamic_update_slice a upd ~starts ]
+  | Op.Pad { low; high; value }, [ a ] -> [ Literal.pad a ~low ~high ~value ]
+  | Op.Take { axis }, [ a; idx ] -> [ Literal.take a idx ~axis ]
+  | Op.Scatter_add { axis }, [ a; idx; upd ] ->
+      [ Literal.scatter_add a idx upd ~axis ]
+  | Op.Conv2d { stride; padding }, [ x; k ] ->
+      [ Literal.conv2d x k ~stride ~padding ]
+  | Op.Conv2d_input_grad { input_shape; stride; padding }, [ g; k ] ->
+      [ Literal.conv2d_input_grad g k ~input_shape ~stride ~padding ]
+  | Op.Conv2d_kernel_grad { kernel_shape; stride; padding }, [ x; g ] ->
+      [ Literal.conv2d_kernel_grad x g ~kernel_shape ~stride ~padding ]
+  | Op.For _, _ -> runtime_errorf "eval_kind: For requires region evaluation"
+  | (Op.All_reduce _ | Op.All_gather _ | Op.All_slice _ | Op.Reduce_scatter _
+    | Op.All_to_all _), _ ->
+      runtime_errorf
+        "eval_kind: collective ops require the SPMD interpreter (device \
+         context)"
+  | k, _ ->
+      runtime_errorf "eval_kind: bad arity for %s (%d operands)"
+        (Op.kind_name k) (List.length args)
+
+let rec eval_ops env (ops : Op.t list) =
+  List.iter
+    (fun (op : Op.t) ->
+      let args =
+        List.map
+          (fun (v : Value.t) ->
+            match Hashtbl.find_opt env v.Value.id with
+            | Some l -> l
+            | None -> runtime_errorf "unbound value %%%d" v.Value.id)
+          op.operands
+      in
+      let results =
+        match op.kind with
+        | Op.For { trip_count; n_carries } -> (
+            match op.region with
+            | None -> runtime_errorf "For without region"
+            | Some r ->
+                let carries = ref (List.filteri (fun i _ -> i < n_carries) args) in
+                let invariants =
+                  List.filteri (fun i _ -> i >= n_carries) args
+                in
+                for step = 0 to trip_count - 1 do
+                  let inner = Hashtbl.copy env in
+                  (match r.params with
+                  | iter :: rest ->
+                      Hashtbl.replace inner iter.Value.id
+                        (Literal.scalar Dtype.I32 (float_of_int step));
+                      List.iter2
+                        (fun (p : Value.t) l -> Hashtbl.replace inner p.Value.id l)
+                        rest (!carries @ invariants)
+                  | [] -> runtime_errorf "For region without params");
+                  eval_ops inner r.body;
+                  carries :=
+                    List.map
+                      (fun (y : Value.t) -> Hashtbl.find inner y.Value.id)
+                      r.yields
+                done;
+                !carries)
+        | kind -> eval_kind kind args
+      in
+      List.iter2
+        (fun (v : Value.t) l -> Hashtbl.replace env v.Value.id l)
+        op.results results)
+    ops
+
+let run (f : Func.t) (args : Literal.t list) =
+  if List.length args <> List.length f.params then
+    runtime_errorf "run %s: expected %d arguments, got %d" f.name
+      (List.length f.params) (List.length args);
+  let env = Hashtbl.create 256 in
+  List.iter2
+    (fun (p : Value.t) (l : Literal.t) ->
+      if not (Shape.equal p.ty.Value.shape l.Literal.shape) then
+        runtime_errorf "run %s: argument %s has shape %s, expected %s" f.name
+          p.name
+          (Shape.to_string l.Literal.shape)
+          (Shape.to_string p.ty.Value.shape);
+      Hashtbl.replace env p.id l)
+    f.params args;
+  eval_ops env f.body;
+  List.map (fun (v : Value.t) -> Hashtbl.find env v.Value.id) f.results

@@ -1,0 +1,16 @@
+(** Reference interpreter: sequential, single-device semantics of IR
+    functions over dense literals. This is the oracle every partitioning
+    transform is differentially tested against. *)
+
+open Partir_tensor
+
+exception Runtime_error of string
+
+val run : Func.t -> Literal.t list -> Literal.t list
+(** Evaluate a function on literal arguments (one per parameter, in order).
+    Raises {!Runtime_error} on arity/shape mismatches. *)
+
+val eval_kind : Op.kind -> Literal.t list -> Literal.t list
+(** Evaluate a single region-free op kind on literal operands. Used by the
+    temporal and SPMD interpreters to share device-local semantics.
+    Raises {!Runtime_error} for region-bearing kinds ([For]). *)

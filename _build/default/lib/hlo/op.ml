@@ -1,0 +1,457 @@
+open Partir_tensor
+
+type unary_kind =
+  | Neg
+  | Exp
+  | Log
+  | Tanh
+  | Sqrt
+  | Rsqrt
+  | Relu
+  | Abs
+  | Sign
+
+type binary_kind = Add | Sub | Mul | Div | Max | Min | Pow
+type compare_kind = Eq | Ne | Lt | Le | Gt | Ge
+type reduce_kind = Rsum | Rmax | Rmin
+
+type kind =
+  | Constant of Literal.t
+  | Splat of { value : float; shape : Shape.t; dtype : Dtype.t }
+  | Iota of { dim : int }
+  | Identity
+  | Unary of unary_kind
+  | Binary of binary_kind
+  | Compare of compare_kind
+  | Select
+  | Matmul
+  | Transpose of { perm : int array }
+  | Reshape of { target : Shape.t }
+  | Broadcast of { target : Shape.t; dims : int array }
+  | Reduce of { kind : reduce_kind; dims : int array }
+  | Concat of { dim : int }
+  | Slice of { starts : int array; limits : int array }
+  | Dynamic_slice of { sizes : int array }
+  | Dynamic_update_slice
+  | Pad of { low : int array; high : int array; value : float }
+  | Take of { axis : int }
+  | Scatter_add of { axis : int }
+  | Conv2d of { stride : int; padding : int }
+  | Conv2d_input_grad of { input_shape : Shape.t; stride : int; padding : int }
+  | Conv2d_kernel_grad of { kernel_shape : Shape.t; stride : int; padding : int }
+  | For of { trip_count : int; n_carries : int }
+  | All_reduce of { axes : (string * int) list; reduce : reduce_kind }
+  | All_gather of { dim_axes : (string * int) list array }
+  | All_slice of { dim_axes : (string * int) list array }
+  | Reduce_scatter of {
+      reduce : reduce_kind;
+      dim_axes : (string * int) list array;
+    }
+  | All_to_all of { src_dim : int; dst_dim : int; axes : (string * int) list }
+
+type t = {
+  id : int;
+  kind : kind;
+  operands : Value.t list;
+  results : Value.t list;
+  region : region option;
+}
+
+and region = { params : Value.t list; body : t list; yields : Value.t list }
+
+exception Type_error of string
+
+let type_errorf fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+
+let kind_name = function
+  | Constant _ -> "constant"
+  | Splat _ -> "splat"
+  | Iota _ -> "iota"
+  | Identity -> "identity"
+  | Unary Neg -> "neg"
+  | Unary Exp -> "exp"
+  | Unary Log -> "log"
+  | Unary Tanh -> "tanh"
+  | Unary Sqrt -> "sqrt"
+  | Unary Rsqrt -> "rsqrt"
+  | Unary Relu -> "relu"
+  | Unary Abs -> "abs"
+  | Unary Sign -> "sign"
+  | Binary Add -> "add"
+  | Binary Sub -> "sub"
+  | Binary Mul -> "mul"
+  | Binary Div -> "div"
+  | Binary Max -> "max"
+  | Binary Min -> "min"
+  | Binary Pow -> "pow"
+  | Compare _ -> "compare"
+  | Select -> "select"
+  | Matmul -> "matmul"
+  | Transpose _ -> "transpose"
+  | Reshape _ -> "reshape"
+  | Broadcast _ -> "broadcast"
+  | Reduce { kind = Rsum; _ } -> "reduce_sum"
+  | Reduce { kind = Rmax; _ } -> "reduce_max"
+  | Reduce { kind = Rmin; _ } -> "reduce_min"
+  | Concat _ -> "concat"
+  | Slice _ -> "slice"
+  | Dynamic_slice _ -> "dynamic_slice"
+  | Dynamic_update_slice -> "dynamic_update_slice"
+  | Pad _ -> "pad"
+  | Take _ -> "take"
+  | Scatter_add _ -> "scatter_add"
+  | Conv2d _ -> "conv2d"
+  | Conv2d_input_grad _ -> "conv2d_input_grad"
+  | Conv2d_kernel_grad _ -> "conv2d_kernel_grad"
+  | For _ -> "for"
+  | All_reduce _ -> "all_reduce"
+  | All_gather _ -> "all_gather"
+  | All_slice _ -> "all_slice"
+  | Reduce_scatter _ -> "reduce_scatter"
+  | All_to_all _ -> "all_to_all"
+
+let is_elementwise = function
+  | Identity | Unary _ | Binary _ | Compare _ | Select -> true
+  | _ -> false
+
+let scalar_ty dtype = Value.ttype Shape.scalar dtype
+
+let check_same_shapes name tys =
+  match tys with
+  | [] -> ()
+  | first :: rest ->
+      List.iter
+        (fun (ty : Value.ttype) ->
+          if not (Shape.equal ty.Value.shape first.Value.shape) then
+            type_errorf "%s: operand shapes differ (%a vs %a)" name
+              Shape.pp first.shape Shape.pp ty.shape)
+        rest
+
+let infer kind (operands : Value.ttype list) region : Value.ttype list =
+  let arity_error name expected =
+    type_errorf "%s: expected %s operands, got %d" name expected
+      (List.length operands)
+  in
+  match (kind, operands) with
+  | Constant lit, [] -> [ Value.ttype lit.Literal.shape lit.Literal.dtype ]
+  | Constant _, _ -> arity_error "constant" "0"
+  | Splat { shape; dtype; _ }, [] -> [ Value.ttype shape dtype ]
+  | Splat _, _ -> arity_error "splat" "0"
+  | Iota { dim }, [] ->
+      (* Shape must come from somewhere: Iota is created through [Builder]
+         which encodes its shape in a Constant-free manner; we require the
+         shape via a broadcast of a constant instead, so plain Iota here is a
+         scalar counter (used as the For induction variable). *)
+      if dim <> 0 then type_errorf "iota: scalar iota must use dim 0";
+      [ scalar_ty Dtype.I32 ]
+  | Iota _, _ -> arity_error "iota" "0"
+  | Identity, [ ty ] -> [ ty ]
+  | Identity, _ -> arity_error "identity" "1"
+  | Unary _, [ ty ] -> [ ty ]
+  | Unary u, _ -> arity_error (kind_name (Unary u)) "1"
+  | Binary b, [ a; b' ] ->
+      check_same_shapes (kind_name (Binary b)) [ a; b' ];
+      [ a ]
+  | Binary b, _ -> arity_error (kind_name (Binary b)) "2"
+  | Compare _, [ a; b ] ->
+      check_same_shapes "compare" [ a; b ];
+      [ Value.ttype a.shape Dtype.Bool ]
+  | Compare _, _ -> arity_error "compare" "2"
+  | Select, [ p; a; b ] ->
+      check_same_shapes "select" [ p; a; b ];
+      [ a ]
+  | Select, _ -> arity_error "select" "3"
+  | Matmul, [ a; b ] ->
+      let ra = Shape.rank a.shape and rb = Shape.rank b.shape in
+      if ra < 2 || ra <> rb then
+        type_errorf "matmul: ranks %d vs %d" ra rb;
+      let m = a.shape.(ra - 2)
+      and k = a.shape.(ra - 1)
+      and k' = b.shape.(rb - 2)
+      and n = b.shape.(rb - 1) in
+      let batch_a = Array.sub a.shape 0 (ra - 2) in
+      let batch_b = Array.sub b.shape 0 (rb - 2) in
+      if k <> k' || not (Shape.equal batch_a batch_b) then
+        type_errorf "matmul: incompatible %a x %a" Shape.pp a.shape Shape.pp
+          b.shape;
+      [ Value.ttype (Array.append batch_a [| m; n |]) a.dtype ]
+  | Matmul, _ -> arity_error "matmul" "2"
+  | Transpose { perm }, [ a ] ->
+      if Array.length perm <> Shape.rank a.shape then
+        type_errorf "transpose: perm rank mismatch";
+      [ Value.ttype (Shape.transpose a.shape perm) a.dtype ]
+  | Transpose _, _ -> arity_error "transpose" "1"
+  | Reshape { target }, [ a ] ->
+      if Shape.numel target <> Shape.numel a.shape then
+        type_errorf "reshape: %a -> %a" Shape.pp a.shape Shape.pp target;
+      [ Value.ttype target a.dtype ]
+  | Reshape _, _ -> arity_error "reshape" "1"
+  | Broadcast { target; dims }, [ a ] ->
+      if Array.length dims <> Shape.rank a.shape then
+        type_errorf "broadcast: dims rank mismatch";
+      Array.iteri
+        (fun i d ->
+          if d < 0 || d >= Shape.rank target then
+            type_errorf "broadcast: dim %d out of range" d;
+          if a.shape.(i) <> 1 && a.shape.(i) <> target.(d) then
+            type_errorf "broadcast: %a not broadcastable to %a" Shape.pp
+              a.shape Shape.pp target)
+        dims;
+      [ Value.ttype target a.dtype ]
+  | Broadcast _, _ -> arity_error "broadcast" "1"
+  | Reduce { dims; _ }, [ a ] ->
+      Array.iter
+        (fun d ->
+          if d < 0 || d >= Shape.rank a.shape then
+            type_errorf "reduce: dim %d out of range for %a" d Shape.pp
+              a.shape)
+        dims;
+      [ Value.ttype (Shape.remove_dims a.shape dims) a.dtype ]
+  | Reduce _, _ -> arity_error "reduce" "1"
+  | Concat { dim }, (first :: _ as all) ->
+      let rank = Shape.rank first.shape in
+      if dim < 0 || dim >= rank then type_errorf "concat: dim out of range";
+      let total =
+        List.fold_left
+          (fun acc (ty : Value.ttype) ->
+            if Shape.rank ty.shape <> rank then
+              type_errorf "concat: rank mismatch";
+            Array.iteri
+              (fun i s ->
+                if i <> dim && s <> first.shape.(i) then
+                  type_errorf "concat: non-concat dims must agree")
+              ty.shape;
+            acc + ty.shape.(dim))
+          0 all
+      in
+      [ Value.ttype (Shape.with_dim first.shape dim total) first.dtype ]
+  | Concat _, [] -> arity_error "concat" ">= 1"
+  | Slice { starts; limits }, [ a ] ->
+      let rank = Shape.rank a.shape in
+      if Array.length starts <> rank || Array.length limits <> rank then
+        type_errorf "slice: rank mismatch";
+      Array.iteri
+        (fun i s ->
+          if s < 0 || limits.(i) > a.shape.(i) || limits.(i) <= s then
+            type_errorf "slice: bad bounds at dim %d" i)
+        starts;
+      [ Value.ttype (Array.init rank (fun i -> limits.(i) - starts.(i))) a.dtype ]
+  | Slice _, _ -> arity_error "slice" "1"
+  | Dynamic_slice { sizes }, a :: starts ->
+      let rank = Shape.rank a.shape in
+      if Array.length sizes <> rank then type_errorf "dynamic_slice: sizes rank";
+      if List.length starts <> rank then
+        type_errorf "dynamic_slice: expected %d start indices" rank;
+      List.iter
+        (fun (ty : Value.ttype) ->
+          if not (Shape.is_scalar ty.shape) then
+            type_errorf "dynamic_slice: starts must be scalars")
+        starts;
+      [ Value.ttype sizes a.dtype ]
+  | Dynamic_slice _, [] -> arity_error "dynamic_slice" ">= 1"
+  | Dynamic_update_slice, a :: upd :: starts ->
+      let rank = Shape.rank a.shape in
+      if Shape.rank upd.shape <> rank then
+        type_errorf "dynamic_update_slice: rank mismatch";
+      if List.length starts <> rank then
+        type_errorf "dynamic_update_slice: expected %d start indices" rank;
+      [ a ]
+  | Dynamic_update_slice, _ -> arity_error "dynamic_update_slice" ">= 2"
+  | Pad { low; high; _ }, [ a ] ->
+      let rank = Shape.rank a.shape in
+      if Array.length low <> rank || Array.length high <> rank then
+        type_errorf "pad: rank mismatch";
+      [ Value.ttype
+          (Array.init rank (fun i -> low.(i) + a.shape.(i) + high.(i)))
+          a.dtype ]
+  | Pad _, _ -> arity_error "pad" "1"
+  | Take { axis }, [ a; idx ] ->
+      let rank = Shape.rank a.shape in
+      if axis < 0 || axis >= rank then type_errorf "take: axis out of range";
+      let out =
+        Array.concat
+          [
+            Array.sub a.shape 0 axis;
+            idx.shape;
+            Array.sub a.shape (axis + 1) (rank - axis - 1);
+          ]
+      in
+      [ Value.ttype out a.dtype ]
+  | Take _, _ -> arity_error "take" "2"
+  | Scatter_add { axis }, [ a; idx; upd ] ->
+      let rank = Shape.rank a.shape in
+      if axis < 0 || axis >= rank then
+        type_errorf "scatter_add: axis out of range";
+      let expected =
+        Array.concat
+          [
+            Array.sub a.shape 0 axis;
+            idx.shape;
+            Array.sub a.shape (axis + 1) (rank - axis - 1);
+          ]
+      in
+      if not (Shape.equal expected upd.shape) then
+        type_errorf "scatter_add: updates shape %a, expected %a" Shape.pp
+          upd.shape Shape.pp expected;
+      [ a ]
+  | Scatter_add _, _ -> arity_error "scatter_add" "3"
+  | Conv2d { stride; padding }, [ x; k ] ->
+      if Shape.rank x.shape <> 4 || Shape.rank k.shape <> 4 then
+        type_errorf "conv2d: expects rank-4 NHWC and HWIO";
+      if x.shape.(3) <> k.shape.(2) then
+        type_errorf "conv2d: channel mismatch (%d vs %d)" x.shape.(3)
+          k.shape.(2);
+      let oh = ((x.shape.(1) + (2 * padding) - k.shape.(0)) / stride) + 1 in
+      let ow = ((x.shape.(2) + (2 * padding) - k.shape.(1)) / stride) + 1 in
+      [ Value.ttype [| x.shape.(0); oh; ow; k.shape.(3) |] x.dtype ]
+  | Conv2d _, _ -> arity_error "conv2d" "2"
+  | Conv2d_input_grad { input_shape; _ }, [ g; _k ] ->
+      [ Value.ttype input_shape g.dtype ]
+  | Conv2d_input_grad _, _ -> arity_error "conv2d_input_grad" "2"
+  | Conv2d_kernel_grad { kernel_shape; _ }, [ x; _g ] ->
+      [ Value.ttype kernel_shape x.dtype ]
+  | Conv2d_kernel_grad _, _ -> arity_error "conv2d_kernel_grad" "2"
+  | For { n_carries; _ }, all -> (
+      if List.length all < n_carries then
+        type_errorf "for: fewer operands than carries";
+      match region with
+      | None -> type_errorf "for: missing region"
+      | Some r ->
+          if List.length r.params <> 1 + List.length all then
+            type_errorf "for: region params must be iter :: operands";
+          if List.length r.yields <> n_carries then
+            type_errorf "for: region must yield one value per carry";
+          List.filteri (fun i _ -> i < n_carries) all)
+  | All_reduce _, [ a ] -> [ a ]
+  | All_reduce _, _ -> arity_error "all_reduce" "1"
+  | All_gather { dim_axes }, [ a ] ->
+      let rank = Shape.rank a.shape in
+      if Array.length dim_axes <> rank then
+        type_errorf "all_gather: dim_axes rank mismatch";
+      [ Value.ttype
+          (Array.init rank (fun i ->
+               a.shape.(i)
+               * List.fold_left (fun acc (_, s) -> acc * s) 1 dim_axes.(i)))
+          a.dtype ]
+  | All_gather _, _ -> arity_error "all_gather" "1"
+  | All_slice { dim_axes }, [ a ] ->
+      let rank = Shape.rank a.shape in
+      if Array.length dim_axes <> rank then
+        type_errorf "all_slice: dim_axes rank mismatch";
+      [ Value.ttype
+          (Array.init rank (fun i ->
+               let p =
+                 List.fold_left (fun acc (_, s) -> acc * s) 1 dim_axes.(i)
+               in
+               if a.shape.(i) mod p <> 0 then
+                 type_errorf "all_slice: dim %d (%d) not divisible by %d" i
+                   a.shape.(i) p
+               else a.shape.(i) / p))
+          a.dtype ]
+  | All_slice _, _ -> arity_error "all_slice" "1"
+  | Reduce_scatter { dim_axes; _ }, [ a ] ->
+      let rank = Shape.rank a.shape in
+      if Array.length dim_axes <> rank then
+        type_errorf "reduce_scatter: dim_axes rank mismatch";
+      [ Value.ttype
+          (Array.init rank (fun i ->
+               let p =
+                 List.fold_left (fun acc (_, s) -> acc * s) 1 dim_axes.(i)
+               in
+               if a.shape.(i) mod p <> 0 then
+                 type_errorf "reduce_scatter: dim %d not divisible" i
+               else a.shape.(i) / p))
+          a.dtype ]
+  | Reduce_scatter _, _ -> arity_error "reduce_scatter" "1"
+  | All_to_all { src_dim; dst_dim; axes }, [ a ] ->
+      let p = List.fold_left (fun acc (_, s) -> acc * s) 1 axes in
+      let rank = Shape.rank a.shape in
+      if src_dim < 0 || src_dim >= rank || dst_dim < 0 || dst_dim >= rank then
+        type_errorf "all_to_all: dims out of range";
+      if a.shape.(dst_dim) mod p <> 0 then
+        type_errorf "all_to_all: dst dim not divisible";
+      let s = Array.copy a.shape in
+      s.(src_dim) <- s.(src_dim) * p;
+      s.(dst_dim) <- s.(dst_dim) / p;
+      [ Value.ttype s a.dtype ]
+  | All_to_all _, _ -> arity_error "all_to_all" "1"
+
+let make kind operands ?region () =
+  let tys =
+    infer kind (List.map (fun (v : Value.t) -> v.ty) operands) region
+  in
+  let base = kind_name kind in
+  let results =
+    List.mapi
+      (fun i ty ->
+        let name = if List.length tys = 1 then base else Printf.sprintf "%s_%d" base i in
+        Value.fresh ~name ty)
+      tys
+  in
+  { id = (Value.fresh (scalar_ty Dtype.I32)).id; kind; operands; results; region }
+
+let make_named name kind operands ?region () =
+  let op = make kind operands ?region () in
+  match op.results with
+  | [] -> op
+  | r :: rest -> { op with results = { r with name } :: rest }
+
+let rec flops (op : t) =
+  let out_numel () =
+    List.fold_left
+      (fun acc (v : Value.t) -> acc + Shape.numel v.ty.Value.shape)
+      0 op.results
+    |> float_of_int
+  in
+  match op.kind with
+  | Constant _ | Splat _ | Iota _ | Identity | Transpose _ | Reshape _
+  | Broadcast _ | Concat _ | Slice _ | Dynamic_slice _ | Dynamic_update_slice
+  | Pad _ | Take _ | All_reduce _ | All_gather _ | All_slice _
+  | Reduce_scatter _ | All_to_all _ ->
+      (* Communication cost is accounted by the simulator, not as flops. *)
+      0.
+  | Unary _ | Binary _ | Compare _ | Select -> out_numel ()
+  | Scatter_add _ -> (
+      match op.operands with
+      | [ _; _; upd ] -> float_of_int (Shape.numel upd.ty.Value.shape)
+      | _ -> 0.)
+  | Reduce _ -> (
+      match op.operands with
+      | [ a ] -> float_of_int (Shape.numel a.ty.Value.shape)
+      | _ -> 0.)
+  | Matmul -> (
+      match op.operands with
+      | [ a; b ] ->
+          let sa = a.ty.Value.shape in
+          let ra = Shape.rank sa in
+          let k = float_of_int sa.(ra - 1) in
+          let m = float_of_int sa.(ra - 2) in
+          let n = float_of_int b.ty.Value.shape.(Shape.rank b.ty.Value.shape - 1) in
+          let batch =
+            float_of_int (Shape.numel (Array.sub sa 0 (ra - 2)))
+          in
+          2. *. batch *. m *. n *. k
+      | _ -> 0.)
+  | Conv2d { stride = _; _ } -> (
+      match (op.operands, op.results) with
+      | [ _x; kv ], [ out ] ->
+          let ks = kv.ty.Value.shape and os = out.ty.Value.shape in
+          2.
+          *. float_of_int (Shape.numel os)
+          *. float_of_int (ks.(0) * ks.(1) * ks.(2))
+      | _ -> 0.)
+  | Conv2d_input_grad _ | Conv2d_kernel_grad _ -> (
+      (* Same asymptotic cost as the forward convolution. *)
+      match op.operands with
+      | [ a; b ] ->
+          2.
+          *. float_of_int
+               (max (Shape.numel a.ty.Value.shape) (Shape.numel b.ty.Value.shape))
+          *. 9.
+      | _ -> 0.)
+  | For { trip_count; _ } -> (
+      match op.region with
+      | None -> 0.
+      | Some r ->
+          float_of_int trip_count
+          *. List.fold_left (fun acc o -> acc +. flops o) 0. r.body)

@@ -1,0 +1,114 @@
+(** The StableHLO-like operation set.
+
+    Every tensor operation of the reproduction lives in this single op type;
+    dialect layering (PartIR:Core staging, PartIR:HLO collectives) is
+    expressed by separate wrappers around [t] rather than by separate op
+    types, mirroring how MLIR dialects share one op infrastructure. *)
+
+open Partir_tensor
+
+type unary_kind =
+  | Neg
+  | Exp
+  | Log
+  | Tanh
+  | Sqrt
+  | Rsqrt
+  | Relu
+  | Abs
+  | Sign
+
+type binary_kind = Add | Sub | Mul | Div | Max | Min | Pow
+type compare_kind = Eq | Ne | Lt | Le | Gt | Ge
+type reduce_kind = Rsum | Rmax | Rmin
+
+type kind =
+  | Constant of Literal.t
+  | Splat of { value : float; shape : Shape.t; dtype : Dtype.t }
+      (** Constant filled with one value, without materialized data; keeps
+          full-scale model construction cheap and gives the TMR a constant
+          that can be tiled along any dimension. *)
+  | Iota of { dim : int }
+  | Identity  (** Pass-through; used as staging anchor by PartIR:Core. *)
+  | Unary of unary_kind
+  | Binary of binary_kind
+  | Compare of compare_kind
+  | Select  (** operands: pred (bool), on_true, on_false *)
+  | Matmul  (** batched: [..., m, k] x [..., k, n] *)
+  | Transpose of { perm : int array }
+  | Reshape of { target : Shape.t }
+  | Broadcast of { target : Shape.t; dims : int array }
+  | Reduce of { kind : reduce_kind; dims : int array }
+  | Concat of { dim : int }
+  | Slice of { starts : int array; limits : int array }
+  | Dynamic_slice of { sizes : int array }
+      (** operands: x, then one scalar start index per dimension *)
+  | Dynamic_update_slice
+      (** operands: x, update, then one scalar start index per dimension *)
+  | Pad of { low : int array; high : int array; value : float }
+  | Take of { axis : int }  (** operands: x, indices *)
+  | Scatter_add of { axis : int }  (** operands: x, indices, updates *)
+  | Conv2d of { stride : int; padding : int }
+      (** operands: input (NHWC), kernel (HWIO) *)
+  | Conv2d_input_grad of { input_shape : Shape.t; stride : int; padding : int }
+      (** operands: grad_out, kernel *)
+  | Conv2d_kernel_grad of { kernel_shape : Shape.t; stride : int; padding : int }
+      (** operands: input, grad_out *)
+  | For of { trip_count : int; n_carries : int }
+      (** Serving/scan loop. Operands: [n_carries] loop-carried values then
+          loop-invariant captures. The region takes (iteration counter ::
+          carries @ invariants) and yields the new carries; results are the
+          final carries. *)
+  (* PartIR:HLO collectives. They reference mesh axes by (name, size) pairs
+     so that shape inference stays independent of a mesh context, mirroring
+     how the paper's collectives are encoded on axes rather than device
+     ids. *)
+  | All_reduce of { axes : (string * int) list; reduce : reduce_kind }
+  | All_gather of { dim_axes : (string * int) list array }
+      (** Per result dimension, the axes gathered into that dimension
+          (outermost first); each dimension size is multiplied by the product
+          of its axis sizes. *)
+  | All_slice of { dim_axes : (string * int) list array }
+      (** Dual of [All_gather]: each dimension is sliced by the product of
+          its axis sizes; the device coordinate selects the chunk. *)
+  | Reduce_scatter of {
+      reduce : reduce_kind;
+      dim_axes : (string * int) list array;
+    }  (** Fusion of [All_reduce] over the mentioned axes and [All_slice]. *)
+  | All_to_all of { src_dim : int; dst_dim : int; axes : (string * int) list }
+      (** Fusion of an [All_gather] on [src_dim] with an [All_slice] on
+          [dst_dim] over the same axes. *)
+
+type t = {
+  id : int;
+  kind : kind;
+  operands : Value.t list;
+  results : Value.t list;
+  region : region option;
+}
+
+and region = { params : Value.t list; body : t list; yields : Value.t list }
+
+exception Type_error of string
+
+val infer : kind -> Value.ttype list -> region option -> Value.ttype list
+(** Result types of an op applied to operand types.
+    Raises {!Type_error} on ill-typed applications. *)
+
+val make : kind -> Value.t list -> ?region:region -> unit -> t
+(** Create an op with fresh result values (types from {!infer}).
+    For multi-result kinds, result names are derived from the kind. *)
+
+val make_named : string -> kind -> Value.t list -> ?region:region -> unit -> t
+(** Like {!make} but names the (first) result. *)
+
+val flops : t -> float
+(** Floating point operations performed by the op ([For] bodies are counted
+    [trip_count] times). *)
+
+val kind_name : kind -> string
+(** Short mnemonic used by the printer and by the TMR registry keys. *)
+
+val is_elementwise : kind -> bool
+(** True for ops that apply pointwise over identically-shaped operands and
+    results (unary, binary, compare, select, identity). *)

@@ -1,0 +1,163 @@
+open Partir_tensor
+
+let ints a = String.concat "," (Array.to_list (Array.map string_of_int a))
+
+let kind_attrs = function
+  | Op.Constant lit ->
+      if Shape.numel lit.Literal.shape = 1 then
+        Printf.sprintf " %g" lit.Literal.data.(0)
+      else Printf.sprintf " dense<%s>" (Shape.to_string lit.Literal.shape)
+  | Op.Iota { dim } -> Printf.sprintf " {dim=%d}" dim
+  | Op.Transpose { perm } -> Printf.sprintf " {perm=[%s]}" (ints perm)
+  | Op.Reshape { target } -> Printf.sprintf " {to=%s}" (Shape.to_string target)
+  | Op.Broadcast { target; dims } ->
+      Printf.sprintf " {to=%s, dims=[%s]}" (Shape.to_string target) (ints dims)
+  | Op.Reduce { dims; _ } -> Printf.sprintf " {dims=[%s]}" (ints dims)
+  | Op.Concat { dim } -> Printf.sprintf " {dim=%d}" dim
+  | Op.Slice { starts; limits } ->
+      Printf.sprintf " {starts=[%s], limits=[%s]}" (ints starts) (ints limits)
+  | Op.Dynamic_slice { sizes } -> Printf.sprintf " {sizes=[%s]}" (ints sizes)
+  | Op.Pad { low; high; value } ->
+      Printf.sprintf " {low=[%s], high=[%s], value=%g}" (ints low) (ints high)
+        value
+  | Op.Take { axis } | Op.Scatter_add { axis } ->
+      Printf.sprintf " {axis=%d}" axis
+  | Op.Conv2d { stride; padding } ->
+      Printf.sprintf " {stride=%d, padding=%d}" stride padding
+  | Op.For { trip_count; n_carries } ->
+      Printf.sprintf " {trip_count=%d, carries=%d}" trip_count n_carries
+  | Op.Splat { value; shape; _ } ->
+      Printf.sprintf " %g {shape=%s}" value (Shape.to_string shape)
+  | Op.All_reduce { axes; _ } ->
+      Printf.sprintf " <%s>" (String.concat "," (List.map fst axes))
+  | Op.All_gather { dim_axes } | Op.All_slice { dim_axes } ->
+      Printf.sprintf " [%s]"
+        (String.concat ", "
+           (Array.to_list
+              (Array.map
+                 (fun axes ->
+                   "{" ^ String.concat "," (List.map fst axes) ^ "}")
+                 dim_axes)))
+  | Op.Reduce_scatter { dim_axes; _ } ->
+      Printf.sprintf " [%s]"
+        (String.concat ", "
+           (Array.to_list
+              (Array.map
+                 (fun axes ->
+                   "{" ^ String.concat "," (List.map fst axes) ^ "}")
+                 dim_axes)))
+  | Op.All_to_all { src_dim; dst_dim; axes } ->
+      Printf.sprintf " {%d -> %d} <%s>" src_dim dst_dim
+        (String.concat "," (List.map fst axes))
+  | _ -> ""
+
+let rec op_lines ~names ~indent (op : Op.t) =
+  let lhs =
+    match op.results with
+    | [] -> ""
+    | rs ->
+        String.concat ", "
+          (List.map (fun (v : Value.t) -> names v.Value.id) rs)
+        ^ " = "
+  in
+  let operand_str =
+    String.concat ", "
+      (List.map (fun (v : Value.t) -> names v.Value.id) op.operands)
+  in
+  let ty_str =
+    match op.results with
+    | [] -> ""
+    | rs ->
+        " : "
+        ^ String.concat ", "
+            (List.map
+               (fun (v : Value.t) ->
+                 Format.asprintf "%a" Value.pp_ttype v.Value.ty)
+               rs)
+  in
+  let head =
+    Printf.sprintf "%s%s%s(%s)%s%s" indent lhs (Op.kind_name op.kind)
+      operand_str (kind_attrs op.kind) ty_str
+  in
+  match op.region with
+  | None -> [ head ]
+  | Some r ->
+      let params =
+        String.concat ", "
+          (List.map (fun (v : Value.t) -> names v.Value.id) r.params)
+      in
+      let body =
+        List.concat_map (op_lines ~names ~indent:(indent ^ "  ")) r.body
+      in
+      let yields =
+        String.concat ", "
+          (List.map (fun (v : Value.t) -> names v.Value.id) r.yields)
+      in
+      (head ^ Printf.sprintf " (%s) {" params)
+      :: body
+      @ [ Printf.sprintf "%s  yield %s" indent yields; indent ^ "}" ]
+
+let build_names (f : Func.t) =
+  let table = Hashtbl.create 64 in
+  let used = Hashtbl.create 64 in
+  let next = ref 0 in
+  let assign (v : Value.t) =
+    if not (Hashtbl.mem table v.id) then begin
+      let label =
+        if v.name = "" then Printf.sprintf "%%%d" !next
+        else Printf.sprintf "%%%s" v.name
+      in
+      (* Disambiguate duplicate names by appending the running counter. *)
+      let label =
+        if Hashtbl.mem used label then Printf.sprintf "%s_%d" label !next
+        else label
+      in
+      Hashtbl.add used label ();
+      Hashtbl.add table v.id label;
+      incr next
+    end
+  in
+  List.iter assign f.params;
+  let rec walk (ops : Op.t list) =
+    List.iter
+      (fun (op : Op.t) ->
+        (match op.region with
+        | None -> ()
+        | Some r ->
+            List.iter assign r.params;
+            walk r.body);
+        List.iter assign op.results)
+      ops
+  in
+  walk f.body;
+  fun id ->
+    match Hashtbl.find_opt table id with
+    | Some l -> l
+    | None -> Printf.sprintf "%%u%d" id
+
+let op_to_string ~names op = String.concat "\n" (op_lines ~names ~indent:"" op)
+
+let pp_func ppf (f : Func.t) =
+  let names = build_names f in
+  let params =
+    String.concat ", "
+      (List.map
+         (fun (v : Value.t) ->
+           Format.asprintf "%s: %a" (names v.Value.id) Value.pp_ttype
+             v.Value.ty)
+         f.params)
+  in
+  Format.fprintf ppf "func @%s(%s) {@\n" f.name params;
+  List.iter
+    (fun op ->
+      List.iter
+        (fun line -> Format.fprintf ppf "  %s@\n" line)
+        (op_lines ~names ~indent:"" op))
+    f.body;
+  let rets =
+    String.concat ", "
+      (List.map (fun (v : Value.t) -> names v.Value.id) f.results)
+  in
+  Format.fprintf ppf "  return %s@\n}" rets
+
+let func_to_string f = Format.asprintf "%a" pp_func f

@@ -1,0 +1,11 @@
+(** MLIR-flavoured textual form of IR functions.
+
+    Value numbers are renumbered per function so output is stable across
+    runs (global ids depend on construction order). *)
+
+val func_to_string : Func.t -> string
+val pp_func : Format.formatter -> Func.t -> unit
+val op_to_string : names:(int -> string) -> Op.t -> string
+
+val build_names : Func.t -> int -> string
+(** Stable per-function naming of value ids, e.g. [%x], [%matmul_3]. *)

@@ -1,0 +1,27 @@
+open Partir_tensor
+
+type ttype = { shape : Shape.t; dtype : Dtype.t }
+type t = { id : int; ty : ttype; name : string }
+
+let ttype shape dtype = { shape; dtype }
+
+let ttype_equal a b =
+  Shape.equal a.shape b.shape && Dtype.equal a.dtype b.dtype
+
+let pp_ttype ppf ty =
+  if Shape.is_scalar ty.shape then
+    Format.fprintf ppf "tensor<%a>" Dtype.pp ty.dtype
+  else Format.fprintf ppf "tensor<%ax%a>" Shape.pp ty.shape Dtype.pp ty.dtype
+
+let counter = ref 0
+
+let fresh ?(name = "") ty =
+  incr counter;
+  { id = !counter; ty; name }
+
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+let size_in_bytes v = Shape.numel v.ty.shape * Dtype.size_in_bytes v.ty.dtype
+
+module Map = Map.Make (Int)
+module Set = Set.Make (Int)

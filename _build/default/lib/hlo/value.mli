@@ -1,0 +1,21 @@
+(** SSA values of the tensor IR. *)
+
+type ttype = { shape : Partir_tensor.Shape.t; dtype : Partir_tensor.Dtype.t }
+
+type t = { id : int; ty : ttype; name : string }
+(** A value is identified by a globally unique [id]; [name] is a
+    human-readable hint used by the printer (may be empty). *)
+
+val ttype : Partir_tensor.Shape.t -> Partir_tensor.Dtype.t -> ttype
+val ttype_equal : ttype -> ttype -> bool
+val pp_ttype : Format.formatter -> ttype -> unit
+
+val fresh : ?name:string -> ttype -> t
+(** Create a value with a fresh globally unique id. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val size_in_bytes : t -> int
+
+module Map : Map.S with type key = int
+module Set : Set.S with type elt = int

@@ -1,0 +1,91 @@
+type t = { axes : (string * int) list }
+
+let create axes =
+  if axes = [] then invalid_arg "Mesh.create: empty mesh";
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (name, size) ->
+      if size <= 0 then
+        invalid_arg (Printf.sprintf "Mesh.create: axis %s has size %d" name size);
+      if Hashtbl.mem seen name then
+        invalid_arg (Printf.sprintf "Mesh.create: duplicate axis %s" name);
+      Hashtbl.add seen name ())
+    axes;
+  { axes }
+
+let axes t = t.axes
+let axis_size t name = List.assoc name t.axes
+let has_axis t name = List.mem_assoc name t.axes
+let num_devices t = List.fold_left (fun acc (_, s) -> acc * s) 1 t.axes
+let axis_names t = List.map fst t.axes
+
+let axis_index t name =
+  let rec go i = function
+    | [] -> raise Not_found
+    | (n, _) :: rest -> if n = name then i else go (i + 1) rest
+  in
+  go 0 t.axes
+
+let to_string t =
+  "{"
+  ^ String.concat ", "
+      (List.map (fun (n, s) -> Printf.sprintf "%s:%d" n s) t.axes)
+  ^ "}"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+type device = int array
+
+let device_count = num_devices
+
+let device_of_linear t i =
+  let sizes = Array.of_list (List.map snd t.axes) in
+  let n = Array.length sizes in
+  let coord = Array.make n 0 in
+  let rem = ref i in
+  for d = n - 1 downto 0 do
+    coord.(d) <- !rem mod sizes.(d);
+    rem := !rem / sizes.(d)
+  done;
+  coord
+
+let linear_of_device t coord =
+  let sizes = Array.of_list (List.map snd t.axes) in
+  let acc = ref 0 in
+  Array.iteri (fun i c -> acc := (!acc * sizes.(i)) + c) coord;
+  !acc
+
+let devices t = List.init (device_count t) (device_of_linear t)
+let coordinate t d name = d.(axis_index t name)
+
+let group_peers t d group_axes =
+  let axis_idxs = List.map (axis_index t) group_axes in
+  let sizes = List.map (fun i -> List.nth t.axes i |> snd) axis_idxs in
+  let total = List.fold_left ( * ) 1 sizes in
+  List.init total (fun g ->
+      (* Decompose g row-major over the group axes. *)
+      let coords = Array.copy d in
+      let rem = ref g in
+      let rec fill idxs szs =
+        match (idxs, szs) with
+        | [], [] -> ()
+        | i :: is, _s :: ss ->
+            let stride = List.fold_left ( * ) 1 ss in
+            coords.(i) <- !rem / stride;
+            rem := !rem mod stride;
+            fill is ss
+        | _ -> assert false
+      in
+      fill axis_idxs sizes;
+      coords)
+
+let group_index t d group_axes =
+  let axis_idxs = List.map (axis_index t) group_axes in
+  let sizes = List.map (fun i -> List.nth t.axes i |> snd) axis_idxs in
+  let rec go idxs szs acc =
+    match (idxs, szs) with
+    | [], [] -> acc
+    | i :: is, s :: ss -> go is ss ((acc * s) + d.(i))
+    | _ -> assert false
+  in
+  go axis_idxs sizes 0

@@ -1,0 +1,48 @@
+(** Device meshes: an n-dimensional logical view of the available devices
+    with named axes (the paper's §2.1). *)
+
+type t
+
+val create : (string * int) list -> t
+(** [create [("B", 4); ("M", 2)]]: axes in order, each with its size.
+    Raises [Invalid_argument] on duplicate names or non-positive sizes. *)
+
+val axes : t -> (string * int) list
+val axis_size : t -> string -> int
+(** Raises [Not_found] for unknown axes. *)
+
+val has_axis : t -> string -> bool
+val num_devices : t -> int
+val axis_names : t -> string list
+val axis_index : t -> string -> int
+
+val to_string : t -> string
+(** E.g. ["{B:4, M:2}"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Device coordinates}
+
+    A device is identified by its coordinate along each mesh axis, in axis
+    order. Linear device ids enumerate coordinates row-major (last axis
+    fastest), matching XLA's logical device ordering. *)
+
+type device = int array
+
+val device_count : t -> int
+val devices : t -> device list
+(** All coordinates in linear order. *)
+
+val device_of_linear : t -> int -> device
+val linear_of_device : t -> device -> int
+
+val coordinate : t -> device -> string -> int
+(** Coordinate of a device along a named axis. *)
+
+val group_peers : t -> device -> string list -> device list
+(** [group_peers mesh d axes]: all devices that agree with [d] on every
+    coordinate outside [axes] — the communication group of a collective
+    spanning [axes], ordered row-major over the [axes] coordinates. *)
+
+val group_index : t -> device -> string list -> int
+(** Position of [d] within its own {!group_peers} list. *)

@@ -1,0 +1,1 @@
+lib/models/gns.ml: Builder Dtype Hashtbl List Op Partir_hlo Partir_tensor Printf Train Value

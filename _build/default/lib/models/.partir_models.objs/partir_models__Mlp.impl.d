@@ -1,0 +1,1 @@
+lib/models/mlp.ml: Builder Dtype List Partir_hlo Partir_tensor Printf Random Train Value

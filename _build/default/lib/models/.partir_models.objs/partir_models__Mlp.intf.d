@@ -1,0 +1,1 @@
+lib/models/mlp.mli: Partir_hlo Train

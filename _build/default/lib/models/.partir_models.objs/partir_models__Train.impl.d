@@ -1,0 +1,1 @@
+lib/models/train.ml: Builder Dtype Func List Partir_ad Partir_hlo Partir_tensor Shape Value

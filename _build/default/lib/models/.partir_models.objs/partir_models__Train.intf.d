@@ -1,0 +1,1 @@
+lib/models/train.mli: Builder Dtype Func Partir_ad Partir_hlo Partir_tensor Shape Value

@@ -1,0 +1,1 @@
+lib/models/transformer.ml: Array Builder Dtype Float List Literal Op Partir_hlo Partir_tensor Printf Shape Train Value

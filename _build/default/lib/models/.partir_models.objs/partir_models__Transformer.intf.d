@@ -1,0 +1,1 @@
+lib/models/transformer.mli: Func Partir_hlo Train

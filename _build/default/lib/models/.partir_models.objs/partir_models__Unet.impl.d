@@ -1,0 +1,1 @@
+lib/models/unet.ml: Array Builder Dtype Filename Float Hashtbl List Op Partir_hlo Partir_tensor Printf Shape Train Value

@@ -1,0 +1,1 @@
+lib/models/unet.mli: Partir_tensor Train

@@ -1,0 +1,127 @@
+open Partir_tensor
+open Partir_hlo
+module B = Builder
+
+type config = {
+  nodes : int;
+  edges : int;
+  node_features : int;
+  edge_features : int;
+  latent : int;
+  mlp_hidden : int;
+  mlp_layers : int;
+  steps : int;
+  outputs : int;
+}
+
+let paper =
+  {
+    nodes = 2048;
+    edges = 8192;
+    node_features = 16;
+    edge_features = 8;
+    latent = 512;
+    mlp_hidden = 1024;
+    mlp_layers = 5;
+    steps = 24;
+    outputs = 4;
+  }
+
+let with_edges cfg edges = { cfg with edges }
+
+let tiny =
+  {
+    nodes = 8;
+    edges = 16;
+    node_features = 3;
+    edge_features = 2;
+    latent = 4;
+    mlp_hidden = 4;
+    mlp_layers = 2;
+    steps = 2;
+    outputs = 2;
+  }
+
+let mlp_specs cfg prefix ~din ~dout =
+  List.concat
+    (List.init cfg.mlp_layers (fun l ->
+         let i = if l = 0 then din else cfg.mlp_hidden in
+         let o = if l = cfg.mlp_layers - 1 then dout else cfg.mlp_hidden in
+         [
+           (Printf.sprintf "%s.w%d" prefix l, [| i; o |]);
+           (Printf.sprintf "%s.b%d" prefix l, [| o |]);
+         ]))
+
+let param_specs cfg =
+  let lat = cfg.latent in
+  mlp_specs cfg "enc_node" ~din:cfg.node_features ~dout:lat
+  @ mlp_specs cfg "enc_edge" ~din:cfg.edge_features ~dout:lat
+  @ List.concat
+      (List.init cfg.steps (fun s ->
+           mlp_specs cfg (Printf.sprintf "step%d.edge" s) ~din:(3 * lat) ~dout:lat
+           @ mlp_specs cfg (Printf.sprintf "step%d.node" s) ~din:(2 * lat) ~dout:lat))
+  @ mlp_specs cfg "dec_node" ~din:lat ~dout:cfg.outputs
+
+let param_count cfg = List.length (param_specs cfg)
+
+let apply_mlp b cfg p prefix x =
+  let h = ref x in
+  for l = 0 to cfg.mlp_layers - 1 do
+    let w = p (Printf.sprintf "%s.w%d" prefix l) in
+    let bias = p (Printf.sprintf "%s.b%d" prefix l) in
+    let y = B.matmul b !h w in
+    let yb = B.broadcast b bias y.Value.ty.Value.shape [| 1 |] in
+    let y = B.add2 b y yb in
+    h := (if l = cfg.mlp_layers - 1 then y else B.relu b y)
+  done;
+  !h
+
+let forward cfg : Train.forward =
+  let specs = param_specs cfg in
+  let loss b ~params ~inputs =
+    let tbl = Hashtbl.create 64 in
+    List.iter2 (fun (n, _) v -> Hashtbl.replace tbl n v) specs params;
+    let p n = Hashtbl.find tbl n in
+    let node_x, edge_x, senders, receivers, target =
+      match inputs with
+      | [ a; b'; c; d; e ] -> (a, b', c, d, e)
+      | _ -> invalid_arg "gns: expected nodes, edges, senders, receivers, target"
+    in
+    let nodes = ref (apply_mlp b cfg p "enc_node" node_x) in
+    let edges = ref (apply_mlp b cfg p "enc_edge" edge_x) in
+    for s = 0 to cfg.steps - 1 do
+      let sender_feat = B.take b !nodes senders ~axis:0 in
+      let receiver_feat = B.take b !nodes receivers ~axis:0 in
+      let edge_in = B.concat b [ !edges; sender_feat; receiver_feat ] 1 in
+      let new_edges =
+        apply_mlp b cfg p (Printf.sprintf "step%d.edge" s) edge_in
+      in
+      let edges' = B.add2 b !edges new_edges in
+      let zeros =
+        B.zeros b [| cfg.nodes; cfg.latent |]
+      in
+      let agg = B.add b (Op.Scatter_add { axis = 0 }) [ zeros; receivers; edges' ] in
+      let node_in = B.concat b [ !nodes; agg ] 1 in
+      let new_nodes =
+        apply_mlp b cfg p (Printf.sprintf "step%d.node" s) node_in
+      in
+      nodes := B.add2 b !nodes new_nodes;
+      edges := edges'
+    done;
+    let decoded = apply_mlp b cfg p "dec_node" !nodes in
+    let diff = B.sub b decoded target in
+    B.mean b (B.mul b diff diff) [| 0; 1 |]
+  in
+  {
+    Train.name = "gns";
+    params = specs;
+    inputs =
+      [
+        ("node_features", [| cfg.nodes; cfg.node_features |], Dtype.F32);
+        ("edge_features", [| cfg.edges; cfg.edge_features |], Dtype.F32);
+        ("senders", [| cfg.edges |], Dtype.I32);
+        ("receivers", [| cfg.edges |], Dtype.I32);
+        ("target", [| cfg.nodes; cfg.outputs |], Dtype.F32);
+      ];
+    loss;
+  }

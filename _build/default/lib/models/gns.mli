@@ -1,0 +1,27 @@
+(** Graph Network Simulator for molecular property prediction (paper §A.3):
+    encode–process–decode with message passing; 5-layer MLPs of hidden size
+    1024, 24 message-passing steps, latent size 512, 2048 nodes, a variable
+    edge count. Edge sharding (ES) partitions the edge set. *)
+
+type config = {
+  nodes : int;
+  edges : int;
+  node_features : int;
+  edge_features : int;
+  latent : int;
+  mlp_hidden : int;
+  mlp_layers : int;
+  steps : int;  (** message-passing steps *)
+  outputs : int;  (** decoded per-node outputs *)
+}
+
+val paper : config
+(** 2048 nodes / 8192 edges variant (the edge count is swept in §A.3). *)
+
+val with_edges : config -> int -> config
+val tiny : config
+val param_count : config -> int
+val forward : config -> Train.forward
+(** Inputs: node features, edge features, sender indices, receiver indices,
+    per-node regression targets. The edge-feature / sender / receiver inputs
+    are what the ES tactic shards on dimension 0. *)

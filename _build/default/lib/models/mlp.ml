@@ -1,0 +1,98 @@
+open Partir_tensor
+open Partir_hlo
+module B = Builder
+
+type config = {
+  batch : int;
+  features : int;
+  hidden : int;
+  layers : int;
+  outputs : int;
+}
+
+let default = { batch = 32; features = 64; hidden = 256; layers = 3; outputs = 8 }
+let tiny = { batch = 4; features = 4; hidden = 8; layers = 2; outputs = 2 }
+
+let param_specs cfg =
+  List.concat
+    (List.init cfg.layers (fun l ->
+         let i = if l = 0 then cfg.features else cfg.hidden in
+         let o = if l = cfg.layers - 1 then cfg.outputs else cfg.hidden in
+         [
+           (Printf.sprintf "w%d" l, [| i; o |]);
+           (Printf.sprintf "b%d" l, [| o |]);
+         ]))
+
+let param_count cfg = List.length (param_specs cfg)
+
+let forward cfg : Train.forward =
+  let specs = param_specs cfg in
+  let loss b ~params ~inputs =
+    let x, target =
+      match inputs with
+      | [ x; t ] -> (x, t)
+      | _ -> invalid_arg "mlp: expected x and target"
+    in
+    let h = ref x in
+    List.iteri
+      (fun l (w_and_b : Value.t list) ->
+        match w_and_b with
+        | [ w; bias ] ->
+            let y = B.matmul b !h w in
+            let yb = B.broadcast b bias y.Value.ty.Value.shape [| 1 |] in
+            let y = B.add2 b y yb in
+            h := (if l = cfg.layers - 1 then y else B.relu b y)
+        | _ -> assert false)
+      (let rec pairs = function
+         | w :: bias :: rest -> [ w; bias ] :: pairs rest
+         | [] -> []
+         | _ -> assert false
+       in
+       pairs params);
+    let diff = B.sub b !h target in
+    B.mean b (B.mul b diff diff) [| 0; 1 |]
+  in
+  {
+    Train.name = "mlp";
+    params = specs;
+    inputs =
+      [
+        ("x", [| cfg.batch; cfg.features |], Dtype.F32);
+        ("target", [| cfg.batch; cfg.outputs |], Dtype.F32);
+      ];
+    loss;
+  }
+
+(* Random straight-line programs for property tests. All tensors are square
+   [n; n] so every structural op stays well-typed. *)
+let random_chain ~seed ~max_ops =
+  let st = Random.State.make [| seed |] in
+  let n = 4 * (1 + Random.State.int st 2) in
+  let b = B.create (Printf.sprintf "rand%d" seed) in
+  let x = B.param b "x" [| n; n |] Dtype.F32 in
+  let w1 = B.param b "w1" [| n; n |] Dtype.F32 in
+  let w2 = B.param b "w2" [| n; n |] Dtype.F32 in
+  let pool = ref [ x; w1; w2 ] in
+  let pick () = List.nth !pool (Random.State.int st (List.length !pool)) in
+  let n_ops = 1 + Random.State.int st max_ops in
+  for _ = 1 to n_ops do
+    let v =
+      match Random.State.int st 8 with
+      | 0 -> B.matmul b (pick ()) (pick ())
+      | 1 -> B.add2 b (pick ()) (pick ())
+      | 2 -> B.mul b (pick ()) (pick ())
+      | 3 -> B.tanh b (pick ())
+      | 4 -> B.transpose b (pick ()) [| 1; 0 |]
+      | 5 -> B.relu b (pick ())
+      | 6 ->
+          let v = pick () in
+          B.reshape b (B.reshape b v [| n * n |]) [| n; n |]
+      | _ ->
+          let v = pick () in
+          let s = B.reduce_sum b v [| 1 |] in
+          B.broadcast_like b s ~reduced_dims:[| 1 |] v
+    in
+    pool := v :: !pool
+  done;
+  let out = B.mean b (pick ()) [| 0; 1 |] in
+  B.finish b [ out ]

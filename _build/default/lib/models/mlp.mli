@@ -1,0 +1,21 @@
+(** A small multi-layer perceptron regression model: the quickstart example
+    and the randomized-model generator used by property-based tests. *)
+
+type config = {
+  batch : int;
+  features : int;
+  hidden : int;
+  layers : int;
+  outputs : int;
+}
+
+val default : config
+val tiny : config
+val param_count : config -> int
+val forward : config -> Train.forward
+
+val random_chain :
+  seed:int -> max_ops:int -> Partir_hlo.Func.t
+(** A random small single-output program over a few 2-D parameters, built
+    from matmuls, elementwise ops, transposes, reshapes and reductions —
+    used to property-test propagation and lowering. *)

@@ -1,0 +1,67 @@
+open Partir_tensor
+open Partir_hlo
+module Optimizer = Partir_ad.Optimizer
+
+type forward = {
+  name : string;
+  params : (string * Shape.t) list;
+  inputs : (string * Shape.t * Dtype.t) list;
+  loss : Builder.t -> params:Value.t list -> inputs:Value.t list -> Value.t;
+}
+
+type step = {
+  func : Func.t;
+  ties : (int * int) list;
+  n_params : int;
+  n_state : int;
+}
+
+let forward_only fwd =
+  let b = Builder.create fwd.name in
+  let params =
+    List.map (fun (n, s) -> Builder.param b n s Dtype.F32) fwd.params
+  in
+  let inputs =
+    List.map (fun (n, s, d) -> Builder.param b n s d) fwd.inputs
+  in
+  let loss = fwd.loss b ~params ~inputs in
+  Builder.finish b [ loss ]
+
+let training_step ?(optimizer = Optimizer.default_adam) fwd =
+  let b = Builder.create (fwd.name ^ "_train") in
+  let params =
+    List.map (fun (n, s) -> Builder.param b n s Dtype.F32) fwd.params
+  in
+  let slots = Optimizer.slot_names optimizer in
+  let state =
+    (* All slots for param 1, then all slots for param 2, ... *)
+    List.map
+      (fun (n, s) ->
+        List.map (fun slot -> Builder.param b (n ^ "." ^ slot) s Dtype.F32) slots)
+      fwd.params
+  in
+  let inputs = List.map (fun (n, s, d) -> Builder.param b n s d) fwd.inputs in
+  let loss = fwd.loss b ~params ~inputs in
+  let grads = Partir_ad.Ad.gradients b ~loss ~wrt:params in
+  let updated =
+    List.map2
+      (fun (param, grad) st ->
+        Partir_ad.Optimizer.apply b optimizer ~param ~grad ~state:st)
+      (List.combine params grads)
+      state
+  in
+  let new_params = List.map fst updated in
+  let new_state = List.concat_map snd updated in
+  let func = Builder.finish b ((loss :: new_params) @ new_state) in
+  let n_params = List.length params in
+  let n_slots = Optimizer.state_slots optimizer in
+  (* Result r (0 = loss) ties to the parameter carrying the same state. *)
+  let ties =
+    List.init n_params (fun i -> (1 + i, i))
+    @ List.concat
+        (List.init n_params (fun i ->
+             List.init n_slots (fun s ->
+                 ( 1 + n_params + (i * n_slots) + s,
+                   n_params + (i * n_slots) + s ))))
+  in
+  { func; ties; n_params; n_state = n_params * n_slots }

@@ -1,0 +1,31 @@
+(** Generic training-step construction: forward + reverse-mode backward +
+    optimizer update, the program unit the paper partitions (§2.3 "a full
+    training step ... can reach 10-100k operations"). *)
+
+open Partir_tensor
+open Partir_hlo
+
+type forward = {
+  name : string;
+  params : (string * Shape.t) list;
+      (** learned parameter tensors, in order *)
+  inputs : (string * Shape.t * Dtype.t) list;  (** per-step batch inputs *)
+  loss : Builder.t -> params:Value.t list -> inputs:Value.t list -> Value.t;
+      (** trace the forward pass and return the scalar loss *)
+}
+
+type step = {
+  func : Func.t;
+      (** parameters: params @ optimizer state @ batch inputs;
+          results: loss :: new params @ new optimizer state *)
+  ties : (int * int) list;
+      (** result-index/param-index pairs tying the sharding of carried
+          training state (new params/state must match their inputs) *)
+  n_params : int;
+  n_state : int;
+}
+
+val training_step : ?optimizer:Partir_ad.Optimizer.spec -> forward -> step
+
+val forward_only : forward -> Func.t
+(** Just the traced forward function (loss as single result). *)

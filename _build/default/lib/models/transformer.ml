@@ -1,0 +1,313 @@
+open Partir_tensor
+open Partir_hlo
+module B = Builder
+
+type config = {
+  layers : int;
+  d_model : int;
+  heads : int;
+  vocab : int;
+  batch : int;
+  seq : int;
+}
+
+let t32 =
+  { layers = 32; d_model = 4096; heads = 32; vocab = 32768; batch = 48; seq = 2048 }
+
+let t48 =
+  { layers = 48; d_model = 8192; heads = 64; vocab = 32768; batch = 64; seq = 2048 }
+
+let tiny = { layers = 2; d_model = 8; heads = 2; vocab = 12; batch = 4; seq = 4 }
+
+let param_count cfg = (9 * cfg.layers) + 1
+
+let block_param_specs cfg l =
+  let d = cfg.d_model in
+  let p name shape = (Printf.sprintf "blk%d.%s" l name, shape) in
+  [
+    p "ln1_scale" [| d |];
+    p "ln1_bias" [| d |];
+    p "qkv_w" [| 3; d; d |];
+    p "attn_out_w" [| d; d |];
+    p "ln2_scale" [| d |];
+    p "ln2_bias" [| d |];
+    p "mlp_up_w" [| d; 4 * d |];
+    p "mlp_down_w" [| 4 * d; d |];
+    p "mlp_down_b" [| d |];
+  ]
+
+let param_specs cfg =
+  ("embedding", [| cfg.vocab; cfg.d_model |])
+  :: List.concat (List.init cfg.layers (block_param_specs cfg))
+
+type block_params = {
+  ln1_scale : Value.t;
+  ln1_bias : Value.t;
+  qkv_w : Value.t;
+  attn_out_w : Value.t;
+  ln2_scale : Value.t;
+  ln2_bias : Value.t;
+  mlp_up_w : Value.t;
+  mlp_down_w : Value.t;
+  mlp_down_b : Value.t;
+}
+
+let split_params params =
+  match params with
+  | emb :: rest ->
+      let rec blocks acc = function
+        | [] -> List.rev acc
+        | a :: b :: c :: d :: e :: f :: g :: h :: i :: tl ->
+            blocks
+              ({
+                 ln1_scale = a;
+                 ln1_bias = b;
+                 qkv_w = c;
+                 attn_out_w = d;
+                 ln2_scale = e;
+                 ln2_bias = f;
+                 mlp_up_w = g;
+                 mlp_down_w = h;
+                 mlp_down_b = i;
+               }
+              :: acc)
+              tl
+        | _ -> invalid_arg "Transformer.split_params: truncated parameter list"
+      in
+      (emb, blocks [] rest)
+  | [] -> invalid_arg "Transformer.split_params: empty parameter list"
+
+(* qkv projection: activations [rows, D] against qkv_w [3, D, D]. *)
+let qkv_project b cfg a ~rows qkv_w =
+  let d = cfg.d_model in
+  let a3 = B.broadcast b a [| 3; rows; d |] [| 1; 2 |] in
+  let qkv = B.matmul b a3 qkv_w in
+  let part i =
+    let s =
+      B.add b
+        (Op.Slice { starts = [| i; 0; 0 |]; limits = [| i + 1; rows; d |] })
+        [ qkv ]
+    in
+    B.reshape b s [| rows; d |]
+  in
+  (part 0, part 1, part 2)
+
+(* Multi-head attention core on [B, H, Sq, hd] queries and [B, H, Sk, hd]
+   keys/values, with an additive mask [Sq, Sk]-broadcastable value. *)
+let attention b q k v ~mask =
+  let scores = B.matmul b q (B.transpose b k [| 0; 1; 3; 2 |]) in
+  let hd = (Shape.dim q.Value.ty.Value.shape 3 : int) in
+  let scores = B.mul_scalar b scores (1. /. Float.sqrt (float_of_int hd)) in
+  let scores = B.add2 b scores mask in
+  let probs = B.softmax b scores ~dim:3 in
+  B.matmul b probs v
+
+let mlp b blk h =
+  let up = B.relu b (B.matmul b h blk.mlp_up_w) in
+  let down = B.matmul b up blk.mlp_down_w in
+  let bias =
+    B.broadcast b blk.mlp_down_b down.Value.ty.Value.shape
+      [| Shape.rank down.Value.ty.Value.shape - 1 |]
+  in
+  B.add2 b down bias
+
+let causal_mask cfg =
+  Literal.init Dtype.F32 [| cfg.seq; cfg.seq |] (fun idx ->
+      if idx.(1) <= idx.(0) then 0. else -1e9)
+
+let iota_literal n = Literal.init Dtype.F32 [| n |] (fun idx -> float_of_int idx.(0))
+
+let cross_entropy b logits ~labels ~vocab =
+  (* logits [N, V]; labels [N] integer class ids. *)
+  let n = Shape.dim logits.Value.ty.Value.shape 0 in
+  let m = B.reduce_max b logits [| 1 |] in
+  let mb = B.broadcast_like b m ~reduced_dims:[| 1 |] logits in
+  let centered = B.sub b logits mb in
+  let lse = B.log b (B.reduce_sum b (B.exp b centered) [| 1 |]) in
+  let iota = B.const b (iota_literal vocab) in
+  let iota_b = B.broadcast b iota [| n; vocab |] [| 1 |] in
+  let labels_b = B.broadcast b labels [| n; vocab |] [| 0 |] in
+  let onehot = B.add b (Op.Compare Op.Eq) [ labels_b; iota_b ] in
+  let zero = B.splat b centered 0. in
+  let picked = B.add b Op.Select [ onehot; centered; zero ] in
+  let label_logit = B.reduce_sum b picked [| 1 |] in
+  B.mean b (B.sub b lse label_logit) [| 0 |]
+
+let forward cfg : Train.forward =
+  let bsz = cfg.batch and s = cfg.seq and d = cfg.d_model and h = cfg.heads in
+  let hd = d / h in
+  let rows = bsz * s in
+  let loss b ~params ~inputs =
+    let emb, blocks = split_params params in
+    let tokens, targets =
+      match inputs with
+      | [ t; g ] -> (t, g)
+      | _ -> invalid_arg "transformer: expected tokens and targets"
+    in
+    let tokens_flat = B.reshape b tokens [| rows |] in
+    let x = B.take b emb tokens_flat ~axis:0 in
+    let mask2 = B.const b (causal_mask cfg) in
+    let mask = B.broadcast b mask2 [| bsz; h; s; s |] [| 2; 3 |] in
+    let hidden = ref x in
+    List.iter
+      (fun blk ->
+        let a =
+          B.layer_norm b !hidden ~scale:blk.ln1_scale ~bias:(Some blk.ln1_bias)
+            ~dim:1
+        in
+        let q, k, v = qkv_project b cfg a ~rows blk.qkv_w in
+        let heads_of t =
+          B.transpose b
+            (B.reshape b t [| bsz; s; h; hd |])
+            [| 0; 2; 1; 3 |]
+        in
+        let ctx = attention b (heads_of q) (heads_of k) (heads_of v) ~mask in
+        let ctx =
+          B.reshape b (B.transpose b ctx [| 0; 2; 1; 3 |]) [| rows; d |]
+        in
+        let attn_out = B.matmul b ctx blk.attn_out_w in
+        let hidden1 = B.add2 b !hidden attn_out in
+        let a2 =
+          B.layer_norm b hidden1 ~scale:blk.ln2_scale ~bias:(Some blk.ln2_bias)
+            ~dim:1
+        in
+        hidden := B.add2 b hidden1 (mlp b blk a2))
+      blocks;
+    let logits = B.matmul b !hidden (B.transpose b emb [| 1; 0 |]) in
+    let labels = B.reshape b targets [| rows |] in
+    cross_entropy b logits ~labels ~vocab:cfg.vocab
+  in
+  {
+    Train.name = Printf.sprintf "transformer_l%d" cfg.layers;
+    params = param_specs cfg;
+    inputs =
+      [
+        ("tokens", [| bsz; s |], Dtype.I32);
+        ("targets", [| bsz; s |], Dtype.I32);
+      ];
+    loss;
+  }
+
+let mq_tags cfg =
+  ( List.init cfg.layers (Printf.sprintf "q_tag_%d"),
+    List.init cfg.layers (Printf.sprintf "ctx_tag_%d") )
+
+let inference cfg ~decode_steps =
+  let bsz = cfg.batch and d = cfg.d_model and h = cfg.heads in
+  let hd = d / h and smax = cfg.seq in
+  let b = B.create (Printf.sprintf "itransformer_l%d" cfg.layers) in
+  let params =
+    List.map (fun (n, s) -> B.param b n s Dtype.F32) (param_specs cfg)
+  in
+  let emb, blocks = split_params params in
+  let prompt = B.param b "prompt" [| bsz |] Dtype.I32 in
+  (* Caches arrive as inputs so their sharding is part of the interface. *)
+  let caches =
+    List.concat
+      (List.init cfg.layers (fun l ->
+           [
+             B.param b (Printf.sprintf "k_cache_%d" l) [| bsz; h; smax; hd |]
+               Dtype.F32;
+             B.param b (Printf.sprintf "v_cache_%d" l) [| bsz; h; smax; hd |]
+               Dtype.F32;
+           ]))
+  in
+  let cur0 = B.take b emb prompt ~axis:0 in
+  (* Region construction: iter, carries (cur :: caches), invariants
+     (parameters + constants are captured as explicit operands). *)
+  let iter = Value.fresh ~name:"step" (Value.ttype Shape.scalar Dtype.I32) in
+  let carry_params =
+    List.map
+      (fun (v : Value.t) -> Value.fresh ~name:(v.Value.name ^ "_c") v.Value.ty)
+      (cur0 :: caches)
+  in
+  let invariant_values = params in
+  let invariant_params =
+    List.map
+      (fun (v : Value.t) -> Value.fresh ~name:(v.Value.name ^ "_i") v.Value.ty)
+      invariant_values
+  in
+  let rb = B.create "decode_body" in
+  let emb_i, blocks_i =
+    split_params invariant_params
+  in
+  ignore blocks_i;
+  let cur = List.hd carry_params in
+  let cache_params = List.tl carry_params in
+  let zero_i32 = B.scalar rb ~dtype:Dtype.I32 0. in
+  let pos_iota = B.const rb (iota_literal smax) in
+  let new_caches = ref [] in
+  let hidden = ref cur in
+  List.iteri
+    (fun l blk_ignore ->
+      ignore blk_ignore;
+      (* Use invariant copies of the block parameters inside the region. *)
+      let blk = List.nth (snd (split_params invariant_params)) l in
+      let k_cache = List.nth cache_params (2 * l) in
+      let v_cache = List.nth cache_params ((2 * l) + 1) in
+      let a =
+        B.layer_norm rb !hidden ~scale:blk.ln1_scale ~bias:(Some blk.ln1_bias)
+          ~dim:1
+      in
+      let q, k, v = qkv_project rb cfg a ~rows:bsz blk.qkv_w in
+      let heads1 t = B.reshape rb t [| bsz; h; 1; hd |] in
+      let q = B.add_named rb (Printf.sprintf "q_tag_%d" l) Op.Identity [ heads1 q ] in
+      let k_cache' =
+        B.add rb Op.Dynamic_update_slice
+          [ k_cache; heads1 k; zero_i32; zero_i32; iter; zero_i32 ]
+      in
+      let v_cache' =
+        B.add rb Op.Dynamic_update_slice
+          [ v_cache; heads1 v; zero_i32; zero_i32; iter; zero_i32 ]
+      in
+      new_caches := v_cache' :: k_cache' :: !new_caches;
+      (* Mask out positions beyond the current step. *)
+      let pos_b = B.broadcast rb pos_iota [| bsz; h; 1; smax |] [| 3 |] in
+      let iter_f = B.broadcast rb iter [| bsz; h; 1; smax |] [||] in
+      let pred = B.add rb (Op.Compare Op.Le) [ pos_b; iter_f ] in
+      let neg = B.full rb [| bsz; h; 1; smax |] (-1e9) in
+      let zero = B.full rb [| bsz; h; 1; smax |] 0. in
+      let mask = B.add rb Op.Select [ pred; zero; neg ] in
+      let ctx = attention rb q k_cache' v_cache' ~mask in
+      let ctx =
+        B.add_named rb (Printf.sprintf "ctx_tag_%d" l) Op.Identity [ ctx ]
+      in
+      let ctx = B.reshape rb ctx [| bsz; d |] in
+      let attn_out = B.matmul rb ctx blk.attn_out_w in
+      let hidden1 = B.add2 rb !hidden attn_out in
+      let a2 =
+        B.layer_norm rb hidden1 ~scale:blk.ln2_scale ~bias:(Some blk.ln2_bias)
+          ~dim:1
+      in
+      hidden := B.add2 rb hidden1 (mlp rb blk a2))
+    (List.init cfg.layers (fun i -> i));
+  ignore blocks;
+  let logits = B.matmul rb !hidden (B.transpose rb emb_i [| 1; 0 |]) in
+  (* Greedy decode without integer argmax: a max-indicator mixes the
+     embeddings of the argmax tokens (ties average). *)
+  let m = B.reduce_max rb logits [| 1 |] in
+  let mb = B.broadcast_like rb m ~reduced_dims:[| 1 |] logits in
+  let is_max = B.add rb (Op.Compare Op.Ge) [ logits; mb ] in
+  let ones = B.splat rb logits 1. in
+  let zeros = B.splat rb logits 0. in
+  let indicator = B.add rb Op.Select [ is_max; ones; zeros ] in
+  let denom = B.reduce_sum rb indicator [| 1 |] in
+  let denom = B.broadcast_like rb denom ~reduced_dims:[| 1 |] logits in
+  let weights = B.div rb indicator denom in
+  let next = B.matmul rb weights emb_i in
+  let yields = next :: List.rev !new_caches in
+  let region =
+    {
+      Op.params = (iter :: carry_params) @ invariant_params;
+      body = B.ops rb;
+      yields;
+    }
+  in
+  let n_carries = 1 + List.length caches in
+  let results =
+    B.add_multi b
+      (Op.For { trip_count = decode_steps; n_carries })
+      ((cur0 :: caches) @ invariant_values)
+      ~region ()
+  in
+  B.finish b [ List.hd results ]

@@ -1,0 +1,37 @@
+(** Chinchilla-style Transformer models: T32 (5B), T48 (32B) for training,
+    and the inference variant with KV caching and a serving loop (IT32).
+
+    Parameter budget matches the paper: 9 tensors per block plus one (tied)
+    embedding — 289 tensors for 32 layers (§7.3). *)
+
+open Partir_hlo
+
+type config = {
+  layers : int;
+  d_model : int;
+  heads : int;
+  vocab : int;
+  batch : int;
+  seq : int;  (** training sequence length / maximum decode length *)
+}
+
+val t32 : config
+val t48 : config
+val tiny : config
+(** Small enough for interpreter-based differential tests. *)
+
+val param_count : config -> int
+(** 9 * layers + 1. *)
+
+val forward : config -> Train.forward
+(** The training forward pass (embedding, blocks, tied-logits softmax
+    cross-entropy loss). *)
+
+val inference : config -> decode_steps:int -> Func.t
+(** IT32: greedy decoding for [decode_steps] steps inside a [For] loop,
+    with per-layer key/value caches updated by [dynamic_update_slice].
+    Per-layer attention entry/exit activations are tagged ["q_tag_<l>"] and
+    ["ctx_tag_<l>"] so the multi-query (MQ) tactic can re-tile them. *)
+
+val mq_tags : config -> string list * string list
+(** The (attention-entry, attention-exit) tag names of {!inference}. *)

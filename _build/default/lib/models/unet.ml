@@ -1,0 +1,369 @@
+open Partir_tensor
+open Partir_hlo
+module B = Builder
+
+type config = {
+  image : int;
+  in_channels : int;
+  base_channels : int;
+  down_blocks : int;
+  up_blocks : int;
+  mid_blocks : int;
+  levels : int;
+  heads : int;
+  batch : int;
+  temb : int;
+}
+
+let paper =
+  {
+    image = 32;
+    in_channels = 4;
+    base_channels = 128;
+    down_blocks = 9;
+    up_blocks = 12;
+    mid_blocks = 2;
+    levels = 3;
+    heads = 16;
+    batch = 16;
+    temb = 128;
+  }
+
+let tiny =
+  {
+    image = 8;
+    in_channels = 2;
+    base_channels = 4;
+    down_blocks = 2;
+    up_blocks = 2;
+    mid_blocks = 1;
+    levels = 1;
+    heads = 2;
+    batch = 2;
+    temb = 4;
+  }
+
+(* Resolution level of down block [i]: blocks are spread over the levels,
+   halving resolution every [blocks_per_level]. *)
+let down_level cfg i = min (cfg.levels - 1) (i * cfg.levels / cfg.down_blocks)
+let up_level cfg i =
+  min (cfg.levels - 1) ((cfg.up_blocks - 1 - i) * cfg.levels / cfg.up_blocks)
+
+(* Residual block parameter specs. [cin] -> [cout] with 4x hidden. *)
+let resblock_specs prefix ~cin ~cout ~temb =
+  let hidden = 4 * cout in
+  [
+    (prefix ^ ".norm1_scale", [| cin |]);
+    (prefix ^ ".norm1_bias", [| cin |]);
+    (prefix ^ ".conv1_w", [| 3; 3; cin; hidden |]);
+    (prefix ^ ".conv1_b", [| hidden |]);
+    (prefix ^ ".temb_w", [| temb; hidden |]);
+    (prefix ^ ".temb_b", [| hidden |]);
+    (prefix ^ ".norm2_scale", [| hidden |]);
+    (prefix ^ ".norm2_bias", [| hidden |]);
+    (prefix ^ ".conv2_w", [| 3; 3; hidden; cout |]);
+    (prefix ^ ".conv2_b", [| cout |]);
+    (* Second conv pair of the block (the paper's blocks stack pairs of
+       convolutions with 4x hidden channels). *)
+    (prefix ^ ".norm3_scale", [| cout |]);
+    (prefix ^ ".norm3_bias", [| cout |]);
+    (prefix ^ ".conv3_w", [| 3; 3; cout; hidden |]);
+    (prefix ^ ".conv3_b", [| hidden |]);
+    (prefix ^ ".temb2_w", [| temb; hidden |]);
+    (prefix ^ ".temb2_b", [| hidden |]);
+    (prefix ^ ".norm4_scale", [| hidden |]);
+    (prefix ^ ".norm4_bias", [| hidden |]);
+    (prefix ^ ".conv4_w", [| 3; 3; hidden; cout |]);
+    (prefix ^ ".conv4_b", [| cout |]);
+    (prefix ^ ".skip_w", [| 1; 1; cin; cout |]);
+    (prefix ^ ".skip_b", [| cout |]);
+  ]
+
+let attn_specs prefix ~c =
+  [
+    (prefix ^ ".norm_scale", [| c |]);
+    (prefix ^ ".norm_bias", [| c |]);
+    (prefix ^ ".qkv_w", [| 3; c; c |]);
+    (prefix ^ ".out_w", [| c; c |]);
+  ]
+
+let channels cfg level = cfg.base_channels * (1 lsl level)
+
+(* The full parameter list. Down blocks at their level's channels; up blocks
+   consume concatenated skip features (2x channels in). *)
+let param_specs cfg =
+  let c0 = cfg.base_channels in
+  let specs = ref [] in
+  let addl l = specs := !specs @ l in
+  addl [ ("in_conv_w", [| 3; 3; cfg.in_channels; c0 |]); ("in_conv_b", [| c0 |]) ];
+  addl [ ("temb_mlp_w", [| cfg.temb; cfg.temb |]); ("temb_mlp_b", [| cfg.temb |]) ];
+  for i = 0 to cfg.down_blocks - 1 do
+    let lv = down_level cfg i in
+    let prev_lv = if i = 0 then 0 else down_level cfg (i - 1) in
+    let cin = if i = 0 then c0 else channels cfg prev_lv in
+    addl (resblock_specs (Printf.sprintf "down%d" i) ~cin ~cout:(channels cfg lv) ~temb:cfg.temb)
+  done;
+  let cmid = channels cfg (cfg.levels - 1) in
+  for i = 0 to cfg.mid_blocks - 1 do
+    addl (resblock_specs (Printf.sprintf "mid%d" i) ~cin:cmid ~cout:cmid ~temb:cfg.temb)
+  done;
+  addl (attn_specs "mid_attn" ~c:cmid);
+  for i = 0 to cfg.up_blocks - 1 do
+    let lv = up_level cfg i in
+    let prev_lv = if i = 0 then cfg.levels - 1 else up_level cfg (i - 1) in
+    (* Up blocks concatenate the skip feature from the matching level. *)
+    let cin = channels cfg prev_lv + channels cfg lv in
+    addl (resblock_specs (Printf.sprintf "up%d" i) ~cin ~cout:(channels cfg lv) ~temb:cfg.temb)
+  done;
+  addl
+    [
+      ("out_norm_scale", [| c0 |]);
+      ("out_norm_bias", [| c0 |]);
+      ("out_conv_w", [| 3; 3; c0; cfg.in_channels |]);
+      ("out_conv_b", [| cfg.in_channels |]);
+    ];
+  !specs
+
+let param_count cfg = List.length (param_specs cfg)
+
+let conv b x w bias ~stride =
+  let y = B.add b (Op.Conv2d { stride; padding = 1 }) [ x; w ] in
+  let yb =
+    B.broadcast b bias y.Value.ty.Value.shape
+      [| Shape.rank y.Value.ty.Value.shape - 1 |]
+  in
+  B.add2 b y yb
+
+let conv1x1 b x w bias =
+  let y = B.add b (Op.Conv2d { stride = 1; padding = 0 }) [ x; w ] in
+  let yb =
+    B.broadcast b bias y.Value.ty.Value.shape
+      [| Shape.rank y.Value.ty.Value.shape - 1 |]
+  in
+  B.add2 b y yb
+
+(* Nearest-neighbour 2x upsample via broadcast + reshape (differentiable). *)
+let upsample2 b (x : Value.t) =
+  let s = x.Value.ty.Value.shape in
+  let n = s.(0) and h = s.(1) and w = s.(2) and c = s.(3) in
+  let expanded =
+    B.broadcast b x [| n; h; 2; w; 2; c |] [| 0; 1; 3; 5 |]
+  in
+  B.reshape b expanded [| n; 2 * h; 2 * w; c |]
+
+(* 2x downsample by strided slicing (nearest-neighbour pooling). *)
+let downsample2 b (x : Value.t) =
+  let s = x.Value.ty.Value.shape in
+  let n = s.(0) and h = s.(1) and w = s.(2) and c = s.(3) in
+  (* Reshape to expose the stride dims, then slice index 0 of each. *)
+  let r = B.reshape b x [| n; h / 2; 2; w / 2; 2; c |] in
+  let sl =
+    B.add b
+      (Op.Slice
+         {
+           starts = [| 0; 0; 0; 0; 0; 0 |];
+           limits = [| n; h / 2; 1; w / 2; 1; c |];
+         })
+      [ r ]
+  in
+  B.reshape b sl [| n; h / 2; w / 2; c |]
+
+let norm b x ~scale ~bias =
+  B.layer_norm b x ~scale ~bias:(Some bias) ~dim:(Shape.rank x.Value.ty.Value.shape - 1)
+
+type rb = {
+  norm1_scale : Value.t;
+  norm1_bias : Value.t;
+  conv1_w : Value.t;
+  conv1_b : Value.t;
+  temb_w : Value.t;
+  temb_b : Value.t;
+  norm2_scale : Value.t;
+  norm2_bias : Value.t;
+  conv2_w : Value.t;
+  conv2_b : Value.t;
+  norm3_scale : Value.t;
+  norm3_bias : Value.t;
+  conv3_w : Value.t;
+  conv3_b : Value.t;
+  temb2_w : Value.t;
+  temb2_b : Value.t;
+  norm4_scale : Value.t;
+  norm4_bias : Value.t;
+  conv4_w : Value.t;
+  conv4_b : Value.t;
+  skip_w : Value.t;
+  skip_b : Value.t;
+}
+
+(* One conv pair: norm, relu, expand to 4x hidden channels (adding the
+   projected time embedding), norm, relu, contract back. *)
+let conv_pair b x temb ~norm1_s ~norm1_b ~cw1 ~cb1 ~tw ~tbias ~norm2_s
+    ~norm2_b ~cw2 ~cb2 =
+  let h = norm b x ~scale:norm1_s ~bias:norm1_b in
+  let h = B.relu b h in
+  let h = conv b h cw1 cb1 ~stride:1 in
+  let t = B.matmul b temb tw in
+  let tb = B.broadcast b tbias t.Value.ty.Value.shape [| 1 |] in
+  let t = B.add2 b t tb in
+  let t4 = B.broadcast b t h.Value.ty.Value.shape [| 0; 3 |] in
+  let h = B.add2 b h t4 in
+  let h = norm b h ~scale:norm2_s ~bias:norm2_b in
+  let h = B.relu b h in
+  conv b h cw2 cb2 ~stride:1
+
+let resblock b rb x temb =
+  let h1 =
+    conv_pair b x temb ~norm1_s:rb.norm1_scale ~norm1_b:rb.norm1_bias
+      ~cw1:rb.conv1_w ~cb1:rb.conv1_b ~tw:rb.temb_w ~tbias:rb.temb_b
+      ~norm2_s:rb.norm2_scale ~norm2_b:rb.norm2_bias ~cw2:rb.conv2_w
+      ~cb2:rb.conv2_b
+  in
+  let h2 =
+    conv_pair b h1 temb ~norm1_s:rb.norm3_scale ~norm1_b:rb.norm3_bias
+      ~cw1:rb.conv3_w ~cb1:rb.conv3_b ~tw:rb.temb2_w ~tbias:rb.temb2_b
+      ~norm2_s:rb.norm4_scale ~norm2_b:rb.norm4_bias ~cw2:rb.conv4_w
+      ~cb2:rb.conv4_b
+  in
+  let h = B.add2 b h1 h2 in
+  let skip = conv1x1 b x rb.skip_w rb.skip_b in
+  B.add2 b h skip
+
+let attn_block b ~heads ~norm_scale ~norm_bias ~qkv_w ~out_w x =
+  let s = x.Value.ty.Value.shape in
+  let n = s.(0) and hh = s.(1) and w = s.(2) and c = s.(3) in
+  let hd = c / heads in
+  let tokens = n * hh * w in
+  let flat = B.reshape b x [| tokens; c |] in
+  let nrm = norm b flat ~scale:norm_scale ~bias:norm_bias in
+  let a3 = B.broadcast b nrm [| 3; tokens; c |] [| 1; 2 |] in
+  let qkv = B.matmul b a3 qkv_w in
+  let part i =
+    let sl =
+      B.add b
+        (Op.Slice { starts = [| i; 0; 0 |]; limits = [| i + 1; tokens; c |] })
+        [ qkv ]
+    in
+    let t2 = B.reshape b sl [| n; hh * w; heads; hd |] in
+    B.transpose b t2 [| 0; 2; 1; 3 |]
+  in
+  let q = part 0 and k = part 1 and v = part 2 in
+  let scores = B.matmul b q (B.transpose b k [| 0; 1; 3; 2 |]) in
+  let scores = B.mul_scalar b scores (1. /. Float.sqrt (float_of_int hd)) in
+  let probs = B.softmax b scores ~dim:3 in
+  let ctx = B.matmul b probs v in
+  let ctx = B.transpose b ctx [| 0; 2; 1; 3 |] in
+  let ctx = B.reshape b ctx [| tokens; c |] in
+  let out = B.matmul b ctx out_w in
+  B.add2 b x (B.reshape b out [| n; hh; w; c |])
+
+let forward cfg : Train.forward =
+  let specs = param_specs cfg in
+  let loss b ~params ~inputs =
+    let tbl = Hashtbl.create 64 in
+    List.iter2
+      (fun (n, _) v -> Hashtbl.replace tbl n v)
+      specs params;
+    let p n = Hashtbl.find tbl n in
+    let rb prefix =
+      {
+        norm1_scale = p (prefix ^ ".norm1_scale");
+        norm1_bias = p (prefix ^ ".norm1_bias");
+        conv1_w = p (prefix ^ ".conv1_w");
+        conv1_b = p (prefix ^ ".conv1_b");
+        temb_w = p (prefix ^ ".temb_w");
+        temb_b = p (prefix ^ ".temb_b");
+        norm2_scale = p (prefix ^ ".norm2_scale");
+        norm2_bias = p (prefix ^ ".norm2_bias");
+        conv2_w = p (prefix ^ ".conv2_w");
+        conv2_b = p (prefix ^ ".conv2_b");
+        norm3_scale = p (prefix ^ ".norm3_scale");
+        norm3_bias = p (prefix ^ ".norm3_bias");
+        conv3_w = p (prefix ^ ".conv3_w");
+        conv3_b = p (prefix ^ ".conv3_b");
+        temb2_w = p (prefix ^ ".temb2_w");
+        temb2_b = p (prefix ^ ".temb2_b");
+        norm4_scale = p (prefix ^ ".norm4_scale");
+        norm4_bias = p (prefix ^ ".norm4_bias");
+        conv4_w = p (prefix ^ ".conv4_w");
+        conv4_b = p (prefix ^ ".conv4_b");
+        skip_w = p (prefix ^ ".skip_w");
+        skip_b = p (prefix ^ ".skip_b");
+      }
+    in
+    let x, temb0, target =
+      match inputs with
+      | [ a; b'; c ] -> (a, b', c)
+      | _ -> invalid_arg "unet: expected x, temb, target"
+    in
+    let temb = B.relu b (B.matmul b temb0 (p "temb_mlp_w")) in
+    let tb = B.broadcast b (p "temb_mlp_b") temb.Value.ty.Value.shape [| 1 |] in
+    let temb = B.add2 b temb tb in
+    let h = ref (conv b x (p "in_conv_w") (p "in_conv_b") ~stride:1) in
+    let skips = ref [] in
+    for i = 0 to cfg.down_blocks - 1 do
+      let lv = down_level cfg i in
+      let prev_lv = if i = 0 then 0 else down_level cfg (i - 1) in
+      if i > 0 && lv > prev_lv then h := downsample2 b !h;
+      h := resblock b (rb (Printf.sprintf "down%d" i)) !h temb;
+      skips := !h :: !skips
+    done;
+    for i = 0 to cfg.mid_blocks - 1 do
+      h := resblock b (rb (Printf.sprintf "mid%d" i)) !h temb
+    done;
+    h :=
+      attn_block b ~heads:cfg.heads ~norm_scale:(p "mid_attn.norm_scale")
+        ~norm_bias:(p "mid_attn.norm_bias") ~qkv_w:(p "mid_attn.qkv_w")
+        ~out_w:(p "mid_attn.out_w") !h;
+    for i = 0 to cfg.up_blocks - 1 do
+      let lv = up_level cfg i in
+      let prev_lv = if i = 0 then cfg.levels - 1 else up_level cfg (i - 1) in
+      if lv < prev_lv then h := upsample2 b !h;
+      (* Concatenate a skip feature from the matching resolution. *)
+      let skip =
+        match
+          List.find_opt
+            (fun (s : Value.t) ->
+              Shape.equal
+                (Array.sub s.Value.ty.Value.shape 1 2)
+                (Array.sub !h.Value.ty.Value.shape 1 2))
+            !skips
+        with
+        | Some s -> s
+        | None -> !h
+      in
+      h := B.concat b [ !h; skip ] 3;
+      h := resblock b (rb (Printf.sprintf "up%d" i)) !h temb
+    done;
+    let out = norm b !h ~scale:(p "out_norm_scale") ~bias:(p "out_norm_bias") in
+    let out = conv b (B.relu b out) (p "out_conv_w") (p "out_conv_b") ~stride:1 in
+    let diff = B.sub b out target in
+    let sq = B.mul b diff diff in
+    B.mean b sq [| 0; 1; 2; 3 |]
+  in
+  let img = cfg.image and c = cfg.in_channels in
+  {
+    Train.name = "unet";
+    params = specs;
+    inputs =
+      [
+        ("x", [| cfg.batch; img; img; c |], Dtype.F32);
+        ("temb", [| cfg.batch; cfg.temb |], Dtype.F32);
+        ("target", [| cfg.batch; img; img; c |], Dtype.F32);
+      ];
+    loss;
+  }
+
+let first_divisible_dim (shape : Shape.t) ~size =
+  let rec go d =
+    if d >= Shape.rank shape then None
+    else if shape.(d) mod size = 0 && shape.(d) >= size then Some d
+    else go (d + 1)
+  in
+  go 0
+
+let mp_shard_dim name (shape : Shape.t) =
+  let has suffix = Filename.check_suffix name suffix in
+  if has ".conv1_w" || has ".conv3_w" then Some 3
+  else if has ".qkv_w" && Shape.rank shape = 3 then Some 2
+  else None

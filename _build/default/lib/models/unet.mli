@@ -1,0 +1,32 @@
+(** Diffusion-model U-Net (paper §A.3): residual conv blocks down/up with
+    skip connections, a middle attention block, and a time-embedding input.
+    Convolutions come in pairs whose hidden channel count is 4x the
+    input/output channels, enabling channel partitioning. *)
+
+
+type config = {
+  image : int;  (** square input resolution *)
+  in_channels : int;
+  base_channels : int;
+  down_blocks : int;  (** residual blocks on the down path (paper: 9) *)
+  up_blocks : int;  (** residual blocks on the up path (paper: 12) *)
+  mid_blocks : int;  (** residual blocks between the paths (paper: 2) *)
+  levels : int;  (** resolution halvings *)
+  heads : int;  (** attention heads in the middle block (paper: 16) *)
+  batch : int;
+  temb : int;  (** time-embedding width *)
+}
+
+val paper : config
+val tiny : config
+val param_count : config -> int
+val forward : config -> Train.forward
+
+val mp_shard_dim : string -> Partir_tensor.Shape.t -> int option
+(** Dimension to shard for the MP tactic ("shard the convolutions on their
+    weights not stride", paper §A.6): the hidden-channel dimension of the
+    first conv of each pair; [None] leaves the tensor to inference. *)
+
+val first_divisible_dim : Partir_tensor.Shape.t -> size:int -> int option
+(** partir.FIRST_DIVISIBLE_DIM from the paper's appendix: the first
+    dimension divisible by the axis size. *)

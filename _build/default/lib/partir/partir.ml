@@ -1,0 +1,50 @@
+(** The PartIR reproduction, re-exported as one façade.
+
+    Typical use mirrors the paper's [partir.jit] (§3):
+    {[
+      let mesh = Partir.Mesh.create [ ("B", 4); ("M", 2) ] in
+      let bp = Partir.Strategies.bp ~axis:"B" ~inputs:[ "x" ] () in
+      let result = Partir.jit mesh func [ bp; ... ] in
+      (* result.program is the device-local SPMD module; result.reports
+         carries per-tactic collective counts and simulator estimates. *)
+    ]} *)
+
+module Dtype = Partir_tensor.Dtype
+module Shape = Partir_tensor.Shape
+module Literal = Partir_tensor.Literal
+module Value = Partir_hlo.Value
+module Op = Partir_hlo.Op
+module Func = Partir_hlo.Func
+module Builder = Partir_hlo.Builder
+module Printer = Partir_hlo.Printer
+module Interp = Partir_hlo.Interp
+module Mesh = Partir_mesh.Mesh
+module Action = Partir_core.Action
+module Tmr = Partir_core.Tmr
+module Staged = Partir_core.Staged
+module Propagate = Partir_core.Propagate
+module Temporal = Partir_temporal.Temporal
+module Layout = Partir_spmd.Layout
+module Lower = Partir_spmd.Lower
+module Fusion = Partir_spmd.Fusion
+module Census = Partir_spmd.Census
+module Spmd_interp = Partir_spmd.Spmd_interp
+module Hardware = Partir_sim.Hardware
+module Cost_model = Partir_sim.Cost_model
+module Backend = Partir_sim.Backend
+module Ad = Partir_ad.Ad
+module Optimizer = Partir_ad.Optimizer
+module Schedule = Partir_schedule.Schedule
+module Strategies = Partir_strategies.Strategies
+module Auto = Partir_auto.Auto
+module Gspmd = Partir_gspmd.Gspmd
+
+module Models = struct
+  module Train = Partir_models.Train
+  module Transformer = Partir_models.Transformer
+  module Unet = Partir_models.Unet
+  module Gns = Partir_models.Gns
+  module Mlp = Partir_models.Mlp
+end
+
+let jit = Partir_schedule.Schedule.jit

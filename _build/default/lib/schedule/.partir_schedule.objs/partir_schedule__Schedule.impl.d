@@ -1,0 +1,1 @@
+lib/schedule/schedule.ml: Array Func Hashtbl Lazy List Option Partir_core Partir_hlo Partir_mesh Partir_sim Partir_spmd Partir_tensor Printf Propagate Shape Staged Unix Value

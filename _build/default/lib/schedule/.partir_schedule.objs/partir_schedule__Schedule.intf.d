@@ -1,0 +1,1 @@
+lib/schedule/schedule.mli: Func Partir_core Partir_hlo Partir_mesh Partir_sim Partir_spmd Partir_tensor Shape

@@ -1,0 +1,1 @@
+lib/sim/backend.ml: Func Hashtbl List Op Option Partir_hlo Partir_spmd Unix Value

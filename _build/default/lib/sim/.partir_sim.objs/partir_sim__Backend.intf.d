@@ -1,0 +1,1 @@
+lib/sim/backend.mli: Partir_spmd

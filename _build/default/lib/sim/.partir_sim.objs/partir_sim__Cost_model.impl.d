@@ -1,0 +1,1 @@
+lib/sim/cost_model.ml: Array Float Format Func Hardware Hashtbl List Op Option Partir_hlo Partir_mesh Partir_spmd Value

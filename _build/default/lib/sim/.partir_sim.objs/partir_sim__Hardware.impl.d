@@ -1,0 +1,1 @@
+lib/sim/hardware.ml: Array List

@@ -1,0 +1,10 @@
+(** Mock backend compiler (stands in for XLA, see DESIGN.md §1).
+
+    Runs a realistic pass pipeline over the device-local module —
+    canonicalization sweeps, fusion grouping, buffer assignment and
+    scheduling — so that "compile time" scales with module size the way a
+    real backend's does. Used by the Figure 8 experiment (partition time as
+    a fraction of total compile time). *)
+
+val compile : Partir_spmd.Lower.program -> float
+(** Run the mock pipeline and return the wall-clock seconds it took. *)

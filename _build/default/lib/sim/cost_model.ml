@@ -1,0 +1,286 @@
+open Partir_hlo
+module Mesh = Partir_mesh.Mesh
+module Lower = Partir_spmd.Lower
+
+type profile = {
+  fused_elementwise : bool;
+  dus_window_only : bool;
+  relayout_penalty : bool;
+  small_message_degradation : bool;
+  jitter : bool;
+  memory_margin : float;
+  overlap_fraction : float;
+}
+
+let analytic =
+  {
+    fused_elementwise = false;
+    dus_window_only = false;
+    relayout_penalty = false;
+    small_message_degradation = false;
+    jitter = false;
+    memory_margin = 0.10;
+    overlap_fraction = 0.25;
+  }
+
+let measured =
+  {
+    fused_elementwise = true;
+    dus_window_only = true;
+    relayout_penalty = true;
+    small_message_degradation = true;
+    jitter = true;
+    memory_margin = 0.;
+    overlap_fraction = 0.35;
+  }
+
+type estimate = {
+  runtime_ms : float;
+  compute_ms : float;
+  comm_ms : float;
+  peak_memory_mb : float;
+  flops_per_device : float;
+  mfu_percent : float;
+}
+
+let bytes_of (v : Value.t) = float_of_int (Value.size_in_bytes v)
+let sum f l = List.fold_left (fun acc x -> acc +. f x) 0. l
+
+(* Deterministic per-op jitter in [0.97, 1.03]. *)
+let jitter_of op_id =
+  let h = (op_id * 2654435761) land 0xFFFF in
+  0.97 +. (0.06 *. float_of_int h /. 65535.)
+
+let collective_bytes (op : Op.t) =
+  match (op.operands, op.results) with
+  | x :: _, r :: _ -> (bytes_of x, bytes_of r)
+  | _ -> (0., 0.)
+
+let axes_of_collective = function
+  | Op.All_reduce { axes; _ } -> axes
+  | Op.All_gather { dim_axes } | Op.All_slice { dim_axes }
+  | Op.Reduce_scatter { dim_axes; _ } ->
+      Array.to_list dim_axes |> List.concat
+  | Op.All_to_all { axes; _ } -> axes
+  | _ -> []
+
+(* Communication time in seconds for one collective. *)
+let comm_time profile hw mesh (op : Op.t) =
+  let axes = axes_of_collective op.kind in
+  match axes with
+  | [] -> 0.
+  | _ ->
+      let n = float_of_int (List.fold_left (fun acc (_, s) -> acc * s) 1 axes) in
+      let bw =
+        List.fold_left
+          (fun acc (a, _) ->
+            Float.min acc (Hardware.axis_bandwidth hw (Mesh.axis_index mesh a)))
+          infinity axes
+      in
+      let op_bytes, res_bytes = collective_bytes op in
+      let payload =
+        match op.kind with
+        | Op.All_reduce _ -> 2. *. (n -. 1.) /. n *. op_bytes
+        | Op.All_gather _ -> (n -. 1.) /. n *. res_bytes
+        | Op.Reduce_scatter _ -> (n -. 1.) /. n *. op_bytes
+        | Op.All_to_all _ -> (n -. 1.) /. n *. op_bytes
+        | Op.All_slice _ -> 0.
+        | _ -> 0.
+      in
+      if payload = 0. then 0.
+      else
+        let bw =
+          if profile.small_message_degradation then
+            bw *. (payload /. (payload +. 262144.))
+          else bw
+        in
+        (payload /. bw) +. (hw.Hardware.link_latency_us *. 1e-6)
+
+(* Bytes a (non-collective) op moves through memory. *)
+let mem_bytes profile (op : Op.t) ~prev_elementwise =
+  let operand_bytes = sum bytes_of op.operands in
+  let result_bytes = sum bytes_of op.results in
+  match op.kind with
+  | Op.Reshape _ | Op.Identity | Op.Constant _ | Op.Splat _ | Op.Iota _ -> 0.
+  | Op.Dynamic_update_slice when profile.dus_window_only -> (
+      (* Only the updated window moves. *)
+      match op.operands with
+      | _ :: upd :: _ -> 2. *. bytes_of upd
+      | _ -> result_bytes)
+  | (Op.Broadcast _ | Op.Pad _) when profile.fused_elementwise ->
+      (* Backends fuse broadcasts/pads into their consumers. *)
+      0.
+  | _ when Op.is_elementwise op.kind && profile.fused_elementwise ->
+      (* Fused into the producing kernel: no extra memory pass. *)
+      ignore prev_elementwise;
+      0.
+  | _ -> operand_bytes +. result_bytes
+
+let rec walk profile hw mesh (ops : Op.t list) =
+  let compute = ref 0. and comm = ref 0. in
+  let prev_ew = ref false in
+  let peak_flops = hw.Hardware.peak_tflops *. 1e12 *. hw.Hardware.compute_efficiency in
+  let mem_bw = hw.Hardware.mem_bw_gbps *. 1e9 in
+  let flops_total = ref 0. in
+  List.iter
+    (fun (op : Op.t) ->
+      let j = if profile.jitter then jitter_of op.id else 1. in
+      match op.kind with
+      | Op.All_reduce _ | Op.All_gather _ | Op.All_slice _
+      | Op.Reduce_scatter _ | Op.All_to_all _ ->
+          comm := !comm +. (j *. comm_time profile hw mesh op);
+          if profile.relayout_penalty then begin
+            match op.kind with
+            | Op.All_gather _ | Op.All_to_all _ ->
+                let _, res_bytes = collective_bytes op in
+                compute := !compute +. (res_bytes /. mem_bw)
+            | _ -> ()
+          end;
+          prev_ew := false
+      | Op.For { trip_count; _ } ->
+          (match op.region with
+          | Some r ->
+              let c, m, f = walk profile hw mesh r.body in
+              let t = float_of_int trip_count in
+              compute := !compute +. (t *. c);
+              comm := !comm +. (t *. m);
+              flops_total := !flops_total +. (t *. f)
+          | None -> ());
+          prev_ew := false
+      | _ ->
+          let f = Op.flops op in
+          flops_total := !flops_total +. f;
+          let flop_time = f /. peak_flops in
+          let mem_time =
+            mem_bytes profile op ~prev_elementwise:!prev_ew /. mem_bw
+          in
+          let launch = 0.4e-6 in
+          compute := !compute +. (j *. (Float.max flop_time mem_time +. launch));
+          prev_ew := Op.is_elementwise op.kind)
+    ops;
+  (!compute, !comm, !flops_total)
+
+(* Peak device memory: resident inputs plus the live-range peak of
+   intermediate buffers. With [fused_elementwise], single-use elementwise
+   and broadcast results are fused into their consumer and occupy no
+   standalone buffer (a simple model of what the backend compiler will do,
+   paper A.5.2). *)
+let peak_memory profile (f : Func.t) =
+  let resident = sum bytes_of f.Func.params in
+  let use_counts = Hashtbl.create 256 in
+  let rec count ops =
+    List.iter
+      (fun (op : Op.t) ->
+        List.iter
+          (fun (v : Value.t) ->
+            Hashtbl.replace use_counts v.Value.id
+              (1 + Option.value ~default:0 (Hashtbl.find_opt use_counts v.Value.id)))
+          op.operands;
+        match op.region with Some r -> count r.body | None -> ())
+      ops
+  in
+  count f.Func.body;
+  let fused_defs = Hashtbl.create 256 in
+  (if profile.fused_elementwise then
+     let rec mark ops =
+       List.iter
+         (fun (op : Op.t) ->
+           (match op.kind with
+           | k when Op.is_elementwise k || (match k with Op.Broadcast _ -> true | _ -> false) ->
+               List.iter
+                 (fun (v : Value.t) ->
+                   if Hashtbl.find_opt use_counts v.Value.id = Some 1 then
+                     Hashtbl.replace fused_defs v.Value.id ())
+                 op.results
+           | _ -> ());
+           match op.region with Some r -> mark r.body | None -> ())
+         ops
+     in
+     mark f.Func.body);
+  let rec scope_peak (ops : Op.t list) (terms : Value.t list) =
+    let last_use : (int, int) Hashtbl.t = Hashtbl.create 256 in
+    List.iteri
+      (fun i (op : Op.t) ->
+        List.iter
+          (fun (v : Value.t) -> Hashtbl.replace last_use v.Value.id i)
+          op.operands)
+      ops;
+    List.iter
+      (fun (v : Value.t) -> Hashtbl.replace last_use v.Value.id max_int)
+      terms;
+    let live = ref 0. and peak = ref 0. in
+    let expiring : (int, float) Hashtbl.t = Hashtbl.create 256 in
+    List.iteri
+      (fun i (op : Op.t) ->
+        (* Inner region peak counts on top of current liveness. *)
+        (match op.region with
+        | Some r ->
+            let inner = scope_peak r.body r.yields in
+            peak := Float.max !peak (!live +. inner)
+        | None -> ());
+        let produced =
+          sum
+            (fun (v : Value.t) ->
+              if Hashtbl.mem last_use v.Value.id && not (Hashtbl.mem fused_defs v.Value.id)
+              then bytes_of v
+              else 0.)
+            op.results
+        in
+        live := !live +. produced;
+        peak := Float.max !peak !live;
+        List.iter
+          (fun (v : Value.t) ->
+            match Hashtbl.find_opt last_use v.Value.id with
+            | Some last when last = i -> (
+                (* Buffer dies here (unless it is a parameter: params are
+                   resident). *)
+                match
+                  List.find_opt
+                    (fun (p : Value.t) -> p.Value.id = v.Value.id)
+                    f.Func.params
+                with
+                | Some _ -> ()
+                | None ->
+                    if not (Hashtbl.mem fused_defs v.Value.id) then
+                      let b =
+                        Option.value ~default:(bytes_of v)
+                          (Hashtbl.find_opt expiring v.Value.id)
+                      in
+                      live := !live -. b)
+            | _ -> ())
+          op.operands;
+        List.iter
+          (fun (v : Value.t) -> Hashtbl.replace expiring v.Value.id (bytes_of v))
+          op.results)
+      ops;
+    !peak
+  in
+  let activations = scope_peak f.Func.body f.Func.results in
+  (resident +. activations) *. (1. +. profile.memory_margin)
+
+let run profile hw (p : Lower.program) =
+  let compute_s, comm_s, flops = walk profile hw p.Lower.mesh p.Lower.func.Func.body in
+  let runtime_s =
+    compute_s +. (comm_s *. (1. -. profile.overlap_fraction))
+  in
+  let mem = peak_memory profile p.Lower.func in
+  let ndev = float_of_int (Mesh.num_devices p.Lower.mesh) in
+  let mfu =
+    if runtime_s > 0. then
+      100. *. p.Lower.source_flops
+      /. (runtime_s *. ndev *. hw.Hardware.peak_tflops *. 1e12)
+    else 0.
+  in
+  {
+    runtime_ms = runtime_s *. 1e3;
+    compute_ms = compute_s *. 1e3;
+    comm_ms = comm_s *. 1e3;
+    peak_memory_mb = mem /. 1e6;
+    flops_per_device = flops;
+    mfu_percent = mfu;
+  }
+
+let pp_estimate ppf e =
+  Format.fprintf ppf
+    "runtime=%.3fms (compute=%.3f comm=%.3f) mem=%.1fMB mfu=%.1f%%"
+    e.runtime_ms e.compute_ms e.comm_ms e.peak_memory_mb e.mfu_percent

@@ -1,0 +1,40 @@
+(** Runtime/memory estimation over lowered SPMD programs.
+
+    Two instantiations share this model (DESIGN.md §1):
+    - {!analytic}: the paper's analytical simulator (§A.5) — per-op roofline
+      plus per-collective alpha-beta cost, deliberately blind to backend
+      optimizations (fusion, in-place dynamic updates, layout passes), and
+      with a deliberate memory overestimation margin;
+    - {!measured}: the discrete-event stand-in for real hardware — models
+      those backend effects plus deterministic per-op jitter, playing the
+      role of the paper's TPU measurements (Figs 9/10). *)
+
+type profile = {
+  fused_elementwise : bool;
+      (** consecutive elementwise ops cost as one memory pass *)
+  dus_window_only : bool;
+      (** dynamic_update_slice charges the window, not the buffer (the
+          KV-cache optimization the paper's simulator misses, §A.5.1) *)
+  relayout_penalty : bool;
+      (** all_gather/all_to_all results pay a re-layout memory pass (the
+          XLA layout-pass cost the paper's simulator misses) *)
+  small_message_degradation : bool;
+  jitter : bool;  (** deterministic ±3% per-op noise *)
+  memory_margin : float;  (** fractional overestimation bias *)
+  overlap_fraction : float;  (** fraction of comm hidden under compute *)
+}
+
+val analytic : profile
+val measured : profile
+
+type estimate = {
+  runtime_ms : float;
+  compute_ms : float;
+  comm_ms : float;
+  peak_memory_mb : float;
+  flops_per_device : float;
+  mfu_percent : float;
+}
+
+val run : profile -> Hardware.t -> Partir_spmd.Lower.program -> estimate
+val pp_estimate : Format.formatter -> estimate -> unit

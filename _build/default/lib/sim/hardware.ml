@@ -1,0 +1,42 @@
+type t = {
+  name : string;
+  peak_tflops : float;
+  hbm_gb : float;
+  mem_bw_gbps : float;
+  link_gbps : float array;
+  link_latency_us : float;
+  compute_efficiency : float;
+}
+
+(* TPUv3 (paper §A.2): 123 TFLOPs bf16 per chip, 16 GiB HBM per core,
+   four 70 GB/s links. We model a device as one core. *)
+let tpu_v3 =
+  {
+    name = "tpu_v3";
+    peak_tflops = 123.;
+    hbm_gb = 16.;
+    mem_bw_gbps = 900.;
+    link_gbps = [| 140.; 70. |];
+    link_latency_us = 2.;
+    compute_efficiency = 0.62;
+  }
+
+(* A100-40GB (paper §A.2): 312 TFLOPS bf16, NVLink 600 GB/s. *)
+let a100 =
+  {
+    name = "a100";
+    peak_tflops = 312.;
+    hbm_gb = 40.;
+    mem_bw_gbps = 1555.;
+    link_gbps = [| 300.; 100. |];
+    link_latency_us = 4.;
+    compute_efficiency = 0.45;
+  }
+
+let registry = [ tpu_v3; a100 ]
+let find name = List.find (fun t -> t.name = name) registry
+
+let axis_bandwidth t pos =
+  let n = Array.length t.link_gbps in
+  let g = if pos < n then t.link_gbps.(pos) else t.link_gbps.(n - 1) in
+  g *. 1e9

@@ -1,0 +1,25 @@
+(** Target-device specification registry (paper §A.5: "PartIR keeps a
+    registry of popular compilation devices ... requiring only high-level
+    device specs"). *)
+
+type t = {
+  name : string;
+  peak_tflops : float;  (** per-device dense peak (bf16) *)
+  hbm_gb : float;  (** per-device memory capacity *)
+  mem_bw_gbps : float;  (** HBM bandwidth, GB/s *)
+  link_gbps : float array;
+      (** interconnect bandwidth per mesh-axis position (GB/s); axes beyond
+          the array reuse the last entry *)
+  link_latency_us : float;  (** per-collective startup latency *)
+  compute_efficiency : float;
+      (** achievable fraction of peak for dense math *)
+}
+
+val tpu_v3 : t
+val a100 : t
+val registry : t list
+val find : string -> t
+(** Raises [Not_found]. *)
+
+val axis_bandwidth : t -> int -> float
+(** Link bandwidth (bytes/s) for the mesh axis at the given position. *)

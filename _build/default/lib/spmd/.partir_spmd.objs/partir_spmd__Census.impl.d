@@ -1,0 +1,1 @@
+lib/spmd/census.ml: Format Func List Lower Op Partir_hlo Printf

@@ -1,0 +1,1 @@
+lib/spmd/census.mli: Format Lower Partir_hlo

@@ -1,0 +1,1 @@
+lib/spmd/fusion.ml: Array Func Hashtbl List Op Option Partir_hlo Value

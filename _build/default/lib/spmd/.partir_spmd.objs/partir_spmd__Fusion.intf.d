@@ -1,0 +1,1 @@
+lib/spmd/fusion.mli: Partir_hlo

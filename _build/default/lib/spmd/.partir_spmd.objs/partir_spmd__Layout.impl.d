@@ -1,0 +1,1 @@
+lib/spmd/layout.ml: Array Format Int List Partir_mesh Partir_tensor Shape String

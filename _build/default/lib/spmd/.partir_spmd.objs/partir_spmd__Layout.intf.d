@@ -1,0 +1,1 @@
+lib/spmd/layout.mli: Format Partir_mesh Partir_tensor Shape

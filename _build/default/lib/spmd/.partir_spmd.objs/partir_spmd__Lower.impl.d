@@ -1,0 +1,1 @@
+lib/spmd/lower.ml: Action Array Dtype Func Fusion Hashtbl Layout List Localize Op Option Partir_core Partir_hlo Partir_mesh Partir_tensor Printf Shape Staged String Value

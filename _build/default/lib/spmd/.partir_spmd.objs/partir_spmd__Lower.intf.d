@@ -1,0 +1,1 @@
+lib/spmd/lower.mli: Func Layout Partir_core Partir_hlo Partir_mesh Value

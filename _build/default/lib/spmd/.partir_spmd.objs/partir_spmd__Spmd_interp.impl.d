@@ -1,0 +1,1 @@
+lib/spmd/spmd_interp.ml: Array Dtype Float Format Func Hashtbl Interp Layout List Literal Lower Op Option Partir_hlo Partir_mesh Partir_tensor Shape String Value

@@ -1,0 +1,1 @@
+lib/spmd/spmd_interp.mli: Literal Lower Partir_tensor

@@ -1,0 +1,58 @@
+open Partir_hlo
+
+type t = {
+  all_gather : int;
+  all_reduce : int;
+  reduce_scatter : int;
+  all_to_all : int;
+  all_slice : int;
+}
+
+let zero =
+  { all_gather = 0; all_reduce = 0; reduce_scatter = 0; all_to_all = 0; all_slice = 0 }
+
+let add a b =
+  {
+    all_gather = a.all_gather + b.all_gather;
+    all_reduce = a.all_reduce + b.all_reduce;
+    reduce_scatter = a.reduce_scatter + b.reduce_scatter;
+    all_to_all = a.all_to_all + b.all_to_all;
+    all_slice = a.all_slice + b.all_slice;
+  }
+
+let scale k a =
+  {
+    all_gather = k * a.all_gather;
+    all_reduce = k * a.all_reduce;
+    reduce_scatter = k * a.reduce_scatter;
+    all_to_all = k * a.all_to_all;
+    all_slice = k * a.all_slice;
+  }
+
+let rec of_ops ops =
+  List.fold_left
+    (fun acc (op : Op.t) ->
+      let own =
+        match op.kind with
+        | Op.All_gather _ -> { zero with all_gather = 1 }
+        | Op.All_reduce _ -> { zero with all_reduce = 1 }
+        | Op.Reduce_scatter _ -> { zero with reduce_scatter = 1 }
+        | Op.All_to_all _ -> { zero with all_to_all = 1 }
+        | Op.All_slice _ -> { zero with all_slice = 1 }
+        | Op.For { trip_count; _ } -> (
+            match op.region with
+            | Some r -> scale trip_count (of_ops r.body)
+            | None -> zero)
+        | _ -> zero
+      in
+      add acc own)
+    zero ops
+
+let of_func (f : Func.t) = of_ops f.Func.body
+let of_program (p : Lower.program) = of_func p.Lower.func
+
+let to_string t =
+  Printf.sprintf "AG:%d AR:%d RS:%d A2A:%d (slices:%d)" t.all_gather
+    t.all_reduce t.reduce_scatter t.all_to_all t.all_slice
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

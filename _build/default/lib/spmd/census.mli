@@ -1,0 +1,19 @@
+(** Collective census: the per-schedule collective counts reported to the
+    user after each tactic (paper Table 2). Collectives inside [For] loops
+    are weighted by the trip count (the serving loop of the inference
+    transformer "greatly amplifies" counts, §7.3). *)
+
+type t = {
+  all_gather : int;
+  all_reduce : int;
+  reduce_scatter : int;
+  all_to_all : int;
+  all_slice : int;  (** communication-free; reported for information *)
+}
+
+val zero : t
+val add : t -> t -> t
+val of_func : Partir_hlo.Func.t -> t
+val of_program : Lower.program -> t
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

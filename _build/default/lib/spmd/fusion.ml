@@ -1,0 +1,340 @@
+open Partir_hlo
+
+let subst_value subst (v : Value.t) =
+  match Value.Map.find_opt v.Value.id !subst with Some v' -> v' | None -> v
+
+let subst_op subst (op : Op.t) =
+  { op with operands = List.map (subst_value subst) op.operands }
+
+(* Apply [f] to every scope (top-level body and region bodies, innermost
+   first), where [f ops terminators] returns the rewritten pair. *)
+let rec map_scopes f (ops : Op.t list) (terms : Value.t list) =
+  let ops =
+    List.map
+      (fun (op : Op.t) ->
+        match op.region with
+        | None -> op
+        | Some r ->
+            let body, yields = map_scopes f r.body r.yields in
+            { op with region = Some { r with body; yields } })
+      ops
+  in
+  f ops terms
+
+(* Remove Identity ops, redirecting uses to their operand. *)
+let strip_identities ops terms =
+  let subst = ref Value.Map.empty in
+  let ops =
+    List.filter_map
+      (fun (op : Op.t) ->
+        let op = subst_op subst op in
+        match (op.kind, op.operands, op.results) with
+        | Op.Identity, [ src ], [ res ] ->
+            (* Keep the source name visible if the identity carried one. *)
+            subst := Value.Map.add res.Value.id src !subst;
+            None
+        | _ -> Some op)
+      ops
+  in
+  (ops, List.map (subst_value subst) terms)
+
+let same_dim_axes (a : (string * int) list array) b = a = b
+
+(* add(all_reduce(a), all_reduce(b)) -> all_reduce(add(a, b)) for matching
+   sum-reductions: gradient contributions of shared parameters (e.g. tied
+   embeddings) then cost one collective, as the paper's counts expect. *)
+let fuse_add_of_reduces ops terms =
+  let term_ids =
+    List.fold_left
+      (fun acc (v : Value.t) -> Value.Set.add v.Value.id acc)
+      Value.Set.empty terms
+  in
+  let use_count : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (op : Op.t) ->
+      List.iter
+        (fun (v : Value.t) ->
+          Hashtbl.replace use_count v.Value.id
+            (1 + Option.value ~default:0 (Hashtbl.find_opt use_count v.Value.id)))
+        op.operands)
+    ops;
+  let producer : (int, Op.t) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (op : Op.t) ->
+      List.iter (fun (v : Value.t) -> Hashtbl.replace producer v.Value.id op) op.results)
+    ops;
+  (* Trace a value back to an all_reduce through a single-use chain of
+     structural ops (transpose/reshape commute with all_reduce). Returns the
+     AR's axes, its source value, and the chain (innermost first) to replay
+     on the source. *)
+  let rec trace_to_reduce (v : Value.t) chain =
+    if Value.Set.mem v.Value.id term_ids then None
+    else if Hashtbl.find_opt use_count v.Value.id <> Some 1 then None
+    else
+      match Hashtbl.find_opt producer v.Value.id with
+      | Some { kind = Op.All_reduce { axes; reduce = Op.Rsum }; operands = [ src ]; _ }
+        ->
+          Some (axes, src, chain)
+      | Some ({ kind = Op.Transpose _ | Op.Reshape _; operands = [ src ]; _ } as p)
+        ->
+          trace_to_reduce src (p.kind :: chain)
+      | _ -> None
+  in
+  let replay src chain =
+    List.fold_left
+      (fun (acc_ops, v) kind ->
+        let op = Op.make kind [ v ] () in
+        (op :: acc_ops, List.hd op.results))
+      ([], src)
+      (List.rev chain)
+  in
+  let subst = ref Value.Map.empty in
+  let drop = Hashtbl.create 16 in
+  let replacement : (int, Op.t list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (op : Op.t) ->
+      let op = subst_op subst op in
+      match (op.kind, op.operands, op.results) with
+      | Op.Binary Op.Add, [ a; b ], [ res ] -> (
+          match (trace_to_reduce a [], trace_to_reduce b []) with
+          | Some (ax1, src_a, chain_a), Some (ax2, src_b, chain_b)
+            when ax1 = ax2 ->
+              let ops_a, va = replay src_a chain_a in
+              let ops_b, vb = replay src_b chain_b in
+              let add = Op.make (Op.Binary Op.Add) [ va; vb ] () in
+              let ar =
+                Op.make
+                  (Op.All_reduce { axes = ax1; reduce = Op.Rsum })
+                  [ List.hd add.results ]
+                  ()
+              in
+              Hashtbl.replace drop op.id ();
+              Hashtbl.replace replacement op.id
+                (List.rev ops_a @ List.rev ops_b @ [ add; ar ]);
+              (* The fused AR's result can feed another round of fusion. *)
+              Hashtbl.replace producer (List.hd ar.results).Value.id ar;
+              Hashtbl.replace use_count (List.hd ar.results).Value.id
+                (Option.value ~default:0 (Hashtbl.find_opt use_count res.Value.id));
+              subst := Value.Map.add res.Value.id (List.hd ar.results) !subst
+          | _ -> ())
+      | _ -> ())
+    ops;
+  let ops =
+    List.concat_map
+      (fun (op : Op.t) ->
+        if Hashtbl.mem drop op.id then
+          Option.value ~default:[] (Hashtbl.find_opt replacement op.id)
+        else [ subst_op subst op ])
+      ops
+  in
+  (ops, List.map (subst_value subst) terms)
+
+let axes_of_dim_axes (da : (string * int) list array) =
+  Array.to_list da |> List.concat |> List.map fst
+
+(* all_slice(all_reduce(x)) -> reduce_scatter when every user of the
+   reduction is an identical slice (and the reduction is not a scope
+   result). *)
+let fuse_reduce_scatter ops terms =
+  let term_ids =
+    List.fold_left
+      (fun acc (v : Value.t) -> Value.Set.add v.Value.id acc)
+      Value.Set.empty terms
+  in
+  let uses : (int, Op.t list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (op : Op.t) ->
+      List.iter
+        (fun (v : Value.t) ->
+          Hashtbl.replace uses v.Value.id
+            (op :: Option.value ~default:[] (Hashtbl.find_opt uses v.Value.id)))
+        op.operands)
+    ops;
+  let subst = ref Value.Map.empty in
+  let drop = Hashtbl.create 16 in
+  let replacement : (int, Op.t list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (op : Op.t) ->
+      match (op.kind, op.results) with
+      | Op.All_reduce { axes; reduce }, [ res ]
+        when not (Value.Set.mem res.Value.id term_ids) -> (
+          let users = Option.value ~default:[] (Hashtbl.find_opt uses res.Value.id) in
+          match users with
+          | (first :: _ as all) when
+              List.for_all
+                (fun (u : Op.t) ->
+                  match u.kind with
+                  | Op.All_slice { dim_axes } -> (
+                      match first.kind with
+                      | Op.All_slice { dim_axes = d0 } ->
+                          same_dim_axes dim_axes d0
+                      | _ -> false)
+                  | _ -> false)
+                all ->
+              let dim_axes =
+                match first.kind with
+                | Op.All_slice { dim_axes } -> dim_axes
+                | _ -> assert false
+              in
+              let slice_axes = axes_of_dim_axes dim_axes in
+              let reduce_axes = List.map fst axes in
+              if List.for_all (fun a -> List.mem a reduce_axes) slice_axes
+              then begin
+                let leftover =
+                  List.filter (fun (a, _) -> not (List.mem a slice_axes)) axes
+                in
+                let src = List.hd op.operands in
+                let pre, rs_input =
+                  if leftover = [] then ([], src)
+                  else
+                    let ar =
+                      Op.make (Op.All_reduce { axes = leftover; reduce })
+                        [ src ] ()
+                    in
+                    ([ ar ], List.hd ar.results)
+                in
+                let rs =
+                  Op.make (Op.Reduce_scatter { reduce; dim_axes }) [ rs_input ] ()
+                in
+                Hashtbl.replace replacement op.id (pre @ [ rs ]);
+                Hashtbl.replace drop op.id ();
+                List.iter
+                  (fun (u : Op.t) ->
+                    Hashtbl.replace drop u.id ();
+                    match u.results with
+                    | [ ur ] ->
+                        subst :=
+                          Value.Map.add ur.Value.id (List.hd rs.results) !subst
+                    | _ -> ())
+                  all
+              end
+          | _ -> ())
+      | _ -> ())
+    ops;
+  let ops =
+    List.concat_map
+      (fun (op : Op.t) ->
+        if Hashtbl.mem drop op.id then
+          Option.value ~default:[] (Hashtbl.find_opt replacement op.id)
+        else [ subst_op subst op ])
+      ops
+  in
+  (ops, List.map (subst_value subst) terms)
+
+(* all_slice(all_gather(x)): cancel if identical; fuse to all_to_all if the
+   same axes move from one dimension to another. Requires the gather to have
+   a single user (the slice) and not be a scope result. *)
+let fuse_all_to_all ops terms =
+  let term_ids =
+    List.fold_left
+      (fun acc (v : Value.t) -> Value.Set.add v.Value.id acc)
+      Value.Set.empty terms
+  in
+  let use_count : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (op : Op.t) ->
+      List.iter
+        (fun (v : Value.t) ->
+          Hashtbl.replace use_count v.Value.id
+            (1 + Option.value ~default:0 (Hashtbl.find_opt use_count v.Value.id)))
+        op.operands)
+    ops;
+  let producer : (int, Op.t) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (op : Op.t) ->
+      List.iter
+        (fun (v : Value.t) -> Hashtbl.replace producer v.Value.id op)
+        op.results)
+    ops;
+  let subst = ref Value.Map.empty in
+  let drop = Hashtbl.create 16 in
+  let replacement : (int, Op.t) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (op : Op.t) ->
+      match (op.kind, op.operands, op.results) with
+      | Op.All_slice { dim_axes = sl }, [ src ], [ res ] -> (
+          match Hashtbl.find_opt producer src.Value.id with
+          | Some g when Hashtbl.mem drop g.id -> ()
+          | Some ({ kind = Op.All_gather { dim_axes = ga }; _ } as g)
+            when Option.value ~default:0 (Hashtbl.find_opt use_count src.Value.id) = 1
+                 && not (Value.Set.mem src.Value.id term_ids) -> (
+              let gdims =
+                List.filter (fun d -> ga.(d) <> [])
+                  (List.init (Array.length ga) (fun i -> i))
+              in
+              let sdims =
+                List.filter (fun d -> sl.(d) <> [])
+                  (List.init (Array.length sl) (fun i -> i))
+              in
+              match (gdims, sdims) with
+              | [ gd ], [ sd ] when gd = sd && ga.(gd) = sl.(sd) ->
+                  (* Exact cancellation. *)
+                  Hashtbl.replace drop g.id ();
+                  Hashtbl.replace drop op.id ();
+                  subst :=
+                    Value.Map.add res.Value.id (List.hd g.operands) !subst
+              | [ gd ], [ sd ] when gd <> sd && ga.(gd) = sl.(sd) ->
+                  let a2a =
+                    Op.make
+                      (Op.All_to_all
+                         { src_dim = gd; dst_dim = sd; axes = ga.(gd) })
+                      [ List.hd g.operands ] ()
+                  in
+                  Hashtbl.replace drop g.id ();
+                  Hashtbl.replace drop op.id ();
+                  Hashtbl.replace replacement op.id a2a;
+                  subst :=
+                    Value.Map.add res.Value.id (List.hd a2a.results) !subst
+              | _ -> ())
+          | _ -> ())
+      | _ -> ())
+    ops;
+  let ops =
+    List.concat_map
+      (fun (op : Op.t) ->
+        if Hashtbl.mem drop op.id then
+          match Hashtbl.find_opt replacement op.id with
+          | Some r -> [ subst_op subst r ]
+          | None -> []
+        else [ subst_op subst op ])
+      ops
+  in
+  (ops, List.map (subst_value subst) terms)
+
+(* Dead code elimination within a scope. *)
+let dce ops terms =
+  let live = Hashtbl.create 64 in
+  let mark (v : Value.t) = Hashtbl.replace live v.Value.id () in
+  List.iter mark terms;
+  let kept =
+    List.fold_left
+      (fun acc (op : Op.t) ->
+        if List.exists (fun (r : Value.t) -> Hashtbl.mem live r.Value.id) op.results
+        then begin
+          List.iter mark op.operands;
+          op :: acc
+        end
+        else acc)
+      []
+      (List.rev ops)
+  in
+  (kept, terms)
+
+let run (f : Func.t) =
+  let passes =
+    [
+      strip_identities;
+      fuse_add_of_reduces;
+      fuse_add_of_reduces;
+      fuse_reduce_scatter;
+      fuse_all_to_all;
+      dce;
+    ]
+  in
+  let body, results =
+    List.fold_left
+      (fun (ops, terms) pass -> map_scopes pass ops terms)
+      (f.Func.body, f.Func.results)
+      passes
+  in
+  { f with body; results }

@@ -1,0 +1,11 @@
+(** PartIR:HLO collective optimization (paper §6):
+
+    - strips [Identity] staging anchors;
+    - rewrites [all_slice(all_reduce(x))] into [reduce_scatter] when every
+      user of the reduction slices it the same way;
+    - rewrites [all_slice(all_gather(x))] pairs moving the same axes between
+      two dimensions into [all_to_all];
+    - cancels [all_slice(all_gather(x))] pairs that undo each other;
+    - removes dead ops. *)
+
+val run : Partir_hlo.Func.t -> Partir_hlo.Func.t

@@ -1,0 +1,59 @@
+open Partir_tensor
+module Mesh = Partir_mesh.Mesh
+
+type t = string list array
+
+let replicated rank : t = Array.make rank []
+let equal (a : t) (b : t) = a = b
+let is_replicated (l : t) = Array.for_all (fun axes -> axes = []) l
+
+let axes_used (l : t) =
+  Array.to_list l |> List.concat
+
+let local_shape mesh (shape : Shape.t) (l : t) =
+  Array.mapi
+    (fun d s ->
+      List.fold_left (fun acc a -> acc / Mesh.axis_size mesh a) s l.(d))
+    shape
+
+let chunk_offsets mesh (shape : Shape.t) (l : t) (dev : Mesh.device) =
+  Array.mapi
+    (fun d s ->
+      let cur = ref s and off = ref 0 in
+      List.iter
+        (fun a ->
+          cur := !cur / Mesh.axis_size mesh a;
+          off := !off + (Mesh.coordinate mesh dev a * !cur))
+        l.(d);
+      !off)
+    shape
+
+let add_axis (l : t) ~dim ~axis =
+  let l' = Array.copy l in
+  l'.(dim) <- l'.(dim) @ [ axis ];
+  l'
+
+let of_dim_axes ~rank pairs =
+  List.fold_left
+    (fun acc (dim, axis) -> add_axis acc ~dim ~axis)
+    (replicated rank) pairs
+
+(* Canonical per-dim order: descending mesh-axis index, matching the nest
+   order maintained by propagation (later mesh axes — the ZeRO-style reuse
+   of the batch axis — slice innermost). *)
+let canonicalize mesh (l : t) =
+  Array.map
+    (fun axes ->
+      List.sort
+        (fun a b -> Int.compare (Mesh.axis_index mesh b) (Mesh.axis_index mesh a))
+        axes)
+    l
+
+let to_string (l : t) =
+  "["
+  ^ String.concat ", "
+      (Array.to_list
+         (Array.map (fun axes -> "{" ^ String.concat "," axes ^ "}") l))
+  ^ "]"
+
+let pp ppf l = Format.pp_print_string ppf (to_string l)

@@ -1,0 +1,36 @@
+(** Device-local layouts: for each tensor dimension, the ordered list of
+    mesh axes it is sliced over (outermost first). An empty list everywhere
+    means the value is replicated. *)
+
+open Partir_tensor
+module Mesh = Partir_mesh.Mesh
+
+type t = string list array
+
+val replicated : int -> t
+(** Fully replicated layout for a tensor of the given rank. *)
+
+val equal : t -> t -> bool
+val is_replicated : t -> bool
+val axes_used : t -> string list
+(** All axes appearing in the layout, in (dim, position) order. *)
+
+val local_shape : Mesh.t -> Shape.t -> t -> Shape.t
+(** Per-device shape of a tensor with the given full shape and layout. *)
+
+val chunk_offsets : Mesh.t -> Shape.t -> t -> Mesh.device -> int array
+(** Starting offsets of the device's chunk within the full tensor. *)
+
+val add_axis : t -> dim:int -> axis:string -> t
+(** Append [axis] to dimension [dim]'s slicing (innermost position). *)
+
+val of_dim_axes : rank:int -> (int * string) list -> t
+(** Build from ordered (dim, axis) pairs. *)
+
+val canonicalize : Mesh.t -> t -> t
+(** Sort each dimension's axes into mesh order, so layouts that shard over
+    the same axis sets compare equal regardless of how propagation ordered
+    the nest entries. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,344 @@
+open Partir_tensor
+open Partir_hlo
+open Partir_core
+module Mesh = Partir_mesh.Mesh
+
+type program = {
+  mesh : Mesh.t;
+  func : Func.t;
+  source_params : Value.t list;
+  source_results : Value.t list;
+  input_layouts : Layout.t list;
+  output_layouts : Layout.t list;
+  source_flops : float;
+}
+
+let rank_of (v : Value.t) = Shape.rank v.Value.ty.Value.shape
+
+(* Layout required for operand [k] by the nest of [s]. *)
+let required_operand_layout _mesh (s : Staged.sop) k =
+  let rank = rank_of (List.nth s.Staged.op.operands k) in
+  List.fold_left
+    (fun acc (e : Action.entry) ->
+      match e.Action.operand_dims.(k) with
+      | Some d -> Layout.add_axis acc ~dim:d ~axis:e.Action.axis
+      | None -> acc)
+    (Layout.replicated rank) s.Staged.nest
+
+(* Layout of result [r] produced by the nest of [s]. *)
+let produced_result_layout _mesh (s : Staged.sop) r =
+  let rank = rank_of (List.nth s.Staged.op.results r) in
+  List.fold_left
+    (fun acc (e : Action.entry) ->
+      match e.Action.result_actions.(r) with
+      | Action.Tile d -> Layout.add_axis acc ~dim:d ~axis:e.Action.axis
+      | Action.Reduce _ | Action.Any -> acc)
+    (Layout.replicated rank) s.Staged.nest
+
+(* Uses of every value across all scopes (operand positions only). *)
+let build_uses (t : Staged.t) =
+  let uses : (int, (Staged.sop * int) list) Hashtbl.t = Hashtbl.create 256 in
+  let rec walk sops =
+    List.iter
+      (fun (s : Staged.sop) ->
+        List.iteri
+          (fun i (v : Value.t) ->
+            let prev =
+              Option.value ~default:[] (Hashtbl.find_opt uses v.Value.id)
+            in
+            Hashtbl.replace uses v.Value.id ((s, i) :: prev))
+          s.Staged.op.operands;
+        walk s.Staged.region_body)
+      sops
+  in
+  walk t.Staged.body;
+  uses
+
+(* Arrival-layout inference for parameters (function or region): the layout
+   consumers require, if they all agree; replicated otherwise. A use by a
+   [For] looks through to the corresponding region parameter's uses. *)
+let infer_arrival mesh uses memo =
+  let rec layout_of_value (v : Value.t) =
+    match Hashtbl.find_opt memo v.Value.id with
+    | Some l -> l
+    | None ->
+        (* Guard against (impossible) cycles by pre-seeding replicated. *)
+        Hashtbl.replace memo v.Value.id (Layout.replicated (rank_of v));
+        let required =
+          List.filter_map
+            (fun ((c : Staged.sop), j) ->
+              match (c.Staged.op.kind, c.Staged.op.region) with
+              | Op.For _, Some r -> (
+                  match List.nth_opt r.params (j + 1) with
+                  | Some p -> Some (layout_of_value p)
+                  | None -> None)
+              | _ -> Some (required_operand_layout mesh c j))
+            (Option.value ~default:[] (Hashtbl.find_opt uses v.Value.id))
+        in
+        let l =
+          match required with
+          | [] -> Layout.replicated (rank_of v)
+          | first :: rest ->
+              if List.for_all (Layout.equal first) rest then first
+              else Layout.replicated (rank_of v)
+        in
+        Hashtbl.replace memo v.Value.id l;
+        l
+  in
+  layout_of_value
+
+let axis_pairs mesh axes =
+  List.map (fun a -> (a, Mesh.axis_size mesh a)) axes
+
+(* Emission context for one scope. *)
+type ctx = {
+  mesh : Mesh.t;
+  mutable rev_ops : Op.t list;
+  locals : (int, Value.t) Hashtbl.t;  (* original value id -> local value *)
+  layouts : (int, Layout.t) Hashtbl.t;  (* original value id -> layout *)
+}
+
+let emit ctx kind operands ?region () =
+  let op = Op.make kind operands ?region () in
+  ctx.rev_ops <- op :: ctx.rev_ops;
+  List.hd op.results
+
+(* Convert a local value from one layout to another. *)
+let convert ctx (lv : Value.t) (from_l : Layout.t) (to_l : Layout.t) =
+  if Layout.equal from_l to_l then lv
+  else begin
+    let rank = Array.length from_l in
+    let rec common_prefix a b =
+      match (a, b) with
+      | x :: xs, y :: ys when x = y -> x :: common_prefix xs ys
+      | _ -> []
+    in
+    let gather = Array.make rank [] and slice = Array.make rank [] in
+    for d = 0 to rank - 1 do
+      let cp = common_prefix from_l.(d) to_l.(d) in
+      let n = List.length cp in
+      gather.(d) <- List.filteri (fun i _ -> i >= n) from_l.(d);
+      slice.(d) <- List.filteri (fun i _ -> i >= n) to_l.(d)
+    done;
+    let v = ref lv in
+    if Array.exists (fun l -> l <> []) gather then
+      v :=
+        emit ctx
+          (Op.All_gather
+             { dim_axes = Array.map (axis_pairs ctx.mesh) gather })
+          [ !v ] ();
+    if Array.exists (fun l -> l <> []) slice then
+      v :=
+        emit ctx
+          (Op.All_slice { dim_axes = Array.map (axis_pairs ctx.mesh) slice })
+          [ !v ] ();
+    !v
+  end
+
+let lookup_local ctx (v : Value.t) =
+  match
+    (Hashtbl.find_opt ctx.locals v.Value.id, Hashtbl.find_opt ctx.layouts v.Value.id)
+  with
+  | Some lv, Some l -> (lv, l)
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Lower: value %%%d (%s) has no local binding"
+           v.Value.id v.Value.name)
+
+let bind ctx (orig : Value.t) (lv : Value.t) layout =
+  Hashtbl.replace ctx.locals orig.Value.id lv;
+  Hashtbl.replace ctx.layouts orig.Value.id layout
+
+(* Reduce actions of result [r] grouped by reduce kind, in nest order. *)
+let reduce_axes_for (s : Staged.sop) r =
+  List.filter_map
+    (fun (e : Action.entry) ->
+      match e.Action.result_actions.(r) with
+      | Action.Reduce k -> Some (k, e.Action.axis)
+      | Action.Tile _ | Action.Any -> None)
+    s.Staged.nest
+
+let rec lower_sop ctx ~infer (s : Staged.sop) =
+  match (s.Staged.op.kind, s.Staged.op.region) with
+  | Op.For { trip_count; n_carries }, Some r ->
+      lower_for ctx ~infer s ~trip_count ~n_carries r
+  | _ ->
+      let op = s.Staged.op in
+      let locals =
+        List.mapi
+          (fun k (v : Value.t) ->
+            let lv, from_l = lookup_local ctx v in
+            try convert ctx lv from_l (required_operand_layout ctx.mesh s k)
+            with Op.Type_error msg ->
+              invalid_arg
+                (Printf.sprintf
+                   "Lower: converting operand %d of %s (value %%%d %s): %s                     (nest: %s)"
+                   k (Op.kind_name op.kind) v.Value.id v.Value.name msg
+                   (String.concat "; "
+                      (List.map Action.entry_to_string s.Staged.nest))))
+          op.operands
+      in
+      let local_results = Localize.local_result_shapes ctx.mesh op s.Staged.nest in
+      let kind = Localize.localize_kind op.kind ~local_results in
+      let new_op = Op.make kind locals () in
+      (* Preserve source names for tags and readable dumps. *)
+      let renamed =
+        List.map2
+          (fun (orig : Value.t) (nv : Value.t) ->
+            if orig.Value.name = "" then nv
+            else { nv with Value.name = orig.Value.name })
+          op.results new_op.results
+      in
+      let new_op = { new_op with results = renamed } in
+      ctx.rev_ops <- new_op :: ctx.rev_ops;
+      List.iteri
+        (fun i (orig : Value.t) ->
+          let produced = List.nth new_op.results i in
+          let layout = produced_result_layout ctx.mesh s i in
+          (* Apply pending reductions. *)
+          let final =
+            List.fold_left
+              (fun v (kind, axis) ->
+                emit ctx
+                  (Op.All_reduce
+                     { axes = axis_pairs ctx.mesh [ axis ]; reduce = kind })
+                  [ v ] ())
+              produced (reduce_axes_for s i)
+          in
+          bind ctx orig final layout)
+        op.results
+
+and lower_for ctx ~infer (s : Staged.sop) ~trip_count ~n_carries (r : Op.region) =
+  let op = s.Staged.op in
+  let region_params =
+    match r.params with _iter :: ps -> ps | [] -> []
+  in
+  let param_layouts = List.map infer region_params in
+  (* Convert incoming operands to the region-parameter layouts. *)
+  let local_operands =
+    List.map2
+      (fun (v : Value.t) target ->
+        let lv, from_l = lookup_local ctx v in
+        convert ctx lv from_l target)
+      op.operands param_layouts
+  in
+  (* Fresh local region params. *)
+  let iter_param = Value.fresh ~name:"iter" (Value.ttype Shape.scalar Dtype.I32) in
+  let local_params =
+    List.map2
+      (fun (p : Value.t) layout ->
+        Value.fresh ~name:p.Value.name
+          (Value.ttype
+             (Layout.local_shape ctx.mesh p.Value.ty.Value.shape layout)
+             p.Value.ty.Value.dtype))
+      region_params param_layouts
+  in
+  let inner_ctx =
+    {
+      mesh = ctx.mesh;
+      rev_ops = [];
+      locals = Hashtbl.copy ctx.locals;
+      layouts = Hashtbl.copy ctx.layouts;
+    }
+  in
+  (match r.params with
+  | iter :: _ ->
+      Hashtbl.replace inner_ctx.locals iter.Value.id iter_param;
+      Hashtbl.replace inner_ctx.layouts iter.Value.id (Layout.replicated 0)
+  | [] -> ());
+  List.iter2
+    (fun (p : Value.t) (lp, layout) -> bind inner_ctx p lp layout)
+    region_params
+    (List.combine local_params param_layouts);
+  List.iter (lower_sop inner_ctx ~infer) s.Staged.region_body;
+  (* Convert yields to the carry layouts so iterations stay consistent. *)
+  let local_yields =
+    List.mapi
+      (fun k (y : Value.t) ->
+        let lv, from_l = lookup_local inner_ctx y in
+        convert inner_ctx lv from_l (List.nth param_layouts k))
+      r.yields
+  in
+  let region =
+    {
+      Op.params = iter_param :: local_params;
+      body = List.rev inner_ctx.rev_ops;
+      yields = local_yields;
+    }
+  in
+  let new_op =
+    Op.make (Op.For { trip_count; n_carries }) local_operands ~region ()
+  in
+  ctx.rev_ops <- new_op :: ctx.rev_ops;
+  List.iteri
+    (fun k (orig : Value.t) ->
+      bind ctx orig (List.nth new_op.results k) (List.nth param_layouts k))
+    op.results
+
+let arrival_layouts (t : Staged.t) =
+  let uses = build_uses t in
+  let memo = Hashtbl.create 64 in
+  let infer = infer_arrival t.Staged.mesh uses memo in
+  List.map infer t.Staged.params
+
+let lower ?(ties = []) (t : Staged.t) =
+  let mesh = t.Staged.mesh in
+  let source_flops = Func.flops (Staged.to_func t) in
+  let uses = build_uses t in
+  let memo = Hashtbl.create 64 in
+  let infer = infer_arrival mesh uses memo in
+  let input_layouts = List.map infer t.Staged.params in
+  let ctx =
+    {
+      mesh;
+      rev_ops = [];
+      locals = Hashtbl.create 256;
+      layouts = Hashtbl.create 256;
+    }
+  in
+  let local_params =
+    List.map2
+      (fun (p : Value.t) layout ->
+        let lp =
+          Value.fresh ~name:p.Value.name
+            (Value.ttype
+               (Layout.local_shape mesh p.Value.ty.Value.shape layout)
+               p.Value.ty.Value.dtype)
+        in
+        bind ctx p lp layout;
+        lp)
+      t.Staged.params input_layouts
+  in
+  List.iter (lower_sop ctx ~infer) t.Staged.body;
+  (* Output conversions for tied results. *)
+  let output_layouts, local_results =
+    List.mapi
+      (fun r (v : Value.t) ->
+        let lv, layout = lookup_local ctx v in
+        match List.assoc_opt r ties with
+        | Some param_idx ->
+            let target = List.nth input_layouts param_idx in
+            (target, convert ctx lv layout target)
+        | None -> (layout, lv))
+      t.Staged.results
+    |> List.split
+  in
+  let func =
+    {
+      Func.name = t.Staged.name ^ "_spmd";
+      params = local_params;
+      body = List.rev ctx.rev_ops;
+      results = local_results;
+    }
+  in
+  let func = Fusion.run func in
+  Func.verify func;
+  {
+    mesh;
+    func;
+    source_params = t.Staged.params;
+    source_results = t.Staged.results;
+    input_layouts;
+    output_layouts;
+    source_flops;
+  }

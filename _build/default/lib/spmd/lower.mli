@@ -1,0 +1,31 @@
+(** Lowering PartIR:Core staged modules to device-local SPMD programs with
+    PartIR:HLO collectives (paper §6.1).
+
+    Each op's loop nest becomes device-local execution: operand slices turn
+    into layout requirements (conversions insert [all_slice]/[all_gather]),
+    [Reduce] loop results insert [all_reduce], and a fusion pass rewrites
+    [all_slice(all_reduce)] to [reduce_scatter] and
+    [all_slice(all_gather)] pairs to [all_to_all] (paper §6). *)
+
+module Mesh = Partir_mesh.Mesh
+open Partir_hlo
+
+type program = {
+  mesh : Mesh.t;
+  func : Func.t;  (** device-local function (collectives inside) *)
+  source_params : Value.t list;  (** original full-shape parameters *)
+  source_results : Value.t list;  (** original full-shape results *)
+  input_layouts : Layout.t list;
+  output_layouts : Layout.t list;
+  source_flops : float;
+      (** flops of the original unpartitioned function (for MFU). *)
+}
+
+val lower : ?ties:(int * int) list -> Partir_core.Staged.t -> program
+(** [ties] pins output shardings: [(result_index, param_index)] forces the
+    result's layout to equal the (inferred) arrival layout of the parameter
+    — the invariant a training loop needs for its carried state. Inserts
+    conversion collectives at the outputs when necessary. *)
+
+val arrival_layouts : Partir_core.Staged.t -> Layout.t list
+(** The input layouts {!lower} would infer, without lowering. *)

@@ -1,0 +1,248 @@
+open Partir_tensor
+open Partir_hlo
+module Mesh = Partir_mesh.Mesh
+
+exception Spmd_error of string
+
+let spmd_errorf fmt = Format.kasprintf (fun s -> raise (Spmd_error s)) fmt
+
+let reduce_fn = function
+  | Op.Rsum -> ( +. )
+  | Op.Rmax -> Float.max
+  | Op.Rmin -> Float.min
+
+(* Offsets of a device's chunk in a tensor being assembled along [dim_axes]:
+   for each dim, walk its axes outermost-first. [shape] is the assembled
+   (larger) shape. *)
+let gather_offsets mesh (shape : Shape.t) (dim_axes : (string * int) list array)
+    (dev : Mesh.device) =
+  Array.mapi
+    (fun d s ->
+      let cur = ref s and off = ref 0 in
+      List.iter
+        (fun (a, size) ->
+          cur := !cur / size;
+          off := !off + (Mesh.coordinate mesh dev a * !cur))
+        dim_axes.(d);
+      !off)
+    shape
+
+let axes_of_dim_axes (da : (string * int) list array) =
+  Array.to_list da |> List.concat |> List.map fst
+
+(* Evaluate one collective for every device at once. [values] is indexed by
+   linear device id. *)
+let rec eval_collective mesh (kind : Op.kind) (values : Literal.t array) :
+    Literal.t array =
+  let ndev = Array.length values in
+  let device i = Mesh.device_of_linear mesh i in
+  match kind with
+  | Op.All_reduce { axes; reduce } ->
+      let f = reduce_fn reduce in
+      let names = List.map fst axes in
+      Array.init ndev (fun i ->
+          let d = device i in
+          let peers = Mesh.group_peers mesh d names in
+          let acc = ref None in
+          List.iter
+            (fun p ->
+              let v = values.(Mesh.linear_of_device mesh p) in
+              acc :=
+                Some
+                  (match !acc with
+                  | None -> v
+                  | Some a -> Literal.map2 f a v))
+            peers;
+          Option.get !acc)
+  | Op.All_gather { dim_axes } ->
+      let names = axes_of_dim_axes dim_axes in
+      Array.init ndev (fun i ->
+          let d = device i in
+          let local = values.(i) in
+          let out_shape =
+            Array.mapi
+              (fun dim s ->
+                s * List.fold_left (fun acc (_, sz) -> acc * sz) 1 dim_axes.(dim))
+              local.Literal.shape
+          in
+          let buf = ref (Literal.zeros local.Literal.dtype out_shape) in
+          List.iter
+            (fun p ->
+              let chunk = values.(Mesh.linear_of_device mesh p) in
+              let starts = gather_offsets mesh out_shape dim_axes p in
+              buf := Literal.dynamic_update_slice !buf chunk ~starts)
+            (Mesh.group_peers mesh d names);
+          !buf)
+  | Op.All_slice { dim_axes } ->
+      Array.init ndev (fun i ->
+          let d = device i in
+          let local = values.(i) in
+          let out_shape =
+            Array.mapi
+              (fun dim s ->
+                s / List.fold_left (fun acc (_, sz) -> acc * sz) 1 dim_axes.(dim))
+              local.Literal.shape
+          in
+          let starts = gather_offsets mesh local.Literal.shape dim_axes d in
+          Literal.slice local ~starts
+            ~limits:(Array.mapi (fun k s -> starts.(k) + s) out_shape))
+  | Op.Reduce_scatter { reduce; dim_axes } ->
+      let axes =
+        List.map (fun (a, s) -> (a, s)) (Array.to_list dim_axes |> List.concat)
+      in
+      let reduced =
+        eval_collective mesh (Op.All_reduce { axes; reduce }) values
+      in
+      eval_collective mesh (Op.All_slice { dim_axes }) reduced
+  | Op.All_to_all { src_dim; dst_dim; axes } ->
+      let rank = Shape.rank values.(0).Literal.shape in
+      let mk dim =
+        Array.init rank (fun d -> if d = dim then axes else [])
+      in
+      let gathered =
+        eval_collective mesh (Op.All_gather { dim_axes = mk src_dim }) values
+      in
+      eval_collective mesh (Op.All_slice { dim_axes = mk dst_dim }) gathered
+  | k -> spmd_errorf "eval_collective: %s is not a collective" (Op.kind_name k)
+
+let is_collective = function
+  | Op.All_reduce _ | Op.All_gather _ | Op.All_slice _ | Op.Reduce_scatter _
+  | Op.All_to_all _ ->
+      true
+  | _ -> false
+
+let rec eval_ops mesh (envs : (int, Literal.t) Hashtbl.t array) (ops : Op.t list)
+    =
+  let ndev = Array.length envs in
+  List.iter
+    (fun (op : Op.t) ->
+      let arg env (v : Value.t) =
+        match Hashtbl.find_opt env v.Value.id with
+        | Some l -> l
+        | None -> spmd_errorf "spmd: unbound value %%%d" v.Value.id
+      in
+      if is_collective op.kind then begin
+        let operand = List.hd op.operands in
+        let inputs = Array.map (fun env -> arg env operand) envs in
+        let outputs = eval_collective mesh op.kind inputs in
+        Array.iteri
+          (fun i env ->
+            Hashtbl.replace env (List.hd op.results).Value.id outputs.(i))
+          envs
+      end
+      else
+        match (op.kind, op.region) with
+        | Op.For { trip_count; n_carries }, Some r ->
+            let carries =
+              Array.map
+                (fun env ->
+                  ref
+                    (List.filteri (fun i _ -> i < n_carries)
+                       (List.map (arg env) op.operands)))
+                envs
+            in
+            let invariants =
+              Array.map
+                (fun env ->
+                  List.filteri (fun i _ -> i >= n_carries)
+                    (List.map (arg env) op.operands))
+                envs
+            in
+            for step = 0 to trip_count - 1 do
+              let inner = Array.map Hashtbl.copy envs in
+              Array.iteri
+                (fun i env ->
+                  match r.params with
+                  | iter :: rest ->
+                      Hashtbl.replace env iter.Value.id
+                        (Literal.scalar Dtype.I32 (float_of_int step));
+                      List.iter2
+                        (fun (p : Value.t) l -> Hashtbl.replace env p.Value.id l)
+                        rest
+                        (!(carries.(i)) @ invariants.(i))
+                  | [] -> spmd_errorf "spmd: For region without params")
+                inner;
+              eval_ops mesh inner r.body;
+              Array.iteri
+                (fun i env ->
+                  carries.(i) :=
+                    List.map (fun (y : Value.t) -> Hashtbl.find env y.Value.id) r.yields)
+                inner
+            done;
+            for i = 0 to ndev - 1 do
+              List.iteri
+                (fun k (res : Value.t) ->
+                  Hashtbl.replace envs.(i) res.Value.id (List.nth !(carries.(i)) k))
+                op.results
+            done
+        | kind, _ ->
+            Array.iter
+              (fun env ->
+                let results = Interp.eval_kind kind (List.map (arg env) op.operands) in
+                List.iter2
+                  (fun (v : Value.t) l -> Hashtbl.replace env v.Value.id l)
+                  op.results results)
+              envs)
+    ops
+
+let run_local (p : Lower.program) (inputs : Literal.t list array) =
+  let mesh = p.Lower.mesh in
+  let ndev = Mesh.num_devices mesh in
+  if Array.length inputs <> ndev then
+    spmd_errorf "run_local: expected %d device input lists" ndev;
+  let envs = Array.init ndev (fun _ -> Hashtbl.create 256) in
+  Array.iteri
+    (fun i args ->
+      List.iter2
+        (fun (prm : Value.t) l -> Hashtbl.replace envs.(i) prm.Value.id l)
+        p.Lower.func.Func.params args)
+    inputs;
+  eval_ops mesh envs p.Lower.func.Func.body;
+  Array.map
+    (fun env ->
+      List.map
+        (fun (v : Value.t) -> Hashtbl.find env v.Value.id)
+        p.Lower.func.Func.results)
+    envs
+
+let run (p : Lower.program) (inputs : Literal.t list) =
+  let mesh = p.Lower.mesh in
+  let ndev = Mesh.num_devices mesh in
+  (* Scatter global inputs per device. *)
+  let device_inputs =
+    Array.init ndev (fun i ->
+        let dev = Mesh.device_of_linear mesh i in
+        List.map2
+          (fun (lit : Literal.t) layout ->
+            let local_shape = Layout.local_shape mesh lit.Literal.shape layout in
+            let starts = Layout.chunk_offsets mesh lit.Literal.shape layout dev in
+            Literal.slice lit ~starts
+              ~limits:(Array.mapi (fun k s -> starts.(k) + s) local_shape))
+          inputs p.Lower.input_layouts)
+  in
+  let device_outputs = run_local p device_inputs in
+  (* Assemble global outputs, verifying replicated copies agree. *)
+  List.mapi
+    (fun r (v : Value.t) ->
+      let layout = List.nth p.Lower.output_layouts r in
+      let full_shape = v.Value.ty.Value.shape in
+      let buf = ref (Literal.zeros v.Value.ty.Value.dtype full_shape) in
+      let seen : (string, Literal.t) Hashtbl.t = Hashtbl.create 8 in
+      for i = 0 to ndev - 1 do
+        let dev = Mesh.device_of_linear mesh i in
+        let chunk = List.nth device_outputs.(i) r in
+        let starts = Layout.chunk_offsets mesh full_shape layout dev in
+        let key =
+          String.concat "," (Array.to_list (Array.map string_of_int starts))
+        in
+        (match Hashtbl.find_opt seen key with
+        | Some prev ->
+            if Literal.max_abs_diff prev chunk > 1e-4 then
+              spmd_errorf
+                "spmd: devices disagree on replicated output %d (delta %g)" r
+                (Literal.max_abs_diff prev chunk)
+        | None -> Hashtbl.replace seen key chunk);
+        buf := Literal.dynamic_update_slice !buf chunk ~starts
+      done;
+      !buf)
+    p.Lower.source_results

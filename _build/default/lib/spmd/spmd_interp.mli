@@ -1,0 +1,22 @@
+(** Lockstep multi-device execution of lowered SPMD programs.
+
+    Every mesh device runs the device-local program in lockstep; collective
+    ops exchange data between the devices of the proper mesh-axis groups
+    with their literal semantics. Together with the reference interpreter
+    this provides the executable counterpart of the paper's SPMD-lowering
+    correctness proof: for any staged module,
+    [assemble (run_spmd (lower m)) = run_reference (to_func m)]. *)
+
+open Partir_tensor
+
+exception Spmd_error of string
+
+val run : Lower.program -> Literal.t list -> Literal.t list
+(** Takes and returns full-size (global) literals: inputs are scattered per
+    the program's input layouts, outputs gathered per its output layouts.
+    Raises {!Spmd_error} if devices disagree on a replicated value. *)
+
+val run_local :
+  Lower.program -> Literal.t list array -> Literal.t list array
+(** Lower-level entry point: per-device input literals (indexed by linear
+    device id), per-device outputs. *)

@@ -1,0 +1,1 @@
+lib/strategies/strategies.ml: Filename List Partir_models Partir_schedule Printf Schedule

@@ -1,0 +1,1 @@
+lib/strategies/strategies.mli: Partir_models Partir_schedule Schedule

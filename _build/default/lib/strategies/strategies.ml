@@ -1,0 +1,83 @@
+open Partir_schedule
+open Schedule
+
+let bp ?(label = "BP") ~axis ~inputs () =
+  manual ~label ~axis (List.map (fun n -> (n, Dim 0)) inputs)
+
+let has_suffix s suf = Filename.check_suffix s suf
+let is_state name = has_suffix name ".m" || has_suffix name ".v"
+
+let transformer_big_weight name =
+  (not (is_state name))
+  && (has_suffix name "qkv_w" || has_suffix name "attn_out_w"
+    || has_suffix name "mlp_up_w" || has_suffix name "mlp_down_w"
+    || name = "embedding")
+
+let transformer_mp ~axis =
+  let by_name name _shape =
+    if is_state name then Infer
+    else if has_suffix name "qkv_w" then Dim 2
+    else if has_suffix name "mlp_up_w" then Dim 1
+    else Infer
+  in
+  manual ~by_name ~label:"MP" ~axis []
+
+let zero ~level ~axis ~shard =
+  let by_name name _shape =
+    if is_state name then
+      let base = Filename.remove_extension name in
+      if shard base then First_divisible else Infer
+    else if shard name then
+      match level with `Z2 -> Replicated | `Z3 -> First_divisible
+    else Infer
+  in
+  let label = match level with `Z2 -> "Z2" | `Z3 -> "Z3" in
+  manual ~by_name ~label ~axis []
+
+let transformer_z2 ~axis = zero ~level:`Z2 ~axis ~shard:transformer_big_weight
+let transformer_z3 ~axis = zero ~level:`Z3 ~axis ~shard:transformer_big_weight
+
+let transformer_emb ~axis =
+  manual ~label:"EMB" ~axis [ ("embedding", Dim 1) ]
+
+let it32_bp ~axis ~layers =
+  let caches =
+    List.concat
+      (List.init layers (fun l ->
+           [
+             (Printf.sprintf "k_cache_%d" l, Dim 0);
+             (Printf.sprintf "v_cache_%d" l, Dim 0);
+           ]))
+  in
+  manual ~label:"BP" ~axis (("prompt", Dim 0) :: caches)
+
+let it32_mq ~axis ~cfg =
+  let q_tags, ctx_tags = Partir_models.Transformer.mq_tags cfg in
+  (* Re-tile attention entry to the batch dimension and its exit back to the
+     head dimension: each re-tiling lowers to an all_to_all. *)
+  let tags =
+    List.map (fun t -> (t, Dim 0)) q_tags
+    @ List.map (fun t -> (t, Dim 1)) ctx_tags
+  in
+  manual ~tags ~label:"MQ" ~axis []
+
+let unet_mp ~axis =
+  let by_name name shape =
+    if is_state name then Infer
+    else
+      match Partir_models.Unet.mp_shard_dim name shape with
+      | Some d -> Dim d
+      | None -> Infer
+  in
+  manual ~by_name ~label:"MP" ~axis []
+
+let unet_weight name =
+  (not (is_state name))
+  && (has_suffix name "_w" || has_suffix name "_b"
+    || has_suffix name "_scale" || has_suffix name "_bias")
+
+let unet_z ~level ~axis = zero ~level ~axis ~shard:unet_weight
+
+let gns_es ~axis =
+  manual ~label:"ES" ~axis
+    [ ("edge_features", Dim 0); ("senders", Dim 0); ("receivers", Dim 0) ]

@@ -1,0 +1,52 @@
+(** The paper's partitioning tactics (§A.6), expressed against
+    {!Partir_schedule.Schedule}. Each is a reusable tactic value; schedules
+    are lists of them, e.g. [BP; MP; Z3; EMB]. *)
+
+open Partir_schedule
+
+val bp : ?label:string -> axis:string -> inputs:string list -> unit -> Schedule.tactic
+(** Batch parallelism: shard dimension 0 of the given batch inputs. *)
+
+(** {1 Transformer (T32 / T48 / IT32)} *)
+
+val transformer_mp : axis:string -> Schedule.tactic
+(** Megatron sharding: qkv projection on its head dimension, MLP up
+    projection on its hidden dimension; everything else inferred. *)
+
+val transformer_z2 : axis:string -> Schedule.tactic
+(** ZeRO-2: optimizer state of the big weight tensors sharded; parameters
+    kept replicated with [atomic]. *)
+
+val transformer_z3 : axis:string -> Schedule.tactic
+(** ZeRO-3/FSDP: parameters and optimizer state of the big weights sharded
+    on their first divisible dimension. *)
+
+val transformer_emb : axis:string -> Schedule.tactic
+(** Embedding partitioning along d_model (activation sharding). *)
+
+val it32_bp : axis:string -> layers:int -> Schedule.tactic
+(** Inference batch parallelism: prompt and KV caches on dim 0. *)
+
+val it32_mq : axis:string -> cfg:Partir_models.Transformer.config -> Schedule.tactic
+(** Multi-query attention sharding (Pope et al.): re-tiles the tagged
+    attention entry/exit activations from the head dimension to the batch
+    dimension, which lowers to one all_to_all pair per layer per step. *)
+
+(** {1 U-Net} *)
+
+val unet_mp : axis:string -> Schedule.tactic
+(** Megatron-like channel sharding of the conv pairs (§A.6). *)
+
+val unet_z : level:[ `Z2 | `Z3 ] -> axis:string -> Schedule.tactic
+
+(** {1 GNS} *)
+
+val gns_es : axis:string -> Schedule.tactic
+(** Edge sharding: distribute the edge set (features + endpoints). *)
+
+(** {1 Generic ZeRO} *)
+
+val zero : level:[ `Z2 | `Z3 ] -> axis:string -> shard:(string -> bool) -> Schedule.tactic
+(** Generic ZeRO tactic: [shard name] selects which parameter tensors get
+    their (state and, for Z3, parameters) sharded. State tensors are the
+    ".m"/".v" companions created by {!Partir_models.Train.training_step}. *)

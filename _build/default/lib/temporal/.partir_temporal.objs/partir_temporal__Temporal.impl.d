@@ -1,0 +1,1 @@
+lib/temporal/temporal.ml: Action Array Dtype Float Format Hashtbl Interp List Literal Localize Op Partir_core Partir_hlo Partir_mesh Partir_tensor Shape Staged Value

@@ -1,0 +1,1 @@
+lib/temporal/temporal.mli: Literal Partir_core Partir_tensor

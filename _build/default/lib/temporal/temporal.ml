@@ -1,0 +1,224 @@
+open Partir_tensor
+open Partir_hlo
+open Partir_core
+module Mesh = Partir_mesh.Mesh
+
+exception Semantics_error of string
+
+let semantics_errorf fmt =
+  Format.kasprintf (fun s -> raise (Semantics_error s)) fmt
+
+(* Slice operand [lit] according to the nest [entries] for operand [k] at
+   iteration point [point] (one index per entry, in nest order). *)
+let slice_operand mesh entries point k (lit : Literal.t) =
+  let lit = ref lit in
+  List.iteri
+    (fun j (e : Action.entry) ->
+      match e.Action.operand_dims.(k) with
+      | None -> ()
+      | Some d ->
+          let size = Mesh.axis_size mesh e.Action.axis in
+          let shape = !lit.Literal.shape in
+          let chunk = shape.(d) / size in
+          let starts = Array.make (Shape.rank shape) 0 in
+          let limits = Array.copy shape in
+          starts.(d) <- point.(j) * chunk;
+          limits.(d) <- (point.(j) + 1) * chunk;
+          lit := Literal.slice !lit ~starts ~limits)
+    entries;
+  !lit
+
+(* Where iteration [point] writes its chunk of result [r]: the offset per
+   dimension, applying Tile entries outermost-first. *)
+let result_offsets mesh entries point r (full_shape : Shape.t) =
+  let cur = Array.copy full_shape in
+  let offsets = Array.make (Shape.rank full_shape) 0 in
+  List.iteri
+    (fun j (e : Action.entry) ->
+      match e.Action.result_actions.(r) with
+      | Action.Tile d ->
+          let size = Mesh.axis_size mesh e.Action.axis in
+          cur.(d) <- cur.(d) / size;
+          offsets.(d) <- offsets.(d) + (point.(j) * cur.(d))
+      | Action.Reduce _ | Action.Any -> ())
+    entries;
+  offsets
+
+type combine_mode = Write | Acc_sum | Acc_max | Acc_min | Consensus
+
+let combine_mode_for entries r =
+  let reduces =
+    List.filter_map
+      (fun (e : Action.entry) ->
+        match e.Action.result_actions.(r) with
+        | Action.Reduce k -> Some (`R k)
+        | Action.Any -> Some `Any
+        | Action.Tile _ -> None)
+      entries
+  in
+  let has k = List.mem (`R k) reduces in
+  if has Op.Rsum then Acc_sum
+  else if has Op.Rmax then Acc_max
+  else if has Op.Rmin then Acc_min
+  else if List.mem `Any reduces then Consensus
+  else Write
+
+let eval_staged_op mesh env (s : Staged.sop) ~eval_region =
+  let op = s.Staged.op in
+  let lookup (v : Value.t) =
+    match Hashtbl.find_opt env v.Value.id with
+    | Some l -> l
+    | None -> semantics_errorf "temporal: unbound value %%%d" v.Value.id
+  in
+  match op.kind with
+  | Op.For _ -> eval_region env s
+  | _ ->
+      let entries = s.Staged.nest in
+      let args = List.map lookup op.operands in
+      if entries = [] then
+        let results = Interp.eval_kind op.kind args in
+        List.iter2
+          (fun (v : Value.t) l -> Hashtbl.replace env v.Value.id l)
+          op.results results
+      else begin
+        let sizes =
+          List.map (fun (e : Action.entry) -> Mesh.axis_size mesh e.Action.axis) entries
+        in
+        let local_results = Localize.local_result_shapes mesh op entries in
+        let kind = Localize.localize_kind op.kind ~local_results in
+        (* Accumulators: one full-size buffer per result. *)
+        let accs =
+          List.mapi
+            (fun r (v : Value.t) ->
+              let dtype = v.Value.ty.Value.dtype in
+              let shape = v.Value.ty.Value.shape in
+              match combine_mode_for entries r with
+              | Write | Acc_sum | Consensus -> (Literal.zeros dtype shape, combine_mode_for entries r)
+              | Acc_max -> (Literal.full dtype shape neg_infinity, Acc_max)
+              | Acc_min -> (Literal.full dtype shape infinity, Acc_min))
+            op.results
+        in
+        (* Iterate the nest's index space (row-major over entries). *)
+        let n = List.length entries in
+        let point = Array.make n 0 in
+        let sizes = Array.of_list sizes in
+        let rec iterate j =
+          if j = n then begin
+            let sliced = List.mapi (fun k a -> slice_operand mesh entries point k a) args in
+            let outs = Interp.eval_kind kind sliced in
+            List.iteri
+              (fun r out ->
+                let acc, mode = List.nth accs r in
+                let full_shape = acc.Literal.shape in
+                let offsets = result_offsets mesh entries point r full_shape in
+                (* Add/compare/write [out] into [acc] at [offsets]. *)
+                Shape.iter_indices out.Literal.shape (fun idx ->
+                    let dst = Array.mapi (fun i v -> v + offsets.(i)) idx in
+                    let cur = Literal.get acc dst in
+                    let v = Literal.get out idx in
+                    let nv =
+                      match mode with
+                      | Write -> v
+                      | Acc_sum -> cur +. v
+                      | Acc_max -> Float.max cur v
+                      | Acc_min -> Float.min cur v
+                      | Consensus ->
+                          (* First write at this destination: all indices of
+                             Any-action entries are 0 (Tile indices move the
+                             destination instead). *)
+                          let first_iteration =
+                            List.for_all2
+                              (fun (e : Action.entry) p ->
+                                match e.Action.result_actions.(r) with
+                                | Action.Any -> p = 0
+                                | Action.Tile _ | Action.Reduce _ -> true)
+                              entries
+                              (Array.to_list point)
+                          in
+                          if first_iteration then v
+                          else if Float.abs (cur -. v) > 1e-5 *. Float.max 1. (Float.abs cur)
+                          then
+                            semantics_errorf
+                              "temporal: Any-loop iterations disagree on %s"
+                              (Op.kind_name op.kind)
+                          else cur
+                    in
+                    Literal.set acc dst nv))
+              outs
+          end
+          else
+            for i = 0 to sizes.(j) - 1 do
+              point.(j) <- i;
+              iterate (j + 1)
+            done
+        in
+        iterate 0;
+        List.iteri
+          (fun r (v : Value.t) ->
+            Hashtbl.replace env v.Value.id (fst (List.nth accs r)))
+          op.results
+      end
+
+let restrict_axes axes (s : Staged.sop) =
+  {
+    s with
+    Staged.nest =
+      List.filter (fun (e : Action.entry) -> List.mem e.Action.axis axes) s.Staged.nest;
+  }
+
+let run_general ?only_axes (t : Staged.t) (args : Literal.t list) =
+  let mesh = t.Staged.mesh in
+  let filter_sop s =
+    match only_axes with None -> s | Some axes -> restrict_axes axes s
+  in
+  let rec eval_body env sops =
+    List.iter
+      (fun s0 ->
+        let s = filter_sop s0 in
+        eval_staged_op mesh env s ~eval_region:(fun env (s : Staged.sop) ->
+            match (s.Staged.op.kind, s.Staged.op.region) with
+            | Op.For { trip_count; n_carries }, Some r ->
+                let lookup (v : Value.t) = Hashtbl.find env v.Value.id in
+                let carries =
+                  ref
+                    (List.filteri (fun i _ -> i < n_carries)
+                       (List.map lookup s.Staged.op.operands))
+                in
+                let invariants =
+                  List.filteri (fun i _ -> i >= n_carries)
+                    (List.map lookup s.Staged.op.operands)
+                in
+                for step = 0 to trip_count - 1 do
+                  let inner = Hashtbl.copy env in
+                  (match r.params with
+                  | iter :: rest ->
+                      Hashtbl.replace inner iter.Value.id
+                        (Literal.scalar Dtype.I32 (float_of_int step));
+                      List.iter2
+                        (fun (p : Value.t) l -> Hashtbl.replace inner p.Value.id l)
+                        rest (!carries @ invariants)
+                  | [] -> semantics_errorf "temporal: For region without params");
+                  eval_body inner s.Staged.region_body;
+                  carries :=
+                    List.map
+                      (fun (y : Value.t) -> Hashtbl.find inner y.Value.id)
+                      r.yields
+                done;
+                List.iter2
+                  (fun (v : Value.t) l -> Hashtbl.replace env v.Value.id l)
+                  s.Staged.op.results !carries
+            | _ -> semantics_errorf "temporal: malformed For"))
+      sops
+  in
+  if List.length args <> List.length t.Staged.params then
+    semantics_errorf "temporal: expected %d arguments, got %d"
+      (List.length t.Staged.params) (List.length args);
+  let env = Hashtbl.create 256 in
+  List.iter2
+    (fun (p : Value.t) l -> Hashtbl.replace env p.Value.id l)
+    t.Staged.params args;
+  eval_body env t.Staged.body;
+  List.map (fun (v : Value.t) -> Hashtbl.find env v.Value.id) t.Staged.results
+
+let run t args = run_general t args
+let run_microbatched t ~axes args = run_general ~only_axes:axes t args

@@ -1,0 +1,27 @@
+(** PartIR:Temporal — sequential interpretation of staged modules.
+
+    Loops are executed as real sequential loops: each op runs once per
+    point of its nest's iteration space, on operand chunks selected by the
+    loop indices, and per-iteration results are stitched back (stacking for
+    [Tile], the reduction monoid for [Reduce], consensus for [Any]).
+
+    This gives PartIR:Core a reference semantics independent of SPMD
+    lowering (paper §4): a staged module must evaluate exactly like the
+    unpartitioned function it was rewritten from. It is also the mechanism
+    behind microbatching: interpreting only the batch axis temporally. *)
+
+open Partir_tensor
+
+exception Semantics_error of string
+
+val run : Partir_core.Staged.t -> Literal.t list -> Literal.t list
+(** Evaluate a staged module on full-size literal inputs, returning
+    full-size results. Raises {!Semantics_error} if an [Any] loop's
+    iterations disagree (a broken consensus invariant). *)
+
+val run_microbatched :
+  Partir_core.Staged.t -> axes:string list -> Literal.t list -> Literal.t list
+(** Like {!run}, but only the given axes are interpreted temporally; entries
+    over other axes are ignored (their loops collapse to a single full-size
+    execution). With [axes] = the batch axis of a batch-parallel module,
+    this is automatic microbatching. *)

@@ -1,0 +1,1 @@
+lib/tensor/literal.ml: Array Dtype Float Format List Printf Shape String

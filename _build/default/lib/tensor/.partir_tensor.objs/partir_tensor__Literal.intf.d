@@ -1,0 +1,1 @@
+lib/tensor/literal.mli: Dtype Format Shape

@@ -1,0 +1,32 @@
+type t =
+  | F32
+  | F64
+  | BF16
+  | I32
+  | I64
+  | Bool
+
+let size_in_bytes = function
+  | F32 -> 4
+  | F64 -> 8
+  | BF16 -> 2
+  | I32 -> 4
+  | I64 -> 8
+  | Bool -> 1
+
+let is_integer = function
+  | I32 | I64 | Bool -> true
+  | F32 | F64 | BF16 -> false
+
+let is_floating t = not (is_integer t)
+
+let to_string = function
+  | F32 -> "f32"
+  | F64 -> "f64"
+  | BF16 -> "bf16"
+  | I32 -> "i32"
+  | I64 -> "i64"
+  | Bool -> "i1"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,22 @@
+(** Element types for tensors.
+
+    The reproduction stores all elements as OCaml [float]s regardless of the
+    declared dtype; the dtype governs byte accounting (for memory and
+    communication estimates) and integer semantics (indices are rounded). *)
+
+type t =
+  | F32
+  | F64
+  | BF16
+  | I32
+  | I64
+  | Bool
+
+val size_in_bytes : t -> int
+(** Bytes per element, used by the simulator for memory/traffic accounting. *)
+
+val is_integer : t -> bool
+val is_floating : t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,406 @@
+type t = { dtype : Dtype.t; shape : Shape.t; data : float array }
+
+let create dtype shape data =
+  if Array.length data <> Shape.numel shape then
+    invalid_arg
+      (Printf.sprintf "Literal.create: %d elements for shape %s"
+         (Array.length data) (Shape.to_string shape))
+  else { dtype; shape; data }
+
+let full dtype shape v = { dtype; shape; data = Array.make (Shape.numel shape) v }
+let zeros dtype shape = full dtype shape 0.
+let ones dtype shape = full dtype shape 1.
+let scalar dtype v = { dtype; shape = Shape.scalar; data = [| v |] }
+let of_list dtype shape l = create dtype shape (Array.of_list l)
+
+let init dtype shape f =
+  let data = Array.make (Shape.numel shape) 0. in
+  let st = Shape.strides shape in
+  Shape.iter_indices shape (fun idx ->
+      let off = ref 0 in
+      Array.iteri (fun i v -> off := !off + (v * st.(i))) idx;
+      data.(!off) <- f idx);
+  { dtype; shape; data }
+
+let iota dtype shape ~dim = init dtype shape (fun idx -> float_of_int idx.(dim))
+let get t idx = t.data.(Shape.offset_of_index t.shape idx)
+let set t idx v = t.data.(Shape.offset_of_index t.shape idx) <- v
+let get_flat t i = t.data.(i)
+let numel t = Array.length t.data
+let size_in_bytes t = numel t * Dtype.size_in_bytes t.dtype
+let to_float_list t = Array.to_list t.data
+let map f t = { t with data = Array.map f t.data }
+
+let map2 f a b =
+  if not (Shape.equal a.shape b.shape) then
+    invalid_arg
+      (Printf.sprintf "Literal.map2: shapes %s vs %s"
+         (Shape.to_string a.shape) (Shape.to_string b.shape))
+  else { a with data = Array.map2 f a.data b.data }
+
+let select pred on_true on_false =
+  if
+    (not (Shape.equal pred.shape on_true.shape))
+    || not (Shape.equal pred.shape on_false.shape)
+  then invalid_arg "Literal.select: shape mismatch"
+  else
+    {
+      on_true with
+      data =
+        Array.init (numel pred) (fun i ->
+            if pred.data.(i) <> 0. then on_true.data.(i) else on_false.data.(i));
+    }
+
+let matmul a b =
+  let ra = Shape.rank a.shape and rb = Shape.rank b.shape in
+  if ra < 2 || rb < 2 || ra <> rb then
+    invalid_arg
+      (Printf.sprintf "Literal.matmul: shapes %s vs %s"
+         (Shape.to_string a.shape) (Shape.to_string b.shape));
+  let m = a.shape.(ra - 2)
+  and k = a.shape.(ra - 1)
+  and k' = b.shape.(rb - 2)
+  and n = b.shape.(rb - 1) in
+  let batch_a = Array.sub a.shape 0 (ra - 2)
+  and batch_b = Array.sub b.shape 0 (rb - 2) in
+  if k <> k' || not (Shape.equal batch_a batch_b) then
+    invalid_arg
+      (Printf.sprintf "Literal.matmul: incompatible %s vs %s"
+         (Shape.to_string a.shape) (Shape.to_string b.shape));
+  let batch = Shape.numel batch_a in
+  let out_shape = Array.append batch_a [| m; n |] in
+  let out = Array.make (batch * m * n) 0. in
+  for bi = 0 to batch - 1 do
+    let abase = bi * m * k and bbase = bi * k * n and obase = bi * m * n in
+    for i = 0 to m - 1 do
+      for j = 0 to n - 1 do
+        let acc = ref 0. in
+        for l = 0 to k - 1 do
+          acc := !acc +. (a.data.(abase + (i * k) + l) *. b.data.(bbase + (l * n) + j))
+        done;
+        out.(obase + (i * n) + j) <- !acc
+      done
+    done
+  done;
+  { dtype = a.dtype; shape = out_shape; data = out }
+
+let transpose t perm =
+  let out_shape = Shape.transpose t.shape perm in
+  let out = zeros t.dtype out_shape in
+  let src_idx = Array.make (Shape.rank t.shape) 0 in
+  Shape.iter_indices out_shape (fun idx ->
+      Array.iteri (fun i p -> src_idx.(p) <- idx.(i)) perm;
+      set out idx (get t src_idx));
+  { out with dtype = t.dtype }
+
+let reshape t shape =
+  if Shape.numel shape <> numel t then
+    invalid_arg
+      (Printf.sprintf "Literal.reshape: %s -> %s" (Shape.to_string t.shape)
+         (Shape.to_string shape))
+  else { t with shape }
+
+let broadcast_in_dim t target dims =
+  if Array.length dims <> Shape.rank t.shape then
+    invalid_arg "Literal.broadcast_in_dim: dims rank mismatch";
+  Array.iteri
+    (fun i d ->
+      if t.shape.(i) <> 1 && t.shape.(i) <> target.(d) then
+        invalid_arg "Literal.broadcast_in_dim: size mismatch")
+    dims;
+  let out = zeros t.dtype target in
+  let src_idx = Array.make (Shape.rank t.shape) 0 in
+  Shape.iter_indices target (fun idx ->
+      Array.iteri
+        (fun i d -> src_idx.(i) <- (if t.shape.(i) = 1 then 0 else idx.(d)))
+        dims;
+      set out idx (get t src_idx));
+  { out with dtype = t.dtype }
+
+let reduce kind t dims =
+  Array.iter
+    (fun d ->
+      if d < 0 || d >= Shape.rank t.shape then
+        invalid_arg "Literal.reduce: dim out of range")
+    dims;
+  let out_shape = Shape.remove_dims t.shape dims in
+  let is_reduced = Array.init (Shape.rank t.shape) (fun i -> Array.exists (fun d -> d = i) dims) in
+  let neutral =
+    match kind with `Sum -> 0. | `Max -> neg_infinity | `Min -> infinity
+  in
+  let combine =
+    match kind with `Sum -> ( +. ) | `Max -> Float.max | `Min -> Float.min
+  in
+  let out = full t.dtype out_shape neutral in
+  let out_idx = Array.make (Shape.rank out_shape) 0 in
+  Shape.iter_indices t.shape (fun idx ->
+      let j = ref 0 in
+      Array.iteri
+        (fun i v ->
+          if not is_reduced.(i) then begin
+            out_idx.(!j) <- v;
+            incr j
+          end)
+        idx;
+      set out out_idx (combine (get out out_idx) (get t idx)));
+  out
+
+let concat ts dim =
+  match ts with
+  | [] -> invalid_arg "Literal.concat: empty"
+  | first :: _ ->
+      let rank = Shape.rank first.shape in
+      let total = List.fold_left (fun acc t -> acc + t.shape.(dim)) 0 ts in
+      let out_shape = Shape.with_dim first.shape dim total in
+      let out = zeros first.dtype out_shape in
+      let offset = ref 0 in
+      List.iter
+        (fun t ->
+          if Shape.rank t.shape <> rank then
+            invalid_arg "Literal.concat: rank mismatch";
+          Shape.iter_indices t.shape (fun idx ->
+              let dst = Array.copy idx in
+              dst.(dim) <- dst.(dim) + !offset;
+              set out dst (get t idx));
+          offset := !offset + t.shape.(dim))
+        ts;
+      out
+
+let slice t ~starts ~limits =
+  let rank = Shape.rank t.shape in
+  if Array.length starts <> rank || Array.length limits <> rank then
+    invalid_arg "Literal.slice: rank mismatch";
+  let out_shape = Array.init rank (fun i -> limits.(i) - starts.(i)) in
+  let out = zeros t.dtype out_shape in
+  let src = Array.make rank 0 in
+  Shape.iter_indices out_shape (fun idx ->
+      Array.iteri (fun i v -> src.(i) <- v + starts.(i)) idx;
+      set out idx (get t src));
+  out
+
+let clamp v lo hi = if v < lo then lo else if v > hi then hi else v
+
+let dynamic_slice t ~starts ~sizes =
+  let rank = Shape.rank t.shape in
+  let starts =
+    Array.init rank (fun i -> clamp starts.(i) 0 (t.shape.(i) - sizes.(i)))
+  in
+  slice t ~starts ~limits:(Array.init rank (fun i -> starts.(i) + sizes.(i)))
+
+let dynamic_update_slice t update ~starts =
+  let rank = Shape.rank t.shape in
+  let starts =
+    Array.init rank (fun i ->
+        clamp starts.(i) 0 (t.shape.(i) - update.shape.(i)))
+  in
+  let out = { t with data = Array.copy t.data } in
+  let dst = Array.make rank 0 in
+  Shape.iter_indices update.shape (fun idx ->
+      Array.iteri (fun i v -> dst.(i) <- v + starts.(i)) idx;
+      set out dst (get update idx));
+  out
+
+let pad t ~low ~high ~value =
+  let rank = Shape.rank t.shape in
+  let out_shape =
+    Array.init rank (fun i -> low.(i) + t.shape.(i) + high.(i))
+  in
+  let out = full t.dtype out_shape value in
+  let dst = Array.make rank 0 in
+  Shape.iter_indices t.shape (fun idx ->
+      Array.iteri (fun i v -> dst.(i) <- v + low.(i)) idx;
+      set out dst (get t idx));
+  out
+
+let round_index x limit =
+  let i = int_of_float (Float.round x) in
+  clamp i 0 (limit - 1)
+
+let take operand indices ~axis =
+  let op_rank = Shape.rank operand.shape in
+  let idx_shape = indices.shape in
+  (* Result: operand dims with [axis] replaced by the index shape. *)
+  let out_shape =
+    Array.concat
+      [
+        Array.sub operand.shape 0 axis;
+        idx_shape;
+        Array.sub operand.shape (axis + 1) (op_rank - axis - 1);
+      ]
+  in
+  let out = zeros operand.dtype out_shape in
+  let idx_rank = Shape.rank idx_shape in
+  let src = Array.make op_rank 0 in
+  let idx_pos = Array.make idx_rank 0 in
+  Shape.iter_indices out_shape (fun idx ->
+      for i = 0 to axis - 1 do
+        src.(i) <- idx.(i)
+      done;
+      for i = 0 to idx_rank - 1 do
+        idx_pos.(i) <- idx.(axis + i)
+      done;
+      let gathered = round_index (get indices idx_pos) operand.shape.(axis) in
+      src.(axis) <- gathered;
+      for i = axis + 1 to op_rank - 1 do
+        src.(i) <- idx.(i - axis + (idx_rank - 1) + axis)
+      done;
+      set out idx (get operand src));
+  out
+
+let scatter_add operand indices updates ~axis =
+  let out = { operand with data = Array.copy operand.data } in
+  let op_rank = Shape.rank operand.shape in
+  let idx_rank = Shape.rank indices.shape in
+  let dst = Array.make op_rank 0 in
+  let idx_pos = Array.make idx_rank 0 in
+  Shape.iter_indices updates.shape (fun idx ->
+      for i = 0 to axis - 1 do
+        dst.(i) <- idx.(i)
+      done;
+      for i = 0 to idx_rank - 1 do
+        idx_pos.(i) <- idx.(axis + i)
+      done;
+      let target = round_index (get indices idx_pos) operand.shape.(axis) in
+      dst.(axis) <- target;
+      for i = axis + 1 to op_rank - 1 do
+        dst.(i) <- idx.(i - axis + (idx_rank - 1) + axis)
+      done;
+      set out dst (get out dst +. get updates idx));
+  out
+
+(* Convolution: input NHWC, kernel HWIO, output NHWC. *)
+let conv2d input kernel ~stride ~padding =
+  let n = input.shape.(0)
+  and h = input.shape.(1)
+  and w = input.shape.(2)
+  and c = input.shape.(3) in
+  let kh = kernel.shape.(0)
+  and kw = kernel.shape.(1)
+  and ci = kernel.shape.(2)
+  and co = kernel.shape.(3) in
+  if c <> ci then invalid_arg "Literal.conv2d: channel mismatch";
+  let oh = ((h + (2 * padding) - kh) / stride) + 1 in
+  let ow = ((w + (2 * padding) - kw) / stride) + 1 in
+  let out = zeros input.dtype [| n; oh; ow; co |] in
+  for b = 0 to n - 1 do
+    for oy = 0 to oh - 1 do
+      for ox = 0 to ow - 1 do
+        for oc = 0 to co - 1 do
+          let acc = ref 0. in
+          for ky = 0 to kh - 1 do
+            for kx = 0 to kw - 1 do
+              let iy = (oy * stride) + ky - padding in
+              let ix = (ox * stride) + kx - padding in
+              if iy >= 0 && iy < h && ix >= 0 && ix < w then
+                for ic = 0 to c - 1 do
+                  acc :=
+                    !acc
+                    +. get input [| b; iy; ix; ic |]
+                       *. get kernel [| ky; kx; ic; oc |]
+                done
+            done
+          done;
+          set out [| b; oy; ox; oc |] !acc
+        done
+      done
+    done
+  done;
+  out
+
+let conv2d_input_grad grad_out kernel ~input_shape ~stride ~padding =
+  let n = input_shape.(0)
+  and h = input_shape.(1)
+  and w = input_shape.(2)
+  and c = input_shape.(3) in
+  let kh = kernel.shape.(0) and kw = kernel.shape.(1) in
+  let co = kernel.shape.(3) in
+  let oh = grad_out.shape.(1) and ow = grad_out.shape.(2) in
+  let out = zeros grad_out.dtype [| n; h; w; c |] in
+  for b = 0 to n - 1 do
+    for oy = 0 to oh - 1 do
+      for ox = 0 to ow - 1 do
+        for oc = 0 to co - 1 do
+          let g = get grad_out [| b; oy; ox; oc |] in
+          if g <> 0. then
+            for ky = 0 to kh - 1 do
+              for kx = 0 to kw - 1 do
+                let iy = (oy * stride) + ky - padding in
+                let ix = (ox * stride) + kx - padding in
+                if iy >= 0 && iy < h && ix >= 0 && ix < w then
+                  for ic = 0 to c - 1 do
+                    set out [| b; iy; ix; ic |]
+                      (get out [| b; iy; ix; ic |]
+                      +. (g *. get kernel [| ky; kx; ic; oc |]))
+                  done
+              done
+            done
+        done
+      done
+    done
+  done;
+  out
+
+let conv2d_kernel_grad input grad_out ~kernel_shape ~stride ~padding =
+  let n = input.shape.(0)
+  and h = input.shape.(1)
+  and w = input.shape.(2) in
+  let kh = kernel_shape.(0)
+  and kw = kernel_shape.(1)
+  and ci = kernel_shape.(2)
+  and co = kernel_shape.(3) in
+  let oh = grad_out.shape.(1) and ow = grad_out.shape.(2) in
+  let out = zeros input.dtype [| kh; kw; ci; co |] in
+  for b = 0 to n - 1 do
+    for oy = 0 to oh - 1 do
+      for ox = 0 to ow - 1 do
+        for oc = 0 to co - 1 do
+          let g = get grad_out [| b; oy; ox; oc |] in
+          if g <> 0. then
+            for ky = 0 to kh - 1 do
+              for kx = 0 to kw - 1 do
+                let iy = (oy * stride) + ky - padding in
+                let ix = (ox * stride) + kx - padding in
+                if iy >= 0 && iy < h && ix >= 0 && ix < w then
+                  for ic = 0 to ci - 1 do
+                    set out [| ky; kx; ic; oc |]
+                      (get out [| ky; kx; ic; oc |]
+                      +. (g *. get input [| b; iy; ix; ic |]))
+                  done
+              done
+            done
+        done
+      done
+    done
+  done;
+  out
+
+let max_abs_diff a b =
+  if not (Shape.equal a.shape b.shape) then infinity
+  else begin
+    let m = ref 0. in
+    for i = 0 to numel a - 1 do
+      m := Float.max !m (Float.abs (a.data.(i) -. b.data.(i)))
+    done;
+    !m
+  end
+
+let approx_equal ?(tol = 1e-6) a b =
+  Shape.equal a.shape b.shape
+  &&
+  let ok = ref true in
+  for i = 0 to numel a - 1 do
+    let x = a.data.(i) and y = b.data.(i) in
+    let scale = Float.max 1. (Float.max (Float.abs x) (Float.abs y)) in
+    if Float.abs (x -. y) > tol *. scale then ok := false
+  done;
+  !ok
+
+let pp ppf t =
+  let n = numel t in
+  let preview = min n 8 in
+  Format.fprintf ppf "tensor<%s%s%s> [%s%s]" (Shape.to_string t.shape)
+    (if Shape.is_scalar t.shape then "" else "x")
+    (Dtype.to_string t.dtype)
+    (String.concat ", "
+       (List.init preview (fun i -> Printf.sprintf "%g" t.data.(i))))
+    (if n > preview then ", ..." else "")

@@ -1,0 +1,89 @@
+(** Dense tensor literals and the ndarray kernels backing the reference
+    interpreter, the temporal interpreter, and the lockstep SPMD
+    interpreter.
+
+    Elements are stored as OCaml floats in row-major order; the dtype is
+    carried for byte accounting and integer rounding semantics. *)
+
+type t = private { dtype : Dtype.t; shape : Shape.t; data : float array }
+
+(** {1 Construction} *)
+
+val create : Dtype.t -> Shape.t -> float array -> t
+(** Raises [Invalid_argument] if the data length does not match the shape. *)
+
+val full : Dtype.t -> Shape.t -> float -> t
+val zeros : Dtype.t -> Shape.t -> t
+val ones : Dtype.t -> Shape.t -> t
+val scalar : Dtype.t -> float -> t
+val of_list : Dtype.t -> Shape.t -> float list -> t
+val init : Dtype.t -> Shape.t -> (int array -> float) -> t
+val iota : Dtype.t -> Shape.t -> dim:int -> t
+
+(** {1 Access} *)
+
+val get : t -> int array -> float
+val set : t -> int array -> float -> unit
+val get_flat : t -> int -> float
+val numel : t -> int
+val size_in_bytes : t -> int
+val to_float_list : t -> float list
+
+(** {1 Elementwise} *)
+
+val map : (float -> float) -> t -> t
+val map2 : (float -> float -> float) -> t -> t -> t
+(** Raises [Invalid_argument] on shape mismatch. *)
+
+val select : t -> t -> t -> t
+(** [select pred on_true on_false]: elementwise; pred nonzero picks true. *)
+
+(** {1 Linear algebra} *)
+
+val matmul : t -> t -> t
+(** Batched matrix multiplication: [..., m, k] x [..., k, n] -> [..., m, n]
+    with identical batch prefixes. *)
+
+(** {1 Structural} *)
+
+val transpose : t -> int array -> t
+val reshape : t -> Shape.t -> t
+val broadcast_in_dim : t -> Shape.t -> int array -> t
+(** [broadcast_in_dim x target dims]: operand dim [i] maps to target dim
+    [dims.(i)]; operand dims must be of size 1 or equal to the target. *)
+
+val reduce : [ `Sum | `Max | `Min ] -> t -> int array -> t
+(** Reduce over the given dims (removed from the shape). *)
+
+val concat : t list -> int -> t
+val slice : t -> starts:int array -> limits:int array -> t
+val dynamic_slice : t -> starts:int array -> sizes:int array -> t
+(** Starts are clamped so the window stays in bounds, as in StableHLO. *)
+
+val dynamic_update_slice : t -> t -> starts:int array -> t
+val pad : t -> low:int array -> high:int array -> value:float -> t
+
+val take : t -> t -> axis:int -> t
+(** [take operand indices ~axis]: gathers slices of [operand] along [axis]
+    at the (rounded, clamped) positions in [indices]. The result replaces
+    dimension [axis] with the shape of [indices]. *)
+
+val scatter_add : t -> t -> t -> axis:int -> t
+(** [scatter_add operand indices updates ~axis]: adds each [updates] slice
+    into [operand] at position [indices.(i)] along [axis]. Inverse-mode dual
+    of {!take} for a 1-D index vector. *)
+
+(** {1 Convolution (NHWC x HWIO)} *)
+
+val conv2d : t -> t -> stride:int -> padding:int -> t
+val conv2d_input_grad : t -> t -> input_shape:Shape.t -> stride:int -> padding:int -> t
+(** [conv2d_input_grad grad_out kernel ~input_shape]: VJP wrt the input. *)
+
+val conv2d_kernel_grad : t -> t -> kernel_shape:Shape.t -> stride:int -> padding:int -> t
+(** [conv2d_kernel_grad input grad_out ~kernel_shape]: VJP wrt the kernel. *)
+
+(** {1 Comparison and testing} *)
+
+val approx_equal : ?tol:float -> t -> t -> bool
+val max_abs_diff : t -> t -> float
+val pp : Format.formatter -> t -> unit

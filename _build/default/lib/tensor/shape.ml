@@ -1,0 +1,93 @@
+type t = int array
+
+let scalar : t = [||]
+let rank (s : t) = Array.length s
+let numel (s : t) = Array.fold_left ( * ) 1 s
+let equal (a : t) (b : t) = a = b
+
+let dim (s : t) d =
+  if d < 0 || d >= Array.length s then
+    invalid_arg
+      (Printf.sprintf "Shape.dim: dimension %d out of range for rank %d" d
+         (Array.length s))
+  else s.(d)
+
+let is_scalar (s : t) = Array.length s = 0
+
+let to_string (s : t) =
+  if is_scalar s then "<scalar>"
+  else String.concat "x" (Array.to_list (Array.map string_of_int s))
+
+let pp ppf s = Format.pp_print_string ppf (to_string s)
+
+let strides (s : t) =
+  let n = Array.length s in
+  let st = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    st.(i) <- st.(i + 1) * s.(i + 1)
+  done;
+  st
+
+let offset_of_index (s : t) (idx : int array) =
+  let st = strides s in
+  let acc = ref 0 in
+  for i = 0 to Array.length s - 1 do
+    acc := !acc + (idx.(i) * st.(i))
+  done;
+  !acc
+
+let index_of_offset (s : t) off =
+  let st = strides s in
+  let n = Array.length s in
+  let idx = Array.make n 0 in
+  let rem = ref off in
+  for i = 0 to n - 1 do
+    idx.(i) <- !rem / st.(i);
+    rem := !rem mod st.(i)
+  done;
+  idx
+
+let iter_indices (s : t) f =
+  let n = Array.length s in
+  if numel s = 0 then ()
+  else begin
+    let idx = Array.make n 0 in
+    let rec next () =
+      f idx;
+      (* Increment the multi-index like an odometer. *)
+      let rec bump i =
+        if i < 0 then false
+        else if idx.(i) + 1 < s.(i) then begin
+          idx.(i) <- idx.(i) + 1;
+          true
+        end
+        else begin
+          idx.(i) <- 0;
+          bump (i - 1)
+        end
+      in
+      if bump (n - 1) then next ()
+    in
+    next ()
+  end
+
+let with_dim (s : t) d n =
+  let s' = Array.copy s in
+  s'.(d) <- n;
+  s'
+
+let insert_dim (s : t) d n =
+  let r = Array.length s in
+  Array.init (r + 1) (fun i ->
+      if i < d then s.(i) else if i = d then n else s.(i - 1))
+
+let remove_dims (s : t) dims =
+  let keep i = not (Array.exists (fun d -> d = i) dims) in
+  let out = ref [] in
+  for i = Array.length s - 1 downto 0 do
+    if keep i then out := s.(i) :: !out
+  done;
+  Array.of_list !out
+
+let transpose (s : t) perm = Array.map (fun p -> s.(p)) perm
+let divides k (s : t) d = k > 0 && d >= 0 && d < rank s && s.(d) mod k = 0

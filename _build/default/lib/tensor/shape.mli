@@ -1,0 +1,46 @@
+(** Tensor shapes as immutable arrays of non-negative dimension sizes. *)
+
+type t = int array
+
+val scalar : t
+val rank : t -> int
+val numel : t -> int
+(** Product of all dimensions; 1 for a scalar. *)
+
+val equal : t -> t -> bool
+val dim : t -> int -> int
+(** [dim s d] is dimension [d]; raises [Invalid_argument] if out of range. *)
+
+val is_scalar : t -> bool
+val to_string : t -> string
+(** E.g. ["256x8"]; ["<scalar>"] for rank 0. *)
+
+val pp : Format.formatter -> t -> unit
+
+val strides : t -> int array
+(** Row-major strides, e.g. strides [|2;3;4|] = [|12;4;1|]. *)
+
+val offset_of_index : t -> int array -> int
+(** Flat row-major offset of a multi-index. *)
+
+val index_of_offset : t -> int -> int array
+(** Inverse of {!offset_of_index}. *)
+
+val iter_indices : t -> (int array -> unit) -> unit
+(** Iterate over all multi-indices in row-major order. The array passed to
+    the callback is reused between calls; copy it if you keep it. *)
+
+val with_dim : t -> int -> int -> t
+(** [with_dim s d n] is [s] with dimension [d] replaced by [n]. *)
+
+val insert_dim : t -> int -> int -> t
+(** [insert_dim s d n] inserts a new dimension of size [n] at position [d]. *)
+
+val remove_dims : t -> int array -> t
+(** Remove the given (sorted or unsorted, distinct) dimensions. *)
+
+val transpose : t -> int array -> t
+(** [transpose s perm].(i) = s.(perm.(i)). *)
+
+val divides : int -> t -> int -> bool
+(** [divides k s d]: [k] exactly divides dimension [d] of [s]. *)

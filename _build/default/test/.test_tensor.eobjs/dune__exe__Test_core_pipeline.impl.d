@@ -1,0 +1,1 @@
+test/test_core_pipeline.ml: Alcotest Builder Dtype Func Interp List Literal Op Option Partir_core Partir_hlo Partir_mesh Partir_spmd Partir_temporal Partir_tensor Propagate Random Shape Staged Value

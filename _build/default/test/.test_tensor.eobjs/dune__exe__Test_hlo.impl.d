@@ -1,0 +1,1 @@
+test/test_hlo.ml: Alcotest Array Builder Dtype Float Func Interp List Literal Op Partir_ad Partir_hlo Partir_tensor Printf Shape Value

@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Dtype Filename Float Func Interp Lazy List Literal Partir_hlo Partir_mesh Partir_models Partir_schedule Partir_spmd Partir_strategies Partir_tensor Printf Random Value

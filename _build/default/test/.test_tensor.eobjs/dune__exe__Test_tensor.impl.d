@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Dtype Float Literal Partir_tensor QCheck QCheck_alcotest Shape Test

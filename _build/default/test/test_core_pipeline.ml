@@ -1,0 +1,186 @@
+(* End-to-end pipeline tests on the paper's running example (§2.3):
+   a matmul chain partitioned with BP, BP+MP, BP+MP+Z3. *)
+
+open Partir_tensor
+open Partir_hlo
+open Partir_core
+module Mesh = Partir_mesh.Mesh
+module Layout = Partir_spmd.Layout
+module Lower = Partir_spmd.Lower
+module Census = Partir_spmd.Census
+module Spmd_interp = Partir_spmd.Spmd_interp
+module Temporal = Partir_temporal.Temporal
+
+let chain () =
+  let b = Builder.create "chain" in
+  let x = Builder.param b "x" [| 256; 8 |] Dtype.F32 in
+  let w1 = Builder.param b "w1" [| 8; 16 |] Dtype.F32 in
+  let w2 = Builder.param b "w2" [| 16; 8 |] Dtype.F32 in
+  let x1 = Builder.matmul b x w1 in
+  let x2 = Builder.matmul b x1 w2 in
+  Builder.finish b [ x2 ]
+
+let mesh () = Mesh.create [ ("B", 4); ("M", 2) ]
+
+let random_inputs f seed =
+  let st = Random.State.make [| seed |] in
+  List.map
+    (fun (p : Value.t) ->
+      Literal.init p.Value.ty.Value.dtype p.Value.ty.Value.shape (fun _ ->
+          Random.State.float st 2. -. 1.))
+    f.Func.params
+
+(* Differential oracle: reference = temporal = assembled SPMD. *)
+let check_equivalence ?(tol = 1e-4) name (staged : Staged.t) =
+  let plain = Staged.to_func staged in
+  let inputs = random_inputs plain 42 in
+  let reference = Interp.run plain inputs in
+  let temporal = Temporal.run staged inputs in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool)
+        (name ^ ": temporal matches reference")
+        true
+        (Literal.max_abs_diff a b < tol))
+    reference temporal;
+  let prog = Lower.lower staged in
+  let spmd = Spmd_interp.run prog inputs in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool)
+        (name ^ ": spmd matches reference")
+        true
+        (Literal.max_abs_diff a b < tol))
+    reference spmd
+
+let stage_bp () =
+  let f = chain () in
+  let staged = Staged.of_func (mesh ()) f in
+  let x = Func.find_param f "x" in
+  let _ = Staged.tile staged ~value:x ~dim:0 ~axis:"B" in
+  let conflicts = Propagate.run staged in
+  (staged, conflicts)
+
+let test_bp () =
+  let staged, conflicts = stage_bp () in
+  Alcotest.(check int) "no conflicts" 0 (List.length conflicts);
+  let prog = Lower.lower staged in
+  let c = Census.of_program prog in
+  Alcotest.(check int) "BP: no all_reduce" 0 c.Census.all_reduce;
+  Alcotest.(check int) "BP: no all_gather" 0 c.Census.all_gather;
+  (* Device-local input shape 64x8 (Listing 3). *)
+  let x_local = List.hd prog.Lower.func.Func.params in
+  Alcotest.(check bool)
+    "x is 64x8 per device" true
+    (Shape.equal x_local.Value.ty.Value.shape [| 64; 8 |]);
+  check_equivalence "BP" staged
+
+let stage_bp_mp () =
+  let staged, _ = stage_bp () in
+  let w1 = List.nth staged.Staged.params 1 in
+  let _ = Staged.tile staged ~value:w1 ~dim:1 ~axis:"M" in
+  let conflicts = Propagate.run staged in
+  (staged, conflicts)
+
+let test_bp_mp () =
+  let staged, conflicts = stage_bp_mp () in
+  Alcotest.(check int) "no conflicts" 0 (List.length conflicts);
+  let prog = Lower.lower staged in
+  let c = Census.of_program prog in
+  Alcotest.(check int) "BP+MP: one all_reduce (Listing 4)" 1 c.Census.all_reduce;
+  Alcotest.(check int) "BP+MP: no all_gather" 0 c.Census.all_gather;
+  (* w2 is inferred to arrive sliced on dim 0 along M. *)
+  let w2_layout = List.nth prog.Lower.input_layouts 2 in
+  Alcotest.(check string)
+    "w2 arrival layout" "[{M}, {}]"
+    (Layout.to_string w2_layout);
+  check_equivalence "BP+MP" staged
+
+let stage_bp_mp_z3 () =
+  let staged, _ = stage_bp_mp () in
+  let w1 = List.nth staged.Staged.params 1 in
+  let w2 = List.nth staged.Staged.params 2 in
+  let _ = Staged.tile staged ~value:w1 ~dim:0 ~axis:"B" in
+  let _ = Staged.tile staged ~value:w2 ~dim:1 ~axis:"B" in
+  let conflicts = Propagate.run staged in
+  (staged, conflicts)
+
+let test_bp_mp_z3 () =
+  let staged, conflicts = stage_bp_mp_z3 () in
+  Alcotest.(check int) "no conflicts" 0 (List.length conflicts);
+  let prog = Lower.lower staged in
+  let c = Census.of_program prog in
+  Alcotest.(check int)
+    "BP+MP+Z3: two all_gathers (Listing 5)" 2 c.Census.all_gather;
+  Alcotest.(check int) "BP+MP+Z3: one all_reduce" 1 c.Census.all_reduce;
+  check_equivalence "BP+MP+Z3" staged
+
+let test_conflict_both_at_once () =
+  (* Tiling x on B and w1 on B (dim 1) before propagating creates the
+     paper's §5.2.3 conflict. *)
+  let f = chain () in
+  let staged = Staged.of_func (mesh ()) f in
+  let x = Func.find_param f "x" in
+  let w1 = Func.find_param f "w1" in
+  let _ = Staged.tile staged ~value:x ~dim:0 ~axis:"B" in
+  let _ = Staged.tile staged ~value:w1 ~dim:1 ~axis:"B" in
+  let conflicts = Propagate.run staged in
+  Alcotest.(check bool) "conflict detected" true (List.length conflicts > 0)
+
+let test_atomic_blocks () =
+  (* atomic<x, B> then tiling x downstream is blocked on B. *)
+  let f = chain () in
+  let staged = Staged.of_func (mesh ()) f in
+  let x = Func.find_param f "x" in
+  let _ = Staged.atomic staged ~value:x ~axis:"B" in
+  let conflicts = Propagate.run staged in
+  Alcotest.(check int) "no conflicts" 0 (List.length conflicts);
+  let prog = Lower.lower staged in
+  let c = Census.of_program prog in
+  Alcotest.(check int) "atomic alone introduces no collectives" 0
+    (c.Census.all_reduce + c.Census.all_gather);
+  check_equivalence "atomic" staged
+
+let test_transpose_conflict_and_tag () =
+  (* §8: matmul(x, transpose(x)) conflicts; atomic on the transpose resolves
+     it with a gather. *)
+  let build () =
+    let b = Builder.create "diag" in
+    let x = Builder.param b "x" [| 16; 16 |] Dtype.F32 in
+    let tx = Builder.add_named b "tx" (Op.Transpose { perm = [| 1; 0 |] }) [ x ] in
+    let y = Builder.matmul b x tx in
+    Builder.finish b [ y ]
+  in
+  let mesh = Mesh.create [ ("M", 2) ] in
+  (* Without atomic: conflict. *)
+  let staged = Staged.of_func mesh (build ()) in
+  let x = List.hd staged.Staged.params in
+  let _ = Staged.tile staged ~value:x ~dim:0 ~axis:"M" in
+  let conflicts = Propagate.run staged in
+  Alcotest.(check bool) "conflict without tag" true (List.length conflicts > 0);
+  (* With atomic on the tagged intermediate: resolved, one gather. *)
+  let staged = Staged.of_func mesh (build ()) in
+  let tx = Option.get (Staged.find_value staged "tx") in
+  let _ = Staged.atomic staged ~value:tx ~axis:"M" in
+  let x = List.hd staged.Staged.params in
+  let _ = Staged.tile staged ~value:x ~dim:0 ~axis:"M" in
+  let conflicts = Propagate.run staged in
+  Alcotest.(check int) "no conflicts with tag" 0 (List.length conflicts);
+  let prog = Lower.lower staged in
+  let c = Census.of_program prog in
+  Alcotest.(check int) "one all_gather" 1 c.Census.all_gather;
+  check_equivalence "transpose+tag" staged
+
+let () =
+  Alcotest.run "core-pipeline"
+    [
+      ( "matmul-chain",
+        [
+          Alcotest.test_case "BP" `Quick test_bp;
+          Alcotest.test_case "BP+MP" `Quick test_bp_mp;
+          Alcotest.test_case "BP+MP+Z3" `Quick test_bp_mp_z3;
+          Alcotest.test_case "conflict" `Quick test_conflict_both_at_once;
+          Alcotest.test_case "atomic" `Quick test_atomic_blocks;
+          Alcotest.test_case "transpose-tag" `Quick test_transpose_conflict_and_tag;
+        ] );
+    ]

@@ -1,0 +1,178 @@
+(* Unit tests for the IR layer: shape inference, verification, the
+   reference interpreter, builder-level composites, and reverse-mode AD
+   checked against finite differences. *)
+
+open Partir_tensor
+open Partir_hlo
+
+let ttype s = Value.ttype s Dtype.F32
+
+let infer_tests =
+  [
+    Alcotest.test_case "matmul shapes" `Quick (fun () ->
+        let r = Op.infer Op.Matmul [ ttype [| 4; 8 |]; ttype [| 8; 3 |] ] None in
+        Alcotest.(check bool) "4x3" true
+          (Shape.equal (List.hd r).Value.shape [| 4; 3 |]);
+        Alcotest.check_raises "mismatch"
+          (Op.Type_error "matmul: incompatible 4x8 x 7x3") (fun () ->
+            ignore (Op.infer Op.Matmul [ ttype [| 4; 8 |]; ttype [| 7; 3 |] ] None)));
+    Alcotest.test_case "collective shapes" `Quick (fun () ->
+        let ag =
+          Op.infer (Op.All_gather { dim_axes = [| [ ("x", 2) ]; [] |] })
+            [ ttype [| 4; 3 |] ] None
+        in
+        Alcotest.(check bool) "gather doubles" true
+          (Shape.equal (List.hd ag).Value.shape [| 8; 3 |]);
+        let a2a =
+          Op.infer
+            (Op.All_to_all { src_dim = 0; dst_dim = 1; axes = [ ("x", 2) ] })
+            [ ttype [| 4; 6 |] ] None
+        in
+        Alcotest.(check bool) "a2a moves" true
+          (Shape.equal (List.hd a2a).Value.shape [| 8; 3 |]));
+    Alcotest.test_case "verifier catches bad types" `Quick (fun () ->
+        let v = Value.fresh ~name:"x" (ttype [| 2; 2 |]) in
+        let op = Op.make Op.Matmul [ v; v ] () in
+        let bad_result =
+          { (List.hd op.Op.results) with Value.ty = ttype [| 3; 3 |] }
+        in
+        let f =
+          {
+            Func.name = "bad";
+            params = [ v ];
+            body = [ { op with Op.results = [ bad_result ] } ];
+            results = [ bad_result ];
+          }
+        in
+        Alcotest.(check bool) "raises" true
+          (try
+             Func.verify f;
+             false
+           with Func.Verification_error _ -> true));
+  ]
+
+let builder_tests =
+  [
+    Alcotest.test_case "softmax rows sum to 1" `Quick (fun () ->
+        let b = Builder.create "s" in
+        let x = Builder.param b "x" [| 3; 5 |] Dtype.F32 in
+        let y = Builder.softmax b x ~dim:1 in
+        let f = Builder.finish b [ y ] in
+        let input =
+          Literal.init Dtype.F32 [| 3; 5 |] (fun i ->
+              float_of_int ((i.(0) * 2) - i.(1)))
+        in
+        let out = List.hd (Interp.run f [ input ]) in
+        let sums = Literal.reduce `Sum out [| 1 |] in
+        List.iter
+          (fun s -> Alcotest.(check (float 1e-5)) "row sum" 1. s)
+          (Literal.to_float_list sums));
+    Alcotest.test_case "layer_norm normalizes" `Quick (fun () ->
+        let b = Builder.create "ln" in
+        let x = Builder.param b "x" [| 2; 8 |] Dtype.F32 in
+        let scale = Builder.param b "s" [| 8 |] Dtype.F32 in
+        let y = Builder.layer_norm b x ~scale ~bias:None ~dim:1 in
+        let f = Builder.finish b [ y ] in
+        let input =
+          Literal.init Dtype.F32 [| 2; 8 |] (fun i ->
+              float_of_int ((i.(0) * 3) + (i.(1) * i.(1))))
+        in
+        let out =
+          List.hd (Interp.run f [ input; Literal.ones Dtype.F32 [| 8 |] ])
+        in
+        let means = Literal.reduce `Sum out [| 1 |] in
+        List.iter
+          (fun m -> Alcotest.(check (float 1e-4)) "mean ~ 0" 0. (m /. 8.))
+          (Literal.to_float_list means));
+    Alcotest.test_case "for loop accumulates" `Quick (fun () ->
+        (* sum_{i<5} (x + x) via a For with one carry. *)
+        let b = Builder.create "loop" in
+        let x = Builder.param b "x" [| 2 |] Dtype.F32 in
+        let init = Builder.zeros b [| 2 |] in
+        let iter = Value.fresh ~name:"i" (Value.ttype Shape.scalar Dtype.I32) in
+        let carry = Value.fresh ~name:"acc" (ttype [| 2 |]) in
+        let xin = Value.fresh ~name:"xi" (ttype [| 2 |]) in
+        let rb = Builder.create "body" in
+        let acc' = Builder.add2 rb carry xin in
+        let region =
+          { Op.params = [ iter; carry; xin ]; body = Builder.ops rb; yields = [ acc' ] }
+        in
+        let results =
+          Builder.add_multi b
+            (Op.For { trip_count = 5; n_carries = 1 })
+            [ init; x ] ~region ()
+        in
+        let f = Builder.finish b [ List.hd results ] in
+        let out = List.hd (Interp.run f [ Literal.of_list Dtype.F32 [| 2 |] [ 1.; 2. ] ]) in
+        Alcotest.(check bool) "5x" true
+          (Literal.to_float_list out = [ 5.; 10. ]));
+  ]
+
+(* Finite-difference check of reverse-mode AD on a composite function
+   exercising matmul, relu, reduce, broadcast, take, layer norm. *)
+let ad_tests =
+  [
+    Alcotest.test_case "gradients match finite differences" `Quick (fun () ->
+        let build () =
+          let b = Builder.create "g" in
+          let w = Builder.param b "w" [| 3; 4 |] Dtype.F32 in
+          let x = Builder.param b "x" [| 2; 3 |] Dtype.F32 in
+          let h = Builder.relu b (Builder.matmul b x w) in
+          let t = Builder.tanh b h in
+          let loss = Builder.mean b (Builder.mul b t t) [| 0; 1 |] in
+          (b, w, x, loss)
+        in
+        let b, w, _x, loss = build () in
+        let grads = Partir_ad.Ad.gradients b ~loss ~wrt:[ w ] in
+        let f = Builder.finish b (loss :: grads) in
+        let wv =
+          Literal.init Dtype.F32 [| 3; 4 |] (fun i ->
+              (0.1 *. float_of_int i.(0)) -. (0.07 *. float_of_int i.(1)) +. 0.05)
+        in
+        let xv =
+          Literal.init Dtype.F32 [| 2; 3 |] (fun i ->
+              (0.2 *. float_of_int i.(1)) -. (0.3 *. float_of_int i.(0)) +. 0.1)
+        in
+        match Interp.run f [ wv; xv ] with
+        | [ _; gw ] ->
+            let eps = 1e-4 in
+            Shape.iter_indices [| 3; 4 |] (fun idx ->
+                let idx = Array.copy idx in
+                let perturb delta =
+                  let w' = Literal.map (fun v -> v) wv in
+                  Literal.set w' idx (Literal.get wv idx +. delta);
+                  match Interp.run f [ w'; xv ] with
+                  | l :: _ -> Literal.get_flat l 0
+                  | [] -> assert false
+                in
+                let fd = (perturb eps -. perturb (-.eps)) /. (2. *. eps) in
+                let ad = Literal.get gw idx in
+                Alcotest.(check bool)
+                  (Printf.sprintf "dw[%d,%d] fd=%g ad=%g" idx.(0) idx.(1) fd ad)
+                  true
+                  (Float.abs (fd -. ad) < 1e-3))
+        | _ -> Alcotest.fail "expected loss and gradient");
+    Alcotest.test_case "take/scatter gradient" `Quick (fun () ->
+        let b = Builder.create "emb" in
+        let table = Builder.param b "t" [| 4; 2 |] Dtype.F32 in
+        let idx = Builder.param b "i" [| 3 |] Dtype.I32 in
+        let rows = Builder.take b table idx ~axis:0 in
+        let loss = Builder.mean b (Builder.mul b rows rows) [| 0; 1 |] in
+        let grads = Partir_ad.Ad.gradients b ~loss ~wrt:[ table ] in
+        let f = Builder.finish b (loss :: grads) in
+        let tv = Literal.init Dtype.F32 [| 4; 2 |] (fun i -> float_of_int (i.(0) + 1)) in
+        let iv = Literal.of_list Dtype.I32 [| 3 |] [ 1.; 1.; 2. ] in
+        match Interp.run f [ tv; iv ] with
+        | [ _; gt ] ->
+            (* Row 1 referenced twice, row 2 once, rows 0 and 3 never. *)
+            Alcotest.(check (float 1e-6)) "unused row" 0. (Literal.get gt [| 0; 0 |]);
+            Alcotest.(check (float 1e-6)) "row1 (2 uses)" (4. /. 3.)
+              (Literal.get gt [| 1; 0 |]);
+            Alcotest.(check (float 1e-6)) "row2 (1 use)" 1.
+              (Literal.get gt [| 2; 0 |])
+        | _ -> Alcotest.fail "expected loss and gradient");
+  ]
+
+let () =
+  Alcotest.run "hlo"
+    [ ("infer", infer_tests); ("builder", builder_tests); ("ad", ad_tests) ]

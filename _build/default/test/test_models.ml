@@ -1,0 +1,173 @@
+(* Schedules on the remaining models: inference transformer with serving
+   loop (IT32), U-Net, GNS — censuses plus end-to-end SPMD equivalence. *)
+
+open Partir_tensor
+open Partir_hlo
+module Mesh = Partir_mesh.Mesh
+module Schedule = Partir_schedule.Schedule
+module Strategies = Partir_strategies.Strategies
+module Census = Partir_spmd.Census
+module Train = Partir_models.Train
+module Transformer = Partir_models.Transformer
+module Unet = Partir_models.Unet
+module Gns = Partir_models.Gns
+module Spmd_interp = Partir_spmd.Spmd_interp
+
+let random_args ?(vocab = 8) seed (f : Func.t) =
+  let st = Random.State.make [| seed |] in
+  List.map
+    (fun (p : Value.t) ->
+      let is_int = Dtype.is_integer p.Value.ty.Value.dtype in
+      let non_negative = Filename.check_suffix p.Value.name ".v" in
+      Literal.init p.Value.ty.Value.dtype p.Value.ty.Value.shape (fun _ ->
+          if is_int then float_of_int (Random.State.int st vocab)
+          else
+            let x = Random.State.float st 0.2 -. 0.1 in
+            if non_negative then Float.abs x else x))
+    f.Func.params
+
+let check_spmd_equivalence ?(tol = 1e-3) ?vocab name (f : Func.t)
+    (r : Schedule.result) =
+  let args = random_args ?vocab 11 f in
+  let reference = Interp.run f args in
+  let spmd = Spmd_interp.run r.Schedule.program args in
+  List.iteri
+    (fun i (a, b) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: result %d matches (delta %g)" name i
+           (Literal.max_abs_diff a b))
+        true
+        (Literal.max_abs_diff a b < tol))
+    (List.combine reference spmd)
+
+(* ---------- IT32 (inference with KV-cached serving loop) ---------- *)
+
+let icfg = { Transformer.tiny with layers = 2; batch = 4; heads = 2; seq = 8 }
+let steps = 3
+let imesh () = Mesh.create [ ("batch", 2); ("model", 2) ]
+let ifunc = lazy (Transformer.inference icfg ~decode_steps:steps)
+
+let test_it_bp () =
+  let f = Lazy.force ifunc in
+  let r =
+    Schedule.jit (imesh ()) f
+      [ Strategies.it32_bp ~axis:"batch" ~layers:icfg.Transformer.layers ]
+  in
+  let c = Census.of_program r.Schedule.program in
+  (* Inference-only batch parallelism needs no collectives (Table 2). *)
+  Alcotest.(check int) "IT BP all_reduce" 0 c.Census.all_reduce;
+  Alcotest.(check int) "IT BP all_gather" 0 c.Census.all_gather;
+  check_spmd_equivalence ~vocab:icfg.Transformer.vocab "IT BP" f r
+
+let test_it_bp_mp () =
+  let f = Lazy.force ifunc in
+  let r =
+    Schedule.jit (imesh ()) f
+      [
+        Strategies.it32_bp ~axis:"batch" ~layers:icfg.Transformer.layers;
+        Strategies.transformer_mp ~axis:"model";
+      ]
+  in
+  let c = Census.of_program r.Schedule.program in
+  (* Megatron on the serving loop: 2 AR per layer per decode step. *)
+  Alcotest.(check int) "IT BP+MP all_reduce"
+    (2 * icfg.Transformer.layers * steps)
+    c.Census.all_reduce;
+  check_spmd_equivalence ~vocab:icfg.Transformer.vocab "IT BP+MP" f r
+
+let test_it_mq () =
+  let f = Lazy.force ifunc in
+  let r =
+    Schedule.jit (imesh ()) f
+      [
+        Strategies.it32_bp ~axis:"batch" ~layers:icfg.Transformer.layers;
+        Strategies.transformer_mp ~axis:"model";
+        Strategies.it32_mq ~axis:"model" ~cfg:icfg;
+      ]
+  in
+  let c = Census.of_program r.Schedule.program in
+  (* MQ re-tiling introduces all_to_alls inside the loop: 2/layer/step. *)
+  Alcotest.(check int) "IT MQ all_to_all"
+    (2 * icfg.Transformer.layers * steps)
+    c.Census.all_to_all;
+  check_spmd_equivalence ~vocab:icfg.Transformer.vocab "IT MQ" f r
+
+(* ---------- U-Net ---------- *)
+
+let ucfg = Unet.tiny
+let umesh () = Mesh.create [ ("batch", 2); ("model", 2) ]
+let ustep = lazy (Train.training_step (Unet.forward ucfg))
+
+let test_unet_bp () =
+  let step = Lazy.force ustep in
+  let r =
+    Schedule.jit ~ties:step.Train.ties (umesh ()) step.Train.func
+      [ Strategies.bp ~axis:"batch" ~inputs:[ "x"; "temb"; "target" ] () ]
+  in
+  let c = Census.of_program r.Schedule.program in
+  (* One AR per parameter gradient plus the loss. *)
+  Alcotest.(check int) "UNet BP all_reduce"
+    (Unet.param_count ucfg + 1)
+    c.Census.all_reduce;
+  check_spmd_equivalence "UNet BP" step.Train.func r
+
+let test_unet_bp_z3 () =
+  let step = Lazy.force ustep in
+  let r =
+    Schedule.jit ~ties:step.Train.ties (umesh ()) step.Train.func
+      [
+        Strategies.bp ~axis:"batch" ~inputs:[ "x"; "temb"; "target" ] ();
+        Strategies.unet_z ~level:`Z3 ~axis:"batch";
+      ]
+  in
+  let c = Census.of_program r.Schedule.program in
+  Alcotest.(check bool)
+    (Printf.sprintf "UNet Z3 reduce_scatters most grads (%d RS)"
+       c.Census.reduce_scatter)
+    true
+    (c.Census.reduce_scatter > Unet.param_count ucfg / 2);
+  Alcotest.(check bool)
+    (Printf.sprintf "UNet Z3 gathers params at uses (%d AG)" c.Census.all_gather)
+    true
+    (c.Census.all_gather > Unet.param_count ucfg / 2);
+  check_spmd_equivalence "UNet BP+Z3" step.Train.func r
+
+(* ---------- GNS ---------- *)
+
+let gcfg = Gns.tiny
+let gmesh () = Mesh.create [ ("batch", 2) ]
+let gstep = lazy (Train.training_step (Gns.forward gcfg))
+
+let test_gns_es () =
+  let step = Lazy.force gstep in
+  let r =
+    Schedule.jit ~ties:step.Train.ties (gmesh ()) step.Train.func
+      [ Strategies.gns_es ~axis:"batch" ]
+  in
+  let c = Census.of_program r.Schedule.program in
+  (* Edge sharding: scatter aggregations and edge-MLP weight gradients each
+     reduce across the edge shards — all collectives are ARs (Table 2: ES
+     introduces only ARs). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "GNS ES all_reduces (%d)" c.Census.all_reduce)
+    true
+    (c.Census.all_reduce > 2 * gcfg.Gns.steps);
+  Alcotest.(check int) "GNS ES all_to_all" 0 c.Census.all_to_all;
+  check_spmd_equivalence "GNS ES" step.Train.func r
+
+let () =
+  Alcotest.run "models"
+    [
+      ( "it32",
+        [
+          Alcotest.test_case "BP" `Quick test_it_bp;
+          Alcotest.test_case "BP+MP" `Quick test_it_bp_mp;
+          Alcotest.test_case "BP+MP+MQ" `Quick test_it_mq;
+        ] );
+      ( "unet",
+        [
+          Alcotest.test_case "BP" `Quick test_unet_bp;
+          Alcotest.test_case "BP+Z3" `Quick test_unet_bp_z3;
+        ] );
+      ("gns", [ Alcotest.test_case "ES" `Quick test_gns_es ]);
+    ]

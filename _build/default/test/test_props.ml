@@ -1,0 +1,213 @@
+(* Property-based tests (the executable counterpart of the paper's proved
+   SPMD-lowering correctness, DESIGN.md section 1):
+
+   1. TMR soundness: every registry rule, applied as a loop nest around a
+      single op, preserves the op's semantics under sequential (temporal)
+      interpretation.
+   2. End-to-end: random straight-line programs with random tile/atomic
+      actions evaluate identically under the reference interpreter, the
+      temporal interpreter, and lockstep multi-device SPMD execution. *)
+
+open Partir_tensor
+open Partir_hlo
+open Partir_core
+module Mesh = Partir_mesh.Mesh
+module Temporal = Partir_temporal.Temporal
+module Lower = Partir_spmd.Lower
+module Spmd_interp = Partir_spmd.Spmd_interp
+module Mlp = Partir_models.Mlp
+
+let random_literal st (v : Value.t) =
+  Literal.init v.Value.ty.Value.dtype v.Value.ty.Value.shape (fun _ ->
+      if Dtype.is_integer v.Value.ty.Value.dtype then
+        float_of_int (Random.State.int st 4)
+      else Random.State.float st 2. -. 1.)
+
+(* A catalogue of single-op functions whose TMR rules we exhaustively
+   check. *)
+let op_catalogue () =
+  let f name build =
+    let b = Builder.create name in
+    let out = build b in
+    (name, Builder.finish b [ out ])
+  in
+  [
+    f "matmul" (fun b ->
+        let x = Builder.param b "x" [| 4; 6 |] Dtype.F32 in
+        let y = Builder.param b "y" [| 6; 8 |] Dtype.F32 in
+        Builder.matmul b x y);
+    f "batched-matmul" (fun b ->
+        let x = Builder.param b "x" [| 2; 4; 6 |] Dtype.F32 in
+        let y = Builder.param b "y" [| 2; 6; 4 |] Dtype.F32 in
+        Builder.matmul b x y);
+    f "add" (fun b ->
+        let x = Builder.param b "x" [| 4; 4 |] Dtype.F32 in
+        let y = Builder.param b "y" [| 4; 4 |] Dtype.F32 in
+        Builder.add2 b x y);
+    f "transpose" (fun b ->
+        let x = Builder.param b "x" [| 4; 6 |] Dtype.F32 in
+        Builder.transpose b x [| 1; 0 |]);
+    f "reshape-merge" (fun b ->
+        let x = Builder.param b "x" [| 4; 6 |] Dtype.F32 in
+        Builder.reshape b x [| 24 |]);
+    f "reshape-split" (fun b ->
+        let x = Builder.param b "x" [| 8; 6 |] Dtype.F32 in
+        Builder.reshape b x [| 2; 4; 6 |]);
+    f "reduce-sum" (fun b ->
+        let x = Builder.param b "x" [| 4; 6 |] Dtype.F32 in
+        Builder.reduce_sum b x [| 1 |]);
+    f "reduce-max" (fun b ->
+        let x = Builder.param b "x" [| 4; 6 |] Dtype.F32 in
+        Builder.reduce_max b x [| 0 |]);
+    f "broadcast" (fun b ->
+        let x = Builder.param b "x" [| 4 |] Dtype.F32 in
+        Builder.broadcast b x [| 4; 6 |] [| 0 |]);
+    f "concat" (fun b ->
+        let x = Builder.param b "x" [| 4; 2 |] Dtype.F32 in
+        let y = Builder.param b "y" [| 4; 6 |] Dtype.F32 in
+        Builder.concat b [ x; y ] 1);
+    f "slice-full-dim" (fun b ->
+        let x = Builder.param b "x" [| 4; 6 |] Dtype.F32 in
+        Builder.add b (Op.Slice { starts = [| 0; 1 |]; limits = [| 4; 5 |] }) [ x ]);
+    f "take" (fun b ->
+        let x = Builder.param b "x" [| 6; 4 |] Dtype.F32 in
+        let i = Builder.param b "i" [| 8 |] Dtype.I32 in
+        Builder.take b x i ~axis:0);
+    f "scatter_add" (fun b ->
+        let x = Builder.param b "x" [| 6; 4 |] Dtype.F32 in
+        let i = Builder.param b "i" [| 8 |] Dtype.I32 in
+        let u = Builder.param b "u" [| 8; 4 |] Dtype.F32 in
+        Builder.add b (Op.Scatter_add { axis = 0 }) [ x; i; u ]);
+    f "conv2d" (fun b ->
+        let x = Builder.param b "x" [| 2; 4; 4; 2 |] Dtype.F32 in
+        let k = Builder.param b "k" [| 3; 3; 2; 4 |] Dtype.F32 in
+        Builder.add b (Op.Conv2d { stride = 1; padding = 1 }) [ x; k ]);
+    f "pad" (fun b ->
+        let x = Builder.param b "x" [| 4; 6 |] Dtype.F32 in
+        Builder.add b (Op.Pad { low = [| 0; 1 |]; high = [| 0; 1 |]; value = 0. }) [ x ]);
+  ]
+
+(* Check one TMR rule by interpreting the staged single-op module
+   temporally and against the plain reference. *)
+let check_rule name (f : Func.t) (rule : Tmr.rule) axis_size =
+  let mesh = Mesh.create [ ("a", axis_size) ] in
+  let staged = Staged.of_func mesh f in
+  (match staged.Staged.body with
+  | [ sop ] ->
+      sop.Staged.nest <-
+        [
+          {
+            Action.axis = "a";
+            operand_dims = rule.Tmr.operand_dims;
+            result_actions = rule.Tmr.result_actions;
+          };
+        ]
+  | _ -> Alcotest.fail "catalogue entries must be single-op");
+  let st = Random.State.make [| Hashtbl.hash (name, axis_size) |] in
+  let args = List.map (random_literal st) f.Func.params in
+  let reference = Interp.run f args in
+  let temporal = Temporal.run staged args in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s rule %s (axis %d): temporal = reference" name
+           (Tmr.rule_to_string rule) axis_size)
+        true
+        (Literal.max_abs_diff a b < 1e-4))
+    reference temporal;
+  (* And through SPMD lowering + lockstep execution. *)
+  let program = Lower.lower staged in
+  let spmd = Spmd_interp.run program args in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s rule %s (axis %d): spmd = reference" name
+           (Tmr.rule_to_string rule) axis_size)
+        true
+        (Literal.max_abs_diff a b < 1e-4))
+    reference spmd
+
+let tmr_soundness_tests =
+  List.map
+    (fun (name, f) ->
+      Alcotest.test_case name `Quick (fun () ->
+          let checked = ref 0 in
+          List.iter
+            (fun axis_size ->
+              let op = List.hd f.Func.body in
+              List.iter
+                (fun rule ->
+                  incr checked;
+                  check_rule name f rule axis_size)
+                (Tmr.rules_for ~axis_size op))
+            [ 2; 4 ];
+          Alcotest.(check bool)
+            (Printf.sprintf "%s has rules" name)
+            true (!checked > 0)))
+    (op_catalogue ())
+
+(* Random program + random actions: full pipeline differential test. *)
+let random_pipeline_test =
+  let open QCheck in
+  Test.make ~name:"random programs x random tactics: spmd = temporal = reference"
+    ~count:60
+    (triple (int_range 0 10000) (int_range 1 6) (int_range 0 2))
+    (fun (seed, max_ops, n_actions) ->
+      let f = Mlp.random_chain ~seed ~max_ops in
+      let mesh = Mesh.create [ ("a", 2); ("b", 2) ] in
+      let staged = Staged.of_func mesh f in
+      let st = Random.State.make [| seed + 17 |] in
+      (* Apply random (possibly deep) tile/atomic actions to random params. *)
+      for _ = 1 to n_actions do
+        let p =
+          List.nth staged.Staged.params
+            (Random.State.int st (List.length staged.Staged.params))
+        in
+        let axis = if Random.State.bool st then "a" else "b" in
+        try
+          if Random.State.int st 4 = 0 then
+            ignore (Staged.atomic staged ~value:p ~axis)
+          else
+            ignore
+              (Staged.tile staged ~value:p
+                 ~dim:(Random.State.int st 2)
+                 ~axis)
+        with Staged.Action_error _ -> ()
+      done;
+      ignore (Propagate.run staged);
+      let args = List.map (random_literal st) f.Func.params in
+      let reference = Interp.run f args in
+      let temporal = Temporal.run staged args in
+      let program = Lower.lower staged in
+      let spmd = Spmd_interp.run program args in
+      List.for_all2 (fun a b -> Literal.max_abs_diff a b < 1e-3) reference temporal
+      && List.for_all2 (fun a b -> Literal.max_abs_diff a b < 1e-3) reference spmd)
+
+let mesh_tests =
+  let open QCheck in
+  [
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"device linearization roundtrip" ~count:100
+         (int_range 0 15)
+         (fun i ->
+           let mesh = Mesh.create [ ("x", 2); ("y", 4); ("z", 2) ] in
+           Mesh.linear_of_device mesh (Mesh.device_of_linear mesh i) = i));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"group peers partition the mesh" ~count:50
+         (int_range 0 15)
+         (fun i ->
+           let mesh = Mesh.create [ ("x", 2); ("y", 4); ("z", 2) ] in
+           let d = Mesh.device_of_linear mesh i in
+           let peers = Mesh.group_peers mesh d [ "y" ] in
+           List.length peers = 4
+           && List.exists (fun p -> p = d) peers
+           && List.for_all (fun p -> p.(0) = d.(0) && p.(2) = d.(2)) peers));
+  ]
+
+let () =
+  Alcotest.run "properties"
+    [
+      ("tmr-soundness", tmr_soundness_tests);
+      ("pipeline", [ QCheck_alcotest.to_alcotest random_pipeline_test ]);
+      ("mesh", mesh_tests);
+    ]

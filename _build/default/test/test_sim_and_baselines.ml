@@ -1,0 +1,249 @@
+(* Tests for the simulator stack, the GSPMD baseline, the automatic
+   partitioner, and collective fusion. *)
+
+open Partir_tensor
+open Partir_hlo
+open Partir_core
+module Mesh = Partir_mesh.Mesh
+module Layout = Partir_spmd.Layout
+module Lower = Partir_spmd.Lower
+module Census = Partir_spmd.Census
+module Fusion = Partir_spmd.Fusion
+module Hardware = Partir_sim.Hardware
+module Cost_model = Partir_sim.Cost_model
+module Schedule = Partir_schedule.Schedule
+module Strategies = Partir_strategies.Strategies
+module Auto = Partir_auto.Auto
+module Gspmd = Partir_gspmd.Gspmd
+module Mlp = Partir_models.Mlp
+module Train = Partir_models.Train
+
+let mlp_step = lazy (Train.training_step (Mlp.forward Mlp.default))
+
+let jit_mlp mesh schedule =
+  let step = Lazy.force mlp_step in
+  Schedule.jit ~ties:step.Train.ties mesh step.Train.func schedule
+
+let bp () = Strategies.bp ~axis:"batch" ~inputs:[ "x"; "target" ] ()
+
+let sim_tests =
+  [
+    Alcotest.test_case "BP reduces per-device flops" `Quick (fun () ->
+        let r1 = jit_mlp (Mesh.create [ ("batch", 2) ]) [ bp () ] in
+        let r2 = jit_mlp (Mesh.create [ ("batch", 8) ]) [ bp () ] in
+        let hw = Hardware.tpu_v3 in
+        let e1 = Cost_model.run Cost_model.analytic hw r1.Schedule.program in
+        let e2 = Cost_model.run Cost_model.analytic hw r2.Schedule.program in
+        (* Matmul flops scale with the batch shards; the optimizer update
+           (parameter-sized, replicated) does not, so the ratio sits
+           between 2x and the ideal 4x. *)
+        Alcotest.(check bool)
+          "flops scale down" true
+          (e1.Cost_model.flops_per_device /. e2.Cost_model.flops_per_device > 2.5));
+    Alcotest.test_case "Z3 reduces resident memory vs BP" `Quick (fun () ->
+        let mesh = Mesh.create [ ("batch", 8) ] in
+        let rbp = jit_mlp mesh [ bp () ] in
+        let rz3 =
+          jit_mlp mesh
+            [ bp (); Strategies.zero ~level:`Z3 ~axis:"batch" ~shard:(fun n -> Filename.check_suffix n "w1" || Filename.check_suffix n "w0" || Filename.check_suffix n "w2") ]
+        in
+        let hw = Hardware.tpu_v3 in
+        let m s = (Cost_model.run Cost_model.analytic hw s.Schedule.program).Cost_model.peak_memory_mb in
+        Alcotest.(check bool) "z3 memory below bp" true (m rz3 < m rbp));
+    Alcotest.test_case "analytic overestimates memory vs measured" `Quick
+      (fun () ->
+        let mesh = Mesh.create [ ("batch", 4) ] in
+        let r = jit_mlp mesh [ bp () ] in
+        let hw = Hardware.tpu_v3 in
+        let a = Cost_model.run Cost_model.analytic hw r.Schedule.program in
+        let m = Cost_model.run Cost_model.measured hw r.Schedule.program in
+        Alcotest.(check bool) "a >= m" true
+          (a.Cost_model.peak_memory_mb >= m.Cost_model.peak_memory_mb));
+    Alcotest.test_case "census weights For bodies by trip count" `Quick
+      (fun () ->
+        let cfg = { Partir_models.Transformer.tiny with layers = 1; batch = 4; heads = 2 } in
+        let f = Partir_models.Transformer.inference cfg ~decode_steps:5 in
+        let mesh = Mesh.create [ ("batch", 2); ("model", 2) ] in
+        let r =
+          Schedule.jit mesh f
+            [
+              Strategies.it32_bp ~axis:"batch" ~layers:1;
+              Strategies.transformer_mp ~axis:"model";
+            ]
+        in
+        let c = Census.of_program r.Schedule.program in
+        Alcotest.(check int) "2 AR/layer/step" 10 c.Census.all_reduce);
+    Alcotest.test_case "mock backend compiles" `Quick (fun () ->
+        let mesh = Mesh.create [ ("batch", 2) ] in
+        let r = jit_mlp mesh [ bp () ] in
+        Alcotest.(check bool) "positive time" true
+          (Partir_sim.Backend.compile r.Schedule.program > 0.));
+  ]
+
+let gspmd_tests =
+  [
+    Alcotest.test_case "expert annotations reproduce the PartIR census" `Quick
+      (fun () ->
+        let mesh = Mesh.create [ ("batch", 4) ] in
+        let r = jit_mlp mesh [ bp () ] in
+        let annos =
+          List.concat_map
+            (fun (name, layout) ->
+              List.concat
+                (List.mapi
+                   (fun dim axes ->
+                     List.map (fun axis -> { Gspmd.name; dim; axis }) axes)
+                   (Array.to_list layout)))
+            r.Schedule.input_shardings
+        in
+        let step = Lazy.force mlp_step in
+        let gp, _ =
+          Gspmd.partition ~variant:`Expert ~ties:step.Train.ties mesh
+            step.Train.func annos
+        in
+        Alcotest.(check bool)
+          "same collective counts" true
+          (Census.of_program gp = Census.of_program r.Schedule.program));
+    Alcotest.test_case "conflicts are resolved, not blocked" `Quick (fun () ->
+        (* The paper's conflicting double-annotation (x batch-wise AND w
+           output-wise on the same axis, amalgamated): GSPMD picks a rule
+           and produces a working program. *)
+        let b = Builder.create "g" in
+        let x = Builder.param b "x" [| 8; 4 |] Dtype.F32 in
+        let w = Builder.param b "w" [| 4; 8 |] Dtype.F32 in
+        let f = Builder.finish b [ Builder.matmul b x w ] in
+        let mesh = Mesh.create [ ("a", 2) ] in
+        let program, conflicts =
+          Gspmd.partition ~variant:`No_internal mesh f
+            [
+              { Gspmd.name = "x"; dim = 0; axis = "a" };
+              { Gspmd.name = "w"; dim = 1; axis = "a" };
+            ]
+        in
+        Alcotest.(check bool) "reported" true (List.length conflicts > 0);
+        (* And the partitioned program still computes the right thing. *)
+        let st = Random.State.make [| 2 |] in
+        let args =
+          List.map
+            (fun (p : Value.t) ->
+              Literal.init p.Value.ty.Value.dtype p.Value.ty.Value.shape
+                (fun _ -> Random.State.float st 1.))
+            f.Func.params
+        in
+        let reference = Interp.run f args in
+        let spmd = Partir_spmd.Spmd_interp.run program args in
+        List.iter2
+          (fun a b ->
+            Alcotest.(check bool) "equal" true (Literal.max_abs_diff a b < 1e-4))
+          reference spmd);
+  ]
+
+let auto_tests =
+  [
+    Alcotest.test_case "memory penalty raises the cost" `Quick (fun () ->
+        let step = Lazy.force mlp_step in
+        let mesh = Mesh.create [ ("batch", 4) ] in
+        let staged = Staged.of_func mesh step.Train.func in
+        let opts = Auto.default_options in
+        let plain = Auto.evaluate opts staged in
+        let squeezed =
+          Auto.evaluate { opts with memory_limit_bytes = Some 1. } staged
+        in
+        Alcotest.(check bool) "penalized" true (squeezed > 2. *. plain));
+    Alcotest.test_case "greedy beats or matches no partitioning" `Quick
+      (fun () ->
+        let step = Lazy.force mlp_step in
+        let mesh = Mesh.create [ ("batch", 4) ] in
+        let baseline = Staged.of_func mesh step.Train.func in
+        let opts = { Auto.default_options with budget = 16; max_positions = 4 } in
+        let base_cost = Auto.evaluate opts baseline in
+        let r =
+          Schedule.jit ~ties:step.Train.ties mesh step.Train.func
+            [ Auto.greedy ~axes:[ "batch" ] opts ]
+        in
+        let est =
+          Cost_model.run Cost_model.analytic opts.Auto.hardware
+            r.Schedule.program
+        in
+        Alcotest.(check bool) "improved or equal" true
+          (est.Cost_model.runtime_ms <= base_cost +. 1e-9));
+  ]
+
+let fusion_tests =
+  [
+    Alcotest.test_case "add of matching all_reduces fuses" `Quick (fun () ->
+        let ty = Value.ttype [| 4; 4 |] Dtype.F32 in
+        let a = Value.fresh ~name:"a" ty and b = Value.fresh ~name:"b" ty in
+        let ar k = Op.make (Op.All_reduce { axes = [ ("x", 2) ]; reduce = Op.Rsum }) [ k ] () in
+        let ar1 = ar a and ar2 = ar b in
+        let add =
+          Op.make (Op.Binary Op.Add)
+            [ List.hd ar1.Op.results; List.hd ar2.Op.results ]
+            ()
+        in
+        let f =
+          {
+            Func.name = "f";
+            params = [ a; b ];
+            body = [ ar1; ar2; add ];
+            results = add.Op.results;
+          }
+        in
+        let fused = Fusion.run f in
+        let c = Census.of_func fused in
+        Alcotest.(check int) "one all_reduce" 1 c.Census.all_reduce);
+    Alcotest.test_case "slice of gather cancels" `Quick (fun () ->
+        let ty = Value.ttype [| 4; 4 |] Dtype.F32 in
+        let a = Value.fresh ~name:"a" ty in
+        let g =
+          Op.make (Op.All_gather { dim_axes = [| [ ("x", 2) ]; [] |] }) [ a ] ()
+        in
+        let s =
+          Op.make
+            (Op.All_slice { dim_axes = [| [ ("x", 2) ]; [] |] })
+            [ List.hd g.Op.results ]
+            ()
+        in
+        let neg = Op.make (Op.Unary Op.Neg) [ List.hd s.Op.results ] () in
+        let f =
+          {
+            Func.name = "f";
+            params = [ a ];
+            body = [ g; s; neg ];
+            results = neg.Op.results;
+          }
+        in
+        let fused = Fusion.run f in
+        let c = Census.of_func fused in
+        Alcotest.(check int) "no gathers" 0 c.Census.all_gather;
+        Alcotest.(check int) "no slices" 0 c.Census.all_slice);
+  ]
+
+let layout_tests =
+  [
+    Alcotest.test_case "local shapes and offsets tile the tensor" `Quick
+      (fun () ->
+        let mesh = Mesh.create [ ("x", 2); ("y", 2) ] in
+        let layout = Layout.of_dim_axes ~rank:2 [ (0, "x"); (0, "y") ] in
+        let shape = [| 8; 3 |] in
+        Alcotest.(check bool) "local 2x3" true
+          (Shape.equal (Layout.local_shape mesh shape layout) [| 2; 3 |]);
+        (* Distinct devices own distinct offsets covering the dim. *)
+        let offsets =
+          List.map
+            (fun d -> (Layout.chunk_offsets mesh shape layout d).(0))
+            (Mesh.devices mesh)
+        in
+        Alcotest.(check bool) "offsets cover" true
+          (List.sort compare offsets = [ 0; 2; 4; 6 ]));
+  ]
+
+let () =
+  Alcotest.run "sim-and-baselines"
+    [
+      ("sim", sim_tests);
+      ("gspmd", gspmd_tests);
+      ("auto", auto_tests);
+      ("fusion", fusion_tests);
+      ("layout", layout_tests);
+    ]

@@ -1,0 +1,122 @@
+(* Unit and property tests for the tensor substrate. *)
+
+open Partir_tensor
+
+let shape_tests =
+  [
+    Alcotest.test_case "numel" `Quick (fun () ->
+        Alcotest.(check int) "numel" 24 (Shape.numel [| 2; 3; 4 |]);
+        Alcotest.(check int) "scalar numel" 1 (Shape.numel Shape.scalar));
+    Alcotest.test_case "strides/offset roundtrip" `Quick (fun () ->
+        let s = [| 2; 3; 4 |] in
+        Shape.iter_indices s (fun idx ->
+            let off = Shape.offset_of_index s idx in
+            Alcotest.(check bool)
+              "roundtrip" true
+              (Shape.index_of_offset s off = idx)));
+    Alcotest.test_case "remove/insert dims" `Quick (fun () ->
+        Alcotest.(check bool)
+          "remove" true
+          (Shape.equal (Shape.remove_dims [| 2; 3; 4 |] [| 1 |]) [| 2; 4 |]);
+        Alcotest.(check bool)
+          "insert" true
+          (Shape.equal (Shape.insert_dim [| 2; 4 |] 1 3) [| 2; 3; 4 |]));
+  ]
+
+let l2 rows cols l = Literal.of_list Dtype.F32 [| rows; cols |] l
+
+let literal_tests =
+  [
+    Alcotest.test_case "matmul" `Quick (fun () ->
+        let a = l2 2 2 [ 1.; 2.; 3.; 4. ] in
+        let b = l2 2 2 [ 5.; 6.; 7.; 8. ] in
+        let c = Literal.matmul a b in
+        Alcotest.(check bool)
+          "2x2" true
+          (Literal.to_float_list c = [ 19.; 22.; 43.; 50. ]));
+    Alcotest.test_case "batched matmul" `Quick (fun () ->
+        let a = Literal.init Dtype.F32 [| 2; 2; 3 |] (fun i -> float_of_int (i.(0) + i.(2))) in
+        let b = Literal.init Dtype.F32 [| 2; 3; 2 |] (fun i -> float_of_int (i.(1) * i.(2))) in
+        let c = Literal.matmul a b in
+        Alcotest.(check bool) "shape" true (Shape.equal c.Literal.shape [| 2; 2; 2 |]));
+    Alcotest.test_case "transpose involutive" `Quick (fun () ->
+        let a = Literal.init Dtype.F32 [| 3; 4 |] (fun i -> float_of_int ((i.(0) * 10) + i.(1))) in
+        let t = Literal.transpose (Literal.transpose a [| 1; 0 |]) [| 1; 0 |] in
+        Alcotest.(check bool) "id" true (Literal.approx_equal a t));
+    Alcotest.test_case "reduce sum/max" `Quick (fun () ->
+        let a = l2 2 3 [ 1.; 2.; 3.; 4.; 5.; 6. ] in
+        Alcotest.(check bool)
+          "sum rows" true
+          (Literal.to_float_list (Literal.reduce `Sum a [| 1 |]) = [ 6.; 15. ]);
+        Alcotest.(check bool)
+          "max cols" true
+          (Literal.to_float_list (Literal.reduce `Max a [| 0 |]) = [ 4.; 5.; 6. ]));
+    Alcotest.test_case "slice/pad inverse" `Quick (fun () ->
+        let a = l2 2 3 [ 1.; 2.; 3.; 4.; 5.; 6. ] in
+        let s = Literal.slice a ~starts:[| 0; 1 |] ~limits:[| 2; 3 |] in
+        let p = Literal.pad s ~low:[| 0; 1 |] ~high:[| 0; 0 |] ~value:0. in
+        Alcotest.(check bool)
+          "padded back" true
+          (Literal.to_float_list p = [ 0.; 2.; 3.; 0.; 5.; 6. ]));
+    Alcotest.test_case "take/scatter_add duality" `Quick (fun () ->
+        let table = l2 4 2 [ 0.; 1.; 10.; 11.; 20.; 21.; 30.; 31. ] in
+        let idx = Literal.of_list Dtype.I32 [| 3 |] [ 2.; 0.; 2. ] in
+        let taken = Literal.take table idx ~axis:0 in
+        Alcotest.(check bool)
+          "take" true
+          (Literal.to_float_list taken = [ 20.; 21.; 0.; 1.; 20.; 21. ]);
+        let zeros = Literal.zeros Dtype.F32 [| 4; 2 |] in
+        let scattered = Literal.scatter_add zeros idx taken ~axis:0 in
+        (* Row 2 accumulates twice. *)
+        Alcotest.(check (float 1e-9)) "row2 col0" 40. (Literal.get scattered [| 2; 0 |]);
+        Alcotest.(check (float 1e-9)) "row0 col1" 1. (Literal.get scattered [| 0; 1 |]));
+    Alcotest.test_case "dynamic slice clamps" `Quick (fun () ->
+        let a = l2 2 3 [ 1.; 2.; 3.; 4.; 5.; 6. ] in
+        let s = Literal.dynamic_slice a ~starts:[| 5; 2 |] ~sizes:[| 1; 2 |] in
+        Alcotest.(check bool) "clamped" true (Literal.to_float_list s = [ 5.; 6. ]));
+    Alcotest.test_case "conv2d identity kernel" `Quick (fun () ->
+        let x = Literal.init Dtype.F32 [| 1; 3; 3; 1 |] (fun i -> float_of_int ((i.(1) * 3) + i.(2))) in
+        (* 1x1 kernel of 1.0: convolution is the identity. *)
+        let k = Literal.ones Dtype.F32 [| 1; 1; 1; 1 |] in
+        let y = Literal.conv2d x k ~stride:1 ~padding:0 in
+        Alcotest.(check bool) "identity" true (Literal.approx_equal x y));
+    Alcotest.test_case "broadcast_in_dim" `Quick (fun () ->
+        let v = Literal.of_list Dtype.F32 [| 2 |] [ 5.; 7. ] in
+        let b = Literal.broadcast_in_dim v [| 2; 3 |] [| 0 |] in
+        Alcotest.(check (float 1e-9)) "b(1,2)" 7. (Literal.get b [| 1; 2 |]));
+  ]
+
+(* Property tests: structural kernels compose predictably. *)
+let prop_tests =
+  let open QCheck in
+  [
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"slice of concat is the operand" ~count:50
+         (pair (int_range 1 4) (int_range 1 4))
+         (fun (r1, r2) ->
+           let a = Literal.init Dtype.F32 [| r1; 3 |] (fun i -> float_of_int (i.(0) + i.(1))) in
+           let b = Literal.init Dtype.F32 [| r2; 3 |] (fun i -> float_of_int (i.(0) * i.(1))) in
+           let c = Literal.concat [ a; b ] 0 in
+           let a' = Literal.slice c ~starts:[| 0; 0 |] ~limits:[| r1; 3 |] in
+           let b' = Literal.slice c ~starts:[| r1; 0 |] ~limits:[| r1 + r2; 3 |] in
+           Literal.approx_equal a a' && Literal.approx_equal b b'));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"reduce-sum of chunks equals total sum" ~count:50
+         (int_range 1 4)
+         (fun k ->
+           let n = 4 * k in
+           let a = Literal.init Dtype.F32 [| n; 2 |] (fun i -> float_of_int (i.(0) - i.(1))) in
+           let total = Literal.reduce `Sum a [| 0; 1 |] in
+           let chunk_sum = ref 0. in
+           for c = 0 to 3 do
+             let s =
+               Literal.slice a ~starts:[| c * k; 0 |] ~limits:[| (c + 1) * k; 2 |]
+             in
+             chunk_sum := !chunk_sum +. Literal.get_flat (Literal.reduce `Sum s [| 0; 1 |]) 0
+           done;
+           Float.abs (Literal.get_flat total 0 -. !chunk_sum) < 1e-4));
+  ]
+
+let () =
+  Alcotest.run "tensor"
+    [ ("shape", shape_tests); ("literal", literal_tests); ("props", prop_tests) ]
