@@ -35,6 +35,19 @@ let it32_func = lazy (T.inference it32_cfg ~decode_steps:1536)
 let t_inputs = [ "tokens"; "targets" ]
 let u_inputs = [ "x"; "temb"; "target" ]
 
+(* Search observability: every automatic tactic in the zoo reports its
+   cache/parallelism statistics as it finishes. *)
+let print_stats st = Printf.printf "    [auto] %s\n%!" (Auto.Stats.to_string st)
+
+let auto_opts hardware budget =
+  {
+    Auto.default_options with
+    hardware;
+    budget;
+    max_positions = 10;
+    on_stats = Some print_stats;
+  }
+
 let t_tactic hardware budget = function
   | "BP" -> Strategies.bp ~axis:"batch" ~inputs:t_inputs ()
   | "MP" -> Strategies.transformer_mp ~axis:"model"
@@ -42,14 +55,9 @@ let t_tactic hardware budget = function
   | "Z3" -> Strategies.transformer_z3 ~axis:"batch"
   | "EMB" -> Strategies.transformer_emb ~axis:"model"
   | "AutoMP" ->
-      Auto.mcts ~axes:[ "model" ]
-        { Auto.default_options with hardware; budget; max_positions = 10 }
-  | "AutoBP" ->
-      Auto.mcts ~axes:[ "batch" ]
-        { Auto.default_options with hardware; budget; max_positions = 10 }
-  | "AllAuto" ->
-      Auto.mcts ~axes:[ "batch"; "model" ]
-        { Auto.default_options with hardware; budget; max_positions = 10 }
+      Auto.mcts ~axes:[ "model" ] (auto_opts hardware budget)
+  | "AutoBP" -> Auto.mcts ~axes:[ "batch" ] (auto_opts hardware budget)
+  | "AllAuto" -> Auto.mcts ~axes:[ "batch"; "model" ] (auto_opts hardware budget)
   | s -> failwith ("unknown transformer tactic " ^ s)
 
 let u_tactic hardware budget = function
@@ -58,33 +66,23 @@ let u_tactic hardware budget = function
   | "Z2" -> Strategies.unet_z ~level:`Z2 ~axis:"batch"
   | "Z3" -> Strategies.unet_z ~level:`Z3 ~axis:"batch"
   | "AutoMP" ->
-      Auto.mcts ~axes:[ "model" ]
-        { Auto.default_options with hardware; budget; max_positions = 10 }
-  | "AllAuto" ->
-      Auto.mcts ~axes:[ "batch"; "model" ]
-        { Auto.default_options with hardware; budget; max_positions = 10 }
+      Auto.mcts ~axes:[ "model" ] (auto_opts hardware budget)
+  | "AllAuto" -> Auto.mcts ~axes:[ "batch"; "model" ] (auto_opts hardware budget)
   | s -> failwith ("unknown unet tactic " ^ s)
 
 let g_tactic hardware budget = function
   | "ES" -> Strategies.gns_es ~axis:"batch"
   | "AutoMP" ->
-      Auto.mcts ~axes:[ "model" ]
-        { Auto.default_options with hardware; budget; max_positions = 10 }
-  | "AutoBP" ->
-      Auto.mcts ~axes:[ "batch" ]
-        { Auto.default_options with hardware; budget; max_positions = 10 }
-  | "AllAuto" ->
-      Auto.mcts ~axes:[ "batch"; "model" ]
-        { Auto.default_options with hardware; budget; max_positions = 10 }
+      Auto.mcts ~axes:[ "model" ] (auto_opts hardware budget)
+  | "AutoBP" -> Auto.mcts ~axes:[ "batch" ] (auto_opts hardware budget)
+  | "AllAuto" -> Auto.mcts ~axes:[ "batch"; "model" ] (auto_opts hardware budget)
   | s -> failwith ("unknown gns tactic " ^ s)
 
 let it_tactic hardware budget = function
   | "BP" -> Strategies.it32_bp ~axis:"batch" ~layers:it32_cfg.T.layers
   | "MP" -> Strategies.transformer_mp ~axis:"model"
   | "MQ" -> Strategies.it32_mq ~axis:"model" ~cfg:it32_cfg
-  | "AutoMP" ->
-      Auto.mcts ~axes:[ "model" ]
-        { Auto.default_options with hardware; budget; max_positions = 10 }
+  | "AutoMP" -> Auto.mcts ~axes:[ "model" ] (auto_opts hardware budget)
   | s -> failwith ("unknown it32 tactic " ^ s)
 
 type workload = {
@@ -516,6 +514,89 @@ let bechamel_suite () =
   List.iter benchmark tests
 
 (* ------------------------------------------------------------------ *)
+(* searchbench: MCTS wall-clock, memoized + parallel vs uncached       *)
+(* ------------------------------------------------------------------ *)
+
+(* One full MCTS run on the T32 training step over an 8x4 mesh. A fresh
+   staged copy per run so no state leaks between configurations. *)
+let search_run ~budget ~memoize ~parallelism =
+  let staged = Partir.Staged.of_func (mesh84 ()) (Lazy.force wl_t32.func) in
+  let opts =
+    {
+      Auto.default_options with
+      hardware = Hardware.tpu_v3;
+      budget;
+      max_positions = 8;
+      seed = 1;
+      memoize;
+      parallelism;
+    }
+  in
+  Auto.mcts_search opts staged ~axes:[ "batch"; "model" ]
+
+let searchbench_at ~budgets ~out =
+  hr "Search benchmark: memoized/parallel MCTS vs uncached sequential (T32, 8x4)";
+  let parallelism = max 2 (Auto.default_parallelism ()) in
+  let rows =
+    List.map
+      (fun budget ->
+        Printf.printf "budget %d\n%!" budget;
+        let run label ~memoize ~parallelism =
+          let st = search_run ~budget ~memoize ~parallelism in
+          Printf.printf "  %-22s %s\n%!" label (Auto.Stats.to_string st);
+          st
+        in
+        let base = run "uncached sequential" ~memoize:false ~parallelism:1 in
+        let memo = run "memoized sequential" ~memoize:true ~parallelism:1 in
+        let par =
+          run
+            (Printf.sprintf "memoized %d-domain" parallelism)
+            ~memoize:true ~parallelism
+        in
+        let wall st = st.Auto.Stats.wall_seconds in
+        let speedup st = wall base /. Float.max 1e-9 (wall st) in
+        let same =
+          base.Auto.Stats.best_cost = memo.Auto.Stats.best_cost
+          && memo.Auto.Stats.best_cost = par.Auto.Stats.best_cost
+        in
+        Printf.printf
+          "  speedup: memoized %.2fx, parallel %.2fx; best cost identical: %b\n%!"
+          (speedup memo) (speedup par) same;
+        (budget, base, memo, par, speedup memo, speedup par, same))
+      budgets
+  in
+  let oc = open_out out in
+  let json_row (budget, base, memo, par, sp_memo, sp_par, same) =
+    let open Auto.Stats in
+    Printf.sprintf
+      {|    { "budget": %d,
+      "wall_uncached_s": %.4f, "wall_memoized_s": %.4f, "wall_parallel_s": %.4f,
+      "speedup_memoized": %.2f, "speedup_parallel": %.2f,
+      "evaluations_uncached": %d, "evaluations_memoized": %d,
+      "cache_lookups": %d, "cache_hits": %d, "domains_used": %d,
+      "baseline_cost": %.4f, "best_cost_uncached": %.4f,
+      "best_cost_memoized": %.4f, "best_cost_parallel": %.4f,
+      "best_cost_identical": %b }|}
+      budget base.wall_seconds memo.wall_seconds par.wall_seconds sp_memo
+      sp_par base.evaluations memo.evaluations memo.cache_lookups
+      memo.cache_hits par.domains_used base.baseline_cost base.best_cost
+      memo.best_cost par.best_cost same
+  in
+  Printf.fprintf oc
+    "{\n  \"workload\": \"T32 training step\", \"mesh\": \"8x4\",\n\
+    \  \"axes\": [\"batch\", \"model\"], \"max_positions\": 8, \"seed\": 1,\n\
+    \  \"parallelism\": %d,\n  \"runs\": [\n%s\n  ]\n}\n"
+    parallelism
+    (String.concat ",\n" (List.map json_row rows));
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out
+
+let searchbench () = searchbench_at ~budgets:[ 32; 128; 512 ] ~out:"BENCH_search.json"
+
+let searchbench_smoke () =
+  searchbench_at ~budgets:[ 8 ] ~out:"BENCH_search_smoke.json"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -529,6 +610,8 @@ let experiments =
     ("fig10", fig10);
     ("fig11", fig11);
     ("micro", bechamel_suite);
+    ("searchbench", searchbench);
+    ("searchbench-smoke", searchbench_smoke);
   ]
 
 let () =

@@ -5,13 +5,42 @@ module Schedule = Partir_schedule.Schedule
 module Cost_model = Partir_sim.Cost_model
 module Hardware = Partir_sim.Hardware
 
+module Stats = struct
+  type t = {
+    wall_seconds : float;
+    iterations : int;
+    evaluations : int;
+    cache_lookups : int;
+    cache_hits : int;
+    domains_used : int;
+    baseline_cost : float;
+    best_cost : float;
+    trajectory : (int * float) list;
+  }
+
+  let pp ppf s =
+    Format.fprintf ppf
+      "%d iters, %d evals (%d/%d cache hits), %d domain%s, %.2fs, best \
+       %.2fms (baseline %.2fms)"
+      s.iterations s.evaluations s.cache_hits s.cache_lookups s.domains_used
+      (if s.domains_used = 1 then "" else "s")
+      s.wall_seconds s.best_cost s.baseline_cost
+
+  let to_string s = Format.asprintf "%a" pp s
+end
+
 type options = {
   hardware : Hardware.t;
   budget : int;
   memory_limit_bytes : float option;
   seed : int;
   max_positions : int;
+  parallelism : int;
+  memoize : bool;
+  on_stats : (Stats.t -> unit) option;
 }
+
+let default_parallelism () = max 1 (Domain.recommended_domain_count () - 1)
 
 let default_options =
   {
@@ -20,12 +49,15 @@ let default_options =
     memory_limit_bytes = None;
     seed = 1;
     max_positions = 24;
+    parallelism = default_parallelism ();
+    memoize = true;
+    on_stats = None;
   }
 
 type decision = Skip | Atomic | Tile of int
 
-let evaluate opts (staged : Staged.t) =
-  let program = Partir_spmd.Lower.lower staged in
+let evaluate ?source_flops opts (staged : Staged.t) =
+  let program = Partir_spmd.Lower.lower ?source_flops staged in
   let est = Cost_model.run Cost_model.analytic opts.hardware program in
   let limit =
     Option.value opts.memory_limit_bytes
@@ -35,8 +67,10 @@ let evaluate opts (staged : Staged.t) =
   let penalty = if mem > limit then 1. +. (10. *. (mem -. limit) /. limit) else 1. in
   est.Cost_model.runtime_ms *. penalty
 
-(* The decision positions: one per (axis, module input), biggest inputs
-   first, capped to keep the search space tractable. *)
+(* The decision positions: one per (module input, axis), biggest inputs
+   first, interleaving axes per input so the largest inputs keep all their
+   axes when the list is capped. [max_positions] caps the TOTAL number of
+   positions deterministically. *)
 let positions ?(max_positions = max_int) (staged : Staged.t) axes =
   let params =
     List.filter
@@ -45,8 +79,8 @@ let positions ?(max_positions = max_int) (staged : Staged.t) axes =
     |> List.stable_sort (fun (a : Value.t) (b : Value.t) ->
            Int.compare (Value.size_in_bytes b) (Value.size_in_bytes a))
   in
-  let params = List.filteri (fun i _ -> i * List.length axes < max_positions) params in
-  List.concat_map (fun axis -> List.map (fun p -> (axis, p)) params) axes
+  let all = List.concat_map (fun p -> List.map (fun a -> (a, p)) axes) params in
+  List.filteri (fun i _ -> i < max_positions) all
 
 let options_at (staged : Staged.t) (axis, (p : Value.t)) =
   let size = Partir_mesh.Mesh.axis_size staged.Staged.mesh axis in
@@ -64,137 +98,395 @@ let apply_decision staged (axis, (p : Value.t)) = function
   | Atomic -> ignore (Staged.atomic staged ~value:p ~axis)
   | Tile d -> ignore (Staged.tile staged ~value:p ~dim:d ~axis)
 
-(* Evaluate a complete decision vector against a fresh copy of the base. *)
-let rollout_cost opts base poss decisions =
-  let staged = Staged.copy base in
-  List.iter2 (fun pos d -> apply_decision staged pos d) poss decisions;
-  ignore (Propagate.run staged);
-  evaluate opts staged
-
 let apply_best base poss decisions =
-  List.iter2 (fun pos d -> apply_decision base pos d) poss decisions;
+  Array.iteri (fun i d -> apply_decision base poss.(i) d) decisions;
   ignore (Propagate.run base)
 
-let greedy_search opts (staged : Staged.t) ~axes =
-  let poss = positions ~max_positions:opts.max_positions staged axes in
-  let evals = ref 0 in
-  let chosen = ref [] in
-  List.iter
-    (fun pos ->
-      let remaining d =
-        List.rev !chosen @ [ d ]
-        @ List.map (fun _ -> Skip)
-            (List.filteri
-               (fun i _ -> i > List.length !chosen)
-               poss)
-      in
-      let opts_at = options_at staged pos in
-      let best = ref Skip and best_cost = ref infinity in
-      List.iter
-        (fun d ->
-          if !evals < opts.budget then begin
-            incr evals;
-            let cost = rollout_cost opts staged poss (remaining d) in
-            if cost < !best_cost then begin
-              best_cost := cost;
-              best := d
-            end
-          end)
-        opts_at;
-      chosen := !best :: !chosen)
-    poss;
-  apply_best staged poss (List.rev !chosen)
+(* ------------------------------------------------------------------ *)
+(* Shared evaluation engine: transposition table + domain pool          *)
+(* ------------------------------------------------------------------ *)
 
-(* Monte-Carlo tree search with UCB1 over decision prefixes. *)
-type node = { mutable visits : int; mutable total_reward : float }
+(* Canonical key of a (possibly partial) decision vector: one char per
+   position. Also used for tree-node prefixes in the MCTS. *)
+let decision_char = function
+  | Skip -> 's'
+  | Atomic -> 'a'
+  | Tile d -> Char.chr (Char.code 'A' + d) (* ranks are tiny; d < 26 *)
+
+let key_of (dv : decision array) =
+  String.init (Array.length dv) (fun i -> decision_char dv.(i))
+
+type eval_ctx = {
+  opts : options;
+  base : Staged.t;
+  poss : (string * Value.t) array;
+  source_flops : float;
+  cache : (string, float) Hashtbl.t;
+  skip_key : string;
+  mutable baseline : float;
+  mutable lookups : int;
+  mutable hits : int;
+  mutable evals : int;
+  mutable domains_used : int;
+}
+
+(* Evaluate one complete decision vector against a fresh copy of the base.
+   Pure w.r.t. everything but the (atomic) value-id counter, so it is safe
+   to call from concurrent domains. Illegal action combinations (deep
+   tilings that stop dividing across axes) cost infinity. *)
+let raw_cost opts base poss source_flops (dv : decision array) =
+  let staged = Staged.copy base in
+  try
+    Array.iteri (fun i d -> apply_decision staged poss.(i) d) dv;
+    ignore (Propagate.run staged);
+    evaluate ~source_flops opts staged
+  with Staged.Action_error _ -> infinity
+
+(* Evaluate a batch of uncached vectors, fanning work out over a small
+   domain pool when [parallelism > 1]. Work distribution never affects
+   results: costs are deterministic functions of the vector. *)
+let run_work ctx (work : decision array array) =
+  let m = Array.length work in
+  let out = Array.make m infinity in
+  let eval i =
+    out.(i) <- raw_cost ctx.opts ctx.base ctx.poss ctx.source_flops work.(i)
+  in
+  let p = max 1 (min ctx.opts.parallelism m) in
+  ctx.domains_used <- max ctx.domains_used p;
+  (if p = 1 then
+     for i = 0 to m - 1 do
+       eval i
+     done
+   else begin
+     let next = Atomic.make 0 in
+     let rec drain () =
+       let i = Atomic.fetch_and_add next 1 in
+       if i < m then begin
+         eval i;
+         drain ()
+       end
+     in
+     let domains = Array.init (p - 1) (fun _ -> Domain.spawn drain) in
+     drain ();
+     Array.iter Domain.join domains
+   end);
+  ctx.evals <- ctx.evals + m;
+  out
+
+(* Costs for a batch of requested vectors, in request order. Requests
+   resolve against the transposition table (and against duplicates within
+   the same batch); only the remaining unique vectors hit the pipeline. *)
+let eval_batch ctx (reqs : (string * decision array) array) =
+  let n = Array.length reqs in
+  let costs = Array.make n nan in
+  let pending : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let work = ref [] in
+  Array.iteri
+    (fun i (key, dv) ->
+      ctx.lookups <- ctx.lookups + 1;
+      if key = ctx.skip_key then begin
+        (* Memoized all-Skip baseline: no actions applied, skip the
+           propagate/lower/cost pipeline entirely. *)
+        ctx.hits <- ctx.hits + 1;
+        costs.(i) <- ctx.baseline
+      end
+      else if ctx.opts.memoize then begin
+        match Hashtbl.find_opt ctx.cache key with
+        | Some c ->
+            ctx.hits <- ctx.hits + 1;
+            costs.(i) <- c
+        | None ->
+            if Hashtbl.mem pending key then ctx.hits <- ctx.hits + 1
+            else begin
+              Hashtbl.replace pending key ();
+              work := (key, dv) :: !work
+            end
+      end
+      else work := (key, dv) :: !work)
+    reqs;
+  let work = Array.of_list (List.rev !work) in
+  let results = run_work ctx (Array.map snd work) in
+  let fresh : (string, float) Hashtbl.t = Hashtbl.create (Array.length work) in
+  Array.iteri
+    (fun j (key, _) ->
+      Hashtbl.replace fresh key results.(j);
+      if ctx.opts.memoize then Hashtbl.replace ctx.cache key results.(j))
+    work;
+  Array.iteri
+    (fun i (key, _) ->
+      if Float.is_nan costs.(i) then
+        costs.(i) <- Hashtbl.find fresh key)
+    reqs;
+  costs
+
+let make_ctx opts (staged : Staged.t) ~axes =
+  let poss =
+    Array.of_list (positions ~max_positions:opts.max_positions staged axes)
+  in
+  let source_flops = Func.flops (Staged.to_func staged) in
+  let ctx =
+    {
+      opts;
+      base = staged;
+      poss;
+      source_flops;
+      cache = Hashtbl.create 256;
+      skip_key = String.make (Array.length poss) (decision_char Skip);
+      baseline = nan;
+      lookups = 0;
+      hits = 0;
+      evals = 0;
+      domains_used = 1;
+    }
+  in
+  (* All-Skip baseline: evaluated once, memoized for every later request. *)
+  let dv = Array.make (Array.length poss) Skip in
+  ctx.lookups <- ctx.lookups + 1;
+  ctx.evals <- ctx.evals + 1;
+  ctx.baseline <- raw_cost opts staged poss source_flops dv;
+  if opts.memoize then Hashtbl.replace ctx.cache ctx.skip_key ctx.baseline;
+  ctx
+
+let stats_of ctx ~wall_seconds ~iterations ~best_cost ~trajectory =
+  {
+    Stats.wall_seconds;
+    iterations;
+    evaluations = ctx.evals;
+    cache_lookups = ctx.lookups;
+    cache_hits = ctx.hits;
+    domains_used = ctx.domains_used;
+    baseline_cost = ctx.baseline;
+    best_cost;
+    trajectory = List.rev trajectory;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Monte-Carlo tree search                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Leaf-parallel batches: [batch_size] episodes are selected with
+   virtual-loss bookkeeping, their leaves evaluated together (one pipeline
+   run per unique uncached vector), then rewards backpropagated in episode
+   order. The batch size is a constant, NOT the domain count, so the search
+   trajectory is identical for any [parallelism]. *)
+let batch_size = 8
+
+(* Progressive widening: how many children a node may expand given its
+   visit count. The root widens on every visit, so small budgets probe
+   distinct single-decision vectors; deeper nodes must accumulate
+   [widen_interval] visits per child. Episodes that reach a node with no
+   expandable child evaluate that node's own completion (its prefix with an
+   all-Skip tail) — a transposition-table hit — so the number of unique
+   pipeline evaluations stays far below the episode budget. *)
+let widen_interval = 6
+
+let allowed_children ~depth ~visits =
+  if depth = 0 then 1 + visits else visits / widen_interval
+
+type node = {
+  mutable visits : int;
+  mutable total_reward : float;
+  mutable expanded : decision list;  (** children, in expansion order *)
+}
+
+let exploration_c = 1.4
 
 let mcts_search opts (staged : Staged.t) ~axes =
-  let poss = positions ~max_positions:opts.max_positions staged axes in
-  let n = List.length poss in
-  let opts_arr = Array.of_list (List.map (options_at staged) poss) in
-  let rng = Random.State.make [| opts.seed |] in
-  let tree : (decision list, node) Hashtbl.t = Hashtbl.create 256 in
-  let node_of prefix =
-    match Hashtbl.find_opt tree prefix with
+  let t0 = Unix.gettimeofday () in
+  let ctx = make_ctx opts staged ~axes in
+  let poss = ctx.poss in
+  let n = Array.length poss in
+  let opts_arr = Array.map (options_at staged) poss in
+  let tree : (string, node) Hashtbl.t = Hashtbl.create 256 in
+  let node_of key =
+    match Hashtbl.find_opt tree key with
     | Some nd -> nd
     | None ->
-        let nd = { visits = 0; total_reward = 0. } in
-        Hashtbl.replace tree prefix nd;
+        let nd = { visits = 0; total_reward = 0.; expanded = [] } in
+        Hashtbl.replace tree key nd;
         nd
   in
-  (* Reward scale: the all-skip baseline cost. *)
-  let baseline = rollout_cost opts staged poss (List.map (fun _ -> Skip) poss) in
+  let baseline = ctx.baseline in
   let reward cost = baseline /. (cost +. (0.01 *. baseline)) in
-  let best_cost = ref baseline and best = ref (List.map (fun _ -> Skip) poss) in
-  for _iter = 1 to max 1 (opts.budget - 1) do
-    (* Selection + expansion. *)
-    let rec select prefix depth =
-      if depth >= n then List.rev prefix
-      else begin
-        let choices = opts_arr.(depth) in
-        let parent = node_of (List.rev prefix) in
-        let unvisited =
-          List.filter
-            (fun d -> not (Hashtbl.mem tree (List.rev (d :: prefix))))
-            choices
-        in
-        let pick =
-          match unvisited with
-          | _ :: _ ->
-              List.nth unvisited (Random.State.int rng (List.length unvisited))
-          | [] ->
-              (* UCB1 over visited children. *)
-              let ucb d =
-                let nd = node_of (List.rev (d :: prefix)) in
-                (nd.total_reward /. float_of_int nd.visits)
-                +. 1.4
-                   *. Stdlib.sqrt
-                        (Stdlib.log (float_of_int (max 1 parent.visits))
-                        /. float_of_int nd.visits)
-              in
-              List.fold_left
-                (fun acc d -> if ucb d > ucb acc then d else acc)
-                (List.hd choices) (List.tl choices)
-        in
-        (* After expanding a new child, finish the episode with a random
-           rollout. *)
-        if not (Hashtbl.mem tree (List.rev (pick :: prefix))) then begin
-          ignore (node_of (List.rev (pick :: prefix)));
-          let tail =
-            List.filteri (fun i _ -> i > depth) poss
-            |> List.mapi (fun i _ ->
-                   let cs = opts_arr.(depth + 1 + i) in
-                   List.nth cs (Random.State.int rng (List.length cs)))
-          in
-          List.rev prefix @ (pick :: tail)
-        end
-        else select (pick :: prefix) (depth + 1)
-      end
-    in
-    let decisions = select [] 0 in
-    let cost = rollout_cost opts staged poss decisions in
-    if cost < !best_cost then begin
-      best_cost := cost;
-      best := decisions
-    end;
-    (* Backpropagate along the prefix path. *)
-    let r = reward cost in
-    let rec backprop prefix rest =
-      let nd = node_of prefix in
+  let best_cost = ref baseline in
+  let best = ref (Array.make n Skip) in
+  let trajectory = ref [ (0, baseline) ] in
+  (* One episode: descend by UCB1 through saturated nodes; expand one new
+     child where widening allows; the episode's vector is the prefix
+     completed with Skips. Returns the node path (for backprop) and the
+     vector. Virtual loss: visits increment at selection time so the other
+     episodes of the same batch spread out; rewards are added after the
+     batch evaluates. *)
+  let select it =
+    let rng = Random.State.make [| opts.seed; it |] in
+    let dv = Array.make n Skip in
+    let buf = Buffer.create n in
+    let rec descend path depth nd =
       nd.visits <- nd.visits + 1;
-      nd.total_reward <- nd.total_reward +. r;
-      match rest with
-      | [] -> ()
-      | d :: tl -> backprop (prefix @ [ d ]) tl
+      let path = nd :: path in
+      if depth >= n then path
+      else
+        let choices = opts_arr.(depth) in
+        let n_expanded = List.length nd.expanded in
+        if
+          n_expanded < List.length choices
+          && n_expanded < allowed_children ~depth ~visits:(nd.visits - 1)
+        then begin
+          (* Expand a new child, chosen at random among the rest. *)
+          let unexpanded =
+            List.filter (fun d -> not (List.mem d nd.expanded)) choices
+          in
+          let pick =
+            List.nth unexpanded (Random.State.int rng (List.length unexpanded))
+          in
+          nd.expanded <- nd.expanded @ [ pick ];
+          dv.(depth) <- pick;
+          Buffer.add_char buf (decision_char pick);
+          let child = node_of (Buffer.contents buf) in
+          child.visits <- child.visits + 1;
+          child :: path
+        end
+        else if n_expanded = 0 then
+          (* Widening not reached: evaluate this node's own completion. *)
+          path
+        else begin
+          (* UCB1 over expanded children. *)
+          let child_of d =
+            let len = Buffer.length buf in
+            Buffer.add_char buf (decision_char d);
+            let key = Buffer.contents buf in
+            Buffer.truncate buf len;
+            node_of key
+          in
+          let ucb d =
+            let c = child_of d in
+            (c.total_reward /. float_of_int (max 1 c.visits))
+            +. exploration_c
+               *. Stdlib.sqrt
+                    (Stdlib.log (float_of_int (max 1 nd.visits))
+                    /. float_of_int (max 1 c.visits))
+          in
+          let pick =
+            match nd.expanded with
+            | [] -> assert false
+            | first :: rest ->
+                fst
+                  (List.fold_left
+                     (fun (bd, bu) d ->
+                       let u = ucb d in
+                       if u > bu then (d, u) else (bd, bu))
+                     (first, ucb first) rest)
+          in
+          dv.(depth) <- pick;
+          Buffer.add_char buf (decision_char pick);
+          descend path (depth + 1) (node_of (Buffer.contents buf))
+        end
     in
-    backprop [] decisions
+    let path = descend [] 0 (node_of "") in
+    (path, dv)
+  in
+  let iterations = max 1 (opts.budget - 1) in
+  let it = ref 1 in
+  while !it <= iterations do
+    let batch = min batch_size (iterations - !it + 1) in
+    let episodes =
+      Array.init batch (fun k ->
+          let path, dv = select (!it + k) in
+          (path, key_of dv, dv))
+    in
+    let costs =
+      eval_batch ctx (Array.map (fun (_, key, dv) -> (key, dv)) episodes)
+    in
+    Array.iteri
+      (fun k (path, _, dv) ->
+        let cost = costs.(k) in
+        if cost < !best_cost then begin
+          best_cost := cost;
+          best := Array.copy dv;
+          trajectory := (!it + k, cost) :: !trajectory
+        end;
+        let r = reward cost in
+        List.iter (fun nd -> nd.total_reward <- nd.total_reward +. r) path)
+      episodes;
+    it := !it + batch
   done;
-  apply_best staged poss !best
+  apply_best staged poss !best;
+  let stats =
+    stats_of ctx
+      ~wall_seconds:(Unix.gettimeofday () -. t0)
+      ~iterations:(iterations + 1) ~best_cost:!best_cost
+      ~trajectory:!trajectory
+  in
+  Option.iter (fun f -> f stats) opts.on_stats;
+  stats
+
+(* ------------------------------------------------------------------ *)
+(* Greedy lookahead                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let greedy_search opts (staged : Staged.t) ~axes =
+  let t0 = Unix.gettimeofday () in
+  let ctx = make_ctx opts staged ~axes in
+  let poss = ctx.poss in
+  let n = Array.length poss in
+  let opts_arr = Array.map (options_at staged) poss in
+  let chosen = Array.make n Skip in
+  let best_cost = ref ctx.baseline in
+  let trajectory = ref [ (0, ctx.baseline) ] in
+  let used = ref 1 (* the baseline evaluation *) in
+  for i = 0 to n - 1 do
+    (* Evaluate every candidate at this position (prefix of choices made so
+       far, all-Skip tail) as one batch: the Skip candidate is the current
+       best vector, i.e. a guaranteed cache hit, and the rest fan out over
+       the domain pool. Candidates beyond the evaluation budget are dropped
+       (the position then keeps whichever evaluated candidate won, or
+       Skip). *)
+    let reqs =
+      List.filter_map
+        (fun d ->
+          if !used >= opts.budget then None
+          else begin
+            incr used;
+            let dv = Array.copy chosen in
+            dv.(i) <- d;
+            Some (key_of dv, dv, d)
+          end)
+        opts_arr.(i)
+    in
+    let costs =
+      eval_batch ctx
+        (Array.of_list (List.map (fun (key, dv, _) -> (key, dv)) reqs))
+    in
+    List.iteri
+      (fun j (_, _, d) ->
+        if costs.(j) < !best_cost then begin
+          best_cost := costs.(j);
+          chosen.(i) <- d;
+          trajectory := (!used, costs.(j)) :: !trajectory
+        end)
+      reqs
+  done;
+  apply_best staged poss chosen;
+  let stats =
+    stats_of ctx
+      ~wall_seconds:(Unix.gettimeofday () -. t0)
+      ~iterations:!used ~best_cost:!best_cost ~trajectory:!trajectory
+  in
+  Option.iter (fun f -> f stats) opts.on_stats;
+  stats
 
 let mcts ~axes opts =
   Schedule.Automatic
-    { label = "Auto(mcts)"; axes; search = mcts_search opts }
+    {
+      label = "Auto(mcts)";
+      axes;
+      search = (fun staged ~axes -> ignore (mcts_search opts staged ~axes));
+    }
 
 let greedy ~axes opts =
   Schedule.Automatic
-    { label = "Auto(greedy)"; axes; search = greedy_search opts }
+    {
+      label = "Auto(greedy)";
+      axes;
+      search = (fun staged ~axes -> ignore (greedy_search opts staged ~axes));
+    }

@@ -5,7 +5,34 @@
     PartIR actions, guided by the analytical simulator's runtime estimate
     with a penalty for exceeding device memory, plus a cheaper greedy
     search. Both issue exactly the same tile/atomic actions manual tactics
-    do, so they compose with manual tactics in a schedule. *)
+    do, so they compose with manual tactics in a schedule.
+
+    Search evaluations are served by a shared engine: every complete
+    decision vector maps to a canonical key in a transposition table, so
+    revisited vectors never re-run the copy/propagate/lower/cost pipeline,
+    and uncached vectors of one search step are evaluated concurrently on a
+    small pool of OCaml domains. Searches are deterministic for a given
+    [seed] and [budget] regardless of [parallelism]: every episode derives
+    its RNG from [(seed, iteration)] and batches have a fixed size. *)
+
+module Stats : sig
+  type t = {
+    wall_seconds : float;
+    iterations : int;  (** search episodes, including the baseline *)
+    evaluations : int;  (** unique pipeline runs (cache misses) *)
+    cache_lookups : int;
+    cache_hits : int;
+    domains_used : int;  (** max domains evaluating one batch *)
+    baseline_cost : float;  (** all-Skip vector cost, the reward scale *)
+    best_cost : float;
+    trajectory : (int * float) list;
+        (** best-cost improvements as [(iteration, cost)]; the head is
+            [(0, baseline_cost)] *)
+  }
+
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+end
 
 type options = {
   hardware : Partir_sim.Hardware.t;
@@ -14,13 +41,37 @@ type options = {
       (** defaults to the hardware HBM capacity *)
   seed : int;
   max_positions : int;
-      (** decision positions considered, largest inputs first (keeps the
-          search space tractable on models with hundreds of parameters) *)
+      (** cap on the total number of decision positions, largest inputs
+          first with their axes interleaved (keeps the search space
+          tractable on models with hundreds of parameters) *)
+  parallelism : int;
+      (** domains evaluating rollouts concurrently; [1] forces the
+          sequential path. Never changes the search result. *)
+  memoize : bool;
+      (** transposition-table caching of rollout costs (on by default;
+          disabling re-runs the pipeline for every request and exists for
+          benchmarks and correctness tests) *)
+  on_stats : (Stats.t -> unit) option;
+      (** called with the search statistics when a tactic built by {!mcts}
+          or {!greedy} finishes *)
 }
 
 val default_options : options
 
+val default_parallelism : unit -> int
+(** [max 1 (Domain.recommended_domain_count () - 1)]: leave one core for
+    the coordinating domain. *)
+
 type decision = Skip | Atomic | Tile of int
+
+val positions :
+  ?max_positions:int ->
+  Partir_core.Staged.t ->
+  string list ->
+  (string * Partir_hlo.Value.t) list
+(** The decision positions of a search: one per (module input, axis) for
+    inputs of rank >= 1, biggest inputs first, each input's axes adjacent,
+    truncated to at most [max_positions] entries. Exposed for tests. *)
 
 val mcts : axes:string list -> options -> Partir_schedule.Schedule.tactic
 (** MCTS over per-input decisions, one (value, axis) at a time. *)
@@ -28,7 +79,19 @@ val mcts : axes:string list -> options -> Partir_schedule.Schedule.tactic
 val greedy : axes:string list -> options -> Partir_schedule.Schedule.tactic
 (** One pass over the inputs, keeping each locally-best decision. *)
 
+val mcts_search :
+  options -> Partir_core.Staged.t -> axes:string list -> Stats.t
+(** The search behind {!mcts}: applies the best decision vector found to
+    the staged module and returns the search statistics. Exposed for
+    benchmarks and tests. *)
+
+val greedy_search :
+  options -> Partir_core.Staged.t -> axes:string list -> Stats.t
+(** The search behind {!greedy}. *)
+
 val evaluate :
-  options -> Partir_core.Staged.t -> float
+  ?source_flops:float -> options -> Partir_core.Staged.t -> float
 (** Cost of a staged module: simulated runtime (ms), multiplied by a
-    penalty when estimated memory exceeds the limit. Exposed for tests. *)
+    penalty when estimated memory exceeds the limit. [source_flops] skips
+    recomputing the unpartitioned flop count (see {!Partir_spmd.Lower.lower}).
+    Exposed for tests. *)

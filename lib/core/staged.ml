@@ -153,22 +153,25 @@ let rec insert_in_scope t scope ~(value : Value.t) ~(seed : sop) =
    new action applies below earlier actions on the same value: later tactics
    see (and can never undo) earlier decisions, and an [atomic] inserted
    after a tile protects the consumer-facing end of the chain. *)
-let rec chain_end t (value : Value.t) =
-  let next =
-    List.find_opt
-      (fun (s : sop) ->
-        (match s.op.kind with Op.Identity -> true | _ -> false)
-        &&
-        match s.op.operands with
-        | [ o ] -> o.Value.id = value.Value.id
-        | _ -> false)
-      (all_sops t)
+let chain_end t (value : Value.t) =
+  let sops = all_sops t in
+  let rec go (value : Value.t) =
+    let next =
+      List.find_opt
+        (fun (s : sop) ->
+          (match s.op.kind with Op.Identity -> true | _ -> false)
+          &&
+          match s.op.operands with
+          | [ o ] -> o.Value.id = value.Value.id
+          | _ -> false)
+        sops
+    in
+    match next with Some s -> go (List.hd s.op.results) | None -> value
   in
-  match next with
-  | Some s -> chain_end t (List.hd s.op.results)
-  | None -> value
+  go value
 
 let value_dim_axes t (value : Value.t) =
+  let sops = all_sops t in
   (* Producer-side tilings. *)
   let producer_tilings (v : Value.t) =
     List.concat_map
@@ -185,7 +188,7 @@ let value_dim_axes t (value : Value.t) =
               | Action.Tile d -> Some (d, e.Action.axis)
               | Action.Reduce _ | Action.Any -> None)
             s.nest)
-      (all_sops t)
+      sops
   in
   (* Follow the identity-seed chain downstream. *)
   let rec follow (v : Value.t) acc =
@@ -197,7 +200,7 @@ let value_dim_axes t (value : Value.t) =
           && match s.op.operands with
              | [ o ] -> o.Value.id = v.Value.id
              | _ -> false)
-        (all_sops t)
+        sops
     in
     match next with
     | Some s -> follow (List.hd s.op.results) acc

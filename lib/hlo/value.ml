@@ -13,11 +13,12 @@ let pp_ttype ppf ty =
     Format.fprintf ppf "tensor<%a>" Dtype.pp ty.dtype
   else Format.fprintf ppf "tensor<%ax%a>" Shape.pp ty.shape Dtype.pp ty.dtype
 
-let counter = ref 0
+(* Atomic so values can be created from concurrent domains (automatic
+   partitioning evaluates rollouts in parallel, and every rollout creates
+   seed ops). Each domain still sees monotonically increasing ids. *)
+let counter = Atomic.make 0
 
-let fresh ?(name = "") ty =
-  incr counter;
-  { id = !counter; ty; name }
+let fresh ?(name = "") ty = { id = Atomic.fetch_and_add counter 1 + 1; ty; name }
 
 let equal a b = a.id = b.id
 let compare a b = Int.compare a.id b.id

@@ -167,6 +167,13 @@ let rec walk profile hw mesh (ops : Op.t list) =
    paper A.5.2). *)
 let peak_memory profile (f : Func.t) =
   let resident = sum bytes_of f.Func.params in
+  (* Id set of parameters: buffer-death checks below run once per operand
+     use, so a linear scan of the parameter list there is quadratic on
+     models with hundreds of parameters (optimizer state). *)
+  let param_ids = Hashtbl.create (1 + List.length f.Func.params) in
+  List.iter
+    (fun (p : Value.t) -> Hashtbl.replace param_ids p.Value.id ())
+    f.Func.params;
   let use_counts = Hashtbl.create 256 in
   let rec count ops =
     List.iter
@@ -231,22 +238,18 @@ let peak_memory profile (f : Func.t) =
         List.iter
           (fun (v : Value.t) ->
             match Hashtbl.find_opt last_use v.Value.id with
-            | Some last when last = i -> (
+            | Some last when last = i ->
                 (* Buffer dies here (unless it is a parameter: params are
                    resident). *)
-                match
-                  List.find_opt
-                    (fun (p : Value.t) -> p.Value.id = v.Value.id)
-                    f.Func.params
-                with
-                | Some _ -> ()
-                | None ->
-                    if not (Hashtbl.mem fused_defs v.Value.id) then
-                      let b =
-                        Option.value ~default:(bytes_of v)
-                          (Hashtbl.find_opt expiring v.Value.id)
-                      in
-                      live := !live -. b)
+                if
+                  (not (Hashtbl.mem param_ids v.Value.id))
+                  && not (Hashtbl.mem fused_defs v.Value.id)
+                then
+                  let b =
+                    Option.value ~default:(bytes_of v)
+                      (Hashtbl.find_opt expiring v.Value.id)
+                  in
+                  live := !live -. b
             | _ -> ())
           op.operands;
         List.iter

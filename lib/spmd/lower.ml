@@ -281,9 +281,13 @@ let arrival_layouts (t : Staged.t) =
   let infer = infer_arrival t.Staged.mesh uses memo in
   List.map infer t.Staged.params
 
-let lower ?(ties = []) (t : Staged.t) =
+let lower ?(ties = []) ?source_flops (t : Staged.t) =
   let mesh = t.Staged.mesh in
-  let source_flops = Func.flops (Staged.to_func t) in
+  let source_flops =
+    match source_flops with
+    | Some f -> f
+    | None -> Func.flops (Staged.to_func t)
+  in
   let uses = build_uses t in
   let memo = Hashtbl.create 64 in
   let infer = infer_arrival mesh uses memo in

@@ -21,11 +21,17 @@ type program = {
       (** flops of the original unpartitioned function (for MFU). *)
 }
 
-val lower : ?ties:(int * int) list -> Partir_core.Staged.t -> program
+val lower :
+  ?ties:(int * int) list -> ?source_flops:float -> Partir_core.Staged.t -> program
 (** [ties] pins output shardings: [(result_index, param_index)] forces the
     result's layout to equal the (inferred) arrival layout of the parameter
     — the invariant a training loop needs for its carried state. Inserts
-    conversion collectives at the outputs when necessary. *)
+    conversion collectives at the outputs when necessary.
+
+    [source_flops] skips recomputing the unpartitioned function's flop count
+    (a full [Staged.to_func] + verify walk); automatic-partitioning rollouts
+    pass the value computed once for the search base, since seed/identity
+    ops contribute no flops. *)
 
 val arrival_layouts : Partir_core.Staged.t -> Layout.t list
 (** The input layouts {!lower} would infer, without lowering. *)

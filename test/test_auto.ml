@@ -1,0 +1,166 @@
+(* Tests for the automatic-partitioning search engine: determinism across
+   domain counts, memoization transparency, the position cap, and budget
+   accounting (ISSUE: fast automatic partitioning). *)
+
+open Partir_hlo
+open Partir_core
+module Mesh = Partir_mesh.Mesh
+module Lower = Partir_spmd.Lower
+module Census = Partir_spmd.Census
+module Hardware = Partir_sim.Hardware
+module Auto = Partir_auto.Auto
+module Mlp = Partir_models.Mlp
+module Train = Partir_models.Train
+
+let mlp_step = lazy (Train.training_step (Mlp.forward Mlp.default))
+let mesh () = Mesh.create [ ("batch", 4); ("model", 2) ]
+let axes = [ "batch"; "model" ]
+
+let opts ?(budget = 24) ?(parallelism = 1) ?(memoize = true) ?(seed = 7) () =
+  {
+    Auto.default_options with
+    hardware = Hardware.tpu_v3;
+    budget;
+    parallelism;
+    memoize;
+    seed;
+    max_positions = 6;
+  }
+
+(* Run a search on a fresh staged copy of the MLP training step and return
+   both the statistics and the census of the resulting lowered program, so
+   tests can compare the *programs* two searches produce, not just their
+   reported costs. *)
+let run search o =
+  let step = Lazy.force mlp_step in
+  let staged = Staged.of_func (mesh ()) step.Train.func in
+  let st = search o staged ~axes in
+  (st, Census.of_program (Lower.lower staged))
+
+let trajectory = Alcotest.(list (pair int (float 1e-9)))
+
+let check_same_search name ((a : Auto.Stats.t), ca) ((b : Auto.Stats.t), cb) =
+  Alcotest.(check (float 1e-9))
+    (name ^ ": best cost") a.Auto.Stats.best_cost b.Auto.Stats.best_cost;
+  Alcotest.(check (float 1e-9))
+    (name ^ ": baseline cost") a.Auto.Stats.baseline_cost
+    b.Auto.Stats.baseline_cost;
+  Alcotest.check trajectory
+    (name ^ ": trajectory")
+    a.Auto.Stats.trajectory b.Auto.Stats.trajectory;
+  Alcotest.(check string)
+    (name ^ ": resulting program census")
+    (Census.to_string ca) (Census.to_string cb)
+
+let auto_tests =
+  [
+    Alcotest.test_case "mcts deterministic across domain counts" `Slow
+      (fun () ->
+        let seq = run Auto.mcts_search (opts ~parallelism:1 ()) in
+        let par = run Auto.mcts_search (opts ~parallelism:3 ()) in
+        check_same_search "par=1 vs par=3" seq par;
+        (* Identical search trajectory implies identical cache behaviour. *)
+        Alcotest.(check int)
+          "same evaluations" (fst seq).Auto.Stats.evaluations
+          (fst par).Auto.Stats.evaluations;
+        Alcotest.(check int)
+          "same cache hits" (fst seq).Auto.Stats.cache_hits
+          (fst par).Auto.Stats.cache_hits);
+    Alcotest.test_case "mcts deterministic across repeated runs" `Quick
+      (fun () ->
+        let a = run Auto.mcts_search (opts ()) in
+        let b = run Auto.mcts_search (opts ()) in
+        check_same_search "run twice" a b);
+    Alcotest.test_case "memoization never changes the search" `Slow (fun () ->
+        let memo, cm = run Auto.mcts_search (opts ~memoize:true ()) in
+        let raw, cr = run Auto.mcts_search (opts ~memoize:false ()) in
+        check_same_search "memo vs raw" (memo, cm) (raw, cr);
+        Alcotest.(check int)
+          "same lookups" memo.Auto.Stats.cache_lookups
+          raw.Auto.Stats.cache_lookups;
+        (* The all-Skip baseline stays memoized even with the table off, so
+           the raw run still reports those hits; the table only saves
+           non-baseline evaluations. *)
+        Alcotest.(check bool)
+          "memoized run has extra cache hits" true
+          (memo.Auto.Stats.cache_hits > raw.Auto.Stats.cache_hits);
+        Alcotest.(check bool)
+          "memoized run evaluates strictly less" true
+          (memo.Auto.Stats.evaluations < raw.Auto.Stats.evaluations));
+    Alcotest.test_case "mcts improves on the all-Skip baseline" `Quick
+      (fun () ->
+        let st, _ = run Auto.mcts_search (opts ()) in
+        Alcotest.(check bool)
+          "best <= baseline" true
+          (st.Auto.Stats.best_cost <= st.Auto.Stats.baseline_cost);
+        (match st.Auto.Stats.trajectory with
+        | (0, c) :: _ ->
+            Alcotest.(check (float 1e-9))
+              "trajectory starts at baseline" st.Auto.Stats.baseline_cost c
+        | _ -> Alcotest.fail "trajectory must start at iteration 0"));
+    Alcotest.test_case "greedy respects the evaluation budget" `Quick
+      (fun () ->
+        let budget = 5 in
+        let st, _ = run Auto.greedy_search (opts ~budget ()) in
+        Alcotest.(check bool)
+          "lookups within budget" true
+          (st.Auto.Stats.cache_lookups <= budget);
+        Alcotest.(check bool)
+          "best <= baseline" true
+          (st.Auto.Stats.best_cost <= st.Auto.Stats.baseline_cost));
+  ]
+
+let positions_tests =
+  [
+    Alcotest.test_case "positions: biggest inputs first, axes adjacent"
+      `Quick (fun () ->
+        let step = Lazy.force mlp_step in
+        let staged = Staged.of_func (mesh ()) step.Train.func in
+        let all = Auto.positions staged axes in
+        let n_params =
+          List.length
+            (List.filter
+               (fun (p : Value.t) ->
+                 Array.length p.Value.ty.Value.shape >= 1)
+               staged.Staged.params)
+        in
+        Alcotest.(check int)
+          "one position per (input, axis)"
+          (n_params * List.length axes)
+          (List.length all);
+        (* Each input contributes its axes adjacently, in the given order. *)
+        (match all with
+        | (a0, p0) :: (a1, p1) :: _ ->
+            Alcotest.(check string) "first axis" "batch" a0;
+            Alcotest.(check string) "second axis" "model" a1;
+            Alcotest.(check int)
+              "both head positions target the biggest input" p0.Value.id
+              p1.Value.id
+        | _ -> Alcotest.fail "expected at least two positions");
+        let sizes =
+          List.filteri (fun i _ -> i mod List.length axes = 0) all
+          |> List.map (fun (_, p) -> Value.size_in_bytes p)
+        in
+        Alcotest.(check bool)
+          "inputs ordered by decreasing size" true
+          (List.for_all2 ( >= ) sizes (List.tl sizes @ [ min_int ])));
+    Alcotest.test_case "positions: deterministic total cap" `Quick (fun () ->
+        let step = Lazy.force mlp_step in
+        let staged = Staged.of_func (mesh ()) step.Train.func in
+        let all = Auto.positions staged axes in
+        let capped = Auto.positions ~max_positions:5 staged axes in
+        Alcotest.(check int) "cap hit exactly" 5 (List.length capped);
+        List.iteri
+          (fun i (a, (p : Value.t)) ->
+            let a', (p' : Value.t) = List.nth all i in
+            Alcotest.(check string) "same axis" a' a;
+            Alcotest.(check int) "same input" p'.Value.id p.Value.id)
+          capped;
+        Alcotest.(check int)
+          "zero cap allowed" 0
+          (List.length (Auto.positions ~max_positions:0 staged axes)));
+  ]
+
+let () =
+  Alcotest.run "auto"
+    [ ("search", auto_tests); ("positions", positions_tests) ]
