@@ -597,6 +597,177 @@ let searchbench_smoke () =
   searchbench_at ~budgets:[ 8 ] ~out:"BENCH_search_smoke.json"
 
 (* ------------------------------------------------------------------ *)
+(* faultbench: discrete-event engine parity + fault injection/recovery *)
+(* ------------------------------------------------------------------ *)
+
+(* Small Transformer training step for the CI smoke run (the CLI's
+   "t32-small" configuration). *)
+let t32_small_step =
+  lazy
+    (Train.training_step
+       (T.forward { T.tiny with layers = 4; batch = 8; heads = 4 }))
+
+let wl_t32_small =
+  {
+    name = "T32-small";
+    func = lazy (Lazy.force t32_small_step).Train.func;
+    ties = lazy (Lazy.force t32_small_step).Train.ties;
+    tactic = t_tactic;
+  }
+
+(* Fault-free parity: the per-device engine must reproduce the sequential
+   measured-profile walk on every strategy (acceptance: within 1% on the
+   Fig 9 set; in practice they agree to float precision). *)
+let faultbench_parity rows mesh =
+  Printf.printf "%-10s %-14s | %12s %12s %10s\n" "Model" "Schedule"
+    "walk(ms)" "engine(ms)" "rel err";
+  List.map
+    (fun (wl, schedule) ->
+      let r = cached_jit ~budget:6 wl mesh schedule in
+      let walk =
+        Cost_model.run_walk Cost_model.measured Hardware.tpu_v3
+          r.Schedule.program
+      in
+      let eng =
+        Engine.estimate Cost_model.measured Hardware.tpu_v3 r.Schedule.program
+      in
+      let rel =
+        abs_float (walk.Cost_model.runtime_ms -. eng.Cost_model.runtime_ms)
+        /. Float.max 1e-12 walk.Cost_model.runtime_ms
+      in
+      Printf.printf "%-10s %-14s | %12.3f %12.3f %10.2e\n%!" wl.name schedule
+        walk.Cost_model.runtime_ms eng.Cost_model.runtime_ms rel;
+      (wl.name, schedule, walk.Cost_model.runtime_ms,
+       eng.Cost_model.runtime_ms, rel))
+    rows
+
+(* One fault scenario: a named plan + recovery policy over [steps] training
+   steps of [program]; [repartition] re-lowers for a shrunk mesh. *)
+let fault_scenario ~steps ~program ~repartition (name, policy, plan) =
+  let options =
+    { Faults.default_options with policy; repartition; max_recoveries = 16 }
+  in
+  let metrics, final =
+    Faults.run_steps ~options ~steps ~plan Cost_model.measured Hardware.tpu_v3
+      program
+  in
+  Printf.printf "  %-16s %s\n    %s\n%!" name
+    (String.concat "; "
+       (List.map (Format.asprintf "%a" Faults.pp_fault) plan.Faults.faults))
+    (Format.asprintf "%a" Faults.pp_metrics metrics);
+  (name, policy, plan, metrics, final)
+
+let faultbench_at ~wl ~mesh ~schedule ~parity_rows ~steps ~mtbf_steps ~out () =
+  hr
+    (Printf.sprintf
+       "Fault benchmark: engine parity + recovery metrics (%s %s, %s, %d \
+        steps)"
+       wl.name schedule (Mesh.to_string mesh) steps);
+  let parity = faultbench_parity parity_rows mesh in
+  let max_rel =
+    List.fold_left (fun acc (_, _, _, _, r) -> Float.max acc r) 0. parity
+  in
+  Printf.printf "max relative error: %.2e (acceptance: < 1e-2)\n%!" max_rel;
+  let r = cached_jit ~budget:6 wl mesh schedule in
+  let program = r.Schedule.program in
+  let repartition mesh' =
+    match jit_workload wl mesh' schedule with
+    | r -> Some r.Schedule.program
+    | exception _ -> None
+  in
+  let crash = Faults.Crash { step = 1; device = 3; at_frac = 0.5 } in
+  let scenarios =
+    [
+      ( "crash-restart",
+        Faults.Checkpoint_restart,
+        { Faults.seed = 11; faults = [ crash ] } );
+      ( "crash-shrink",
+        Faults.Mesh_shrink,
+        { Faults.seed = 12; faults = [ crash ] } );
+      ( "straggler",
+        Faults.Checkpoint_restart,
+        {
+          Faults.seed = 13;
+          faults = [ Faults.Straggler { device = 2; factor = 1.5 } ];
+        } );
+      ( "degraded-link",
+        Faults.Checkpoint_restart,
+        {
+          Faults.seed = 14;
+          faults = [ Faults.Link_degrade { axis = "model"; factor = 0.5 } ];
+        } );
+      ( "drop-retry",
+        Faults.Checkpoint_restart,
+        {
+          Faults.seed = 15;
+          faults =
+            [ Faults.Drop_collective { step = 1; collective = 0; failures = 2 } ];
+        } );
+      ( "mtbf",
+        Faults.Checkpoint_restart,
+        Faults.plan_of_mtbf ~seed:16 ~mtbf_steps ~steps mesh );
+    ]
+  in
+  Printf.printf "scenarios (policy-driven recovery, %d steps):\n%!" steps;
+  let results =
+    List.map (fault_scenario ~steps ~program ~repartition) scenarios
+  in
+  let oc = open_out out in
+  let json_parity (model, schedule, walk, eng, rel) =
+    Printf.sprintf
+      {|      { "model": "%s", "schedule": "%s", "walk_ms": %.6f, "engine_ms": %.6f, "rel_err": %.3e }|}
+      model schedule walk eng rel
+  in
+  let json_scenario (name, policy, plan, (m : Faults.metrics), _) =
+    Printf.sprintf
+      {|      { "name": "%s", "policy": "%s", "seed": %d, "faults": %d,
+        "steps": %d, "wall_ms": %.4f, "useful_ms": %.4f, "goodput": %.4f,
+        "lost_steps": %d, "recoveries": %d, "recovery_ms": %.4f,
+        "retries": %d, "retry_wait_ms": %.4f, "final_devices": %d }|}
+      name
+      (match policy with
+      | Faults.Checkpoint_restart -> "checkpoint_restart"
+      | Faults.Mesh_shrink -> "mesh_shrink")
+      plan.Faults.seed
+      (List.length plan.Faults.faults)
+      m.Faults.steps m.Faults.wall_ms m.Faults.useful_ms m.Faults.goodput
+      m.Faults.lost_steps m.Faults.recoveries m.Faults.recovery_ms
+      m.Faults.retries m.Faults.retry_wait_ms m.Faults.final_devices
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"workload\": \"%s\", \"schedule\": \"%s\", \"mesh\": \"%s\",\n\
+    \  \"steps\": %d, \"mtbf_steps\": %.1f,\n\
+    \  \"parity\": {\n\
+    \    \"max_rel_err\": %.3e,\n\
+    \    \"rows\": [\n\
+     %s\n\
+    \    ]\n\
+    \  },\n\
+    \  \"scenarios\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    wl.name schedule (Mesh.to_string mesh) steps mtbf_steps max_rel
+    (String.concat ",\n" (List.map json_parity parity))
+    (String.concat ",\n" (List.map json_scenario results));
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out
+
+let faultbench () =
+  faultbench_at ~wl:wl_t32 ~mesh:(mesh84 ()) ~schedule:"BP+MP+Z3"
+    ~parity_rows:(List.map (fun (m, s, _) -> (wl_of m, s)) table3_rows)
+    ~steps:12 ~mtbf_steps:4. ~out:"BENCH_faults.json" ()
+
+let faultbench_smoke () =
+  faultbench_at ~wl:wl_t32_small
+    ~mesh:(Mesh.create [ ("batch", 4); ("model", 2) ])
+    ~schedule:"BP+MP+Z3"
+    ~parity_rows:
+      [ (wl_t32_small, "BP"); (wl_t32_small, "BP+MP"); (wl_t32_small, "BP+MP+Z3") ]
+    ~steps:6 ~mtbf_steps:3. ~out:"BENCH_faults_smoke.json" ()
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -612,6 +783,8 @@ let experiments =
     ("micro", bechamel_suite);
     ("searchbench", searchbench);
     ("searchbench-smoke", searchbench_smoke);
+    ("faultbench", faultbench);
+    ("faultbench-smoke", faultbench_smoke);
   ]
 
 let () =

@@ -132,7 +132,14 @@ let tactic_of prepared hardware budget name =
         { Auto.default_options with hardware; budget }
   | other -> failwith ("unknown tactic: " ^ other)
 
-let run model schedule mesh_spec hardware_name dump single_tactic budget =
+(* One-line structured error instead of an uncaught-exception backtrace;
+   the category names the pipeline stage that rejected the request. *)
+let error category msg =
+  Format.eprintf "partir: error: %s: %s@." category msg;
+  exit 1
+
+let run_checked model schedule mesh_spec hardware_name dump single_tactic
+    budget =
   let prepared = prepare model in
   let mesh = parse_mesh mesh_spec in
   let hardware = Hardware.find hardware_name in
@@ -162,6 +169,19 @@ let run model schedule mesh_spec hardware_name dump single_tactic budget =
     Format.printf "@.=== device-local SPMD module ===@.";
     print_endline (Printer.func_to_string r.Schedule.program.Lower.func)
   end
+
+let run model schedule mesh_spec hardware_name dump single_tactic budget =
+  try run_checked model schedule mesh_spec hardware_name dump single_tactic budget
+  with
+  | Staged.Action_error msg -> error "action" msg
+  | Spmd_interp.Spmd_error msg -> error "spmd" msg
+  | Temporal.Semantics_error msg -> error "temporal" msg
+  | Op.Type_error msg -> error "type" msg
+  | Func.Verification_error msg -> error "verify" msg
+  | Interp.Runtime_error msg -> error "interp" msg
+  | Invalid_argument msg -> error "invalid argument" msg
+  | Failure msg -> error "failure" msg
+  | Not_found -> error "not found" "unknown hardware or mesh axis"
 
 open Cmdliner
 

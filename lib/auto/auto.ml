@@ -10,6 +10,9 @@ module Stats = struct
     wall_seconds : float;
     iterations : int;
     evaluations : int;
+    failed_evaluations : int;
+        (* pipeline runs that raised (illegal action combination, lowering
+           or semantics failure) and were scored as infeasible *)
     cache_lookups : int;
     cache_hits : int;
     domains_used : int;
@@ -20,9 +23,10 @@ module Stats = struct
 
   let pp ppf s =
     Format.fprintf ppf
-      "%d iters, %d evals (%d/%d cache hits), %d domain%s, %.2fs, best \
-       %.2fms (baseline %.2fms)"
-      s.iterations s.evaluations s.cache_hits s.cache_lookups s.domains_used
+      "%d iters, %d evals (%d/%d cache hits, %d infeasible), %d domain%s, \
+       %.2fs, best %.2fms (baseline %.2fms)"
+      s.iterations s.evaluations s.cache_hits s.cache_lookups
+      s.failed_evaluations s.domains_used
       (if s.domains_used = 1 then "" else "s")
       s.wall_seconds s.best_cost s.baseline_cost
 
@@ -127,20 +131,35 @@ type eval_ctx = {
   mutable lookups : int;
   mutable hits : int;
   mutable evals : int;
+  mutable failed : int;
   mutable domains_used : int;
 }
 
 (* Evaluate one complete decision vector against a fresh copy of the base.
    Pure w.r.t. everything but the (atomic) value-id counter, so it is safe
-   to call from concurrent domains. Illegal action combinations (deep
-   tilings that stop dividing across axes) cost infinity. *)
+   to call from concurrent domains. A rollout whose action / propagate /
+   lower / cost pipeline raises is an infeasible episode, not a search
+   crash: it costs infinity and is counted (via the infinite cost) in
+   [Stats.failed_evaluations]. Only structured pipeline errors are mapped;
+   anything else (Out_of_memory, assert failures) still escapes. *)
 let raw_cost opts base poss source_flops (dv : decision array) =
   let staged = Staged.copy base in
   try
     Array.iteri (fun i d -> apply_decision staged poss.(i) d) dv;
     ignore (Propagate.run staged);
     evaluate ~source_flops opts staged
-  with Staged.Action_error _ -> infinity
+  with
+  | Staged.Action_error _
+  | Partir_spmd.Spmd_interp.Spmd_error _
+  | Partir_temporal.Temporal.Semantics_error _
+  | Op.Type_error _
+  | Func.Verification_error _
+  | Invalid_argument _
+  | Failure _ ->
+      infinity
+
+let count_failures ctx (costs : float array) =
+  Array.iter (fun c -> if c = infinity then ctx.failed <- ctx.failed + 1) costs
 
 (* Evaluate a batch of uncached vectors, fanning work out over a small
    domain pool when [parallelism > 1]. Work distribution never affects
@@ -171,6 +190,7 @@ let run_work ctx (work : decision array array) =
      Array.iter Domain.join domains
    end);
   ctx.evals <- ctx.evals + m;
+  count_failures ctx out;
   out
 
 (* Costs for a batch of requested vectors, in request order. Requests
@@ -236,6 +256,7 @@ let make_ctx opts (staged : Staged.t) ~axes =
       lookups = 0;
       hits = 0;
       evals = 0;
+      failed = 0;
       domains_used = 1;
     }
   in
@@ -244,6 +265,7 @@ let make_ctx opts (staged : Staged.t) ~axes =
   ctx.lookups <- ctx.lookups + 1;
   ctx.evals <- ctx.evals + 1;
   ctx.baseline <- raw_cost opts staged poss source_flops dv;
+  count_failures ctx [| ctx.baseline |];
   if opts.memoize then Hashtbl.replace ctx.cache ctx.skip_key ctx.baseline;
   ctx
 
@@ -252,6 +274,7 @@ let stats_of ctx ~wall_seconds ~iterations ~best_cost ~trajectory =
     Stats.wall_seconds;
     iterations;
     evaluations = ctx.evals;
+    failed_evaluations = ctx.failed;
     cache_lookups = ctx.lookups;
     cache_hits = ctx.hits;
     domains_used = ctx.domains_used;

@@ -20,6 +20,10 @@ module Stats : sig
     wall_seconds : float;
     iterations : int;  (** search episodes, including the baseline *)
     evaluations : int;  (** unique pipeline runs (cache misses) *)
+    failed_evaluations : int;
+        (** pipeline runs that raised ([Action_error], [Spmd_error],
+            [Semantics_error], ...) and were scored as infeasible
+            (infinite cost) instead of crashing the search *)
     cache_lookups : int;
     cache_hits : int;
     domains_used : int;  (** max domains evaluating one batch *)

@@ -238,8 +238,9 @@ let tile t ~value ~dim ~axis =
   in
   if shape.(dim) mod (size * existing) <> 0 then
     action_errorf
-      "tile: dim %d of %%%s (size %d, already tiled %dx) not divisible by        axis %S (%d)"
-      dim value.Value.name shape.(dim) existing axis size;
+      "tile: dim %d of %%%d (%s) has size %d (already tiled %dx), not \
+       divisible by mesh axis %S of size %d"
+      dim value.Value.id value.Value.name shape.(dim) existing axis size;
   insert_seed t ~value
     ~entry:
       {
@@ -258,6 +259,72 @@ let atomic t ~value ~axis =
         operand_dims = [| None |];
         result_actions = [| Action.Any |];
       }
+
+(* Upfront divisibility validation of every loop-nest entry, on both the
+   operand and the result side. Downstream consumers do truncating integer
+   division on these dimensions (SPMD lowering's [gather_offsets], the
+   temporal interpreter's [slice_operand]), so an illegal nest would
+   silently drop rows; reject it here with op id, dim and axis instead.
+   Propagation ([Propagate.entry_legal]) maintains this invariant for
+   nests it derives — this is the backstop for hand-built or corrupted
+   nests, called from [Lower.lower] and [Temporal.run_general]. *)
+let validate t =
+  let check ~side ~op_id ~(v : Value.t) ~dim ~axes =
+    (* Dedupe: a re-tiling conversion may mention an axis twice; it still
+       slices the dim by that axis size once. *)
+    let axes = List.sort_uniq compare axes in
+    let sizes = List.map (fun a -> Mesh.axis_size t.mesh a) axes in
+    let total = List.fold_left ( * ) 1 sizes in
+    let size = v.Value.ty.Value.shape.(dim) in
+    if size mod total <> 0 then
+      action_errorf
+        "invalid nest: op %%%d: %s %%%d%s dim %d (size %d) is not divisible \
+         by mesh axis%s %s (product %d)"
+        op_id side v.Value.id
+        (if v.Value.name = "" then "" else " (" ^ v.Value.name ^ ")")
+        dim size
+        (if List.length axes > 1 then "es" else "")
+        (String.concat "*"
+           (List.map2 (fun a s -> Printf.sprintf "%S:%d" a s) axes sizes))
+        total
+  in
+  List.iter
+    (fun (s : sop) ->
+      let op_id = s.op.Op.id in
+      let collect values dims_of_entry side =
+        List.iteri
+          (fun i (v : Value.t) ->
+            let by_dim = Hashtbl.create 4 in
+            List.iter
+              (fun (e : Action.entry) ->
+                match dims_of_entry e i with
+                | Some d ->
+                    Hashtbl.replace by_dim d
+                      (e.Action.axis
+                      :: Option.value ~default:[]
+                           (Hashtbl.find_opt by_dim d))
+                | None -> ())
+              s.nest;
+            Hashtbl.iter
+              (fun dim axes -> check ~side ~op_id ~v ~dim ~axes)
+              by_dim)
+          values
+      in
+      collect s.op.Op.operands
+        (fun e i ->
+          if i < Array.length e.Action.operand_dims then
+            e.Action.operand_dims.(i)
+          else None)
+        "operand";
+      collect s.op.Op.results
+        (fun e i ->
+          if i < Array.length e.Action.result_actions then
+            match e.Action.result_actions.(i) with
+            | Action.Tile d -> Some d
+            | Action.Reduce _ | Action.Any -> None
+          else None)
+        "result")
+    (all_sops t)
 
 let find_value t name =
   let found (v : Value.t) = v.Value.name = name in

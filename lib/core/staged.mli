@@ -48,6 +48,16 @@ val atomic : t -> value:Value.t -> axis:string -> Value.t
 (** The paper's [atomic<%v, axis>] action: keep [value] replicated along
     [axis] by inserting an [Any] seed that blocks propagation. *)
 
+val validate : t -> unit
+(** Check every loop-nest entry for mesh/shape divisibility, on both the
+    operand and the result side: each tiled/sliced dimension must be evenly
+    divided by the product of the mesh axes tiling it. Raises
+    {!Action_error} naming the op id, side, dim, and offending axes
+    otherwise. Called by SPMD lowering and the temporal interpreter before
+    they perform (truncating) slice arithmetic; propagation maintains the
+    invariant for derived nests, so this only fires on hand-built or
+    corrupted nests. *)
+
 val find_value : t -> string -> Value.t option
 (** Look up a parameter or (tagged) op-result value by name, searching
     region bodies too. First match in program order. *)

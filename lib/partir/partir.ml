@@ -31,6 +31,8 @@ module Census = Partir_spmd.Census
 module Spmd_interp = Partir_spmd.Spmd_interp
 module Hardware = Partir_sim.Hardware
 module Cost_model = Partir_sim.Cost_model
+module Engine = Partir_sim.Engine
+module Faults = Partir_sim.Faults
 module Backend = Partir_sim.Backend
 module Ad = Partir_ad.Ad
 module Optimizer = Partir_ad.Optimizer

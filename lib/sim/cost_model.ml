@@ -10,6 +10,7 @@ type profile = {
   jitter : bool;
   memory_margin : float;
   overlap_fraction : float;
+  discrete_event : bool;
 }
 
 let analytic =
@@ -21,6 +22,7 @@ let analytic =
     jitter = false;
     memory_margin = 0.10;
     overlap_fraction = 0.25;
+    discrete_event = false;
   }
 
 let measured =
@@ -32,6 +34,7 @@ let measured =
     jitter = true;
     memory_margin = 0.;
     overlap_fraction = 0.35;
+    discrete_event = true;
   }
 
 type estimate = {
@@ -63,6 +66,14 @@ let axes_of_collective = function
       Array.to_list dim_axes |> List.concat
   | Op.All_to_all { axes; _ } -> axes
   | _ -> []
+
+let collective_group_axes kind = List.map fst (axes_of_collective kind)
+
+let is_collective = function
+  | Op.All_reduce _ | Op.All_gather _ | Op.All_slice _ | Op.Reduce_scatter _
+  | Op.All_to_all _ ->
+      true
+  | _ -> false
 
 (* Communication time in seconds for one collective. *)
 let comm_time profile hw mesh (op : Op.t) =
@@ -96,6 +107,17 @@ let comm_time profile hw mesh (op : Op.t) =
         in
         (payload /. bw) +. (hw.Hardware.link_latency_us *. 1e-6)
 
+(* Relayout cost (seconds) charged to compute when a collective's result
+   must be materialised in a new layout. *)
+let relayout_seconds profile hw (op : Op.t) =
+  if not profile.relayout_penalty then 0.
+  else
+    match op.kind with
+    | Op.All_gather _ | Op.All_to_all _ ->
+        let _, res_bytes = collective_bytes op in
+        res_bytes /. (hw.Hardware.mem_bw_gbps *. 1e9)
+    | _ -> 0.
+
 (* Bytes a (non-collective) op moves through memory. *)
 let mem_bytes profile (op : Op.t) ~prev_elementwise =
   let operand_bytes = sum bytes_of op.operands in
@@ -116,11 +138,21 @@ let mem_bytes profile (op : Op.t) ~prev_elementwise =
       0.
   | _ -> operand_bytes +. result_bytes
 
+(* Device-local execution time (seconds) of one non-collective op: the
+   roofline max of flop time and memory time, plus a fixed kernel-launch
+   overhead. Jitter is applied by callers. *)
+let op_compute_seconds profile hw (op : Op.t) =
+  let peak_flops =
+    hw.Hardware.peak_tflops *. 1e12 *. hw.Hardware.compute_efficiency
+  in
+  let mem_bw = hw.Hardware.mem_bw_gbps *. 1e9 in
+  let flop_time = Op.flops op /. peak_flops in
+  let mem_time = mem_bytes profile op ~prev_elementwise:false /. mem_bw in
+  let launch = 0.4e-6 in
+  Float.max flop_time mem_time +. launch
+
 let rec walk profile hw mesh (ops : Op.t list) =
   let compute = ref 0. and comm = ref 0. in
-  let prev_ew = ref false in
-  let peak_flops = hw.Hardware.peak_tflops *. 1e12 *. hw.Hardware.compute_efficiency in
-  let mem_bw = hw.Hardware.mem_bw_gbps *. 1e9 in
   let flops_total = ref 0. in
   List.iter
     (fun (op : Op.t) ->
@@ -129,34 +161,19 @@ let rec walk profile hw mesh (ops : Op.t list) =
       | Op.All_reduce _ | Op.All_gather _ | Op.All_slice _
       | Op.Reduce_scatter _ | Op.All_to_all _ ->
           comm := !comm +. (j *. comm_time profile hw mesh op);
-          if profile.relayout_penalty then begin
-            match op.kind with
-            | Op.All_gather _ | Op.All_to_all _ ->
-                let _, res_bytes = collective_bytes op in
-                compute := !compute +. (res_bytes /. mem_bw)
-            | _ -> ()
-          end;
-          prev_ew := false
-      | Op.For { trip_count; _ } ->
-          (match op.region with
+          compute := !compute +. relayout_seconds profile hw op
+      | Op.For { trip_count; _ } -> (
+          match op.region with
           | Some r ->
               let c, m, f = walk profile hw mesh r.body in
               let t = float_of_int trip_count in
               compute := !compute +. (t *. c);
               comm := !comm +. (t *. m);
               flops_total := !flops_total +. (t *. f)
-          | None -> ());
-          prev_ew := false
+          | None -> ())
       | _ ->
-          let f = Op.flops op in
-          flops_total := !flops_total +. f;
-          let flop_time = f /. peak_flops in
-          let mem_time =
-            mem_bytes profile op ~prev_elementwise:!prev_ew /. mem_bw
-          in
-          let launch = 0.4e-6 in
-          compute := !compute +. (j *. (Float.max flop_time mem_time +. launch));
-          prev_ew := Op.is_elementwise op.kind)
+          flops_total := !flops_total +. Op.flops op;
+          compute := !compute +. (j *. op_compute_seconds profile hw op))
     ops;
   (!compute, !comm, !flops_total)
 
@@ -261,7 +278,7 @@ let peak_memory profile (f : Func.t) =
   let activations = scope_peak f.Func.body f.Func.results in
   (resident +. activations) *. (1. +. profile.memory_margin)
 
-let run profile hw (p : Lower.program) =
+let run_walk profile hw (p : Lower.program) =
   let compute_s, comm_s, flops = walk profile hw p.Lower.mesh p.Lower.func.Func.body in
   let runtime_s =
     compute_s +. (comm_s *. (1. -. profile.overlap_fraction))
@@ -282,6 +299,22 @@ let run profile hw (p : Lower.program) =
     flops_per_device = flops;
     mfu_percent = mfu;
   }
+
+(* Discrete-event engine hook. [Partir_sim.Engine] registers itself here at
+   link time (it depends on this module, not vice versa); when a profile has
+   [discrete_event] set and the engine is linked, [run] delegates to the
+   per-device simulation. The fallback walk produces the same totals for
+   fault-free runs, so binaries that do not link the engine stay correct. *)
+let engine_hook :
+    (profile -> Hardware.t -> Lower.program -> estimate) option ref =
+  ref None
+
+let set_engine f = engine_hook := Some f
+
+let run profile hw (p : Lower.program) =
+  match !engine_hook with
+  | Some engine when profile.discrete_event -> engine profile hw p
+  | _ -> run_walk profile hw p
 
 let pp_estimate ppf e =
   Format.fprintf ppf

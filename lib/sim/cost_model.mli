@@ -7,7 +7,10 @@
       with a deliberate memory overestimation margin;
     - {!measured}: the discrete-event stand-in for real hardware — models
       those backend effects plus deterministic per-op jitter, playing the
-      role of the paper's TPU measurements (Figs 9/10). *)
+      role of the paper's TPU measurements (Figs 9/10). With
+      [discrete_event] set, {!run} delegates to the per-device simulator in
+      [Partir_sim.Engine] (registered via {!set_engine}); the fallback
+      {!run_walk} produces the same fault-free totals. *)
 
 type profile = {
   fused_elementwise : bool;
@@ -22,6 +25,9 @@ type profile = {
   jitter : bool;  (** deterministic ±3% per-op noise *)
   memory_margin : float;  (** fractional overestimation bias *)
   overlap_fraction : float;  (** fraction of comm hidden under compute *)
+  discrete_event : bool;
+      (** route {!run} through the per-device discrete-event engine when one
+          is registered (see {!set_engine}) *)
 }
 
 val analytic : profile
@@ -36,5 +42,45 @@ type estimate = {
   mfu_percent : float;
 }
 
+(** {2 Per-op cost primitives}
+
+    Shared by the sequential walk below and the discrete-event engine, so
+    the two agree exactly on fault-free programs. *)
+
+val jitter_of : int -> float
+(** Deterministic per-op jitter in [0.97, 1.03], keyed on the op id. *)
+
+val is_collective : Partir_hlo.Op.kind -> bool
+
+val collective_group_axes : Partir_hlo.Op.kind -> string list
+(** Mesh axes a collective synchronizes over (empty for non-collectives). *)
+
+val comm_time :
+  profile -> Hardware.t -> Partir_mesh.Mesh.t -> Partir_hlo.Op.t -> float
+(** Alpha-beta communication time (seconds) of one collective, before
+    jitter and overlap. *)
+
+val op_compute_seconds : profile -> Hardware.t -> Partir_hlo.Op.t -> float
+(** Device-local execution time (seconds) of one non-collective op, before
+    jitter. *)
+
+val relayout_seconds : profile -> Hardware.t -> Partir_hlo.Op.t -> float
+(** Re-layout memory pass charged when a collective materialises its result
+    in a new layout (0 unless [relayout_penalty]). *)
+
+val peak_memory : profile -> Partir_hlo.Func.t -> float
+(** Peak per-device memory in bytes (live-range analysis, DESIGN.md §1). *)
+
+val run_walk : profile -> Hardware.t -> Partir_spmd.Lower.program -> estimate
+(** The sequential accumulate-as-you-walk estimator (always available). *)
+
 val run : profile -> Hardware.t -> Partir_spmd.Lower.program -> estimate
+(** [run_walk], or the registered discrete-event engine when the profile
+    has [discrete_event] set. *)
+
+val set_engine :
+  (profile -> Hardware.t -> Partir_spmd.Lower.program -> estimate) -> unit
+(** Register the discrete-event engine [run] delegates to. Called by
+    [Partir_sim.Engine] at link time; not for general use. *)
+
 val pp_estimate : Format.formatter -> estimate -> unit

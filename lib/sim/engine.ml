@@ -1,0 +1,235 @@
+(* Discrete-event SPMD execution: per-device clocks over a lowered program,
+   collectives as barriers over their mesh communication groups. Fault-free
+   runs reproduce Cost_model.run_walk exactly because both are built from
+   the same per-op primitives (op_compute_seconds / comm_time /
+   relayout_seconds / jitter_of) applied in the same static op order. *)
+
+open Partir_hlo
+module Mesh = Partir_mesh.Mesh
+module Lower = Partir_spmd.Lower
+
+type retry = { timeout_ms : float; backoff : float; max_retries : int }
+
+let default_retry = { timeout_ms = 5.; backoff = 2.; max_retries = 3 }
+
+type condition = {
+  slowdown : int -> float;
+  crash_time : int -> float option;
+  link_factor : string -> float;
+  drops : int -> int;
+  retry : retry;
+}
+
+let healthy =
+  {
+    slowdown = (fun _ -> 1.);
+    crash_time = (fun _ -> None);
+    link_factor = (fun _ -> 1.);
+    drops = (fun _ -> 0);
+    retry = default_retry;
+  }
+
+type failure =
+  | Device_crash of { device : int; detected_at_ms : float }
+  | Collective_timeout of { collective : int; at_ms : float }
+
+let pp_failure ppf = function
+  | Device_crash { device; detected_at_ms } ->
+      Format.fprintf ppf "device %d crash (detected at %.3fms)" device
+        detected_at_ms
+  | Collective_timeout { collective; at_ms } ->
+      Format.fprintf ppf "collective #%d timed out (at %.3fms)" collective
+        at_ms
+
+type report = {
+  estimate : Cost_model.estimate;
+  device_ms : float array;
+  collectives : int;
+  retries : int;
+  retry_wait_ms : float;
+}
+
+type outcome =
+  | Completed of report
+  | Failed of { failure : failure; elapsed_ms : float; partial : report }
+
+exception Halt of failure * float (* failure, elapsed seconds *)
+
+let simulate ?(condition = healthy) profile hw (p : Lower.program) =
+  let mesh = p.Lower.mesh in
+  let n = Mesh.num_devices mesh in
+  let clocks = Array.make n 0. in
+  (* Nominal (healthy single-device) accumulators, kept walk-compatible so
+     the reported compute/comm split matches Cost_model.run_walk. *)
+  let compute = ref 0. and comm = ref 0. and flops = ref 0. in
+  let collective_idx = ref 0 in
+  let retries = ref 0 and retry_wait = ref 0. in
+  let overlap = 1. -. profile.Cost_model.overlap_fraction in
+  let timeout_s = condition.retry.timeout_ms *. 1e-3 in
+  (* A dead device's clock freezes at its crash time; it is detected when a
+     barrier (or the end-of-step barrier) finds it frozen in the past. *)
+  let advance d dt =
+    match condition.crash_time d with
+    | Some tc -> clocks.(d) <- Float.min (clocks.(d) +. dt) tc
+    | None -> clocks.(d) <- clocks.(d) +. dt
+  in
+  let crashed_member members at =
+    List.find_opt
+      (fun d ->
+        match condition.crash_time d with
+        | Some tc -> tc <= at
+        | None -> false)
+      members
+  in
+  (* Distinct communication groups of a collective, each as linear device
+     ids, ordered by group leader (min id) for determinism. *)
+  let groups_of group_axes =
+    let tbl = Hashtbl.create 16 in
+    for d = 0 to n - 1 do
+      let peers =
+        Mesh.group_peers mesh (Mesh.device_of_linear mesh d) group_axes
+      in
+      let lin = List.map (Mesh.linear_of_device mesh) peers in
+      let leader = List.fold_left min max_int lin in
+      if leader = d then Hashtbl.replace tbl d lin
+    done;
+    Hashtbl.fold (fun leader members acc -> (leader, members) :: acc) tbl []
+    |> List.sort compare
+  in
+  let rec exec scale (ops : Op.t list) =
+    List.iter
+      (fun (op : Op.t) ->
+        let j =
+          if profile.Cost_model.jitter then Cost_model.jitter_of op.Op.id
+          else 1.
+        in
+        match op.Op.kind with
+        | k when Cost_model.is_collective k ->
+            let idx = !collective_idx in
+            incr collective_idx;
+            let group_axes = Cost_model.collective_group_axes k in
+            let link =
+              List.fold_left
+                (fun acc a -> Float.min acc (condition.link_factor a))
+                1. group_axes
+            in
+            let link = if link > 0. then link else 1e-9 in
+            let t_comm = Cost_model.comm_time profile hw mesh op /. link in
+            let t_relayout = Cost_model.relayout_seconds profile hw op in
+            comm := !comm +. (j *. t_comm *. scale);
+            compute := !compute +. (t_relayout *. scale);
+            (* Dropped deliveries: every group re-attempts in lockstep, so
+               the backoff wait is charged once to the whole collective. *)
+            let dropped = condition.drops idx in
+            let wait =
+              if dropped = 0 then 0.
+              else begin
+                let r = condition.retry in
+                let attempts = min dropped (r.max_retries + 1) in
+                let w = ref 0. in
+                for i = 0 to attempts - 1 do
+                  w := !w +. (timeout_s *. (r.backoff ** float_of_int i))
+                done;
+                if dropped > r.max_retries then begin
+                  let at =
+                    Array.fold_left Float.max 0. clocks +. !w
+                  in
+                  raise
+                    (Halt
+                       ( Collective_timeout
+                           { collective = idx; at_ms = at *. 1e3 },
+                         at ))
+                end;
+                retries := !retries + dropped;
+                retry_wait := !retry_wait +. !w;
+                !w
+              end
+            in
+            List.iter
+              (fun (_, members) ->
+                let start =
+                  List.fold_left
+                    (fun acc d -> Float.max acc clocks.(d))
+                    0. members
+                in
+                (match crashed_member members start with
+                | Some d ->
+                    let at = start +. timeout_s in
+                    raise
+                      (Halt
+                         ( Device_crash
+                             { device = d; detected_at_ms = at *. 1e3 },
+                           at ))
+                | None -> ());
+                let dt =
+                  (j *. t_comm *. overlap *. scale)
+                  +. (t_relayout *. scale) +. wait
+                in
+                List.iter
+                  (fun d -> clocks.(d) <- start; advance d dt)
+                  members)
+              (groups_of group_axes)
+        | Op.For { trip_count; _ } -> (
+            match op.Op.region with
+            | Some r -> exec (scale *. float_of_int trip_count) r.Op.body
+            | None -> ())
+        | _ ->
+            let t = Cost_model.op_compute_seconds profile hw op in
+            flops := !flops +. (Op.flops op *. scale);
+            compute := !compute +. (j *. t *. scale);
+            for d = 0 to n - 1 do
+              advance d (j *. t *. scale *. condition.slowdown d)
+            done)
+      ops
+  in
+  let mk_report () =
+    let runtime_s = Array.fold_left Float.max 0. clocks in
+    let mem = Cost_model.peak_memory profile p.Lower.func in
+    let ndev = float_of_int n in
+    let mfu =
+      if runtime_s > 0. then
+        100. *. p.Lower.source_flops
+        /. (runtime_s *. ndev *. hw.Hardware.peak_tflops *. 1e12)
+      else 0.
+    in
+    {
+      estimate =
+        {
+          Cost_model.runtime_ms = runtime_s *. 1e3;
+          compute_ms = !compute *. 1e3;
+          comm_ms = !comm *. 1e3;
+          peak_memory_mb = mem /. 1e6;
+          flops_per_device = !flops;
+          mfu_percent = mfu;
+        };
+      device_ms = Array.map (fun c -> c *. 1e3) clocks;
+      collectives = !collective_idx;
+      retries = !retries;
+      retry_wait_ms = !retry_wait *. 1e3;
+    }
+  in
+  try
+    exec 1. p.Lower.func.Func.body;
+    (* End-of-step barrier: a crash after the last collective still blocks
+       the step boundary (checkpoint / metrics sync). *)
+    let finish = Array.fold_left Float.max 0. clocks in
+    let all = List.init n Fun.id in
+    (match crashed_member all finish with
+    | Some d ->
+        let at = finish +. timeout_s in
+        raise
+          (Halt (Device_crash { device = d; detected_at_ms = at *. 1e3 }, at))
+    | None -> ());
+    Completed (mk_report ())
+  with Halt (failure, elapsed) ->
+    Failed { failure; elapsed_ms = elapsed *. 1e3; partial = mk_report () }
+
+let estimate profile hw p =
+  match simulate profile hw p with
+  | Completed r -> r.estimate
+  | Failed _ ->
+      invalid_arg "Engine.estimate: fault-free simulation cannot fail"
+
+(* Route measured-profile costing through the engine whenever it is
+   linked. *)
+let () = Cost_model.set_engine estimate

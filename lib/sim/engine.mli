@@ -1,0 +1,82 @@
+(** Discrete-event SPMD execution engine.
+
+    Simulates a lowered SPMD program on a per-device timeline: every device
+    owns a clock, non-collective ops advance only the executing device's
+    clock, and collectives are synchronization barriers over their mesh-axis
+    communication groups (startup latency and bandwidth from {!Hardware.t}).
+    Costs come from the same per-op primitives as {!Cost_model.run_walk}, so
+    a fault-free simulation reproduces the [measured]-profile estimates
+    exactly (Fig 9/10 error shapes are preserved); the engine additionally
+    models degraded {!condition}s — stragglers, degraded links, dropped
+    collectives with retry/backoff, and device crashes detected at the next
+    barrier. Fault *plans* and recovery policies live in {!Faults}. *)
+
+module Lower = Partir_spmd.Lower
+
+(** Per-collective retry policy: a dropped collective is retried after
+    [timeout_ms], then [timeout_ms *. backoff], ... up to [max_retries]
+    retries before the step is abandoned with {!Collective_timeout}. *)
+type retry = { timeout_ms : float; backoff : float; max_retries : int }
+
+val default_retry : retry
+(** [{ timeout_ms = 5.; backoff = 2.; max_retries = 3 }] *)
+
+(** Environment a program executes under. Devices are identified by their
+    linear mesh id; axes by their mesh name. *)
+type condition = {
+  slowdown : int -> float;
+      (** per-device compute-time multiplier (1.0 = healthy, 1.3 = 30%
+          straggler) *)
+  crash_time : int -> float option;
+      (** absolute time (seconds into this run) at which a device dies; it
+          stops advancing and is detected at the next barrier it blocks *)
+  link_factor : string -> float;
+      (** remaining bandwidth fraction per mesh axis (1.0 = healthy; 0.25
+          quadruples collective time over that axis) *)
+  drops : int -> int;
+      (** number of failed delivery attempts for the [i]-th collective of
+          the program (static program order, loop bodies counted once) *)
+  retry : retry;
+}
+
+val healthy : condition
+
+type failure =
+  | Device_crash of { device : int; detected_at_ms : float }
+      (** a crashed device blocked a barrier; detected one timeout after the
+          survivors arrived *)
+  | Collective_timeout of { collective : int; at_ms : float }
+      (** a collective exhausted its retry budget *)
+
+val pp_failure : Format.formatter -> failure -> unit
+
+type report = {
+  estimate : Cost_model.estimate;
+      (** walk-compatible totals; [runtime_ms] is the slowest device clock *)
+  device_ms : float array;  (** final per-device clocks, ms *)
+  collectives : int;  (** collectives executed (static count) *)
+  retries : int;  (** collective delivery retries performed *)
+  retry_wait_ms : float;  (** total backoff time spent waiting on retries *)
+}
+
+type outcome =
+  | Completed of report
+  | Failed of { failure : failure; elapsed_ms : float; partial : report }
+      (** [elapsed_ms]: wall time into the step when the failure was
+          detected (lost work for checkpoint/restart accounting) *)
+
+val simulate :
+  ?condition:condition ->
+  Cost_model.profile ->
+  Hardware.t ->
+  Lower.program ->
+  outcome
+(** Run the program once under [condition] (default {!healthy}). A final
+    implicit step-boundary barrier detects crashes that occur after the last
+    collective. *)
+
+val estimate :
+  Cost_model.profile -> Hardware.t -> Lower.program -> Cost_model.estimate
+(** Fault-free simulation, as a {!Cost_model} estimator. Registered with
+    {!Cost_model.set_engine} at link time so [measured]-profile costing
+    routes through the engine whenever this module is linked. *)

@@ -1,0 +1,246 @@
+(* Fault plans and recovery policies over Engine (DESIGN.md "Fault model
+   and recovery"). Transient (step-keyed) faults are consumed after the
+   step they target is first attempted, so checkpoint replays converge:
+   a consumed crash models failover to a spare device, a consumed drop
+   models a transient network glitch. *)
+
+module Mesh = Partir_mesh.Mesh
+module Lower = Partir_spmd.Lower
+
+type fault =
+  | Crash of { step : int; device : int; at_frac : float }
+  | Straggler of { device : int; factor : float }
+  | Link_degrade of { axis : string; factor : float }
+  | Drop_collective of { step : int; collective : int; failures : int }
+
+let pp_fault ppf = function
+  | Crash { step; device; at_frac } ->
+      Format.fprintf ppf "crash(step=%d, device=%d, at=%.0f%%)" step device
+        (100. *. at_frac)
+  | Straggler { device; factor } ->
+      Format.fprintf ppf "straggler(device=%d, x%.2f)" device factor
+  | Link_degrade { axis; factor } ->
+      Format.fprintf ppf "link_degrade(axis=%s, bw=%.0f%%)" axis
+        (100. *. factor)
+  | Drop_collective { step; collective; failures } ->
+      Format.fprintf ppf "drop(step=%d, collective=%d, failures=%d)" step
+        collective failures
+
+type plan = { seed : int; faults : fault list }
+
+let no_faults = { seed = 0; faults = [] }
+
+let plan_of_mtbf ~seed ~mtbf_steps ~steps mesh =
+  let st = Random.State.make [| seed; 0x5f417 |] in
+  let n = Mesh.num_devices mesh in
+  let faults = ref [] in
+  for step = 0 to steps - 1 do
+    if Random.State.float st 1. < 1. /. mtbf_steps then begin
+      let device = Random.State.int st n in
+      let at_frac = Random.State.float st 1. in
+      faults := Crash { step; device; at_frac } :: !faults
+    end
+  done;
+  { seed; faults = List.rev !faults }
+
+type policy = Checkpoint_restart | Mesh_shrink
+
+type options = {
+  policy : policy;
+  retry : Engine.retry;
+  checkpoint_interval : int;
+  restart_overhead_ms : float;
+  repartition : Mesh.t -> Lower.program option;
+  max_recoveries : int;
+}
+
+let default_options =
+  {
+    policy = Checkpoint_restart;
+    retry = Engine.default_retry;
+    checkpoint_interval = 1;
+    restart_overhead_ms = 25.;
+    repartition = (fun _ -> None);
+    max_recoveries = 8;
+  }
+
+type metrics = {
+  steps : int;
+  wall_ms : float;
+  useful_ms : float;
+  goodput : float;
+  lost_steps : int;
+  recoveries : int;
+  recovery_ms : float;
+  retries : int;
+  retry_wait_ms : float;
+  failures : Engine.failure list;
+  final_devices : int;
+}
+
+let pp_metrics ppf m =
+  Format.fprintf ppf
+    "steps=%d wall=%.2fms useful=%.2fms goodput=%.3f lost=%d recoveries=%d \
+     recovery=%.2fms retries=%d retry_wait=%.2fms devices=%d"
+    m.steps m.wall_ms m.useful_ms m.goodput m.lost_steps m.recoveries
+    m.recovery_ms m.retries m.retry_wait_ms m.final_devices
+
+(* The axis Mesh_shrink removes capacity from: largest even-sized axis
+   (first on ties). *)
+let shrink_axis mesh =
+  List.fold_left
+    (fun acc (a, s) ->
+      if s mod 2 = 0 && s >= 2 then
+        match acc with
+        | Some (_, best) when best >= s -> acc
+        | _ -> Some (a, s)
+      else acc)
+    None (Mesh.axes mesh)
+
+let axis_of_device mesh _device = Option.map fst (shrink_axis mesh)
+
+let shrink_mesh mesh =
+  match shrink_axis mesh with
+  | None -> None
+  | Some (axis, size) ->
+      Some
+        (Mesh.create
+           (List.map
+              (fun (a, s) -> if String.equal a axis then (a, size / 2) else (a, s))
+              (Mesh.axes mesh)))
+
+(* Engine condition for one attempt of step [step] of a program running on
+   [ndev] devices, honouring the consumed-fault mask. *)
+let condition_for plan consumed options ~baseline_s ~step ~ndev =
+  let live i = not consumed.(i) in
+  let fold f init =
+    List.fold_left
+      (fun (i, acc) fault -> (i + 1, f i acc fault))
+      (0, init) plan.faults
+    |> snd
+  in
+  let crash_time d =
+    fold
+      (fun i acc fault ->
+        match fault with
+        | Crash { step = s; device; at_frac }
+          when live i && s = step && device = d && d < ndev ->
+            let t = at_frac *. baseline_s in
+            Some (match acc with None -> t | Some t' -> Float.min t t')
+        | _ -> acc)
+      None
+  in
+  let slowdown d =
+    fold
+      (fun _ acc fault ->
+        match fault with
+        | Straggler { device; factor } when device = d -> acc *. factor
+        | _ -> acc)
+      1.
+  in
+  let link_factor a =
+    fold
+      (fun _ acc fault ->
+        match fault with
+        | Link_degrade { axis; factor } when String.equal axis a ->
+            acc *. factor
+        | _ -> acc)
+      1.
+  in
+  let drops idx =
+    fold
+      (fun i acc fault ->
+        match fault with
+        | Drop_collective { step = s; collective; failures }
+          when live i && s = step && collective = idx ->
+            acc + failures
+        | _ -> acc)
+      0
+  in
+  {
+    Engine.slowdown;
+    crash_time;
+    link_factor;
+    drops;
+    retry = options.retry;
+  }
+
+let run_steps ?(options = default_options) ~steps ~plan profile hw
+    (p0 : Lower.program) =
+  if options.checkpoint_interval < 1 then
+    invalid_arg "Faults.run_steps: checkpoint_interval must be >= 1";
+  let consumed = Array.make (List.length plan.faults) false in
+  let consume_step s =
+    List.iteri
+      (fun i fault ->
+        match fault with
+        | (Crash { step; _ } | Drop_collective { step; _ }) when step = s ->
+            consumed.(i) <- true
+        | _ -> ())
+      plan.faults
+  in
+  (* Fault-free step time on the original mesh: the yardstick for goodput
+     and for positioning crashes within a step. *)
+  let baseline_ms = (Engine.estimate profile hw p0).Cost_model.runtime_ms in
+  let baseline_s = baseline_ms *. 1e-3 in
+  let program = ref p0 in
+  let step = ref 0 and last_ckpt = ref 0 in
+  let wall = ref 0. and recovery_ms = ref 0. in
+  let lost = ref 0 and recoveries = ref 0 in
+  let retries = ref 0 and retry_wait = ref 0. in
+  let failures = ref [] in
+  let aborted = ref false in
+  while !step < steps && not !aborted do
+    let ndev = Mesh.num_devices !program.Lower.mesh in
+    let condition =
+      condition_for plan consumed options ~baseline_s ~step:!step ~ndev
+    in
+    match Engine.simulate ~condition profile hw !program with
+    | Engine.Completed r ->
+        wall := !wall +. r.Engine.estimate.Cost_model.runtime_ms;
+        retries := !retries + r.Engine.retries;
+        retry_wait := !retry_wait +. r.Engine.retry_wait_ms;
+        consume_step !step;
+        incr step;
+        if !step mod options.checkpoint_interval = 0 then last_ckpt := !step
+    | Engine.Failed { failure; elapsed_ms; partial } ->
+        wall := !wall +. elapsed_ms;
+        recovery_ms := !recovery_ms +. elapsed_ms;
+        retries := !retries + partial.Engine.retries;
+        retry_wait := !retry_wait +. partial.Engine.retry_wait_ms;
+        failures := failure :: !failures;
+        consume_step !step;
+        incr recoveries;
+        if !recoveries > options.max_recoveries then aborted := true
+        else begin
+          lost := !lost + (!step - !last_ckpt);
+          step := !last_ckpt;
+          wall := !wall +. options.restart_overhead_ms;
+          recovery_ms := !recovery_ms +. options.restart_overhead_ms;
+          match (options.policy, failure) with
+          | Mesh_shrink, Engine.Device_crash _ -> (
+              match shrink_mesh (!program).Lower.mesh with
+              | Some mesh' -> (
+                  match options.repartition mesh' with
+                  | Some p' -> program := p'
+                  | None -> ())
+              | None -> ())
+          | _ -> ()
+        end
+  done;
+  let useful_ms = float_of_int !step *. baseline_ms in
+  let goodput = if !wall > 0. then useful_ms /. !wall else 1. in
+  ( {
+      steps = !step;
+      wall_ms = !wall;
+      useful_ms;
+      goodput;
+      lost_steps = !lost;
+      recoveries = !recoveries;
+      recovery_ms = !recovery_ms;
+      retries = !retries;
+      retry_wait_ms = !retry_wait;
+      failures = List.rev !failures;
+      final_devices = Mesh.num_devices (!program).Lower.mesh;
+    },
+    !program )

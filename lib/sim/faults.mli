@@ -1,0 +1,102 @@
+(** Fault injection and recovery policies over the discrete-event engine.
+
+    A {!plan} is a deterministic, seed-derivable list of faults to inject
+    into a multi-step training run; {!run_steps} executes the run under the
+    plan, applies the configured {!policy} whenever the engine reports a
+    {!Engine.failure}, and returns goodput / lost-work {!metrics} plus the
+    program that was executing when the run finished (so callers can verify
+    post-recovery numerics against the reference interpreter). *)
+
+module Mesh = Partir_mesh.Mesh
+module Lower = Partir_spmd.Lower
+
+type fault =
+  | Crash of { step : int; device : int; at_frac : float }
+      (** device (linear id) dies during step [step], [at_frac] of the way
+          through the fault-free step time *)
+  | Straggler of { device : int; factor : float }
+      (** persistent compute slowdown (factor >= 1) *)
+  | Link_degrade of { axis : string; factor : float }
+      (** persistent bandwidth degradation: the axis retains [factor] of its
+          bandwidth (0 < factor <= 1) *)
+  | Drop_collective of { step : int; collective : int; failures : int }
+      (** the [collective]-th collective of step [step] fails delivery
+          [failures] times before succeeding (or timing out if [failures]
+          exceeds the retry budget) *)
+
+val pp_fault : Format.formatter -> fault -> unit
+
+type plan = { seed : int; faults : fault list }
+
+val no_faults : plan
+
+val plan_of_mtbf :
+  seed:int -> mtbf_steps:float -> steps:int -> Mesh.t -> plan
+(** Seed-deterministic plan: each step crashes a uniformly random device
+    with probability [1 /. mtbf_steps]. *)
+
+(** What to do when a step fails. *)
+type policy =
+  | Checkpoint_restart
+      (** roll back to the last checkpoint and replay (the crashed device is
+          replaced by a spare on restart) *)
+  | Mesh_shrink
+      (** on a device crash, halve the failed mesh axis, re-partition for
+          the surviving mesh via [repartition], and restart from the last
+          checkpoint; falls back to [Checkpoint_restart] when the mesh
+          cannot shrink or [repartition] returns [None] *)
+
+type options = {
+  policy : policy;
+  retry : Engine.retry;
+  checkpoint_interval : int;  (** steps between checkpoints (>= 1) *)
+  restart_overhead_ms : float;
+      (** fixed cost of one rollback + restart (checkpoint reload, program
+          reload, collective re-establishment) *)
+  repartition : Mesh.t -> Lower.program option;
+      (** re-run propagate/lower for a shrunk mesh ([Mesh_shrink] only) *)
+  max_recoveries : int;  (** abandon the run after this many recoveries *)
+}
+
+val default_options : options
+(** [Checkpoint_restart], {!Engine.default_retry}, checkpoint every step,
+    25ms restart overhead, no repartition function, 8 recoveries. *)
+
+type metrics = {
+  steps : int;  (** useful (committed) steps *)
+  wall_ms : float;  (** total simulated wall time, incl. lost work *)
+  useful_ms : float;
+      (** steps * fault-free step time on the original mesh *)
+  goodput : float;  (** useful_ms /. wall_ms (1.0 = no faults) *)
+  lost_steps : int;  (** committed steps rolled back and replayed *)
+  recoveries : int;
+  recovery_ms : float;  (** wall time of partial failed steps + restarts *)
+  retries : int;  (** collective delivery retries across the run *)
+  retry_wait_ms : float;
+  failures : Engine.failure list;  (** in detection order *)
+  final_devices : int;  (** mesh size at the end (smaller after shrink) *)
+}
+
+val pp_metrics : Format.formatter -> metrics -> unit
+
+val shrink_mesh : Mesh.t -> Mesh.t option
+(** Halve the largest axis with even size (first such axis on ties); [None]
+    when every axis is odd-sized or size 1. *)
+
+val axis_of_device : Mesh.t -> int -> string option
+(** The largest even-sized axis the failed device participates in — the
+    axis {!Mesh_shrink} removes capacity from. *)
+
+val run_steps :
+  ?options:options ->
+  steps:int ->
+  plan:plan ->
+  Cost_model.profile ->
+  Hardware.t ->
+  Lower.program ->
+  metrics * Lower.program
+(** Simulate [steps] training steps of the program under [plan]. Each fault
+    fires at most once (transient faults are consumed when they trigger, so
+    replays converge); [Straggler] and [Link_degrade] persist for the whole
+    run. Returns the metrics and the program that executed the final step
+    (the re-lowered program after a mesh shrink). *)

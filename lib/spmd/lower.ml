@@ -282,6 +282,9 @@ let arrival_layouts (t : Staged.t) =
   List.map infer t.Staged.params
 
 let lower ?(ties = []) ?source_flops (t : Staged.t) =
+  (* Reject nests whose tilings do not divide their dimensions before the
+     slice arithmetic below silently truncates. *)
+  Staged.validate t;
   let mesh = t.Staged.mesh in
   let source_flops =
     match source_flops with

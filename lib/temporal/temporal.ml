@@ -167,6 +167,9 @@ let restrict_axes axes (s : Staged.sop) =
   }
 
 let run_general ?only_axes (t : Staged.t) (args : Literal.t list) =
+  (* Reject nests whose tilings do not divide their dimensions before
+     [slice_operand]'s truncating division loses rows. *)
+  Staged.validate t;
   let mesh = t.Staged.mesh in
   let filter_sop s =
     match only_axes with None -> s | Some axes -> restrict_axes axes s

@@ -161,6 +161,60 @@ let positions_tests =
           (List.length (Auto.positions ~max_positions:0 staged axes)));
   ]
 
+(* A 4x4 matmul over mesh {a:2, b:4}: dim 0 of [x] is divisible by each axis
+   individually, so the search proposes [Tile 0] for both axes, but tiling the
+   same dim with both (2*4 = 8 > 4) is infeasible.  Such rollouts must be
+   recorded as infinite cost and counted in [failed_evaluations] rather than
+   crash the search. *)
+let infeasible_staged () =
+  let b = Builder.create "tiny_matmul" in
+  let x = Builder.param b "x" [| 4; 4 |] Partir_tensor.Dtype.F32 in
+  let w = Builder.param b "w" [| 4; 4 |] Partir_tensor.Dtype.F32 in
+  let y = Builder.matmul b x w in
+  Staged.of_func
+    (Mesh.create [ ("a", 2); ("b", 4) ])
+    (Builder.finish b [ y ])
+
+let infeasible_tests =
+  [
+    Alcotest.test_case "infeasible rollouts are counted, not fatal" `Quick
+      (fun () ->
+        let o = opts ~budget:128 () in
+        let run () =
+          Auto.mcts_search o (infeasible_staged ()) ~axes:[ "a"; "b" ]
+        in
+        let st = run () in
+        Alcotest.(check bool)
+          "some rollouts were infeasible" true
+          (st.Auto.Stats.failed_evaluations > 0);
+        Alcotest.(check bool)
+          "best cost is still finite" true
+          (st.Auto.Stats.best_cost < infinity);
+        Alcotest.(check bool)
+          "best <= baseline" true
+          (st.Auto.Stats.best_cost <= st.Auto.Stats.baseline_cost);
+        let st' = run () in
+        Alcotest.(check int)
+          "failure count is deterministic" st.Auto.Stats.failed_evaluations
+          st'.Auto.Stats.failed_evaluations);
+    Alcotest.test_case "greedy survives infeasible options" `Quick (fun () ->
+        let st =
+          Auto.greedy_search
+            (opts ~budget:64 ())
+            (infeasible_staged ()) ~axes:[ "a"; "b" ]
+        in
+        Alcotest.(check bool)
+          "some options were infeasible" true
+          (st.Auto.Stats.failed_evaluations > 0);
+        Alcotest.(check bool)
+          "best <= baseline" true
+          (st.Auto.Stats.best_cost <= st.Auto.Stats.baseline_cost));
+  ]
+
 let () =
   Alcotest.run "auto"
-    [ ("search", auto_tests); ("positions", positions_tests) ]
+    [
+      ("search", auto_tests);
+      ("positions", positions_tests);
+      ("infeasible", infeasible_tests);
+    ]

@@ -1,0 +1,453 @@
+(* Fault-tolerant SPMD execution: discrete-event engine parity with the
+   measured-profile walk, fault detection (crash / straggler / degraded
+   link / dropped collective), retry/backoff accounting, mesh shrinking,
+   and end-to-end recovery properties — a run with an injected fault plus
+   recovery produces literals equal to the fault-free reference run, for
+   both checkpoint/restart (bit-equal) and mesh-shrink re-partitioning
+   (reference-interpreter tolerance). *)
+
+open Partir_tensor
+open Partir_hlo
+module Mesh = Partir_mesh.Mesh
+module Staged = Partir_core.Staged
+module Action = Partir_core.Action
+module Lower = Partir_spmd.Lower
+module Spmd_interp = Partir_spmd.Spmd_interp
+module Temporal = Partir_temporal.Temporal
+module Schedule = Partir_schedule.Schedule
+module Strategies = Partir_strategies.Strategies
+module Hardware = Partir_sim.Hardware
+module Cost_model = Partir_sim.Cost_model
+module Engine = Partir_sim.Engine
+module Faults = Partir_sim.Faults
+module Train = Partir_models.Train
+module Transformer = Partir_models.Transformer
+module Unet = Partir_models.Unet
+
+let hw = Hardware.tpu_v3
+let profile = Cost_model.measured
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* ---------------- workloads ---------------- *)
+
+let t32_cfg = { Transformer.tiny with layers = 4; batch = 8; heads = 4 }
+let t32_step = lazy (Train.training_step (Transformer.forward t32_cfg))
+let unet_step = lazy (Train.training_step (Unet.forward Unet.tiny))
+
+let t32_mesh () = Mesh.create [ ("batch", 4); ("model", 2) ]
+
+let t32_tactics () =
+  [
+    Strategies.bp ~axis:"batch" ~inputs:[ "tokens"; "targets" ] ();
+    Strategies.transformer_mp ~axis:"model";
+    Strategies.transformer_z3 ~axis:"batch";
+  ]
+
+let t32_jit mesh =
+  let step = Lazy.force t32_step in
+  Schedule.jit ~hardware:hw ~ties:step.Train.ties mesh step.Train.func
+    (t32_tactics ())
+
+(* Unet.tiny has batch 2, so the batch axis is 2; the shrink policy halves
+   it to 1 (the program degenerates to model-parallel only). *)
+let unet_mesh () = Mesh.create [ ("batch", 2); ("model", 2) ]
+
+let unet_tactics () =
+  [
+    Strategies.bp ~axis:"batch" ~inputs:[ "x"; "temb"; "target" ] ();
+    Strategies.unet_z ~level:`Z3 ~axis:"batch";
+  ]
+
+let unet_jit mesh =
+  let step = Lazy.force unet_step in
+  Schedule.jit ~hardware:hw ~ties:step.Train.ties mesh step.Train.func
+    (unet_tactics ())
+
+let random_args seed (f : Func.t) =
+  let st = Random.State.make [| seed |] in
+  List.map
+    (fun (p : Value.t) ->
+      let is_int = Dtype.is_integer p.Value.ty.Value.dtype in
+      let non_negative = Filename.check_suffix p.Value.name ".v" in
+      Literal.init p.Value.ty.Value.dtype p.Value.ty.Value.shape (fun _ ->
+          if is_int then float_of_int (Random.State.int st 8)
+          else
+            let x = Random.State.float st 0.2 -. 0.1 in
+            if non_negative then Float.abs x else x))
+    f.Func.params
+
+(* ---------------- engine unit tests ---------------- *)
+
+let engine_report = function
+  | Engine.Completed r -> r
+  | Engine.Failed { failure; _ } ->
+      Alcotest.failf "unexpected failure: %a" Engine.pp_failure failure
+
+let test_parity () =
+  let r = t32_jit (t32_mesh ()) in
+  let walk = Cost_model.run_walk profile hw r.Schedule.program in
+  let eng = Engine.estimate profile hw r.Schedule.program in
+  Alcotest.(check (float 1e-9))
+    "runtime" walk.Cost_model.runtime_ms eng.Cost_model.runtime_ms;
+  Alcotest.(check (float 1e-9))
+    "compute" walk.Cost_model.compute_ms eng.Cost_model.compute_ms;
+  Alcotest.(check (float 1e-9))
+    "comm" walk.Cost_model.comm_ms eng.Cost_model.comm_ms;
+  Alcotest.(check (float 1e-9))
+    "memory" walk.Cost_model.peak_memory_mb eng.Cost_model.peak_memory_mb;
+  (* Cost_model.run routes through the engine for discrete_event profiles
+     (the engine is linked into this binary). *)
+  let routed = Cost_model.run profile hw r.Schedule.program in
+  Alcotest.(check (float 1e-9))
+    "run delegates" eng.Cost_model.runtime_ms routed.Cost_model.runtime_ms
+
+let test_straggler () =
+  let r = t32_jit (t32_mesh ()) in
+  let p = r.Schedule.program in
+  let healthy = engine_report (Engine.simulate profile hw p) in
+  let slow =
+    engine_report
+      (Engine.simulate
+         ~condition:
+           {
+             Engine.healthy with
+             slowdown = (fun d -> if d = 2 then 1.5 else 1.);
+           }
+         profile hw p)
+  in
+  let h_rt = healthy.Engine.estimate.Cost_model.runtime_ms in
+  let s_rt = slow.Engine.estimate.Cost_model.runtime_ms in
+  Alcotest.(check bool) "straggler slows the whole mesh" true (s_rt > h_rt);
+  (* Only compute is scaled (by at most 1.5), so the barrier-synchronized
+     runtime is bounded by 1.5x the healthy one. *)
+  Alcotest.(check bool) "slowdown bounded by factor" true
+    (s_rt <= (1.5 *. h_rt) +. 1e-9);
+  (* The straggler owns the slowest clock. *)
+  let mx = Array.fold_left Float.max 0. slow.Engine.device_ms in
+  Alcotest.(check (float 1e-9)) "straggler is slowest" mx
+    slow.Engine.device_ms.(2)
+
+let test_link_degrade () =
+  let r = t32_jit (t32_mesh ()) in
+  let p = r.Schedule.program in
+  let healthy = engine_report (Engine.simulate profile hw p) in
+  let degraded =
+    engine_report
+      (Engine.simulate
+         ~condition:
+           {
+             Engine.healthy with
+             link_factor = (fun a -> if a = "model" then 0.25 else 1.);
+           }
+         profile hw p)
+  in
+  Alcotest.(check bool)
+    "degraded link raises comm time" true
+    (degraded.Engine.estimate.Cost_model.comm_ms
+    > healthy.Engine.estimate.Cost_model.comm_ms)
+
+let test_crash_detection () =
+  let r = t32_jit (t32_mesh ()) in
+  let p = r.Schedule.program in
+  match
+    Engine.simulate
+      ~condition:
+        {
+          Engine.healthy with
+          crash_time = (fun d -> if d = 3 then Some 0. else None);
+        }
+      profile hw p
+  with
+  | Engine.Completed _ -> Alcotest.fail "crash not detected"
+  | Engine.Failed { failure = Engine.Device_crash { device; detected_at_ms }; elapsed_ms; _ }
+    ->
+      Alcotest.(check int) "crashed device identified" 3 device;
+      Alcotest.(check bool)
+        "detected one timeout after the barrier" true
+        (detected_at_ms >= Engine.default_retry.Engine.timeout_ms);
+      Alcotest.(check (float 1e-9)) "elapsed = detection" detected_at_ms elapsed_ms
+  | Engine.Failed { failure; _ } ->
+      Alcotest.failf "wrong failure: %a" Engine.pp_failure failure
+
+let test_retry_accounting () =
+  let r = t32_jit (t32_mesh ()) in
+  let p = r.Schedule.program in
+  let retry = { Engine.timeout_ms = 5.; backoff = 2.; max_retries = 3 } in
+  let condition drops =
+    {
+      Engine.healthy with
+      drops = (fun i -> if i = 0 then drops else 0);
+      retry;
+    }
+  in
+  (* 2 failed deliveries with timeout 5ms and backoff 2: waits 5 + 10. *)
+  (match Engine.simulate ~condition:(condition 2) profile hw p with
+  | Engine.Completed rep ->
+      Alcotest.(check int) "retries" 2 rep.Engine.retries;
+      Alcotest.(check (float 1e-9)) "backoff wait" 15. rep.Engine.retry_wait_ms;
+      let healthy = engine_report (Engine.simulate profile hw p) in
+      Alcotest.(check (float 1e-6))
+        "wall = healthy + wait"
+        (healthy.Engine.estimate.Cost_model.runtime_ms +. 15.)
+        rep.Engine.estimate.Cost_model.runtime_ms
+  | Engine.Failed _ -> Alcotest.fail "2 drops are within the retry budget");
+  (* 4 failed deliveries exhaust max_retries = 3. *)
+  match Engine.simulate ~condition:(condition 4) profile hw p with
+  | Engine.Completed _ -> Alcotest.fail "4 drops must exhaust the budget"
+  | Engine.Failed { failure = Engine.Collective_timeout { collective; _ }; _ } ->
+      Alcotest.(check int) "which collective" 0 collective
+  | Engine.Failed { failure; _ } ->
+      Alcotest.failf "wrong failure: %a" Engine.pp_failure failure
+
+(* ---------------- mesh shrinking ---------------- *)
+
+let test_shrink_mesh () =
+  (match Faults.shrink_mesh (Mesh.create [ ("batch", 4); ("model", 2) ]) with
+  | Some m ->
+      Alcotest.(check int) "batch halved" 2 (Mesh.axis_size m "batch");
+      Alcotest.(check int) "model kept" 2 (Mesh.axis_size m "model")
+  | None -> Alcotest.fail "expected a shrunk mesh");
+  (match Faults.shrink_mesh (Mesh.create [ ("a", 2); ("b", 6) ]) with
+  | Some m ->
+      Alcotest.(check int) "largest even axis halved" 3 (Mesh.axis_size m "b");
+      Alcotest.(check int) "other kept" 2 (Mesh.axis_size m "a")
+  | None -> Alcotest.fail "expected a shrunk mesh");
+  Alcotest.(check bool)
+    "odd axes cannot shrink" true
+    (Faults.shrink_mesh (Mesh.create [ ("a", 3); ("b", 1) ]) = None)
+
+let test_shrink_relowering () =
+  (* Re-lowering the same schedule on the shrunk mesh yields a runnable
+     program on half the devices, equivalent to the reference function. *)
+  let mesh = t32_mesh () in
+  let shrunk = Option.get (Faults.shrink_mesh mesh) in
+  Alcotest.(check int)
+    "half the devices"
+    (Mesh.num_devices mesh / 2)
+    (Mesh.num_devices shrunk);
+  let r = t32_jit shrunk in
+  let f = (Lazy.force t32_step).Train.func in
+  let args = random_args 5 f in
+  let reference = Interp.run f args in
+  let spmd = Spmd_interp.run r.Schedule.program args in
+  List.iteri
+    (fun i (a, b) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "result %d matches (delta %g)" i
+           (Literal.max_abs_diff a b))
+        true
+        (Literal.max_abs_diff a b < 1e-3))
+    (List.combine reference spmd)
+
+(* ---------------- recovery properties ---------------- *)
+
+(* Run [steps] steps under a seeded single-crash plan; whatever program the
+   run finishes on must produce the same literals as the fault-free
+   reference. Checkpoint/restart keeps the original program, so its outputs
+   are bit-equal to the fault-free SPMD run; mesh-shrink re-partitions, so
+   it is compared to the reference interpreter within float tolerance. *)
+let check_recovery name jit mesh func =
+  let r = jit mesh in
+  let p0 = r.Schedule.program in
+  let plan =
+    { Faults.seed = 3; faults = [ Faults.Crash { step = 1; device = 3; at_frac = 0.4 } ] }
+  in
+  let args = random_args 17 func in
+  let fault_free = Spmd_interp.run p0 args in
+  let reference = Interp.run func args in
+  (* -- checkpoint/restart -- *)
+  let m, p_final =
+    Faults.run_steps
+      ~options:{ Faults.default_options with policy = Faults.Checkpoint_restart }
+      ~steps:4 ~plan profile hw p0
+  in
+  Alcotest.(check int) (name ^ ": restart completes all steps") 4 m.Faults.steps;
+  Alcotest.(check int) (name ^ ": one recovery") 1 m.Faults.recoveries;
+  Alcotest.(check bool) (name ^ ": goodput < 1") true (m.Faults.goodput < 1.);
+  Alcotest.(check bool)
+    (name ^ ": recovery time recorded") true (m.Faults.recovery_ms > 0.);
+  let restarted = Spmd_interp.run p_final args in
+  List.iteri
+    (fun i (a, b) ->
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "%s: restart result %d bit-equal" name i)
+        0.
+        (Literal.max_abs_diff a b))
+    (List.combine fault_free restarted);
+  (* -- mesh shrink -- *)
+  let m2, p_shrunk =
+    Faults.run_steps
+      ~options:
+        {
+          Faults.default_options with
+          policy = Faults.Mesh_shrink;
+          repartition =
+            (fun mesh' ->
+              match jit mesh' with
+              | (r : Schedule.result) -> Some r.Schedule.program
+              | exception _ -> None);
+        }
+      ~steps:4 ~plan profile hw p0
+  in
+  Alcotest.(check int) (name ^ ": shrink completes all steps") 4 m2.Faults.steps;
+  Alcotest.(check int)
+    (name ^ ": mesh halved")
+    (Mesh.num_devices mesh / 2)
+    m2.Faults.final_devices;
+  Alcotest.(check int) (name ^ ": shrink recovers once") 1 m2.Faults.recoveries;
+  Alcotest.(check bool)
+    (name ^ ": shrink goodput < 1") true (m2.Faults.goodput < 1.);
+  let shrunk = Spmd_interp.run p_shrunk args in
+  List.iteri
+    (fun i (a, b) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: shrink result %d matches reference (delta %g)"
+           name i (Literal.max_abs_diff a b))
+        true
+        (Literal.max_abs_diff a b < 1e-3))
+    (List.combine reference shrunk)
+
+let test_recovery_t32 () =
+  check_recovery "T32" t32_jit (t32_mesh ()) (Lazy.force t32_step).Train.func
+
+let test_recovery_unet () =
+  check_recovery "UNet" unet_jit (unet_mesh ())
+    (Lazy.force unet_step).Train.func
+
+let test_drop_metrics () =
+  let r = t32_jit (t32_mesh ()) in
+  let plan =
+    {
+      Faults.seed = 9;
+      faults = [ Faults.Drop_collective { step = 0; collective = 1; failures = 3 } ];
+    }
+  in
+  let m, _ = Faults.run_steps ~steps:3 ~plan profile hw r.Schedule.program in
+  Alcotest.(check int) "all steps complete" 3 m.Faults.steps;
+  Alcotest.(check int) "no recoveries" 0 m.Faults.recoveries;
+  Alcotest.(check int) "three retries" 3 m.Faults.retries;
+  (* timeout 5ms, backoff 2: 5 + 10 + 20. *)
+  Alcotest.(check (float 1e-9)) "backoff wait" 35. m.Faults.retry_wait_ms
+
+let test_mtbf_plan_deterministic () =
+  let mesh = t32_mesh () in
+  let a = Faults.plan_of_mtbf ~seed:4 ~mtbf_steps:2. ~steps:32 mesh in
+  let b = Faults.plan_of_mtbf ~seed:4 ~mtbf_steps:2. ~steps:32 mesh in
+  Alcotest.(check bool) "same plan for same seed" true (a = b);
+  Alcotest.(check bool)
+    "~steps/mtbf crashes" true
+    (List.length a.Faults.faults > 0);
+  let c = Faults.plan_of_mtbf ~seed:5 ~mtbf_steps:2. ~steps:32 mesh in
+  Alcotest.(check bool) "different seed, different plan" true (a <> c)
+
+(* ---------------- divisibility validator ---------------- *)
+
+let test_tile_rejects_indivisible () =
+  let b = Builder.create "f" in
+  let x = Builder.param b "x" [| 6; 4 |] Dtype.F32 in
+  let w = Builder.param b "w" [| 4; 4 |] Dtype.F32 in
+  let f = Builder.finish b [ Builder.matmul b x w ] in
+  let staged = Staged.of_func (Mesh.create [ ("a", 4) ]) f in
+  let xv = List.hd staged.Staged.params in
+  match Staged.tile staged ~value:xv ~dim:0 ~axis:"a" with
+  | _ -> Alcotest.fail "tile of 6 by axis of size 4 must be rejected"
+  | exception Staged.Action_error msg ->
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool)
+            (Printf.sprintf "error mentions %S" needle)
+            true
+            (contains ~needle msg))
+        [ "dim 0"; "\"a\""; "size 6" ]
+
+let test_validate_catches_corrupt_nest () =
+  (* Bypass the tile action and corrupt a nest directly: validate (called
+     by Lower.lower and Temporal.run_general) must reject it before the
+     truncating slice arithmetic runs. *)
+  let make () =
+    let b = Builder.create "f" in
+    let x = Builder.param b "x" [| 6; 4 |] Dtype.F32 in
+    let w = Builder.param b "w" [| 4; 4 |] Dtype.F32 in
+    let f = Builder.finish b [ Builder.matmul b x w ] in
+    let staged = Staged.of_func (Mesh.create [ ("a", 4) ]) f in
+    let sop = List.hd staged.Staged.body in
+    sop.Staged.nest <-
+      [
+        {
+          Action.axis = "a";
+          operand_dims = [| Some 0; None |];
+          result_actions = [| Action.Tile 0 |];
+        };
+      ];
+    staged
+  in
+  let expect_error what f =
+    match f () with
+    | _ -> Alcotest.failf "%s must reject the corrupt nest" what
+    | exception Staged.Action_error msg ->
+        Alcotest.(check bool)
+          (what ^ ": structured message") true
+          (contains ~needle:"dim 0" msg && contains ~needle:"\"a\"" msg)
+  in
+  expect_error "validate" (fun () -> Staged.validate (make ()));
+  expect_error "Lower.lower" (fun () -> Lower.lower (make ()));
+  expect_error "Temporal.run" (fun () ->
+      let staged = make () in
+      let args = random_args 2 (Staged.to_func staged) in
+      Temporal.run staged args)
+
+let test_validate_accepts_legal () =
+  let r = t32_jit (t32_mesh ()) in
+  ignore r;
+  (* jit already lowers (and therefore validates); reaching here means the
+     validator accepts every nest propagation produced. *)
+  ()
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "fault-free parity with the measured walk" `Quick
+            test_parity;
+          Alcotest.test_case "straggler slows the mesh via barriers" `Quick
+            test_straggler;
+          Alcotest.test_case "degraded link raises comm time" `Quick
+            test_link_degrade;
+          Alcotest.test_case "crash detected at the next barrier" `Quick
+            test_crash_detection;
+          Alcotest.test_case "retry/backoff accounting is exact" `Quick
+            test_retry_accounting;
+        ] );
+      ( "mesh-shrink",
+        [
+          Alcotest.test_case "shrink_mesh halves the largest even axis"
+            `Quick test_shrink_mesh;
+          Alcotest.test_case "re-lowering on the shrunk mesh is equivalent"
+            `Quick test_shrink_relowering;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "T32: crash + both policies converge" `Slow
+            test_recovery_t32;
+          Alcotest.test_case "UNet: crash + both policies converge" `Slow
+            test_recovery_unet;
+          Alcotest.test_case "dropped collective: retries in metrics" `Quick
+            test_drop_metrics;
+          Alcotest.test_case "MTBF plans are seed-deterministic" `Quick
+            test_mtbf_plan_deterministic;
+        ] );
+      ( "validator",
+        [
+          Alcotest.test_case "tile rejects indivisible dims" `Quick
+            test_tile_rejects_indivisible;
+          Alcotest.test_case "corrupt nests rejected before lowering" `Quick
+            test_validate_catches_corrupt_nest;
+          Alcotest.test_case "legal schedules pass validation" `Quick
+            test_validate_accepts_legal;
+        ] );
+    ]
