@@ -1,0 +1,48 @@
+(* partcheck: differential fuzzing of the lower -> fuse -> SPMD pipeline.
+
+   Generates seed-deterministic random programs, meshes, and tactic
+   schedules; cross-checks the reference interpreter, the temporal
+   interpreter, the unfused and fused SPMD programs, and the GSPMD
+   baseline; and enforces the cost-model invariants (see DESIGN.md).
+   Failures are shrunk to a minimal repro and printed with a --replay
+   line. Exit status 1 when any discrepancy survives. *)
+
+open Cmdliner
+module Runner = Partir_check.Runner
+
+let run cases seed replay verbose =
+  match replay with
+  | Some payload -> (
+      match Runner.replay payload with
+      | Ok true -> 0
+      | Ok false -> 1
+      | Error msg ->
+          Format.eprintf "partcheck: %s@." msg;
+          2)
+  | None ->
+      let summary = Runner.run ~verbose ~cases ~seed () in
+      if summary.Runner.failed = 0 then 0 else 1
+
+let cases =
+  Arg.(value & opt int 200 & info [ "cases" ] ~doc:"Number of random cases")
+
+let seed =
+  Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Base seed (case i uses seed+i)")
+
+let replay =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replay" ] ~docv:"CASE"
+        ~doc:"Re-run one encoded case (printed by a failing run)")
+
+let verbose =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Per-case progress")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "partcheck"
+       ~doc:"Differential fuzzing of the PartIR partitioning pipeline")
+    Term.(const run $ cases $ seed $ replay $ verbose)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,352 @@
+open Partir_tensor
+open Partir_hlo
+module Mesh = Partir_mesh.Mesh
+module B = Builder
+
+type op_spec =
+  | Unary of int * int
+  | Binary of int * int * int
+  | Matmul of int * int
+  | Transpose of int
+  | Reshape of int
+  | Reduce of int
+  | Loop of { trips : int; carry : int; invs : int list; body : op_spec list }
+
+type tactic_spec =
+  | Tile of { target : int; dim : int; axis : int }
+  | Atomic of { target : int; axis : int }
+  | Auto of { budget : int; mcts : bool; axes : int list }
+
+type t = {
+  seed : int;
+  n : int;
+  params : int;
+  mesh : (string * int) list;
+  ops : op_spec list;
+  sched : tactic_spec list;
+}
+
+let axis_name i = String.make 1 (Char.chr (Char.code 'a' + i))
+
+(* Reference resolution: any int denotes a valid index. *)
+let pos k m = if m <= 0 then 0 else ((k mod m) + m) mod m
+
+let axis_of (c : t) i = fst (List.nth c.mesh (pos i (List.length c.mesh)))
+
+let unary_fns = [| Op.Tanh; Op.Relu; Op.Neg; Op.Abs |]
+let binary_fns = [| Op.Add; Op.Mul; Op.Sub |]
+
+(* {1 Building} *)
+
+let build (c : t) =
+  let mesh = Mesh.create c.mesh in
+  let n = max 1 c.n in
+  let shape = [| n; n |] in
+  let scale = 1.0 /. float_of_int n in
+  let b = B.create "fuzz" in
+  let params =
+    List.init (max 1 c.params) (fun i ->
+        B.param b (Printf.sprintf "p%d" i) shape Dtype.F32)
+  in
+  (* [pool] is in reverse (newest first); [at] resolves modulo its size
+     against the oldest-first order the specs are written in. *)
+  let at pool i =
+    let l = List.length pool in
+    List.nth pool (l - 1 - pos i l)
+  in
+  let emit_simple bld pool spec =
+    match spec with
+    | Unary (f, s) ->
+        B.add bld (Op.Unary unary_fns.(pos f (Array.length unary_fns))) [ at pool s ]
+    | Binary (f, x, y) ->
+        B.add bld
+          (Op.Binary binary_fns.(pos f (Array.length binary_fns)))
+          [ at pool x; at pool y ]
+    | Matmul (x, y) -> B.mul_scalar bld (B.matmul bld (at pool x) (at pool y)) scale
+    | Transpose s -> B.transpose bld (at pool s) [| 1; 0 |]
+    | Reshape s -> B.reshape bld (B.reshape bld (at pool s) [| n * n |]) shape
+    | Reduce s ->
+        let v = at pool s in
+        let r = B.reduce_sum bld v [| 1 |] in
+        B.mul_scalar bld (B.broadcast_like bld r ~reduced_dims:[| 1 |] v) scale
+    | Loop _ -> assert false
+  in
+  let emit pool spec =
+    match spec with
+    | Loop { trips; carry; invs; body } ->
+        let trips = max 1 trips in
+        let carry_init = at pool carry in
+        let inv_vals = List.map (at pool) invs in
+        let f32 = Value.ttype shape Dtype.F32 in
+        let iter = Value.fresh ~name:"it" (Value.ttype [||] Dtype.I32) in
+        let carry_p = Value.fresh ~name:"acc" f32 in
+        let inv_ps = List.map (fun _ -> Value.fresh f32) inv_vals in
+        let rb = B.create "body" in
+        let local0 = List.rev (carry_p :: inv_ps) in
+        let local =
+          List.fold_left
+            (fun local spec -> emit_simple rb local spec :: local)
+            local0 body
+        in
+        let region =
+          {
+            Op.params = iter :: carry_p :: inv_ps;
+            body = B.ops rb;
+            yields = [ List.hd local ];
+          }
+        in
+        let results =
+          B.add_multi b
+            (Op.For { trip_count = trips; n_carries = 1 })
+            (carry_init :: inv_vals) ~region ()
+        in
+        List.hd results
+    | spec -> emit_simple b pool spec
+  in
+  let pool =
+    List.fold_left (fun pool spec -> emit pool spec :: pool) (List.rev params) c.ops
+  in
+  let last = List.hd pool in
+  let out = B.mean b last [| 0; 1 |] in
+  let func = B.finish b [ last; out ] in
+  (func, mesh, List.rev pool)
+
+let inputs (c : t) (f : Func.t) =
+  let st = Random.State.make [| 0x5eed; c.seed |] in
+  List.map
+    (fun (p : Value.t) ->
+      Literal.init p.Value.ty.Value.dtype p.Value.ty.Value.shape (fun _ ->
+          Random.State.float st 2.0 -. 1.0))
+    f.Func.params
+
+(* {1 Generation} *)
+
+let generate ~seed =
+  let st = Random.State.make [| 0x9e3779b9; seed |] in
+  let irange lo hi = lo + Random.State.int st (hi - lo + 1) in
+  let choose arr = arr.(Random.State.int st (Array.length arr)) in
+  let n = choose [| 4; 6; 8; 12 |] in
+  let params = irange 1 4 in
+  let naxes = irange 1 3 in
+  let size_table =
+    match naxes with
+    | 1 -> [| 2; 3; 4; 8 |]
+    | 2 -> [| 2; 3; 4 |]
+    | _ -> [| 2; 2; 3 |]
+  in
+  let mesh = List.init naxes (fun i -> (axis_name i, choose size_table)) in
+  let gen_simple npool =
+    let r () = Random.State.int st npool in
+    match irange 0 9 with
+    | 0 | 1 -> Binary (irange 0 2, r (), r ())
+    | 2 | 3 | 4 -> Matmul (r (), r ())
+    | 5 -> Unary (irange 0 3, r ())
+    | 6 -> Transpose (r ())
+    | 7 -> Reshape (r ())
+    | _ -> Reduce (r ())
+  in
+  let nops = irange 1 7 in
+  let loops = ref 0 in
+  let ops =
+    List.init nops (fun i ->
+        let npool = params + i in
+        if !loops < 1 && irange 0 9 = 9 then begin
+          incr loops;
+          let ninvs = irange 0 (min 2 (npool - 1)) in
+          let nbody = irange 1 3 in
+          let body =
+            List.init nbody (fun j -> gen_simple (1 + ninvs + j))
+          in
+          Loop
+            {
+              trips = irange 2 3;
+              carry = Random.State.int st npool;
+              invs = List.init ninvs (fun _ -> Random.State.int st npool);
+              body;
+            }
+        end
+        else gen_simple npool)
+  in
+  let npool = params + nops in
+  let ntactics = irange 0 5 in
+  let sched =
+    List.init ntactics (fun _ ->
+        match irange 0 19 with
+        | k when k < 11 ->
+            (* Bias tile targets toward parameters: those seeds propagate
+               furthest and are what the GSPMD baseline can mirror. *)
+            let target =
+              if irange 0 9 < 6 then Random.State.int st params
+              else Random.State.int st npool
+            in
+            Tile { target; dim = irange 0 1; axis = Random.State.int st naxes }
+        | k when k < 15 ->
+            Atomic { target = Random.State.int st npool; axis = Random.State.int st naxes }
+        | _ ->
+            let axes =
+              if irange 0 1 = 0 then []
+              else [ Random.State.int st naxes ]
+            in
+            Auto { budget = irange 3 8; mcts = irange 0 9 < 3; axes })
+  in
+  { seed; n; params; mesh; ops; sched }
+
+(* {1 Encoding}
+
+   Whitespace-separated prefix notation: every list is preceded by its
+   length, so parsing is a single linear scan with no lookahead. *)
+
+let encode (c : t) =
+  let buf = Buffer.create 128 in
+  let tok s = Buffer.add_string buf s; Buffer.add_char buf ' ' in
+  let int i = tok (string_of_int i) in
+  int c.seed; int c.n; int c.params;
+  int (List.length c.mesh);
+  List.iter (fun (name, size) -> tok name; int size) c.mesh;
+  let rec op = function
+    | Unary (f, s) -> tok "u"; int f; int s
+    | Binary (f, x, y) -> tok "b"; int f; int x; int y
+    | Matmul (x, y) -> tok "m"; int x; int y
+    | Transpose s -> tok "t"; int s
+    | Reshape s -> tok "r"; int s
+    | Reduce s -> tok "s"; int s
+    | Loop { trips; carry; invs; body } ->
+        tok "l"; int trips; int carry;
+        int (List.length invs); List.iter int invs;
+        int (List.length body); List.iter op body
+  in
+  int (List.length c.ops);
+  List.iter op c.ops;
+  int (List.length c.sched);
+  List.iter
+    (function
+      | Tile { target; dim; axis } -> tok "T"; int target; int dim; int axis
+      | Atomic { target; axis } -> tok "A"; int target; int axis
+      | Auto { budget; mcts; axes } ->
+          tok "G"; int budget; int (if mcts then 1 else 0);
+          int (List.length axes); List.iter int axes)
+    c.sched;
+  String.trim (Buffer.contents buf)
+
+let parse s =
+  let toks =
+    String.split_on_char ' ' s
+    |> List.filter (fun t -> t <> "")
+    |> Array.of_list
+  in
+  let cur = ref 0 in
+  let next () =
+    if !cur >= Array.length toks then failwith "truncated case"
+    else begin
+      let t = toks.(!cur) in
+      incr cur;
+      t
+    end
+  in
+  let int () =
+    let t = next () in
+    match int_of_string_opt t with
+    | Some i -> i
+    | None -> failwith (Printf.sprintf "expected integer, got %S" t)
+  in
+  let list f = List.init (int ()) (fun _ -> f ()) in
+  let rec op () =
+    match next () with
+    | "u" -> let f = int () in Unary (f, int ())
+    | "b" -> let f = int () in let x = int () in Binary (f, x, int ())
+    | "m" -> let x = int () in Matmul (x, int ())
+    | "t" -> Transpose (int ())
+    | "r" -> Reshape (int ())
+    | "s" -> Reduce (int ())
+    | "l" ->
+        let trips = int () in
+        let carry = int () in
+        let invs = list int in
+        let body = list op in
+        Loop { trips; carry; invs; body }
+    | t -> failwith (Printf.sprintf "unknown op tag %S" t)
+  in
+  let tac () =
+    match next () with
+    | "T" ->
+        let target = int () in
+        let dim = int () in
+        Tile { target; dim; axis = int () }
+    | "A" -> let target = int () in Atomic { target; axis = int () }
+    | "G" ->
+        let budget = int () in
+        let mcts = int () <> 0 in
+        Auto { budget; mcts; axes = list int }
+    | t -> failwith (Printf.sprintf "unknown tactic tag %S" t)
+  in
+  match
+    let seed = int () in
+    let n = int () in
+    let params = int () in
+    let mesh = list (fun () -> let name = next () in (name, int ())) in
+    let ops = list op in
+    let sched = list tac in
+    if !cur < Array.length toks then failwith "trailing tokens";
+    { seed; n; params; mesh; ops; sched }
+  with
+  | c -> Ok c
+  | exception Failure msg -> Error ("replay parse: " ^ msg)
+
+(* {1 Pretty-printing} *)
+
+let pp ppf (c : t) =
+  let npool = c.params + List.length c.ops in
+  let v ppf i = Format.fprintf ppf "v%d" i in
+  let rec pp_op npool ppf = function
+    | Unary (f, s) ->
+        Format.fprintf ppf "%s %a"
+          (Op.kind_name (Op.Unary unary_fns.(pos f (Array.length unary_fns))))
+          v (pos s npool)
+    | Binary (f, x, y) ->
+        Format.fprintf ppf "%s %a %a"
+          (Op.kind_name (Op.Binary binary_fns.(pos f (Array.length binary_fns))))
+          v (pos x npool) v (pos y npool)
+    | Matmul (x, y) ->
+        Format.fprintf ppf "matmul %a %a" v (pos x npool) v (pos y npool)
+    | Transpose s -> Format.fprintf ppf "transpose %a" v (pos s npool)
+    | Reshape s -> Format.fprintf ppf "reshape-roundtrip %a" v (pos s npool)
+    | Reduce s -> Format.fprintf ppf "row-reduce %a" v (pos s npool)
+    | Loop { trips; carry; invs; body } ->
+        Format.fprintf ppf "for %d (carry %a; invs %a) {@[<hov>%a@]}" trips v
+          (pos carry npool)
+          (Format.pp_print_list ~pp_sep:Format.pp_print_space v)
+          (List.map (fun i -> pos i npool) invs)
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+             (fun ppf (j, b) -> pp_op (1 + List.length invs + j) ppf b))
+          (List.mapi (fun j b -> (j, b)) body)
+  in
+  Format.fprintf ppf "@[<v>case seed=%d n=%d mesh={%s}@," c.seed c.n
+    (String.concat ", "
+       (List.map (fun (a, s) -> Printf.sprintf "%s:%d" a s) c.mesh));
+  List.iteri
+    (fun i _ -> Format.fprintf ppf "  v%d = param p%d [%d,%d]@," i i c.n c.n)
+    (List.init c.params (fun i -> i));
+  List.iteri
+    (fun i op ->
+      Format.fprintf ppf "  v%d = %a@," (c.params + i) (pp_op (c.params + i)) op)
+    c.ops;
+  List.iteri
+    (fun i tac ->
+      Format.fprintf ppf "  tactic %d: %s@," i
+        (match tac with
+        | Tile { target; dim; axis } ->
+            Printf.sprintf "tile v%d dim %d on %s" (pos target npool)
+              (pos dim 2) (axis_of c axis)
+        | Atomic { target; axis } ->
+            Printf.sprintf "atomic v%d on %s" (pos target npool) (axis_of c axis)
+        | Auto { budget; mcts; axes } ->
+            Printf.sprintf "auto(%s) budget %d axes [%s]"
+              (if mcts then "mcts" else "greedy")
+              budget
+              (String.concat " "
+                 (match axes with
+                 | [] -> List.map fst c.mesh
+                 | l -> List.map (axis_of c) l))))
+    c.sched;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,83 @@
+(** Random test-case generation for the partition oracle (partcheck).
+
+    A case is a fully explicit, seed-independent description of one fuzzing
+    scenario: a random HLO program (elementwise / matmul / reshape /
+    transpose / reduce chains, [For] loops, shared operands), a random
+    device mesh, and a random tactic schedule. Cases are what the shrinker
+    mutates and what [--replay] deserializes, so every field is plain data;
+    the generation seed is kept only to derive input literals and Auto
+    search seeds deterministically.
+
+    Well-formedness by construction: every value reference and enum field
+    is interpreted modulo the relevant domain size at build time, so any
+    combination of integers denotes a valid case. This is what makes greedy
+    shrinking trivial — dropping an op or a mesh axis never leaves a
+    dangling reference. *)
+
+open Partir_hlo
+
+(** One program op. Value references index the value pool: indices
+    [0 .. params-1] are the function parameters, then one entry per
+    preceding top-level op result. Inside a [Loop] body the local pool is
+    [carry param :: invariant params :: body results]. All values are
+    square [n; n] tensors (results are rescaled where needed), so every
+    reference is type-correct. *)
+type op_spec =
+  | Unary of int * int  (** function index, source *)
+  | Binary of int * int * int  (** function index, lhs, rhs *)
+  | Matmul of int * int  (** matmul scaled by [1/n] to keep values O(1) *)
+  | Transpose of int
+  | Reshape of int  (** [n;n] -> [n*n] -> [n;n] roundtrip *)
+  | Reduce of int  (** row-sum broadcast back to [n;n], scaled by [1/n] *)
+  | Loop of { trips : int; carry : int; invs : int list; body : op_spec list }
+      (** single-carry [For] loop; [invs] are outer values passed as loop
+          invariants; the body yields its last local value. Bodies never
+          nest further loops. *)
+
+(** One schedule entry. [axis] fields index the mesh axes; [target] fields
+    index the top-level value pool. Illegal actions (e.g. indivisible
+    tiles) are skipped by the oracle, not errors. *)
+type tactic_spec =
+  | Tile of { target : int; dim : int; axis : int }
+  | Atomic of { target : int; axis : int }
+  | Auto of { budget : int; mcts : bool; axes : int list }
+      (** short automatic-partitioner rollout over the given mesh axes
+          (all axes when the list is empty) *)
+
+type t = {
+  seed : int;  (** drives input literals and Auto search seeds only *)
+  n : int;  (** square tensor side *)
+  params : int;
+  mesh : (string * int) list;
+  ops : op_spec list;
+  sched : tactic_spec list;
+}
+
+val generate : seed:int -> t
+(** Deterministic in [seed]. *)
+
+val build : t -> Func.t * Partir_mesh.Mesh.t * Value.t list
+(** Materialize the case: the HLO function, the mesh, and the top-level
+    value pool (params first, then one value per top-level op) for
+    resolving tactic targets. *)
+
+val inputs : t -> Func.t -> Partir_tensor.Literal.t list
+(** Seed-deterministic input literals in [-1, 1). *)
+
+val axis_name : int -> string
+(** Mesh axis names used by {!generate}: "a", "b", ... *)
+
+val axis_of : t -> int -> string
+(** Resolve a tactic's axis index against the case's mesh (modulo). *)
+
+val pos : int -> int -> int
+(** [pos k m]: [k] reduced to [0 .. m-1] (the reference-resolution rule). *)
+
+val encode : t -> string
+(** Compact whitespace-separated encoding, the payload of [--replay]. *)
+
+val parse : string -> (t, string) result
+(** Inverse of {!encode}. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable rendering (mesh, program sketch, schedule). *)

@@ -1,0 +1,237 @@
+open Partir_tensor
+open Partir_hlo
+module Mesh = Partir_mesh.Mesh
+module Staged = Partir_core.Staged
+module Propagate = Partir_core.Propagate
+module Temporal = Partir_temporal.Temporal
+module Lower = Partir_spmd.Lower
+module Fusion = Partir_spmd.Fusion
+module Census = Partir_spmd.Census
+module Spmd_interp = Partir_spmd.Spmd_interp
+module Gspmd = Partir_gspmd.Gspmd
+module Hardware = Partir_sim.Hardware
+module Cost_model = Partir_sim.Cost_model
+module Engine = Partir_sim.Engine
+module Auto = Partir_auto.Auto
+
+type failure = { label : string; detail : string }
+
+type info = { applied : int; skipped : int; collectives : int }
+
+type verdict = Pass of info | Fail of failure
+
+exception Mismatch of failure
+
+let failf label fmt =
+  Format.kasprintf (fun detail -> raise (Mismatch { label; detail })) fmt
+
+(* Relative tolerance: generated programs rescale matmuls and reductions,
+   so values stay O(1)-ish, but add chains and loop carries still grow;
+   scale the bound by the reference magnitude. *)
+let tol = 1e-4
+
+let max_abs (l : Literal.t) =
+  List.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0.0
+    (Literal.to_float_list l)
+
+let check_outputs label ~reference got =
+  if List.length reference <> List.length got then
+    failf label "expected %d outputs, got %d" (List.length reference)
+      (List.length got);
+  List.iteri
+    (fun i (r, g) ->
+      let diff = Literal.max_abs_diff r g in
+      let bound = tol *. (1.0 +. max_abs r) in
+      if not (diff <= bound) then
+        failf label "output %d differs by %g (bound %g)" i diff bound)
+    (List.combine reference got)
+
+let comm_total (c : Census.t) =
+  c.Census.all_gather + c.Census.all_reduce + c.Census.reduce_scatter
+  + c.Census.all_to_all
+
+let rec collect_collectives acc (ops : Op.t list) =
+  List.fold_left
+    (fun acc (op : Op.t) ->
+      let acc =
+        match op.Op.region with
+        | Some r -> collect_collectives acc r.Op.body
+        | None -> acc
+      in
+      match op.Op.kind with
+      | Op.All_slice _ -> acc
+      | k when Cost_model.is_collective k -> op :: acc
+      | _ -> acc)
+    acc ops
+
+let rel_close a b =
+  Float.abs (a -. b)
+  <= 1e-9 *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+let hw = Hardware.tpu_v3
+
+(* {1 Tactic application} *)
+
+let apply_schedule (c : Gen.t) staged pool =
+  let npool = List.length pool in
+  let applied = ref 0 and skipped = ref 0 in
+  let attempt f = try f (); incr applied with Staged.Action_error _ -> incr skipped in
+  List.iter
+    (fun tac ->
+      (match tac with
+      | Gen.Tile { target; dim; axis } ->
+          let v = List.nth pool (Gen.pos target npool) in
+          attempt (fun () ->
+              ignore
+                (Staged.tile staged ~value:v ~dim:(Gen.pos dim 2)
+                   ~axis:(Gen.axis_of c axis)))
+      | Gen.Atomic { target; axis } ->
+          let v = List.nth pool (Gen.pos target npool) in
+          attempt (fun () ->
+              ignore (Staged.atomic staged ~value:v ~axis:(Gen.axis_of c axis)))
+      | Gen.Auto { budget; mcts; axes } ->
+          let axes =
+            match axes with
+            | [] -> List.map fst c.mesh
+            | l -> List.map (Gen.axis_of c) l
+          in
+          let opts =
+            {
+              Auto.default_options with
+              budget = max 1 budget;
+              seed = c.seed lxor 0x5ca1ab;
+              parallelism = 1;
+            }
+          in
+          let search = if mcts then Auto.mcts_search else Auto.greedy_search in
+          attempt (fun () -> ignore (search opts staged ~axes)));
+      ignore (Propagate.run staged))
+    c.sched;
+  ignore (Propagate.run staged);
+  (!applied, !skipped)
+
+(* Input annotations the GSPMD baseline can mirror: the schedule's tiles
+   on function parameters, kept only if they apply cleanly in sequence on
+   a scratch staging (GSPMD applies all annotations at once). *)
+let gspmd_annotations (c : Gen.t) mesh func npool =
+  let annos =
+    List.filter_map
+      (function
+        | Gen.Tile { target; dim; axis } when Gen.pos target npool < c.params ->
+            Some
+              {
+                Gspmd.name = Printf.sprintf "p%d" (Gen.pos target npool);
+                dim = Gen.pos dim 2;
+                axis = Gen.axis_of c axis;
+              }
+        | _ -> None)
+      c.sched
+  in
+  let annos =
+    List.rev
+      (List.fold_left
+         (fun acc a -> if List.mem a acc then acc else a :: acc)
+         [] annos)
+  in
+  let scratch = Staged.of_func mesh func in
+  List.filter
+    (fun (a : Gspmd.annotation) ->
+      match Staged.find_value scratch a.Gspmd.name with
+      | None -> false
+      | Some v -> (
+          try
+            ignore (Staged.tile scratch ~value:v ~dim:a.Gspmd.dim ~axis:a.Gspmd.axis);
+            true
+          with Staged.Action_error _ -> false))
+    annos
+
+(* {1 Cost-model invariants} *)
+
+let check_cost_invariants mesh (p0 : Lower.program) (p1 : Lower.program) =
+  let c0 = comm_total (Census.of_program p0)
+  and c1 = comm_total (Census.of_program p1) in
+  if c1 > c0 then
+    failf "fusion-collective-count" "fused program has %d comm collectives, unfused %d"
+      c1 c0;
+  let refused = Census.of_func (Fusion.run p1.Lower.func) in
+  if refused <> Census.of_func p1.Lower.func then
+    failf "fusion-idempotent"
+      "second fusion pass still changes the program: %s -> %s"
+      (Census.to_string (Census.of_func p1.Lower.func))
+      (Census.to_string refused);
+  let w0 = Cost_model.run_walk Cost_model.analytic hw p0
+  and w1 = Cost_model.run_walk Cost_model.analytic hw p1 in
+  if w1.Cost_model.comm_ms > (w0.Cost_model.comm_ms *. (1. +. 1e-9)) +. 1e-12
+  then
+    failf "fusion-comm-time" "fused comm %.9f ms > unfused comm %.9f ms"
+      w1.Cost_model.comm_ms w0.Cost_model.comm_ms;
+  (* Each collective stage crosses at least one link: a collective over k
+     nontrivial axes can never be cheaper than k link latencies. *)
+  let latency = hw.Hardware.link_latency_us *. 1e-6 in
+  List.iter
+    (fun (p : Lower.program) ->
+      List.iter
+        (fun (op : Op.t) ->
+          let k =
+            List.length
+              (List.filter
+                 (fun a -> Mesh.axis_size mesh a > 1)
+                 (Cost_model.collective_group_axes op.Op.kind))
+          in
+          let t = Cost_model.comm_time Cost_model.analytic hw mesh op in
+          if t +. 1e-15 < float_of_int k *. latency then
+            failf "comm-latency-floor"
+              "%s over %d nontrivial axes modeled at %.3g s < %d x link \
+               latency %.3g s"
+              (Op.kind_name op.Op.kind) k t k latency)
+        (collect_collectives [] p.Lower.func.Func.body))
+    [ p0; p1 ];
+  List.iter
+    (fun (p : Lower.program) ->
+      List.iter
+        (fun profile ->
+          let walk = Cost_model.run_walk profile hw p in
+          let eng = Engine.estimate profile hw p in
+          List.iter
+            (fun (what, a, b) ->
+              if not (rel_close a b) then
+                failf "engine-parity" "walk %s %.12f ms != engine %.12f ms"
+                  what a b)
+            [
+              ("runtime", walk.Cost_model.runtime_ms, eng.Cost_model.runtime_ms);
+              ("compute", walk.Cost_model.compute_ms, eng.Cost_model.compute_ms);
+              ("comm", walk.Cost_model.comm_ms, eng.Cost_model.comm_ms);
+            ])
+        [ Cost_model.analytic; Cost_model.measured ])
+    [ p0; p1 ];
+  c1
+
+(* {1 The oracle} *)
+
+let run_case_exn (c : Gen.t) =
+  let func, mesh, pool = Gen.build c in
+  let args = Gen.inputs c func in
+  let reference = Interp.run func args in
+  let staged = Staged.of_func mesh func in
+  let applied, skipped = apply_schedule c staged pool in
+  check_outputs "temporal" ~reference (Temporal.run staged args);
+  let p0 = Lower.lower ~fuse:false staged in
+  let p1 = { p0 with Lower.func = Fusion.run p0.Lower.func } in
+  check_outputs "spmd-unfused" ~reference (Spmd_interp.run p0 args);
+  check_outputs "spmd-fused" ~reference (Spmd_interp.run p1 args);
+  (match gspmd_annotations c mesh func (List.length pool) with
+  | annos -> (
+      match Gspmd.partition ~variant:`No_internal mesh func annos with
+      | pg, _conflicts -> check_outputs "gspmd" ~reference (Spmd_interp.run pg args)
+      | exception Staged.Action_error _ -> ()));
+  let collectives = check_cost_invariants mesh p0 p1 in
+  { applied; skipped; collectives }
+
+let run_case c =
+  match run_case_exn c with
+  | info -> Pass info
+  | exception Mismatch f -> Fail f
+  | exception e ->
+      Fail { label = "exception"; detail = Printexc.to_string e }
+
+let fails c = match run_case c with Fail _ -> true | Pass _ -> false

@@ -1,0 +1,94 @@
+type failure = {
+  index : int;
+  case : Gen.t;
+  fail : Oracle.failure;
+  shrunk : Gen.t;
+  shrunk_fail : Oracle.failure;
+  shrink_calls : int;
+}
+
+type summary = {
+  cases : int;
+  passed : int;
+  failed : int;
+  tactics_applied : int;
+  tactics_skipped : int;
+  collectives : int;
+  failures : failure list;
+}
+
+let report_failure ppf (f : failure) =
+  Format.fprintf ppf "FAIL case %d (seed %d): %s: %s@." f.index
+    f.case.Gen.seed f.fail.Oracle.label f.fail.Oracle.detail;
+  Format.fprintf ppf "  shrunk (%d predicate calls) to %s: %s@."
+    f.shrink_calls f.shrunk_fail.Oracle.label f.shrunk_fail.Oracle.detail;
+  Format.fprintf ppf "  %a@." Gen.pp f.shrunk;
+  Format.fprintf ppf "  replay: partcheck --replay '%s'@." (Gen.encode f.shrunk)
+
+let run ?(verbose = false) ?(out = Format.std_formatter) ~cases ~seed () =
+  let passed = ref 0
+  and applied = ref 0
+  and skipped = ref 0
+  and collectives = ref 0
+  and failures = ref [] in
+  for i = 0 to cases - 1 do
+    let case = Gen.generate ~seed:(seed + i) in
+    (match Oracle.run_case case with
+    | Oracle.Pass info ->
+        incr passed;
+        applied := !applied + info.Oracle.applied;
+        skipped := !skipped + info.Oracle.skipped;
+        collectives := !collectives + info.Oracle.collectives;
+        if verbose then
+          Format.fprintf out
+            "case %d (seed %d): ok (%d tactics applied, %d skipped, %d \
+             collectives)@."
+            i (seed + i) info.Oracle.applied info.Oracle.skipped
+            info.Oracle.collectives
+    | Oracle.Fail fail ->
+        let shrunk, shrink_calls = Shrink.shrink Oracle.fails case in
+        let shrunk_fail =
+          match Oracle.run_case shrunk with
+          | Oracle.Fail f -> f
+          | Oracle.Pass _ -> fail
+        in
+        let f = { index = i; case; fail; shrunk; shrunk_fail; shrink_calls } in
+        failures := f :: !failures;
+        report_failure out f);
+    if (not verbose) && (i + 1) mod 100 = 0 && i + 1 < cases then
+      Format.fprintf out "partcheck: %d/%d cases...@." (i + 1) cases
+  done;
+  let failures = List.rev !failures in
+  let summary =
+    {
+      cases;
+      passed = !passed;
+      failed = List.length failures;
+      tactics_applied = !applied;
+      tactics_skipped = !skipped;
+      collectives = !collectives;
+      failures;
+    }
+  in
+  Format.fprintf out
+    "partcheck: %d cases, %d passed, %d failed (%d tactics applied, %d \
+     skipped; %d collectives cross-checked)@."
+    summary.cases summary.passed summary.failed summary.tactics_applied
+    summary.tactics_skipped summary.collectives;
+  summary
+
+let replay ?(out = Format.std_formatter) s =
+  match Gen.parse s with
+  | Error e -> Error e
+  | Ok case -> (
+      Format.fprintf out "%a@." Gen.pp case;
+      match Oracle.run_case case with
+      | Oracle.Pass info ->
+          Format.fprintf out
+            "replay: ok (%d tactics applied, %d skipped, %d collectives)@."
+            info.Oracle.applied info.Oracle.skipped info.Oracle.collectives;
+          Ok true
+      | Oracle.Fail f ->
+          Format.fprintf out "replay: FAIL %s: %s@." f.Oracle.label
+            f.Oracle.detail;
+          Ok false)

@@ -1,0 +1,36 @@
+(** The partcheck driver: generate -> check -> shrink -> report. *)
+
+type failure = {
+  index : int;  (** case number within the run *)
+  case : Gen.t;
+  fail : Oracle.failure;  (** original failure *)
+  shrunk : Gen.t;
+  shrunk_fail : Oracle.failure;  (** failure of the minimized case *)
+  shrink_calls : int;
+}
+
+type summary = {
+  cases : int;
+  passed : int;
+  failed : int;
+  tactics_applied : int;
+  tactics_skipped : int;
+  collectives : int;  (** comm collectives checked across all cases *)
+  failures : failure list;
+}
+
+val run :
+  ?verbose:bool ->
+  ?out:Format.formatter ->
+  cases:int ->
+  seed:int ->
+  unit ->
+  summary
+(** Check [cases] generated cases (seeds [seed .. seed+cases-1]); every
+    failure is shrunk to a minimal repro and reported with a
+    [--replay]-able encoding. *)
+
+val replay : ?out:Format.formatter -> string -> (bool, string) result
+(** Decode an {!Gen.encode}d case and re-run the oracle on it; [Ok true]
+    when the case passes, [Ok false] when it (still) fails, [Error _] on a
+    malformed encoding. *)

@@ -1,0 +1,63 @@
+let drop_nth l k = List.filteri (fun i _ -> i <> k) l
+let set_nth l k x = List.mapi (fun i y -> if i = k then x else y) l
+
+let candidates (c : Gen.t) : Gen.t list =
+  let op_drops = List.mapi (fun i _ -> { c with Gen.ops = drop_nth c.Gen.ops i }) c.Gen.ops in
+  let loop_shrinks =
+    List.concat
+      (List.mapi
+         (fun i op ->
+           match op with
+           | Gen.Loop l ->
+               let set op' = { c with Gen.ops = set_nth c.Gen.ops i op' } in
+               (if l.trips > 1 then
+                  [ set (Gen.Loop { l with trips = l.trips - 1 }) ]
+                else [])
+               @ List.mapi
+                   (fun j _ -> set (Gen.Loop { l with body = drop_nth l.body j }))
+                   l.body
+               @ List.mapi
+                   (fun j _ -> set (Gen.Loop { l with invs = drop_nth l.invs j }))
+                   l.invs
+           | _ -> [])
+         c.Gen.ops)
+  in
+  let sched_drops =
+    List.mapi (fun i _ -> { c with Gen.sched = drop_nth c.Gen.sched i }) c.Gen.sched
+  in
+  let mesh_shrinks =
+    (if List.length c.Gen.mesh > 1 then
+       List.mapi (fun i _ -> { c with Gen.mesh = drop_nth c.Gen.mesh i }) c.Gen.mesh
+     else [])
+    @ List.concat
+        (List.mapi
+           (fun i (a, s) ->
+             if s > 2 then [ { c with Gen.mesh = set_nth c.Gen.mesh i (a, 2) } ]
+             else [])
+           c.Gen.mesh)
+  in
+  let n_shrinks =
+    if c.Gen.n >= 4 && c.Gen.n mod 2 = 0 then [ { c with Gen.n = c.Gen.n / 2 } ]
+    else []
+  in
+  let param_shrinks =
+    if c.Gen.params > 1 then [ { c with Gen.params = c.Gen.params - 1 } ] else []
+  in
+  op_drops @ loop_shrinks @ sched_drops @ mesh_shrinks @ n_shrinks @ param_shrinks
+
+let shrink ?(budget = 400) pred c0 =
+  let calls = ref 0 in
+  let still_fails c =
+    if !calls >= budget then false
+    else begin
+      incr calls;
+      pred c
+    end
+  in
+  let rec go c =
+    match List.find_opt still_fails (candidates c) with
+    | Some smaller -> go smaller
+    | None -> c
+  in
+  let smallest = go c0 in
+  (smallest, !calls)

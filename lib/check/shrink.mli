@@ -1,0 +1,15 @@
+(** Greedy minimization of failing cases.
+
+    Mutations, tried in order of expected payoff: drop a top-level op,
+    simplify a loop (fewer trips, drop a body op or invariant), drop a
+    tactic, drop or shrink a mesh axis, halve the tensor side, drop a
+    parameter. Because case references resolve modulo the pool size (see
+    {!Gen}), every mutation yields a well-formed case, so the predicate is
+    simply re-run on each candidate; the first one that still fails is
+    adopted and the scan restarts. *)
+
+val shrink : ?budget:int -> (Gen.t -> bool) -> Gen.t -> Gen.t * int
+(** [shrink pred c]: greedily minimize [c] while [pred] (i.e. "still
+    fails") holds, spending at most [budget] predicate calls (default
+    400). Returns the smallest case found and the number of predicate
+    calls used. [c] itself is assumed to satisfy [pred]. *)

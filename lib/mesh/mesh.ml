@@ -14,23 +14,35 @@ let create axes =
   { axes }
 
 let axes t = t.axes
-let axis_size t name = List.assoc name t.axes
 let has_axis t name = List.mem_assoc name t.axes
 let num_devices t = List.fold_left (fun acc (_, s) -> acc * s) 1 t.axes
 let axis_names t = List.map fst t.axes
-
-let axis_index t name =
-  let rec go i = function
-    | [] -> raise Not_found
-    | (n, _) :: rest -> if n = name then i else go (i + 1) rest
-  in
-  go 0 t.axes
 
 let to_string t =
   "{"
   ^ String.concat ", "
       (List.map (fun (n, s) -> Printf.sprintf "%s:%d" n s) t.axes)
   ^ "}"
+
+(* Unknown-axis lookups raise a descriptive [Invalid_argument] (not a bare
+   [Not_found]): the axis name usually comes from user-written tactics or
+   hardware specs, and the message is what surfaces through the CLI's
+   one-line error path. *)
+let unknown_axis t ~fn name =
+  invalid_arg
+    (Printf.sprintf "Mesh.%s: no axis %S in mesh %s" fn name (to_string t))
+
+let axis_size t name =
+  match List.assoc_opt name t.axes with
+  | Some s -> s
+  | None -> unknown_axis t ~fn:"axis_size" name
+
+let axis_index t name =
+  let rec go i = function
+    | [] -> unknown_axis t ~fn:"axis_index" name
+    | (n, _) :: rest -> if n = name then i else go (i + 1) rest
+  in
+  go 0 t.axes
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
 

@@ -8,13 +8,18 @@ val create : (string * int) list -> t
     Raises [Invalid_argument] on duplicate names or non-positive sizes. *)
 
 val axes : t -> (string * int) list
+
 val axis_size : t -> string -> int
-(** Raises [Not_found] for unknown axes. *)
+(** Raises [Invalid_argument] naming the axis and the mesh for unknown
+    axes. *)
 
 val has_axis : t -> string -> bool
 val num_devices : t -> int
 val axis_names : t -> string list
+
 val axis_index : t -> string -> int
+(** Position of a named axis. Raises [Invalid_argument] naming the axis
+    and the mesh for unknown axes. *)
 
 val to_string : t -> string
 (** E.g. ["{B:4, M:2}"]. *)

@@ -41,6 +41,13 @@ module Strategies = Partir_strategies.Strategies
 module Auto = Partir_auto.Auto
 module Gspmd = Partir_gspmd.Gspmd
 
+module Check = struct
+  module Gen = Partir_check.Gen
+  module Oracle = Partir_check.Oracle
+  module Shrink = Partir_check.Shrink
+  module Runner = Partir_check.Runner
+end
+
 module Models = struct
   module Train = Partir_models.Train
   module Transformer = Partir_models.Transformer

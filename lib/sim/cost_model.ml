@@ -75,37 +75,63 @@ let is_collective = function
       true
   | _ -> false
 
-(* Communication time in seconds for one collective. *)
+(* Communication time in seconds for one collective.
+
+   A collective over several mesh axes executes as one stage per axis (the
+   standard decomposition on torus/switch topologies: a 2D-sharded
+   all_reduce is a ring all_reduce along the first axis followed by one
+   along the second), so each stage is priced with that axis's own ring
+   size and link bandwidth and is charged one link latency. Pricing the
+   whole group as a single ring of n = prod(sizes) devices at the minimum
+   link bandwidth — the previous model — both undercounts latency and
+   mischarges the stages running on the faster axes. Size-1 axes
+   contribute no stage. *)
 let comm_time profile hw mesh (op : Op.t) =
   let axes = axes_of_collective op.kind in
-  match axes with
-  | [] -> 0.
-  | _ ->
-      let n = float_of_int (List.fold_left (fun acc (_, s) -> acc * s) 1 axes) in
+  let op_bytes, _ = collective_bytes op in
+  let stage_time payload axis =
+    if payload <= 0. then 0.
+    else
+      let bw = Hardware.axis_bandwidth hw (Mesh.axis_index mesh axis) in
       let bw =
+        if profile.small_message_degradation then
+          bw *. (payload /. (payload +. 262144.))
+        else bw
+      in
+      (payload /. bw) +. (hw.Hardware.link_latency_us *. 1e-6)
+  in
+  let ring_frac s = float_of_int (s - 1) /. float_of_int s in
+  match op.kind with
+  | Op.All_reduce _ ->
+      (* Bidirectional ring per axis; buffer size is invariant. *)
+      List.fold_left
+        (fun acc (a, s) -> acc +. stage_time (2. *. ring_frac s *. op_bytes) a)
+        0. axes
+  | Op.All_gather _ ->
+      (* Stages grow the buffer: each stage ring-gathers the buffer as of
+         that stage (outermost axis first, matching [gather_offsets]). *)
+      let acc, _ =
         List.fold_left
-          (fun acc (a, _) ->
-            Float.min acc (Hardware.axis_bandwidth hw (Mesh.axis_index mesh a)))
-          infinity axes
+          (fun (acc, cur) (a, s) ->
+            let cur = cur *. float_of_int s in
+            (acc +. stage_time (ring_frac s *. cur) a, cur))
+          (0., op_bytes) axes
       in
-      let op_bytes, res_bytes = collective_bytes op in
-      let payload =
-        match op.kind with
-        | Op.All_reduce _ -> 2. *. (n -. 1.) /. n *. op_bytes
-        | Op.All_gather _ -> (n -. 1.) /. n *. res_bytes
-        | Op.Reduce_scatter _ -> (n -. 1.) /. n *. op_bytes
-        | Op.All_to_all _ -> (n -. 1.) /. n *. op_bytes
-        | Op.All_slice _ -> 0.
-        | _ -> 0.
+      acc
+  | Op.Reduce_scatter _ ->
+      (* Stages shrink the buffer symmetrically to all_gather. *)
+      let acc, _ =
+        List.fold_left
+          (fun (acc, cur) (a, s) ->
+            (acc +. stage_time (ring_frac s *. cur) a, cur /. float_of_int s))
+          (0., op_bytes) axes
       in
-      if payload = 0. then 0.
-      else
-        let bw =
-          if profile.small_message_degradation then
-            bw *. (payload /. (payload +. 262144.))
-          else bw
-        in
-        (payload /. bw) +. (hw.Hardware.link_latency_us *. 1e-6)
+      acc
+  | Op.All_to_all _ ->
+      List.fold_left
+        (fun acc (a, s) -> acc +. stage_time (ring_frac s *. op_bytes) a)
+        0. axes
+  | _ -> 0.
 
 (* Relayout cost (seconds) charged to compute when a collective's result
    must be materialised in a new layout. *)

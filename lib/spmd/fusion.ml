@@ -40,10 +40,32 @@ let strip_identities ops terms =
 
 let same_dim_axes (a : (string * int) list array) b = a = b
 
+(* Dead code elimination within a scope. *)
+let dce ops terms =
+  let live = Hashtbl.create 64 in
+  let mark (v : Value.t) = Hashtbl.replace live v.Value.id () in
+  List.iter mark terms;
+  let kept =
+    List.fold_left
+      (fun acc (op : Op.t) ->
+        if List.exists (fun (r : Value.t) -> Hashtbl.mem live r.Value.id) op.results
+        then begin
+          List.iter mark op.operands;
+          op :: acc
+        end
+        else acc)
+      []
+      (List.rev ops)
+  in
+  (kept, terms)
+
 (* add(all_reduce(a), all_reduce(b)) -> all_reduce(add(a, b)) for matching
    sum-reductions: gradient contributions of shared parameters (e.g. tied
-   embeddings) then cost one collective, as the paper's counts expect. *)
-let fuse_add_of_reduces ops terms =
+   embeddings) then cost one collective, as the paper's counts expect.
+   One round; returns whether it rewrote anything. The adds it creates are
+   not revisited within the round (only original ops are iterated), so
+   multi-axis reduction trees need the fixpoint wrapper below. *)
+let fuse_add_of_reduces_round ops terms =
   let term_ids =
     List.fold_left
       (fun acc (v : Value.t) -> Value.Set.add v.Value.id acc)
@@ -127,7 +149,7 @@ let fuse_add_of_reduces ops terms =
         else [ subst_op subst op ])
       ops
   in
-  (ops, List.map (subst_value subst) terms)
+  ((ops, List.map (subst_value subst) terms), Hashtbl.length drop > 0)
 
 let axes_of_dim_axes (da : (string * int) list array) =
   Array.to_list da |> List.concat |> List.map fst
@@ -301,30 +323,55 @@ let fuse_all_to_all ops terms =
   in
   (ops, List.map (subst_value subst) terms)
 
-(* Dead code elimination within a scope. *)
-let dce ops terms =
-  let live = Hashtbl.create 64 in
-  let mark (v : Value.t) = Hashtbl.replace live v.Value.id () in
-  List.iter mark terms;
-  let kept =
-    List.fold_left
-      (fun acc (op : Op.t) ->
-        if List.exists (fun (r : Value.t) -> Hashtbl.mem live r.Value.id) op.results
-        then begin
-          List.iter mark op.operands;
-          op :: acc
-        end
-        else acc)
-      []
-      (List.rev ops)
-  in
-  (kept, terms)
+(* Capped fixpoint of add-of-reduce fusion. A multi-axis reduction tree
+   fuses one axis level per round (the add a round creates becomes the
+   fusable pair of the next), and dce must run between rounds: the
+   now-dead original reduces still use the traced values, and their stale
+   use counts would otherwise block [trace_to_reduce]'s single-use test.
+   The cap bounds pathological inputs; each productive round strictly
+   reduces the collective count, so real programs converge in a handful of
+   rounds (one per reduce axis of the deepest gradient-accumulation
+   tree). *)
+let max_fusion_rounds = 8
 
-let run (f : Func.t) =
+let fuse_add_of_reduces ops terms =
+  let rec go budget (ops, terms) =
+    let (ops, terms), changed = fuse_add_of_reduces_round ops terms in
+    if changed && budget > 1 then go (budget - 1) (dce ops terms)
+    else (ops, terms)
+  in
+  go max_fusion_rounds (ops, terms)
+
+(* Op and per-collective counts (regions included): the progress measure of
+   the pass-pipeline fixpoint below. Every rewrite in this file moves it —
+   fusions and eliminations change a collective count or the op count — so
+   signature stability means the pipeline is done. (Not {!Census}: that
+   module sits above {!Lower}, which depends back on this one.) *)
+let signature (f : Func.t) =
+  let rec go acc ops =
+    List.fold_left
+      (fun (n, ag, ar, asl, rs, a2a) (op : Op.t) ->
+        let acc =
+          match op.Op.region with
+          | Some r -> go (n + 1, ag, ar, asl, rs, a2a) r.Op.body
+          | None -> (n + 1, ag, ar, asl, rs, a2a)
+        in
+        let n, ag, ar, asl, rs, a2a = acc in
+        match op.Op.kind with
+        | Op.All_gather _ -> (n, ag + 1, ar, asl, rs, a2a)
+        | Op.All_reduce _ -> (n, ag, ar + 1, asl, rs, a2a)
+        | Op.All_slice _ -> (n, ag, ar, asl + 1, rs, a2a)
+        | Op.Reduce_scatter _ -> (n, ag, ar, asl, rs + 1, a2a)
+        | Op.All_to_all _ -> (n, ag, ar, asl, rs, a2a + 1)
+        | _ -> (n, ag, ar, asl, rs, a2a))
+      acc ops
+  in
+  go (0, 0, 0, 0, 0, 0) f.Func.body
+
+let run_once (f : Func.t) =
   let passes =
     [
       strip_identities;
-      fuse_add_of_reduces;
       fuse_add_of_reduces;
       fuse_reduce_scatter;
       fuse_all_to_all;
@@ -338,3 +385,17 @@ let run (f : Func.t) =
       passes
   in
   { f with body; results }
+
+(* One pass-pipeline sweep is not a fixpoint: ops made dead by one pass
+   still inflate use counts seen by the next (trace_to_reduce and the
+   slice/gather fusions all demand single-use producers), so cancellations
+   can stay blocked until the trailing [dce] has run — and then fuse only
+   on a *second* sweep. Iterate the whole pipeline until the collective
+   signature stops moving (capped; every rewrite strictly shrinks either
+   the op count or a collective count, so this converges fast). *)
+let run (f : Func.t) =
+  let rec go budget f =
+    let f' = run_once f in
+    if budget <= 1 || signature f' = signature f then f' else go (budget - 1) f'
+  in
+  go max_fusion_rounds f

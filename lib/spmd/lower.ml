@@ -281,7 +281,7 @@ let arrival_layouts (t : Staged.t) =
   let infer = infer_arrival t.Staged.mesh uses memo in
   List.map infer t.Staged.params
 
-let lower ?(ties = []) ?source_flops (t : Staged.t) =
+let lower ?(ties = []) ?source_flops ?(fuse = true) (t : Staged.t) =
   (* Reject nests whose tilings do not divide their dimensions before the
      slice arithmetic below silently truncates. *)
   Staged.validate t;
@@ -338,7 +338,7 @@ let lower ?(ties = []) ?source_flops (t : Staged.t) =
       results = local_results;
     }
   in
-  let func = Fusion.run func in
+  let func = if fuse then Fusion.run func else func in
   Func.verify func;
   {
     mesh;

@@ -22,7 +22,11 @@ type program = {
 }
 
 val lower :
-  ?ties:(int * int) list -> ?source_flops:float -> Partir_core.Staged.t -> program
+  ?ties:(int * int) list ->
+  ?source_flops:float ->
+  ?fuse:bool ->
+  Partir_core.Staged.t ->
+  program
 (** [ties] pins output shardings: [(result_index, param_index)] forces the
     result's layout to equal the (inferred) arrival layout of the parameter
     — the invariant a training loop needs for its carried state. Inserts
@@ -31,7 +35,12 @@ val lower :
     [source_flops] skips recomputing the unpartitioned function's flop count
     (a full [Staged.to_func] + verify walk); automatic-partitioning rollouts
     pass the value computed once for the search base, since seed/identity
-    ops contribute no flops. *)
+    ops contribute no flops.
+
+    [fuse] (default [true]) runs the {!Fusion} collective-optimization pass
+    on the lowered function; [~fuse:false] keeps the raw conversion
+    collectives — the differential checker uses it to cross-check the fused
+    and unfused programs against each other. *)
 
 val arrival_layouts : Partir_core.Staged.t -> Layout.t list
 (** The input layouts {!lower} would infer, without lowering. *)

@@ -111,16 +111,57 @@ let is_collective = function
       true
   | _ -> false
 
+let lookup_value what env (v : Value.t) =
+  match Hashtbl.find_opt env v.Value.id with
+  | Some l -> l
+  | None ->
+      spmd_errorf "spmd: unbound %s %%%d%s" what v.Value.id
+        (if v.Value.name = "" then "" else " (" ^ v.Value.name ^ ")")
+
+(* Outer-scope values a region's body (or yields) reads directly, i.e.
+   everything the region needs beyond its own params. Lowered regions are
+   closed (invariants arrive as operands), but hand-built or source-level
+   programs may capture outer values, so the For evaluator binds these into
+   its per-device region environments explicitly instead of copying whole
+   device environments every trip. *)
+let free_values_of_region (r : Op.region) =
+  let bound = Hashtbl.create 32 in
+  let seen = Hashtbl.create 32 in
+  let free = ref [] in
+  let note (v : Value.t) =
+    if (not (Hashtbl.mem bound v.Value.id)) && not (Hashtbl.mem seen v.Value.id)
+    then begin
+      Hashtbl.replace seen v.Value.id ();
+      free := v :: !free
+    end
+  in
+  List.iter (fun (p : Value.t) -> Hashtbl.replace bound p.Value.id ()) r.params;
+  let rec go ops =
+    List.iter
+      (fun (op : Op.t) ->
+        List.iter note op.operands;
+        (match op.region with
+        | Some r' ->
+            List.iter
+              (fun (p : Value.t) -> Hashtbl.replace bound p.Value.id ())
+              r'.params;
+            go r'.body
+        | None -> ());
+        List.iter
+          (fun (v : Value.t) -> Hashtbl.replace bound v.Value.id ())
+          op.results)
+      ops
+  in
+  go r.body;
+  List.iter note r.yields;
+  List.rev !free
+
 let rec eval_ops mesh (envs : (int, Literal.t) Hashtbl.t array) (ops : Op.t list)
     =
   let ndev = Array.length envs in
   List.iter
     (fun (op : Op.t) ->
-      let arg env (v : Value.t) =
-        match Hashtbl.find_opt env v.Value.id with
-        | Some l -> l
-        | None -> spmd_errorf "spmd: unbound value %%%d" v.Value.id
-      in
+      let arg env (v : Value.t) = lookup_value "value" env v in
       if is_collective op.kind then begin
         let operand = List.hd op.operands in
         let inputs = Array.map (fun env -> arg env operand) envs in
@@ -148,8 +189,23 @@ let rec eval_ops mesh (envs : (int, Literal.t) Hashtbl.t array) (ops : Op.t list
                     (List.map (arg env) op.operands))
                 envs
             in
+            (* Small per-device region environments, built once and reused
+               across trips: region params plus captured outer values,
+               instead of a full copy of every device environment per trip
+               (body ops rebind the same result ids each iteration). *)
+            let frees = free_values_of_region r in
+            let inner =
+              Array.map
+                (fun env ->
+                  let e = Hashtbl.create (16 + List.length frees) in
+                  List.iter
+                    (fun (v : Value.t) ->
+                      Hashtbl.replace e v.Value.id (arg env v))
+                    frees;
+                  e)
+                envs
+            in
             for step = 0 to trip_count - 1 do
-              let inner = Array.map Hashtbl.copy envs in
               Array.iteri
                 (fun i env ->
                   match r.params with
@@ -166,7 +222,7 @@ let rec eval_ops mesh (envs : (int, Literal.t) Hashtbl.t array) (ops : Op.t list
               Array.iteri
                 (fun i env ->
                   carries.(i) :=
-                    List.map (fun (y : Value.t) -> Hashtbl.find env y.Value.id) r.yields)
+                    List.map (fun (y : Value.t) -> lookup_value "yield" env y) r.yields)
                 inner
             done;
             for i = 0 to ndev - 1 do
@@ -201,7 +257,7 @@ let run_local (p : Lower.program) (inputs : Literal.t list array) =
   Array.map
     (fun env ->
       List.map
-        (fun (v : Value.t) -> Hashtbl.find env v.Value.id)
+        (fun (v : Value.t) -> lookup_value "result" env v)
         p.Lower.func.Func.results)
     envs
 

@@ -171,9 +171,21 @@ let test_transpose_conflict_and_tag () =
   Alcotest.(check int) "one all_gather" 1 c.Census.all_gather;
   check_equivalence "transpose+tag" staged
 
+let test_mesh_error_messages () =
+  let mesh = Mesh.create [ ("B", 4); ("M", 2) ] in
+  Alcotest.check_raises "axis_size names axis and mesh"
+    (Invalid_argument "Mesh.axis_size: no axis \"Z\" in mesh {B:4, M:2}")
+    (fun () -> ignore (Mesh.axis_size mesh "Z"));
+  Alcotest.check_raises "axis_index names axis and mesh"
+    (Invalid_argument "Mesh.axis_index: no axis \"model\" in mesh {B:4, M:2}")
+    (fun () -> ignore (Mesh.axis_index mesh "model"))
+
 let () =
   Alcotest.run "core-pipeline"
     [
+      ( "mesh",
+        [ Alcotest.test_case "unknown-axis errors" `Quick test_mesh_error_messages ]
+      );
       ( "matmul-chain",
         [
           Alcotest.test_case "BP" `Quick test_bp;

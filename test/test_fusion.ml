@@ -1,0 +1,142 @@
+(* Direct unit tests for the collective-fusion passes: gather/slice
+   cancellation, all_to_all formation, the reduce_scatter leftover-axes
+   path, and the tied-gradient regression (adds of shared-parameter
+   reduction contributions must fuse to one all_reduce per mesh axis,
+   however many contributions there are — the pass pipeline must run to
+   its fixpoint, not a fixed number of sweeps). *)
+
+open Partir_tensor
+open Partir_hlo
+module Mesh = Partir_mesh.Mesh
+module Staged = Partir_core.Staged
+module Propagate = Partir_core.Propagate
+module Lower = Partir_spmd.Lower
+module Fusion = Partir_spmd.Fusion
+module Census = Partir_spmd.Census
+module Spmd_interp = Partir_spmd.Spmd_interp
+module B = Builder
+
+let census_check name (want : Census.t) (f : Func.t) =
+  Alcotest.(check string) name (Census.to_string want)
+    (Census.to_string (Census.of_func f))
+
+let test_gather_slice_cancellation () =
+  let b = B.create "cancel" in
+  let x = B.param b "x" [| 4; 8 |] Dtype.F32 in
+  let da = [| [ ("a", 2) ]; [] |] in
+  let g = B.add b (Op.All_gather { dim_axes = da }) [ x ] in
+  let s = B.add b (Op.All_slice { dim_axes = da }) [ g ] in
+  let f = B.finish b [ s ] in
+  let fused = Fusion.run f in
+  Func.verify fused;
+  census_check "pair cancelled" Census.zero fused;
+  Alcotest.(check int) "no ops left" 0 (List.length fused.Func.body)
+
+let test_all_to_all_formation () =
+  let b = B.create "a2a" in
+  let x = B.param b "x" [| 4; 8 |] Dtype.F32 in
+  let g = B.add b (Op.All_gather { dim_axes = [| [ ("a", 2) ]; [] |] }) [ x ] in
+  let s = B.add b (Op.All_slice { dim_axes = [| []; [ ("a", 2) ] |] }) [ g ] in
+  let f = B.finish b [ s ] in
+  let fused = Fusion.run f in
+  Func.verify fused;
+  census_check "gather+slice became all_to_all"
+    { Census.zero with Census.all_to_all = 1 }
+    fused;
+  Alcotest.(check int) "single op" 1 (List.length fused.Func.body)
+
+let test_reduce_scatter_leftover_axes () =
+  (* all_slice over a strict subset of the reduced axes: the leftover axis
+     keeps an all_reduce, the sliced axis becomes the reduce_scatter. *)
+  let b = B.create "rs" in
+  let x = B.param b "x" [| 8; 8 |] Dtype.F32 in
+  let ar =
+    B.add b
+      (Op.All_reduce { axes = [ ("a", 2); ("b", 2) ]; reduce = Op.Rsum })
+      [ x ]
+  in
+  let s = B.add b (Op.All_slice { dim_axes = [| [ ("a", 2) ]; [] |] }) [ ar ] in
+  let f = B.finish b [ s ] in
+  let fused = Fusion.run f in
+  Func.verify fused;
+  census_check "leftover AR + RS"
+    { Census.zero with Census.all_reduce = 1; Census.reduce_scatter = 1 }
+    fused
+
+let test_full_overlap_reduce_scatter () =
+  let b = B.create "rs-full" in
+  let x = B.param b "x" [| 8; 8 |] Dtype.F32 in
+  let ar = B.add b (Op.All_reduce { axes = [ ("a", 2) ]; reduce = Op.Rsum }) [ x ] in
+  let s = B.add b (Op.All_slice { dim_axes = [| [ ("a", 2) ]; [] |] }) [ ar ] in
+  let f = B.finish b [ s ] in
+  let fused = Fusion.run f in
+  Func.verify fused;
+  census_check "pure reduce_scatter"
+    { Census.zero with Census.reduce_scatter = 1 }
+    fused
+
+let test_tied_gradient_adds () =
+  (* Three contributions through a shared parameter, contraction dim
+     deep-tiled on both mesh axes: each matmul's partial sums lower to one
+     all_reduce per axis, and the adds of those reductions must fuse until
+     exactly one all_reduce per axis remains (a fixed two-sweep pipeline
+     leaves k+1 of them behind). *)
+  let mesh = Mesh.create [ ("a", 2); ("b", 2) ] in
+  let n = 8 in
+  let b = B.create "tied" in
+  let xs =
+    List.init 3 (fun i -> B.param b (Printf.sprintf "x%d" i) [| n; n |] Dtype.F32)
+  in
+  let w = B.param b "w" [| n; n |] Dtype.F32 in
+  let total =
+    match List.map (fun x -> B.matmul b x w) xs with
+    | c :: rest -> List.fold_left (B.add2 b) c rest
+    | [] -> assert false
+  in
+  let f = B.finish b [ total ] in
+  let staged = Staged.of_func mesh f in
+  List.iter
+    (fun x ->
+      ignore (Staged.tile staged ~value:x ~dim:1 ~axis:"a");
+      ignore (Staged.tile staged ~value:x ~dim:1 ~axis:"b"))
+    xs;
+  ignore (Propagate.run staged);
+  let p = Lower.lower staged in
+  let c = Census.of_program p in
+  Alcotest.(check int) "one all_reduce per mesh axis" 2 c.Census.all_reduce;
+  census_check "second pass is a no-op"
+    (Census.of_func p.Lower.func)
+    (Fusion.run p.Lower.func);
+  let st = Random.State.make [| 17 |] in
+  let args =
+    List.map
+      (fun (prm : Value.t) ->
+        Literal.init prm.Value.ty.Value.dtype prm.Value.ty.Value.shape (fun _ ->
+            Random.State.float st 2.0 -. 1.0))
+      f.Func.params
+  in
+  List.iter2
+    (fun want got ->
+      Alcotest.(check bool) "spmd matches reference" true
+        (Literal.max_abs_diff want got < 1e-3))
+    (Interp.run f args)
+    (Spmd_interp.run p args)
+
+let () =
+  Alcotest.run "fusion"
+    [
+      ( "passes",
+        [
+          Alcotest.test_case "gather/slice cancellation" `Quick
+            test_gather_slice_cancellation;
+          Alcotest.test_case "all_to_all formation" `Quick
+            test_all_to_all_formation;
+          Alcotest.test_case "reduce_scatter leftover axes" `Quick
+            test_reduce_scatter_leftover_axes;
+          Alcotest.test_case "reduce_scatter full overlap" `Quick
+            test_full_overlap_reduce_scatter;
+        ] );
+      ( "tied-gradients",
+        [ Alcotest.test_case "adds of reduces reach fixpoint" `Quick
+            test_tied_gradient_adds ] );
+    ]

@@ -1,0 +1,94 @@
+(* Tests for the partition oracle (partcheck): the encode/parse replay
+   format round-trips, the oracle passes a smoke batch of generated cases,
+   the shrinker minimizes against a synthetic predicate, and the fuzz case
+   that exposed fusion non-idempotence stays fixed. *)
+
+module Gen = Partir_check.Gen
+module Shrink = Partir_check.Shrink
+module Runner = Partir_check.Runner
+
+let null_out = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+
+let test_smoke () =
+  let s = Runner.run ~out:null_out ~cases:40 ~seed:42 () in
+  Alcotest.(check int) "no failures" 0 s.Runner.failed;
+  Alcotest.(check int) "all passed" 40 s.Runner.passed;
+  Alcotest.(check bool) "tactics exercised" true (s.Runner.tactics_applied > 0);
+  Alcotest.(check bool) "collectives exercised" true (s.Runner.collectives > 0)
+
+let test_roundtrip () =
+  for seed = 0 to 30 do
+    let c = Gen.generate ~seed in
+    match Gen.parse (Gen.encode c) with
+    | Ok c' -> Alcotest.(check bool) "roundtrip" true (c = c')
+    | Error e -> Alcotest.fail e
+  done
+
+let test_parse_errors () =
+  (match Gen.parse "1 2" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated case accepted");
+  match Gen.parse "zzz" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "junk accepted"
+
+let test_shrinker () =
+  (* Synthetic bug: any case with a matmul on a multi-axis mesh. The
+     shrinker should strip everything else. *)
+  let pred (c : Gen.t) =
+    List.length c.Gen.mesh >= 2
+    && List.exists (function Gen.Matmul _ -> true | _ -> false) c.Gen.ops
+  in
+  let case =
+    {
+      Gen.seed = 7;
+      n = 8;
+      params = 3;
+      mesh = [ ("a", 4); ("b", 3); ("c", 2) ];
+      ops =
+        [ Gen.Unary (0, 0); Gen.Matmul (1, 2); Gen.Reduce 1; Gen.Binary (0, 1, 2) ];
+      sched = [ Gen.Tile { target = 0; dim = 0; axis = 0 } ] ;
+    }
+  in
+  Alcotest.(check bool) "initial case fails" true (pred case);
+  let shrunk, calls = Shrink.shrink pred case in
+  Alcotest.(check bool) "shrunk still fails" true (pred shrunk);
+  Alcotest.(check bool) "shrinking did work" true (calls > 0);
+  Alcotest.(check int) "one op left" 1 (List.length shrunk.Gen.ops);
+  Alcotest.(check bool) "it is the matmul" true
+    (match shrunk.Gen.ops with [ Gen.Matmul _ ] -> true | _ -> false);
+  Alcotest.(check int) "minimal multi-axis mesh" 2 (List.length shrunk.Gen.mesh);
+  List.iter
+    (fun (_, s) -> Alcotest.(check int) "axis size shrunk" 2 s)
+    shrunk.Gen.mesh;
+  Alcotest.(check int) "schedule dropped" 0 (List.length shrunk.Gen.sched);
+  Alcotest.(check int) "params dropped" 1 shrunk.Gen.params;
+  Alcotest.(check int) "tensor side halved" 2 shrunk.Gen.n
+
+let test_fusion_idempotence_regression () =
+  (* Shrunken fuzz repro (seed 515) that once failed fusion-idempotence:
+     a gather/slice cancellation stayed blocked behind a stale use count
+     until the trailing DCE of the first fusion sweep. *)
+  match
+    Runner.replay ~out:null_out "515 6 2 1 a 2 3 m 1 1 t 2 m 0 2 2 T 1 0 0 A 2 0"
+  with
+  | Ok true -> ()
+  | Ok false -> Alcotest.fail "regression case fails the oracle again"
+  | Error e -> Alcotest.fail e
+
+let () =
+  Alcotest.run "partcheck"
+    [
+      ( "oracle",
+        [
+          Alcotest.test_case "smoke batch" `Quick test_smoke;
+          Alcotest.test_case "fusion idempotence regression" `Quick
+            test_fusion_idempotence_regression;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "encode/parse roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        ] );
+      ("shrink", [ Alcotest.test_case "synthetic bug" `Quick test_shrinker ]);
+    ]
