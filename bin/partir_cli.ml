@@ -20,7 +20,10 @@ let parse_mesh spec =
        (fun part ->
          match String.split_on_char '=' part with
          | [ name; size ] -> (name, int_of_string size)
-         | _ -> failwith ("bad mesh entry: " ^ part))
+         | _ ->
+             invalid_arg
+               (Printf.sprintf
+                  "bad mesh entry %S (expected axis=size, e.g. batch=4)" part))
        (String.split_on_char ',' spec))
 
 type prepared = {
@@ -96,7 +99,12 @@ let prepare = function
         model_name = "mlp";
         transformer_cfg = None;
       }
-  | other -> failwith ("unknown model: " ^ other)
+  | other ->
+      invalid_arg
+        (Printf.sprintf
+           "unknown model %S (expected t32[-small], t48, it32[-small], \
+            unet[-small], gns[-small], or mlp)"
+           other)
 
 let tactic_of prepared hardware budget name =
   let batch = "batch" and model = "model" in
@@ -130,7 +138,12 @@ let tactic_of prepared hardware budget name =
   | "autoall" ->
       Auto.mcts ~axes:[ batch; model ]
         { Auto.default_options with hardware; budget }
-  | other -> failwith ("unknown tactic: " ^ other)
+  | other ->
+      invalid_arg
+        (Printf.sprintf
+           "unknown tactic %S (expected bp, mp, z2, z3, emb, es, mq, auto, \
+            automp, autobp, or autoall)"
+           other)
 
 (* One-line structured error instead of an uncaught-exception backtrace;
    the category names the pipeline stage that rejected the request. *)
@@ -170,18 +183,69 @@ let run_checked model schedule mesh_spec hardware_name dump single_tactic
     print_endline (Printer.func_to_string r.Schedule.program.Lower.func)
   end
 
-let run model schedule mesh_spec hardware_name dump single_tactic budget =
-  try run_checked model schedule mesh_spec hardware_name dump single_tactic budget
-  with
+(* partir_cli verify: run the full schedule, then the static analyzers
+   (Verify / ShardCheck / CollectiveLint) over every IR the pipeline
+   produced — the source function, the staged module, and the lowered
+   program both unfused and fused. Prints diagnostics; exits 1 if any are
+   errors. *)
+let verify_checked model schedule mesh_spec hardware_name budget =
+  let prepared = prepare model in
+  let mesh = parse_mesh mesh_spec in
+  let hardware = Hardware.find hardware_name in
+  let tactics =
+    List.map (tactic_of prepared hardware budget)
+      (String.split_on_char ',' schedule)
+  in
+  Format.printf "verify %s: %d ops, mesh %s, schedule %s@." model
+    (Func.op_count prepared.func) (Mesh.to_string mesh) schedule;
+  let r = jit ~hardware ~ties:prepared.ties mesh prepared.func tactics in
+  let unfused = Lower.lower ~ties:prepared.ties ~fuse:false r.Schedule.staged in
+  let stages =
+    [
+      ("source", Analysis.check_func prepared.func);
+      ("staged", Analysis.check_staged r.Schedule.staged);
+      ("spmd-unfused", Analysis.check_program unfused);
+      ("spmd-fused", Analysis.check_program r.Schedule.program);
+    ]
+  in
+  let n_errors =
+    List.fold_left
+      (fun acc (stage, diags) ->
+        List.iter
+          (fun d -> Format.printf "%s: %s@." stage (Diagnostic.to_string d))
+          diags;
+        acc + List.length (Diagnostic.errors diags))
+      0 stages
+  in
+  if n_errors = 0 then Format.printf "verify %s: OK (0 diagnostics)@." model
+  else begin
+    Format.printf "verify %s: %d error%s@." model n_errors
+      (if n_errors = 1 then "" else "s");
+    exit 1
+  end
+
+let with_structured_errors f =
+  try f () with
   | Staged.Action_error msg -> error "action" msg
   | Spmd_interp.Spmd_error msg -> error "spmd" msg
   | Temporal.Semantics_error msg -> error "temporal" msg
   | Op.Type_error msg -> error "type" msg
   | Func.Verification_error msg -> error "verify" msg
+  | Analysis.Check_error diags ->
+      error "analysis" (Diagnostic.list_to_string diags)
   | Interp.Runtime_error msg -> error "interp" msg
   | Invalid_argument msg -> error "invalid argument" msg
   | Failure msg -> error "failure" msg
   | Not_found -> error "not found" "unknown hardware or mesh axis"
+
+let run model schedule mesh_spec hardware_name dump single_tactic budget =
+  with_structured_errors (fun () ->
+      run_checked model schedule mesh_spec hardware_name dump single_tactic
+        budget)
+
+let verify model schedule mesh_spec hardware_name budget =
+  with_structured_errors (fun () ->
+      verify_checked model schedule mesh_spec hardware_name budget)
 
 open Cmdliner
 
@@ -201,9 +265,25 @@ let single =
 let budget =
   Arg.(value & opt int 16 & info [ "budget" ] ~doc:"Automatic-search budget")
 
-let cmd =
+let run_term =
+  Term.(const run $ model $ schedule $ mesh $ hw $ dump $ single $ budget)
+
+let run_cmd =
+  Cmd.v (Cmd.info "run" ~doc:"Partition a model and report per-tactic metadata")
+    run_term
+
+let verify_cmd =
   Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Run the static analyzers (IR verifier, sharding type-checker, \
+          collective lint) over every IR the schedule produces; nonzero \
+          exit on any error diagnostic")
+    Term.(const verify $ model $ schedule $ mesh $ hw $ budget)
+
+let cmd =
+  Cmd.group
     (Cmd.info "partir_cli" ~doc:"Partition benchmark models with PartIR schedules")
-    Term.(const run $ model $ schedule $ mesh $ hw $ dump $ single $ budget)
+    ~default:run_term [ run_cmd; verify_cmd ]
 
 let () = exit (Cmd.eval cmd)

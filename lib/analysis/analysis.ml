@@ -1,0 +1,59 @@
+module Staged = Partir_core.Staged
+module Lower = Partir_spmd.Lower
+module Fusion = Partir_spmd.Fusion
+module D = Diagnostic
+
+exception Check_error of D.t list
+
+let () =
+  Printexc.register_printer (function
+    | Check_error diags ->
+        Some
+          (Printf.sprintf "Partir_analysis.Check_error:\n%s"
+             (D.list_to_string diags))
+    | _ -> None)
+
+let check_func = Verify.func
+let check_staged = Verify.staged
+
+let check_program p =
+  D.sort
+    (Verify.func ~mesh:p.Lower.mesh p.Lower.func
+    @ Shard_check.program p
+    @ Collective_lint.program p)
+
+(* {1 Debug-mode assertions}
+
+   Off by default (the passes walk whole modules; actions and fusion run
+   in hot search loops). Enabled by the [PARTIR_DEBUG_CHECKS] environment
+   variable or {!set_debug_checks}; the hooks below then raise
+   {!Check_error} the moment a transform produces an inconsistent IR. *)
+
+let debug_enabled =
+  ref
+    (match Sys.getenv_opt "PARTIR_DEBUG_CHECKS" with
+    | None | Some "" | Some "0" -> false
+    | Some _ -> true)
+
+let debug_checks_enabled () = !debug_enabled
+let set_debug_checks b = debug_enabled := b
+
+let raise_on_errors diags =
+  match D.errors diags with [] -> () | errs -> raise (Check_error errs)
+
+let prefix_paths label diags =
+  List.map (fun (d : D.t) -> { d with D.path = label ^ ":" ^ d.D.path }) diags
+
+let install_debug_hooks () =
+  Staged.debug_hook :=
+    (fun t -> if !debug_enabled then raise_on_errors (check_staged t));
+  Lower.debug_hook :=
+    (fun p -> if !debug_enabled then raise_on_errors (check_program p));
+  Fusion.debug_hook :=
+    (fun label f ->
+      if !debug_enabled then
+        raise_on_errors (prefix_paths label (Verify.func f)))
+
+(* Installed at module-initialization time; [lib/analysis/dune] links this
+   library with [-linkall] so depending on it is enough to arm the hooks. *)
+let () = install_debug_hooks ()

@@ -1,0 +1,265 @@
+open Partir_hlo
+module Mesh = Partir_mesh.Mesh
+module Lower = Partir_spmd.Lower
+module D = Diagnostic
+
+(* {1 CollectiveLint: abstract per-device execution of the collective
+   sequence}
+
+   Each device's program is reduced to its ordered sequence of
+   communicating collectives ([all_slice] is device-local and excluded);
+   a rendezvous simulation then advances a replica group only when every
+   member's next event is the same collective over the same group. A
+   mismatched, misordered, or wrongly-grouped collective stalls the
+   simulation — the deadlock class the fault-injection runtime can only
+   observe as a timeout, reported here statically. *)
+
+type event = { path : string; desc : string; group : int list }
+
+let op_path parent i (op : Op.t) =
+  Printf.sprintf "%s/op#%d(%s)" parent i (Op.kind_name op.kind)
+
+let reduce_name = function
+  | Op.Rsum -> "sum"
+  | Op.Rmax -> "max"
+  | Op.Rmin -> "min"
+
+let pairs_to_string pairs =
+  String.concat "," (List.map (fun (a, n) -> Printf.sprintf "%s:%d" a n) pairs)
+
+let dim_axes_to_string dim_axes =
+  String.concat ";"
+    (Array.to_list
+       (Array.mapi
+          (fun d pairs ->
+            if pairs = [] then ""
+            else Printf.sprintf "%d<-{%s}" d (pairs_to_string pairs))
+          dim_axes)
+     |> List.filter (( <> ) ""))
+
+(* The communication signature of a collective: what must agree across the
+   replica group for the exchange to be well-formed. *)
+let signature (op : Op.t) =
+  match op.kind with
+  | Op.All_reduce { axes; reduce } ->
+      Some
+        ( Printf.sprintf "all_reduce %s {%s}" (reduce_name reduce)
+            (pairs_to_string axes),
+          List.map fst axes )
+  | Op.All_gather { dim_axes } ->
+      Some
+        ( Printf.sprintf "all_gather %s" (dim_axes_to_string dim_axes),
+          Array.to_list dim_axes |> List.concat |> List.map fst )
+  | Op.Reduce_scatter { reduce; dim_axes } ->
+      Some
+        ( Printf.sprintf "reduce_scatter %s %s" (reduce_name reduce)
+            (dim_axes_to_string dim_axes),
+          Array.to_list dim_axes |> List.concat |> List.map fst )
+  | Op.All_to_all { src_dim; dst_dim; axes } ->
+      Some
+        ( Printf.sprintf "all_to_all %d->%d {%s}" src_dim dst_dim
+            (pairs_to_string axes),
+          List.map fst axes )
+  | _ -> None
+
+(* Recorded (axis, size) pairs of any collective, communicating or not. *)
+let recorded_pairs (op : Op.t) =
+  match op.kind with
+  | Op.All_reduce { axes; _ } | Op.All_to_all { axes; _ } -> axes
+  | Op.All_gather { dim_axes }
+  | Op.All_slice { dim_axes }
+  | Op.Reduce_scatter { dim_axes; _ } ->
+      Array.to_list dim_axes |> List.concat
+  | _ -> []
+
+let check_op_axes ~add ~mesh ~path (op : Op.t) =
+  let pairs = recorded_pairs op in
+  if pairs <> [] then begin
+    let seen = Hashtbl.create 4 in
+    List.iter
+      (fun (axis, size) ->
+        if Hashtbl.mem seen axis then
+          add
+            (D.error ~code:"CL003" ~path
+               "collective lists mesh axis %S more than once in one group"
+               axis)
+        else Hashtbl.replace seen axis ();
+        if not (Mesh.has_axis mesh axis) then
+          add
+            (D.error ~code:"CL001" ~path
+               "collective names unknown mesh axis %S (mesh %s)" axis
+               (Mesh.to_string mesh))
+        else if Mesh.axis_size mesh axis <> size then
+          add
+            (D.error ~code:"CL002" ~path
+               "collective records size %d for mesh axis %S, mesh has %d"
+               size axis (Mesh.axis_size mesh axis)))
+      pairs
+  end
+
+let trace mesh (f : Func.t) =
+  let n = Mesh.num_devices mesh in
+  let rec walk parent device acc ops =
+    List.fold_left
+      (fun (acc, i) (op : Op.t) ->
+        let path = op_path parent i op in
+        let acc =
+          match signature op with
+          | Some (desc, axes) when List.for_all (Mesh.has_axis mesh) axes ->
+              let group =
+                Mesh.group_peers mesh device axes
+                |> List.map (Mesh.linear_of_device mesh)
+                |> List.sort_uniq compare
+              in
+              { path; desc; group } :: acc
+          | _ -> acc
+        in
+        let acc =
+          match op.region with
+          | Some r -> walk path device acc r.body
+          | None -> acc
+        in
+        (acc, i + 1))
+      (acc, 0) ops
+    |> fst
+  in
+  Array.init n (fun d ->
+      let device = Mesh.device_of_linear mesh d in
+      List.rev (walk f.Func.name device [] f.Func.body))
+
+let check_traces mesh (traces : event list array) =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let n = Array.length traces in
+  if n <> Mesh.num_devices mesh then
+    add
+      (D.error ~code:"CL004" ~path:"traces"
+         "%d device traces for a %d-device mesh" n (Mesh.num_devices mesh));
+  (* Replica-group sanity per device: a device must be in its own group and
+     every member must exist. *)
+  let valid = Array.map (fun _ -> true) traces in
+  Array.iteri
+    (fun d events ->
+      List.iter
+        (fun e ->
+          let bad_member =
+            List.exists (fun m -> m < 0 || m >= n) e.group
+          in
+          if bad_member then begin
+            add
+              (D.error ~code:"CL004" ~path:e.path
+                 "replica group [%s] of %S names devices outside the %d-device \
+                  mesh"
+                 (String.concat "," (List.map string_of_int e.group))
+                 e.desc n);
+            valid.(d) <- false
+          end;
+          if not (List.mem d e.group) then begin
+            add
+              (D.error ~code:"CL004" ~path:e.path
+                 "device %d executes %S with replica group [%s] that does not \
+                  include itself"
+                 d e.desc
+                 (String.concat "," (List.map string_of_int e.group)));
+            valid.(d) <- false
+          end)
+        events)
+    traces;
+  if Array.for_all (fun v -> v) valid then begin
+    let queues = Array.map (fun es -> ref es) traces in
+    let next d = match !(queues.(d)) with [] -> None | e :: _ -> Some e in
+    let progressed = ref true in
+    while !progressed do
+      progressed := false;
+      for d = 0 to n - 1 do
+        match next d with
+        | Some e
+          when List.for_all
+                 (fun m ->
+                   match next m with
+                   | Some em -> em.desc = e.desc && em.group = e.group
+                   | None -> false)
+                 e.group ->
+            List.iter
+              (fun m -> queues.(m) := List.tl !(queues.(m)))
+              e.group;
+            progressed := true
+        | _ -> ()
+      done
+    done;
+    (* Anything left is a deadlock; explain the first stuck device. *)
+    let stuck = ref None in
+    for d = n - 1 downto 0 do
+      if next d <> None then stuck := Some d
+    done;
+    match !stuck with
+    | None -> ()
+    | Some d -> (
+        let e = Option.get (next d) in
+        let offender =
+          List.find_opt
+            (fun m ->
+              match next m with
+              | Some em -> em.desc <> e.desc || em.group <> e.group
+              | None -> true)
+            e.group
+        in
+        match offender with
+        | Some m -> (
+            match next m with
+            | None ->
+                add
+                  (D.error ~code:"CL006" ~path:e.path
+                     "device %d waits on %S with group [%s] but device %d has \
+                      already finished its program"
+                     d e.desc
+                     (String.concat "," (List.map string_of_int e.group))
+                     m)
+            | Some em when em.desc <> e.desc ->
+                add
+                  (D.error ~code:"CL005" ~path:e.path
+                     "mismatched collectives: device %d is at %S while group \
+                      member %d is at %S (%s)"
+                     d e.desc m em.desc em.path)
+            | Some em ->
+                add
+                  (D.error ~code:"CL004" ~path:e.path
+                     "device %d and device %d execute %S with different \
+                      replica groups ([%s] vs [%s]) — the groups do not \
+                      partition the mesh"
+                     d m e.desc
+                     (String.concat "," (List.map string_of_int e.group))
+                     (String.concat "," (List.map string_of_int em.group))))
+        | None ->
+            (* All members agree yet nothing progressed: a cross-group wait
+               cycle. *)
+            add
+              (D.error ~code:"CL005" ~path:e.path
+                 "collective wait cycle: device %d is blocked at %S although \
+                  every group member agrees on it"
+                 d e.desc))
+  end;
+  D.sort (List.rev !diags)
+
+let max_simulated_devices = 128
+
+let func ~mesh (f : Func.t) =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let rec walk parent ops =
+    List.iteri
+      (fun i (op : Op.t) ->
+        let path = op_path parent i op in
+        check_op_axes ~add ~mesh ~path op;
+        match op.region with Some r -> walk path r.body | None -> ())
+      ops
+  in
+  walk f.Func.name f.Func.body;
+  let static = D.sort (List.rev !diags) in
+  if
+    D.errors static <> []
+    || Mesh.num_devices mesh > max_simulated_devices
+  then static
+  else static @ check_traces mesh (trace mesh f)
+
+let program (p : Lower.program) = func ~mesh:p.Lower.mesh p.Lower.func

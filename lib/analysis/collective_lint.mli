@@ -1,0 +1,43 @@
+(** CollectiveLint: static detection of collective deadlocks.
+
+    Reduces each device's program to its ordered sequence of communicating
+    collectives and runs a rendezvous simulation: a replica group advances
+    only when every member's next event is the same collective over the
+    same group. Mismatched or misordered collectives and replica groups
+    that do not partition the mesh stall the simulation and are reported
+    as diagnostics.
+
+    Diagnostic codes (documented in DESIGN.md section 9):
+    - [CL001] collective names an unknown mesh axis
+    - [CL002] collective records the wrong size for a mesh axis
+    - [CL003] duplicate mesh axis within one collective group
+    - [CL004] replica groups do not partition the mesh (a group omits its
+      own device, names devices outside the mesh, or disagrees between
+      members)
+    - [CL005] mismatched/misordered collectives between group members
+    - [CL006] a device finishes while group peers still wait on it *)
+
+open Partir_hlo
+module Mesh = Partir_mesh.Mesh
+
+type event = { path : string; desc : string; group : int list }
+(** One communicating collective as seen by one device: the op [path], a
+    textual communication signature [desc], and the sorted linear device
+    ids of its replica group. *)
+
+val trace : Mesh.t -> Func.t -> event list array
+(** Per-device collective sequences of an SPMD function ([all_slice] is
+    device-local and excluded; [For] bodies contribute one iteration). *)
+
+val check_traces : Mesh.t -> event list array -> Diagnostic.t list
+(** Rendezvous-simulate hand-built or extracted traces. Used directly by
+    tests to plant misordered sequences; [trace]d SPMD programs are
+    order-identical by construction, so on those this mainly exercises the
+    group checks. *)
+
+val func : mesh:Mesh.t -> Func.t -> Diagnostic.t list
+(** Static per-op axis checks (CL001–CL003) plus, when they pass and the
+    mesh has at most 128 devices, the rendezvous simulation. *)
+
+val program : Partir_spmd.Lower.program -> Diagnostic.t list
+(** [func] applied to a lowered program's device-local function. *)

@@ -1,0 +1,47 @@
+type severity = Error | Warning
+
+type t = { code : string; severity : severity; path : string; message : string }
+
+let error ~code ~path fmt =
+  Format.kasprintf
+    (fun message -> { code; severity = Error; path; message })
+    fmt
+
+let warning ~code ~path fmt =
+  Format.kasprintf
+    (fun message -> { code; severity = Warning; path; message })
+    fmt
+
+let is_error d = d.severity = Error
+let errors ds = List.filter is_error ds
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+let to_string d =
+  Printf.sprintf "%s %s %s: %s"
+    (severity_to_string d.severity)
+    d.code d.path d.message
+
+let pp ppf d = Format.pp_print_string ppf (to_string d)
+
+let pp_list ppf ds =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_cut ppf ())
+    pp ppf ds
+
+let list_to_string ds = String.concat "\n" (List.map to_string ds)
+
+(* Stable report order: errors first, then by code, then by path, keeping
+   the emission order within equal keys deterministic. *)
+let sort ds =
+  List.stable_sort
+    (fun a b ->
+      match (a.severity, b.severity) with
+      | Error, Warning -> -1
+      | Warning, Error -> 1
+      | _ ->
+          let c = String.compare a.code b.code in
+          if c <> 0 then c else String.compare a.path b.path)
+    ds
+
+let has_code code ds = List.exists (fun d -> d.code = code) ds

@@ -1,0 +1,29 @@
+(** Structured diagnostics shared by every analysis pass.
+
+    A diagnostic carries a stable machine-checkable [code] (asserted by
+    tests and documented in DESIGN.md section 9), a [severity], the
+    slash-separated [path] of the op it is anchored to (e.g.
+    ["t32_spmd/op#3(for)/op#1(matmul)"]), and a human-readable message. *)
+
+type severity = Error | Warning
+
+type t = { code : string; severity : severity; path : string; message : string }
+
+val error :
+  code:string -> path:string -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+val warning :
+  code:string -> path:string -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+val is_error : t -> bool
+val errors : t list -> t list
+val severity_to_string : severity -> string
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val pp_list : Format.formatter -> t list -> unit
+val list_to_string : t list -> string
+
+val sort : t list -> t list
+(** Errors before warnings, then by code and path; deterministic. *)
+
+val has_code : string -> t list -> bool

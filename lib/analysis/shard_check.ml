@@ -1,0 +1,570 @@
+open Partir_hlo
+module Mesh = Partir_mesh.Mesh
+module Layout = Partir_spmd.Layout
+module Lower = Partir_spmd.Lower
+module D = Diagnostic
+
+(* {1 ShardCheck: a static sharding type system for lowered programs}
+
+   Abstract state per device-local value: for each dimension, either the
+   exact list of mesh axes the global tensor is sliced over (outermost
+   first, [Axes []] = precisely replicated) or [Flex] (unknown — e.g. after
+   a reshape); plus the value's "pending partial sums": the per-axis
+   reductions a downstream [all_reduce] still owes (deferred by fusion's
+   add-of-reduces rewrite). Transfer functions mirror {!Lower.convert}'s
+   gather/slice arithmetic exactly, so a conversion collective that does
+   not convert what it claims is a diagnostic, never a crash.
+
+   Precision policy: [Flex]/[Unknown] silence checks rather than guess —
+   ShardCheck must report zero diagnostics on every correctly lowered
+   program, so every rule errs on the permissive side. *)
+
+type dim_state = Flex | Axes of string list
+type pending = Unknown | Pending of (Op.reduce_kind * string) list
+type state = { dims : dim_state array; pending : pending }
+
+let op_path parent i (op : Op.t) =
+  Printf.sprintf "%s/op#%d(%s)" parent i (Op.kind_name op.kind)
+
+let rank (v : Value.t) = Array.length v.Value.ty.Value.shape
+let dim_size (v : Value.t) d = v.Value.ty.Value.shape.(d)
+let fresh_state v = { dims = Array.make (rank v) Flex; pending = Unknown }
+
+let canon mesh axes =
+  if List.for_all (Mesh.has_axis mesh) axes then
+    List.sort
+      (fun a b -> Int.compare (Mesh.axis_index mesh b) (Mesh.axis_index mesh a))
+      axes
+  else axes
+
+let axes_eq mesh a b = canon mesh a = canon mesh b
+
+let dim_state_to_string = function
+  | Flex -> "?"
+  | Axes axes -> "{" ^ String.concat "," axes ^ "}"
+
+let pending_to_string = function
+  | Unknown -> "?"
+  | Pending ps ->
+      "["
+      ^ String.concat ","
+          (List.map
+             (fun (k, a) ->
+               Printf.sprintf "%s@%s"
+                 (match k with
+                 | Op.Rsum -> "sum"
+                 | Op.Rmax -> "max"
+                 | Op.Rmin -> "min")
+                 a)
+             ps)
+      ^ "]"
+
+type ctx = {
+  mesh : Mesh.t;
+  env : (int, state) Hashtbl.t;
+  mutable diags : D.t list;
+}
+
+let add ctx d = ctx.diags <- d :: ctx.diags
+let bind ctx (v : Value.t) st = Hashtbl.replace ctx.env v.Value.id st
+
+let state_of ctx (v : Value.t) =
+  match Hashtbl.find_opt ctx.env v.Value.id with
+  | Some st -> st
+  | None -> fresh_state v
+
+(* Meet of two dim states that must describe the same slicing. *)
+let meet_dim ctx ~path ~what d a b =
+  match (a, b) with
+  | Flex, x | x, Flex -> x
+  | Axes xa, Axes xb ->
+      if axes_eq ctx.mesh xa xb then a
+      else begin
+        add ctx
+          (D.error ~code:"SC001" ~path
+             "%s disagree on dim %d sharding: %s vs %s" what d
+             (dim_state_to_string a) (dim_state_to_string b));
+        Flex
+      end
+
+let meet_dims ctx ~path ~what a b =
+  if Array.length a <> Array.length b then a
+  else Array.mapi (fun d da -> meet_dim ctx ~path ~what d da b.(d)) a
+
+(* A value consumed by an op that does not commute with its deferred
+   reductions: any known pending partial is an error. *)
+let consume_pending ctx ~path (v : Value.t) st =
+  (match st.pending with
+  | Pending (_ :: _ as ps) ->
+      add ctx
+        (D.error ~code:"SC005" ~path
+           "operand %%%d still carries pending partial sums %s into a \
+            non-deferring op"
+           v.Value.id
+           (pending_to_string (Pending ps)))
+  | Pending [] | Unknown -> ());
+  Pending []
+
+(* Add/Sub defer: fusion moves an [all_reduce] below an add only when both
+   sides owe identical reductions, so equal pendings pass through. *)
+let merge_pending ctx ~path a b =
+  match (a, b) with
+  | Unknown, _ | _, Unknown -> Unknown
+  | Pending pa, Pending pb ->
+      if List.sort compare pa = List.sort compare pb then Pending pa
+      else begin
+        add ctx
+          (D.error ~code:"SC005" ~path
+             "add/sub operands owe different pending partial sums: %s vs %s"
+             (pending_to_string a) (pending_to_string b));
+        Pending []
+      end
+
+let genesis kind = function
+  | Flex -> None
+  | Axes axes -> Some (List.map (fun a -> (kind, a)) axes)
+
+(* [all_gather] must gather a suffix of the tracked slicing (that is what
+   {!Lower.convert} peels); returns the remaining prefix. *)
+let gather_dim ctx ~path ~dim gathered st =
+  match st with
+  | Flex -> Flex
+  | Axes l ->
+      let nl = List.length l and ng = List.length gathered in
+      let prefix = List.filteri (fun i _ -> i < nl - ng) l in
+      let suffix = List.filteri (fun i _ -> i >= nl - ng) l in
+      if ng <= nl && suffix = gathered then Axes prefix
+      else begin
+        add ctx
+          (D.error ~code:"SC002" ~path
+             "all_gather on dim %d gathers {%s} but the value is sliced %s \
+              (gathered axes must be its innermost suffix)"
+             dim
+             (String.concat "," gathered)
+             (dim_state_to_string st));
+        Flex
+      end
+
+(* [all_slice] appends axes innermost; a repeated axis within the dim
+   (SC003) or across dims of the same value (SC004) over-slices. *)
+let slice_dims ctx ~path dim_axes dims =
+  let dims = Array.copy dims in
+  Array.iteri
+    (fun d sliced ->
+      if sliced <> [] && d < Array.length dims then begin
+        let here = match dims.(d) with Axes l -> l | Flex -> [] in
+        List.iter
+          (fun axis ->
+            if
+              List.mem axis here
+              || List.length (List.filter (( = ) axis) sliced) > 1
+            then
+              add ctx
+                (D.error ~code:"SC003" ~path
+                   "all_slice slices dim %d by mesh axis %S which already \
+                    slices that dim"
+                   d axis);
+            Array.iteri
+              (fun d' st' ->
+                match st' with
+                | Axes l' when d' <> d && List.mem axis l' ->
+                    add ctx
+                      (D.error ~code:"SC004" ~path
+                         "all_slice slices dim %d by mesh axis %S which \
+                          already slices dim %d of the same value"
+                         d axis d')
+                | _ -> ())
+              dims)
+          sliced;
+        dims.(d) <-
+          (match dims.(d) with
+          | Flex -> Flex
+          | Axes l -> Axes (l @ sliced))
+      end)
+    dim_axes;
+  dims
+
+let names_of pairs = List.map fst pairs
+
+(* Consume (reduce, axis) debts from a pending set; a reduction over an
+   axis nobody owes would change the value (SC006). *)
+let reduce_pending ctx ~path ~reduce axes pending =
+  match pending with
+  | Unknown -> Unknown
+  | Pending ps ->
+      Pending
+        (List.fold_left
+           (fun ps axis ->
+             if List.mem (reduce, axis) ps then
+               List.filter (( <> ) (reduce, axis)) ps
+             else begin
+               add ctx
+                 (D.error ~code:"SC006" ~path
+                    "all_reduce over mesh axis %S but no operand owes a \
+                     pending %s there (pending: %s)"
+                    axis
+                    (match reduce with
+                    | Op.Rsum -> "sum"
+                    | Op.Rmax -> "max"
+                    | Op.Rmin -> "min")
+                    (pending_to_string pending));
+               ps
+             end)
+           ps axes)
+
+let rec transfer ctx ~parent i (op : Op.t) =
+  let path = op_path parent i op in
+  let ops = List.map (fun v -> (v, state_of ctx v)) op.operands in
+  let result r = List.nth op.results r in
+  let consume_all () =
+    List.fold_left
+      (fun acc (v, st) ->
+        let p = consume_pending ctx ~path v st in
+        match (acc, p) with Pending [], Pending [] -> Pending [] | _ -> acc)
+      (Pending []) ops
+  in
+  let elementwise_meet ~what () =
+    match ops with
+    | [] -> [||]
+    | (_, st0) :: rest ->
+        List.fold_left
+          (fun acc (_, st) -> meet_dims ctx ~path ~what acc st.dims)
+          (Array.copy st0.dims) rest
+  in
+  let st =
+    match (op.kind, ops) with
+    | Op.Constant _, _ ->
+        (* Constants are not localized: full-shape on every device. *)
+        { dims = Array.make (rank (result 0)) (Axes []); pending = Pending [] }
+    | (Op.Splat _ | Op.Iota _), _ ->
+        { dims = Array.make (rank (result 0)) Flex; pending = Pending [] }
+    | Op.Identity, [ (_, st) ] -> st
+    | Op.Unary Op.Neg, [ (_, st) ] -> st
+    | Op.Unary _, [ (v, st) ] ->
+        { st with pending = consume_pending ctx ~path v st }
+    | Op.Binary (Op.Add | Op.Sub), [ (_, sa); (_, sb) ] ->
+        {
+          dims = meet_dims ctx ~path ~what:"add/sub operands" sa.dims sb.dims;
+          pending = merge_pending ctx ~path sa.pending sb.pending;
+        }
+    | (Op.Binary _ | Op.Compare _), [ _; _ ] ->
+        {
+          dims = elementwise_meet ~what:"elementwise operands" ();
+          pending = consume_all ();
+        }
+    | Op.Select, [ _; _; _ ] ->
+        {
+          dims = elementwise_meet ~what:"select operands" ();
+          pending = consume_all ();
+        }
+    | Op.Matmul, [ (a, sa); (b, sb) ] ->
+        let ra = rank a and rb = rank b and rr = rank (result 0) in
+        let dims = Array.make rr Flex in
+        if ra = rr && rb = rr then
+          for d = 0 to rr - 3 do
+            dims.(d) <-
+              meet_dim ctx ~path ~what:"matmul batch operands" d sa.dims.(d)
+                sb.dims.(d)
+          done;
+        if rr >= 2 then begin
+          dims.(rr - 2) <- sa.dims.(ra - 2);
+          dims.(rr - 1) <- sb.dims.(rb - 1)
+        end;
+        let contraction =
+          meet_dim ctx ~path ~what:"matmul contraction dims" (ra - 1)
+            sa.dims.(ra - 1)
+            sb.dims.(rb - 2)
+        in
+        let _ = consume_all () in
+        let pending =
+          match genesis Op.Rsum contraction with
+          | None -> Unknown
+          | Some ps -> Pending ps
+        in
+        { dims; pending }
+    | Op.Transpose { perm }, [ (_, st) ] ->
+        {
+          dims = Array.map (fun p -> st.dims.(p)) perm;
+          pending = st.pending;
+        }
+    | Op.Reshape _, [ (_, st) ] ->
+        { dims = Array.make (rank (result 0)) Flex; pending = st.pending }
+    | Op.Broadcast { dims = bdims; _ }, [ (v, st) ] ->
+        let out = Array.make (rank (result 0)) Flex in
+        Array.iteri
+          (fun i r ->
+            if dim_size v i = dim_size (result 0) r then out.(r) <- st.dims.(i))
+          bdims;
+        { dims = out; pending = st.pending }
+    | Op.Reduce { kind; dims = rdims }, [ (v, st) ] ->
+        let reduced = Array.to_list rdims in
+        let kept = ref [] in
+        Array.iteri
+          (fun d s -> if not (List.mem d reduced) then kept := s :: !kept)
+          st.dims;
+        let operand_pending = consume_pending ctx ~path v st in
+        let pending =
+          if st.pending = Unknown then Unknown
+          else
+            List.fold_left
+              (fun acc d ->
+                match (acc, genesis kind st.dims.(d)) with
+                | Unknown, _ | _, None -> Unknown
+                | Pending ps, Some more -> Pending (ps @ more))
+              operand_pending reduced
+        in
+        { dims = Array.of_list (List.rev !kept); pending }
+    | Op.Concat { dim }, _ :: _ ->
+        let dims = elementwise_meet ~what:"concat operands" () in
+        let dims = Array.copy dims in
+        List.iter
+          (fun ((v : Value.t), st) ->
+            match st.dims.(dim) with
+            | Axes (_ :: _) ->
+                add ctx
+                  (D.error ~code:"SC010" ~path
+                     "concat along dim %d of %%%d which is sharded %s \
+                      (device-local concat would interleave chunks)"
+                     dim v.Value.id
+                     (dim_state_to_string st.dims.(dim)))
+            | _ -> ())
+          ops;
+        (if
+           not
+             (List.for_all (fun (_, st) -> st.dims.(dim) = Axes []) ops)
+         then dims.(dim) <- Flex);
+        { dims; pending = consume_all () }
+    | Op.Slice { starts; limits }, [ (v, st) ] ->
+        let dims =
+          Array.mapi
+            (fun d s ->
+              if starts.(d) = 0 && limits.(d) = dim_size v d then s
+              else
+                match s with
+                | Axes (_ :: _) ->
+                    add ctx
+                      (D.error ~code:"SC010" ~path
+                         "slice [%d,%d) on dim %d of %%%d which is sharded \
+                          %s (a partial slice of a sharded dim reads across \
+                          chunks)"
+                         starts.(d) limits.(d) d v.Value.id
+                         (dim_state_to_string s));
+                    Flex
+                | Axes [] -> Axes []
+                | Flex -> Flex)
+            st.dims
+        in
+        { dims; pending = consume_all () }
+    | Op.Dynamic_slice { sizes }, (v, st) :: _ ->
+        let dims =
+          Array.mapi
+            (fun d s ->
+              if sizes.(d) = dim_size v d then s
+              else
+                match s with
+                | Axes (_ :: _) ->
+                    add ctx
+                      (D.error ~code:"SC010" ~path
+                         "dynamic_slice of size %d on dim %d of %%%d which \
+                          is sharded %s"
+                         sizes.(d) d v.Value.id (dim_state_to_string s));
+                    Flex
+                | s -> s)
+            st.dims
+        in
+        { dims; pending = consume_all () }
+    | Op.Pad { low; high; _ }, [ (v, st) ] ->
+        let dims =
+          Array.mapi
+            (fun d s ->
+              if low.(d) = 0 && high.(d) = 0 then s
+              else
+                match s with
+                | Axes (_ :: _) ->
+                    add ctx
+                      (D.error ~code:"SC010" ~path
+                         "pad (%d,%d) on dim %d of %%%d which is sharded %s \
+                          (device-local pad would pad every chunk)"
+                         low.(d) high.(d) d v.Value.id (dim_state_to_string s));
+                    Flex
+                | Axes [] -> Axes []
+                | Flex -> Flex)
+            st.dims
+        in
+        { dims; pending = consume_all () }
+    | Op.Dynamic_update_slice, (a, sa) :: (upd, _) :: _ ->
+        let dims =
+          Array.mapi
+            (fun d s -> if dim_size a d = dim_size upd d then s else Flex)
+            sa.dims
+        in
+        { dims; pending = consume_all () }
+    | (Op.Take _ | Op.Conv2d _ | Op.Conv2d_input_grad _), _ ->
+        let _ = consume_all () in
+        { dims = Array.make (rank (result 0)) Flex; pending = Unknown }
+    | (Op.Scatter_add _ | Op.Conv2d_kernel_grad _), _ ->
+        (* Both may owe contraction partials (scatter edge rule / conv
+           contraction); the lowering's own all_reduce follows at once. *)
+        let _ = consume_all () in
+        { dims = Array.make (rank (result 0)) Flex; pending = Unknown }
+    | Op.For { n_carries; _ }, _ -> (
+        match op.region with
+        | None -> fresh_state (result 0)
+        | Some r ->
+            List.iter
+              (fun (v, st) -> ignore (consume_pending ctx ~path v st))
+              ops;
+            (match r.params with
+            | [] -> ()
+            | iter :: registers ->
+                bind ctx iter
+                  { dims = Array.make (rank iter) (Axes []); pending = Pending [] };
+                List.iteri
+                  (fun k (p : Value.t) ->
+                    match List.nth_opt ops k with
+                    | Some (_, st) ->
+                        bind ctx p { dims = st.dims; pending = Pending [] }
+                    | None -> bind ctx p (fresh_state p))
+                  registers);
+            List.iteri (fun j bop -> transfer ctx ~parent:path j bop) r.body;
+            let registers =
+              match r.params with [] -> [] | _ :: rs -> rs
+            in
+            List.iteri
+              (fun k (y : Value.t) ->
+                if k < n_carries then begin
+                  let sy = state_of ctx y in
+                  (match sy.pending with
+                  | Pending (_ :: _) ->
+                      add ctx
+                        (D.error ~code:"SC008" ~path
+                           "loop yield %d (%%%d) still owes pending partial \
+                            sums %s"
+                           k y.Value.id
+                           (pending_to_string sy.pending))
+                  | _ -> ());
+                  let carry_dims =
+                    match List.nth_opt registers k with
+                    | Some (p : Value.t) ->
+                        let sp = state_of ctx p in
+                        Array.mapi
+                          (fun d yd ->
+                            if d < Array.length sp.dims then
+                              match (yd, sp.dims.(d)) with
+                              | Flex, x | x, Flex -> x
+                              | Axes ya, Axes pa ->
+                                  if axes_eq ctx.mesh ya pa then yd
+                                  else begin
+                                    add ctx
+                                      (D.error ~code:"SC009" ~path
+                                         "loop carry %d changes sharding \
+                                          across iterations on dim %d: \
+                                          enters %s, yields %s"
+                                         k d
+                                         (dim_state_to_string (Axes pa))
+                                         (dim_state_to_string yd));
+                                    Flex
+                                  end
+                            else yd)
+                          sy.dims
+                    | None -> sy.dims
+                  in
+                  if k < List.length op.results then
+                    bind ctx (result k)
+                      { dims = carry_dims; pending = Pending [] }
+                end)
+              r.yields;
+            (* Results already bound above; signal with an empty state. *)
+            { dims = [||]; pending = Pending [] })
+    | Op.All_reduce { axes; reduce }, [ (_, st) ] ->
+        {
+          dims = st.dims;
+          pending = reduce_pending ctx ~path ~reduce (names_of axes) st.pending;
+        }
+    | Op.All_gather { dim_axes }, [ (_, st) ] ->
+        let dims =
+          Array.mapi
+            (fun d s ->
+              let g = names_of dim_axes.(d) in
+              if g = [] then s else gather_dim ctx ~path ~dim:d g s)
+            st.dims
+        in
+        { dims; pending = st.pending }
+    | Op.All_slice { dim_axes }, [ (_, st) ] ->
+        {
+          dims = slice_dims ctx ~path (Array.map names_of dim_axes) st.dims;
+          pending = st.pending;
+        }
+    | Op.Reduce_scatter { reduce; dim_axes }, [ (_, st) ] ->
+        let axes = Array.to_list dim_axes |> List.concat |> names_of in
+        let pending = reduce_pending ctx ~path ~reduce axes st.pending in
+        {
+          dims = slice_dims ctx ~path (Array.map names_of dim_axes) st.dims;
+          pending;
+        }
+    | Op.All_to_all { src_dim; dst_dim; axes }, [ (_, st) ] ->
+        let names = names_of axes in
+        let dims = Array.copy st.dims in
+        dims.(src_dim) <- gather_dim ctx ~path ~dim:src_dim names dims.(src_dim);
+        let slice_spec = Array.make (Array.length dims) [] in
+        slice_spec.(dst_dim) <- names;
+        { dims = slice_dims ctx ~path slice_spec dims; pending = st.pending }
+    | _, _ ->
+        (* Arity surprises are Verify's to report; stay permissive here. *)
+        let _ = consume_all () in
+        fresh_state (result 0)
+  in
+  match op.kind with
+  | Op.For _ -> ()
+  | _ -> List.iter (fun (v : Value.t) -> bind ctx v st) op.results
+
+let program (p : Lower.program) =
+  let ctx = { mesh = p.Lower.mesh; env = Hashtbl.create 64; diags = [] } in
+  let f = p.Lower.func in
+  (try
+     List.iter2
+       (fun (v : Value.t) layout ->
+         bind ctx v
+           { dims = Array.map (fun axes -> Axes axes) layout; pending = Pending [] })
+       f.Func.params p.Lower.input_layouts
+   with Invalid_argument _ ->
+     add ctx
+       (D.error ~code:"SC007" ~path:f.Func.name
+          "program records %d input layouts for %d device-local parameters"
+          (List.length p.Lower.input_layouts)
+          (List.length f.Func.params)));
+  List.iteri (fun i op -> transfer ctx ~parent:f.Func.name i op) f.Func.body;
+  (if List.length f.Func.results = List.length p.Lower.output_layouts then
+     List.iteri
+       (fun r (v : Value.t) ->
+         let declared = List.nth p.Lower.output_layouts r in
+         let st = state_of ctx v in
+         (match st.pending with
+         | Pending (_ :: _) ->
+             add ctx
+               (D.error ~code:"SC008" ~path:f.Func.name
+                  "result %d (%%%d) still owes pending partial sums %s"
+                  r v.Value.id
+                  (pending_to_string st.pending))
+         | _ -> ());
+         Array.iteri
+           (fun d s ->
+             if d < Array.length declared then
+               match s with
+               | Axes l when not (axes_eq ctx.mesh l declared.(d)) ->
+                   add ctx
+                     (D.error ~code:"SC007" ~path:f.Func.name
+                        "result %d (%%%d) dim %d is sharded %s but the \
+                         program declares layout {%s}"
+                        r v.Value.id d (dim_state_to_string s)
+                        (String.concat "," declared.(d)))
+               | _ -> ())
+           st.dims)
+       f.Func.results
+   else
+     add ctx
+       (D.error ~code:"SC007" ~path:f.Func.name
+          "program records %d output layouts for %d device-local results"
+          (List.length p.Lower.output_layouts)
+          (List.length f.Func.results)));
+  D.sort (List.rev ctx.diags)

@@ -1,0 +1,25 @@
+(** ShardCheck: a static sharding type system for lowered programs.
+
+    Propagates an abstract layout (per-dim mesh-axis lists, or unknown)
+    and a "pending partial sums" set through the device-local function,
+    confirming operand-layout consistency and that every conversion
+    collective converts exactly what it claims — without running
+    [Spmd_interp].
+
+    Diagnostic codes (documented in DESIGN.md section 9):
+    - [SC001] operands disagree on a dim's sharding
+    - [SC002] all_gather gathers axes that are not the dim's innermost suffix
+    - [SC003] all_slice repeats a mesh axis on one dim
+    - [SC004] all_slice reuses a mesh axis across dims of one value
+    - [SC005] pending partial sums consumed by a non-deferring op
+    - [SC006] all_reduce over an axis with no pending partial
+    - [SC007] result sharding differs from the declared output layout
+    - [SC008] pending partial sums survive to a result or loop yield
+    - [SC009] loop carry changes sharding across iterations
+    - [SC010] concat/slice/pad along a sharded dim
+
+    Unknown abstract states silence checks rather than guess: a correctly
+    lowered (fused or unfused) program reports zero diagnostics. *)
+
+val program : Partir_spmd.Lower.program -> Diagnostic.t list
+(** Check a lowered program. Returns sorted diagnostics; never raises. *)

@@ -1,0 +1,353 @@
+open Partir_tensor
+open Partir_hlo
+module Mesh = Partir_mesh.Mesh
+module Staged = Partir_core.Staged
+module Action = Partir_core.Action
+module D = Diagnostic
+
+(* {1 The Verify pass}
+
+   Re-derives every op's result types through [Op.infer] and layers the
+   checks the builder-trusting pipeline never makes: operand dtype
+   agreement, [For] region register typing (params = iter :: operand-typed
+   registers, yields typed as the carries), and mesh-aware collective
+   validity. All findings are diagnostics, never exceptions, so one broken
+   op does not hide the next. *)
+
+let op_path parent i (op : Op.t) =
+  Printf.sprintf "%s/op#%d(%s)" parent i (Op.kind_name op.kind)
+
+let dtype_name = Dtype.to_string
+
+(* Operand dtype agreement beyond [Op.infer]'s shape checks. [Compare] is
+   deliberately exempt: models compare I32 index tensors against F32 iota
+   ramps (one-hot construction), which the interpreters define. *)
+let check_dtypes ~add ~path (op : Op.t) =
+  let dt (v : Value.t) = v.Value.ty.Value.dtype in
+  let same what (a : Value.t) (b : Value.t) =
+    if dt a <> dt b then
+      add
+        (D.error ~code:"V007" ~path
+           "%s operands disagree on dtype: %%%d is %s, %%%d is %s" what
+           a.Value.id (dtype_name (dt a)) b.Value.id (dtype_name (dt b)))
+  in
+  match (op.kind, op.operands) with
+  | Op.Binary _, [ a; b ] -> same (Op.kind_name op.kind) a b
+  | Op.Matmul, [ a; b ] -> same "matmul" a b
+  | Op.Select, [ p; a; b ] ->
+      if dt p <> Dtype.Bool then
+        add
+          (D.error ~code:"V007" ~path
+             "select predicate %%%d must be bool, got %s" p.Value.id
+             (dtype_name (dt p)));
+      same "select branch" a b
+  | Op.Concat _, first :: rest ->
+      List.iter (fun v -> same "concat" first v) rest
+  | Op.Dynamic_update_slice, a :: upd :: _ ->
+      same "dynamic_update_slice operand/update" a upd
+  | _ -> ()
+
+(* Mesh-aware collective checks: every recorded (axis, size) pair must name
+   a mesh axis (V009) with the recorded size (V010), and no axis may appear
+   twice in one collective (V011). *)
+let check_collective_axes ~add ~path ~mesh (op : Op.t) =
+  let pairs =
+    match op.kind with
+    | Op.All_reduce { axes; _ } | Op.All_to_all { axes; _ } -> axes
+    | Op.All_gather { dim_axes }
+    | Op.All_slice { dim_axes }
+    | Op.Reduce_scatter { dim_axes; _ } ->
+        Array.to_list dim_axes |> List.concat
+    | _ -> []
+  in
+  match (pairs, mesh) with
+  | [], _ | _, None -> ()
+  | pairs, Some mesh ->
+      let seen = Hashtbl.create 4 in
+      List.iter
+        (fun (axis, size) ->
+          if Hashtbl.mem seen axis then
+            add
+              (D.error ~code:"V011" ~path
+                 "collective lists mesh axis %S more than once" axis)
+          else Hashtbl.replace seen axis ();
+          if not (Mesh.has_axis mesh axis) then
+            add
+              (D.error ~code:"V009" ~path
+                 "collective names unknown mesh axis %S (mesh %s)" axis
+                 (Mesh.to_string mesh))
+          else if Mesh.axis_size mesh axis <> size then
+            add
+              (D.error ~code:"V010" ~path
+                 "collective records size %d for mesh axis %S, mesh has %d"
+                 size axis (Mesh.axis_size mesh axis)))
+        pairs
+
+let pp_ty ppf (ty : Value.ttype) =
+  Format.fprintf ppf "%a%s" Shape.pp ty.Value.shape
+    (dtype_name ty.Value.dtype)
+
+(* [For] region register typing (V008): params are [iter :: registers], the
+   iter is a scalar I32, register [k] is typed like operand [k], and yield
+   [k] is typed like carry register [k]. [Op.infer] only checks arities. *)
+let check_for_region ~add ~path ~n_carries (op : Op.t) (r : Op.region) =
+  (match r.params with
+  | [] -> ()
+  | iter :: registers ->
+      (if
+         not
+           (Shape.is_scalar iter.Value.ty.Value.shape
+           && iter.Value.ty.Value.dtype = Dtype.I32)
+       then
+         add
+           (D.error ~code:"V008" ~path
+              "for: induction register %%%d must be a scalar i32, got %a"
+              iter.Value.id pp_ty iter.Value.ty));
+      List.iteri
+        (fun k (p : Value.t) ->
+          match List.nth_opt op.operands k with
+          | Some (o : Value.t) when not (Value.ttype_equal p.Value.ty o.Value.ty)
+            ->
+              add
+                (D.error ~code:"V008" ~path
+                   "for: region register %d (%%%d: %s) is not typed like its \
+                    operand %%%d (%s)"
+                   k p.Value.id
+                   (Format.asprintf "%a" pp_ty p.Value.ty)
+                   o.Value.id
+                   (Format.asprintf "%a" pp_ty o.Value.ty))
+          | _ -> ())
+        registers;
+      List.iteri
+        (fun k (y : Value.t) ->
+          if k < n_carries then
+            match List.nth_opt registers k with
+            | Some (p : Value.t)
+              when not (Value.ttype_equal y.Value.ty p.Value.ty) ->
+                add
+                  (D.error ~code:"V008" ~path
+                     "for: yield %d (%%%d: %s) is not typed like carry \
+                      register %%%d (%s)"
+                     k y.Value.id
+                     (Format.asprintf "%a" pp_ty y.Value.ty)
+                     p.Value.id
+                     (Format.asprintf "%a" pp_ty p.Value.ty))
+            | _ -> ())
+        r.yields)
+
+let rec check_ops ~add ~mesh ~defined ~parent (ops : Op.t list) =
+  List.fold_left
+    (fun (defined, i) (op : Op.t) ->
+      let path = op_path parent i op in
+      List.iter
+        (fun (v : Value.t) ->
+          if not (Value.Set.mem v.Value.id defined) then
+            add
+              (D.error ~code:"V001" ~path
+                 "operand %%%d (%s) used before definition" v.Value.id
+                 v.Value.name))
+        op.operands;
+      check_dtypes ~add ~path op;
+      check_collective_axes ~add ~path ~mesh op;
+      (match
+         Op.infer op.kind
+           (List.map (fun (v : Value.t) -> v.Value.ty) op.operands)
+           op.region
+       with
+      | exception Op.Type_error msg ->
+          add (D.error ~code:"V004" ~path "type inference failed: %s" msg)
+      | inferred ->
+          if List.length inferred <> List.length op.results then
+            add
+              (D.error ~code:"V005" ~path
+                 "result arity mismatch: inference gives %d results, op \
+                  records %d"
+                 (List.length inferred) (List.length op.results))
+          else
+            List.iteri
+              (fun r ty ->
+                let v = List.nth op.results r in
+                if not (Value.ttype_equal ty v.Value.ty) then
+                  add
+                    (D.error ~code:"V006" ~path
+                       "result %d (%%%d) recorded as %s but inference gives \
+                        %s"
+                       r v.Value.id
+                       (Format.asprintf "%a" pp_ty v.Value.ty)
+                       (Format.asprintf "%a" pp_ty ty)))
+              inferred);
+      (match (op.kind, op.region) with
+      | Op.For { n_carries; _ }, Some r ->
+          check_for_region ~add ~path ~n_carries op r
+      | _ -> ());
+      (match op.region with
+      | None -> ()
+      | Some r ->
+          (* Regions are closed: only their own params are in scope. *)
+          let region_defined =
+            List.fold_left
+              (fun acc (v : Value.t) -> Value.Set.add v.Value.id acc)
+              Value.Set.empty r.params
+          in
+          let region_defined =
+            check_ops ~add ~mesh ~defined:region_defined ~parent:path r.body
+          in
+          List.iter
+            (fun (v : Value.t) ->
+              if not (Value.Set.mem v.Value.id region_defined) then
+                add
+                  (D.error ~code:"V003" ~path
+                     "region yield %%%d is not defined in the region"
+                     v.Value.id))
+            r.yields);
+      let defined =
+        List.fold_left
+          (fun acc (v : Value.t) ->
+            if Value.Set.mem v.Value.id acc then begin
+              add
+                (D.error ~code:"V002" ~path "duplicate definition of %%%d"
+                   v.Value.id);
+              acc
+            end
+            else Value.Set.add v.Value.id acc)
+          defined op.results
+      in
+      (defined, i + 1))
+    (defined, 0) ops
+  |> fst
+
+let func ?mesh (f : Func.t) =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let defined =
+    List.fold_left
+      (fun acc (v : Value.t) -> Value.Set.add v.Value.id acc)
+      Value.Set.empty f.Func.params
+  in
+  let defined = check_ops ~add ~mesh ~defined ~parent:f.Func.name f.Func.body in
+  List.iter
+    (fun (v : Value.t) ->
+      if not (Value.Set.mem v.Value.id defined) then
+        add
+          (D.error ~code:"V003" ~path:f.Func.name
+             "function result %%%d is not defined" v.Value.id))
+    f.Func.results;
+  D.sort (List.rev !diags)
+
+(* {1 Staged well-formedness}
+
+   PartIR:Core invariants on loop nests: every nest axis exists in the
+   mesh (S001), entry arrays match the op's operand/result arity (S002),
+   one mesh axis never tiles two different dims of one value (S003), and
+   every tiled/sliced dim is divisible by the product of the distinct axes
+   on it (S004) — the diagnostic twin of {!Staged.validate}. *)
+
+let check_entry_sides ~add ~path ~mesh (s : Staged.sop) =
+  let axis_size a = Mesh.axis_size mesh a in
+  let side_checks values dims_of_entry side =
+    List.iteri
+      (fun i (v : Value.t) ->
+        (* axis -> dims it acts on; dim -> axes slicing it. *)
+        let axis_dims = Hashtbl.create 4 in
+        let by_dim = Hashtbl.create 4 in
+        List.iter
+          (fun (e : Action.entry) ->
+            match dims_of_entry e i with
+            | Some d ->
+                Hashtbl.replace by_dim d
+                  (e.Action.axis
+                  :: Option.value ~default:[] (Hashtbl.find_opt by_dim d));
+                Hashtbl.replace axis_dims e.Action.axis
+                  (d
+                  :: Option.value ~default:[]
+                       (Hashtbl.find_opt axis_dims e.Action.axis))
+            | None -> ())
+          s.Staged.nest;
+        Hashtbl.iter
+          (fun axis dims ->
+            match List.sort_uniq compare dims with
+            | _ :: _ :: _ as ds ->
+                add
+                  (D.error ~code:"S003" ~path
+                     "mesh axis %S tiles %s %d (%%%d) on distinct dims [%s]"
+                     axis side i v.Value.id
+                     (String.concat ", " (List.map string_of_int ds)))
+            | _ -> ())
+          axis_dims;
+        Hashtbl.iter
+          (fun dim axes ->
+            (* Same-axis re-tiling conversions mention an axis twice for one
+               dim; it still slices once, so dedupe before the product. *)
+            let axes = List.sort_uniq compare axes in
+            let known = List.filter (Mesh.has_axis mesh) axes in
+            let total =
+              List.fold_left (fun acc a -> acc * axis_size a) 1 known
+            in
+            let size = v.Value.ty.Value.shape.(dim) in
+            if known <> [] && size mod total <> 0 then
+              add
+                (D.error ~code:"S004" ~path
+                   "%s %d (%%%d) dim %d has size %d, not divisible by mesh \
+                    ax%s %s (product %d)"
+                   side i v.Value.id dim size
+                   (if List.length known > 1 then "es" else "is")
+                   (String.concat "*"
+                      (List.map
+                         (fun a -> Printf.sprintf "%S:%d" a (axis_size a))
+                         known))
+                   total))
+          by_dim)
+      values
+  in
+  List.iter
+    (fun (e : Action.entry) ->
+      if not (Mesh.has_axis mesh e.Action.axis) then
+        add
+          (D.error ~code:"S001" ~path
+             "nest entry names unknown mesh axis %S (mesh %s)" e.Action.axis
+             (Mesh.to_string mesh));
+      let n_operands = List.length s.Staged.op.operands
+      and n_results = List.length s.Staged.op.results in
+      if
+        Array.length e.Action.operand_dims <> n_operands
+        || Array.length e.Action.result_actions <> n_results
+      then
+        add
+          (D.error ~code:"S002" ~path
+             "nest entry on axis %S has %d operand slots and %d result slots \
+              for an op with %d operands and %d results"
+             e.Action.axis
+             (Array.length e.Action.operand_dims)
+             (Array.length e.Action.result_actions)
+             n_operands n_results))
+    s.Staged.nest;
+  side_checks s.Staged.op.operands
+    (fun (e : Action.entry) i ->
+      if i < Array.length e.Action.operand_dims then e.Action.operand_dims.(i)
+      else None)
+    "operand";
+  side_checks s.Staged.op.results
+    (fun (e : Action.entry) i ->
+      if i < Array.length e.Action.result_actions then
+        match e.Action.result_actions.(i) with
+        | Action.Tile d -> Some d
+        | Action.Reduce _ | Action.Any -> None
+      else None)
+    "result"
+
+let staged (t : Staged.t) =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let mesh = t.Staged.mesh in
+  let rec walk parent sops =
+    List.iteri
+      (fun i (s : Staged.sop) ->
+        let path = op_path parent i s.Staged.op in
+        check_entry_sides ~add ~path ~mesh s;
+        walk path s.Staged.region_body)
+      sops
+  in
+  walk t.Staged.name t.Staged.body;
+  let nest_diags = D.sort (List.rev !diags) in
+  let func_diags = func ~mesh (Staged.to_func_unchecked t) in
+  D.sort (func_diags @ nest_diags)

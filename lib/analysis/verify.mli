@@ -1,0 +1,34 @@
+(** The Verify pass: full shape/dtype inference re-derivation for every
+    PartIR:HLO op (including [For] regions and collectives) plus
+    PartIR:Core staged-module well-formedness.
+
+    Diagnostic codes (documented in DESIGN.md section 9):
+    - [V001] operand used before definition
+    - [V002] duplicate SSA definition
+    - [V003] function result / region yield not defined
+    - [V004] [Op.infer] rejected the op (shape inference failure)
+    - [V005] result arity differs from inference
+    - [V006] recorded result type differs from inference
+    - [V007] operand dtype mismatch (binary/matmul/concat/select/dus;
+      [Compare] is exempt — models compare I32 indices against F32 iota)
+    - [V008] [For] region register typing (iter scalar i32, registers typed
+      like operands, yields typed like carry registers)
+    - [V009] collective names an unknown mesh axis
+    - [V010] collective records the wrong size for a mesh axis
+    - [V011] collective lists a mesh axis twice
+    - [S001] nest entry names an unknown mesh axis
+    - [S002] nest entry operand/result slot arity differs from the op
+    - [S003] one mesh axis tiles two different dims of one value
+    - [S004] tiled dim not divisible by the product of its mesh axes *)
+
+open Partir_hlo
+
+val func : ?mesh:Partir_mesh.Mesh.t -> Func.t -> Diagnostic.t list
+(** Verify a function. With [~mesh], collectives are additionally checked
+    against the mesh (V009–V011). Returns sorted diagnostics; empty means
+    the function verifies. Never raises. *)
+
+val staged : Partir_core.Staged.t -> Diagnostic.t list
+(** Verify a staged module: the underlying function (via an unchecked
+    materialization, so broken modules still produce diagnostics rather
+    than exceptions) plus every loop-nest entry (S001–S004). *)

@@ -13,6 +13,9 @@ module Stats = struct
     failed_evaluations : int;
         (* pipeline runs that raised (illegal action combination, lowering
            or semantics failure) and were scored as infeasible *)
+    failure_kinds : (string * int) list;
+        (* infeasible-rollout counts by structured cause ("action",
+           "spmd", "temporal", "type", "verify", ...), most common first *)
     cache_lookups : int;
     cache_hits : int;
     domains_used : int;
@@ -23,10 +26,17 @@ module Stats = struct
 
   let pp ppf s =
     Format.fprintf ppf
-      "%d iters, %d evals (%d/%d cache hits, %d infeasible), %d domain%s, \
+      "%d iters, %d evals (%d/%d cache hits, %d infeasible%s), %d domain%s, \
        %.2fs, best %.2fms (baseline %.2fms)"
       s.iterations s.evaluations s.cache_hits s.cache_lookups
-      s.failed_evaluations s.domains_used
+      s.failed_evaluations
+      (match s.failure_kinds with
+      | [] -> ""
+      | kinds ->
+          ": "
+          ^ String.concat ", "
+              (List.map (fun (k, n) -> Printf.sprintf "%d %s" n k) kinds))
+      s.domains_used
       (if s.domains_used = 1 then "" else "s")
       s.wall_seconds s.best_cost s.baseline_cost
 
@@ -132,6 +142,7 @@ type eval_ctx = {
   mutable hits : int;
   mutable evals : int;
   mutable failed : int;
+  failed_by_kind : (string, int) Hashtbl.t;
   mutable domains_used : int;
 }
 
@@ -147,19 +158,27 @@ let raw_cost opts base poss source_flops (dv : decision array) =
   try
     Array.iteri (fun i d -> apply_decision staged poss.(i) d) dv;
     ignore (Propagate.run staged);
-    evaluate ~source_flops opts staged
+    (evaluate ~source_flops opts staged, None)
   with
-  | Staged.Action_error _
-  | Partir_spmd.Spmd_interp.Spmd_error _
-  | Partir_temporal.Temporal.Semantics_error _
-  | Op.Type_error _
-  | Func.Verification_error _
-  | Invalid_argument _
-  | Failure _ ->
-      infinity
+  | Staged.Action_error _ -> (infinity, Some "action")
+  | Partir_spmd.Spmd_interp.Spmd_error _ -> (infinity, Some "spmd")
+  | Partir_temporal.Temporal.Semantics_error _ -> (infinity, Some "temporal")
+  | Op.Type_error _ -> (infinity, Some "type")
+  | Func.Verification_error _ -> (infinity, Some "verify")
+  | Invalid_argument _ -> (infinity, Some "invalid-argument")
+  | Failure _ -> (infinity, Some "failure")
 
-let count_failures ctx (costs : float array) =
-  Array.iter (fun c -> if c = infinity then ctx.failed <- ctx.failed + 1) costs
+(* Aggregated post-join on the coordinating domain (the hashtable is not
+   thread-safe; worker domains only fill disjoint array slots). *)
+let count_failures ctx (kinds : string option array) =
+  Array.iter
+    (function
+      | None -> ()
+      | Some k ->
+          ctx.failed <- ctx.failed + 1;
+          Hashtbl.replace ctx.failed_by_kind k
+            (1 + Option.value ~default:0 (Hashtbl.find_opt ctx.failed_by_kind k)))
+    kinds
 
 (* Evaluate a batch of uncached vectors, fanning work out over a small
    domain pool when [parallelism > 1]. Work distribution never affects
@@ -167,8 +186,11 @@ let count_failures ctx (costs : float array) =
 let run_work ctx (work : decision array array) =
   let m = Array.length work in
   let out = Array.make m infinity in
+  let kinds = Array.make m None in
   let eval i =
-    out.(i) <- raw_cost ctx.opts ctx.base ctx.poss ctx.source_flops work.(i)
+    let c, k = raw_cost ctx.opts ctx.base ctx.poss ctx.source_flops work.(i) in
+    out.(i) <- c;
+    kinds.(i) <- k
   in
   let p = max 1 (min ctx.opts.parallelism m) in
   ctx.domains_used <- max ctx.domains_used p;
@@ -190,7 +212,7 @@ let run_work ctx (work : decision array array) =
      Array.iter Domain.join domains
    end);
   ctx.evals <- ctx.evals + m;
-  count_failures ctx out;
+  count_failures ctx kinds;
   out
 
 (* Costs for a batch of requested vectors, in request order. Requests
@@ -257,6 +279,7 @@ let make_ctx opts (staged : Staged.t) ~axes =
       hits = 0;
       evals = 0;
       failed = 0;
+      failed_by_kind = Hashtbl.create 8;
       domains_used = 1;
     }
   in
@@ -264,8 +287,9 @@ let make_ctx opts (staged : Staged.t) ~axes =
   let dv = Array.make (Array.length poss) Skip in
   ctx.lookups <- ctx.lookups + 1;
   ctx.evals <- ctx.evals + 1;
-  ctx.baseline <- raw_cost opts staged poss source_flops dv;
-  count_failures ctx [| ctx.baseline |];
+  let baseline, kind = raw_cost opts staged poss source_flops dv in
+  ctx.baseline <- baseline;
+  count_failures ctx [| kind |];
   if opts.memoize then Hashtbl.replace ctx.cache ctx.skip_key ctx.baseline;
   ctx
 
@@ -275,6 +299,10 @@ let stats_of ctx ~wall_seconds ~iterations ~best_cost ~trajectory =
     iterations;
     evaluations = ctx.evals;
     failed_evaluations = ctx.failed;
+    failure_kinds =
+      Hashtbl.fold (fun k n acc -> (k, n) :: acc) ctx.failed_by_kind []
+      |> List.sort (fun (ka, na) (kb, nb) ->
+             if na <> nb then Int.compare nb na else String.compare ka kb);
     cache_lookups = ctx.lookups;
     cache_hits = ctx.hits;
     domains_used = ctx.domains_used;

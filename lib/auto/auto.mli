@@ -24,6 +24,10 @@ module Stats : sig
         (** pipeline runs that raised ([Action_error], [Spmd_error],
             [Semantics_error], ...) and were scored as infeasible
             (infinite cost) instead of crashing the search *)
+    failure_kinds : (string * int) list;
+        (** the same failures attributed to their structured cause —
+            ["action"], ["spmd"], ["temporal"], ["type"], ["verify"],
+            ["invalid-argument"], ["failure"] — most common first *)
     cache_lookups : int;
     cache_hits : int;
     domains_used : int;  (** max domains evaluating one batch *)

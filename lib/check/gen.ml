@@ -228,6 +228,10 @@ let encode (c : t) =
     c.sched;
   String.trim (Buffer.contents buf)
 
+exception Parse_error of { pos : int; token : string option; reason : string }
+
+let parse_error ~pos ~token reason = raise (Parse_error { pos; token; reason })
+
 let parse s =
   let toks =
     String.split_on_char ' ' s
@@ -236,7 +240,8 @@ let parse s =
   in
   let cur = ref 0 in
   let next () =
-    if !cur >= Array.length toks then failwith "truncated case"
+    if !cur >= Array.length toks then
+      parse_error ~pos:!cur ~token:None "truncated case"
     else begin
       let t = toks.(!cur) in
       incr cur;
@@ -247,7 +252,7 @@ let parse s =
     let t = next () in
     match int_of_string_opt t with
     | Some i -> i
-    | None -> failwith (Printf.sprintf "expected integer, got %S" t)
+    | None -> parse_error ~pos:(!cur - 1) ~token:(Some t) "expected integer"
   in
   let list f = List.init (int ()) (fun _ -> f ()) in
   let rec op () =
@@ -264,7 +269,7 @@ let parse s =
         let invs = list int in
         let body = list op in
         Loop { trips; carry; invs; body }
-    | t -> failwith (Printf.sprintf "unknown op tag %S" t)
+    | t -> parse_error ~pos:(!cur - 1) ~token:(Some t) "unknown op tag"
   in
   let tac () =
     match next () with
@@ -277,7 +282,7 @@ let parse s =
         let budget = int () in
         let mcts = int () <> 0 in
         Auto { budget; mcts; axes = list int }
-    | t -> failwith (Printf.sprintf "unknown tactic tag %S" t)
+    | t -> parse_error ~pos:(!cur - 1) ~token:(Some t) "unknown tactic tag"
   in
   match
     let seed = int () in
@@ -286,11 +291,17 @@ let parse s =
     let mesh = list (fun () -> let name = next () in (name, int ())) in
     let ops = list op in
     let sched = list tac in
-    if !cur < Array.length toks then failwith "trailing tokens";
+    if !cur < Array.length toks then
+      parse_error ~pos:!cur ~token:(Some toks.(!cur)) "trailing tokens";
     { seed; n; params; mesh; ops; sched }
   with
   | c -> Ok c
-  | exception Failure msg -> Error ("replay parse: " ^ msg)
+  | exception Parse_error { pos; token; reason } ->
+      Error
+        (Printf.sprintf "replay parse: %s at token %d%s" reason pos
+           (match token with
+           | Some t -> Printf.sprintf " (%S)" t
+           | None -> ""))
 
 (* {1 Pretty-printing} *)
 

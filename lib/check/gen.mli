@@ -76,8 +76,14 @@ val pos : int -> int -> int
 val encode : t -> string
 (** Compact whitespace-separated encoding, the payload of [--replay]. *)
 
+exception Parse_error of { pos : int; token : string option; reason : string }
+(** Structured replay-decoding failure: the token index it occurred at,
+    the offending token ([None] when the input was truncated), and why. *)
+
 val parse : string -> (t, string) result
-(** Inverse of {!encode}. *)
+(** Inverse of {!encode}. {!Parse_error}s are caught and rendered into
+    [Error] with the token position, so a mangled [--replay] string is
+    attributable rather than a bare failure. *)
 
 val pp : Format.formatter -> t -> unit
 (** Human-readable rendering (mesh, program sketch, schedule). *)

@@ -208,15 +208,29 @@ let check_cost_invariants mesh (p0 : Lower.program) (p1 : Lower.program) =
 
 (* {1 The oracle} *)
 
+(* Static-analysis invariant: every staged module and every lowered
+   program the pipeline produces must verify with zero diagnostics —
+   catches IR inconsistencies the differential executors can only see
+   after an expensive run (or not at all, when both sides are wrong the
+   same way). *)
+let check_verified label diags =
+  match Partir_analysis.Diagnostic.errors diags with
+  | [] -> ()
+  | errs ->
+      failf label "%s" (Partir_analysis.Diagnostic.list_to_string errs)
+
 let run_case_exn (c : Gen.t) =
   let func, mesh, pool = Gen.build c in
   let args = Gen.inputs c func in
   let reference = Interp.run func args in
   let staged = Staged.of_func mesh func in
   let applied, skipped = apply_schedule c staged pool in
+  check_verified "verifier-staged" (Partir_analysis.Analysis.check_staged staged);
   check_outputs "temporal" ~reference (Temporal.run staged args);
   let p0 = Lower.lower ~fuse:false staged in
   let p1 = { p0 with Lower.func = Fusion.run p0.Lower.func } in
+  check_verified "verifier-spmd" (Partir_analysis.Analysis.check_program p0);
+  check_verified "verifier-fused" (Partir_analysis.Analysis.check_program p1);
   check_outputs "spmd-unfused" ~reference (Spmd_interp.run p0 args);
   check_outputs "spmd-fused" ~reference (Spmd_interp.run p1 args);
   (match gspmd_annotations c mesh func (List.length pool) with

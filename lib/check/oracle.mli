@@ -13,14 +13,17 @@
     - every multi-axis collective costs at least one link latency per
       nontrivial axis (catches collapsing the stages into one ring);
     - the analytic walk and the discrete-event engine agree to 1e-9 on
-      fault-free programs, for both cost profiles. *)
+      fault-free programs, for both cost profiles;
+    - the static analyzers ([Partir_analysis]) report zero diagnostics on
+      the staged module and on both lowered programs. *)
 
 type failure = {
   label : string;
       (** which check tripped: ["temporal"], ["spmd-unfused"],
           ["spmd-fused"], ["gspmd"], ["fusion-collective-count"],
           ["fusion-comm-time"], ["fusion-idempotent"],
-          ["comm-latency-floor"], ["engine-parity"], or ["exception"] *)
+          ["comm-latency-floor"], ["engine-parity"], ["verifier-staged"],
+          ["verifier-spmd"], ["verifier-fused"], or ["exception"] *)
   detail : string;
 }
 
@@ -31,6 +34,12 @@ type info = {
 }
 
 type verdict = Pass of info | Fail of failure
+
+val apply_schedule :
+  Gen.t -> Partir_core.Staged.t -> Partir_hlo.Value.t list -> int * int
+(** Apply the case's schedule to a staged module (propagating after each
+    tactic); returns (applied, skipped) tactic counts. Exposed so the
+    analyzer property tests can reproduce the oracle's staging step. *)
 
 val run_case : Gen.t -> verdict
 (** Deterministic; never raises (unexpected exceptions become a

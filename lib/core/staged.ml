@@ -19,6 +19,11 @@ exception Action_error of string
 
 let action_errorf fmt = Format.kasprintf (fun s -> raise (Action_error s)) fmt
 
+(* Debug-mode assertion hook, run after every action. Installed by
+   [Partir_analysis.Analysis] (kept as a ref to avoid a dependency cycle:
+   the analyses consume this module). *)
+let debug_hook : (t -> unit) ref = ref (fun _ -> ())
+
 let rec stage_op (op : Op.t) =
   let region_body =
     match op.region with
@@ -42,15 +47,16 @@ let rec unstage_op (s : sop) : Op.t =
   | Some r ->
       { s.op with region = Some { r with body = List.map unstage_op s.region_body } }
 
+let to_func_unchecked t =
+  {
+    Func.name = t.name;
+    params = t.params;
+    body = List.map unstage_op t.body;
+    results = t.results;
+  }
+
 let to_func t =
-  let f =
-    {
-      Func.name = t.name;
-      params = t.params;
-      body = List.map unstage_op t.body;
-      results = t.results;
-    }
-  in
+  let f = to_func_unchecked t in
   Func.verify f;
   f
 
@@ -241,24 +247,32 @@ let tile t ~value ~dim ~axis =
       "tile: dim %d of %%%d (%s) has size %d (already tiled %dx), not \
        divisible by mesh axis %S of size %d"
       dim value.Value.id value.Value.name shape.(dim) existing axis size;
-  insert_seed t ~value
-    ~entry:
-      {
-        Action.axis;
-        operand_dims = [| Some dim |];
-        result_actions = [| Action.Tile dim |];
-      }
+  let seed =
+    insert_seed t ~value
+      ~entry:
+        {
+          Action.axis;
+          operand_dims = [| Some dim |];
+          result_actions = [| Action.Tile dim |];
+        }
+  in
+  !debug_hook t;
+  seed
 
 let atomic t ~value ~axis =
   if not (Mesh.has_axis t.mesh axis) then
     action_errorf "atomic: unknown mesh axis %S" axis;
-  insert_seed t ~value
-    ~entry:
-      {
-        Action.axis;
-        operand_dims = [| None |];
-        result_actions = [| Action.Any |];
-      }
+  let seed =
+    insert_seed t ~value
+      ~entry:
+        {
+          Action.axis;
+          operand_dims = [| None |];
+          result_actions = [| Action.Any |];
+        }
+  in
+  !debug_hook t;
+  seed
 
 (* Upfront divisibility validation of every loop-nest entry, on both the
    operand and the result side. Downstream consumers do truncating integer

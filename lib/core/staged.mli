@@ -29,6 +29,15 @@ val to_func : t -> Func.t
 (** Materialize back into a plain (verified) function: seeds remain as
     [Identity] ops; nests are dropped. *)
 
+val to_func_unchecked : t -> Func.t
+(** {!to_func} without the [Func.verify] call — used by diagnostic passes
+    that want to report on broken modules instead of raising. *)
+
+val debug_hook : (t -> unit) ref
+(** Called after every {!tile}/{!atomic} action. Installed by
+    [Partir_analysis.Analysis] to run debug-mode verification; a ref to
+    avoid a dependency cycle. Defaults to a no-op. *)
+
 val copy : t -> t
 (** Deep copy (fresh sop records, shared immutable ops/values); actions and
     propagation on the copy leave the original untouched. Used by automatic

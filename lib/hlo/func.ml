@@ -12,29 +12,29 @@ let verification_errorf fmt =
 
 let rec verify_ops ~defined ~where (ops : Op.t list) =
   List.fold_left
-    (fun defined (op : Op.t) ->
+    (fun (defined, i) (op : Op.t) ->
+      (* Anchor every failure to the op's position and kind, e.g.
+         "t32/op#3(matmul)". *)
+      let here = Printf.sprintf "%s/op#%d(%s)" where i (Op.kind_name op.kind) in
       List.iter
         (fun (v : Value.t) ->
           if not (Value.Set.mem v.id defined) then
-            verification_errorf "%s: operand %%%d (%s) of %s used before def"
-              where v.id v.name (Op.kind_name op.kind))
+            verification_errorf "%s: operand %%%d (%s) used before def" here
+              v.id v.name)
         op.operands;
       let inferred =
         try
           Op.infer op.kind
             (List.map (fun (v : Value.t) -> v.Value.ty) op.operands)
             op.region
-        with Op.Type_error msg ->
-          verification_errorf "%s: %s: %s" where (Op.kind_name op.kind) msg
+        with Op.Type_error msg -> verification_errorf "%s: %s" here msg
       in
       if List.length inferred <> List.length op.results then
-        verification_errorf "%s: %s: result arity mismatch" where
-          (Op.kind_name op.kind);
+        verification_errorf "%s: result arity mismatch" here;
       List.iter2
         (fun ty (v : Value.t) ->
           if not (Value.ttype_equal ty v.ty) then
-            verification_errorf "%s: %s: result %%%d type mismatch" where
-              (Op.kind_name op.kind) v.id)
+            verification_errorf "%s: result %%%d type mismatch" here v.id)
         inferred op.results;
       (match op.region with
       | None -> ()
@@ -45,23 +45,24 @@ let rec verify_ops ~defined ~where (ops : Op.t list) =
               Value.Set.empty r.params
           in
           let region_defined =
-            verify_ops ~defined:region_defined
-              ~where:(where ^ "/" ^ Op.kind_name op.kind)
-              r.body
+            verify_ops ~defined:region_defined ~where:here r.body
           in
           List.iter
             (fun (v : Value.t) ->
               if not (Value.Set.mem v.id region_defined) then
-                verification_errorf "%s: region yield %%%d undefined" where
-                  v.id)
+                verification_errorf "%s: region yield %%%d undefined" here v.id)
             r.yields);
-      List.fold_left
-        (fun acc (v : Value.t) ->
-          if Value.Set.mem v.id acc then
-            verification_errorf "%s: duplicate definition of %%%d" where v.id
-          else Value.Set.add v.id acc)
-        defined op.results)
-    defined ops
+      let defined =
+        List.fold_left
+          (fun acc (v : Value.t) ->
+            if Value.Set.mem v.id acc then
+              verification_errorf "%s: duplicate definition of %%%d" here v.id
+            else Value.Set.add v.id acc)
+          defined op.results
+      in
+      (defined, i + 1))
+    (defined, 0) ops
+  |> fst
 
 let verify t =
   let defined =

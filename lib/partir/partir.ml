@@ -40,6 +40,11 @@ module Schedule = Partir_schedule.Schedule
 module Strategies = Partir_strategies.Strategies
 module Auto = Partir_auto.Auto
 module Gspmd = Partir_gspmd.Gspmd
+module Diagnostic = Partir_analysis.Diagnostic
+module Analysis = Partir_analysis.Analysis
+module Verify = Partir_analysis.Verify
+module Shard_check = Partir_analysis.Shard_check
+module Collective_lint = Partir_analysis.Collective_lint
 
 module Check = struct
   module Gen = Partir_check.Gen

@@ -368,19 +368,27 @@ let signature (f : Func.t) =
   in
   go (0, 0, 0, 0, 0, 0) f.Func.body
 
+(* Debug-mode assertion hook, run with the pass label and the intermediate
+   function after every rewrite (fusion must preserve verification).
+   Installed by [Partir_analysis.Analysis]; defaults to a no-op. *)
+let debug_hook : (string -> Func.t -> unit) ref = ref (fun _ _ -> ())
+
 let run_once (f : Func.t) =
   let passes =
     [
-      strip_identities;
-      fuse_add_of_reduces;
-      fuse_reduce_scatter;
-      fuse_all_to_all;
-      dce;
+      ("strip_identities", strip_identities);
+      ("fuse_add_of_reduces", fuse_add_of_reduces);
+      ("fuse_reduce_scatter", fuse_reduce_scatter);
+      ("fuse_all_to_all", fuse_all_to_all);
+      ("dce", dce);
     ]
   in
   let body, results =
     List.fold_left
-      (fun (ops, terms) pass -> map_scopes pass ops terms)
+      (fun (ops, terms) (label, pass) ->
+        let ops, terms = map_scopes pass ops terms in
+        !debug_hook label { f with Func.body = ops; results = terms };
+        (ops, terms))
       (f.Func.body, f.Func.results)
       passes
   in

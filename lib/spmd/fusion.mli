@@ -9,3 +9,8 @@
     - removes dead ops. *)
 
 val run : Partir_hlo.Func.t -> Partir_hlo.Func.t
+
+val debug_hook : (string -> Partir_hlo.Func.t -> unit) ref
+(** Called with the pass label and the intermediate function after every
+    rewrite of {!run} (fusion must preserve verification). Installed by
+    [Partir_analysis.Analysis]; defaults to a no-op. *)

@@ -13,6 +13,11 @@ type program = {
   source_flops : float;
 }
 
+(* Debug-mode assertion hook, run on every lowered program before it is
+   returned. Installed by [Partir_analysis.Analysis]; defaults to a
+   no-op. *)
+let debug_hook : (program -> unit) ref = ref (fun _ -> ())
+
 let rank_of (v : Value.t) = Shape.rank v.Value.ty.Value.shape
 
 (* Layout required for operand [k] by the nest of [s]. *)
@@ -340,12 +345,16 @@ let lower ?(ties = []) ?source_flops ?(fuse = true) (t : Staged.t) =
   in
   let func = if fuse then Fusion.run func else func in
   Func.verify func;
-  {
-    mesh;
-    func;
-    source_params = t.Staged.params;
-    source_results = t.Staged.results;
-    input_layouts;
-    output_layouts;
-    source_flops;
-  }
+  let program =
+    {
+      mesh;
+      func;
+      source_params = t.Staged.params;
+      source_results = t.Staged.results;
+      input_layouts;
+      output_layouts;
+      source_flops;
+    }
+  in
+  !debug_hook program;
+  program

@@ -44,3 +44,8 @@ val lower :
 
 val arrival_layouts : Partir_core.Staged.t -> Layout.t list
 (** The input layouts {!lower} would infer, without lowering. *)
+
+val debug_hook : (program -> unit) ref
+(** Called with every lowered program before {!lower} returns. Installed
+    by [Partir_analysis.Analysis] to run debug-mode verification; a ref to
+    avoid a dependency cycle. Defaults to a no-op. *)
