@@ -768,6 +768,249 @@ let faultbench_smoke () =
     ~steps:6 ~mtbf_steps:3. ~out:"BENCH_faults_smoke.json" ()
 
 (* ------------------------------------------------------------------ *)
+(* kernelbench: stride-aware kernel engine vs the naive reference      *)
+(* ------------------------------------------------------------------ *)
+
+let null_fmt = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+
+(* Mean seconds per call, repeating until [min_time] has elapsed (first
+   call is a discarded warmup). *)
+let kb_time ?(min_time = 0.05) f =
+  ignore (f ());
+  let t0 = Unix.gettimeofday () in
+  let reps = ref 0 in
+  let elapsed = ref 0. in
+  while !elapsed < min_time do
+    ignore (f ());
+    incr reps;
+    elapsed := Unix.gettimeofday () -. t0
+  done;
+  !elapsed /. float_of_int !reps
+
+let with_naive b f =
+  Literal.set_naive b;
+  Fun.protect ~finally:(fun () -> Literal.set_naive false) f
+
+(* Random arguments for a training-step function: integer params draw
+   token ids below [vocab]; ".v" optimizer slots stay non-negative. *)
+let kb_args ~vocab seed (f : Func.t) =
+  let st = Random.State.make [| seed |] in
+  List.map
+    (fun (p : Value.t) ->
+      let is_int = Dtype.is_integer p.Value.ty.Value.dtype in
+      let non_negative = Filename.check_suffix p.Value.name ".v" in
+      Literal.init p.Value.ty.Value.dtype p.Value.ty.Value.shape (fun _ ->
+          if is_int then float_of_int (Random.State.int st vocab)
+          else
+            let x = Random.State.float st 0.2 -. 0.1 in
+            if non_negative then Float.abs x else x))
+    f.Func.params
+
+let kernelbench_at ~smoke ~out () =
+  hr
+    (Printf.sprintf "Kernel benchmark: stride-aware engine vs naive reference%s"
+       (if smoke then " (smoke)" else ""));
+  let min_time = if smoke then 0.01 else 0.05 in
+  let d a b = if smoke then a else b in
+  let st = Random.State.make [| 7 |] in
+  let tensor shape =
+    Literal.init Dtype.F32 shape (fun _ -> Random.State.float st 2. -. 1.)
+  in
+  (* ---- per-kernel micro cases ---- *)
+  let e1 = d 96 512 and e2 = d 160 768 in
+  let x_ew = tensor [| e1; e2 |] and y_ew = tensor [| e1; e2 |] in
+  let pred =
+    Literal.init Dtype.F32 [| e1; e2 |] (fun _ ->
+        float_of_int (Random.State.int st 2))
+  in
+  let mm_m = d 40 128 and mm_k = d 48 256 and mm_n = d 40 160 in
+  let mm_a = tensor [| 2; mm_m; mm_k |] and mm_b = tensor [| 2; mm_k; mm_n |] in
+  let tr = tensor [| d 20 64; d 40 96; d 16 48 |] in
+  let red = tensor [| d 24 64; d 40 128; d 20 64 |] in
+  let big2 = tensor [| d 96 384; d 80 512 |] in
+  let small2 = tensor [| d 40 128; d 28 192 |] in
+  let bsrc = tensor [| e1; 1 |] in
+  let emb_rows = d 96 1024 in
+  let emb = tensor [| emb_rows; d 24 64 |] in
+  let idx =
+    Literal.init Dtype.I32
+      [| d 48 512 |]
+      (fun _ -> float_of_int (Random.State.int st emb_rows))
+  in
+  let upd = tensor [| d 48 512; d 24 64 |] in
+  let ci = d 4 8 and co = d 6 16 and img = d 10 24 in
+  let cin = tensor [| 2; img; img; ci |] in
+  let ck = tensor [| 3; 3; ci; co |] in
+  let cg = tensor [| 2; img; img; co |] in
+  let cases =
+    [
+      ("map_exp", fun () -> Literal.map Stdlib.exp x_ew);
+      ("map2_add", fun () -> Literal.map2 ( +. ) x_ew y_ew);
+      ("select", fun () -> Literal.select pred x_ew y_ew);
+      ("matmul", fun () -> Literal.matmul mm_a mm_b);
+      ("transpose", fun () -> Literal.transpose tr [| 2; 0; 1 |]);
+      ("reduce_sum_mid", fun () -> Literal.reduce `Sum red [| 1 |]);
+      ("reduce_max_all", fun () -> Literal.reduce `Max red [| 0; 1; 2 |]);
+      ( "slice",
+        fun () ->
+          Literal.slice big2 ~starts:[| 7; 11 |]
+            ~limits:[| d 90 370; d 70 500 |] );
+      ( "pad",
+        fun () ->
+          Literal.pad small2 ~low:[| 2; 3 |] ~high:[| 1; 4 |] ~value:0.5 );
+      ("concat", fun () -> Literal.concat [ small2; small2; small2 ] 1);
+      ( "broadcast",
+        fun () -> Literal.broadcast_in_dim bsrc [| e1; e2 |] [| 0; 1 |] );
+      ( "dyn_update_slice",
+        fun () -> Literal.dynamic_update_slice big2 small2 ~starts:[| 5; 9 |]
+      );
+      ("take", fun () -> Literal.take emb idx ~axis:0);
+      ("scatter_add", fun () -> Literal.scatter_add emb idx upd ~axis:0);
+      ("conv2d", fun () -> Literal.conv2d cin ck ~stride:1 ~padding:1);
+      ( "conv2d_input_grad",
+        fun () ->
+          Literal.conv2d_input_grad cg ck
+            ~input_shape:[| 2; img; img; ci |]
+            ~stride:1 ~padding:1 );
+      ( "conv2d_kernel_grad",
+        fun () ->
+          Literal.conv2d_kernel_grad cin cg
+            ~kernel_shape:[| 3; 3; ci; co |]
+            ~stride:1 ~padding:1 );
+    ]
+  in
+  Printf.printf "%-20s | %12s %12s %8s | %9s\n" "kernel" "naive(us)" "fast(us)"
+    "speedup" "max diff";
+  let kernel_rows =
+    List.map
+      (fun (name, f) ->
+        let naive_out = with_naive true f in
+        let fast_out = f () in
+        let diff = Literal.max_abs_diff naive_out fast_out in
+        let parity = Literal.approx_equal ~tol:1e-6 naive_out fast_out in
+        Parallel.set_num_domains 1;
+        let out1 = f () in
+        Parallel.set_num_domains 4;
+        let out4 = f () in
+        Parallel.clear_num_domains ();
+        let dom_inv = Literal.max_abs_diff out1 out4 = 0. in
+        let naive_us = 1e6 *. kb_time ~min_time (fun () -> with_naive true f) in
+        let fast_us = 1e6 *. kb_time ~min_time f in
+        Printf.printf "%-20s | %12.1f %12.1f %7.2fx | %9.2e%s%s\n%!" name
+          naive_us fast_us (naive_us /. fast_us) diff
+          (if parity then "" else "  PARITY-FAIL")
+          (if dom_inv then "" else "  DOMAIN-VARIANT");
+        (name, naive_us, fast_us, diff, parity, dom_inv))
+      cases
+  in
+  (* ---- end-to-end reference-step execution ---- *)
+  let t32x =
+    {
+      T.layers = 2;
+      d_model = d 32 64;
+      heads = 4;
+      vocab = d 64 256;
+      batch = 4;
+      seq = d 16 32;
+    }
+  in
+  let unetx = { U.tiny with U.base_channels = d 4 8; image = d 8 16 } in
+  let e2e_min_time = min_time *. 4. in
+  let e2e (name, step, vocab) =
+    let func = step.Train.func in
+    let args = kb_args ~vocab 11 func in
+    let run () = Interp.run func args in
+    let naive_out = with_naive true run in
+    Parallel.set_num_domains 1;
+    let fast1_out = run () in
+    let fast1_s = kb_time ~min_time:e2e_min_time run in
+    Parallel.clear_num_domains ();
+    let fastn_out = run () in
+    let fastn_s = kb_time ~min_time:e2e_min_time run in
+    let naive_s = kb_time ~min_time:e2e_min_time (fun () -> with_naive true run) in
+    let max_diff xs ys =
+      List.fold_left2
+        (fun acc a b -> Float.max acc (Literal.max_abs_diff a b))
+        0. xs ys
+    in
+    let diff = max_diff naive_out fast1_out in
+    let parity = List.for_all2 (Literal.approx_equal ~tol:1e-6) naive_out fast1_out in
+    let dom_inv = max_diff fast1_out fastn_out = 0. in
+    Printf.printf
+      "%-12s | naive %9.2f ms | fast(1 dom) %9.2f ms (%5.2fx) | fast(%d dom) \
+       %9.2f ms (%5.2fx) | diff %.2e%s%s\n\
+       %!"
+      name (1e3 *. naive_s) (1e3 *. fast1_s) (naive_s /. fast1_s)
+      (Parallel.num_domains ()) (1e3 *. fastn_s) (naive_s /. fastn_s) diff
+      (if parity then "" else "  PARITY-FAIL")
+      (if dom_inv then "" else "  DOMAIN-VARIANT");
+    (name, naive_s, fast1_s, fastn_s, diff, parity, dom_inv)
+  in
+  Printf.printf "\nend-to-end reference training steps:\n%!";
+  let e2e_rows =
+    [
+      e2e ("T32-exec", Train.training_step (T.forward t32x), t32x.T.vocab);
+      e2e ("UNet-exec", Train.training_step (U.forward unetx), 8);
+    ]
+  in
+  (* ---- partcheck throughput (the fuzzer executes every program on both
+     the reference and SPMD interpreters, so it is kernel-bound) ---- *)
+  let pc_cases = d 10 40 in
+  let pc_run () =
+    ignore (Check.Runner.run ~out:null_fmt ~cases:pc_cases ~seed:3 ())
+  in
+  let (), pc_naive_s = time (fun () -> with_naive true pc_run) in
+  let (), pc_fast_s = time pc_run in
+  Printf.printf
+    "\npartcheck throughput (%d cases): naive %.2fs, fast %.2fs (%.2fx)\n%!"
+    pc_cases pc_naive_s pc_fast_s (pc_naive_s /. pc_fast_s);
+  let all_parity =
+    List.for_all (fun (_, _, _, _, p, di) -> p && di) kernel_rows
+    && List.for_all (fun (_, _, _, _, _, p, di) -> p && di) e2e_rows
+  in
+  Printf.printf "all parity checks passed: %b\n%!" all_parity;
+  (* ---- JSON report ---- *)
+  let oc = open_out out in
+  let json_kernel (name, naive_us, fast_us, diff, parity, dom_inv) =
+    Printf.sprintf
+      {|    { "kernel": "%s", "naive_us": %.2f, "fast_us": %.2f, "speedup": %.2f, "max_abs_diff": %.3e, "parity_ok": %b, "domain_invariant": %b }|}
+      name naive_us fast_us (naive_us /. fast_us) diff parity dom_inv
+  in
+  let json_e2e (name, naive_s, fast1_s, fastn_s, diff, parity, dom_inv) =
+    Printf.sprintf
+      {|    { "workload": "%s", "naive_ms": %.3f, "fast_1dom_ms": %.3f, "speedup_1dom": %.2f, "fast_ndom_ms": %.3f, "speedup_ndom": %.2f, "max_abs_diff": %.3e, "parity_ok": %b, "domain_invariant": %b }|}
+      name (1e3 *. naive_s) (1e3 *. fast1_s) (naive_s /. fast1_s)
+      (1e3 *. fastn_s) (naive_s /. fastn_s) diff parity dom_inv
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"mode\": \"%s\", \"domains\": %d,\n\
+    \  \"kernels\": [\n\
+     %s\n\
+    \  ],\n\
+    \  \"end_to_end\": [\n\
+     %s\n\
+    \  ],\n\
+    \  \"partcheck\": { \"cases\": %d, \"naive_s\": %.3f, \"fast_s\": %.3f, \
+     \"speedup\": %.2f },\n\
+    \  \"all_parity_ok\": %b\n\
+     }\n"
+    (if smoke then "smoke" else "full")
+    (Parallel.num_domains ())
+    (String.concat ",\n" (List.map json_kernel kernel_rows))
+    (String.concat ",\n" (List.map json_e2e e2e_rows))
+    pc_cases pc_naive_s pc_fast_s
+    (pc_naive_s /. pc_fast_s)
+    all_parity;
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out
+
+let kernelbench () = kernelbench_at ~smoke:false ~out:"BENCH_kernels.json" ()
+
+let kernelbench_smoke () =
+  kernelbench_at ~smoke:true ~out:"BENCH_kernels_smoke.json" ()
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -785,6 +1028,8 @@ let experiments =
     ("searchbench-smoke", searchbench_smoke);
     ("faultbench", faultbench);
     ("faultbench-smoke", faultbench_smoke);
+    ("kernelbench", kernelbench);
+    ("kernelbench-smoke", kernelbench_smoke);
   ]
 
 let () =

@@ -54,7 +54,7 @@ type options = {
   on_stats : (Stats.t -> unit) option;
 }
 
-let default_parallelism () = max 1 (Domain.recommended_domain_count () - 1)
+let default_parallelism () = Partir_parallel.num_domains ()
 
 let default_options =
   {
@@ -180,9 +180,10 @@ let count_failures ctx (kinds : string option array) =
             (1 + Option.value ~default:0 (Hashtbl.find_opt ctx.failed_by_kind k)))
     kinds
 
-(* Evaluate a batch of uncached vectors, fanning work out over a small
-   domain pool when [parallelism > 1]. Work distribution never affects
-   results: costs are deterministic functions of the vector. *)
+(* Evaluate a batch of uncached vectors, fanning work out over the shared
+   [Partir_parallel] domain pool when [parallelism > 1]. Work distribution
+   never affects results: costs are deterministic functions of the
+   vector. *)
 let run_work ctx (work : decision array array) =
   let m = Array.length work in
   let out = Array.make m infinity in
@@ -194,23 +195,7 @@ let run_work ctx (work : decision array array) =
   in
   let p = max 1 (min ctx.opts.parallelism m) in
   ctx.domains_used <- max ctx.domains_used p;
-  (if p = 1 then
-     for i = 0 to m - 1 do
-       eval i
-     done
-   else begin
-     let next = Atomic.make 0 in
-     let rec drain () =
-       let i = Atomic.fetch_and_add next 1 in
-       if i < m then begin
-         eval i;
-         drain ()
-       end
-     in
-     let domains = Array.init (p - 1) (fun _ -> Domain.spawn drain) in
-     drain ();
-     Array.iter Domain.join domains
-   end);
+  Partir_parallel.run_tasks ~parallelism:p m eval;
   ctx.evals <- ctx.evals + m;
   count_failures ctx kinds;
   out

@@ -25,14 +25,6 @@ let binary_fn : Op.binary_kind -> float -> float -> float = function
   | Op.Min -> Float.min
   | Op.Pow -> Float.pow
 
-let compare_fn : Op.compare_kind -> float -> float -> bool = function
-  | Op.Eq -> ( = )
-  | Op.Ne -> ( <> )
-  | Op.Lt -> ( < )
-  | Op.Le -> ( <= )
-  | Op.Gt -> ( > )
-  | Op.Ge -> ( >= )
-
 let int_of_scalar (l : Literal.t) = int_of_float (Float.round l.Literal.data.(0))
 
 let eval_kind (kind : Op.kind) (args : Literal.t list) : Literal.t list =
@@ -41,11 +33,27 @@ let eval_kind (kind : Op.kind) (args : Literal.t list) : Literal.t list =
   | Op.Splat { value; shape; dtype }, [] -> [ Literal.full dtype shape value ]
   | Op.Iota _, [] -> [ Literal.scalar Dtype.I32 0. ]
   | Op.Identity, [ x ] -> [ x ]
+  (* The hot elementwise kinds hit Literal's specialized flat-loop kernels;
+     the rest go through the generic closure-based map/map2. *)
+  | Op.Unary Op.Neg, [ x ] -> [ Literal.neg x ]
+  | Op.Unary Op.Relu, [ x ] -> [ Literal.relu x ]
   | Op.Unary u, [ x ] -> [ Literal.map (unary_fn u) x ]
+  | Op.Binary Op.Add, [ x; y ] -> [ Literal.add x y ]
+  | Op.Binary Op.Sub, [ x; y ] -> [ Literal.sub x y ]
+  | Op.Binary Op.Mul, [ x; y ] -> [ Literal.mul x y ]
+  | Op.Binary Op.Div, [ x; y ] -> [ Literal.div x y ]
   | Op.Binary b, [ x; y ] -> [ Literal.map2 (binary_fn b) x y ]
   | Op.Compare c, [ x; y ] ->
-      let f = compare_fn c in
-      [ Literal.map2 (fun a b -> if f a b then 1. else 0.) x y ]
+      let k =
+        match c with
+        | Op.Eq -> `Eq
+        | Op.Ne -> `Ne
+        | Op.Lt -> `Lt
+        | Op.Le -> `Le
+        | Op.Gt -> `Gt
+        | Op.Ge -> `Ge
+      in
+      [ Literal.compare_op k x y ]
   | Op.Select, [ p; a; b ] -> [ Literal.select p a b ]
   | Op.Matmul, [ a; b ] -> [ Literal.matmul a b ]
   | Op.Transpose { perm }, [ a ] -> [ Literal.transpose a perm ]
@@ -85,6 +93,44 @@ let eval_kind (kind : Op.kind) (args : Literal.t list) : Literal.t list =
       runtime_errorf "eval_kind: bad arity for %s (%d operands)"
         (Op.kind_name k) (List.length args)
 
+(* Outer-scope values a region's body (or yields) reads directly, i.e.
+   everything the region needs beyond its own params. Lowered regions are
+   closed (invariants arrive as operands), but hand-built or source-level
+   programs may capture outer values, so the For evaluators bind these into
+   a small per-region environment built once, instead of copying the whole
+   enclosing environment on every trip. *)
+let free_values_of_region (r : Op.region) =
+  let bound = Hashtbl.create 32 in
+  let seen = Hashtbl.create 32 in
+  let free = ref [] in
+  let note (v : Value.t) =
+    if (not (Hashtbl.mem bound v.Value.id)) && not (Hashtbl.mem seen v.Value.id)
+    then begin
+      Hashtbl.replace seen v.Value.id ();
+      free := v :: !free
+    end
+  in
+  List.iter (fun (p : Value.t) -> Hashtbl.replace bound p.Value.id ()) r.params;
+  let rec go ops =
+    List.iter
+      (fun (op : Op.t) ->
+        List.iter note op.operands;
+        (match op.region with
+        | Some r' ->
+            List.iter
+              (fun (p : Value.t) -> Hashtbl.replace bound p.Value.id ())
+              r'.params;
+            go r'.body
+        | None -> ());
+        List.iter
+          (fun (v : Value.t) -> Hashtbl.replace bound v.Value.id ())
+          op.results)
+      ops
+  in
+  go r.body;
+  List.iter note r.yields;
+  List.rev !free
+
 let rec eval_ops env (ops : Op.t list) =
   List.iter
     (fun (op : Op.t) ->
@@ -106,8 +152,19 @@ let rec eval_ops env (ops : Op.t list) =
                 let invariants =
                   List.filteri (fun i _ -> i >= n_carries) args
                 in
+                (* One small region environment reused across trips: free
+                   outer values bound once, params rebound per step (body
+                   ops rebind the same result ids each iteration). Copying
+                   [env] here made each trip cost O(|enclosing scope|). *)
+                let frees = free_values_of_region r in
+                let inner = Hashtbl.create (16 + List.length frees) in
+                List.iter
+                  (fun (v : Value.t) ->
+                    match Hashtbl.find_opt env v.Value.id with
+                    | Some l -> Hashtbl.replace inner v.Value.id l
+                    | None -> runtime_errorf "unbound value %%%d" v.Value.id)
+                  frees;
                 for step = 0 to trip_count - 1 do
-                  let inner = Hashtbl.copy env in
                   (match r.params with
                   | iter :: rest ->
                       Hashtbl.replace inner iter.Value.id

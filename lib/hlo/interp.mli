@@ -14,3 +14,8 @@ val eval_kind : Op.kind -> Literal.t list -> Literal.t list
 (** Evaluate a single region-free op kind on literal operands. Used by the
     temporal and SPMD interpreters to share device-local semantics.
     Raises {!Runtime_error} for region-bearing kinds ([For]). *)
+
+val free_values_of_region : Op.region -> Value.t list
+(** Outer-scope values a region's body (or yields) reads beyond its own
+    params, in first-use order. Region evaluators bind exactly these into a
+    per-region environment instead of copying the enclosing scope. *)

@@ -1,0 +1,100 @@
+(* Shared domain work pool.
+
+   One library owns every multicore dispatch in the stack: the automatic
+   search fans rollout batches out through [run_tasks], and the tensor
+   kernel engine splits large elementwise/matmul/conv loops through
+   [parallel_for]. Both are *deterministic by construction*: work is cut
+   into chunks whose boundaries depend only on the problem size (never on
+   the domain count or on timing), every chunk writes disjoint output
+   slots, and all floating-point accumulation happens inside a chunk in a
+   fixed order. Results are therefore bit-identical for any number of
+   domains, including 1.
+
+   The pool size is [num_domains ()]: the [PARTIR_NUM_DOMAINS] environment
+   variable if set (clamped to >= 1), else [Domain.recommended_domain_count
+   () - 1], overridable at runtime with [set_num_domains] (tests use this
+   to replay the same kernel under domain counts 1/2/4). *)
+
+let env_domains () =
+  match Sys.getenv_opt "PARTIR_NUM_DOMAINS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> Some (max 1 n)
+      | None -> None)
+
+let default_domains () =
+  match env_domains () with
+  | Some n -> n
+  | None -> max 1 (Domain.recommended_domain_count () - 1)
+
+let override : int option ref = ref None
+let num_domains () = match !override with Some n -> n | None -> default_domains ()
+let set_num_domains n = override := Some (max 1 n)
+let clear_num_domains () = override := None
+
+(* Depth of the currently active parallel region. Nested [parallel_for] /
+   [run_tasks] calls (a kernel invoked from inside a worker, or from inside
+   an auto-search rollout) run inline instead of spawning a second pool:
+   oversubscription is never faster and inline execution keeps the chunk
+   order identical to the sequential one. *)
+let active = Atomic.make 0
+
+(* [run_tasks ~parallelism n f] runs [f 0 .. f (n-1)], distributing task
+   indices over [parallelism] domains through an atomic counter. Tasks must
+   be independent (each writes its own output slot); the *set* of tasks a
+   domain executes is timing-dependent, so any shared accumulation must
+   happen after the join. Exceptions in workers are re-raised at the join. *)
+let run_tasks ~parallelism n (f : int -> unit) =
+  let p = max 1 (min parallelism n) in
+  if p = 1 || Atomic.get active > 0 then
+    for i = 0 to n - 1 do
+      f i
+    done
+  else begin
+    Atomic.incr active;
+    Fun.protect
+      ~finally:(fun () -> Atomic.decr active)
+      (fun () ->
+        let next = Atomic.make 0 in
+        let rec drain () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            f i;
+            drain ()
+          end
+        in
+        let domains = Array.init (p - 1) (fun _ -> Domain.spawn drain) in
+        drain ();
+        Array.iter Domain.join domains)
+  end
+
+(* Chunk count for [parallel_for]: fixed (independent of the domain count)
+   so chunk boundaries — and thus every in-chunk accumulation order — are
+   the same no matter how many domains execute them. 64 chunks keeps the
+   pool load-balanced up to large core counts without fragmenting the
+   per-chunk flat loops. *)
+let chunks_per_loop = 64
+
+(* [parallel_for ?threshold ~work n body] runs [body lo hi] over a
+   partition of [0, n), in parallel when the pool has more than one domain
+   and the total work is worth a fan-out. [work] is the estimated number of
+   scalar operations per index; loops below [threshold] total operations
+   (default 1 lsl 16) run inline as a single [body 0 n] call. [body] must
+   only write state owned by its [lo, hi) slice. *)
+let default_threshold = 1 lsl 16
+
+let parallel_for ?(threshold = default_threshold) ~work n
+    (body : int -> int -> unit) =
+  if n <= 0 then ()
+  else
+    let p = num_domains () in
+    if p <= 1 || n * work < threshold || Atomic.get active > 0 then body 0 n
+    else begin
+      let nchunks = min chunks_per_loop n in
+      let chunk = (n + nchunks - 1) / nchunks in
+      run_tasks ~parallelism:p nchunks (fun c ->
+          let lo = c * chunk in
+          let hi = min n (lo + chunk) in
+          if lo < hi then body lo hi)
+    end

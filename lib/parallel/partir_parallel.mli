@@ -1,0 +1,28 @@
+(** Shared domain work pool for the kernel engine and the automatic search.
+
+    All dispatch is deterministic: chunk boundaries depend only on the
+    problem size, so results are bit-identical for any domain count. *)
+
+val num_domains : unit -> int
+(** Pool size: [set_num_domains] override if any, else [PARTIR_NUM_DOMAINS]
+    (clamped to >= 1), else [Domain.recommended_domain_count () - 1]. *)
+
+val set_num_domains : int -> unit
+(** Override the pool size for this process (clamped to >= 1). *)
+
+val clear_num_domains : unit -> unit
+(** Drop the [set_num_domains] override. *)
+
+val run_tasks : parallelism:int -> int -> (int -> unit) -> unit
+(** [run_tasks ~parallelism n f] runs [f 0 .. f (n-1)] on up to
+    [parallelism] domains via an atomic work counter. Tasks must be
+    independent; worker exceptions re-raise at the join. Runs inline when
+    [parallelism <= 1], [n <= 1], or already inside a parallel region. *)
+
+val parallel_for : ?threshold:int -> work:int -> int -> (int -> int -> unit) -> unit
+(** [parallel_for ~work n body] partitions [0, n) into a fixed number of
+    chunks and runs [body lo hi] for each. [work] estimates scalar
+    operations per index; when [n * work] is below [threshold] (default
+    [1 lsl 16]), or the pool has one domain, or a parallel region is
+    already active, the whole range runs inline as [body 0 n]. [body] must
+    only write state owned by its slice. *)

@@ -9,6 +9,7 @@
          carries per-tactic collective counts and simulator estimates. *)
     ]} *)
 
+module Parallel = Partir_parallel
 module Dtype = Partir_tensor.Dtype
 module Shape = Partir_tensor.Shape
 module Literal = Partir_tensor.Literal

@@ -118,43 +118,10 @@ let lookup_value what env (v : Value.t) =
       spmd_errorf "spmd: unbound %s %%%d%s" what v.Value.id
         (if v.Value.name = "" then "" else " (" ^ v.Value.name ^ ")")
 
-(* Outer-scope values a region's body (or yields) reads directly, i.e.
-   everything the region needs beyond its own params. Lowered regions are
-   closed (invariants arrive as operands), but hand-built or source-level
-   programs may capture outer values, so the For evaluator binds these into
-   its per-device region environments explicitly instead of copying whole
-   device environments every trip. *)
-let free_values_of_region (r : Op.region) =
-  let bound = Hashtbl.create 32 in
-  let seen = Hashtbl.create 32 in
-  let free = ref [] in
-  let note (v : Value.t) =
-    if (not (Hashtbl.mem bound v.Value.id)) && not (Hashtbl.mem seen v.Value.id)
-    then begin
-      Hashtbl.replace seen v.Value.id ();
-      free := v :: !free
-    end
-  in
-  List.iter (fun (p : Value.t) -> Hashtbl.replace bound p.Value.id ()) r.params;
-  let rec go ops =
-    List.iter
-      (fun (op : Op.t) ->
-        List.iter note op.operands;
-        (match op.region with
-        | Some r' ->
-            List.iter
-              (fun (p : Value.t) -> Hashtbl.replace bound p.Value.id ())
-              r'.params;
-            go r'.body
-        | None -> ());
-        List.iter
-          (fun (v : Value.t) -> Hashtbl.replace bound v.Value.id ())
-          op.results)
-      ops
-  in
-  go r.body;
-  List.iter note r.yields;
-  List.rev !free
+(* Shared with the reference interpreter: the For evaluator binds a
+   region's free outer values into its per-device region environments
+   explicitly instead of copying whole device environments every trip. *)
+let free_values_of_region = Interp.free_values_of_region
 
 let rec eval_ops mesh (envs : (int, Literal.t) Hashtbl.t array) (ops : Op.t list)
     =

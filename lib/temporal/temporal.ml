@@ -111,11 +111,17 @@ let eval_staged_op mesh env (s : Staged.sop) ~eval_region =
                 let acc, mode = List.nth accs r in
                 let full_shape = acc.Literal.shape in
                 let offsets = result_offsets mesh entries point r full_shape in
-                (* Add/compare/write [out] into [acc] at [offsets]. *)
+                (* Add/compare/write [out] into [acc] at [offsets]. Strides
+                   are fixed across the whole loop, so compute them once;
+                   [out] is walked row-major so its offset is a counter. *)
+                let acc_st = Shape.strides full_shape in
+                let base = Shape.offset_with acc_st offsets in
+                let ooff = ref 0 in
                 Shape.iter_indices out.Literal.shape (fun idx ->
-                    let dst = Array.mapi (fun i v -> v + offsets.(i)) idx in
-                    let cur = Literal.get acc dst in
-                    let v = Literal.get out idx in
+                    let doff = base + Shape.offset_with acc_st idx in
+                    let cur = acc.Literal.data.(doff) in
+                    let v = out.Literal.data.(!ooff) in
+                    incr ooff;
                     let nv =
                       match mode with
                       | Write -> v
@@ -143,7 +149,7 @@ let eval_staged_op mesh env (s : Staged.sop) ~eval_region =
                               (Op.kind_name op.kind)
                           else cur
                     in
-                    Literal.set acc dst nv))
+                    acc.Literal.data.(doff) <- nv))
               outs
           end
           else

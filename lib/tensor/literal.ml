@@ -1,4 +1,26 @@
+(* Dense literals and the tensor kernel engine.
+
+   Two implementations of every kernel live here:
+
+   - [Naive]: the original one-element-at-a-time reference kernels
+     (multi-index odometers, [get]/[set] per element). They are the
+     semantic oracle: slow, obviously correct, and what the parity tests
+     and the kernel benchmark compare against.
+   - The top-level optimized kernels: a coalesced strided-copy core shared
+     by every data-movement op, a cache-blocked matmul over a packed
+     transposed-B panel, offset-table convolutions, and a stride-walking
+     reduce, all dispatching large flat loops over the
+     [Partir_parallel] domain pool. Accumulation order inside every output
+     element is fixed (and, for matmul/conv2d/kernel-grad/reduce/scatter,
+     identical to [Naive]'s), so results never depend on the domain count.
+
+   [set_naive true] (used by the kernel benchmark's seed runs) routes every
+   optimized entry point back to its [Naive] twin. *)
+
 type t = { dtype : Dtype.t; shape : Shape.t; data : float array }
+
+let use_naive = ref false
+let set_naive b = use_naive := b
 
 let create dtype shape data =
   if Array.length data <> Shape.numel shape then
@@ -13,13 +35,30 @@ let ones dtype shape = full dtype shape 1.
 let scalar dtype v = { dtype; shape = Shape.scalar; data = [| v |] }
 let of_list dtype shape l = create dtype shape (Array.of_list l)
 
+(* Row-major iteration order means the flat offset IS the loop counter:
+   no per-element stride math. [f] may be stateful (input generators seed
+   RNGs through it), so this must stay sequential and in order. *)
 let init dtype shape f =
-  let data = Array.make (Shape.numel shape) 0. in
-  let st = Shape.strides shape in
-  Shape.iter_indices shape (fun idx ->
-      let off = ref 0 in
-      Array.iteri (fun i v -> off := !off + (v * st.(i))) idx;
-      data.(!off) <- f idx);
+  let n = Shape.numel shape in
+  let rank = Shape.rank shape in
+  let data = Array.make n 0. in
+  if n > 0 then begin
+    let idx = Array.make rank 0 in
+    for off = 0 to n - 1 do
+      data.(off) <- f idx;
+      (* Bump the odometer for the next offset. *)
+      let i = ref (rank - 1) in
+      let carrying = ref true in
+      while !carrying && !i >= 0 do
+        idx.(!i) <- idx.(!i) + 1;
+        if idx.(!i) < shape.(!i) then carrying := false
+        else begin
+          idx.(!i) <- 0;
+          decr i
+        end
+      done
+    done
+  end;
   { dtype; shape; data }
 
 let iota dtype shape ~dim = init dtype shape (fun idx -> float_of_int idx.(dim))
@@ -29,69 +68,790 @@ let get_flat t i = t.data.(i)
 let numel t = Array.length t.data
 let size_in_bytes t = numel t * Dtype.size_in_bytes t.dtype
 let to_float_list t = Array.to_list t.data
-let map f t = { t with data = Array.map f t.data }
+let clamp v lo hi = if v < lo then lo else if v > hi then hi else v
+
+let round_index x limit =
+  let i = int_of_float (Float.round x) in
+  clamp i 0 (limit - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Naive reference kernels (the seed implementations, kept verbatim)  *)
+(* ------------------------------------------------------------------ *)
+
+module Naive = struct
+  let map f t = { t with data = Array.map f t.data }
+
+  let map2 f a b =
+    if not (Shape.equal a.shape b.shape) then
+      invalid_arg
+        (Printf.sprintf "Literal.map2: shapes %s vs %s"
+           (Shape.to_string a.shape) (Shape.to_string b.shape))
+    else { a with data = Array.map2 f a.data b.data }
+
+  let select pred on_true on_false =
+    if
+      (not (Shape.equal pred.shape on_true.shape))
+      || not (Shape.equal pred.shape on_false.shape)
+    then invalid_arg "Literal.select: shape mismatch"
+    else
+      {
+        on_true with
+        data =
+          Array.init (numel pred) (fun i ->
+              if pred.data.(i) <> 0. then on_true.data.(i) else on_false.data.(i));
+      }
+
+  let matmul a b =
+    let ra = Shape.rank a.shape and rb = Shape.rank b.shape in
+    if ra < 2 || rb < 2 || ra <> rb then
+      invalid_arg
+        (Printf.sprintf "Literal.matmul: shapes %s vs %s"
+           (Shape.to_string a.shape) (Shape.to_string b.shape));
+    let m = a.shape.(ra - 2)
+    and k = a.shape.(ra - 1)
+    and k' = b.shape.(rb - 2)
+    and n = b.shape.(rb - 1) in
+    let batch_a = Array.sub a.shape 0 (ra - 2)
+    and batch_b = Array.sub b.shape 0 (rb - 2) in
+    if k <> k' || not (Shape.equal batch_a batch_b) then
+      invalid_arg
+        (Printf.sprintf "Literal.matmul: incompatible %s vs %s"
+           (Shape.to_string a.shape) (Shape.to_string b.shape));
+    let batch = Shape.numel batch_a in
+    let out_shape = Array.append batch_a [| m; n |] in
+    let out = Array.make (batch * m * n) 0. in
+    for bi = 0 to batch - 1 do
+      let abase = bi * m * k and bbase = bi * k * n and obase = bi * m * n in
+      for i = 0 to m - 1 do
+        for j = 0 to n - 1 do
+          let acc = ref 0. in
+          for l = 0 to k - 1 do
+            acc :=
+              !acc +. (a.data.(abase + (i * k) + l) *. b.data.(bbase + (l * n) + j))
+          done;
+          out.(obase + (i * n) + j) <- !acc
+        done
+      done
+    done;
+    { dtype = a.dtype; shape = out_shape; data = out }
+
+  let transpose t perm =
+    let out_shape = Shape.transpose t.shape perm in
+    let out = zeros t.dtype out_shape in
+    let src_idx = Array.make (Shape.rank t.shape) 0 in
+    Shape.iter_indices out_shape (fun idx ->
+        Array.iteri (fun i p -> src_idx.(p) <- idx.(i)) perm;
+        set out idx (get t src_idx));
+    { out with dtype = t.dtype }
+
+  let broadcast_in_dim t target dims =
+    if Array.length dims <> Shape.rank t.shape then
+      invalid_arg "Literal.broadcast_in_dim: dims rank mismatch";
+    Array.iteri
+      (fun i d ->
+        if t.shape.(i) <> 1 && t.shape.(i) <> target.(d) then
+          invalid_arg "Literal.broadcast_in_dim: size mismatch")
+      dims;
+    let out = zeros t.dtype target in
+    let src_idx = Array.make (Shape.rank t.shape) 0 in
+    Shape.iter_indices target (fun idx ->
+        Array.iteri
+          (fun i d -> src_idx.(i) <- (if t.shape.(i) = 1 then 0 else idx.(d)))
+          dims;
+        set out idx (get t src_idx));
+    { out with dtype = t.dtype }
+
+  let reduce kind t dims =
+    Array.iter
+      (fun d ->
+        if d < 0 || d >= Shape.rank t.shape then
+          invalid_arg "Literal.reduce: dim out of range")
+      dims;
+    let out_shape = Shape.remove_dims t.shape dims in
+    let is_reduced =
+      Array.init (Shape.rank t.shape) (fun i -> Array.exists (fun d -> d = i) dims)
+    in
+    let neutral =
+      match kind with `Sum -> 0. | `Max -> neg_infinity | `Min -> infinity
+    in
+    let combine =
+      match kind with `Sum -> ( +. ) | `Max -> Float.max | `Min -> Float.min
+    in
+    let out = full t.dtype out_shape neutral in
+    let out_idx = Array.make (Shape.rank out_shape) 0 in
+    Shape.iter_indices t.shape (fun idx ->
+        let j = ref 0 in
+        Array.iteri
+          (fun i v ->
+            if not is_reduced.(i) then begin
+              out_idx.(!j) <- v;
+              incr j
+            end)
+          idx;
+        set out out_idx (combine (get out out_idx) (get t idx)));
+    out
+
+  let concat ts dim =
+    match ts with
+    | [] -> invalid_arg "Literal.concat: empty"
+    | first :: _ ->
+        let rank = Shape.rank first.shape in
+        let total = List.fold_left (fun acc t -> acc + t.shape.(dim)) 0 ts in
+        let out_shape = Shape.with_dim first.shape dim total in
+        let out = zeros first.dtype out_shape in
+        let offset = ref 0 in
+        List.iter
+          (fun t ->
+            if Shape.rank t.shape <> rank then
+              invalid_arg "Literal.concat: rank mismatch";
+            Shape.iter_indices t.shape (fun idx ->
+                let dst = Array.copy idx in
+                dst.(dim) <- dst.(dim) + !offset;
+                set out dst (get t idx));
+            offset := !offset + t.shape.(dim))
+          ts;
+        out
+
+  let slice t ~starts ~limits =
+    let rank = Shape.rank t.shape in
+    if Array.length starts <> rank || Array.length limits <> rank then
+      invalid_arg "Literal.slice: rank mismatch";
+    let out_shape = Array.init rank (fun i -> limits.(i) - starts.(i)) in
+    let out = zeros t.dtype out_shape in
+    let src = Array.make rank 0 in
+    Shape.iter_indices out_shape (fun idx ->
+        Array.iteri (fun i v -> src.(i) <- v + starts.(i)) idx;
+        set out idx (get t src));
+    out
+
+  let dynamic_slice t ~starts ~sizes =
+    let rank = Shape.rank t.shape in
+    let starts =
+      Array.init rank (fun i -> clamp starts.(i) 0 (t.shape.(i) - sizes.(i)))
+    in
+    slice t ~starts ~limits:(Array.init rank (fun i -> starts.(i) + sizes.(i)))
+
+  let dynamic_update_slice t update ~starts =
+    let rank = Shape.rank t.shape in
+    let starts =
+      Array.init rank (fun i ->
+          clamp starts.(i) 0 (t.shape.(i) - update.shape.(i)))
+    in
+    let out = { t with data = Array.copy t.data } in
+    let dst = Array.make rank 0 in
+    Shape.iter_indices update.shape (fun idx ->
+        Array.iteri (fun i v -> dst.(i) <- v + starts.(i)) idx;
+        set out dst (get update idx));
+    out
+
+  let pad t ~low ~high ~value =
+    let rank = Shape.rank t.shape in
+    let out_shape =
+      Array.init rank (fun i -> low.(i) + t.shape.(i) + high.(i))
+    in
+    let out = full t.dtype out_shape value in
+    let dst = Array.make rank 0 in
+    Shape.iter_indices t.shape (fun idx ->
+        Array.iteri (fun i v -> dst.(i) <- v + low.(i)) idx;
+        set out dst (get t idx));
+    out
+
+  let take operand indices ~axis =
+    let op_rank = Shape.rank operand.shape in
+    let idx_shape = indices.shape in
+    (* Result: operand dims with [axis] replaced by the index shape. *)
+    let out_shape =
+      Array.concat
+        [
+          Array.sub operand.shape 0 axis;
+          idx_shape;
+          Array.sub operand.shape (axis + 1) (op_rank - axis - 1);
+        ]
+    in
+    let out = zeros operand.dtype out_shape in
+    let idx_rank = Shape.rank idx_shape in
+    let src = Array.make op_rank 0 in
+    let idx_pos = Array.make idx_rank 0 in
+    Shape.iter_indices out_shape (fun idx ->
+        for i = 0 to axis - 1 do
+          src.(i) <- idx.(i)
+        done;
+        for i = 0 to idx_rank - 1 do
+          idx_pos.(i) <- idx.(axis + i)
+        done;
+        let gathered = round_index (get indices idx_pos) operand.shape.(axis) in
+        src.(axis) <- gathered;
+        for i = axis + 1 to op_rank - 1 do
+          src.(i) <- idx.(i - axis + (idx_rank - 1) + axis)
+        done;
+        set out idx (get operand src));
+    out
+
+  let scatter_add operand indices updates ~axis =
+    let out = { operand with data = Array.copy operand.data } in
+    let op_rank = Shape.rank operand.shape in
+    let idx_rank = Shape.rank indices.shape in
+    let dst = Array.make op_rank 0 in
+    let idx_pos = Array.make idx_rank 0 in
+    Shape.iter_indices updates.shape (fun idx ->
+        for i = 0 to axis - 1 do
+          dst.(i) <- idx.(i)
+        done;
+        for i = 0 to idx_rank - 1 do
+          idx_pos.(i) <- idx.(axis + i)
+        done;
+        let target = round_index (get indices idx_pos) operand.shape.(axis) in
+        dst.(axis) <- target;
+        for i = axis + 1 to op_rank - 1 do
+          dst.(i) <- idx.(i - axis + (idx_rank - 1) + axis)
+        done;
+        set out dst (get out dst +. get updates idx));
+    out
+
+  (* Convolution: input NHWC, kernel HWIO, output NHWC. *)
+  let conv2d input kernel ~stride ~padding =
+    let n = input.shape.(0)
+    and h = input.shape.(1)
+    and w = input.shape.(2)
+    and c = input.shape.(3) in
+    let kh = kernel.shape.(0)
+    and kw = kernel.shape.(1)
+    and ci = kernel.shape.(2)
+    and co = kernel.shape.(3) in
+    if c <> ci then invalid_arg "Literal.conv2d: channel mismatch";
+    let oh = ((h + (2 * padding) - kh) / stride) + 1 in
+    let ow = ((w + (2 * padding) - kw) / stride) + 1 in
+    let out = zeros input.dtype [| n; oh; ow; co |] in
+    for b = 0 to n - 1 do
+      for oy = 0 to oh - 1 do
+        for ox = 0 to ow - 1 do
+          for oc = 0 to co - 1 do
+            let acc = ref 0. in
+            for ky = 0 to kh - 1 do
+              for kx = 0 to kw - 1 do
+                let iy = (oy * stride) + ky - padding in
+                let ix = (ox * stride) + kx - padding in
+                if iy >= 0 && iy < h && ix >= 0 && ix < w then
+                  for ic = 0 to c - 1 do
+                    acc :=
+                      !acc
+                      +. get input [| b; iy; ix; ic |]
+                         *. get kernel [| ky; kx; ic; oc |]
+                  done
+              done
+            done;
+            set out [| b; oy; ox; oc |] !acc
+          done
+        done
+      done
+    done;
+    out
+
+  let conv2d_input_grad grad_out kernel ~input_shape ~stride ~padding =
+    let n = input_shape.(0)
+    and h = input_shape.(1)
+    and w = input_shape.(2)
+    and c = input_shape.(3) in
+    let kh = kernel.shape.(0) and kw = kernel.shape.(1) in
+    let co = kernel.shape.(3) in
+    let oh = grad_out.shape.(1) and ow = grad_out.shape.(2) in
+    let out = zeros grad_out.dtype [| n; h; w; c |] in
+    for b = 0 to n - 1 do
+      for oy = 0 to oh - 1 do
+        for ox = 0 to ow - 1 do
+          for oc = 0 to co - 1 do
+            let g = get grad_out [| b; oy; ox; oc |] in
+            if g <> 0. then
+              for ky = 0 to kh - 1 do
+                for kx = 0 to kw - 1 do
+                  let iy = (oy * stride) + ky - padding in
+                  let ix = (ox * stride) + kx - padding in
+                  if iy >= 0 && iy < h && ix >= 0 && ix < w then
+                    for ic = 0 to c - 1 do
+                      set out [| b; iy; ix; ic |]
+                        (get out [| b; iy; ix; ic |]
+                        +. (g *. get kernel [| ky; kx; ic; oc |]))
+                    done
+                done
+              done
+          done
+        done
+      done
+    done;
+    out
+
+  let conv2d_kernel_grad input grad_out ~kernel_shape ~stride ~padding =
+    let n = input.shape.(0)
+    and h = input.shape.(1)
+    and w = input.shape.(2) in
+    let kh = kernel_shape.(0)
+    and kw = kernel_shape.(1)
+    and ci = kernel_shape.(2)
+    and co = kernel_shape.(3) in
+    let oh = grad_out.shape.(1) and ow = grad_out.shape.(2) in
+    let out = zeros input.dtype [| kh; kw; ci; co |] in
+    for b = 0 to n - 1 do
+      for oy = 0 to oh - 1 do
+        for ox = 0 to ow - 1 do
+          for oc = 0 to co - 1 do
+            let g = get grad_out [| b; oy; ox; oc |] in
+            if g <> 0. then
+              for ky = 0 to kh - 1 do
+                for kx = 0 to kw - 1 do
+                  let iy = (oy * stride) + ky - padding in
+                  let ix = (ox * stride) + kx - padding in
+                  if iy >= 0 && iy < h && ix >= 0 && ix < w then
+                    for ic = 0 to ci - 1 do
+                      set out [| ky; kx; ic; oc |]
+                        (get out [| ky; kx; ic; oc |]
+                        +. (g *. get input [| b; iy; ix; ic |]))
+                    done
+                done
+              done
+          done
+        done
+      done
+    done;
+    out
+end
+
+(* ------------------------------------------------------------------ *)
+(* Strided-copy core                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Coalesce the iteration space: drop size-1 dims, then merge adjacent
+   dims whose source AND destination strides are contiguous with the run
+   built so far (outer stride = inner stride * inner size; 0-strides merge
+   with 0-strides, preserving broadcasts). The result is the shortest
+   equivalent loop nest, usually rank 1 or 2, whose innermost loop is a
+   flat [blit]/[fill]/stride walk. *)
+let coalesce dims sst tst =
+  let n = Array.length dims in
+  let rd = ref [] and rs = ref [] and rt = ref [] in
+  for i = n - 1 downto 0 do
+    if dims.(i) <> 1 then
+      match (!rd, !rs, !rt) with
+      | d0 :: ds, s0 :: ss, t0 :: ts
+        when sst.(i) = s0 * d0 && tst.(i) = t0 * d0 ->
+          rd := (dims.(i) * d0) :: ds;
+          rs := s0 :: ss;
+          rt := t0 :: ts
+      | _ ->
+          rd := dims.(i) :: !rd;
+          rs := sst.(i) :: !rs;
+          rt := tst.(i) :: !rt
+  done;
+  (Array.of_list !rd, Array.of_list !rs, Array.of_list !rt)
+
+let rec copy_walk src soff dst doff dims sst tst d =
+  if d = Array.length dims - 1 then begin
+    let n = dims.(d) and ss = sst.(d) and ts = tst.(d) in
+    if ss = 1 && ts = 1 then Array.blit src soff dst doff n
+    else if ss = 0 && ts = 1 then Array.fill dst doff n (Array.unsafe_get src soff)
+    else begin
+      let so = ref soff and dc = ref doff in
+      for _ = 1 to n do
+        Array.unsafe_set dst !dc (Array.unsafe_get src !so);
+        so := !so + ss;
+        dc := !dc + ts
+      done
+    end
+  end
+  else
+    let ss = sst.(d) and ts = tst.(d) in
+    for i = 0 to dims.(d) - 1 do
+      copy_walk src (soff + (i * ss)) dst (doff + (i * ts)) dims sst tst (d + 1)
+    done
+
+(* [copy_strided ~src ~soff ~sst ~dst ~doff ~tst dims] copies the [dims]
+   index space: dst[doff + idx.tst] <- src[soff + idx.sst]. Strides may be
+   0 on the source side (broadcast). Offsets are trusted: callers validate
+   shapes so every touched offset is in bounds. Large copies split their
+   outermost coalesced dim over the domain pool (disjoint destinations). *)
+(* Tile edge for the 2-D gather case: 32x32 tiles keep both the strided
+   source rows and the written destination rows resident in L1. *)
+let copy_tile = 32
+
+let copy_strided ~src ~soff ~sst ~dst ~doff ~tst dims =
+  let total = Array.fold_left ( * ) 1 dims in
+  if total = 0 then ()
+  else begin
+    let dims, sst, tst = coalesce dims sst tst in
+    match Array.length dims with
+    | 0 -> Array.unsafe_set dst doff (Array.unsafe_get src soff)
+    | 1 -> copy_walk src soff dst doff dims sst tst 0
+    | 2
+      when tst.(1) = 1
+           && sst.(1) > 1
+           && dims.(0) >= copy_tile
+           && dims.(1) >= copy_tile ->
+        (* Pure 2-D transposition pattern: contiguous writes, strided
+           reads. Tiling the inner dim bounds the live source lines. *)
+        let d1 = dims.(1) in
+        let s0 = sst.(0) and s1 = sst.(1) and t0 = tst.(0) in
+        Partir_parallel.parallel_for ~work:d1 dims.(0) (fun lo hi ->
+            let j0 = ref 0 in
+            while !j0 < d1 do
+              let jhi = min d1 (!j0 + copy_tile) in
+              for i = lo to hi - 1 do
+                let sbase = soff + (i * s0) and dbase = doff + (i * t0) in
+                for j = !j0 to jhi - 1 do
+                  Array.unsafe_set dst (dbase + j)
+                    (Array.unsafe_get src (sbase + (j * s1)))
+                done
+              done;
+              j0 := jhi
+            done)
+    | _ ->
+        let inner = total / dims.(0) in
+        Partir_parallel.parallel_for ~work:inner dims.(0) (fun lo hi ->
+            let ss = sst.(0) and ts = tst.(0) in
+            for i = lo to hi - 1 do
+              copy_walk src (soff + (i * ss)) dst (doff + (i * ts)) dims sst tst 1
+            done)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Elementwise                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Elementwise work units per element for the parallel threshold: calling
+   an unknown [f] is a few ops. [f] must be pure — every interpreter
+   closure is a pure float function. *)
+let ew_work = 4
+
+let map f t =
+  if !use_naive then Naive.map f t
+  else begin
+    let n = numel t in
+    let src = t.data in
+    let dst = Array.make n 0. in
+    Partir_parallel.parallel_for ~work:ew_work n (fun lo hi ->
+        for i = lo to hi - 1 do
+          Array.unsafe_set dst i (f (Array.unsafe_get src i))
+        done);
+    { t with data = dst }
+  end
 
 let map2 f a b =
-  if not (Shape.equal a.shape b.shape) then
+  if !use_naive then Naive.map2 f a b
+  else if not (Shape.equal a.shape b.shape) then
     invalid_arg
       (Printf.sprintf "Literal.map2: shapes %s vs %s"
          (Shape.to_string a.shape) (Shape.to_string b.shape))
-  else { a with data = Array.map2 f a.data b.data }
+  else begin
+    let n = numel a in
+    let xa = a.data and xb = b.data in
+    let dst = Array.make n 0. in
+    Partir_parallel.parallel_for ~work:ew_work n (fun lo hi ->
+        for i = lo to hi - 1 do
+          Array.unsafe_set dst i
+            (f (Array.unsafe_get xa i) (Array.unsafe_get xb i))
+        done);
+    { a with data = dst }
+  end
 
 let select pred on_true on_false =
-  if
+  if !use_naive then Naive.select pred on_true on_false
+  else if
     (not (Shape.equal pred.shape on_true.shape))
     || not (Shape.equal pred.shape on_false.shape)
   then invalid_arg "Literal.select: shape mismatch"
-  else
-    {
-      on_true with
-      data =
-        Array.init (numel pred) (fun i ->
-            if pred.data.(i) <> 0. then on_true.data.(i) else on_false.data.(i));
-    }
+  else begin
+    let n = numel pred in
+    let xp = pred.data and xt = on_true.data and xf = on_false.data in
+    let dst = Array.make n 0. in
+    Partir_parallel.parallel_for ~work:ew_work n (fun lo hi ->
+        for i = lo to hi - 1 do
+          Array.unsafe_set dst i
+            (if Array.unsafe_get xp i <> 0. then Array.unsafe_get xt i
+             else Array.unsafe_get xf i)
+        done);
+    { on_true with data = dst }
+  end
+
+(* Specialized elementwise arithmetic: monomorphic flat loops, so the float
+   op compiles inline instead of costing a closure call per element. The
+   interpreters dispatch the ubiquitous kinds here; everything else goes
+   through the generic [map]/[map2]. *)
+
+let binop_check name a b =
+  if not (Shape.equal a.shape b.shape) then
+    invalid_arg
+      (Printf.sprintf "Literal.%s: shapes %s vs %s" name
+         (Shape.to_string a.shape) (Shape.to_string b.shape))
+
+let add a b =
+  if !use_naive then Naive.map2 ( +. ) a b
+  else begin
+    binop_check "add" a b;
+    let n = numel a in
+    let xa = a.data and xb = b.data in
+    let dst = Array.make n 0. in
+    Partir_parallel.parallel_for ~work:ew_work n (fun lo hi ->
+        for i = lo to hi - 1 do
+          Array.unsafe_set dst i (Array.unsafe_get xa i +. Array.unsafe_get xb i)
+        done);
+    { a with data = dst }
+  end
+
+let sub a b =
+  if !use_naive then Naive.map2 ( -. ) a b
+  else begin
+    binop_check "sub" a b;
+    let n = numel a in
+    let xa = a.data and xb = b.data in
+    let dst = Array.make n 0. in
+    Partir_parallel.parallel_for ~work:ew_work n (fun lo hi ->
+        for i = lo to hi - 1 do
+          Array.unsafe_set dst i (Array.unsafe_get xa i -. Array.unsafe_get xb i)
+        done);
+    { a with data = dst }
+  end
+
+let mul a b =
+  if !use_naive then Naive.map2 ( *. ) a b
+  else begin
+    binop_check "mul" a b;
+    let n = numel a in
+    let xa = a.data and xb = b.data in
+    let dst = Array.make n 0. in
+    Partir_parallel.parallel_for ~work:ew_work n (fun lo hi ->
+        for i = lo to hi - 1 do
+          Array.unsafe_set dst i (Array.unsafe_get xa i *. Array.unsafe_get xb i)
+        done);
+    { a with data = dst }
+  end
+
+let div a b =
+  if !use_naive then Naive.map2 ( /. ) a b
+  else begin
+    binop_check "div" a b;
+    let n = numel a in
+    let xa = a.data and xb = b.data in
+    let dst = Array.make n 0. in
+    Partir_parallel.parallel_for ~work:ew_work n (fun lo hi ->
+        for i = lo to hi - 1 do
+          Array.unsafe_set dst i (Array.unsafe_get xa i /. Array.unsafe_get xb i)
+        done);
+    { a with data = dst }
+  end
+
+let neg t =
+  if !use_naive then Naive.map (fun x -> -.x) t
+  else begin
+    let n = numel t in
+    let src = t.data in
+    let dst = Array.make n 0. in
+    Partir_parallel.parallel_for ~work:ew_work n (fun lo hi ->
+        for i = lo to hi - 1 do
+          Array.unsafe_set dst i (-.Array.unsafe_get src i)
+        done);
+    { t with data = dst }
+  end
+
+let relu t =
+  if !use_naive then Naive.map (fun x -> Float.max 0. x) t
+  else begin
+    let n = numel t in
+    let src = t.data in
+    let dst = Array.make n 0. in
+    Partir_parallel.parallel_for ~work:ew_work n (fun lo hi ->
+        for i = lo to hi - 1 do
+          Array.unsafe_set dst i (Float.max 0. (Array.unsafe_get src i))
+        done);
+    { t with data = dst }
+  end
+
+let cmp_fn : [ `Eq | `Ne | `Lt | `Le | `Gt | `Ge ] -> float -> float -> bool =
+  function
+  | `Eq -> ( = )
+  | `Ne -> ( <> )
+  | `Lt -> ( < )
+  | `Le -> ( <= )
+  | `Gt -> ( > )
+  | `Ge -> ( >= )
+
+let compare_op c a b =
+  if !use_naive then begin
+    let f = cmp_fn c in
+    Naive.map2 (fun x y -> if f x y then 1. else 0.) a b
+  end
+  else begin
+    binop_check "compare_op" a b;
+    let n = numel a in
+    let xa = a.data and xb = b.data in
+    let dst = Array.make n 0. in
+    (* One monomorphic loop per kind: the comparison compiles to a branch
+       on two float loads instead of a closure call. *)
+    let loop_lt lo hi =
+      for i = lo to hi - 1 do
+        if Array.unsafe_get xa i < Array.unsafe_get xb i then
+          Array.unsafe_set dst i 1.
+      done
+    and loop_le lo hi =
+      for i = lo to hi - 1 do
+        if Array.unsafe_get xa i <= Array.unsafe_get xb i then
+          Array.unsafe_set dst i 1.
+      done
+    and loop_gt lo hi =
+      for i = lo to hi - 1 do
+        if Array.unsafe_get xa i > Array.unsafe_get xb i then
+          Array.unsafe_set dst i 1.
+      done
+    and loop_ge lo hi =
+      for i = lo to hi - 1 do
+        if Array.unsafe_get xa i >= Array.unsafe_get xb i then
+          Array.unsafe_set dst i 1.
+      done
+    and loop_eq lo hi =
+      for i = lo to hi - 1 do
+        if Array.unsafe_get xa i = Array.unsafe_get xb i then
+          Array.unsafe_set dst i 1.
+      done
+    and loop_ne lo hi =
+      for i = lo to hi - 1 do
+        if Array.unsafe_get xa i <> Array.unsafe_get xb i then
+          Array.unsafe_set dst i 1.
+      done
+    in
+    let loop =
+      match c with
+      | `Eq -> loop_eq
+      | `Ne -> loop_ne
+      | `Lt -> loop_lt
+      | `Le -> loop_le
+      | `Gt -> loop_gt
+      | `Ge -> loop_ge
+    in
+    Partir_parallel.parallel_for ~work:ew_work n loop;
+    { a with data = dst }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Matmul                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Columns per register block: eight accumulators per A-element load. *)
+let mm_jblock = 48
 
 let matmul a b =
-  let ra = Shape.rank a.shape and rb = Shape.rank b.shape in
-  if ra < 2 || rb < 2 || ra <> rb then
-    invalid_arg
-      (Printf.sprintf "Literal.matmul: shapes %s vs %s"
-         (Shape.to_string a.shape) (Shape.to_string b.shape));
-  let m = a.shape.(ra - 2)
-  and k = a.shape.(ra - 1)
-  and k' = b.shape.(rb - 2)
-  and n = b.shape.(rb - 1) in
-  let batch_a = Array.sub a.shape 0 (ra - 2)
-  and batch_b = Array.sub b.shape 0 (rb - 2) in
-  if k <> k' || not (Shape.equal batch_a batch_b) then
-    invalid_arg
-      (Printf.sprintf "Literal.matmul: incompatible %s vs %s"
-         (Shape.to_string a.shape) (Shape.to_string b.shape));
-  let batch = Shape.numel batch_a in
-  let out_shape = Array.append batch_a [| m; n |] in
-  let out = Array.make (batch * m * n) 0. in
-  for bi = 0 to batch - 1 do
-    let abase = bi * m * k and bbase = bi * k * n and obase = bi * m * n in
-    for i = 0 to m - 1 do
-      for j = 0 to n - 1 do
-        let acc = ref 0. in
+  if !use_naive then Naive.matmul a b
+  else begin
+    let ra = Shape.rank a.shape and rb = Shape.rank b.shape in
+    if ra < 2 || rb < 2 || ra <> rb then
+      invalid_arg
+        (Printf.sprintf "Literal.matmul: shapes %s vs %s"
+           (Shape.to_string a.shape) (Shape.to_string b.shape));
+    let m = a.shape.(ra - 2)
+    and k = a.shape.(ra - 1)
+    and k' = b.shape.(rb - 2)
+    and n = b.shape.(rb - 1) in
+    let batch_a = Array.sub a.shape 0 (ra - 2)
+    and batch_b = Array.sub b.shape 0 (rb - 2) in
+    if k <> k' || not (Shape.equal batch_a batch_b) then
+      invalid_arg
+        (Printf.sprintf "Literal.matmul: incompatible %s vs %s"
+           (Shape.to_string a.shape) (Shape.to_string b.shape));
+    let batch = Shape.numel batch_a in
+    let out_shape = Array.append batch_a [| m; n |] in
+    let out = Array.make (batch * m * n) 0. in
+    let ad = a.data and bd = b.data in
+    if batch * m * n > 0 && k > 0 then begin
+      (* Packed transposed B for the current batch: row j holds column j of
+         B, so the inner dot product streams both operands contiguously. *)
+      let bt = Array.make (n * k) 0. in
+      for bi = 0 to batch - 1 do
+        let abase = bi * m * k and bbase = bi * k * n and obase = bi * m * n in
         for l = 0 to k - 1 do
-          acc := !acc +. (a.data.(abase + (i * k) + l) *. b.data.(bbase + (l * n) + j))
+          let brow = bbase + (l * n) in
+          for j = 0 to n - 1 do
+            Array.unsafe_set bt ((j * k) + l) (Array.unsafe_get bd (brow + j))
+          done
         done;
-        out.(obase + (i * n) + j) <- !acc
+        (* Rows fan out over the pool; each output element is one chunk's
+           dot product in ascending-l order (the same order [Naive] uses),
+           so results are bit-identical for any domain count. *)
+        Partir_parallel.parallel_for ~work:(n * k) m (fun lo hi ->
+            let jb = ref 0 in
+            while !jb < n do
+              let jhi = min n (!jb + mm_jblock) in
+              for i = lo to hi - 1 do
+                let arow = abase + (i * k) and orow = obase + (i * n) in
+                let j = ref !jb in
+                while !j + 8 <= jhi do
+                  let r0 = !j * k in
+                  let r1 = r0 + k
+                  and r2 = r0 + (2 * k)
+                  and r3 = r0 + (3 * k)
+                  and r4 = r0 + (4 * k)
+                  and r5 = r0 + (5 * k)
+                  and r6 = r0 + (6 * k)
+                  and r7 = r0 + (7 * k) in
+                  let acc0 = ref 0.
+                  and acc1 = ref 0.
+                  and acc2 = ref 0.
+                  and acc3 = ref 0.
+                  and acc4 = ref 0.
+                  and acc5 = ref 0.
+                  and acc6 = ref 0.
+                  and acc7 = ref 0. in
+                  for l = 0 to k - 1 do
+                    let al = Array.unsafe_get ad (arow + l) in
+                    acc0 := !acc0 +. (al *. Array.unsafe_get bt (r0 + l));
+                    acc1 := !acc1 +. (al *. Array.unsafe_get bt (r1 + l));
+                    acc2 := !acc2 +. (al *. Array.unsafe_get bt (r2 + l));
+                    acc3 := !acc3 +. (al *. Array.unsafe_get bt (r3 + l));
+                    acc4 := !acc4 +. (al *. Array.unsafe_get bt (r4 + l));
+                    acc5 := !acc5 +. (al *. Array.unsafe_get bt (r5 + l));
+                    acc6 := !acc6 +. (al *. Array.unsafe_get bt (r6 + l));
+                    acc7 := !acc7 +. (al *. Array.unsafe_get bt (r7 + l))
+                  done;
+                  Array.unsafe_set out (orow + !j) !acc0;
+                  Array.unsafe_set out (orow + !j + 1) !acc1;
+                  Array.unsafe_set out (orow + !j + 2) !acc2;
+                  Array.unsafe_set out (orow + !j + 3) !acc3;
+                  Array.unsafe_set out (orow + !j + 4) !acc4;
+                  Array.unsafe_set out (orow + !j + 5) !acc5;
+                  Array.unsafe_set out (orow + !j + 6) !acc6;
+                  Array.unsafe_set out (orow + !j + 7) !acc7;
+                  j := !j + 8
+                done;
+                while !j < jhi do
+                  let r = !j * k in
+                  let acc = ref 0. in
+                  for l = 0 to k - 1 do
+                    acc :=
+                      !acc
+                      +. (Array.unsafe_get ad (arow + l)
+                         *. Array.unsafe_get bt (r + l))
+                  done;
+                  Array.unsafe_set out (orow + !j) !acc;
+                  incr j
+                done
+              done;
+              jb := jhi
+            done)
       done
-    done
-  done;
-  { dtype = a.dtype; shape = out_shape; data = out }
+    end;
+    { dtype = a.dtype; shape = out_shape; data = out }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Structural ops on the strided-copy core                            *)
+(* ------------------------------------------------------------------ *)
 
 let transpose t perm =
-  let out_shape = Shape.transpose t.shape perm in
-  let out = zeros t.dtype out_shape in
-  let src_idx = Array.make (Shape.rank t.shape) 0 in
-  Shape.iter_indices out_shape (fun idx ->
-      Array.iteri (fun i p -> src_idx.(p) <- idx.(i)) perm;
-      set out idx (get t src_idx));
-  { out with dtype = t.dtype }
+  if !use_naive then Naive.transpose t perm
+  else begin
+    let out_shape = Shape.transpose t.shape perm in
+    let src_st = Shape.strides t.shape in
+    let sst = Array.map (fun p -> src_st.(p)) perm in
+    let dst = Array.make (Shape.numel out_shape) 0. in
+    copy_strided ~src:t.data ~soff:0 ~sst ~dst ~doff:0
+      ~tst:(Shape.strides out_shape) out_shape;
+    { t with shape = out_shape; data = dst }
+  end
 
 let reshape t shape =
   if Shape.numel shape <> numel t then
@@ -101,84 +861,48 @@ let reshape t shape =
   else { t with shape }
 
 let broadcast_in_dim t target dims =
-  if Array.length dims <> Shape.rank t.shape then
-    invalid_arg "Literal.broadcast_in_dim: dims rank mismatch";
-  Array.iteri
-    (fun i d ->
-      if t.shape.(i) <> 1 && t.shape.(i) <> target.(d) then
-        invalid_arg "Literal.broadcast_in_dim: size mismatch")
-    dims;
-  let out = zeros t.dtype target in
-  let src_idx = Array.make (Shape.rank t.shape) 0 in
-  Shape.iter_indices target (fun idx ->
-      Array.iteri
-        (fun i d -> src_idx.(i) <- (if t.shape.(i) = 1 then 0 else idx.(d)))
-        dims;
-      set out idx (get t src_idx));
-  { out with dtype = t.dtype }
-
-let reduce kind t dims =
-  Array.iter
-    (fun d ->
-      if d < 0 || d >= Shape.rank t.shape then
-        invalid_arg "Literal.reduce: dim out of range")
-    dims;
-  let out_shape = Shape.remove_dims t.shape dims in
-  let is_reduced = Array.init (Shape.rank t.shape) (fun i -> Array.exists (fun d -> d = i) dims) in
-  let neutral =
-    match kind with `Sum -> 0. | `Max -> neg_infinity | `Min -> infinity
-  in
-  let combine =
-    match kind with `Sum -> ( +. ) | `Max -> Float.max | `Min -> Float.min
-  in
-  let out = full t.dtype out_shape neutral in
-  let out_idx = Array.make (Shape.rank out_shape) 0 in
-  Shape.iter_indices t.shape (fun idx ->
-      let j = ref 0 in
-      Array.iteri
-        (fun i v ->
-          if not is_reduced.(i) then begin
-            out_idx.(!j) <- v;
-            incr j
-          end)
-        idx;
-      set out out_idx (combine (get out out_idx) (get t idx)));
-  out
-
-let concat ts dim =
-  match ts with
-  | [] -> invalid_arg "Literal.concat: empty"
-  | first :: _ ->
-      let rank = Shape.rank first.shape in
-      let total = List.fold_left (fun acc t -> acc + t.shape.(dim)) 0 ts in
-      let out_shape = Shape.with_dim first.shape dim total in
-      let out = zeros first.dtype out_shape in
-      let offset = ref 0 in
-      List.iter
-        (fun t ->
-          if Shape.rank t.shape <> rank then
-            invalid_arg "Literal.concat: rank mismatch";
-          Shape.iter_indices t.shape (fun idx ->
-              let dst = Array.copy idx in
-              dst.(dim) <- dst.(dim) + !offset;
-              set out dst (get t idx));
-          offset := !offset + t.shape.(dim))
-        ts;
-      out
+  if !use_naive then Naive.broadcast_in_dim t target dims
+  else begin
+    if Array.length dims <> Shape.rank t.shape then
+      invalid_arg "Literal.broadcast_in_dim: dims rank mismatch";
+    Array.iteri
+      (fun i d ->
+        if d < 0 || d >= Shape.rank target then
+          invalid_arg "Literal.broadcast_in_dim: dim out of range";
+        if t.shape.(i) <> 1 && t.shape.(i) <> target.(d) then
+          invalid_arg "Literal.broadcast_in_dim: size mismatch")
+      dims;
+    let src_st = Shape.strides t.shape in
+    let sst = Array.make (Shape.rank target) 0 in
+    Array.iteri
+      (fun i d -> sst.(d) <- (if t.shape.(i) = 1 then 0 else src_st.(i)))
+      dims;
+    let dst = Array.make (Shape.numel target) 0. in
+    copy_strided ~src:t.data ~soff:0 ~sst ~dst ~doff:0
+      ~tst:(Shape.strides target) target;
+    { t with shape = target; data = dst }
+  end
 
 let slice t ~starts ~limits =
-  let rank = Shape.rank t.shape in
-  if Array.length starts <> rank || Array.length limits <> rank then
-    invalid_arg "Literal.slice: rank mismatch";
-  let out_shape = Array.init rank (fun i -> limits.(i) - starts.(i)) in
-  let out = zeros t.dtype out_shape in
-  let src = Array.make rank 0 in
-  Shape.iter_indices out_shape (fun idx ->
-      Array.iteri (fun i v -> src.(i) <- v + starts.(i)) idx;
-      set out idx (get t src));
-  out
-
-let clamp v lo hi = if v < lo then lo else if v > hi then hi else v
+  if !use_naive then Naive.slice t ~starts ~limits
+  else begin
+    let rank = Shape.rank t.shape in
+    if Array.length starts <> rank || Array.length limits <> rank then
+      invalid_arg "Literal.slice: rank mismatch";
+    for i = 0 to rank - 1 do
+      if starts.(i) < 0 || starts.(i) > limits.(i) || limits.(i) > t.shape.(i)
+      then
+        invalid_arg
+          (Printf.sprintf "Literal.slice: [%d, %d) out of range for dim %d of %s"
+             starts.(i) limits.(i) i (Shape.to_string t.shape))
+    done;
+    let out_shape = Array.init rank (fun i -> limits.(i) - starts.(i)) in
+    let sst = Shape.strides t.shape in
+    let dst = Array.make (Shape.numel out_shape) 0. in
+    copy_strided ~src:t.data ~soff:(Shape.offset_with sst starts) ~sst ~dst
+      ~doff:0 ~tst:(Shape.strides out_shape) out_shape;
+    { t with shape = out_shape; data = dst }
+  end
 
 let dynamic_slice t ~starts ~sizes =
   let rank = Shape.rank t.shape in
@@ -188,198 +912,480 @@ let dynamic_slice t ~starts ~sizes =
   slice t ~starts ~limits:(Array.init rank (fun i -> starts.(i) + sizes.(i)))
 
 let dynamic_update_slice t update ~starts =
-  let rank = Shape.rank t.shape in
-  let starts =
-    Array.init rank (fun i ->
-        clamp starts.(i) 0 (t.shape.(i) - update.shape.(i)))
-  in
-  let out = { t with data = Array.copy t.data } in
-  let dst = Array.make rank 0 in
-  Shape.iter_indices update.shape (fun idx ->
-      Array.iteri (fun i v -> dst.(i) <- v + starts.(i)) idx;
-      set out dst (get update idx));
-  out
+  if !use_naive then Naive.dynamic_update_slice t update ~starts
+  else begin
+    let rank = Shape.rank t.shape in
+    if Shape.rank update.shape <> rank then
+      invalid_arg "Literal.dynamic_update_slice: rank mismatch";
+    Array.iteri
+      (fun i s ->
+        if s > t.shape.(i) then
+          invalid_arg "Literal.dynamic_update_slice: update larger than operand")
+      update.shape;
+    let starts =
+      Array.init rank (fun i ->
+          clamp starts.(i) 0 (t.shape.(i) - update.shape.(i)))
+    in
+    let dst = Array.copy t.data in
+    let tst = Shape.strides t.shape in
+    copy_strided ~src:update.data ~soff:0 ~sst:(Shape.strides update.shape)
+      ~dst ~doff:(Shape.offset_with tst starts) ~tst update.shape;
+    { t with data = dst }
+  end
 
 let pad t ~low ~high ~value =
-  let rank = Shape.rank t.shape in
-  let out_shape =
-    Array.init rank (fun i -> low.(i) + t.shape.(i) + high.(i))
-  in
-  let out = full t.dtype out_shape value in
-  let dst = Array.make rank 0 in
-  Shape.iter_indices t.shape (fun idx ->
-      Array.iteri (fun i v -> dst.(i) <- v + low.(i)) idx;
-      set out dst (get t idx));
-  out
+  if !use_naive then Naive.pad t ~low ~high ~value
+  else begin
+    let rank = Shape.rank t.shape in
+    if Array.length low <> rank || Array.length high <> rank then
+      invalid_arg "Literal.pad: rank mismatch";
+    for i = 0 to rank - 1 do
+      if low.(i) < 0 || high.(i) < 0 then
+        invalid_arg "Literal.pad: negative padding"
+    done;
+    let out_shape =
+      Array.init rank (fun i -> low.(i) + t.shape.(i) + high.(i))
+    in
+    let dst = Array.make (Shape.numel out_shape) value in
+    let tst = Shape.strides out_shape in
+    copy_strided ~src:t.data ~soff:0 ~sst:(Shape.strides t.shape) ~dst
+      ~doff:(Shape.offset_with tst low) ~tst t.shape;
+    { t with shape = out_shape; data = dst }
+  end
 
-let round_index x limit =
-  let i = int_of_float (Float.round x) in
-  clamp i 0 (limit - 1)
+let concat ts dim =
+  if !use_naive then Naive.concat ts dim
+  else
+    match ts with
+    | [] -> invalid_arg "Literal.concat: empty"
+    | first :: _ ->
+        let rank = Shape.rank first.shape in
+        if dim < 0 || dim >= rank then invalid_arg "Literal.concat: bad dim";
+        List.iter
+          (fun t ->
+            if Shape.rank t.shape <> rank then
+              invalid_arg "Literal.concat: rank mismatch";
+            Array.iteri
+              (fun i s ->
+                if i <> dim && s <> first.shape.(i) then
+                  invalid_arg "Literal.concat: shape mismatch off the concat dim")
+              t.shape)
+          ts;
+        let total = List.fold_left (fun acc t -> acc + t.shape.(dim)) 0 ts in
+        let out_shape = Shape.with_dim first.shape dim total in
+        let dst = Array.make (Shape.numel out_shape) 0. in
+        let tst = Shape.strides out_shape in
+        let offset = ref 0 in
+        List.iter
+          (fun t ->
+            copy_strided ~src:t.data ~soff:0 ~sst:(Shape.strides t.shape) ~dst
+              ~doff:(!offset * tst.(dim)) ~tst t.shape;
+            offset := !offset + t.shape.(dim))
+          ts;
+        { first with shape = out_shape; data = dst }
+
+(* ------------------------------------------------------------------ *)
+(* Reduce                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let reduce kind t dims =
+  if !use_naive then Naive.reduce kind t dims
+  else begin
+    let rank = Shape.rank t.shape in
+    Array.iter
+      (fun d ->
+        if d < 0 || d >= rank then invalid_arg "Literal.reduce: dim out of range")
+      dims;
+    let out_shape = Shape.remove_dims t.shape dims in
+    let is_reduced =
+      Array.init rank (fun i -> Array.exists (fun d -> d = i) dims)
+    in
+    let neutral =
+      match kind with `Sum -> 0. | `Max -> neg_infinity | `Min -> infinity
+    in
+    let combine =
+      match kind with `Sum -> ( +. ) | `Max -> Float.max | `Min -> Float.min
+    in
+    let out = Array.make (Shape.numel out_shape) neutral in
+    let src = t.data in
+    if Array.length src > 0 && Array.length out > 0 then begin
+      let sst = Shape.strides t.shape in
+      (* Per-source-dim destination stride: 0 on reduced dims, so one walk
+         of the source in flat order lands every element on its output
+         cell without materializing a single index array. *)
+      let out_st = Shape.strides out_shape in
+      let ost = Array.make rank 0 in
+      let j = ref 0 in
+      for i = 0 to rank - 1 do
+        if not is_reduced.(i) then begin
+          ost.(i) <- out_st.(!j);
+          incr j
+        end
+      done;
+      let shp = t.shape in
+      (* The innermost axis stays a tight flat loop: an accumulator
+         register when it is reduced, a strided combine when it is kept.
+         Source order is row-major — the same combine order as [Naive]. *)
+      let rec go d soff ooff =
+        if d = rank then
+          Array.unsafe_set out ooff
+            (combine (Array.unsafe_get out ooff) (Array.unsafe_get src soff))
+        else if d = rank - 1 then begin
+          (* Innermost loops are specialized per kind so the combine
+             compiles as a direct float op, not a closure call. Same
+             left-to-right order as [combine]-folding in source order. *)
+          let n = shp.(d) and os = ost.(d) in
+          if os = 0 then begin
+            let acc = ref (Array.unsafe_get out ooff) in
+            (match kind with
+            | `Sum ->
+                for l = 0 to n - 1 do
+                  acc := !acc +. Array.unsafe_get src (soff + l)
+                done
+            | `Max ->
+                for l = 0 to n - 1 do
+                  acc := Float.max !acc (Array.unsafe_get src (soff + l))
+                done
+            | `Min ->
+                for l = 0 to n - 1 do
+                  acc := Float.min !acc (Array.unsafe_get src (soff + l))
+                done);
+            Array.unsafe_set out ooff !acc
+          end
+          else
+            match kind with
+            | `Sum ->
+                for l = 0 to n - 1 do
+                  let o = ooff + (l * os) in
+                  Array.unsafe_set out o
+                    (Array.unsafe_get out o +. Array.unsafe_get src (soff + l))
+                done
+            | `Max ->
+                for l = 0 to n - 1 do
+                  let o = ooff + (l * os) in
+                  Array.unsafe_set out o
+                    (Float.max (Array.unsafe_get out o)
+                       (Array.unsafe_get src (soff + l)))
+                done
+            | `Min ->
+                for l = 0 to n - 1 do
+                  let o = ooff + (l * os) in
+                  Array.unsafe_set out o
+                    (Float.min (Array.unsafe_get out o)
+                       (Array.unsafe_get src (soff + l)))
+                done
+        end
+        else begin
+          let ss = sst.(d) and os = ost.(d) in
+          for i = 0 to shp.(d) - 1 do
+            go (d + 1) (soff + (i * ss)) (ooff + (i * os))
+          done
+        end
+      in
+      if rank >= 1 && (not is_reduced.(0)) && rank > 1 then
+        (* Outermost dim kept: chunks own disjoint output slabs and every
+           cell accumulates in the same order as sequentially. *)
+        Partir_parallel.parallel_for
+          ~work:(Array.length src / shp.(0) * 2)
+          shp.(0)
+          (fun lo hi ->
+            for i = lo to hi - 1 do
+              go 1 (i * sst.(0)) (i * ost.(0))
+            done)
+      else go 0 0 0
+    end;
+    { t with shape = out_shape; data = out }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Gather / scatter                                                   *)
+(* ------------------------------------------------------------------ *)
 
 let take operand indices ~axis =
-  let op_rank = Shape.rank operand.shape in
-  let idx_shape = indices.shape in
-  (* Result: operand dims with [axis] replaced by the index shape. *)
-  let out_shape =
-    Array.concat
-      [
-        Array.sub operand.shape 0 axis;
-        idx_shape;
-        Array.sub operand.shape (axis + 1) (op_rank - axis - 1);
-      ]
-  in
-  let out = zeros operand.dtype out_shape in
-  let idx_rank = Shape.rank idx_shape in
-  let src = Array.make op_rank 0 in
-  let idx_pos = Array.make idx_rank 0 in
-  Shape.iter_indices out_shape (fun idx ->
-      for i = 0 to axis - 1 do
-        src.(i) <- idx.(i)
-      done;
-      for i = 0 to idx_rank - 1 do
-        idx_pos.(i) <- idx.(axis + i)
-      done;
-      let gathered = round_index (get indices idx_pos) operand.shape.(axis) in
-      src.(axis) <- gathered;
-      for i = axis + 1 to op_rank - 1 do
-        src.(i) <- idx.(i - axis + (idx_rank - 1) + axis)
-      done;
-      set out idx (get operand src));
-  out
+  if !use_naive then Naive.take operand indices ~axis
+  else begin
+    let op_rank = Shape.rank operand.shape in
+    if axis < 0 || axis >= op_rank then invalid_arg "Literal.take: bad axis";
+    let idx_shape = indices.shape in
+    let out_shape =
+      Array.concat
+        [
+          Array.sub operand.shape 0 axis;
+          idx_shape;
+          Array.sub operand.shape (axis + 1) (op_rank - axis - 1);
+        ]
+    in
+    let outer = Shape.numel (Array.sub operand.shape 0 axis) in
+    let inner =
+      Shape.numel (Array.sub operand.shape (axis + 1) (op_rank - axis - 1))
+    in
+    let nidx = numel indices in
+    let ax = operand.shape.(axis) in
+    let dst = Array.make (Shape.numel out_shape) 0. in
+    let src = operand.data and idxs = indices.data in
+    if Array.length dst > 0 then
+      (* One [blit] per (outer, index) pair: the whole inner suffix is one
+         contiguous block in both operand and result. *)
+      Partir_parallel.parallel_for ~work:(outer * inner) nidx (fun lo hi ->
+          for j = lo to hi - 1 do
+            let g = round_index (Array.unsafe_get idxs j) ax in
+            for o = 0 to outer - 1 do
+              Array.blit src
+                ((((o * ax) + g) * inner))
+                dst
+                ((((o * nidx) + j) * inner))
+                inner
+            done
+          done);
+    { operand with shape = out_shape; data = dst }
+  end
 
 let scatter_add operand indices updates ~axis =
-  let out = { operand with data = Array.copy operand.data } in
-  let op_rank = Shape.rank operand.shape in
-  let idx_rank = Shape.rank indices.shape in
-  let dst = Array.make op_rank 0 in
-  let idx_pos = Array.make idx_rank 0 in
-  Shape.iter_indices updates.shape (fun idx ->
-      for i = 0 to axis - 1 do
-        dst.(i) <- idx.(i)
-      done;
-      for i = 0 to idx_rank - 1 do
-        idx_pos.(i) <- idx.(axis + i)
-      done;
-      let target = round_index (get indices idx_pos) operand.shape.(axis) in
-      dst.(axis) <- target;
-      for i = axis + 1 to op_rank - 1 do
-        dst.(i) <- idx.(i - axis + (idx_rank - 1) + axis)
-      done;
-      set out dst (get out dst +. get updates idx));
-  out
+  if !use_naive then Naive.scatter_add operand indices updates ~axis
+  else begin
+    let op_rank = Shape.rank operand.shape in
+    if axis < 0 || axis >= op_rank then
+      invalid_arg "Literal.scatter_add: bad axis";
+    let outer = Shape.numel (Array.sub operand.shape 0 axis) in
+    let inner =
+      Shape.numel (Array.sub operand.shape (axis + 1) (op_rank - axis - 1))
+    in
+    let nidx = numel indices in
+    let ax = operand.shape.(axis) in
+    let dst = Array.copy operand.data in
+    let upd = updates.data and idxs = indices.data in
+    if numel updates <> outer * nidx * inner then
+      invalid_arg "Literal.scatter_add: updates shape mismatch";
+    (* Sequential: colliding indices must accumulate in [Naive]'s
+       row-major update order (outer, then index, then inner). *)
+    for o = 0 to outer - 1 do
+      for j = 0 to nidx - 1 do
+        let g = round_index (Array.unsafe_get idxs j) ax in
+        let db = ((o * ax) + g) * inner and ub = ((o * nidx) + j) * inner in
+        for i = 0 to inner - 1 do
+          Array.unsafe_set dst (db + i)
+            (Array.unsafe_get dst (db + i) +. Array.unsafe_get upd (ub + i))
+        done
+      done
+    done;
+    { operand with data = dst }
+  end
 
-(* Convolution: input NHWC, kernel HWIO, output NHWC. *)
+(* ------------------------------------------------------------------ *)
+(* Convolution on precomputed offset tables                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Valid kernel taps per output (or input) coordinate, precomputed once:
+   [taps.(oy)] lists every [ky] whose input row stays in bounds. This
+   hoists all boundary tests out of the pixel loops. *)
+let conv_taps ~out_size ~k ~stride ~padding ~in_size =
+  Array.init out_size (fun o ->
+      let rec collect ky acc =
+        if ky < 0 then acc
+        else
+          let i = (o * stride) + ky - padding in
+          if i >= 0 && i < in_size then collect (ky - 1) (ky :: acc)
+          else collect (ky - 1) acc
+      in
+      Array.of_list (collect (k - 1) []))
+
 let conv2d input kernel ~stride ~padding =
-  let n = input.shape.(0)
-  and h = input.shape.(1)
-  and w = input.shape.(2)
-  and c = input.shape.(3) in
-  let kh = kernel.shape.(0)
-  and kw = kernel.shape.(1)
-  and ci = kernel.shape.(2)
-  and co = kernel.shape.(3) in
-  if c <> ci then invalid_arg "Literal.conv2d: channel mismatch";
-  let oh = ((h + (2 * padding) - kh) / stride) + 1 in
-  let ow = ((w + (2 * padding) - kw) / stride) + 1 in
-  let out = zeros input.dtype [| n; oh; ow; co |] in
-  for b = 0 to n - 1 do
-    for oy = 0 to oh - 1 do
-      for ox = 0 to ow - 1 do
-        for oc = 0 to co - 1 do
-          let acc = ref 0. in
-          for ky = 0 to kh - 1 do
-            for kx = 0 to kw - 1 do
-              let iy = (oy * stride) + ky - padding in
-              let ix = (ox * stride) + kx - padding in
-              if iy >= 0 && iy < h && ix >= 0 && ix < w then
-                for ic = 0 to c - 1 do
-                  acc :=
-                    !acc
-                    +. get input [| b; iy; ix; ic |]
-                       *. get kernel [| ky; kx; ic; oc |]
-                done
-            done
-          done;
-          set out [| b; oy; ox; oc |] !acc
-        done
-      done
-    done
-  done;
-  out
-
-let conv2d_input_grad grad_out kernel ~input_shape ~stride ~padding =
-  let n = input_shape.(0)
-  and h = input_shape.(1)
-  and w = input_shape.(2)
-  and c = input_shape.(3) in
-  let kh = kernel.shape.(0) and kw = kernel.shape.(1) in
-  let co = kernel.shape.(3) in
-  let oh = grad_out.shape.(1) and ow = grad_out.shape.(2) in
-  let out = zeros grad_out.dtype [| n; h; w; c |] in
-  for b = 0 to n - 1 do
-    for oy = 0 to oh - 1 do
-      for ox = 0 to ow - 1 do
-        for oc = 0 to co - 1 do
-          let g = get grad_out [| b; oy; ox; oc |] in
-          if g <> 0. then
-            for ky = 0 to kh - 1 do
-              for kx = 0 to kw - 1 do
+  if !use_naive then Naive.conv2d input kernel ~stride ~padding
+  else begin
+    let n = input.shape.(0)
+    and h = input.shape.(1)
+    and w = input.shape.(2)
+    and c = input.shape.(3) in
+    let kh = kernel.shape.(0)
+    and kw = kernel.shape.(1)
+    and ci = kernel.shape.(2)
+    and co = kernel.shape.(3) in
+    if c <> ci then invalid_arg "Literal.conv2d: channel mismatch";
+    let oh = ((h + (2 * padding) - kh) / stride) + 1 in
+    let ow = ((w + (2 * padding) - kw) / stride) + 1 in
+    let out = Array.make (n * oh * ow * co) 0. in
+    let src = input.data and ker = kernel.data in
+    if Array.length out > 0 && Array.length src > 0 then begin
+      let taps_y = conv_taps ~out_size:oh ~k:kh ~stride ~padding ~in_size:h in
+      let taps_x = conv_taps ~out_size:ow ~k:kw ~stride ~padding ~in_size:w in
+      Partir_parallel.parallel_for
+        ~work:(ow * co * kh * kw * c * 2)
+        (n * oh)
+        (fun lo hi ->
+          let acc = Array.make co 0. in
+          for r = lo to hi - 1 do
+            let b = r / oh and oy = r mod oh in
+            let ty = taps_y.(oy) in
+            for ox = 0 to ow - 1 do
+              let tx = taps_x.(ox) in
+              Array.fill acc 0 co 0.;
+              (* Accumulate per output channel in ascending (ky, kx, ic)
+                 order — [Naive]'s summation order, so bit-identical. *)
+              for yi = 0 to Array.length ty - 1 do
+                let ky = Array.unsafe_get ty yi in
                 let iy = (oy * stride) + ky - padding in
-                let ix = (ox * stride) + kx - padding in
-                if iy >= 0 && iy < h && ix >= 0 && ix < w then
+                for xi = 0 to Array.length tx - 1 do
+                  let kx = Array.unsafe_get tx xi in
+                  let ix = (ox * stride) + kx - padding in
+                  let ibase = ((((b * h) + iy) * w) + ix) * c in
+                  let kbase = (((ky * kw) + kx) * c) * co in
                   for ic = 0 to c - 1 do
-                    set out [| b; iy; ix; ic |]
-                      (get out [| b; iy; ix; ic |]
-                      +. (g *. get kernel [| ky; kx; ic; oc |]))
+                    let av = Array.unsafe_get src (ibase + ic) in
+                    let kb = kbase + (ic * co) in
+                    for oc = 0 to co - 1 do
+                      Array.unsafe_set acc oc
+                        (Array.unsafe_get acc oc
+                        +. (av *. Array.unsafe_get ker (kb + oc)))
+                    done
                   done
-              done
+                done
+              done;
+              Array.blit acc 0 out (((r * ow) + ox) * co) co
             done
-        done
-      done
-    done
-  done;
-  out
+          done)
+    end;
+    { dtype = input.dtype; shape = [| n; oh; ow; co |]; data = out }
+  end
 
-let conv2d_kernel_grad input grad_out ~kernel_shape ~stride ~padding =
-  let n = input.shape.(0)
-  and h = input.shape.(1)
-  and w = input.shape.(2) in
-  let kh = kernel_shape.(0)
-  and kw = kernel_shape.(1)
-  and ci = kernel_shape.(2)
-  and co = kernel_shape.(3) in
-  let oh = grad_out.shape.(1) and ow = grad_out.shape.(2) in
-  let out = zeros input.dtype [| kh; kw; ci; co |] in
-  for b = 0 to n - 1 do
-    for oy = 0 to oh - 1 do
-      for ox = 0 to ow - 1 do
-        for oc = 0 to co - 1 do
-          let g = get grad_out [| b; oy; ox; oc |] in
-          if g <> 0. then
-            for ky = 0 to kh - 1 do
-              for kx = 0 to kw - 1 do
-                let iy = (oy * stride) + ky - padding in
-                let ix = (ox * stride) + kx - padding in
-                if iy >= 0 && iy < h && ix >= 0 && ix < w then
-                  for ic = 0 to ci - 1 do
-                    set out [| ky; kx; ic; oc |]
-                      (get out [| ky; kx; ic; oc |]
-                      +. (g *. get input [| b; iy; ix; ic |]))
+(* Input gradient in gather form: each input pixel sums the output-gradient
+   pixels its value contributed to. Per-cell summation order differs from
+   [Naive]'s scatter order, so parity is approximate (float reassociation)
+   but still independent of the domain count. *)
+let conv2d_input_grad grad_out kernel ~input_shape ~stride ~padding =
+  if !use_naive then
+    Naive.conv2d_input_grad grad_out kernel ~input_shape ~stride ~padding
+  else begin
+    let n = input_shape.(0)
+    and h = input_shape.(1)
+    and w = input_shape.(2)
+    and c = input_shape.(3) in
+    let kh = kernel.shape.(0) and kw = kernel.shape.(1) in
+    let co = kernel.shape.(3) in
+    let oh = grad_out.shape.(1) and ow = grad_out.shape.(2) in
+    let out = Array.make (n * h * w * c) 0. in
+    let g = grad_out.data and ker = kernel.data in
+    if Array.length out > 0 && Array.length g > 0 then begin
+      (* Taps per input coordinate: the (ky, oy) pairs with
+         oy * stride + ky - padding = iy, oy in range. *)
+      let taps in_size k out_size =
+        Array.init in_size (fun i ->
+            let rec collect ky acc =
+              if ky < 0 then acc
+              else
+                let num = i + padding - ky in
+                if num >= 0 && num mod stride = 0 && num / stride < out_size
+                then collect (ky - 1) ((ky, num / stride) :: acc)
+                else collect (ky - 1) acc
+            in
+            Array.of_list (collect (k - 1) []))
+      in
+      let taps_y = taps h kh oh and taps_x = taps w kw ow in
+      Partir_parallel.parallel_for
+        ~work:(w * c * kh * kw * co * 2)
+        (n * h)
+        (fun lo hi ->
+          let acc = Array.make c 0. in
+          for r = lo to hi - 1 do
+            let b = r / h and iy = r mod h in
+            let ty = taps_y.(iy) in
+            for ix = 0 to w - 1 do
+              let tx = taps_x.(ix) in
+              Array.fill acc 0 c 0.;
+              for yi = 0 to Array.length ty - 1 do
+                let ky, oy = Array.unsafe_get ty yi in
+                for xi = 0 to Array.length tx - 1 do
+                  let kx, ox = Array.unsafe_get tx xi in
+                  let gbase = ((((b * oh) + oy) * ow) + ox) * co in
+                  let kbase = (((ky * kw) + kx) * c) * co in
+                  for ic = 0 to c - 1 do
+                    let kb = kbase + (ic * co) in
+                    let dot = ref 0. in
+                    for oc = 0 to co - 1 do
+                      dot :=
+                        !dot
+                        +. (Array.unsafe_get g (gbase + oc)
+                           *. Array.unsafe_get ker (kb + oc))
+                    done;
+                    Array.unsafe_set acc ic (Array.unsafe_get acc ic +. !dot)
                   done
+                done
+              done;
+              Array.blit acc 0 out (((r * w) + ix) * c) c
+            done
+          done)
+    end;
+    { dtype = grad_out.dtype; shape = [| n; h; w; c |]; data = out }
+  end
+
+(* Kernel gradient: a reduction over every output pixel into a small
+   [kh*kw*ci*co] buffer. Sequential so colliding accumulations keep
+   [Naive]'s (b, oy, ox)-ascending order exactly. *)
+let conv2d_kernel_grad input grad_out ~kernel_shape ~stride ~padding =
+  if !use_naive then
+    Naive.conv2d_kernel_grad input grad_out ~kernel_shape ~stride ~padding
+  else begin
+    let n = input.shape.(0)
+    and h = input.shape.(1)
+    and w = input.shape.(2) in
+    let c = input.shape.(3) in
+    let kh = kernel_shape.(0)
+    and kw = kernel_shape.(1)
+    and ci = kernel_shape.(2)
+    and co = kernel_shape.(3) in
+    let oh = grad_out.shape.(1) and ow = grad_out.shape.(2) in
+    let out = Array.make (kh * kw * ci * co) 0. in
+    let src = input.data and g = grad_out.data in
+    if Array.length out > 0 && Array.length g > 0 && Array.length src > 0
+    then begin
+      let taps_y = conv_taps ~out_size:oh ~k:kh ~stride ~padding ~in_size:h in
+      let taps_x = conv_taps ~out_size:ow ~k:kw ~stride ~padding ~in_size:w in
+      for b = 0 to n - 1 do
+        for oy = 0 to oh - 1 do
+          let ty = taps_y.(oy) in
+          for ox = 0 to ow - 1 do
+            let tx = taps_x.(ox) in
+            let gbase = ((((b * oh) + oy) * ow) + ox) * co in
+            for yi = 0 to Array.length ty - 1 do
+              let ky = Array.unsafe_get ty yi in
+              let iy = (oy * stride) + ky - padding in
+              for xi = 0 to Array.length tx - 1 do
+                let kx = Array.unsafe_get tx xi in
+                let ix = (ox * stride) + kx - padding in
+                let ibase = ((((b * h) + iy) * w) + ix) * c in
+                let kbase = (((ky * kw) + kx) * ci) * co in
+                for ic = 0 to c - 1 do
+                  let av = Array.unsafe_get src (ibase + ic) in
+                  let ob = kbase + (ic * co) in
+                  for oc = 0 to co - 1 do
+                    Array.unsafe_set out (ob + oc)
+                      (Array.unsafe_get out (ob + oc)
+                      +. (av *. Array.unsafe_get g (gbase + oc)))
+                  done
+                done
               done
             done
+          done
         done
       done
-    done
-  done;
-  out
+    end;
+    { dtype = input.dtype; shape = [| kh; kw; ci; co |]; data = out }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Comparison                                                         *)
+(* ------------------------------------------------------------------ *)
 
 let max_abs_diff a b =
   if not (Shape.equal a.shape b.shape) then infinity
   else begin
     let m = ref 0. in
-    for i = 0 to numel a - 1 do
-      m := Float.max !m (Float.abs (a.data.(i) -. b.data.(i)))
+    let n = numel a in
+    let i = ref 0 in
+    (* Once the max is infinite (or NaN-poisoned) no later element can
+       change it: stop scanning. *)
+    while !i < n && !m < infinity && not (Float.is_nan !m) do
+      m := Float.max !m (Float.abs (a.data.(!i) -. b.data.(!i)));
+      incr i
     done;
     !m
   end
@@ -387,13 +1393,18 @@ let max_abs_diff a b =
 let approx_equal ?(tol = 1e-6) a b =
   Shape.equal a.shape b.shape
   &&
-  let ok = ref true in
-  for i = 0 to numel a - 1 do
+  let n = numel a in
+  (* Early exit on the first decisive mismatch (NaNs compare equal, as in
+     the original full-scan version where a NaN difference never tripped
+     the [>] test). *)
+  let rec go i =
+    i >= n
+    ||
     let x = a.data.(i) and y = b.data.(i) in
     let scale = Float.max 1. (Float.max (Float.abs x) (Float.abs y)) in
-    if Float.abs (x -. y) > tol *. scale then ok := false
-  done;
-  !ok
+    if Float.abs (x -. y) > tol *. scale then false else go (i + 1)
+  in
+  go 0
 
 let pp ppf t =
   let n = numel t in

@@ -38,6 +38,21 @@ val map2 : (float -> float -> float) -> t -> t -> t
 val select : t -> t -> t -> t
 (** [select pred on_true on_false]: elementwise; pred nonzero picks true. *)
 
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+
+val relu : t -> t
+(** Specialized elementwise kernels: same semantics as the equivalent
+    {!map}/{!map2} call but with the float op inlined in a flat loop
+    instead of a closure call per element. *)
+
+val compare_op : [ `Eq | `Ne | `Lt | `Le | `Gt | `Ge ] -> t -> t -> t
+(** Elementwise comparison producing 1.0 / 0.0, one specialized loop per
+    kind. *)
+
 (** {1 Linear algebra} *)
 
 val matmul : t -> t -> t
@@ -85,5 +100,45 @@ val conv2d_kernel_grad : t -> t -> kernel_shape:Shape.t -> stride:int -> padding
 (** {1 Comparison and testing} *)
 
 val approx_equal : ?tol:float -> t -> t -> bool
+(** Per-element relative comparison with early exit on the first decisive
+    mismatch. NaN elements never fail the comparison (they are treated as
+    equal), matching the historical full-scan behaviour. *)
+
 val max_abs_diff : t -> t -> float
 val pp : Format.formatter -> t -> unit
+
+(** {1 Kernel engine controls} *)
+
+val set_naive : bool -> unit
+(** [set_naive true] routes every kernel entry point above to its
+    one-element-at-a-time reference implementation in {!Naive}. Used by the
+    kernel benchmark to measure the seed kernels end-to-end; defaults to
+    [false] (optimized engine). *)
+
+(** The reference kernels: the original unoptimized implementations, kept
+    as the semantic oracle for parity tests and as the baseline for the
+    kernel benchmark. Same signatures and semantics as the toplevel
+    entry points. *)
+module Naive : sig
+  val map : (float -> float) -> t -> t
+  val map2 : (float -> float -> float) -> t -> t -> t
+  val select : t -> t -> t -> t
+  val matmul : t -> t -> t
+  val transpose : t -> int array -> t
+  val broadcast_in_dim : t -> Shape.t -> int array -> t
+  val reduce : [ `Sum | `Max | `Min ] -> t -> int array -> t
+  val concat : t list -> int -> t
+  val slice : t -> starts:int array -> limits:int array -> t
+  val dynamic_slice : t -> starts:int array -> sizes:int array -> t
+  val dynamic_update_slice : t -> t -> starts:int array -> t
+  val pad : t -> low:int array -> high:int array -> value:float -> t
+  val take : t -> t -> axis:int -> t
+  val scatter_add : t -> t -> t -> axis:int -> t
+  val conv2d : t -> t -> stride:int -> padding:int -> t
+
+  val conv2d_input_grad :
+    t -> t -> input_shape:Shape.t -> stride:int -> padding:int -> t
+
+  val conv2d_kernel_grad :
+    t -> t -> kernel_shape:Shape.t -> stride:int -> padding:int -> t
+end

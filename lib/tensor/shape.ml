@@ -28,17 +28,18 @@ let strides (s : t) =
   done;
   st
 
-let offset_of_index (s : t) (idx : int array) =
-  let st = strides s in
+(* Precomputed-stride variants: callers that loop over many indices of the
+   same shape compute [strides] once instead of re-deriving (and
+   re-allocating) them per element. *)
+let offset_with (st : int array) (idx : int array) =
   let acc = ref 0 in
-  for i = 0 to Array.length s - 1 do
+  for i = 0 to Array.length st - 1 do
     acc := !acc + (idx.(i) * st.(i))
   done;
   !acc
 
-let index_of_offset (s : t) off =
-  let st = strides s in
-  let n = Array.length s in
+let index_with (st : int array) off =
+  let n = Array.length st in
   let idx = Array.make n 0 in
   let rem = ref off in
   for i = 0 to n - 1 do
@@ -46,6 +47,9 @@ let index_of_offset (s : t) off =
     rem := !rem mod st.(i)
   done;
   idx
+
+let offset_of_index (s : t) (idx : int array) = offset_with (strides s) idx
+let index_of_offset (s : t) off = index_with (strides s) off
 
 let iter_indices (s : t) f =
   let n = Array.length s in

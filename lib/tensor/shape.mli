@@ -21,10 +21,17 @@ val strides : t -> int array
 (** Row-major strides, e.g. strides [|2;3;4|] = [|12;4;1|]. *)
 
 val offset_of_index : t -> int array -> int
-(** Flat row-major offset of a multi-index. *)
+(** Flat row-major offset of a multi-index. Derives the strides on every
+    call; loops should precompute them once and use {!offset_with}. *)
 
 val index_of_offset : t -> int -> int array
 (** Inverse of {!offset_of_index}. *)
+
+val offset_with : int array -> int array -> int
+(** [offset_with strides idx]: flat offset against precomputed strides. *)
+
+val index_with : int array -> int -> int array
+(** [index_with strides off]: multi-index against precomputed strides. *)
 
 val iter_indices : t -> (int array -> unit) -> unit
 (** Iterate over all multi-indices in row-major order. The array passed to

@@ -1,0 +1,355 @@
+(* Parity tests for the optimized kernel engine: every optimized kernel in
+   Literal must agree with its Naive reference twin on randomized inputs,
+   including degenerate shapes (rank 0, size-1 dims, empty tensors) and
+   non-contiguous permutations, and must produce bit-identical results
+   regardless of the configured domain count. *)
+
+open Partir_tensor
+module Parallel = Partir.Parallel
+module Gen = Partir_check.Gen
+module Interp = Partir_hlo.Interp
+
+let st = Random.State.make [| 0x5eed; 42 |]
+
+let rand_lit ?(dtype = Dtype.F32) shape =
+  Literal.init dtype shape (fun _ ->
+      match dtype with
+      | Dtype.I32 | Dtype.I64 | Dtype.Bool ->
+          float_of_int (Random.State.int st 17 - 8)
+      | _ -> Random.State.float st 4. -. 2.)
+
+let rand_pos shape =
+  Literal.init Dtype.F32 shape (fun _ -> Random.State.float st 4. +. 0.5)
+
+let domain_counts = [ 1; 2; 4 ]
+
+(* Run [f] once with the naive kernels and once per domain count with the
+   optimized engine. The optimized results must match the reference within
+   [tol] (0. means bit-identical) and must be bit-identical to each other
+   across domain counts. *)
+let parity ?(tol = 0.) name (f : unit -> Literal.t) =
+  let reference =
+    Literal.set_naive true;
+    Fun.protect ~finally:(fun () -> Literal.set_naive false) f
+  in
+  let outs =
+    List.map
+      (fun d ->
+        Parallel.set_num_domains d;
+        Fun.protect ~finally:Parallel.clear_num_domains f)
+      domain_counts
+  in
+  (* Total-order compare so that equal infinities (reduce neutrals) and
+     NaNs in the same slots count as identical. *)
+  let identical (a : Literal.t) (b : Literal.t) =
+    Shape.equal a.Literal.shape b.Literal.shape
+    && Stdlib.compare a.Literal.data b.Literal.data = 0
+  in
+  List.iter2
+    (fun d o ->
+      let ok =
+        if tol = 0. then identical reference o
+        else Literal.approx_equal ~tol reference o
+      in
+      if not ok then
+        Alcotest.failf "%s: domains=%d diff=%g (tol=%g)" name d
+          (Literal.max_abs_diff reference o)
+          tol)
+    domain_counts outs;
+  match outs with
+  | first :: rest ->
+      List.iter2
+        (fun d o ->
+          if not (identical first o) then
+            Alcotest.failf "%s: result depends on domain count (%d)" name d)
+        (List.tl domain_counts) rest
+  | [] -> ()
+
+(* Shape pools shared by the elementwise cases: degenerate and "normal". *)
+let ew_shapes =
+  [ [||]; [| 0 |]; [| 1 |]; [| 1; 1; 1 |]; [| 5; 7 |]; [| 3; 0; 4 |]; [| 257 |] ]
+
+let test_elementwise () =
+  List.iter
+    (fun shape ->
+      let a = rand_lit shape and b = rand_pos shape in
+      let tag = Shape.to_string shape in
+      parity ("map exp " ^ tag) (fun () -> Literal.map Stdlib.exp a);
+      parity ("map2 pow " ^ tag) (fun () -> Literal.map2 Float.pow b b);
+      parity ("add " ^ tag) (fun () -> Literal.add a b);
+      parity ("sub " ^ tag) (fun () -> Literal.sub a b);
+      parity ("mul " ^ tag) (fun () -> Literal.mul a b);
+      parity ("div " ^ tag) (fun () -> Literal.div a b);
+      parity ("neg " ^ tag) (fun () ->
+          if Literal.max_abs_diff (Literal.neg a) (Literal.map (fun x -> -.x) a)
+             <> 0.
+          then Alcotest.fail "neg disagrees with map";
+          Literal.neg a);
+      parity ("relu " ^ tag) (fun () -> Literal.relu a);
+      let pred = rand_lit ~dtype:Dtype.I32 shape in
+      parity ("select " ^ tag) (fun () -> Literal.select pred a b);
+      List.iter
+        (fun c ->
+          parity ("compare " ^ tag) (fun () -> Literal.compare_op c a b))
+        [ `Eq; `Ne; `Lt; `Le; `Gt; `Ge ])
+    ew_shapes
+
+let test_matmul () =
+  let cases =
+    [
+      ([| 1; 1 |], [| 1; 1 |]);
+      ([| 3; 4 |], [| 4; 5 |]);
+      ([| 7; 13 |], [| 13; 9 |]);
+      (* j remainder after the 8-wide unroll, odd k *)
+      ([| 2; 3; 5 |], [| 2; 5; 4 |]);
+      ([| 0; 4 |], [| 4; 5 |]);
+      (* empty m *)
+      ([| 3; 0 |], [| 0; 5 |]);
+      (* k = 0: result is all zeros in both engines *)
+      ([| 2; 1; 33; 17 |], [| 2; 1; 17; 31 |]);
+    ]
+  in
+  List.iter
+    (fun (sa, sb) ->
+      let a = rand_lit sa and b = rand_lit sb in
+      parity
+        (Printf.sprintf "matmul %s x %s" (Shape.to_string sa)
+           (Shape.to_string sb))
+        (fun () -> Literal.matmul a b))
+    cases
+
+let test_transpose () =
+  let cases =
+    [
+      ([||], [||]);
+      ([| 5 |], [| 0 |]);
+      ([| 3; 4; 5 |], [| 2; 1; 0 |]);
+      ([| 3; 4; 5 |], [| 1; 2; 0 |]);
+      ([| 1; 6; 1 |], [| 2; 0; 1 |]);
+      ([| 0; 3 |], [| 1; 0 |]);
+      (* big 2-D swap exercises the tiled gather path *)
+      ([| 40; 50 |], [| 1; 0 |]);
+    ]
+  in
+  List.iter
+    (fun (shape, perm) ->
+      let a = rand_lit shape in
+      parity
+        (Printf.sprintf "transpose %s perm %s" (Shape.to_string shape)
+           (Shape.to_string perm))
+        (fun () -> Literal.transpose a perm))
+    cases
+
+let test_broadcast () =
+  let cases =
+    [
+      ([||], [| 3; 4 |], [||]);
+      ([| 1; 4 |], [| 3; 4 |], [| 0; 1 |]);
+      ([| 4 |], [| 3; 4 |], [| 1 |]);
+      ([| 4 |], [| 4; 3 |], [| 0 |]);
+      (* stride-0 inner dim *)
+      ([| 2; 1; 3 |], [| 2; 5; 3 |], [| 0; 1; 2 |]);
+      ([| 2 |], [| 2; 0 |], [| 0 |]);
+    ]
+  in
+  List.iter
+    (fun (src, target, dims) ->
+      let a = rand_lit src in
+      parity
+        (Printf.sprintf "broadcast %s -> %s" (Shape.to_string src)
+           (Shape.to_string target))
+        (fun () -> Literal.broadcast_in_dim a target dims))
+    cases
+
+let test_reduce () =
+  let cases =
+    [
+      ([| 4; 5; 6 |], [| 0 |]);
+      ([| 4; 5; 6 |], [| 1 |]);
+      ([| 4; 5; 6 |], [| 2 |]);
+      ([| 4; 5; 6 |], [| 0; 2 |]);
+      ([| 4; 5; 6 |], [| 0; 1; 2 |]);
+      ([| 7 |], [| 0 |]);
+      ([| 0; 3 |], [| 0 |]);
+      (* reduce over an empty dim: neutral element *)
+      ([| 1; 1 |], [| 1 |]);
+      ([| 64; 65 |], [| 1 |]);
+      ([||], [||]);
+    ]
+  in
+  List.iter
+    (fun (shape, dims) ->
+      let a = rand_lit shape in
+      List.iter
+        (fun kind ->
+          parity
+            (Printf.sprintf "reduce %s dims %s" (Shape.to_string shape)
+               (Shape.to_string dims))
+            (fun () -> Literal.reduce kind a dims))
+        [ `Sum; `Max; `Min ])
+    cases
+
+let test_structural () =
+  (* concat, incl. a zero-sized part *)
+  let c1 = rand_lit [| 2; 3 |]
+  and c2 = rand_lit [| 2; 0 |]
+  and c3 = rand_lit [| 2; 5 |] in
+  parity "concat dim1" (fun () -> Literal.concat [ c1; c2; c3 ] 1);
+  let r1 = rand_lit [| 2; 4 |] and r2 = rand_lit [| 3; 4 |] in
+  parity "concat dim0" (fun () -> Literal.concat [ r1; r2 ] 0);
+  parity "concat single" (fun () -> Literal.concat [ c1 ] 0);
+  (* slice: interior, full, empty *)
+  let s = rand_lit [| 6; 7; 8 |] in
+  parity "slice interior" (fun () ->
+      Literal.slice s ~starts:[| 1; 2; 3 |] ~limits:[| 5; 6; 7 |]);
+  parity "slice full" (fun () ->
+      Literal.slice s ~starts:[| 0; 0; 0 |] ~limits:[| 6; 7; 8 |]);
+  parity "slice empty" (fun () ->
+      Literal.slice s ~starts:[| 2; 2; 2 |] ~limits:[| 2; 6; 7 |]);
+  (* dynamic_slice with out-of-range starts (clamped) *)
+  parity "dynamic_slice clamped" (fun () ->
+      Literal.dynamic_slice s ~starts:[| 5; -1; 100 |] ~sizes:[| 3; 2; 4 |]);
+  (* dynamic_update_slice, clamped *)
+  let upd = rand_lit [| 3; 2; 4 |] in
+  parity "dynamic_update_slice" (fun () ->
+      Literal.dynamic_update_slice s upd ~starts:[| 1; 0; 2 |]);
+  parity "dynamic_update_slice clamped" (fun () ->
+      Literal.dynamic_update_slice s upd ~starts:[| 100; -3; 7 |]);
+  (* pad: asymmetric, with negative value, and rank 0 passthrough *)
+  let p = rand_lit [| 3; 4 |] in
+  parity "pad" (fun () ->
+      Literal.pad p ~low:[| 1; 0 |] ~high:[| 2; 3 |] ~value:(-7.5));
+  parity "pad none" (fun () ->
+      Literal.pad p ~low:[| 0; 0 |] ~high:[| 0; 0 |] ~value:0.);
+  let sc = rand_lit [||] in
+  parity "pad rank0" (fun () -> Literal.pad sc ~low:[||] ~high:[||] ~value:1.)
+
+let test_gather_scatter () =
+  let operand = rand_lit [| 5; 6; 7 |] in
+  let idx shape hi =
+    Literal.init Dtype.I32 shape (fun _ ->
+        float_of_int (Random.State.int st (hi + 4) - 2))
+    (* deliberately out of range on both sides: take clamps *)
+  in
+  let i0 = idx [| 9 |] 5
+  and i1 = idx [| 2; 3 |] 6
+  and i2 = idx [||] 7
+  and i3 = idx [| 0 |] 5 in
+  parity "take axis0" (fun () -> Literal.take operand i0 ~axis:0);
+  parity "take axis1 rank2 idx" (fun () -> Literal.take operand i1 ~axis:1);
+  parity "take axis2 scalar idx" (fun () -> Literal.take operand i2 ~axis:2);
+  parity "take empty idx" (fun () -> Literal.take operand i3 ~axis:0);
+  (* scatter_add with duplicate indices: accumulation order must match *)
+  let base = rand_lit [| 5; 4 |] in
+  let indices =
+    Literal.of_list Dtype.I32 [| 6 |] [ 2.; 0.; 2.; 4.; 2.; 0. ]
+  in
+  let updates = rand_lit [| 6; 4 |] in
+  parity "scatter_add dup indices" (fun () ->
+      Literal.scatter_add base indices updates ~axis:0);
+  let base1 = rand_lit [| 3; 5; 2 |] in
+  let upd1 = rand_lit [| 3; 4; 2 |] in
+  let idx1 = Literal.of_list Dtype.I32 [| 4 |] [ 4.; 1.; 1.; 0. ] in
+  parity "scatter_add axis1" (fun () ->
+      Literal.scatter_add base1 idx1 upd1 ~axis:1)
+
+let test_conv () =
+  let cases =
+    (* n, h, w, ic, oc, kh, kw, stride, padding *)
+    [
+      (1, 5, 5, 1, 1, 3, 3, 1, 1);
+      (2, 8, 6, 3, 4, 3, 3, 1, 1);
+      (1, 9, 9, 2, 3, 3, 3, 2, 1);
+      (2, 7, 7, 2, 2, 1, 1, 1, 0);
+      (1, 4, 4, 1, 2, 4, 4, 2, 0);
+    ]
+  in
+  List.iter
+    (fun (n, h, w, ic, oc, kh, kw, stride, padding) ->
+      let x = rand_lit [| n; h; w; ic |] in
+      let k = rand_lit [| kh; kw; ic; oc |] in
+      let tag = Printf.sprintf "%dx%dx%dx%d k%dx%d s%d p%d" n h w ic kh kw stride padding in
+      parity ("conv2d " ^ tag) (fun () -> Literal.conv2d x k ~stride ~padding);
+      let y = Literal.conv2d x k ~stride ~padding in
+      let g = rand_lit y.Literal.shape in
+      (* the optimized input grad gathers instead of scattering, so the
+         accumulation order differs: approximate parity only *)
+      parity ~tol:1e-6 ("conv2d_input_grad " ^ tag) (fun () ->
+          Literal.conv2d_input_grad g k ~input_shape:[| n; h; w; ic |] ~stride
+            ~padding);
+      parity ("conv2d_kernel_grad " ^ tag) (fun () ->
+          Literal.conv2d_kernel_grad x g ~kernel_shape:[| kh; kw; ic; oc |]
+            ~stride ~padding))
+    cases
+
+let test_compare_semantics () =
+  (* NaN handling: approx_equal treats NaN as equal anywhere; comparisons
+     with NaN are false so compare_op yields 0. everywhere for Lt..Ge. *)
+  let nan_lit = Literal.of_list Dtype.F32 [| 3 |] [ 1.; Float.nan; 3. ] in
+  let other = Literal.of_list Dtype.F32 [| 3 |] [ 1.; 2.; 3. ] in
+  Alcotest.(check bool)
+    "NaN tolerated" true
+    (Literal.approx_equal ~tol:1e-9 nan_lit other);
+  Alcotest.(check bool)
+    "mismatch detected" false
+    (Literal.approx_equal ~tol:1e-9 other
+       (Literal.of_list Dtype.F32 [| 3 |] [ 1.; 2.; 4. ]));
+  parity "compare with NaN" (fun () -> Literal.compare_op `Lt nan_lit other);
+  parity "compare eq NaN" (fun () -> Literal.compare_op `Eq nan_lit nan_lit);
+  (* max_abs_diff early exit must still find a late mismatch *)
+  let a = Literal.init Dtype.F32 [| 1000 |] (fun i -> float_of_int i.(0)) in
+  let b =
+    Literal.init Dtype.F32 [| 1000 |] (fun i ->
+        if i.(0) = 999 then 0. else float_of_int i.(0))
+  in
+  Alcotest.(check (float 0.)) "late diff" 999. (Literal.max_abs_diff a b)
+
+(* End-to-end parity: the partcheck generator produces whole HLO programs
+   (elementwise, matmul, transpose, reshape, reduce, loops); interpreting
+   them with the optimized engine must match the naive engine bit-for-bit
+   at every domain count, since none of its ops reassociate. *)
+let test_end_to_end_gen () =
+  for seed = 0 to 11 do
+    let c = Gen.generate ~seed in
+    let f, _mesh, _vals = Gen.build c in
+    let inputs = Gen.inputs c f in
+    let reference =
+      Literal.set_naive true;
+      Fun.protect
+        ~finally:(fun () -> Literal.set_naive false)
+        (fun () -> Interp.run f inputs)
+    in
+    List.iter
+      (fun d ->
+        Parallel.set_num_domains d;
+        let outs =
+          Fun.protect ~finally:Parallel.clear_num_domains (fun () ->
+              Interp.run f inputs)
+        in
+        List.iter2
+          (fun r o ->
+            let diff = Literal.max_abs_diff r o in
+            if diff <> 0. then
+              Alcotest.failf "gen seed %d domains %d: diff %g" seed d diff)
+          reference outs)
+      domain_counts
+  done
+
+let () =
+  Alcotest.run "kernels"
+    [
+      ( "parity",
+        [
+          Alcotest.test_case "elementwise" `Quick test_elementwise;
+          Alcotest.test_case "matmul" `Quick test_matmul;
+          Alcotest.test_case "transpose" `Quick test_transpose;
+          Alcotest.test_case "broadcast" `Quick test_broadcast;
+          Alcotest.test_case "reduce" `Quick test_reduce;
+          Alcotest.test_case "structural" `Quick test_structural;
+          Alcotest.test_case "gather/scatter" `Quick test_gather_scatter;
+          Alcotest.test_case "conv" `Quick test_conv;
+          Alcotest.test_case "compare semantics" `Quick test_compare_semantics;
+        ] );
+      ( "end-to-end",
+        [ Alcotest.test_case "generated programs" `Quick test_end_to_end_gen ] );
+    ]
