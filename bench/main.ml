@@ -787,6 +787,26 @@ let kb_time ?(min_time = 0.05) f =
   done;
   !elapsed /. float_of_int !reps
 
+(* Best-of-reps timer: reports the fastest single rep rather than the
+   mean.  The interpreter's per-step time varies by an order of
+   magnitude run-to-run depending on how the major heap happens to grow
+   around its ~50-135 MB/step of intermediates; the minimum is the
+   stable, GC-noise-free figure (and the one most favorable to the
+   interpreter). *)
+let kb_time_min ?(min_time = 0.05) ?(warmup = 1) f =
+  for _ = 1 to warmup do ignore (f ()) done;
+  let t0 = Unix.gettimeofday () in
+  let best = ref infinity in
+  let elapsed = ref 0. in
+  while !elapsed < min_time do
+    let s = Unix.gettimeofday () in
+    ignore (f ());
+    let e = Unix.gettimeofday () in
+    if e -. s < !best then best := e -. s;
+    elapsed := e -. t0
+  done;
+  !best
+
 let with_naive b f =
   Literal.set_naive b;
   Fun.protect ~finally:(fun () -> Literal.set_naive false) f
@@ -1011,6 +1031,186 @@ let kernelbench_smoke () =
   kernelbench_at ~smoke:true ~out:"BENCH_kernels_smoke.json" ()
 
 (* ------------------------------------------------------------------ *)
+(* planbench: compiled execution plans vs the tree-walking interpreter *)
+(* ------------------------------------------------------------------ *)
+
+let planbench_at ~smoke ~out () =
+  hr
+    (Printf.sprintf
+       "Plan benchmark: compiled execution plans vs tree-walking interpreter%s"
+       (if smoke then " (smoke)" else ""));
+  let min_time = if smoke then 0.01 else 0.05 in
+  let d a b = if smoke then a else b in
+  let e2e_min_time = min_time *. 4. in
+  let t32x =
+    {
+      T.layers = 2;
+      d_model = d 32 64;
+      heads = 4;
+      vocab = d 64 256;
+      batch = 4;
+      seq = d 16 32;
+    }
+  in
+  let unetx = { U.tiny with U.base_channels = d 4 8; image = d 8 16 } in
+  let bits_equal xs ys =
+    List.length xs = List.length ys
+    && List.for_all2
+         (fun (a : Literal.t) (b : Literal.t) ->
+           Shape.equal a.Literal.shape b.Literal.shape
+           && Array.for_all2
+                (fun x y -> Int64.bits_of_float x = Int64.bits_of_float y)
+                a.Literal.data b.Literal.data)
+         xs ys
+  in
+  (* Mean minor-heap words allocated per call (first call is warmup). *)
+  let minor_per_step f =
+    ignore (f ());
+    let reps = 10 in
+    let w0 = Gc.minor_words () in
+    for _ = 1 to reps do
+      ignore (f ())
+    done;
+    (Gc.minor_words () -. w0) /. float_of_int reps
+  in
+  let row (name, step, vocab) =
+    let func = step.Train.func in
+    let args = kb_args ~vocab 11 func in
+    let argsa = Array.of_list args in
+    let run_interp () = Interp.run func args in
+    (* The interpreter's step time is strongly heap-state-dependent (each
+       step allocates every intermediate, and major-GC pacing after a
+       compaction can stay aggressive for many steps), so time it first —
+       before the plan's arena even exists — with enough warmup for the
+       heap to reach steady state, and report the best rep. *)
+    Gc.compact ();
+    let interp_s =
+      kb_time_min ~warmup:4 ~min_time:(e2e_min_time *. 4.) run_interp
+    in
+    let interp_minor = minor_per_step run_interp in
+    let plan, compile_s = time (fun () -> Plan.compile func) in
+    let stats = Plan.stats plan in
+    let run_plan () = Array.to_list (Plan.execute plan argsa) in
+    Gc.compact ();
+    let plan_s =
+      kb_time_min ~warmup:4 ~min_time:(e2e_min_time *. 4.) run_plan
+    in
+    let plan_minor = minor_per_step run_plan in
+    (* A real training process holds state live across steps: parameters,
+       optimizer moments, retained checkpoints, activations of other
+       pipeline stages.  Every major-GC cycle must mark that live set,
+       and the interpreter's per-step garbage (its full intermediate
+       footprint, [naive_bytes]) forces such cycles constantly — so its
+       step time grows with whatever else happens to be live.  The plan
+       allocates nothing per step and is immune.  Re-time both executors
+       under identical retained ballast, sized at 1x the workload's own
+       intermediate footprint (a modest stand-in for optimizer state plus
+       a retained checkpoint).  1x keeps the process in the stable
+       degradation regime: above ~250 MB live this machine's step times
+       turn chaotic (25 ms - 4.6 s for the same work; see DESIGN.md
+       section 11), which is exactly the regime the plan is immune to but
+       a poor place to collect reference numbers. *)
+    let ballast_words = stats.Plan.naive_bytes / 8 in
+    let ballast =
+      Array.init 64 (fun _ -> Array.make (max 1 (ballast_words / 64)) 0.)
+    in
+    Gc.compact ();
+    let interp_pressured_s =
+      kb_time_min ~warmup:4 ~min_time:(e2e_min_time *. 4.) run_interp
+    in
+    Gc.compact ();
+    let plan_pressured_s =
+      kb_time_min ~warmup:4 ~min_time:(e2e_min_time *. 4.) run_plan
+    in
+    ignore (Sys.opaque_identity ballast);
+    (* Drop the ballast and compact so its footprint cannot leak into the
+       parity checks or the next workload's timings. *)
+    Gc.compact ();
+    let reference = run_interp () in
+    (* Bit-parity of the plan against the interpreter at 1, 2 and 4
+       domains (the fixed 64-chunk splitting makes all of them identical). *)
+    let parity_at n =
+      Parallel.set_num_domains n;
+      Fun.protect
+        ~finally:(fun () -> Parallel.clear_num_domains ())
+        (fun () -> bits_equal reference (run_plan ()))
+    in
+    let parity = parity_at 1 && parity_at 2 && parity_at 4 in
+    Printf.printf
+      "%-12s | interp %8.2f ms | plan %8.2f ms (%5.2fx) | pressured %8.2f \
+       -> %8.2f ms (%5.2fx) | compile %6.1f ms | minor w/step %.2e -> %.2e \
+       (%.0fx) | arena %.2f MB vs naive %.2f MB%s\n\
+       %!"
+      name (1e3 *. interp_s) (1e3 *. plan_s) (interp_s /. plan_s)
+      (1e3 *. interp_pressured_s) (1e3 *. plan_pressured_s)
+      (interp_pressured_s /. plan_pressured_s) (1e3 *. compile_s) interp_minor
+      plan_minor
+      (interp_minor /. Float.max 1. plan_minor)
+      (float_of_int stats.Plan.arena_bytes /. 1e6)
+      (float_of_int stats.Plan.naive_bytes /. 1e6)
+      (if parity then "" else "  PARITY-FAIL");
+    ( name,
+      interp_s,
+      plan_s,
+      interp_pressured_s,
+      plan_pressured_s,
+      compile_s,
+      interp_minor,
+      plan_minor,
+      stats,
+      parity )
+  in
+  let rows =
+    [
+      row ("T32-exec", Train.training_step (T.forward t32x), t32x.T.vocab);
+      row ("UNet-exec", Train.training_step (U.forward unetx), 8);
+    ]
+  in
+  let all_parity =
+    List.for_all (fun (_, _, _, _, _, _, _, _, _, p) -> p) rows
+  in
+  Printf.printf "all parity checks passed: %b\n%!" all_parity;
+  let oc = open_out out in
+  let json_row
+      ( name,
+        interp_s,
+        plan_s,
+        interp_p_s,
+        plan_p_s,
+        compile_s,
+        im,
+        pm,
+        (st : Plan.stats),
+        parity ) =
+    Printf.sprintf
+      {|    { "workload": "%s", "interp_ms": %.3f, "plan_ms": %.3f, "speedup": %.2f, "interp_pressured_ms": %.3f, "plan_pressured_ms": %.3f, "speedup_pressured": %.2f, "compile_ms": %.3f, "interp_minor_words_per_step": %.1f, "plan_minor_words_per_step": %.1f, "minor_words_reduction": %.1f, "arena_bytes": %d, "naive_bytes": %d, "n_instrs": %d, "n_chains": %d, "n_fused": %d, "n_inplace": %d, "n_slots": %d, "parity_ok": %b }|}
+      name (1e3 *. interp_s) (1e3 *. plan_s) (interp_s /. plan_s)
+      (1e3 *. interp_p_s) (1e3 *. plan_p_s)
+      (interp_p_s /. plan_p_s)
+      (1e3 *. compile_s) im pm
+      (im /. Float.max 1. pm)
+      st.Plan.arena_bytes st.Plan.naive_bytes st.Plan.n_instrs st.Plan.n_chains
+      st.Plan.n_fused st.Plan.n_inplace st.Plan.n_slots parity
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"mode\": \"%s\", \"domains\": %d,\n\
+    \  \"workloads\": [\n\
+     %s\n\
+    \  ],\n\
+    \  \"all_parity_ok\": %b\n\
+     }\n"
+    (if smoke then "smoke" else "full")
+    (Parallel.num_domains ())
+    (String.concat ",\n" (List.map json_row rows))
+    all_parity;
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out
+
+let planbench () = planbench_at ~smoke:false ~out:"BENCH_plans.json" ()
+let planbench_smoke () = planbench_at ~smoke:true ~out:"BENCH_plans_smoke.json" ()
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1030,6 +1230,8 @@ let experiments =
     ("faultbench-smoke", faultbench_smoke);
     ("kernelbench", kernelbench);
     ("kernelbench-smoke", kernelbench_smoke);
+    ("planbench", planbench);
+    ("planbench-smoke", planbench_smoke);
   ]
 
 let () =

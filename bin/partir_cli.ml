@@ -151,8 +151,37 @@ let error category msg =
   Format.eprintf "partir: error: %s: %s@." category msg;
   exit 1
 
+(* Deterministic inputs for one numeric step of a prepared model: integer
+   params draw token ids below the model's vocabulary, ".v" optimizer slots
+   stay non-negative (mirrors the kernel benchmark's generator). *)
+let exec_args prepared (func : Func.t) =
+  let vocab =
+    match prepared.transformer_cfg with
+    | Some cfg -> cfg.Transformer.vocab
+    | None -> 8
+  in
+  let st = Random.State.make [| 11 |] in
+  List.map
+    (fun (p : Value.t) ->
+      let is_int = Dtype.is_integer p.Value.ty.Value.dtype in
+      let non_negative = Filename.check_suffix p.Value.name ".v" in
+      Literal.init p.Value.ty.Value.dtype p.Value.ty.Value.shape (fun _ ->
+          if is_int then float_of_int (Random.State.int st vocab)
+          else
+            let x = Random.State.float st 0.2 -. 0.1 in
+            if non_negative then Float.abs x else x))
+    func.Func.params
+
+let set_executor name =
+  match Plan.Executor.of_string name with
+  | Some k -> Plan.Executor.set k
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown executor %S (expected interp or plan)" name)
+
 let run_checked model schedule mesh_spec hardware_name dump single_tactic
-    budget =
+    budget executor exec =
+  set_executor executor;
   let prepared = prepare model in
   let mesh = parse_mesh mesh_spec in
   let hardware = Hardware.find hardware_name in
@@ -181,6 +210,16 @@ let run_checked model schedule mesh_spec hardware_name dump single_tactic
   if dump then begin
     Format.printf "@.=== device-local SPMD module ===@.";
     print_endline (Printer.func_to_string r.Schedule.program.Lower.func)
+  end;
+  if exec then begin
+    let args = exec_args prepared prepared.func in
+    let t0 = Unix.gettimeofday () in
+    let outs = Plan.run_program r.Schedule.program args in
+    let dt = Unix.gettimeofday () -. t0 in
+    Format.printf
+      "executed 1 step (%s executor): %d outputs in %.1f ms@."
+      (Plan.Executor.to_string (Plan.Executor.get ()))
+      (List.length outs) (1e3 *. dt)
   end
 
 (* partir_cli verify: run the full schedule, then the static analyzers
@@ -234,14 +273,16 @@ let with_structured_errors f =
   | Analysis.Check_error diags ->
       error "analysis" (Diagnostic.list_to_string diags)
   | Interp.Runtime_error msg -> error "interp" msg
+  | Plan.Plan_error msg -> error "plan" msg
   | Invalid_argument msg -> error "invalid argument" msg
   | Failure msg -> error "failure" msg
   | Not_found -> error "not found" "unknown hardware or mesh axis"
 
-let run model schedule mesh_spec hardware_name dump single_tactic budget =
+let run model schedule mesh_spec hardware_name dump single_tactic budget
+    executor exec =
   with_structured_errors (fun () ->
       run_checked model schedule mesh_spec hardware_name dump single_tactic
-        budget)
+        budget executor exec)
 
 let verify model schedule mesh_spec hardware_name budget =
   with_structured_errors (fun () ->
@@ -265,8 +306,24 @@ let single =
 let budget =
   Arg.(value & opt int 16 & info [ "budget" ] ~doc:"Automatic-search budget")
 
+let executor =
+  Arg.(
+    value
+    & opt string "plan"
+    & info [ "executor" ]
+        ~doc:"Numeric executor for --exec: $(b,plan) (compiled execution \
+              plans) or $(b,interp) (tree-walking interpreter)")
+
+let exec_flag =
+  Arg.(
+    value & flag
+    & info [ "exec" ]
+        ~doc:"Numerically execute one step of the partitioned program")
+
 let run_term =
-  Term.(const run $ model $ schedule $ mesh $ hw $ dump $ single $ budget)
+  Term.(
+    const run $ model $ schedule $ mesh $ hw $ dump $ single $ budget
+    $ executor $ exec_flag)
 
 let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Partition a model and report per-tactic metadata")

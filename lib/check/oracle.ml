@@ -8,6 +8,7 @@ module Lower = Partir_spmd.Lower
 module Fusion = Partir_spmd.Fusion
 module Census = Partir_spmd.Census
 module Spmd_interp = Partir_spmd.Spmd_interp
+module Plan = Partir_plan.Plan
 module Gspmd = Partir_gspmd.Gspmd
 module Hardware = Partir_sim.Hardware
 module Cost_model = Partir_sim.Cost_model
@@ -223,6 +224,8 @@ let run_case_exn (c : Gen.t) =
   let func, mesh, pool = Gen.build c in
   let args = Gen.inputs c func in
   let reference = Interp.run func args in
+  check_outputs "plan" ~reference
+    (Array.to_list (Plan.execute (Plan.compile func) (Array.of_list args)));
   let staged = Staged.of_func mesh func in
   let applied, skipped = apply_schedule c staged pool in
   check_verified "verifier-staged" (Partir_analysis.Analysis.check_staged staged);
@@ -233,6 +236,7 @@ let run_case_exn (c : Gen.t) =
   check_verified "verifier-fused" (Partir_analysis.Analysis.check_program p1);
   check_outputs "spmd-unfused" ~reference (Spmd_interp.run p0 args);
   check_outputs "spmd-fused" ~reference (Spmd_interp.run p1 args);
+  check_outputs "plan-spmd" ~reference (Plan.Spmd.run (Plan.Spmd.compile p1) args);
   (match gspmd_annotations c mesh func (List.length pool) with
   | annos -> (
       match Gspmd.partition ~variant:`No_internal mesh func annos with

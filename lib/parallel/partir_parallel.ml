@@ -84,6 +84,19 @@ let chunks_per_loop = 64
    only write state owned by its [lo, hi) slice. *)
 let default_threshold = 1 lsl 16
 
+(* Domain-local scratch: a float buffer reused across calls on the same
+   domain, for kernels (the plan executor's blocked chain loops) that need
+   a small temporary workspace per chunk without allocating per step. The
+   contents never survive a call, so reuse across callers is safe; growth
+   is monotone per domain. *)
+let scratch_key : float array ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [||])
+
+let scratch n =
+  let r = Domain.DLS.get scratch_key in
+  if Array.length !r < n then r := Array.make n 0.;
+  !r
+
 let parallel_for ?(threshold = default_threshold) ~work n
     (body : int -> int -> unit) =
   if n <= 0 then ()

@@ -19,6 +19,12 @@ val run_tasks : parallelism:int -> int -> (int -> unit) -> unit
     independent; worker exceptions re-raise at the join. Runs inline when
     [parallelism <= 1], [n <= 1], or already inside a parallel region. *)
 
+val scratch : int -> float array
+(** [scratch n] returns a domain-local float buffer of length >= [n],
+    reused across calls on the same domain (contents are unspecified).
+    Callers must not retain it past the current computation or use it
+    across a nested [parallel_for] / [run_tasks] boundary. *)
+
 val parallel_for : ?threshold:int -> work:int -> int -> (int -> int -> unit) -> unit
 (** [parallel_for ~work n body] partitions [0, n) into a fixed number of
     chunks and runs [body lo hi] for each. [work] estimates scalar

@@ -30,6 +30,7 @@ module Lower = Partir_spmd.Lower
 module Fusion = Partir_spmd.Fusion
 module Census = Partir_spmd.Census
 module Spmd_interp = Partir_spmd.Spmd_interp
+module Plan = Partir_plan.Plan
 module Hardware = Partir_sim.Hardware
 module Cost_model = Partir_sim.Cost_model
 module Engine = Partir_sim.Engine

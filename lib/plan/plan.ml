@@ -1,0 +1,1650 @@
+(* Compiled execution plans.
+
+   Compilation walks a verified Func once and emits a flat array of
+   instruction closures over a preallocated float arena:
+
+   - Buffer assignment is liveness-based. Each level (the function body, or
+     a For region body) computes per-value last-use indices; a slot returns
+     to an exact-size free list when its refcount drops to zero, and the
+     next allocation of the same size reuses it. Aliasing ops (Identity,
+     Reshape) share their operand's binding under a bumped refcount, so a
+     slot is only reused once every name for it is dead.
+
+   - Elementwise instructions may write in place over a dying operand of
+     the same size (refcount 1, defined at the same level): every
+     elementwise kernel reads its operands at index i before writing index
+     i, so the overwrite is safe even when the destination aliases an
+     input.
+
+   - Maximal chains of consecutive elementwise ops with a common element
+     count fuse into one loop. Per element, all external inputs are loaded
+     into a cache first, then the chain ops run in order over a temp
+     array, storing only the chain values that are live after the chain.
+     The cache preload makes it safe for materialized outputs to claim
+     dying external-input slots. Per-element float operations and their
+     order are exactly the interpreter's, so results are bit-identical.
+
+   - For loops compile to a Loop instruction: carries live in dedicated
+     slots doubling as the region params, invariant params alias their
+     operand bindings (the extra refcount also blocks in-place claims on
+     them inside the body), and the trip-end carry update blits yields
+     directly into the carry slots when no yield reads another carry's
+     slot, else routes all carries through staging slots.
+
+   Execution mutates the plan's own arena; a plan is not reentrant. All
+   kernels run through Partir_parallel's fixed 64-chunk splitting, so
+   results are bit-identical for any domain count. *)
+
+open Partir_tensor
+open Partir_hlo
+module Mesh = Partir_mesh.Mesh
+module Staged = Partir_core.Staged
+module Temporal = Partir_temporal.Temporal
+module Lower = Partir_spmd.Lower
+module Spmd_interp = Partir_spmd.Spmd_interp
+module Into = Literal.Into
+
+exception Plan_error of string
+
+let plan_errorf fmt = Format.kasprintf (fun s -> raise (Plan_error s)) fmt
+let clampi v lo hi = if v < lo then lo else if v > hi then hi else v
+
+(* Same float semantics as the reference interpreter's dispatch tables. *)
+let unary_fn : Op.unary_kind -> float -> float = function
+  | Op.Neg -> fun x -> -.x
+  | Op.Exp -> Stdlib.exp
+  | Op.Log -> Stdlib.log
+  | Op.Tanh -> Stdlib.tanh
+  | Op.Sqrt -> Stdlib.sqrt
+  | Op.Rsqrt -> fun x -> 1. /. Stdlib.sqrt x
+  | Op.Relu -> fun x -> Float.max 0. x
+  | Op.Abs -> Float.abs
+  | Op.Sign -> fun x -> if x > 0. then 1. else if x < 0. then -1. else 0.
+
+let binary_fn : Op.binary_kind -> float -> float -> float = function
+  | Op.Add -> ( +. )
+  | Op.Sub -> ( -. )
+  | Op.Mul -> ( *. )
+  | Op.Div -> ( /. )
+  | Op.Max -> Float.max
+  | Op.Min -> Float.min
+  | Op.Pow -> Float.pow
+
+let cmp_tag = function
+  | Op.Eq -> `Eq
+  | Op.Ne -> `Ne
+  | Op.Lt -> `Lt
+  | Op.Le -> `Le
+  | Op.Gt -> `Gt
+  | Op.Ge -> `Ge
+
+(* Chain-fusion op codes (dense ints so the hot loop dispatches through a
+   jump table). *)
+let unary_code = function
+  | Op.Neg -> 0
+  | Op.Exp -> 1
+  | Op.Log -> 2
+  | Op.Tanh -> 3
+  | Op.Sqrt -> 4
+  | Op.Rsqrt -> 5
+  | Op.Relu -> 6
+  | Op.Abs -> 7
+  | Op.Sign -> 8
+
+let binary_code = function
+  | Op.Add -> 10
+  | Op.Sub -> 11
+  | Op.Mul -> 12
+  | Op.Div -> 13
+  | Op.Max -> 14
+  | Op.Min -> 15
+  | Op.Pow -> 16
+
+let compare_code = function
+  | Op.Eq -> 20
+  | Op.Ne -> 21
+  | Op.Lt -> 22
+  | Op.Le -> 23
+  | Op.Gt -> 24
+  | Op.Ge -> 25
+
+let select_code = 30
+
+(* Tile width for blocked chain execution: one scratch row per fused op
+   (plus one per claimed external) of [chain_block] floats. 256 keeps a
+   typical chain's working set of rows inside L1 while amortizing the
+   per-op dispatch to ~1/256 of an element's cost. *)
+let chain_block = 256
+
+(* ------------------------------------------------------------------ *)
+(* Runtime representation                                              *)
+(* ------------------------------------------------------------------ *)
+
+type binding =
+  | Slot of int  (** arena buffer *)
+  | Const of float array  (** materialized at compile time *)
+  | Param of int  (** caller argument, read-only *)
+
+type reg = { b : binding; shape : Shape.t; dtype : Dtype.t }
+
+type state = { bufs : float array array; mutable args : float array array }
+
+let fetch st = function
+  | Slot i -> st.bufs.(i)
+  | Const a -> a
+  | Param i -> st.args.(i)
+
+type step =
+  | Run of (state -> unit)
+  | Collective of { kind : Op.kind; src : reg; dst : reg }
+  | Loop of {
+      trips : int;
+      iter_slot : int;
+      init : (reg * int) array;  (** carry operand -> carry slot *)
+      body : step array;
+      next : (reg * int) array;  (** yield -> carry or staging slot *)
+      fini : (int * int) array;  (** staging slot -> carry slot *)
+    }
+
+let blit_into st (r : reg) slot =
+  let s = fetch st r.b and d = st.bufs.(slot) in
+  if s != d then Array.blit s 0 d 0 (Array.length d)
+
+let rec exec_step st = function
+  | Run f -> f st
+  | Collective _ ->
+      raise (Plan_error "plan: collective instruction in single-device plan")
+  | Loop l ->
+      Array.iter (fun (r, s) -> blit_into st r s) l.init;
+      for step = 0 to l.trips - 1 do
+        st.bufs.(l.iter_slot).(0) <- float_of_int step;
+        Array.iter (exec_step st) l.body;
+        Array.iter (fun (r, s) -> blit_into st r s) l.next;
+        Array.iter
+          (fun (s, c) ->
+            let sb = st.bufs.(s) and cb = st.bufs.(c) in
+            Array.blit sb 0 cb 0 (Array.length sb))
+          l.fini
+      done
+
+(* ------------------------------------------------------------------ *)
+(* Compilation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  n_instrs : int;
+  n_chains : int;
+  n_fused : int;
+  n_inplace : int;
+  n_slots : int;
+  arena_bytes : int;
+  naive_bytes : int;
+}
+
+type comp = {
+  regs : (int, reg) Hashtbl.t;  (** value id -> register *)
+  sizes : (int, int) Hashtbl.t;  (** slot id -> element count *)
+  mutable n_slots : int;
+  rc : (int, int) Hashtbl.t;  (** slot id -> live name count *)
+  free : (int, int list ref) Hashtbl.t;  (** exact size -> free slot ids *)
+  mutable naive_bytes : int;
+  mutable n_instrs : int;
+  mutable n_chains : int;
+  mutable n_fused : int;
+  mutable n_inplace : int;
+  allow_collectives : bool;
+}
+
+let alloc comp n =
+  let id =
+    match Hashtbl.find_opt comp.free n with
+    | Some ({ contents = id :: rest } as l) ->
+        l := rest;
+        id
+    | _ ->
+        let id = comp.n_slots in
+        comp.n_slots <- id + 1;
+        Hashtbl.replace comp.sizes id n;
+        id
+  in
+  Hashtbl.replace comp.rc id 1;
+  id
+
+let retain comp = function
+  | Slot i ->
+      Hashtbl.replace comp.rc i
+        (1 + Option.value ~default:0 (Hashtbl.find_opt comp.rc i))
+  | Const _ | Param _ -> ()
+
+let release comp = function
+  | Const _ | Param _ -> ()
+  | Slot i ->
+      let c = Hashtbl.find comp.rc i - 1 in
+      Hashtbl.replace comp.rc i c;
+      if c = 0 then begin
+        let n = Hashtbl.find comp.sizes i in
+        let l =
+          match Hashtbl.find_opt comp.free n with
+          | Some l -> l
+          | None ->
+              let l = ref [] in
+              Hashtbl.replace comp.free n l;
+              l
+        in
+        l := i :: !l
+      end
+      else if c < 0 then plan_errorf "plan: internal: slot %d over-released" i
+
+let reg_of comp (v : Value.t) =
+  match Hashtbl.find_opt comp.regs v.Value.id with
+  | Some r -> r
+  | None ->
+      plan_errorf "plan: unbound value %%%d%s" v.Value.id
+        (if v.Value.name = "" then "" else " (" ^ v.Value.name ^ ")")
+
+let define comp (v : Value.t) r = Hashtbl.replace comp.regs v.Value.id r
+
+(* Per-level last-use index per value id. Region-bearing items also count
+   as uses of their region's free values; [extra] values (function results
+   or region yields) get a sentinel index past the last item so they are
+   never treated as dying. *)
+let last_uses (ops : Op.t list) (extra : Value.t list) =
+  let last = Hashtbl.create 64 in
+  List.iteri
+    (fun i (op : Op.t) ->
+      let note (v : Value.t) = Hashtbl.replace last v.Value.id i in
+      List.iter note op.Op.operands;
+      match op.Op.region with
+      | Some r -> List.iter note (Interp.free_values_of_region r)
+      | None -> ())
+    ops;
+  let n = List.length ops in
+  List.iter (fun (v : Value.t) -> Hashtbl.replace last v.Value.id n) extra;
+  last
+
+let is_elementwise_kind = function
+  | Op.Unary _ | Op.Binary _ | Op.Compare _ | Op.Select -> true
+  | _ -> false
+
+(* The operand an elementwise op takes its result shape/dtype from,
+   matching the interpreter ({a with data} / {on_true with data}). *)
+let shape_operand (op : Op.t) =
+  match (op.Op.kind, op.Op.operands) with
+  | Op.Select, _ :: t :: _ -> t
+  | _, v :: _ -> v
+  | _ -> plan_errorf "plan: elementwise %s with no operands" (Op.kind_name op.Op.kind)
+
+(* Compile one level of ops. Returns the steps plus the set of value ids
+   defined at this level (needed by For to release body-owned yields). *)
+let rec compile_ops comp (ops : Op.t list) ~(extra : Value.t list) :
+    step list * string list * (int, unit) Hashtbl.t =
+  let opsa = Array.of_list ops in
+  let n = Array.length opsa in
+  let last = last_uses ops extra in
+  let local = Hashtbl.create 64 in
+  Array.iter
+    (fun (op : Op.t) ->
+      List.iter
+        (fun (v : Value.t) -> Hashtbl.replace local v.Value.id ())
+        op.Op.results)
+    opsa;
+  let steps = ref [] in
+  let names = ref [] in
+  let cur_name = ref "" in
+  let emit s =
+    steps := s :: !steps;
+    names := !cur_name :: !names;
+    comp.n_instrs <- comp.n_instrs + 1
+  in
+  let use_of (v : Value.t) = Hashtbl.find_opt last v.Value.id in
+  let is_local (v : Value.t) = Hashtbl.mem local v.Value.id in
+  let kill (v : Value.t) =
+    if is_local v then
+      match Hashtbl.find_opt comp.regs v.Value.id with
+      | Some r -> release comp r.b
+      | None -> () (* fused away: never materialized *)
+  in
+  (* Release every distinct operand whose last use is item [idx], except
+     ids in [skip] (in-place claims transfer slot ownership). *)
+  let kill_dying ?(skip = []) idx (vs : Value.t list) =
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun (v : Value.t) ->
+        if not (Hashtbl.mem seen v.Value.id) then begin
+          Hashtbl.replace seen v.Value.id ();
+          if use_of v = Some idx && not (List.mem v.Value.id skip) then kill v
+        end)
+      vs
+  in
+  let kill_unused_results (op : Op.t) =
+    List.iter
+      (fun (res : Value.t) -> if use_of res = None then kill res)
+      op.Op.results
+  in
+  (* Can [v]'s slot become the destination of an instruction at [idx]?
+     Only a this-level name, dying here, with no aliases, of exactly the
+     right size. *)
+  let claimable idx (v : Value.t) nel =
+    is_local v
+    && use_of v = Some idx
+    &&
+    match (reg_of comp v).b with
+    | Slot s -> Hashtbl.find comp.rc s = 1 && Hashtbl.find comp.sizes s = nel
+    | Const _ | Param _ -> false
+  in
+  let alloc_res shape dtype =
+    { b = Slot (alloc comp (Shape.numel shape)); shape; dtype }
+  in
+  let count_naive nel = comp.naive_bytes <- comp.naive_bytes + (8 * nel) in
+
+  (* ---- single elementwise instruction ---- *)
+  let emit_ew (op : Op.t) idx =
+    let rs = List.map (reg_of comp) op.Op.operands in
+    let src_r = reg_of comp (shape_operand op) in
+    let shape = src_r.shape and dtype = src_r.dtype in
+    let nel = Shape.numel shape in
+    let claimed =
+      List.find_opt (fun v -> claimable idx v nel) op.Op.operands
+    in
+    let d, skip =
+      match claimed with
+      | Some v -> (
+          comp.n_inplace <- comp.n_inplace + 1;
+          match (reg_of comp v).b with
+          | Slot _ as b -> (b, [ v.Value.id ])
+          | _ -> assert false)
+      | None -> (Slot (alloc comp nel), [])
+    in
+    let bs = List.map (fun r -> r.b) rs in
+    (match (op.Op.kind, bs) with
+    | Op.Unary Op.Neg, [ x ] ->
+        emit (Run (fun st -> Into.neg ~src:(fetch st x) ~dst:(fetch st d)))
+    | Op.Unary Op.Relu, [ x ] ->
+        emit (Run (fun st -> Into.relu ~src:(fetch st x) ~dst:(fetch st d)))
+    | Op.Unary u, [ x ] ->
+        let f = unary_fn u in
+        emit (Run (fun st -> Into.map f ~src:(fetch st x) ~dst:(fetch st d)))
+    | Op.Binary Op.Add, [ a; b ] ->
+        emit
+          (Run
+             (fun st ->
+               Into.add ~a:(fetch st a) ~b:(fetch st b) ~dst:(fetch st d)))
+    | Op.Binary Op.Sub, [ a; b ] ->
+        emit
+          (Run
+             (fun st ->
+               Into.sub ~a:(fetch st a) ~b:(fetch st b) ~dst:(fetch st d)))
+    | Op.Binary Op.Mul, [ a; b ] ->
+        emit
+          (Run
+             (fun st ->
+               Into.mul ~a:(fetch st a) ~b:(fetch st b) ~dst:(fetch st d)))
+    | Op.Binary Op.Div, [ a; b ] ->
+        emit
+          (Run
+             (fun st ->
+               Into.div ~a:(fetch st a) ~b:(fetch st b) ~dst:(fetch st d)))
+    | Op.Binary b2, [ a; b ] ->
+        let f = binary_fn b2 in
+        emit
+          (Run
+             (fun st ->
+               Into.map2 f ~a:(fetch st a) ~b:(fetch st b) ~dst:(fetch st d)))
+    | Op.Compare c, [ a; b ] ->
+        let k = cmp_tag c in
+        emit
+          (Run
+             (fun st ->
+               Into.compare_op k ~a:(fetch st a) ~b:(fetch st b)
+                 ~dst:(fetch st d)))
+    | Op.Select, [ p; t; f ] ->
+        emit
+          (Run
+             (fun st ->
+               Into.select ~pred:(fetch st p) ~on_true:(fetch st t)
+                 ~on_false:(fetch st f) ~dst:(fetch st d)))
+    | k, _ ->
+        plan_errorf "plan: bad elementwise arity for %s" (Op.kind_name k));
+    count_naive nel;
+    define comp (List.hd op.Op.results) { b = d; shape; dtype };
+    kill_dying ~skip idx op.Op.operands;
+    kill_unused_results op
+  in
+
+  (* ---- fused elementwise chain over items [idx0, idx0+m) ---- *)
+  let emit_chain idx0 nel (run : Op.t array) =
+    let m = Array.length run in
+    let idx_end = idx0 + m - 1 in
+    comp.n_chains <- comp.n_chains + 1;
+    comp.n_fused <- comp.n_fused + m;
+    let tmap = Hashtbl.create 16 in
+    let emap = Hashtbl.create 16 in
+    let ext_rev = ref [] and n_ext = ref 0 in
+    let ext_of (v : Value.t) =
+      match Hashtbl.find_opt emap v.Value.id with
+      | Some k -> k
+      | None ->
+          let k = !n_ext in
+          incr n_ext;
+          Hashtbl.replace emap v.Value.id k;
+          ext_rev := v :: !ext_rev;
+          k
+    in
+    (* Operand encoding: >= 0 is a chain temp index, < 0 is external input
+       index -(a+1). *)
+    let argc (v : Value.t) =
+      match Hashtbl.find_opt tmap v.Value.id with
+      | Some tj -> tj
+      | None -> -(ext_of v) - 1
+    in
+    let codes = Array.make m 0
+    and a1 = Array.make m 0
+    and a2 = Array.make m 0
+    and a3 = Array.make m 0
+    and shp = Array.make m Shape.scalar
+    and dt = Array.make m Dtype.F32 in
+    Array.iteri
+      (fun j (op : Op.t) ->
+        let sh_dt (v : Value.t) =
+          match Hashtbl.find_opt tmap v.Value.id with
+          | Some tj -> (shp.(tj), dt.(tj))
+          | None ->
+              let r = reg_of comp v in
+              (r.shape, r.dtype)
+        in
+        (match (op.Op.kind, op.Op.operands) with
+        | Op.Unary u, [ x ] ->
+            codes.(j) <- unary_code u;
+            a1.(j) <- argc x;
+            let s, d = sh_dt x in
+            shp.(j) <- s;
+            dt.(j) <- d
+        | Op.Binary b, [ x; y ] ->
+            codes.(j) <- binary_code b;
+            a1.(j) <- argc x;
+            a2.(j) <- argc y;
+            let s, d = sh_dt x in
+            shp.(j) <- s;
+            dt.(j) <- d
+        | Op.Compare c, [ x; y ] ->
+            codes.(j) <- compare_code c;
+            a1.(j) <- argc x;
+            a2.(j) <- argc y;
+            let s, d = sh_dt x in
+            shp.(j) <- s;
+            dt.(j) <- d
+        | Op.Select, [ p; t; f ] ->
+            codes.(j) <- select_code;
+            a1.(j) <- argc p;
+            a2.(j) <- argc t;
+            a3.(j) <- argc f;
+            let s, d = sh_dt t in
+            shp.(j) <- s;
+            dt.(j) <- d
+        | k, _ -> plan_errorf "plan: chain: unexpected %s" (Op.kind_name k));
+        Hashtbl.replace tmap (List.hd op.Op.results).Value.id j)
+      run;
+    let ext = Array.of_list (List.rev !ext_rev) in
+    (* Materialize only chain values live after the chain; outputs may
+       claim a dying external-input slot (the per-element input cache makes
+       the overwrite safe regardless of position in the chain). *)
+    let claimed = Hashtbl.create 4 in
+    let claim_dying_ext () =
+      let found = ref None in
+      Array.iter
+        (fun (v : Value.t) ->
+          if
+            !found = None
+            && (not (Hashtbl.mem claimed v.Value.id))
+            && is_local v
+            && (match use_of v with Some u -> u <= idx_end | None -> false)
+            &&
+            match (reg_of comp v).b with
+            | Slot s ->
+                Hashtbl.find comp.rc s = 1 && Hashtbl.find comp.sizes s = nel
+            | Const _ | Param _ -> false
+          then found := Some v)
+        ext;
+      !found
+    in
+    let out_of = Array.make m (-1) in
+    let outs_rev = ref [] and n_out = ref 0 in
+    Array.iteri
+      (fun j (op : Op.t) ->
+        let res = List.hd op.Op.results in
+        let live_after =
+          match use_of res with Some u -> u > idx_end | None -> false
+        in
+        if live_after then begin
+          let b =
+            match claim_dying_ext () with
+            | Some v ->
+                Hashtbl.replace claimed v.Value.id ();
+                comp.n_inplace <- comp.n_inplace + 1;
+                (reg_of comp v).b
+            | None -> Slot (alloc comp nel)
+          in
+          out_of.(j) <- !n_out;
+          incr n_out;
+          outs_rev := b :: !outs_rev;
+          define comp res { b; shape = shp.(j); dtype = dt.(j) }
+        end;
+        count_naive nel)
+      run;
+    let ins = Array.map (fun (v : Value.t) -> (reg_of comp v).b) ext in
+    let outs = Array.of_list (List.rev !outs_rev) in
+    let nin = Array.length ins and nout = Array.length outs in
+    (* Externals whose slot was claimed by an output must be snapshotted
+       per block before the chain runs: an output blit may overwrite the
+       block's input values mid-chain. [ext_row.(k)] is the scratch row for
+       external [k], or -1 to read it in place. *)
+    let ext_row = Array.make (max 1 nin) (-1) in
+    let ncl = ref 0 in
+    Array.iteri
+      (fun k (v : Value.t) ->
+        if Hashtbl.mem claimed v.Value.id then begin
+          ext_row.(k) <- m + !ncl;
+          incr ncl
+        end)
+      ext;
+    let rows = m + !ncl in
+    let work = 4 * m in
+    (* Execution is blocked, not per-element: each op runs as its own
+       monomorphic tight loop over a [block]-sized tile held in
+       domain-local scratch (row [j] holds op [j]'s values). Per-element
+       interpretive dispatch costs several times the arithmetic itself;
+       per-block dispatch is amortized to nothing. Block boundaries cannot
+       affect values (everything is elementwise), so chunking and results
+       stay bit-identical for any domain count. *)
+    let block = chain_block in
+    emit
+      (Run
+         (fun st ->
+           let ibufs = Array.make (max 1 nin) [||] in
+           for k = 0 to nin - 1 do
+             ibufs.(k) <- fetch st ins.(k)
+           done;
+           let obufs = Array.make (max 1 nout) [||] in
+           for k = 0 to nout - 1 do
+             obufs.(k) <- fetch st outs.(k)
+           done;
+           Partir_parallel.parallel_for ~work nel (fun lo hi ->
+               let scr = Partir_parallel.scratch (rows * block) in
+               let i0 = ref lo in
+               while !i0 < hi do
+                 let base = !i0 in
+                 let bs = min block (hi - base) in
+                 for k = 0 to nin - 1 do
+                   let row = Array.unsafe_get ext_row k in
+                   if row >= 0 then
+                     Array.blit (Array.unsafe_get ibufs k) base scr
+                       (row * block) bs
+                 done;
+                 for j = 0 to m - 1 do
+                   let code = Array.unsafe_get codes j in
+                   let sb = j * block in
+                   let ai = Array.unsafe_get a1 j in
+                   let xa, xo =
+                     if ai >= 0 then (scr, ai * block)
+                     else
+                       let e = -ai - 1 in
+                       let row = Array.unsafe_get ext_row e in
+                       if row >= 0 then (scr, row * block)
+                       else (Array.unsafe_get ibufs e, base)
+                   in
+                   (if code < 10 then
+                      match code with
+                      | 0 ->
+                          for k = 0 to bs - 1 do
+                            Array.unsafe_set scr (sb + k)
+                              (-.Array.unsafe_get xa (xo + k))
+                          done
+                      | 1 ->
+                          for k = 0 to bs - 1 do
+                            Array.unsafe_set scr (sb + k)
+                              (Stdlib.exp (Array.unsafe_get xa (xo + k)))
+                          done
+                      | 2 ->
+                          for k = 0 to bs - 1 do
+                            Array.unsafe_set scr (sb + k)
+                              (Stdlib.log (Array.unsafe_get xa (xo + k)))
+                          done
+                      | 3 ->
+                          for k = 0 to bs - 1 do
+                            Array.unsafe_set scr (sb + k)
+                              (Stdlib.tanh (Array.unsafe_get xa (xo + k)))
+                          done
+                      | 4 ->
+                          for k = 0 to bs - 1 do
+                            Array.unsafe_set scr (sb + k)
+                              (Stdlib.sqrt (Array.unsafe_get xa (xo + k)))
+                          done
+                      | 5 ->
+                          for k = 0 to bs - 1 do
+                            Array.unsafe_set scr (sb + k)
+                              (1. /. Stdlib.sqrt (Array.unsafe_get xa (xo + k)))
+                          done
+                      | 6 ->
+                          for k = 0 to bs - 1 do
+                            Array.unsafe_set scr (sb + k)
+                              (Float.max 0. (Array.unsafe_get xa (xo + k)))
+                          done
+                      | 7 ->
+                          for k = 0 to bs - 1 do
+                            Array.unsafe_set scr (sb + k)
+                              (Float.abs (Array.unsafe_get xa (xo + k)))
+                          done
+                      | _ ->
+                          for k = 0 to bs - 1 do
+                            let x = Array.unsafe_get xa (xo + k) in
+                            Array.unsafe_set scr (sb + k)
+                              (if x > 0. then 1.
+                               else if x < 0. then -1.
+                               else 0.)
+                          done
+                    else
+                      let bi = Array.unsafe_get a2 j in
+                      let ya, yo =
+                        if bi >= 0 then (scr, bi * block)
+                        else
+                          let e = -bi - 1 in
+                          let row = Array.unsafe_get ext_row e in
+                          if row >= 0 then (scr, row * block)
+                          else (Array.unsafe_get ibufs e, base)
+                      in
+                      if code < 30 then
+                        match code with
+                        | 10 ->
+                            for k = 0 to bs - 1 do
+                              Array.unsafe_set scr (sb + k)
+                                (Array.unsafe_get xa (xo + k)
+                                +. Array.unsafe_get ya (yo + k))
+                            done
+                        | 11 ->
+                            for k = 0 to bs - 1 do
+                              Array.unsafe_set scr (sb + k)
+                                (Array.unsafe_get xa (xo + k)
+                                -. Array.unsafe_get ya (yo + k))
+                            done
+                        | 12 ->
+                            for k = 0 to bs - 1 do
+                              Array.unsafe_set scr (sb + k)
+                                (Array.unsafe_get xa (xo + k)
+                                *. Array.unsafe_get ya (yo + k))
+                            done
+                        | 13 ->
+                            for k = 0 to bs - 1 do
+                              Array.unsafe_set scr (sb + k)
+                                (Array.unsafe_get xa (xo + k)
+                                /. Array.unsafe_get ya (yo + k))
+                            done
+                        | 14 ->
+                            for k = 0 to bs - 1 do
+                              Array.unsafe_set scr (sb + k)
+                                (Float.max
+                                   (Array.unsafe_get xa (xo + k))
+                                   (Array.unsafe_get ya (yo + k)))
+                            done
+                        | 15 ->
+                            for k = 0 to bs - 1 do
+                              Array.unsafe_set scr (sb + k)
+                                (Float.min
+                                   (Array.unsafe_get xa (xo + k))
+                                   (Array.unsafe_get ya (yo + k)))
+                            done
+                        | 16 ->
+                            for k = 0 to bs - 1 do
+                              Array.unsafe_set scr (sb + k)
+                                (Float.pow
+                                   (Array.unsafe_get xa (xo + k))
+                                   (Array.unsafe_get ya (yo + k)))
+                            done
+                        | 20 ->
+                            for k = 0 to bs - 1 do
+                              Array.unsafe_set scr (sb + k)
+                                (if
+                                   Array.unsafe_get xa (xo + k)
+                                   = Array.unsafe_get ya (yo + k)
+                                 then 1.
+                                 else 0.)
+                            done
+                        | 21 ->
+                            for k = 0 to bs - 1 do
+                              Array.unsafe_set scr (sb + k)
+                                (if
+                                   Array.unsafe_get xa (xo + k)
+                                   <> Array.unsafe_get ya (yo + k)
+                                 then 1.
+                                 else 0.)
+                            done
+                        | 22 ->
+                            for k = 0 to bs - 1 do
+                              Array.unsafe_set scr (sb + k)
+                                (if
+                                   Array.unsafe_get xa (xo + k)
+                                   < Array.unsafe_get ya (yo + k)
+                                 then 1.
+                                 else 0.)
+                            done
+                        | 23 ->
+                            for k = 0 to bs - 1 do
+                              Array.unsafe_set scr (sb + k)
+                                (if
+                                   Array.unsafe_get xa (xo + k)
+                                   <= Array.unsafe_get ya (yo + k)
+                                 then 1.
+                                 else 0.)
+                            done
+                        | 24 ->
+                            for k = 0 to bs - 1 do
+                              Array.unsafe_set scr (sb + k)
+                                (if
+                                   Array.unsafe_get xa (xo + k)
+                                   > Array.unsafe_get ya (yo + k)
+                                 then 1.
+                                 else 0.)
+                            done
+                        | _ ->
+                            for k = 0 to bs - 1 do
+                              Array.unsafe_set scr (sb + k)
+                                (if
+                                   Array.unsafe_get xa (xo + k)
+                                   >= Array.unsafe_get ya (yo + k)
+                                 then 1.
+                                 else 0.)
+                            done
+                      else
+                        let ci = Array.unsafe_get a3 j in
+                        let za, zo =
+                          if ci >= 0 then (scr, ci * block)
+                          else
+                            let e = -ci - 1 in
+                            let row = Array.unsafe_get ext_row e in
+                            if row >= 0 then (scr, row * block)
+                            else (Array.unsafe_get ibufs e, base)
+                        in
+                        for k = 0 to bs - 1 do
+                          Array.unsafe_set scr (sb + k)
+                            (if Array.unsafe_get xa (xo + k) <> 0. then
+                               Array.unsafe_get ya (yo + k)
+                             else Array.unsafe_get za (zo + k))
+                        done);
+                   let o = Array.unsafe_get out_of j in
+                   if o >= 0 then
+                     Array.blit scr sb (Array.unsafe_get obufs o) base bs
+                 done;
+                 i0 := base + bs
+               done)));
+    (* Externals dying inside the chain release now (unless claimed). *)
+    Array.iter
+      (fun (v : Value.t) ->
+        if
+          (not (Hashtbl.mem claimed v.Value.id))
+          && match use_of v with Some u -> u <= idx_end | None -> false
+        then kill v)
+      ext
+  in
+
+  (* ---- everything else ---- *)
+  let emit_simple (op : Op.t) idx =
+    let res () = List.hd op.Op.results in
+    let rs = List.map (reg_of comp) op.Op.operands in
+    (match (op.Op.kind, rs) with
+    | Op.Constant lit, [] ->
+        define comp (res ())
+          {
+            b = Const lit.Literal.data;
+            shape = lit.Literal.shape;
+            dtype = lit.Literal.dtype;
+          }
+    | Op.Splat { value; shape; dtype }, [] ->
+        count_naive (Shape.numel shape);
+        define comp (res ())
+          { b = Const (Array.make (Shape.numel shape) value); shape; dtype }
+    | Op.Iota _, [] ->
+        (* The interpreter evaluates Iota to a scalar I32 zero. *)
+        define comp (res ())
+          { b = Const [| 0. |]; shape = Shape.scalar; dtype = Dtype.I32 }
+    | Op.Identity, [ x ] ->
+        retain comp x.b;
+        define comp (res ()) x
+    | Op.Reshape { target }, [ x ] ->
+        retain comp x.b;
+        define comp (res ()) { x with shape = target }
+    | Op.Matmul, [ a; b ] ->
+        let ra = Array.length a.shape in
+        let m2 = a.shape.(ra - 2) and kk = a.shape.(ra - 1) in
+        let nn = b.shape.(Array.length b.shape - 1) in
+        let batch_sh = Array.sub a.shape 0 (ra - 2) in
+        let batch = Shape.numel batch_sh in
+        let out_shape = Array.append batch_sh [| m2; nn |] in
+        let r = alloc_res out_shape a.dtype in
+        (* Scratch for the packed transposed B panel: allocated after the
+           result, then returned to the free list immediately — reuse is
+           time-disjoint because execution order is fixed. *)
+        let bts = alloc comp (nn * kk) in
+        release comp (Slot bts);
+        let ab = a.b and bb = b.b and db = r.b in
+        emit
+          (Run
+             (fun st ->
+               Into.matmul ~batch ~m:m2 ~k:kk ~n:nn ~a:(fetch st ab)
+                 ~b:(fetch st bb) ~bt:st.bufs.(bts) ~dst:(fetch st db)));
+        count_naive (batch * m2 * nn);
+        define comp (res ()) r
+    | Op.Transpose { perm }, [ x ] ->
+        let out_shape = Shape.transpose x.shape perm in
+        let src_st = Shape.strides x.shape in
+        let sst = Array.map (fun p -> src_st.(p)) perm in
+        let cdims, csst, ctst =
+          Literal.coalesce out_shape sst (Shape.strides out_shape)
+        in
+        let r = alloc_res out_shape x.dtype in
+        let xb = x.b and db = r.b in
+        emit
+          (Run
+             (fun st ->
+               Literal.copy_coalesced ~src:(fetch st xb) ~soff:0 ~sst:csst
+                 ~dst:(fetch st db) ~doff:0 ~tst:ctst cdims));
+        count_naive (Shape.numel out_shape);
+        define comp (res ()) r
+    | Op.Broadcast { target; dims }, [ x ] ->
+        let src_st = Shape.strides x.shape in
+        let sst = Array.make (Array.length target) 0 in
+        Array.iteri
+          (fun i d -> sst.(d) <- (if x.shape.(i) = 1 then 0 else src_st.(i)))
+          dims;
+        let cdims, csst, ctst =
+          Literal.coalesce target sst (Shape.strides target)
+        in
+        let r = alloc_res target x.dtype in
+        let xb = x.b and db = r.b in
+        emit
+          (Run
+             (fun st ->
+               Literal.copy_coalesced ~src:(fetch st xb) ~soff:0 ~sst:csst
+                 ~dst:(fetch st db) ~doff:0 ~tst:ctst cdims));
+        count_naive (Shape.numel target);
+        define comp (res ()) r
+    | Op.Reduce { kind = rk; dims }, [ x ] ->
+        let rank = Array.length x.shape in
+        let out_shape = Shape.remove_dims x.shape dims in
+        let is_reduced =
+          Array.init rank (fun i -> Array.exists (fun d -> d = i) dims)
+        in
+        let sst = Shape.strides x.shape in
+        let out_st = Shape.strides out_shape in
+        let ost = Array.make rank 0 in
+        let j = ref 0 in
+        for i = 0 to rank - 1 do
+          if not is_reduced.(i) then begin
+            ost.(i) <- out_st.(!j);
+            incr j
+          end
+        done;
+        let kept0 = rank > 1 && not is_reduced.(0) in
+        let k =
+          match rk with Op.Rsum -> `Sum | Op.Rmax -> `Max | Op.Rmin -> `Min
+        in
+        let shp = x.shape in
+        let r = alloc_res out_shape x.dtype in
+        let xb = x.b and db = r.b in
+        emit
+          (Run
+             (fun st ->
+               Into.reduce k ~shp ~sst ~ost ~kept0 ~src:(fetch st xb)
+                 ~dst:(fetch st db)));
+        count_naive (Shape.numel out_shape);
+        define comp (res ()) r
+    | Op.Concat { dim }, (first :: _ as parts) ->
+        let total =
+          List.fold_left (fun acc (r : reg) -> acc + r.shape.(dim)) 0 parts
+        in
+        let out_shape = Shape.with_dim first.shape dim total in
+        let tst = Shape.strides out_shape in
+        let offset = ref 0 in
+        let pieces =
+          Array.of_list
+            (List.map
+               (fun (r : reg) ->
+                 let cdims, csst, ctst =
+                   Literal.coalesce r.shape (Shape.strides r.shape) tst
+                 in
+                 let doff = !offset * tst.(dim) in
+                 offset := !offset + r.shape.(dim);
+                 (r.b, cdims, csst, doff, ctst))
+               parts)
+        in
+        let r = alloc_res out_shape first.dtype in
+        let db = r.b in
+        emit
+          (Run
+             (fun st ->
+               let d = fetch st db in
+               Array.iter
+                 (fun (b, cdims, csst, doff, ctst) ->
+                   Literal.copy_coalesced ~src:(fetch st b) ~soff:0 ~sst:csst
+                     ~dst:d ~doff ~tst:ctst cdims)
+                 pieces));
+        count_naive (Shape.numel out_shape);
+        define comp (res ()) r
+    | Op.Slice { starts; limits }, [ x ] ->
+        let rank = Array.length x.shape in
+        let out_shape = Array.init rank (fun i -> limits.(i) - starts.(i)) in
+        let sst = Shape.strides x.shape in
+        let soff = Shape.offset_with sst starts in
+        let cdims, csst, ctst =
+          Literal.coalesce out_shape sst (Shape.strides out_shape)
+        in
+        let r = alloc_res out_shape x.dtype in
+        let xb = x.b and db = r.b in
+        emit
+          (Run
+             (fun st ->
+               Literal.copy_coalesced ~src:(fetch st xb) ~soff ~sst:csst
+                 ~dst:(fetch st db) ~doff:0 ~tst:ctst cdims));
+        count_naive (Shape.numel out_shape);
+        define comp (res ()) r
+    | Op.Dynamic_slice { sizes }, x :: starts_r ->
+        let rank = Array.length x.shape in
+        let sst = Shape.strides x.shape in
+        let maxs = Array.init rank (fun i -> x.shape.(i) - sizes.(i)) in
+        let sbinds =
+          Array.of_list (List.map (fun (r : reg) -> r.b) starts_r)
+        in
+        let out_shape = Array.copy sizes in
+        let cdims, csst, ctst =
+          Literal.coalesce out_shape sst (Shape.strides out_shape)
+        in
+        let r = alloc_res out_shape x.dtype in
+        let xb = x.b and db = r.b in
+        emit
+          (Run
+             (fun st ->
+               let soff = ref 0 in
+               for d2 = 0 to rank - 1 do
+                 let sv = (fetch st sbinds.(d2)).(0) in
+                 let s =
+                   clampi (int_of_float (Float.round sv)) 0 maxs.(d2)
+                 in
+                 soff := !soff + (s * sst.(d2))
+               done;
+               Literal.copy_coalesced ~src:(fetch st xb) ~soff:!soff ~sst:csst
+                 ~dst:(fetch st db) ~doff:0 ~tst:ctst cdims));
+        count_naive (Shape.numel out_shape);
+        define comp (res ()) r
+    | Op.Dynamic_update_slice, x :: upd :: starts_r ->
+        let rank = Array.length x.shape in
+        let total = Shape.numel x.shape in
+        let tstf = Shape.strides x.shape in
+        let maxs = Array.init rank (fun i -> x.shape.(i) - upd.shape.(i)) in
+        let sbinds =
+          Array.of_list (List.map (fun (r : reg) -> r.b) starts_r)
+        in
+        let cdims, csst, ctst =
+          Literal.coalesce upd.shape (Shape.strides upd.shape) tstf
+        in
+        let x_val = List.hd op.Op.operands in
+        let d, skip =
+          if claimable idx x_val total then begin
+            comp.n_inplace <- comp.n_inplace + 1;
+            (x.b, [ x_val.Value.id ])
+          end
+          else (Slot (alloc comp total), [])
+        in
+        let xb = x.b and ub = upd.b in
+        emit
+          (Run
+             (fun st ->
+               let src = fetch st xb and dd = fetch st d in
+               if src != dd then Array.blit src 0 dd 0 total;
+               let doff = ref 0 in
+               for d2 = 0 to rank - 1 do
+                 let sv = (fetch st sbinds.(d2)).(0) in
+                 let s =
+                   clampi (int_of_float (Float.round sv)) 0 maxs.(d2)
+                 in
+                 doff := !doff + (s * tstf.(d2))
+               done;
+               Literal.copy_coalesced ~src:(fetch st ub) ~soff:0 ~sst:csst
+                 ~dst:dd ~doff:!doff ~tst:ctst cdims));
+        count_naive total;
+        define comp (res ()) { b = d; shape = x.shape; dtype = x.dtype };
+        kill_dying ~skip idx op.Op.operands;
+        kill_unused_results op
+    | Op.Pad { low; high; value }, [ x ] ->
+        let rank = Array.length x.shape in
+        let out_shape =
+          Array.init rank (fun i -> low.(i) + x.shape.(i) + high.(i))
+        in
+        let tst = Shape.strides out_shape in
+        let doff = Shape.offset_with tst low in
+        let cdims, csst, ctst =
+          Literal.coalesce x.shape (Shape.strides x.shape) tst
+        in
+        let r = alloc_res out_shape x.dtype in
+        let xb = x.b and db = r.b in
+        emit
+          (Run
+             (fun st ->
+               let d = fetch st db in
+               Array.fill d 0 (Array.length d) value;
+               Literal.copy_coalesced ~src:(fetch st xb) ~soff:0 ~sst:csst
+                 ~dst:d ~doff ~tst:ctst cdims));
+        count_naive (Shape.numel out_shape);
+        define comp (res ()) r
+    | Op.Take { axis }, [ x; idxs ] ->
+        let op_rank = Array.length x.shape in
+        let out_shape =
+          Array.concat
+            [
+              Array.sub x.shape 0 axis;
+              idxs.shape;
+              Array.sub x.shape (axis + 1) (op_rank - axis - 1);
+            ]
+        in
+        let outer = Shape.numel (Array.sub x.shape 0 axis) in
+        let inner =
+          Shape.numel (Array.sub x.shape (axis + 1) (op_rank - axis - 1))
+        in
+        let nidx = Shape.numel idxs.shape in
+        let ax = x.shape.(axis) in
+        let r = alloc_res out_shape x.dtype in
+        let xb = x.b and ib = idxs.b and db = r.b in
+        emit
+          (Run
+             (fun st ->
+               Into.take ~outer ~ax ~inner ~nidx ~src:(fetch st xb)
+                 ~idxs:(fetch st ib) ~dst:(fetch st db)));
+        count_naive (Shape.numel out_shape);
+        define comp (res ()) r
+    | Op.Scatter_add { axis }, [ x; idxs; upd ] ->
+        let op_rank = Array.length x.shape in
+        let total = Shape.numel x.shape in
+        let outer = Shape.numel (Array.sub x.shape 0 axis) in
+        let inner =
+          Shape.numel (Array.sub x.shape (axis + 1) (op_rank - axis - 1))
+        in
+        let nidx = Shape.numel idxs.shape in
+        let ax = x.shape.(axis) in
+        let x_val = List.hd op.Op.operands in
+        let d, skip =
+          if claimable idx x_val total then begin
+            comp.n_inplace <- comp.n_inplace + 1;
+            (x.b, [ x_val.Value.id ])
+          end
+          else (Slot (alloc comp total), [])
+        in
+        let xb = x.b and ib = idxs.b and ub = upd.b in
+        emit
+          (Run
+             (fun st ->
+               Into.scatter_add ~outer ~ax ~inner ~nidx ~src:(fetch st xb)
+                 ~idxs:(fetch st ib) ~upd:(fetch st ub) ~dst:(fetch st d)));
+        count_naive total;
+        define comp (res ()) { b = d; shape = x.shape; dtype = x.dtype };
+        kill_dying ~skip idx op.Op.operands;
+        kill_unused_results op
+    | Op.Conv2d { stride; padding }, [ x; ker ] ->
+        let nb = x.shape.(0)
+        and h = x.shape.(1)
+        and w = x.shape.(2)
+        and c = x.shape.(3) in
+        let kh = ker.shape.(0) and kw = ker.shape.(1) in
+        let co = ker.shape.(3) in
+        let oh = ((h + (2 * padding) - kh) / stride) + 1 in
+        let ow = ((w + (2 * padding) - kw) / stride) + 1 in
+        let taps_y =
+          Literal.conv_taps ~out_size:oh ~k:kh ~stride ~padding ~in_size:h
+        in
+        let taps_x =
+          Literal.conv_taps ~out_size:ow ~k:kw ~stride ~padding ~in_size:w
+        in
+        let r = alloc_res [| nb; oh; ow; co |] x.dtype in
+        let xb = x.b and kb = ker.b and db = r.b in
+        emit
+          (Run
+             (fun st ->
+               Into.conv2d ~batches:nb ~h ~w ~c ~kh ~kw ~co ~oh ~ow ~stride
+                 ~padding ~taps_y ~taps_x ~src:(fetch st xb)
+                 ~ker:(fetch st kb) ~dst:(fetch st db)));
+        count_naive (nb * oh * ow * co);
+        define comp (res ()) r
+    | Op.Conv2d_input_grad { input_shape; stride; padding }, [ g; ker ] ->
+        let nb = input_shape.(0)
+        and h = input_shape.(1)
+        and w = input_shape.(2)
+        and c = input_shape.(3) in
+        let kh = ker.shape.(0) and kw = ker.shape.(1) in
+        let co = ker.shape.(3) in
+        let oh = g.shape.(1) and ow = g.shape.(2) in
+        let taps_y =
+          Literal.conv_grad_taps ~in_size:h ~k:kh ~out_size:oh ~stride
+            ~padding
+        in
+        let taps_x =
+          Literal.conv_grad_taps ~in_size:w ~k:kw ~out_size:ow ~stride
+            ~padding
+        in
+        let r = alloc_res [| nb; h; w; c |] g.dtype in
+        let gb = g.b and kb = ker.b and db = r.b in
+        emit
+          (Run
+             (fun st ->
+               Into.conv2d_input_grad ~batches:nb ~h ~w ~c ~kh ~kw ~co ~oh
+                 ~ow ~stride ~padding ~taps_y ~taps_x ~g:(fetch st gb)
+                 ~ker:(fetch st kb) ~dst:(fetch st db)));
+        count_naive (nb * h * w * c);
+        define comp (res ()) r
+    | Op.Conv2d_kernel_grad { kernel_shape; stride; padding }, [ x; g ] ->
+        let nb = x.shape.(0)
+        and h = x.shape.(1)
+        and w = x.shape.(2)
+        and c = x.shape.(3) in
+        let kh = kernel_shape.(0)
+        and kw = kernel_shape.(1)
+        and ci = kernel_shape.(2)
+        and co = kernel_shape.(3) in
+        let oh = g.shape.(1) and ow = g.shape.(2) in
+        let taps_y =
+          Literal.conv_taps ~out_size:oh ~k:kh ~stride ~padding ~in_size:h
+        in
+        let taps_x =
+          Literal.conv_taps ~out_size:ow ~k:kw ~stride ~padding ~in_size:w
+        in
+        let r = alloc_res [| kh; kw; ci; co |] x.dtype in
+        let xb = x.b and gb = g.b and db = r.b in
+        emit
+          (Run
+             (fun st ->
+               Into.conv2d_kernel_grad ~batches:nb ~h ~w ~c ~kw ~ci ~co ~oh
+                 ~ow ~stride ~padding ~taps_y ~taps_x ~src:(fetch st xb)
+                 ~g:(fetch st gb) ~dst:(fetch st db)));
+        count_naive (kh * kw * ci * co);
+        define comp (res ()) r
+    | Op.For { trip_count; n_carries }, _ -> (
+        match op.Op.region with
+        | None -> plan_errorf "plan: For without region"
+        | Some r ->
+            let iter_p, rest_params =
+              match r.Op.params with
+              | p :: rest -> (p, rest)
+              | [] -> plan_errorf "plan: For region without params"
+            in
+            let carry_params =
+              List.filteri (fun k _ -> k < n_carries) rest_params
+            in
+            let inv_params =
+              List.filteri (fun k _ -> k >= n_carries) rest_params
+            in
+            let carry_ops =
+              List.filteri (fun k _ -> k < n_carries) op.Op.operands
+            in
+            let inv_ops =
+              List.filteri (fun k _ -> k >= n_carries) op.Op.operands
+            in
+            let iter_slot = alloc comp 1 in
+            define comp iter_p
+              { b = Slot iter_slot; shape = Shape.scalar; dtype = Dtype.I32 };
+            let carry_info =
+              List.map2
+                (fun (p : Value.t) (ov : Value.t) ->
+                  let orr = reg_of comp ov in
+                  let slot = alloc comp (Shape.numel orr.shape) in
+                  define comp p
+                    { b = Slot slot; shape = orr.shape; dtype = orr.dtype };
+                  (p, ov, orr, slot))
+                carry_params carry_ops
+            in
+            (* Invariant params alias their operand registers; the extra
+               refcount also blocks in-place claims on them in the body. *)
+            List.iter2
+              (fun (p : Value.t) (ov : Value.t) ->
+                let orr = reg_of comp ov in
+                retain comp orr.b;
+                define comp p orr)
+              inv_params inv_ops;
+            let body_steps, _body_names, body_local =
+              compile_ops comp r.Op.body ~extra:r.Op.yields
+            in
+            let yield_regs = List.map (reg_of comp) r.Op.yields in
+            let carry_slots = List.map (fun (_, _, _, s) -> s) carry_info in
+            (* Direct trip-end blits are safe iff no yield reads another
+               carry's slot (a same-slot pass-through blit is skipped at
+               runtime); otherwise route every carry through staging. *)
+            let direct =
+              List.for_all2
+                (fun (yr : reg) own ->
+                  match yr.b with
+                  | Slot s ->
+                      not
+                        (List.exists (fun cs -> cs <> own && cs = s)
+                           carry_slots)
+                  | Const _ | Param _ -> true)
+                yield_regs carry_slots
+            in
+            let next_pairs, fini_pairs, staging =
+              if direct then
+                ( List.map2
+                    (fun yr (_, _, _, s) -> (yr, s))
+                    yield_regs carry_info,
+                  [],
+                  [] )
+              else begin
+                let staging =
+                  List.map
+                    (fun (_, _, orr, _) -> alloc comp (Shape.numel orr.shape))
+                    carry_info
+                in
+                ( List.map2 (fun yr s -> (yr, s)) yield_regs staging,
+                  List.map2 (fun s (_, _, _, c) -> (s, c)) staging carry_info,
+                  staging )
+              end
+            in
+            emit
+              (Loop
+                 {
+                   trips = trip_count;
+                   iter_slot;
+                   init =
+                     Array.of_list
+                       (List.map (fun (_, _, orr, s) -> (orr, s)) carry_info);
+                   body = Array.of_list body_steps;
+                   next = Array.of_list next_pairs;
+                   fini = Array.of_list fini_pairs;
+                 });
+            (* Results alias the carry slots (which hold the final carries
+               after the last trip). *)
+            List.iteri
+              (fun k (rv : Value.t) ->
+                let _, _, orr, slot = List.nth carry_info k in
+                retain comp (Slot slot);
+                define comp rv
+                  { b = Slot slot; shape = orr.shape; dtype = orr.dtype })
+              op.Op.results;
+            (* Loop-scoped names die here. *)
+            release comp (Slot iter_slot);
+            List.iter
+              (fun ((p : Value.t), _, _, _) ->
+                release comp (reg_of comp p).b)
+              carry_info;
+            List.iter
+              (fun (p : Value.t) -> release comp (reg_of comp p).b)
+              inv_params;
+            let seen_y = Hashtbl.create 8 in
+            List.iter
+              (fun (y : Value.t) ->
+                if
+                  (not (Hashtbl.mem seen_y y.Value.id))
+                  && Hashtbl.mem body_local y.Value.id
+                then begin
+                  Hashtbl.replace seen_y y.Value.id ();
+                  match Hashtbl.find_opt comp.regs y.Value.id with
+                  | Some r2 -> release comp r2.b
+                  | None -> ()
+                end)
+              r.Op.yields;
+            List.iter (fun s -> release comp (Slot s)) staging;
+            kill_dying idx (op.Op.operands @ Interp.free_values_of_region r);
+            kill_unused_results op)
+    | ( ( Op.All_reduce _ | Op.All_gather _ | Op.All_slice _
+        | Op.Reduce_scatter _ | Op.All_to_all _ ),
+        [ x ] ) ->
+        if not comp.allow_collectives then
+          plan_errorf "plan: collective %s outside an SPMD plan"
+            (Op.kind_name op.Op.kind);
+        let rv = res () in
+        let out_shape = rv.Value.ty.Value.shape in
+        (* Result allocated before operand deaths: a collective's
+           destination must never alias its source. *)
+        let r = alloc_res out_shape rv.Value.ty.Value.dtype in
+        emit (Collective { kind = op.Op.kind; src = x; dst = r });
+        count_naive (Shape.numel out_shape);
+        define comp rv r
+    | k, _ ->
+        plan_errorf "plan: unsupported op %s (%d operands)" (Op.kind_name k)
+          (List.length rs));
+    (* Common epilogue for ops that did not handle deaths themselves. *)
+    match op.Op.kind with
+    | Op.Dynamic_update_slice | Op.Scatter_add _ | Op.For _ -> ()
+    | _ ->
+        kill_dying idx op.Op.operands;
+        kill_unused_results op
+  in
+
+  (* Main walk with maximal-chain detection. *)
+  let i = ref 0 in
+  while !i < n do
+    let op = opsa.(!i) in
+    let idx = !i in
+    if is_elementwise_kind op.Op.kind then begin
+      let nel = Shape.numel (reg_of comp (shape_operand op)).shape in
+      let in_run = Hashtbl.create 16 in
+      List.iter
+        (fun (v : Value.t) -> Hashtbl.replace in_run v.Value.id ())
+        op.Op.results;
+      let j = ref (idx + 1) in
+      let extending = ref true in
+      while !extending && !j < n do
+        let cand = opsa.(!j) in
+        if is_elementwise_kind cand.Op.kind then begin
+          let v0 = shape_operand cand in
+          let cn =
+            if Hashtbl.mem in_run v0.Value.id then Some nel
+            else
+              match Hashtbl.find_opt comp.regs v0.Value.id with
+              | Some r -> Some (Shape.numel r.shape)
+              | None -> None
+          in
+          if cn = Some nel then begin
+            List.iter
+              (fun (v : Value.t) -> Hashtbl.replace in_run v.Value.id ())
+              cand.Op.results;
+            incr j
+          end
+          else extending := false
+        end
+        else extending := false
+      done;
+      let m = !j - idx in
+      (* Single ops with a dedicated closure-free [Into] kernel keep it;
+         generic unary/binary singles run as 1-op chains (the [Into.map f]
+         twins would box floats at every indirect call to [f]). *)
+      let has_direct_kernel =
+        match op.Op.kind with
+        | Op.Unary (Op.Neg | Op.Relu)
+        | Op.Binary (Op.Add | Op.Sub | Op.Mul | Op.Div)
+        | Op.Compare _ | Op.Select ->
+            true
+        | _ -> false
+      in
+      if m >= 2 || not has_direct_kernel then begin
+        cur_name := Printf.sprintf "chain[%d]" m;
+        emit_chain idx nel (Array.sub opsa idx m);
+        i := !j
+      end
+      else begin
+        cur_name := Op.kind_name op.Op.kind;
+        emit_ew op idx;
+        incr i
+      end
+    end
+    else begin
+      cur_name := Op.kind_name op.Op.kind;
+      emit_simple op idx;
+      incr i
+    end
+  done;
+  (List.rev !steps, List.rev !names, local)
+
+(* ------------------------------------------------------------------ *)
+(* Plans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type core = {
+  steps : step array;
+  step_names : string array;
+  slot_sizes : int array;
+  param_shapes : Shape.t array;
+  results : reg array;
+  cstats : stats;
+}
+
+let compile_core ~allow_collectives (f : Func.t) =
+  let comp =
+    {
+      regs = Hashtbl.create 256;
+      sizes = Hashtbl.create 64;
+      n_slots = 0;
+      rc = Hashtbl.create 64;
+      free = Hashtbl.create 32;
+      naive_bytes = 0;
+      n_instrs = 0;
+      n_chains = 0;
+      n_fused = 0;
+      n_inplace = 0;
+      allow_collectives;
+    }
+  in
+  List.iteri
+    (fun i (p : Value.t) ->
+      define comp p
+        {
+          b = Param i;
+          shape = p.Value.ty.Value.shape;
+          dtype = p.Value.ty.Value.dtype;
+        })
+    f.Func.params;
+  let steps, names, _ = compile_ops comp f.Func.body ~extra:f.Func.results in
+  let results = Array.of_list (List.map (reg_of comp) f.Func.results) in
+  let slot_sizes = Array.init comp.n_slots (Hashtbl.find comp.sizes) in
+  {
+    steps = Array.of_list steps;
+    step_names = Array.of_list names;
+    slot_sizes;
+    param_shapes =
+      Array.of_list
+        (List.map (fun (p : Value.t) -> p.Value.ty.Value.shape) f.Func.params);
+    results;
+    cstats =
+      {
+        n_instrs = comp.n_instrs;
+        n_chains = comp.n_chains;
+        n_fused = comp.n_fused;
+        n_inplace = comp.n_inplace;
+        n_slots = comp.n_slots;
+        arena_bytes = 8 * Array.fold_left ( + ) 0 slot_sizes;
+        naive_bytes = comp.naive_bytes;
+      };
+  }
+
+let make_state core =
+  { bufs = Array.map (fun n -> Array.make n 0.) core.slot_sizes; args = [||] }
+
+type t = { core : core; state : state }
+
+let compile (f : Func.t) =
+  let core = compile_core ~allow_collectives:false f in
+  { core; state = make_state core }
+
+let stats t = t.core.cstats
+
+let bind_args core (st : state) where (args : Literal.t array) =
+  let np = Array.length core.param_shapes in
+  if Array.length args <> np then
+    plan_errorf "plan: %sexpected %d arguments, got %d" where np
+      (Array.length args);
+  Array.iteri
+    (fun i (l : Literal.t) ->
+      if not (Shape.equal l.Literal.shape core.param_shapes.(i)) then
+        plan_errorf "plan: %sargument %d has shape %s, expected %s" where i
+          (Shape.to_string l.Literal.shape)
+          (Shape.to_string core.param_shapes.(i)))
+    args;
+  st.args <- Array.map (fun (l : Literal.t) -> l.Literal.data) args
+
+let read_results core (st : state) =
+  Array.map
+    (fun (r : reg) ->
+      Literal.create r.dtype r.shape (Array.copy (fetch st r.b)))
+    core.results
+
+let execute (t : t) (args : Literal.t array) =
+  bind_args t.core t.state "" args;
+  (if Sys.getenv_opt "PARTIR_PLAN_PROFILE" <> None then begin
+     let agg = Hashtbl.create 32 in
+     Array.iteri
+       (fun i s ->
+         let w0 = Gc.minor_words () in
+         let t0 = Unix.gettimeofday () in
+         exec_step t.state s;
+         let dt = Unix.gettimeofday () -. t0 in
+         let dw = Gc.minor_words () -. w0 in
+         let name =
+           if i < Array.length t.core.step_names then t.core.step_names.(i)
+           else "?"
+         in
+         let ct, cw, cn =
+           Option.value (Hashtbl.find_opt agg name) ~default:(0., 0., 0)
+         in
+         Hashtbl.replace agg name (ct +. dt, cw +. dw, cn + 1))
+       t.core.steps;
+     let rows =
+       Hashtbl.fold (fun k (dt, dw, n) acc -> (k, dt, dw, n) :: acc) agg []
+     in
+     List.iter
+       (fun (k, dt, dw, n) ->
+         Printf.eprintf "%-16s %4d steps  %8.3f ms  %10.0f words\n%!" k n
+           (1e3 *. dt) dw)
+       (List.sort (fun (_, a, _, _) (_, b, _, _) -> compare b a) rows)
+   end
+   else Array.iter (exec_step t.state) t.core.steps);
+  read_results t.core t.state
+
+(* ------------------------------------------------------------------ *)
+(* SPMD plans                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Spmd = struct
+  type plan = { program : Lower.program; core : core; states : state array }
+
+  let compile (p : Lower.program) =
+    let core = compile_core ~allow_collectives:true p.Lower.func in
+    let ndev = Mesh.num_devices p.Lower.mesh in
+    { program = p; core; states = Array.init ndev (fun _ -> make_state core) }
+
+  let stats sp = sp.core.cstats
+
+  (* Devices advance in lockstep through the shared instruction stream:
+     Run steps execute sequentially per device (each kernel parallelizes
+     internally over the fixed 64-chunk grid, preserving determinism),
+     Collective steps exchange across all device states. *)
+  let rec exec_all mesh (sts : state array) = function
+    | Run f -> Array.iter f sts
+    | Collective { kind; src; dst } ->
+        let inputs =
+          Array.map
+            (fun st -> Literal.create src.dtype src.shape (fetch st src.b))
+            sts
+        in
+        let outputs = Spmd_interp.eval_collective mesh kind inputs in
+        Array.iteri
+          (fun i st ->
+            let d = fetch st dst.b in
+            let o = outputs.(i).Literal.data in
+            if o != d then Array.blit o 0 d 0 (Array.length d))
+          sts
+    | Loop l ->
+        Array.iter
+          (fun st -> Array.iter (fun (r, s) -> blit_into st r s) l.init)
+          sts;
+        for step = 0 to l.trips - 1 do
+          Array.iter
+            (fun st -> st.bufs.(l.iter_slot).(0) <- float_of_int step)
+            sts;
+          Array.iter (fun stp -> exec_all mesh sts stp) l.body;
+          Array.iter
+            (fun st ->
+              Array.iter (fun (r, s) -> blit_into st r s) l.next;
+              Array.iter
+                (fun (s, c) ->
+                  let sb = st.bufs.(s) and cb = st.bufs.(c) in
+                  Array.blit sb 0 cb 0 (Array.length sb))
+                l.fini)
+            sts
+        done
+
+  let run_local sp (inputs : Literal.t list array) =
+    let mesh = sp.program.Lower.mesh in
+    let ndev = Array.length sp.states in
+    if Array.length inputs <> ndev then
+      plan_errorf "plan: expected %d device input lists, got %d" ndev
+        (Array.length inputs);
+    Array.iteri
+      (fun i st ->
+        bind_args sp.core st
+          (Printf.sprintf "device %d: " i)
+          (Array.of_list inputs.(i)))
+      sp.states;
+    Array.iter (fun stp -> exec_all mesh sp.states stp) sp.core.steps;
+    Array.map
+      (fun st -> Array.to_list (read_results sp.core st))
+      sp.states
+
+  let run sp (inputs : Literal.t list) =
+    Spmd_interp.assemble_outputs sp.program
+      (run_local sp (Spmd_interp.scatter_inputs sp.program inputs))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Executor selection and dispatch                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Executor = struct
+  type kind = Interp | Plan
+
+  let of_string = function
+    | "interp" -> Some Interp
+    | "plan" -> Some Plan
+    | _ -> None
+
+  let to_string = function Interp -> "interp" | Plan -> "plan"
+
+  let initial =
+    match Sys.getenv_opt "PARTIR_EXECUTOR" with
+    | Some s -> (
+        match of_string (String.trim s) with Some k -> k | None -> Plan)
+    | None -> Plan
+
+  let current = ref initial
+  let set k = current := k
+  let get () = !current
+end
+
+(* Tiny physical-identity caches: Func.t / Lower.program values are
+   immutable, and callers evaluate the same handful of programs many
+   times. *)
+let cache_limit = 16
+
+let cached (type k v) (cache : (k * v) list ref) (key : k) (build : k -> v) =
+  match List.find_opt (fun (g, _) -> g == key) !cache with
+  | Some (_, pl) -> pl
+  | None ->
+      let pl = build key in
+      let keep =
+        if List.length !cache >= cache_limit then
+          List.filteri (fun i _ -> i < cache_limit - 1) !cache
+        else !cache
+      in
+      cache := (key, pl) :: keep;
+      pl
+
+let func_cache : (Func.t * t) list ref = ref []
+let program_cache : (Lower.program * Spmd.plan) list ref = ref []
+
+let run_func (f : Func.t) (args : Literal.t list) =
+  match Executor.get () with
+  | Executor.Interp -> Interp.run f args
+  | Executor.Plan ->
+      Array.to_list
+        (execute (cached func_cache f compile) (Array.of_list args))
+
+let run_staged (s : Staged.t) (args : Literal.t list) =
+  let plain =
+    List.for_all
+      (fun (sp : Staged.sop) ->
+        match sp.Staged.nest with [] -> true | _ -> false)
+      (Staged.all_sops s)
+  in
+  match Executor.get () with
+  | Executor.Plan when plain ->
+      (* No loop nests left: temporal semantics coincide with the plain
+         function, which the plan executes. Staged modules are mutable, so
+         no caching by identity here. *)
+      Array.to_list (execute (compile (Staged.to_func s)) (Array.of_list args))
+  | _ -> Temporal.run s args
+
+let run_program (p : Lower.program) (args : Literal.t list) =
+  match Executor.get () with
+  | Executor.Interp -> Spmd_interp.run p args
+  | Executor.Plan -> Spmd.run (cached program_cache p Spmd.compile) args

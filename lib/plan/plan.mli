@@ -1,0 +1,99 @@
+(** Compiled execution plans.
+
+    A plan is the execute-many half of a compile-once/execute-many split
+    over the tree-walking interpreters: a verified {!Func.t} (or a lowered
+    SPMD {!Lower.program}) is compiled once into a topologically ordered
+    array of instruction closures with
+
+    - liveness-based buffer assignment into a preallocated float arena
+      (slots are reused when their last consumer has run, and elementwise
+      instructions write in place over a dying input of the same size);
+    - kernel pre-resolution: each instruction captures the already-selected
+      [Literal.Into] kernel together with precomputed strides, coalesced
+      loop nests and convolution tap tables, so no [eval_kind] dispatch,
+      shape inference or stride computation runs per step;
+    - maximal chains of elementwise ops fused into a single loop over the
+      arena, materializing only chain values that are live afterwards.
+
+    Executing a plan touches the minor heap only for a handful of closure
+    environments per step; all tensor data lives in the arena. Kernels run
+    on the shared [Partir_parallel] pool with the same fixed 64-chunk
+    splitting as the interpreters, so results are bit-identical to the
+    reference interpreter for any domain count.
+
+    A plan owns its arena: a given plan value must not be executed from two
+    threads at once (each {!execute} reuses the same buffers). *)
+
+open Partir_tensor
+open Partir_hlo
+module Lower = Partir_spmd.Lower
+
+exception Plan_error of string
+
+(** Compile-time accounting, reported by the plan benchmark. *)
+type stats = {
+  n_instrs : int;  (** executable instructions, loop bodies included *)
+  n_chains : int;  (** fused elementwise chains emitted *)
+  n_fused : int;  (** elementwise ops folded into those chains *)
+  n_inplace : int;  (** instructions writing over a dying input *)
+  n_slots : int;  (** distinct arena slots *)
+  arena_bytes : int;  (** total arena footprint *)
+  naive_bytes : int;
+      (** bytes a no-reuse evaluator would allocate for the same
+          instructions (loop bodies counted once) *)
+}
+
+type t
+
+val compile : Func.t -> t
+(** Compile a verified single-device function. Raises {!Plan_error} on
+    collectives or malformed IR. *)
+
+val execute : t -> Literal.t array -> Literal.t array
+(** Run the plan. Validates argument count and shapes; results are fresh
+    literals copied out of the arena. Not reentrant (see above). *)
+
+val stats : t -> stats
+
+(** Plans over lowered SPMD programs: every device runs the same compiled
+    instruction stream over its own arena, in lockstep at collectives
+    (which reuse {!Spmd_interp.eval_collective}). *)
+module Spmd : sig
+  type plan
+
+  val compile : Lower.program -> plan
+  val stats : plan -> stats
+
+  val run : plan -> Literal.t list -> Literal.t list
+  (** Same contract as {!Spmd_interp.run}: full-size inputs and outputs,
+      scattered/assembled per the program layouts. *)
+
+  val run_local : plan -> Literal.t list array -> Literal.t list array
+  (** Same contract as {!Spmd_interp.run_local}. *)
+end
+
+(** Executor selection shared by the CLI, benches and the partcheck
+    oracle. Defaults to [Plan]; the [PARTIR_EXECUTOR] environment variable
+    ("interp" | "plan") overrides the initial value. *)
+module Executor : sig
+  type kind = Interp | Plan
+
+  val of_string : string -> kind option
+  val to_string : kind -> string
+  val set : kind -> unit
+  val get : unit -> kind
+end
+
+val run_func : Func.t -> Literal.t list -> Literal.t list
+(** [Interp.run] or compiled-plan execution of [f], per {!Executor.get}.
+    Plans are cached per function (by physical identity). *)
+
+val run_staged : Partir_core.Staged.t -> Literal.t list -> Literal.t list
+(** Temporal-semantics entry point: staged modules with no remaining nests
+    run through a plan (when the plan executor is selected); modules with
+    loop nests keep the temporal interpreter, whose sliced evaluation has
+    no plan equivalent. *)
+
+val run_program : Lower.program -> Literal.t list -> Literal.t list
+(** [Spmd_interp.run] or {!Spmd.run}, per {!Executor.get}. Plans are cached
+    per program (by physical identity). *)

@@ -8,6 +8,8 @@
     [assemble (run_spmd (lower m)) = run_reference (to_func m)]. *)
 
 open Partir_tensor
+open Partir_hlo
+module Mesh = Partir_mesh.Mesh
 
 exception Spmd_error of string
 
@@ -20,3 +22,40 @@ val run_local :
   Lower.program -> Literal.t list array -> Literal.t list array
 (** Lower-level entry point: per-device input literals (indexed by linear
     device id), per-device outputs. *)
+
+(** {1 Prepared programs}
+
+    A prepared program owns its per-device environments; repeated
+    evaluations clear and re-fill them instead of allocating fresh tables
+    per step. *)
+
+type prepared
+
+val prepare : Lower.program -> prepared
+
+val run_prepared : prepared -> Literal.t list -> Literal.t list
+(** Same contract as {!run}, reusing the prepared environments. *)
+
+val run_local_prepared :
+  prepared -> Literal.t list array -> Literal.t list array
+(** Same contract as {!run_local}, reusing the prepared environments. *)
+
+(** {1 Building blocks}
+
+    Exposed for the compiled-plan executor (lib/plan), which reuses the
+    scatter/assemble glue and the collective semantics but replaces the
+    per-op tree walk. *)
+
+val is_collective : Op.kind -> bool
+
+val eval_collective : Mesh.t -> Op.kind -> Literal.t array -> Literal.t array
+(** Evaluate one collective for every device at once; [values] and the
+    result are indexed by linear device id. *)
+
+val scatter_inputs : Lower.program -> Literal.t list -> Literal.t list array
+(** Slice full-size inputs into per-device chunks per the input layouts. *)
+
+val assemble_outputs :
+  Lower.program -> Literal.t list array -> Literal.t list
+(** Assemble per-device outputs into full-size results per the output
+    layouts, checking that replicated copies agree (within 1e-4). *)

@@ -165,6 +165,44 @@ let eval_staged_op mesh env (s : Staged.sop) ~eval_region =
           op.results
       end
 
+(* Free outer values referenced by a staged For body: the staged analogue of
+   [Interp.free_values_of_region], walking the staged sops (whose ops are
+   the source of truth after scheduling rewrites) instead of the op region
+   body. *)
+let free_values_of_staged_for (s : Staged.sop) =
+  let bound = Hashtbl.create 32 in
+  let seen = Hashtbl.create 32 in
+  let free = ref [] in
+  let bind (v : Value.t) = Hashtbl.replace bound v.Value.id () in
+  let note (v : Value.t) =
+    if (not (Hashtbl.mem bound v.Value.id)) && not (Hashtbl.mem seen v.Value.id)
+    then begin
+      Hashtbl.replace seen v.Value.id ();
+      free := v :: !free
+    end
+  in
+  let rec walk sops =
+    List.iter
+      (fun (s : Staged.sop) ->
+        let op = s.Staged.op in
+        List.iter note op.Op.operands;
+        (match op.Op.region with
+        | Some r ->
+            List.iter bind r.Op.params;
+            walk s.Staged.region_body;
+            List.iter note r.Op.yields
+        | None -> ());
+        List.iter bind op.Op.results)
+      sops
+  in
+  (match s.Staged.op.Op.region with
+  | Some r ->
+      List.iter bind r.Op.params;
+      walk s.Staged.region_body;
+      List.iter note r.Op.yields
+  | None -> ());
+  List.rev !free
+
 let restrict_axes axes (s : Staged.sop) =
   {
     s with
@@ -197,8 +235,17 @@ let run_general ?only_axes (t : Staged.t) (args : Literal.t list) =
                   List.filteri (fun i _ -> i >= n_carries)
                     (List.map lookup s.Staged.op.operands)
                 in
+                (* Small region environment built once and reused across
+                   trips: free outer values plus region params, instead of a
+                   full env copy per trip (body sops rebind the same result
+                   ids each iteration). *)
+                let frees = free_values_of_staged_for s in
+                let inner = Hashtbl.create (16 + List.length frees) in
+                List.iter
+                  (fun (v : Value.t) ->
+                    Hashtbl.replace inner v.Value.id (lookup v))
+                  frees;
                 for step = 0 to trip_count - 1 do
-                  let inner = Hashtbl.copy env in
                   (match r.params with
                   | iter :: rest ->
                       Hashtbl.replace inner iter.Value.id

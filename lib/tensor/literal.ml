@@ -443,11 +443,22 @@ let coalesce dims sst tst =
   done;
   (Array.of_list !rd, Array.of_list !rs, Array.of_list !rt)
 
-let rec copy_walk src soff dst doff dims sst tst d =
+(* The explicit [float array] annotations matter: without them these
+   helpers infer polymorphic ['a array] types and compile to generic array
+   primitives, which box every float they read. *)
+let rec copy_walk (src : float array) soff (dst : float array) doff dims sst
+    tst d =
   if d = Array.length dims - 1 then begin
     let n = dims.(d) and ss = sst.(d) and ts = tst.(d) in
     if ss = 1 && ts = 1 then Array.blit src soff dst doff n
-    else if ss = 0 && ts = 1 then Array.fill dst doff n (Array.unsafe_get src soff)
+    else if ss = 0 && ts = 1 then begin
+      (* Manual fill: [Array.fill] takes the value boxed, costing an
+         allocation per leaf call on broadcast-heavy walks. *)
+      let v = Array.unsafe_get src soff in
+      for i = doff to doff + n - 1 do
+        Array.unsafe_set dst i v
+      done
+    end
     else begin
       let so = ref soff and dc = ref doff in
       for _ = 1 to n do
@@ -472,11 +483,14 @@ let rec copy_walk src soff dst doff dims sst tst d =
    source rows and the written destination rows resident in L1. *)
 let copy_tile = 32
 
-let copy_strided ~src ~soff ~sst ~dst ~doff ~tst dims =
+(* The post-coalescing dispatch. Callers that copy the same index space
+   many times (the plan compiler) run [coalesce] once at plan time and call
+   this directly; [copy_strided] below is the one-shot wrapper. *)
+let copy_coalesced ~(src : float array) ~soff ~sst ~(dst : float array) ~doff
+    ~tst dims =
   let total = Array.fold_left ( * ) 1 dims in
   if total = 0 then ()
   else begin
-    let dims, sst, tst = coalesce dims sst tst in
     match Array.length dims with
     | 0 -> Array.unsafe_set dst doff (Array.unsafe_get src soff)
     | 1 -> copy_walk src soff dst doff dims sst tst 0
@@ -511,25 +525,654 @@ let copy_strided ~src ~soff ~sst ~dst ~doff ~tst dims =
             done)
   end
 
+let copy_strided ~src ~soff ~sst ~dst ~doff ~tst dims =
+  let dims, sst, tst = coalesce dims sst tst in
+  copy_coalesced ~src ~soff ~sst ~dst ~doff ~tst dims
+
 (* ------------------------------------------------------------------ *)
-(* Elementwise                                                        *)
+(* Convolution tap tables                                             *)
 (* ------------------------------------------------------------------ *)
+
+(* Valid kernel taps per output (or input) coordinate, precomputed once:
+   [taps.(oy)] lists every [ky] whose input row stays in bounds. This
+   hoists all boundary tests out of the pixel loops. *)
+let conv_taps ~out_size ~k ~stride ~padding ~in_size =
+  Array.init out_size (fun o ->
+      let rec collect ky acc =
+        if ky < 0 then acc
+        else
+          let i = (o * stride) + ky - padding in
+          if i >= 0 && i < in_size then collect (ky - 1) (ky :: acc)
+          else collect (ky - 1) acc
+      in
+      Array.of_list (collect (k - 1) []))
+
+(* Taps per input coordinate for the gather-form input gradient: the
+   (ky, oy) pairs with oy * stride + ky - padding = iy, oy in range. *)
+let conv_grad_taps ~in_size ~k ~out_size ~stride ~padding =
+  Array.init in_size (fun i ->
+      let rec collect ky acc =
+        if ky < 0 then acc
+        else
+          let num = i + padding - ky in
+          if num >= 0 && num mod stride = 0 && num / stride < out_size then
+            collect (ky - 1) ((ky, num / stride) :: acc)
+          else collect (ky - 1) acc
+      in
+      Array.of_list (collect (k - 1) []))
 
 (* Elementwise work units per element for the parallel threshold: calling
    an unknown [f] is a few ops. [f] must be pure — every interpreter
    closure is a pure float function. *)
 let ew_work = 4
 
+(* ------------------------------------------------------------------ *)
+(* Destination-passing kernels                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The same loop bodies as the allocating entry points below, but writing
+   into a caller-supplied raw float array. The compiled-plan executor
+   (lib/plan) resolves these once at plan time and reuses arena buffers
+   across steps, so every kernel here must tolerate a dirty destination
+   and must keep the exact per-output-element accumulation order of its
+   allocating twin (bit parity with the interpreters is load-bearing).
+   Destinations are always exactly the result's numel. *)
+module Into = struct
+  let map (f : float -> float) ~(src : float array) ~(dst : float array) =
+    Partir_parallel.parallel_for ~work:ew_work (Array.length dst)
+      (fun lo hi ->
+        for i = lo to hi - 1 do
+          Array.unsafe_set dst i (f (Array.unsafe_get src i))
+        done)
+
+  let map2 (f : float -> float -> float) ~(a : float array)
+      ~(b : float array) ~(dst : float array) =
+    Partir_parallel.parallel_for ~work:ew_work (Array.length dst)
+      (fun lo hi ->
+        for i = lo to hi - 1 do
+          Array.unsafe_set dst i (f (Array.unsafe_get a i) (Array.unsafe_get b i))
+        done)
+
+  let select ~(pred : float array) ~(on_true : float array)
+      ~(on_false : float array) ~(dst : float array) =
+    Partir_parallel.parallel_for ~work:ew_work (Array.length dst)
+      (fun lo hi ->
+        for i = lo to hi - 1 do
+          Array.unsafe_set dst i
+            (if Array.unsafe_get pred i <> 0. then Array.unsafe_get on_true i
+             else Array.unsafe_get on_false i)
+        done)
+
+  let add ~a ~b ~dst =
+    Partir_parallel.parallel_for ~work:ew_work (Array.length dst)
+      (fun lo hi ->
+        for i = lo to hi - 1 do
+          Array.unsafe_set dst i (Array.unsafe_get a i +. Array.unsafe_get b i)
+        done)
+
+  let sub ~a ~b ~dst =
+    Partir_parallel.parallel_for ~work:ew_work (Array.length dst)
+      (fun lo hi ->
+        for i = lo to hi - 1 do
+          Array.unsafe_set dst i (Array.unsafe_get a i -. Array.unsafe_get b i)
+        done)
+
+  let mul ~a ~b ~dst =
+    Partir_parallel.parallel_for ~work:ew_work (Array.length dst)
+      (fun lo hi ->
+        for i = lo to hi - 1 do
+          Array.unsafe_set dst i (Array.unsafe_get a i *. Array.unsafe_get b i)
+        done)
+
+  let div ~a ~b ~dst =
+    Partir_parallel.parallel_for ~work:ew_work (Array.length dst)
+      (fun lo hi ->
+        for i = lo to hi - 1 do
+          Array.unsafe_set dst i (Array.unsafe_get a i /. Array.unsafe_get b i)
+        done)
+
+  let neg ~src ~dst =
+    Partir_parallel.parallel_for ~work:ew_work (Array.length dst)
+      (fun lo hi ->
+        for i = lo to hi - 1 do
+          Array.unsafe_set dst i (-.Array.unsafe_get src i)
+        done)
+
+  let relu ~src ~dst =
+    Partir_parallel.parallel_for ~work:ew_work (Array.length dst)
+      (fun lo hi ->
+        for i = lo to hi - 1 do
+          Array.unsafe_set dst i (Float.max 0. (Array.unsafe_get src i))
+        done)
+
+  (* Unlike the allocating twin (which writes only the 1.0s into a fresh
+     zeroed buffer), both branches are stored: the destination may hold
+     stale data from an earlier step. Same values either way. *)
+  let compare_op c ~(a : float array) ~(b : float array) ~dst =
+    let loop_lt lo hi =
+      for i = lo to hi - 1 do
+        Array.unsafe_set dst i
+          (if Array.unsafe_get a i < Array.unsafe_get b i then 1. else 0.)
+      done
+    and loop_le lo hi =
+      for i = lo to hi - 1 do
+        Array.unsafe_set dst i
+          (if Array.unsafe_get a i <= Array.unsafe_get b i then 1. else 0.)
+      done
+    and loop_gt lo hi =
+      for i = lo to hi - 1 do
+        Array.unsafe_set dst i
+          (if Array.unsafe_get a i > Array.unsafe_get b i then 1. else 0.)
+      done
+    and loop_ge lo hi =
+      for i = lo to hi - 1 do
+        Array.unsafe_set dst i
+          (if Array.unsafe_get a i >= Array.unsafe_get b i then 1. else 0.)
+      done
+    and loop_eq lo hi =
+      for i = lo to hi - 1 do
+        Array.unsafe_set dst i
+          (if Array.unsafe_get a i = Array.unsafe_get b i then 1. else 0.)
+      done
+    and loop_ne lo hi =
+      for i = lo to hi - 1 do
+        Array.unsafe_set dst i
+          (if Array.unsafe_get a i <> Array.unsafe_get b i then 1. else 0.)
+      done
+    in
+    let loop =
+      match c with
+      | `Eq -> loop_eq
+      | `Ne -> loop_ne
+      | `Lt -> loop_lt
+      | `Le -> loop_le
+      | `Gt -> loop_gt
+      | `Ge -> loop_ge
+    in
+    Partir_parallel.parallel_for ~work:ew_work (Array.length dst) loop
+
+  (* Columns per register block: eight accumulators per A-element load. *)
+  let mm_jblock = 48
+
+  (* [bt] is scratch of size [n * k] (the packed transposed B panel); the
+     plan allocates it once per matmul instruction. *)
+  let matmul ~batch ~m ~k ~n ~a:ad ~b:bd ~bt ~dst:out =
+    if batch * m * n > 0 then begin
+      if k = 0 then Array.fill out 0 (batch * m * n) 0.
+      else
+        for bi = 0 to batch - 1 do
+          let abase = bi * m * k and bbase = bi * k * n and obase = bi * m * n in
+          for l = 0 to k - 1 do
+            let brow = bbase + (l * n) in
+            for j = 0 to n - 1 do
+              Array.unsafe_set bt ((j * k) + l) (Array.unsafe_get bd (brow + j))
+            done
+          done;
+          (* Rows fan out over the pool; each output element is one chunk's
+             dot product in ascending-l order (the same order [Naive] uses),
+             so results are bit-identical for any domain count. *)
+          Partir_parallel.parallel_for ~work:(n * k) m (fun lo hi ->
+              let jb = ref 0 in
+              while !jb < n do
+                let jhi = min n (!jb + mm_jblock) in
+                for i = lo to hi - 1 do
+                  let arow = abase + (i * k) and orow = obase + (i * n) in
+                  let j = ref !jb in
+                  while !j + 8 <= jhi do
+                    let r0 = !j * k in
+                    let r1 = r0 + k
+                    and r2 = r0 + (2 * k)
+                    and r3 = r0 + (3 * k)
+                    and r4 = r0 + (4 * k)
+                    and r5 = r0 + (5 * k)
+                    and r6 = r0 + (6 * k)
+                    and r7 = r0 + (7 * k) in
+                    let acc0 = ref 0.
+                    and acc1 = ref 0.
+                    and acc2 = ref 0.
+                    and acc3 = ref 0.
+                    and acc4 = ref 0.
+                    and acc5 = ref 0.
+                    and acc6 = ref 0.
+                    and acc7 = ref 0. in
+                    for l = 0 to k - 1 do
+                      let al = Array.unsafe_get ad (arow + l) in
+                      acc0 := !acc0 +. (al *. Array.unsafe_get bt (r0 + l));
+                      acc1 := !acc1 +. (al *. Array.unsafe_get bt (r1 + l));
+                      acc2 := !acc2 +. (al *. Array.unsafe_get bt (r2 + l));
+                      acc3 := !acc3 +. (al *. Array.unsafe_get bt (r3 + l));
+                      acc4 := !acc4 +. (al *. Array.unsafe_get bt (r4 + l));
+                      acc5 := !acc5 +. (al *. Array.unsafe_get bt (r5 + l));
+                      acc6 := !acc6 +. (al *. Array.unsafe_get bt (r6 + l));
+                      acc7 := !acc7 +. (al *. Array.unsafe_get bt (r7 + l))
+                    done;
+                    Array.unsafe_set out (orow + !j) !acc0;
+                    Array.unsafe_set out (orow + !j + 1) !acc1;
+                    Array.unsafe_set out (orow + !j + 2) !acc2;
+                    Array.unsafe_set out (orow + !j + 3) !acc3;
+                    Array.unsafe_set out (orow + !j + 4) !acc4;
+                    Array.unsafe_set out (orow + !j + 5) !acc5;
+                    Array.unsafe_set out (orow + !j + 6) !acc6;
+                    Array.unsafe_set out (orow + !j + 7) !acc7;
+                    j := !j + 8
+                  done;
+                  while !j < jhi do
+                    let r = !j * k in
+                    let acc = ref 0. in
+                    for l = 0 to k - 1 do
+                      acc :=
+                        !acc
+                        +. (Array.unsafe_get ad (arow + l)
+                           *. Array.unsafe_get bt (r + l))
+                    done;
+                    Array.unsafe_set out (orow + !j) !acc;
+                    incr j
+                  done
+                done;
+                jb := jhi
+              done)
+        done
+    end
+
+  (* [shp]/[sst] describe the source, [ost] the per-source-dim destination
+     stride (0 on reduced dims); [kept0] selects the parallel split over a
+     kept outermost dim. The destination is filled with the neutral element
+     first, so stale contents never leak into the fold. *)
+  let reduce kind ~shp ~sst ~ost ~kept0 ~src ~dst:out =
+    let neutral =
+      match kind with `Sum -> 0. | `Max -> neg_infinity | `Min -> infinity
+    in
+    Array.fill out 0 (Array.length out) neutral;
+    let combine =
+      match kind with `Sum -> ( +. ) | `Max -> Float.max | `Min -> Float.min
+    in
+    if Array.length src > 0 && Array.length out > 0 then begin
+      let rank = Array.length shp in
+      (* The innermost axis stays a tight flat loop: an accumulator
+         register when it is reduced, a strided combine when it is kept.
+         Source order is row-major — the same combine order as [Naive]. *)
+      let rec go d soff ooff =
+        if d = rank then
+          Array.unsafe_set out ooff
+            (combine (Array.unsafe_get out ooff) (Array.unsafe_get src soff))
+        else if d = rank - 1 then begin
+          let n = shp.(d) and os = ost.(d) in
+          if os = 0 then begin
+            let acc = ref (Array.unsafe_get out ooff) in
+            (match kind with
+            | `Sum ->
+                for l = 0 to n - 1 do
+                  acc := !acc +. Array.unsafe_get src (soff + l)
+                done
+            | `Max ->
+                for l = 0 to n - 1 do
+                  acc := Float.max !acc (Array.unsafe_get src (soff + l))
+                done
+            | `Min ->
+                for l = 0 to n - 1 do
+                  acc := Float.min !acc (Array.unsafe_get src (soff + l))
+                done);
+            Array.unsafe_set out ooff !acc
+          end
+          else
+            match kind with
+            | `Sum ->
+                for l = 0 to n - 1 do
+                  let o = ooff + (l * os) in
+                  Array.unsafe_set out o
+                    (Array.unsafe_get out o +. Array.unsafe_get src (soff + l))
+                done
+            | `Max ->
+                for l = 0 to n - 1 do
+                  let o = ooff + (l * os) in
+                  Array.unsafe_set out o
+                    (Float.max (Array.unsafe_get out o)
+                       (Array.unsafe_get src (soff + l)))
+                done
+            | `Min ->
+                for l = 0 to n - 1 do
+                  let o = ooff + (l * os) in
+                  Array.unsafe_set out o
+                    (Float.min (Array.unsafe_get out o)
+                       (Array.unsafe_get src (soff + l)))
+                done
+        end
+        else begin
+          let ss = sst.(d) and os = ost.(d) in
+          for i = 0 to shp.(d) - 1 do
+            go (d + 1) (soff + (i * ss)) (ooff + (i * os))
+          done
+        end
+      in
+      if kept0 then
+        (* Outermost dim kept: chunks own disjoint output slabs and every
+           cell accumulates in the same order as sequentially. *)
+        Partir_parallel.parallel_for
+          ~work:(Array.length src / shp.(0) * 2)
+          shp.(0)
+          (fun lo hi ->
+            for i = lo to hi - 1 do
+              go 1 (i * sst.(0)) (i * ost.(0))
+            done)
+      else go 0 0 0
+    end
+
+  let take ~outer ~ax ~inner ~nidx ~src ~idxs ~dst =
+    if Array.length dst > 0 then
+      (* One [blit] per (outer, index) pair: the whole inner suffix is one
+         contiguous block in both operand and result. *)
+      Partir_parallel.parallel_for ~work:(outer * inner) nidx (fun lo hi ->
+          for j = lo to hi - 1 do
+            let g = round_index (Array.unsafe_get idxs j) ax in
+            for o = 0 to outer - 1 do
+              Array.blit src
+                (((o * ax) + g) * inner)
+                dst
+                (((o * nidx) + j) * inner)
+                inner
+            done
+          done)
+
+  (* [dst] may alias [src] (in-place when the operand dies); the initial
+     copy is skipped when they are physically equal. Sequential: colliding
+     indices must accumulate in [Naive]'s row-major update order. *)
+  let scatter_add ~outer ~ax ~inner ~nidx ~src ~idxs ~upd ~dst =
+    if dst != src then Array.blit src 0 dst 0 (Array.length dst);
+    for o = 0 to outer - 1 do
+      for j = 0 to nidx - 1 do
+        let g = round_index (Array.unsafe_get idxs j) ax in
+        let db = ((o * ax) + g) * inner and ub = ((o * nidx) + j) * inner in
+        for i = 0 to inner - 1 do
+          Array.unsafe_set dst (db + i)
+            (Array.unsafe_get dst (db + i) +. Array.unsafe_get upd (ub + i))
+        done
+      done
+    done
+
+  let conv2d ~batches ~h ~w ~c ~kh ~kw ~co ~oh ~ow ~stride ~padding ~taps_y
+      ~taps_x ~src ~ker ~dst:out =
+    if Array.length out > 0 then begin
+      if Array.length src = 0 then Array.fill out 0 (Array.length out) 0.
+      else
+        Partir_parallel.parallel_for
+          ~work:(ow * co * kh * kw * c * 2)
+          (batches * oh)
+          (fun lo hi ->
+            (* Eight output channels per pass, accumulated in registers
+               (a memory-resident accumulator array costs a load+store per
+               multiply). Per-channel summation order stays ascending
+               (ky, kx, ic) — [Naive]'s order, so bit-identical. *)
+            for r = lo to hi - 1 do
+              let b = r / oh and oy = r mod oh in
+              let ty = taps_y.(oy) in
+              for ox = 0 to ow - 1 do
+                let tx = taps_x.(ox) in
+                let obase = ((r * ow) + ox) * co in
+                let oc0 = ref 0 in
+                while !oc0 + 8 <= co do
+                  let ocb = !oc0 in
+                  let acc0 = ref 0.
+                  and acc1 = ref 0.
+                  and acc2 = ref 0.
+                  and acc3 = ref 0.
+                  and acc4 = ref 0.
+                  and acc5 = ref 0.
+                  and acc6 = ref 0.
+                  and acc7 = ref 0. in
+                  for yi = 0 to Array.length ty - 1 do
+                    let ky = Array.unsafe_get ty yi in
+                    let iy = (oy * stride) + ky - padding in
+                    for xi = 0 to Array.length tx - 1 do
+                      let kx = Array.unsafe_get tx xi in
+                      let ix = (ox * stride) + kx - padding in
+                      let ibase = ((((b * h) + iy) * w) + ix) * c in
+                      let kbase = ((((ky * kw) + kx) * c) * co) + ocb in
+                      for ic = 0 to c - 1 do
+                        let av = Array.unsafe_get src (ibase + ic) in
+                        let kb = kbase + (ic * co) in
+                        acc0 := !acc0 +. (av *. Array.unsafe_get ker kb);
+                        acc1 := !acc1 +. (av *. Array.unsafe_get ker (kb + 1));
+                        acc2 := !acc2 +. (av *. Array.unsafe_get ker (kb + 2));
+                        acc3 := !acc3 +. (av *. Array.unsafe_get ker (kb + 3));
+                        acc4 := !acc4 +. (av *. Array.unsafe_get ker (kb + 4));
+                        acc5 := !acc5 +. (av *. Array.unsafe_get ker (kb + 5));
+                        acc6 := !acc6 +. (av *. Array.unsafe_get ker (kb + 6));
+                        acc7 := !acc7 +. (av *. Array.unsafe_get ker (kb + 7))
+                      done
+                    done
+                  done;
+                  Array.unsafe_set out (obase + ocb) !acc0;
+                  Array.unsafe_set out (obase + ocb + 1) !acc1;
+                  Array.unsafe_set out (obase + ocb + 2) !acc2;
+                  Array.unsafe_set out (obase + ocb + 3) !acc3;
+                  Array.unsafe_set out (obase + ocb + 4) !acc4;
+                  Array.unsafe_set out (obase + ocb + 5) !acc5;
+                  Array.unsafe_set out (obase + ocb + 6) !acc6;
+                  Array.unsafe_set out (obase + ocb + 7) !acc7;
+                  oc0 := ocb + 8
+                done;
+                for oc = !oc0 to co - 1 do
+                  let acc = ref 0. in
+                  for yi = 0 to Array.length ty - 1 do
+                    let ky = Array.unsafe_get ty yi in
+                    let iy = (oy * stride) + ky - padding in
+                    for xi = 0 to Array.length tx - 1 do
+                      let kx = Array.unsafe_get tx xi in
+                      let ix = (ox * stride) + kx - padding in
+                      let ibase = ((((b * h) + iy) * w) + ix) * c in
+                      let kbase = ((((ky * kw) + kx) * c) * co) + oc in
+                      for ic = 0 to c - 1 do
+                        acc :=
+                          !acc
+                          +. (Array.unsafe_get src (ibase + ic)
+                             *. Array.unsafe_get ker (kbase + (ic * co)))
+                      done
+                    done
+                  done;
+                  Array.unsafe_set out (obase + oc) !acc
+                done
+              done
+            done)
+    end
+
+  (* Gather form: taps are [conv_grad_taps] tables. Per-cell summation
+     order differs from [Naive]'s scatter order, so parity is approximate
+     (float reassociation) but still independent of the domain count. *)
+  let conv2d_input_grad ~batches ~h ~w ~c ~kh ~kw ~co ~oh ~ow ~stride:_
+      ~padding:_ ~taps_y ~taps_x ~g ~ker ~dst:out =
+    if Array.length out > 0 then begin
+      if Array.length g = 0 then Array.fill out 0 (Array.length out) 0.
+      else
+        Partir_parallel.parallel_for
+          ~work:(w * c * kh * kw * co * 2)
+          (batches * h)
+          (fun lo hi ->
+            (* Eight input channels per pass in register accumulators; the
+               kernel taps for ic0..ic0+7 sit [co] apart, all within the
+               L1-resident (ky, kx) kernel tile. *)
+            for r = lo to hi - 1 do
+              let b = r / h and iy = r mod h in
+              let ty = taps_y.(iy) in
+              for ix = 0 to w - 1 do
+                let tx = taps_x.(ix) in
+                let obase = ((r * w) + ix) * c in
+                let ic0 = ref 0 in
+                while !ic0 + 8 <= c do
+                  let icb = !ic0 in
+                  let acc0 = ref 0.
+                  and acc1 = ref 0.
+                  and acc2 = ref 0.
+                  and acc3 = ref 0.
+                  and acc4 = ref 0.
+                  and acc5 = ref 0.
+                  and acc6 = ref 0.
+                  and acc7 = ref 0. in
+                  for yi = 0 to Array.length ty - 1 do
+                    let ky, oy = Array.unsafe_get ty yi in
+                    for xi = 0 to Array.length tx - 1 do
+                      let kx, ox = Array.unsafe_get tx xi in
+                      let gbase = ((((b * oh) + oy) * ow) + ox) * co in
+                      let kbase = ((((ky * kw) + kx) * c) + icb) * co in
+                      for oc = 0 to co - 1 do
+                        let gv = Array.unsafe_get g (gbase + oc) in
+                        let kb = kbase + oc in
+                        acc0 := !acc0 +. (gv *. Array.unsafe_get ker kb);
+                        acc1 := !acc1 +. (gv *. Array.unsafe_get ker (kb + co));
+                        acc2 :=
+                          !acc2 +. (gv *. Array.unsafe_get ker (kb + (2 * co)));
+                        acc3 :=
+                          !acc3 +. (gv *. Array.unsafe_get ker (kb + (3 * co)));
+                        acc4 :=
+                          !acc4 +. (gv *. Array.unsafe_get ker (kb + (4 * co)));
+                        acc5 :=
+                          !acc5 +. (gv *. Array.unsafe_get ker (kb + (5 * co)));
+                        acc6 :=
+                          !acc6 +. (gv *. Array.unsafe_get ker (kb + (6 * co)));
+                        acc7 :=
+                          !acc7 +. (gv *. Array.unsafe_get ker (kb + (7 * co)))
+                      done
+                    done
+                  done;
+                  Array.unsafe_set out (obase + icb) !acc0;
+                  Array.unsafe_set out (obase + icb + 1) !acc1;
+                  Array.unsafe_set out (obase + icb + 2) !acc2;
+                  Array.unsafe_set out (obase + icb + 3) !acc3;
+                  Array.unsafe_set out (obase + icb + 4) !acc4;
+                  Array.unsafe_set out (obase + icb + 5) !acc5;
+                  Array.unsafe_set out (obase + icb + 6) !acc6;
+                  Array.unsafe_set out (obase + icb + 7) !acc7;
+                  ic0 := icb + 8
+                done;
+                for ic = !ic0 to c - 1 do
+                  let acc = ref 0. in
+                  for yi = 0 to Array.length ty - 1 do
+                    let ky, oy = Array.unsafe_get ty yi in
+                    for xi = 0 to Array.length tx - 1 do
+                      let kx, ox = Array.unsafe_get tx xi in
+                      let gbase = ((((b * oh) + oy) * ow) + ox) * co in
+                      let kbase = ((((ky * kw) + kx) * c) + ic) * co in
+                      for oc = 0 to co - 1 do
+                        acc :=
+                          !acc
+                          +. (Array.unsafe_get g (gbase + oc)
+                             *. Array.unsafe_get ker (kbase + oc))
+                      done
+                    done
+                  done;
+                  Array.unsafe_set out (obase + ic) !acc
+                done
+              done
+            done)
+    end
+
+  (* Gather form over kernel cells: each (ky, kx, ic, oc) output cell
+     accumulates its valid (b, oy, ox) products in registers, in the same
+     ascending (b, oy, ox) order the scatter form used — bit-identical,
+     and cells are independent so the (ky, kx) space parallelizes. The
+     valid output range per (ky, kx) is computed directly instead of
+     consulting the per-coordinate tap tables. *)
+  let conv2d_kernel_grad ~batches ~h ~w ~c ~kw ~ci ~co ~oh ~ow ~stride
+      ~padding ~taps_y ~taps_x ~src ~g ~dst:out =
+    ignore taps_y;
+    ignore taps_x;
+    Array.fill out 0 (Array.length out) 0.;
+    if Array.length out > 0 && Array.length g > 0 && Array.length src > 0
+    then begin
+      let kh = Array.length out / (kw * ci * co) in
+      (* Valid o iff 0 <= o*stride + k - padding < extent and 0 <= o < n. *)
+      let range k extent n =
+        let lo = max 0 ((padding - k + stride - 1) / stride) in
+        let q = extent - 1 + padding - k in
+        let hi = if q < 0 then 0 else min n ((q / stride) + 1) in
+        (lo, hi)
+      in
+      Partir_parallel.parallel_for
+        ~work:(batches * oh * ow * c * co * 2 / max 1 (kh * kw))
+        (kh * kw)
+        (fun klo khi ->
+          for kidx = klo to khi - 1 do
+            let ky = kidx / kw and kx = kidx mod kw in
+            let oy_lo, oy_hi = range ky h oh in
+            let ox_lo, ox_hi = range kx w ow in
+            let kbase = kidx * ci * co in
+            for ic = 0 to c - 1 do
+              let ob0 = kbase + (ic * co) in
+              let oc0 = ref 0 in
+              while !oc0 + 8 <= co do
+                let ocb = !oc0 in
+                let acc0 = ref 0.
+                and acc1 = ref 0.
+                and acc2 = ref 0.
+                and acc3 = ref 0.
+                and acc4 = ref 0.
+                and acc5 = ref 0.
+                and acc6 = ref 0.
+                and acc7 = ref 0. in
+                for b = 0 to batches - 1 do
+                  for oy = oy_lo to oy_hi - 1 do
+                    let iy = (oy * stride) + ky - padding in
+                    for ox = ox_lo to ox_hi - 1 do
+                      let ix = (ox * stride) + kx - padding in
+                      let av =
+                        Array.unsafe_get src
+                          (((((b * h) + iy) * w) + ix) * c + ic)
+                      in
+                      let gb =
+                        (((((b * oh) + oy) * ow) + ox) * co) + ocb
+                      in
+                      acc0 := !acc0 +. (av *. Array.unsafe_get g gb);
+                      acc1 := !acc1 +. (av *. Array.unsafe_get g (gb + 1));
+                      acc2 := !acc2 +. (av *. Array.unsafe_get g (gb + 2));
+                      acc3 := !acc3 +. (av *. Array.unsafe_get g (gb + 3));
+                      acc4 := !acc4 +. (av *. Array.unsafe_get g (gb + 4));
+                      acc5 := !acc5 +. (av *. Array.unsafe_get g (gb + 5));
+                      acc6 := !acc6 +. (av *. Array.unsafe_get g (gb + 6));
+                      acc7 := !acc7 +. (av *. Array.unsafe_get g (gb + 7))
+                    done
+                  done
+                done;
+                Array.unsafe_set out (ob0 + ocb) !acc0;
+                Array.unsafe_set out (ob0 + ocb + 1) !acc1;
+                Array.unsafe_set out (ob0 + ocb + 2) !acc2;
+                Array.unsafe_set out (ob0 + ocb + 3) !acc3;
+                Array.unsafe_set out (ob0 + ocb + 4) !acc4;
+                Array.unsafe_set out (ob0 + ocb + 5) !acc5;
+                Array.unsafe_set out (ob0 + ocb + 6) !acc6;
+                Array.unsafe_set out (ob0 + ocb + 7) !acc7;
+                oc0 := ocb + 8
+              done;
+              for oc = !oc0 to co - 1 do
+                let acc = ref 0. in
+                for b = 0 to batches - 1 do
+                  for oy = oy_lo to oy_hi - 1 do
+                    let iy = (oy * stride) + ky - padding in
+                    for ox = ox_lo to ox_hi - 1 do
+                      let ix = (ox * stride) + kx - padding in
+                      acc :=
+                        !acc
+                        +. (Array.unsafe_get src
+                              (((((b * h) + iy) * w) + ix) * c + ic)
+                           *. Array.unsafe_get g
+                                ((((((b * oh) + oy) * ow) + ox) * co) + oc))
+                    done
+                  done
+                done;
+                Array.unsafe_set out (ob0 + oc) !acc
+              done
+            done
+          done)
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Elementwise                                                        *)
+(* ------------------------------------------------------------------ *)
+
 let map f t =
   if !use_naive then Naive.map f t
   else begin
-    let n = numel t in
-    let src = t.data in
-    let dst = Array.make n 0. in
-    Partir_parallel.parallel_for ~work:ew_work n (fun lo hi ->
-        for i = lo to hi - 1 do
-          Array.unsafe_set dst i (f (Array.unsafe_get src i))
-        done);
+    let dst = Array.make (numel t) 0. in
+    Into.map f ~src:t.data ~dst;
     { t with data = dst }
   end
 
@@ -540,14 +1183,8 @@ let map2 f a b =
       (Printf.sprintf "Literal.map2: shapes %s vs %s"
          (Shape.to_string a.shape) (Shape.to_string b.shape))
   else begin
-    let n = numel a in
-    let xa = a.data and xb = b.data in
-    let dst = Array.make n 0. in
-    Partir_parallel.parallel_for ~work:ew_work n (fun lo hi ->
-        for i = lo to hi - 1 do
-          Array.unsafe_set dst i
-            (f (Array.unsafe_get xa i) (Array.unsafe_get xb i))
-        done);
+    let dst = Array.make (numel a) 0. in
+    Into.map2 f ~a:a.data ~b:b.data ~dst;
     { a with data = dst }
   end
 
@@ -558,15 +1195,9 @@ let select pred on_true on_false =
     || not (Shape.equal pred.shape on_false.shape)
   then invalid_arg "Literal.select: shape mismatch"
   else begin
-    let n = numel pred in
-    let xp = pred.data and xt = on_true.data and xf = on_false.data in
-    let dst = Array.make n 0. in
-    Partir_parallel.parallel_for ~work:ew_work n (fun lo hi ->
-        for i = lo to hi - 1 do
-          Array.unsafe_set dst i
-            (if Array.unsafe_get xp i <> 0. then Array.unsafe_get xt i
-             else Array.unsafe_get xf i)
-        done);
+    let dst = Array.make (numel pred) 0. in
+    Into.select ~pred:pred.data ~on_true:on_true.data ~on_false:on_false.data
+      ~dst;
     { on_true with data = dst }
   end
 
@@ -585,13 +1216,8 @@ let add a b =
   if !use_naive then Naive.map2 ( +. ) a b
   else begin
     binop_check "add" a b;
-    let n = numel a in
-    let xa = a.data and xb = b.data in
-    let dst = Array.make n 0. in
-    Partir_parallel.parallel_for ~work:ew_work n (fun lo hi ->
-        for i = lo to hi - 1 do
-          Array.unsafe_set dst i (Array.unsafe_get xa i +. Array.unsafe_get xb i)
-        done);
+    let dst = Array.make (numel a) 0. in
+    Into.add ~a:a.data ~b:b.data ~dst;
     { a with data = dst }
   end
 
@@ -599,13 +1225,8 @@ let sub a b =
   if !use_naive then Naive.map2 ( -. ) a b
   else begin
     binop_check "sub" a b;
-    let n = numel a in
-    let xa = a.data and xb = b.data in
-    let dst = Array.make n 0. in
-    Partir_parallel.parallel_for ~work:ew_work n (fun lo hi ->
-        for i = lo to hi - 1 do
-          Array.unsafe_set dst i (Array.unsafe_get xa i -. Array.unsafe_get xb i)
-        done);
+    let dst = Array.make (numel a) 0. in
+    Into.sub ~a:a.data ~b:b.data ~dst;
     { a with data = dst }
   end
 
@@ -613,13 +1234,8 @@ let mul a b =
   if !use_naive then Naive.map2 ( *. ) a b
   else begin
     binop_check "mul" a b;
-    let n = numel a in
-    let xa = a.data and xb = b.data in
-    let dst = Array.make n 0. in
-    Partir_parallel.parallel_for ~work:ew_work n (fun lo hi ->
-        for i = lo to hi - 1 do
-          Array.unsafe_set dst i (Array.unsafe_get xa i *. Array.unsafe_get xb i)
-        done);
+    let dst = Array.make (numel a) 0. in
+    Into.mul ~a:a.data ~b:b.data ~dst;
     { a with data = dst }
   end
 
@@ -627,39 +1243,24 @@ let div a b =
   if !use_naive then Naive.map2 ( /. ) a b
   else begin
     binop_check "div" a b;
-    let n = numel a in
-    let xa = a.data and xb = b.data in
-    let dst = Array.make n 0. in
-    Partir_parallel.parallel_for ~work:ew_work n (fun lo hi ->
-        for i = lo to hi - 1 do
-          Array.unsafe_set dst i (Array.unsafe_get xa i /. Array.unsafe_get xb i)
-        done);
+    let dst = Array.make (numel a) 0. in
+    Into.div ~a:a.data ~b:b.data ~dst;
     { a with data = dst }
   end
 
 let neg t =
   if !use_naive then Naive.map (fun x -> -.x) t
   else begin
-    let n = numel t in
-    let src = t.data in
-    let dst = Array.make n 0. in
-    Partir_parallel.parallel_for ~work:ew_work n (fun lo hi ->
-        for i = lo to hi - 1 do
-          Array.unsafe_set dst i (-.Array.unsafe_get src i)
-        done);
+    let dst = Array.make (numel t) 0. in
+    Into.neg ~src:t.data ~dst;
     { t with data = dst }
   end
 
 let relu t =
   if !use_naive then Naive.map (fun x -> Float.max 0. x) t
   else begin
-    let n = numel t in
-    let src = t.data in
-    let dst = Array.make n 0. in
-    Partir_parallel.parallel_for ~work:ew_work n (fun lo hi ->
-        for i = lo to hi - 1 do
-          Array.unsafe_set dst i (Float.max 0. (Array.unsafe_get src i))
-        done);
+    let dst = Array.make (numel t) 0. in
+    Into.relu ~src:t.data ~dst;
     { t with data = dst }
   end
 
@@ -679,61 +1280,14 @@ let compare_op c a b =
   end
   else begin
     binop_check "compare_op" a b;
-    let n = numel a in
-    let xa = a.data and xb = b.data in
-    let dst = Array.make n 0. in
-    (* One monomorphic loop per kind: the comparison compiles to a branch
-       on two float loads instead of a closure call. *)
-    let loop_lt lo hi =
-      for i = lo to hi - 1 do
-        if Array.unsafe_get xa i < Array.unsafe_get xb i then
-          Array.unsafe_set dst i 1.
-      done
-    and loop_le lo hi =
-      for i = lo to hi - 1 do
-        if Array.unsafe_get xa i <= Array.unsafe_get xb i then
-          Array.unsafe_set dst i 1.
-      done
-    and loop_gt lo hi =
-      for i = lo to hi - 1 do
-        if Array.unsafe_get xa i > Array.unsafe_get xb i then
-          Array.unsafe_set dst i 1.
-      done
-    and loop_ge lo hi =
-      for i = lo to hi - 1 do
-        if Array.unsafe_get xa i >= Array.unsafe_get xb i then
-          Array.unsafe_set dst i 1.
-      done
-    and loop_eq lo hi =
-      for i = lo to hi - 1 do
-        if Array.unsafe_get xa i = Array.unsafe_get xb i then
-          Array.unsafe_set dst i 1.
-      done
-    and loop_ne lo hi =
-      for i = lo to hi - 1 do
-        if Array.unsafe_get xa i <> Array.unsafe_get xb i then
-          Array.unsafe_set dst i 1.
-      done
-    in
-    let loop =
-      match c with
-      | `Eq -> loop_eq
-      | `Ne -> loop_ne
-      | `Lt -> loop_lt
-      | `Le -> loop_le
-      | `Gt -> loop_gt
-      | `Ge -> loop_ge
-    in
-    Partir_parallel.parallel_for ~work:ew_work n loop;
+    let dst = Array.make (numel a) 0. in
+    Into.compare_op c ~a:a.data ~b:b.data ~dst;
     { a with data = dst }
   end
 
 (* ------------------------------------------------------------------ *)
 (* Matmul                                                             *)
 (* ------------------------------------------------------------------ *)
-
-(* Columns per register block: eight accumulators per A-element load. *)
-let mm_jblock = 48
 
 let matmul a b =
   if !use_naive then Naive.matmul a b
@@ -756,84 +1310,10 @@ let matmul a b =
     let batch = Shape.numel batch_a in
     let out_shape = Array.append batch_a [| m; n |] in
     let out = Array.make (batch * m * n) 0. in
-    let ad = a.data and bd = b.data in
-    if batch * m * n > 0 && k > 0 then begin
-      (* Packed transposed B for the current batch: row j holds column j of
-         B, so the inner dot product streams both operands contiguously. *)
-      let bt = Array.make (n * k) 0. in
-      for bi = 0 to batch - 1 do
-        let abase = bi * m * k and bbase = bi * k * n and obase = bi * m * n in
-        for l = 0 to k - 1 do
-          let brow = bbase + (l * n) in
-          for j = 0 to n - 1 do
-            Array.unsafe_set bt ((j * k) + l) (Array.unsafe_get bd (brow + j))
-          done
-        done;
-        (* Rows fan out over the pool; each output element is one chunk's
-           dot product in ascending-l order (the same order [Naive] uses),
-           so results are bit-identical for any domain count. *)
-        Partir_parallel.parallel_for ~work:(n * k) m (fun lo hi ->
-            let jb = ref 0 in
-            while !jb < n do
-              let jhi = min n (!jb + mm_jblock) in
-              for i = lo to hi - 1 do
-                let arow = abase + (i * k) and orow = obase + (i * n) in
-                let j = ref !jb in
-                while !j + 8 <= jhi do
-                  let r0 = !j * k in
-                  let r1 = r0 + k
-                  and r2 = r0 + (2 * k)
-                  and r3 = r0 + (3 * k)
-                  and r4 = r0 + (4 * k)
-                  and r5 = r0 + (5 * k)
-                  and r6 = r0 + (6 * k)
-                  and r7 = r0 + (7 * k) in
-                  let acc0 = ref 0.
-                  and acc1 = ref 0.
-                  and acc2 = ref 0.
-                  and acc3 = ref 0.
-                  and acc4 = ref 0.
-                  and acc5 = ref 0.
-                  and acc6 = ref 0.
-                  and acc7 = ref 0. in
-                  for l = 0 to k - 1 do
-                    let al = Array.unsafe_get ad (arow + l) in
-                    acc0 := !acc0 +. (al *. Array.unsafe_get bt (r0 + l));
-                    acc1 := !acc1 +. (al *. Array.unsafe_get bt (r1 + l));
-                    acc2 := !acc2 +. (al *. Array.unsafe_get bt (r2 + l));
-                    acc3 := !acc3 +. (al *. Array.unsafe_get bt (r3 + l));
-                    acc4 := !acc4 +. (al *. Array.unsafe_get bt (r4 + l));
-                    acc5 := !acc5 +. (al *. Array.unsafe_get bt (r5 + l));
-                    acc6 := !acc6 +. (al *. Array.unsafe_get bt (r6 + l));
-                    acc7 := !acc7 +. (al *. Array.unsafe_get bt (r7 + l))
-                  done;
-                  Array.unsafe_set out (orow + !j) !acc0;
-                  Array.unsafe_set out (orow + !j + 1) !acc1;
-                  Array.unsafe_set out (orow + !j + 2) !acc2;
-                  Array.unsafe_set out (orow + !j + 3) !acc3;
-                  Array.unsafe_set out (orow + !j + 4) !acc4;
-                  Array.unsafe_set out (orow + !j + 5) !acc5;
-                  Array.unsafe_set out (orow + !j + 6) !acc6;
-                  Array.unsafe_set out (orow + !j + 7) !acc7;
-                  j := !j + 8
-                done;
-                while !j < jhi do
-                  let r = !j * k in
-                  let acc = ref 0. in
-                  for l = 0 to k - 1 do
-                    acc :=
-                      !acc
-                      +. (Array.unsafe_get ad (arow + l)
-                         *. Array.unsafe_get bt (r + l))
-                  done;
-                  Array.unsafe_set out (orow + !j) !acc;
-                  incr j
-                done
-              done;
-              jb := jhi
-            done)
-      done
-    end;
+    (* Packed transposed B for the current batch: row j holds column j of
+       B, so the inner dot product streams both operands contiguously. *)
+    let bt = Array.make (n * k) 0. in
+    Into.matmul ~batch ~m ~k ~n ~a:a.data ~b:b.data ~bt ~dst:out;
     { dtype = a.dtype; shape = out_shape; data = out }
   end
 
@@ -1000,100 +1480,22 @@ let reduce kind t dims =
     let is_reduced =
       Array.init rank (fun i -> Array.exists (fun d -> d = i) dims)
     in
-    let neutral =
-      match kind with `Sum -> 0. | `Max -> neg_infinity | `Min -> infinity
-    in
-    let combine =
-      match kind with `Sum -> ( +. ) | `Max -> Float.max | `Min -> Float.min
-    in
-    let out = Array.make (Shape.numel out_shape) neutral in
-    let src = t.data in
-    if Array.length src > 0 && Array.length out > 0 then begin
-      let sst = Shape.strides t.shape in
-      (* Per-source-dim destination stride: 0 on reduced dims, so one walk
-         of the source in flat order lands every element on its output
-         cell without materializing a single index array. *)
-      let out_st = Shape.strides out_shape in
-      let ost = Array.make rank 0 in
-      let j = ref 0 in
-      for i = 0 to rank - 1 do
-        if not is_reduced.(i) then begin
-          ost.(i) <- out_st.(!j);
-          incr j
-        end
-      done;
-      let shp = t.shape in
-      (* The innermost axis stays a tight flat loop: an accumulator
-         register when it is reduced, a strided combine when it is kept.
-         Source order is row-major — the same combine order as [Naive]. *)
-      let rec go d soff ooff =
-        if d = rank then
-          Array.unsafe_set out ooff
-            (combine (Array.unsafe_get out ooff) (Array.unsafe_get src soff))
-        else if d = rank - 1 then begin
-          (* Innermost loops are specialized per kind so the combine
-             compiles as a direct float op, not a closure call. Same
-             left-to-right order as [combine]-folding in source order. *)
-          let n = shp.(d) and os = ost.(d) in
-          if os = 0 then begin
-            let acc = ref (Array.unsafe_get out ooff) in
-            (match kind with
-            | `Sum ->
-                for l = 0 to n - 1 do
-                  acc := !acc +. Array.unsafe_get src (soff + l)
-                done
-            | `Max ->
-                for l = 0 to n - 1 do
-                  acc := Float.max !acc (Array.unsafe_get src (soff + l))
-                done
-            | `Min ->
-                for l = 0 to n - 1 do
-                  acc := Float.min !acc (Array.unsafe_get src (soff + l))
-                done);
-            Array.unsafe_set out ooff !acc
-          end
-          else
-            match kind with
-            | `Sum ->
-                for l = 0 to n - 1 do
-                  let o = ooff + (l * os) in
-                  Array.unsafe_set out o
-                    (Array.unsafe_get out o +. Array.unsafe_get src (soff + l))
-                done
-            | `Max ->
-                for l = 0 to n - 1 do
-                  let o = ooff + (l * os) in
-                  Array.unsafe_set out o
-                    (Float.max (Array.unsafe_get out o)
-                       (Array.unsafe_get src (soff + l)))
-                done
-            | `Min ->
-                for l = 0 to n - 1 do
-                  let o = ooff + (l * os) in
-                  Array.unsafe_set out o
-                    (Float.min (Array.unsafe_get out o)
-                       (Array.unsafe_get src (soff + l)))
-                done
-        end
-        else begin
-          let ss = sst.(d) and os = ost.(d) in
-          for i = 0 to shp.(d) - 1 do
-            go (d + 1) (soff + (i * ss)) (ooff + (i * os))
-          done
-        end
-      in
-      if rank >= 1 && (not is_reduced.(0)) && rank > 1 then
-        (* Outermost dim kept: chunks own disjoint output slabs and every
-           cell accumulates in the same order as sequentially. *)
-        Partir_parallel.parallel_for
-          ~work:(Array.length src / shp.(0) * 2)
-          shp.(0)
-          (fun lo hi ->
-            for i = lo to hi - 1 do
-              go 1 (i * sst.(0)) (i * ost.(0))
-            done)
-      else go 0 0 0
-    end;
+    let out = Array.make (Shape.numel out_shape) 0. in
+    let sst = Shape.strides t.shape in
+    (* Per-source-dim destination stride: 0 on reduced dims, so one walk
+       of the source in flat order lands every element on its output
+       cell without materializing a single index array. *)
+    let out_st = Shape.strides out_shape in
+    let ost = Array.make rank 0 in
+    let j = ref 0 in
+    for i = 0 to rank - 1 do
+      if not is_reduced.(i) then begin
+        ost.(i) <- out_st.(!j);
+        incr j
+      end
+    done;
+    let kept0 = rank > 1 && not is_reduced.(0) in
+    Into.reduce kind ~shp:t.shape ~sst ~ost ~kept0 ~src:t.data ~dst:out;
     { t with shape = out_shape; data = out }
   end
 
@@ -1122,21 +1524,8 @@ let take operand indices ~axis =
     let nidx = numel indices in
     let ax = operand.shape.(axis) in
     let dst = Array.make (Shape.numel out_shape) 0. in
-    let src = operand.data and idxs = indices.data in
-    if Array.length dst > 0 then
-      (* One [blit] per (outer, index) pair: the whole inner suffix is one
-         contiguous block in both operand and result. *)
-      Partir_parallel.parallel_for ~work:(outer * inner) nidx (fun lo hi ->
-          for j = lo to hi - 1 do
-            let g = round_index (Array.unsafe_get idxs j) ax in
-            for o = 0 to outer - 1 do
-              Array.blit src
-                ((((o * ax) + g) * inner))
-                dst
-                ((((o * nidx) + j) * inner))
-                inner
-            done
-          done);
+    Into.take ~outer ~ax ~inner ~nidx ~src:operand.data ~idxs:indices.data
+      ~dst;
     { operand with shape = out_shape; data = dst }
   end
 
@@ -1152,42 +1541,17 @@ let scatter_add operand indices updates ~axis =
     in
     let nidx = numel indices in
     let ax = operand.shape.(axis) in
-    let dst = Array.copy operand.data in
-    let upd = updates.data and idxs = indices.data in
     if numel updates <> outer * nidx * inner then
       invalid_arg "Literal.scatter_add: updates shape mismatch";
-    (* Sequential: colliding indices must accumulate in [Naive]'s
-       row-major update order (outer, then index, then inner). *)
-    for o = 0 to outer - 1 do
-      for j = 0 to nidx - 1 do
-        let g = round_index (Array.unsafe_get idxs j) ax in
-        let db = ((o * ax) + g) * inner and ub = ((o * nidx) + j) * inner in
-        for i = 0 to inner - 1 do
-          Array.unsafe_set dst (db + i)
-            (Array.unsafe_get dst (db + i) +. Array.unsafe_get upd (ub + i))
-        done
-      done
-    done;
+    let dst = Array.make (numel operand) 0. in
+    Into.scatter_add ~outer ~ax ~inner ~nidx ~src:operand.data
+      ~idxs:indices.data ~upd:updates.data ~dst;
     { operand with data = dst }
   end
 
 (* ------------------------------------------------------------------ *)
 (* Convolution on precomputed offset tables                           *)
 (* ------------------------------------------------------------------ *)
-
-(* Valid kernel taps per output (or input) coordinate, precomputed once:
-   [taps.(oy)] lists every [ky] whose input row stays in bounds. This
-   hoists all boundary tests out of the pixel loops. *)
-let conv_taps ~out_size ~k ~stride ~padding ~in_size =
-  Array.init out_size (fun o ->
-      let rec collect ky acc =
-        if ky < 0 then acc
-        else
-          let i = (o * stride) + ky - padding in
-          if i >= 0 && i < in_size then collect (ky - 1) (ky :: acc)
-          else collect (ky - 1) acc
-      in
-      Array.of_list (collect (k - 1) []))
 
 let conv2d input kernel ~stride ~padding =
   if !use_naive then Naive.conv2d input kernel ~stride ~padding
@@ -1204,46 +1568,10 @@ let conv2d input kernel ~stride ~padding =
     let oh = ((h + (2 * padding) - kh) / stride) + 1 in
     let ow = ((w + (2 * padding) - kw) / stride) + 1 in
     let out = Array.make (n * oh * ow * co) 0. in
-    let src = input.data and ker = kernel.data in
-    if Array.length out > 0 && Array.length src > 0 then begin
-      let taps_y = conv_taps ~out_size:oh ~k:kh ~stride ~padding ~in_size:h in
-      let taps_x = conv_taps ~out_size:ow ~k:kw ~stride ~padding ~in_size:w in
-      Partir_parallel.parallel_for
-        ~work:(ow * co * kh * kw * c * 2)
-        (n * oh)
-        (fun lo hi ->
-          let acc = Array.make co 0. in
-          for r = lo to hi - 1 do
-            let b = r / oh and oy = r mod oh in
-            let ty = taps_y.(oy) in
-            for ox = 0 to ow - 1 do
-              let tx = taps_x.(ox) in
-              Array.fill acc 0 co 0.;
-              (* Accumulate per output channel in ascending (ky, kx, ic)
-                 order — [Naive]'s summation order, so bit-identical. *)
-              for yi = 0 to Array.length ty - 1 do
-                let ky = Array.unsafe_get ty yi in
-                let iy = (oy * stride) + ky - padding in
-                for xi = 0 to Array.length tx - 1 do
-                  let kx = Array.unsafe_get tx xi in
-                  let ix = (ox * stride) + kx - padding in
-                  let ibase = ((((b * h) + iy) * w) + ix) * c in
-                  let kbase = (((ky * kw) + kx) * c) * co in
-                  for ic = 0 to c - 1 do
-                    let av = Array.unsafe_get src (ibase + ic) in
-                    let kb = kbase + (ic * co) in
-                    for oc = 0 to co - 1 do
-                      Array.unsafe_set acc oc
-                        (Array.unsafe_get acc oc
-                        +. (av *. Array.unsafe_get ker (kb + oc)))
-                    done
-                  done
-                done
-              done;
-              Array.blit acc 0 out (((r * ow) + ox) * co) co
-            done
-          done)
-    end;
+    let taps_y = conv_taps ~out_size:oh ~k:kh ~stride ~padding ~in_size:h in
+    let taps_x = conv_taps ~out_size:ow ~k:kw ~stride ~padding ~in_size:w in
+    Into.conv2d ~batches:n ~h ~w ~c ~kh ~kw ~co ~oh ~ow ~stride ~padding
+      ~taps_y ~taps_x ~src:input.data ~ker:kernel.data ~dst:out;
     { dtype = input.dtype; shape = [| n; oh; ow; co |]; data = out }
   end
 
@@ -1263,63 +1591,15 @@ let conv2d_input_grad grad_out kernel ~input_shape ~stride ~padding =
     let co = kernel.shape.(3) in
     let oh = grad_out.shape.(1) and ow = grad_out.shape.(2) in
     let out = Array.make (n * h * w * c) 0. in
-    let g = grad_out.data and ker = kernel.data in
-    if Array.length out > 0 && Array.length g > 0 then begin
-      (* Taps per input coordinate: the (ky, oy) pairs with
-         oy * stride + ky - padding = iy, oy in range. *)
-      let taps in_size k out_size =
-        Array.init in_size (fun i ->
-            let rec collect ky acc =
-              if ky < 0 then acc
-              else
-                let num = i + padding - ky in
-                if num >= 0 && num mod stride = 0 && num / stride < out_size
-                then collect (ky - 1) ((ky, num / stride) :: acc)
-                else collect (ky - 1) acc
-            in
-            Array.of_list (collect (k - 1) []))
-      in
-      let taps_y = taps h kh oh and taps_x = taps w kw ow in
-      Partir_parallel.parallel_for
-        ~work:(w * c * kh * kw * co * 2)
-        (n * h)
-        (fun lo hi ->
-          let acc = Array.make c 0. in
-          for r = lo to hi - 1 do
-            let b = r / h and iy = r mod h in
-            let ty = taps_y.(iy) in
-            for ix = 0 to w - 1 do
-              let tx = taps_x.(ix) in
-              Array.fill acc 0 c 0.;
-              for yi = 0 to Array.length ty - 1 do
-                let ky, oy = Array.unsafe_get ty yi in
-                for xi = 0 to Array.length tx - 1 do
-                  let kx, ox = Array.unsafe_get tx xi in
-                  let gbase = ((((b * oh) + oy) * ow) + ox) * co in
-                  let kbase = (((ky * kw) + kx) * c) * co in
-                  for ic = 0 to c - 1 do
-                    let kb = kbase + (ic * co) in
-                    let dot = ref 0. in
-                    for oc = 0 to co - 1 do
-                      dot :=
-                        !dot
-                        +. (Array.unsafe_get g (gbase + oc)
-                           *. Array.unsafe_get ker (kb + oc))
-                    done;
-                    Array.unsafe_set acc ic (Array.unsafe_get acc ic +. !dot)
-                  done
-                done
-              done;
-              Array.blit acc 0 out (((r * w) + ix) * c) c
-            done
-          done)
-    end;
+    let taps_y = conv_grad_taps ~in_size:h ~k:kh ~out_size:oh ~stride ~padding in
+    let taps_x = conv_grad_taps ~in_size:w ~k:kw ~out_size:ow ~stride ~padding in
+    Into.conv2d_input_grad ~batches:n ~h ~w ~c ~kh ~kw ~co ~oh ~ow ~stride
+      ~padding ~taps_y ~taps_x ~g:grad_out.data ~ker:kernel.data ~dst:out;
     { dtype = grad_out.dtype; shape = [| n; h; w; c |]; data = out }
   end
 
 (* Kernel gradient: a reduction over every output pixel into a small
-   [kh*kw*ci*co] buffer. Sequential so colliding accumulations keep
-   [Naive]'s (b, oy, ox)-ascending order exactly. *)
+   [kh*kw*ci*co] buffer. *)
 let conv2d_kernel_grad input grad_out ~kernel_shape ~stride ~padding =
   if !use_naive then
     Naive.conv2d_kernel_grad input grad_out ~kernel_shape ~stride ~padding
@@ -1334,40 +1614,10 @@ let conv2d_kernel_grad input grad_out ~kernel_shape ~stride ~padding =
     and co = kernel_shape.(3) in
     let oh = grad_out.shape.(1) and ow = grad_out.shape.(2) in
     let out = Array.make (kh * kw * ci * co) 0. in
-    let src = input.data and g = grad_out.data in
-    if Array.length out > 0 && Array.length g > 0 && Array.length src > 0
-    then begin
-      let taps_y = conv_taps ~out_size:oh ~k:kh ~stride ~padding ~in_size:h in
-      let taps_x = conv_taps ~out_size:ow ~k:kw ~stride ~padding ~in_size:w in
-      for b = 0 to n - 1 do
-        for oy = 0 to oh - 1 do
-          let ty = taps_y.(oy) in
-          for ox = 0 to ow - 1 do
-            let tx = taps_x.(ox) in
-            let gbase = ((((b * oh) + oy) * ow) + ox) * co in
-            for yi = 0 to Array.length ty - 1 do
-              let ky = Array.unsafe_get ty yi in
-              let iy = (oy * stride) + ky - padding in
-              for xi = 0 to Array.length tx - 1 do
-                let kx = Array.unsafe_get tx xi in
-                let ix = (ox * stride) + kx - padding in
-                let ibase = ((((b * h) + iy) * w) + ix) * c in
-                let kbase = (((ky * kw) + kx) * ci) * co in
-                for ic = 0 to c - 1 do
-                  let av = Array.unsafe_get src (ibase + ic) in
-                  let ob = kbase + (ic * co) in
-                  for oc = 0 to co - 1 do
-                    Array.unsafe_set out (ob + oc)
-                      (Array.unsafe_get out (ob + oc)
-                      +. (av *. Array.unsafe_get g (gbase + oc)))
-                  done
-                done
-              done
-            done
-          done
-        done
-      done
-    end;
+    let taps_y = conv_taps ~out_size:oh ~k:kh ~stride ~padding ~in_size:h in
+    let taps_x = conv_taps ~out_size:ow ~k:kw ~stride ~padding ~in_size:w in
+    Into.conv2d_kernel_grad ~batches:n ~h ~w ~c ~kw ~ci ~co ~oh ~ow ~stride
+      ~padding ~taps_y ~taps_x ~src:input.data ~g:grad_out.data ~dst:out;
     { dtype = input.dtype; shape = [| kh; kw; ci; co |]; data = out }
   end
 

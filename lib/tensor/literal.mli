@@ -107,6 +107,112 @@ val approx_equal : ?tol:float -> t -> t -> bool
 val max_abs_diff : t -> t -> float
 val pp : Format.formatter -> t -> unit
 
+(** {1 Destination-passing kernel core}
+
+    Raw-float-array kernels shared between the allocating entry points
+    above and the compiled-plan executor (lib/plan). Plan instructions
+    pre-resolve one of these closures at compile time and reuse arena
+    buffers across steps, so every kernel tolerates a dirty destination
+    and keeps the exact per-output-element accumulation order of its
+    allocating twin. *)
+
+val coalesce :
+  int array -> int array -> int array -> int array * int array * int array
+(** [coalesce dims sst tst] merges adjacent contiguous dims and drops
+    size-1 dims, returning the shortest equivalent loop nest. *)
+
+val copy_coalesced :
+  src:float array ->
+  soff:int ->
+  sst:int array ->
+  dst:float array ->
+  doff:int ->
+  tst:int array ->
+  int array ->
+  unit
+(** Strided copy over an already-[coalesce]d index space:
+    dst[doff + idx.tst] <- src[soff + idx.sst]. Source strides may be 0
+    (broadcast). Offsets are trusted. *)
+
+val conv_taps :
+  out_size:int -> k:int -> stride:int -> padding:int -> in_size:int ->
+  int array array
+(** [taps.(o)] lists every kernel coordinate whose input coordinate stays
+    in bounds at output position [o]. *)
+
+val conv_grad_taps :
+  in_size:int -> k:int -> out_size:int -> stride:int -> padding:int ->
+  (int * int) array array
+(** Taps per input coordinate for the gather-form input gradient: the
+    (ky, oy) pairs with [oy * stride + ky - padding = iy], oy in range. *)
+
+module Into : sig
+  val map : (float -> float) -> src:float array -> dst:float array -> unit
+
+  val map2 :
+    (float -> float -> float) ->
+    a:float array -> b:float array -> dst:float array -> unit
+
+  val select :
+    pred:float array ->
+    on_true:float array -> on_false:float array -> dst:float array -> unit
+
+  val add : a:float array -> b:float array -> dst:float array -> unit
+  val sub : a:float array -> b:float array -> dst:float array -> unit
+  val mul : a:float array -> b:float array -> dst:float array -> unit
+  val div : a:float array -> b:float array -> dst:float array -> unit
+  val neg : src:float array -> dst:float array -> unit
+  val relu : src:float array -> dst:float array -> unit
+
+  val compare_op :
+    [ `Eq | `Ne | `Lt | `Le | `Gt | `Ge ] ->
+    a:float array -> b:float array -> dst:float array -> unit
+  (** Writes both branches (1.0 / 0.0): destinations may be dirty. *)
+
+  val matmul :
+    batch:int -> m:int -> k:int -> n:int ->
+    a:float array -> b:float array -> bt:float array -> dst:float array ->
+    unit
+  (** [bt] is caller-provided scratch of size [n * k] for the packed
+      transposed B panel. Zero-fills the destination when [k = 0]. *)
+
+  val reduce :
+    [ `Sum | `Max | `Min ] ->
+    shp:int array -> sst:int array -> ost:int array -> kept0:bool ->
+    src:float array -> dst:float array -> unit
+  (** [ost] holds per-source-dim destination strides (0 on reduced dims);
+      [kept0] enables the parallel split over a kept outermost dim. Fills
+      the destination with the fold's neutral element first. *)
+
+  val take :
+    outer:int -> ax:int -> inner:int -> nidx:int ->
+    src:float array -> idxs:float array -> dst:float array -> unit
+
+  val scatter_add :
+    outer:int -> ax:int -> inner:int -> nidx:int ->
+    src:float array -> idxs:float array -> upd:float array ->
+    dst:float array -> unit
+  (** [dst] may physically alias [src] (in-place). *)
+
+  val conv2d :
+    batches:int -> h:int -> w:int -> c:int -> kh:int -> kw:int -> co:int ->
+    oh:int -> ow:int -> stride:int -> padding:int ->
+    taps_y:int array array -> taps_x:int array array ->
+    src:float array -> ker:float array -> dst:float array -> unit
+
+  val conv2d_input_grad :
+    batches:int -> h:int -> w:int -> c:int -> kh:int -> kw:int -> co:int ->
+    oh:int -> ow:int -> stride:int -> padding:int ->
+    taps_y:(int * int) array array -> taps_x:(int * int) array array ->
+    g:float array -> ker:float array -> dst:float array -> unit
+
+  val conv2d_kernel_grad :
+    batches:int -> h:int -> w:int -> c:int -> kw:int -> ci:int -> co:int ->
+    oh:int -> ow:int -> stride:int -> padding:int ->
+    taps_y:int array array -> taps_x:int array array ->
+    src:float array -> g:float array -> dst:float array -> unit
+end
+
 (** {1 Kernel engine controls} *)
 
 val set_naive : bool -> unit

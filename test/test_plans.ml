@@ -1,0 +1,255 @@
+(* Tests for compiled execution plans (lib/plan): bit-parity of
+   Plan.execute against the reference interpreter and approximate parity
+   against the naive kernels on generated programs (For loops, shared
+   operands) and a handcrafted op zoo; domain-count invariance at 1/2/4
+   domains; rank-0 and empty tensors; and a regression asserting arena
+   slot reuse never aliases a live buffer. *)
+
+open Partir_tensor
+open Partir_hlo
+module Parallel = Partir_parallel
+module Plan = Partir_plan.Plan
+module Gen = Partir_check.Gen
+
+let bits_equal (a : Literal.t) (b : Literal.t) =
+  Shape.equal a.Literal.shape b.Literal.shape
+  && Array.length a.Literal.data = Array.length b.Literal.data
+  && (let ok = ref true in
+      Array.iteri
+        (fun i x ->
+          if
+            Int64.bits_of_float x
+            <> Int64.bits_of_float b.Literal.data.(i)
+          then ok := false)
+        a.Literal.data;
+      !ok)
+
+let check_bits label reference got =
+  Alcotest.(check int)
+    (label ^ ": output count") (List.length reference) (List.length got);
+  List.iteri
+    (fun i (r, g) ->
+      if not (bits_equal r g) then
+        Alcotest.failf "%s: output %d differs (max |delta| = %g)" label i
+          (Literal.max_abs_diff r g))
+    (List.combine reference got)
+
+let check_approx label reference got =
+  List.iteri
+    (fun i (r, g) ->
+      let bound =
+        1e-4
+        *. (1.
+           +. List.fold_left
+                (fun acc x -> Float.max acc (Float.abs x))
+                0. (Literal.to_float_list r))
+      in
+      let diff = Literal.max_abs_diff r g in
+      if not (diff <= bound) then
+        Alcotest.failf "%s: output %d differs by %g (bound %g)" label i diff
+          bound)
+    (List.combine reference got)
+
+let plan_run func args =
+  Array.to_list (Plan.execute (Plan.compile func) (Array.of_list args))
+
+let with_naive f =
+  Literal.set_naive true;
+  Fun.protect ~finally:(fun () -> Literal.set_naive false) f
+
+(* Generated programs (elementwise chains, matmuls, transposes, reshapes,
+   reductions, For loops with invariants, shared operands): the plan must
+   be bit-identical to the interpreter and within tolerance of the naive
+   kernels (whose summation order differs). *)
+let test_generated_parity () =
+  for seed = 0 to 39 do
+    let c = Gen.generate ~seed in
+    let func, _mesh, _pool = Gen.build c in
+    let args = Gen.inputs c func in
+    let reference = Interp.run func args in
+    check_bits (Printf.sprintf "seed %d vs interp" seed) reference
+      (plan_run func args);
+    check_approx
+      (Printf.sprintf "seed %d vs naive" seed)
+      (with_naive (fun () -> Interp.run func args))
+      reference
+  done
+
+(* The same plan value re-executed under 1, 2, and 4 domains must produce
+   bit-identical outputs (fixed 64-chunk work splitting). *)
+let test_domain_invariance () =
+  let c = Gen.generate ~seed:5 in
+  let func, _, _ = Gen.build c in
+  let args = Array.of_list (Gen.inputs c func) in
+  let plan = Plan.compile func in
+  let at n =
+    Parallel.set_num_domains n;
+    Fun.protect
+      ~finally:(fun () -> Parallel.clear_num_domains ())
+      (fun () -> Array.to_list (Plan.execute plan args))
+  in
+  let o1 = at 1 in
+  check_bits "domains 1 vs 2" o1 (at 2);
+  check_bits "domains 1 vs 4" o1 (at 4)
+
+(* Handcrafted zoo covering ops the generator never emits: select,
+   compare, concat, static/dynamic slice, dynamic update slice, pad, take,
+   scatter_add, broadcast, splat, and the conv2d family. *)
+let zoo () =
+  let b = Builder.create "zoo" in
+  let x = Builder.param b "x" [| 4; 6 |] Dtype.F32 in
+  let y = Builder.param b "y" [| 4; 6 |] Dtype.F32 in
+  let emb = Builder.param b "emb" [| 8; 6 |] Dtype.F32 in
+  let idx = Builder.param b "idx" [| 5 |] Dtype.I32 in
+  let img = Builder.param b "img" [| 2; 6; 6; 3 |] Dtype.F32 in
+  let ker = Builder.param b "ker" [| 3; 3; 3; 4 |] Dtype.F32 in
+  let cmp = Builder.add b (Op.Compare Op.Ge) [ x; y ] in
+  let sel = Builder.add b Op.Select [ cmp; x; y ] in
+  let cat = Builder.concat b [ sel; x ] 1 in
+  let sl =
+    Builder.add b
+      (Op.Slice { starts = [| 1; 2 |]; limits = [| 4; 11 |] })
+      [ cat ]
+  in
+  let s0 = Builder.scalar b ~dtype:Dtype.I32 1. in
+  let s1 = Builder.scalar b ~dtype:Dtype.I32 3. in
+  let ds = Builder.add b (Op.Dynamic_slice { sizes = [| 2; 4 |] }) [ sl; s0; s1 ] in
+  let dus = Builder.add b Op.Dynamic_update_slice [ sl; ds; s1; s0 ] in
+  let pad =
+    Builder.add b
+      (Op.Pad { low = [| 1; 0 |]; high = [| 0; 2 |]; value = 0.5 })
+      [ dus ]
+  in
+  let tk = Builder.take b emb idx ~axis:0 in
+  let sc = Builder.add b (Op.Scatter_add { axis = 0 }) [ emb; idx; tk ] in
+  let bc = Builder.broadcast b idx [| 5; 6 |] [| 0 |] in
+  let spl = Builder.splat b x 2.5 in
+  let cv = Builder.add b (Op.Conv2d { stride = 1; padding = 1 }) [ img; ker ] in
+  let cig =
+    Builder.add b
+      (Op.Conv2d_input_grad
+         { input_shape = [| 2; 6; 6; 3 |]; stride = 1; padding = 1 })
+      [ cv; ker ]
+  in
+  let ckg =
+    Builder.add b
+      (Op.Conv2d_kernel_grad
+         { kernel_shape = [| 3; 3; 3; 4 |]; stride = 1; padding = 1 })
+      [ img; cv ]
+  in
+  let mix = Builder.mul b spl (Builder.add2 b x y) in
+  Builder.finish b [ pad; sc; bc; cv; cig; ckg; mix; tk ]
+
+let zoo_args () =
+  let st = Random.State.make [| 21 |] in
+  let f shape = Literal.init Dtype.F32 shape (fun _ -> Random.State.float st 2. -. 1.) in
+  [
+    f [| 4; 6 |];
+    f [| 4; 6 |];
+    f [| 8; 6 |];
+    Literal.init Dtype.I32 [| 5 |] (fun _ -> float_of_int (Random.State.int st 8));
+    f [| 2; 6; 6; 3 |];
+    f [| 3; 3; 3; 4 |];
+  ]
+
+let test_zoo_parity () =
+  let func = zoo () in
+  let args = zoo_args () in
+  let reference = Interp.run func args in
+  check_bits "zoo vs interp" reference (plan_run func args);
+  check_approx "zoo vs naive"
+    (with_naive (fun () -> Interp.run func args))
+    reference
+
+(* Rank-0 (scalar) values and empty tensors flow through compilation and
+   execution. *)
+let test_rank0_and_empty () =
+  let b = Builder.create "edge" in
+  let s = Builder.param b "s" [||] Dtype.F32 in
+  let e = Builder.param b "e" [| 2; 0 |] Dtype.F32 in
+  let s2 = Builder.mul b (Builder.exp b s) s in
+  let e2 = Builder.add2 b e e in
+  let er = Builder.reshape b e2 [| 0 |] in
+  let func = Builder.finish b [ s2; er ] in
+  let args = [ Literal.scalar Dtype.F32 0.75; Literal.zeros Dtype.F32 [| 2; 0 |] ] in
+  check_bits "rank0/empty" (Interp.run func args) (plan_run func args)
+
+(* Regression: a value that stays live across a run of same-size
+   allocations (whose slots are freed and reused) must never be clobbered
+   by slot reuse or an in-place claim. *)
+let test_no_live_aliasing () =
+  let b = Builder.create "alias" in
+  let x = Builder.param b "x" [| 8; 8 |] Dtype.F32 in
+  let keep = Builder.exp b x in
+  (* Churn: each transpose frees its operand's slot for the next. *)
+  let t1 = Builder.transpose b x [| 1; 0 |] in
+  let t2 = Builder.transpose b t1 [| 1; 0 |] in
+  let t3 = Builder.transpose b t2 [| 1; 0 |] in
+  let t4 = Builder.transpose b t3 [| 1; 0 |] in
+  (* Elementwise chain with in-place candidates of keep's size. *)
+  let c1 = Builder.neg b t4 in
+  let c2 = Builder.relu b c1 in
+  let c3 = Builder.add2 b c2 t4 in
+  let out = Builder.add2 b keep c3 in
+  let func = Builder.finish b [ out; keep ] in
+  let plan = Plan.compile func in
+  let stats = Plan.stats plan in
+  Alcotest.(check bool) "slots were reused" true (stats.Plan.n_slots < 8);
+  Alcotest.(check bool) "arena smaller than naive" true
+    (stats.Plan.arena_bytes < stats.Plan.naive_bytes);
+  let args =
+    [ Literal.init Dtype.F32 [| 8; 8 |] (fun _ -> Random.float 2. -. 1.) ]
+  in
+  check_bits "live value intact" (Interp.run func args)
+    (Array.to_list (Plan.execute plan (Array.of_list args)))
+
+(* Chain fusion is exercised and in-place claims happen on a softmax-like
+   elementwise pipeline. *)
+let test_fusion_stats () =
+  let b = Builder.create "chain" in
+  let x = Builder.param b "x" [| 32; 32 |] Dtype.F32 in
+  let a = Builder.exp b x in
+  let c = Builder.neg b a in
+  let d = Builder.relu b c in
+  let e = Builder.mul b d d in
+  let f = Builder.add2 b e x in
+  let func = Builder.finish b [ f ] in
+  let plan = Plan.compile func in
+  let stats = Plan.stats plan in
+  Alcotest.(check bool) "a chain was emitted" true (stats.Plan.n_chains >= 1);
+  Alcotest.(check bool) "ops were fused" true (stats.Plan.n_fused >= 4);
+  let args =
+    [ Literal.init Dtype.F32 [| 32; 32 |] (fun _ -> Random.float 2. -. 1.) ]
+  in
+  check_bits "fused chain parity" (Interp.run func args)
+    (Array.to_list (Plan.execute plan (Array.of_list args)))
+
+(* Plan errors surface as Plan_error, not random exceptions. *)
+let test_error_paths () =
+  let b = Builder.create "err" in
+  let x = Builder.param b "x" [| 2; 2 |] Dtype.F32 in
+  let y = Builder.exp b x in
+  let func = Builder.finish b [ y ] in
+  let plan = Plan.compile func in
+  (match Plan.execute plan [| Literal.zeros Dtype.F32 [| 3; 3 |] |] with
+  | _ -> Alcotest.fail "shape mismatch accepted"
+  | exception Plan.Plan_error _ -> ());
+  match Plan.execute plan [||] with
+  | _ -> Alcotest.fail "missing arguments accepted"
+  | exception Plan.Plan_error _ -> ()
+
+let () =
+  Alcotest.run "plans"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "generated-bit-parity" `Quick
+            test_generated_parity;
+          Alcotest.test_case "domain-invariance" `Quick test_domain_invariance;
+          Alcotest.test_case "op-zoo-parity" `Quick test_zoo_parity;
+          Alcotest.test_case "rank0-and-empty" `Quick test_rank0_and_empty;
+          Alcotest.test_case "no-live-aliasing" `Quick test_no_live_aliasing;
+          Alcotest.test_case "fusion-stats" `Quick test_fusion_stats;
+          Alcotest.test_case "error-paths" `Quick test_error_paths;
+        ] );
+    ]
