@@ -20,6 +20,23 @@ let time f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
+(* Crash-safe artifact emission: the JSON is written to a temp file in the
+   same directory, fsynced, and atomically renamed into place — an
+   interrupted bench leaves either the previous artifact or the new one,
+   never a torn file for CI to parse. *)
+let emit_json out write =
+  let tmp =
+    Filename.temp_file ~temp_dir:(Filename.dirname out)
+      ("." ^ Filename.basename out) ".tmp"
+  in
+  let oc = open_out tmp in
+  write oc;
+  flush oc;
+  (try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ());
+  close_out oc;
+  Sys.rename tmp out;
+  Printf.printf "wrote %s\n%!" out
+
 (* ------------------------------------------------------------------ *)
 (* Model and schedule zoo at paper scale                               *)
 (* ------------------------------------------------------------------ *)
@@ -565,7 +582,7 @@ let searchbench_at ~budgets ~out =
         (budget, base, memo, par, speedup memo, speedup par, same))
       budgets
   in
-  let oc = open_out out in
+  emit_json out @@ fun oc ->
   let json_row (budget, base, memo, par, sp_memo, sp_par, same) =
     let open Auto.Stats in
     Printf.sprintf
@@ -587,9 +604,7 @@ let searchbench_at ~budgets ~out =
     \  \"axes\": [\"batch\", \"model\"], \"max_positions\": 8, \"seed\": 1,\n\
     \  \"parallelism\": %d,\n  \"runs\": [\n%s\n  ]\n}\n"
     parallelism
-    (String.concat ",\n" (List.map json_row rows));
-  close_out oc;
-  Printf.printf "wrote %s\n%!" out
+    (String.concat ",\n" (List.map json_row rows))
 
 let searchbench () = searchbench_at ~budgets:[ 32; 128; 512 ] ~out:"BENCH_search.json"
 
@@ -712,7 +727,7 @@ let faultbench_at ~wl ~mesh ~schedule ~parity_rows ~steps ~mtbf_steps ~out () =
   let results =
     List.map (fault_scenario ~steps ~program ~repartition) scenarios
   in
-  let oc = open_out out in
+  emit_json out @@ fun oc ->
   let json_parity (model, schedule, walk, eng, rel) =
     Printf.sprintf
       {|      { "model": "%s", "schedule": "%s", "walk_ms": %.6f, "engine_ms": %.6f, "rel_err": %.3e }|}
@@ -750,9 +765,7 @@ let faultbench_at ~wl ~mesh ~schedule ~parity_rows ~steps ~mtbf_steps ~out () =
      }\n"
     wl.name schedule (Mesh.to_string mesh) steps mtbf_steps max_rel
     (String.concat ",\n" (List.map json_parity parity))
-    (String.concat ",\n" (List.map json_scenario results));
-  close_out oc;
-  Printf.printf "wrote %s\n%!" out
+    (String.concat ",\n" (List.map json_scenario results))
 
 let faultbench () =
   faultbench_at ~wl:wl_t32 ~mesh:(mesh84 ()) ~schedule:"BP+MP+Z3"
@@ -990,7 +1003,7 @@ let kernelbench_at ~smoke ~out () =
   in
   Printf.printf "all parity checks passed: %b\n%!" all_parity;
   (* ---- JSON report ---- *)
-  let oc = open_out out in
+  emit_json out @@ fun oc ->
   let json_kernel (name, naive_us, fast_us, diff, parity, dom_inv) =
     Printf.sprintf
       {|    { "kernel": "%s", "naive_us": %.2f, "fast_us": %.2f, "speedup": %.2f, "max_abs_diff": %.3e, "parity_ok": %b, "domain_invariant": %b }|}
@@ -1021,9 +1034,7 @@ let kernelbench_at ~smoke ~out () =
     (String.concat ",\n" (List.map json_e2e e2e_rows))
     pc_cases pc_naive_s pc_fast_s
     (pc_naive_s /. pc_fast_s)
-    all_parity;
-  close_out oc;
-  Printf.printf "wrote %s\n%!" out
+    all_parity
 
 let kernelbench () = kernelbench_at ~smoke:false ~out:"BENCH_kernels.json" ()
 
@@ -1170,7 +1181,7 @@ let planbench_at ~smoke ~out () =
     List.for_all (fun (_, _, _, _, _, _, _, _, _, p) -> p) rows
   in
   Printf.printf "all parity checks passed: %b\n%!" all_parity;
-  let oc = open_out out in
+  emit_json out @@ fun oc ->
   let json_row
       ( name,
         interp_s,
@@ -1203,12 +1214,358 @@ let planbench_at ~smoke ~out () =
     (if smoke then "smoke" else "full")
     (Parallel.num_domains ())
     (String.concat ",\n" (List.map json_row rows))
-    all_parity;
-  close_out oc;
-  Printf.printf "wrote %s\n%!" out
+    all_parity
 
 let planbench () = planbench_at ~smoke:false ~out:"BENCH_plans.json" ()
 let planbench_smoke () = planbench_at ~smoke:true ~out:"BENCH_plans_smoke.json" ()
+
+(* ------------------------------------------------------------------ *)
+(* servebench: self-fault harness for the partition daemon             *)
+(* ------------------------------------------------------------------ *)
+
+(* Storm a forked serve daemon with compile requests across many models,
+   schedules and meshes; kill it (SIGKILL) inside both torn-write windows
+   of the plan store; flip and truncate bytes in random cache entries; and
+   assert the robustness invariant end to end: every plan served from
+   cache is bit-identical (by canonical digest) to a cold in-process
+   compile of the same request — zero corrupt plans served, ever. Also
+   measures warm/cold latency (p50/p99), cache-hit rate, load shedding
+   under a connection burst, and deadline degradation. *)
+
+module Srv = Serve.Server
+module SrvClient = Serve.Client
+module SrvProto = Serve.Protocol
+
+let percentile sorted p =
+  match Array.length sorted with
+  | 0 -> nan
+  | n -> sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+
+let servebench_at ~smoke ~out () =
+  hr
+    (Printf.sprintf "Serve benchmark: crash-safe partition daemon%s"
+       (if smoke then " (smoke)" else ""));
+  let tmp_root =
+    Filename.temp_file "partir-servebench" "" |> fun f ->
+    Sys.remove f;
+    Unix.mkdir f 0o755;
+    f
+  in
+  let socket = Filename.concat tmp_root "serve.sock" in
+  let store_dir = Filename.concat tmp_root "store" in
+  let log_path = Filename.concat tmp_root "server.log" in
+  let hardware_name = "tpu_v3" in
+  let hardware = Hardware.find hardware_name in
+  (* Daemon lifecycle: forked children running the event loop. The child
+     redirects its output to a log and pins the domain pool to 1 — the
+     compile storm exercises robustness, not rollout parallelism. *)
+  let spawn ?(env = []) ?(max_queue = 64) () =
+    let pid = Unix.fork () in
+    if pid = 0 then begin
+      List.iter (fun (k, v) -> Unix.putenv k v) env;
+      Parallel.set_num_domains 1;
+      let log =
+        Unix.openfile log_path
+          [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
+          0o644
+      in
+      Unix.dup2 log Unix.stdout;
+      Unix.dup2 log Unix.stderr;
+      ignore
+        (Srv.serve
+           {
+             Srv.socket_path = socket;
+             store_dir;
+             hardware = hardware_name;
+             max_queue;
+             default_deadline_ms = None;
+             verbose = true;
+           });
+      Unix._exit 0
+    end
+    else begin
+      if not (SrvClient.wait_ready ~socket_path:socket ~timeout_s:20. ()) then
+        failwith "servebench: daemon did not come up";
+      pid
+    end
+  in
+  let stop pid =
+    Unix.kill pid Sys.sigterm;
+    snd (Unix.waitpid [] pid)
+  in
+  let reap pid = snd (Unix.waitpid [] pid) in
+  (* The request matrix: structurally distinct modules (layer-count
+     variants of the tiny transformer plus zoo smalls) x schedules x
+     meshes. Every combination is a distinct fingerprint. *)
+  let models =
+    if smoke then [ "tiny1"; "tiny2" ]
+    else List.init 12 (fun i -> Printf.sprintf "tiny%d" (i + 1)) @ [ "mlp"; "t32-small" ]
+  in
+  let schedules =
+    if smoke then [ "bp"; "bp,mp" ] else [ "bp"; "mp"; "bp,mp"; "z2"; "bp,auto" ]
+  in
+  let meshes =
+    if smoke then [ [ ("batch", 2); ("model", 2) ] ]
+    else [ [ ("batch", 2); ("model", 2) ]; [ ("batch", 4); ("model", 2) ] ]
+  in
+  let budget = if smoke then 8 else 16 in
+  let matrix =
+    List.concat_map
+      (fun model ->
+        List.concat_map
+          (fun schedule ->
+            List.map
+              (fun mesh ->
+                {
+                  SrvProto.default_request with
+                  SrvProto.model;
+                  mesh;
+                  schedule;
+                  budget;
+                })
+              meshes)
+          schedules)
+      models
+  in
+  (* The oracle: a cold in-process compile of the same request. Cached per
+     request, since the digest of a deterministic pipeline never changes. *)
+  let local_digests : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  let request_key (r : SrvProto.request) =
+    Printf.sprintf "%s|%s|%s|%d" r.SrvProto.model r.SrvProto.schedule
+      (String.concat ","
+         (List.map (fun (a, s) -> Printf.sprintf "%s=%d" a s) r.SrvProto.mesh))
+      r.SrvProto.budget
+  in
+  let local_digest (r : SrvProto.request) =
+    let key = request_key r in
+    match Hashtbl.find_opt local_digests key with
+    | Some d -> d
+    | None ->
+        let prepared = Serve.Zoo.prepare r.SrvProto.model in
+        let mesh = Mesh.create r.SrvProto.mesh in
+        let tactics =
+          Serve.Zoo.tactics_of prepared hardware r.SrvProto.budget
+            r.SrvProto.schedule
+        in
+        let res =
+          jit ~hardware ~ties:prepared.Serve.Zoo.ties mesh
+            prepared.Serve.Zoo.func tactics
+        in
+        let d = Serve.Cache.plan_digest res.Schedule.program in
+        Hashtbl.replace local_digests key d;
+        d
+  in
+  let corrupt_served = ref 0 in
+  let hits = ref 0 and misses = ref 0 in
+  let check_reply (r : SrvProto.reply) req =
+    if r.SrvProto.cache_hit then incr hits else incr misses;
+    if not (String.equal r.SrvProto.plan_digest (local_digest req)) then begin
+      incr corrupt_served;
+      Printf.printf "  CORRUPT plan served for %s!\n%!" (request_key req)
+    end
+  in
+  let ask req =
+    let t0 = Unix.gettimeofday () in
+    match SrvClient.request ~socket_path:socket req with
+    | SrvProto.Ok r ->
+        check_reply r req;
+        (Some r, 1e3 *. (Unix.gettimeofday () -. t0))
+    | SrvProto.Overloaded _ | SrvProto.Error _ ->
+        (None, 1e3 *. (Unix.gettimeofday () -. t0))
+  in
+  (* ---- Phase 1: cold storm, then warm rounds ---- *)
+  let pid = ref (spawn ()) in
+  Printf.printf "phase 1: storm of %d distinct requests (cold + %d warm rounds)\n%!"
+    (List.length matrix)
+    (if smoke then 2 else 10);
+  let cold_ms = List.map (fun r -> snd (ask r)) matrix in
+  let warm_rounds = if smoke then 2 else 10 in
+  let warm_ms = ref [] in
+  for _ = 1 to warm_rounds do
+    List.iter (fun r -> warm_ms := snd (ask r) :: !warm_ms) matrix
+  done;
+  let mean l = List.fold_left ( +. ) 0. l /. float_of_int (max 1 (List.length l)) in
+  let warm_sorted =
+    let a = Array.of_list !warm_ms in
+    Array.sort compare a;
+    a
+  in
+  Printf.printf
+    "  cold mean %.1f ms; warm mean %.2f ms (p50 %.2f, p99 %.2f); speedup %.1fx\n%!"
+    (mean cold_ms) (mean !warm_ms)
+    (percentile warm_sorted 0.50)
+    (percentile warm_sorted 0.99)
+    (mean cold_ms /. Float.max 0.001 (mean !warm_ms));
+  (* ---- Phase 2: kill -9 inside both torn-write windows ---- *)
+  Printf.printf "phase 2: SIGKILL mid-write (temp) and pre-rename windows\n%!";
+  ignore (stop !pid);
+  let crash_models = if smoke then [ "tiny3"; "tiny4" ] else [ "tiny20"; "tiny21" ] in
+  let crash_req model =
+    { SrvProto.default_request with SrvProto.model; mesh = List.hd meshes;
+      schedule = "bp"; budget }
+  in
+  let killed_as_expected = ref 0 in
+  List.iteri
+    (fun i model ->
+      let window = if i = 0 then "temp" else "rename" in
+      let cpid = spawn ~env:[ ("PARTIR_STORE_CRASH", window) ] () in
+      (match SrvClient.request ~socket_path:socket (crash_req model) with
+      | _ -> ()
+      | exception SrvClient.Unavailable _ -> ()
+      | exception SrvProto.Protocol_error _ -> ());
+      (match reap cpid with
+      | Unix.WSIGNALED s when s = Sys.sigkill -> incr killed_as_expected
+      | _ -> Printf.printf "  unexpected exit of crash server (%s)\n%!" window))
+    crash_models;
+  let tmp_leftover =
+    Array.to_list (Sys.readdir store_dir)
+    |> List.filter (fun f -> Filename.check_suffix f ".tmp")
+    |> List.length
+  in
+  Printf.printf "  %d/2 crashed with SIGKILL as injected; %d torn temp file(s) left\n%!"
+    !killed_as_expected tmp_leftover;
+  (* Restart clean: the scan sweeps the torn temp files, and the crashed
+     requests compile cold and verify against the oracle. *)
+  pid := spawn ();
+  let tmp_after =
+    Array.to_list (Sys.readdir store_dir)
+    |> List.filter (fun f -> Filename.check_suffix f ".tmp")
+    |> List.length
+  in
+  List.iter (fun m -> ignore (ask (crash_req m))) crash_models;
+  List.iter (fun m -> ignore (ask (crash_req m))) crash_models;
+  Printf.printf "  restart swept temp files: %d -> %d; crashed requests re-served\n%!"
+    tmp_leftover tmp_after;
+  (* ---- Phase 3: corrupt random entries, verify quarantine ---- *)
+  Printf.printf "phase 3: flip/truncate random cache entries\n%!";
+  ignore (stop !pid);
+  let entries =
+    Array.to_list (Sys.readdir store_dir)
+    |> List.filter (fun f -> Filename.check_suffix f ".entry")
+    |> List.sort String.compare
+  in
+  let rng = Random.State.make [| 0xC0FFEE |] in
+  let n_corrupt = min (if smoke then 2 else 8) (List.length entries) in
+  let victims =
+    List.filteri (fun i _ -> i < n_corrupt)
+      (List.sort
+         (fun _ _ -> if Random.State.bool rng then 1 else -1)
+         entries)
+  in
+  List.iteri
+    (fun i f ->
+      let p = Filename.concat store_dir f in
+      let ic = open_in_bin p in
+      let s = Bytes.of_string (really_input_string ic (in_channel_length ic)) in
+      close_in ic;
+      let oc = open_out_bin p in
+      if i = 0 && Bytes.length s > 8 then
+        (* Truncation: keep a prefix. *)
+        output_bytes oc (Bytes.sub s 0 (Bytes.length s / 2))
+      else begin
+        let pos = Random.State.int rng (Bytes.length s) in
+        Bytes.set s pos (Char.chr (Char.code (Bytes.get s pos) lxor 0x40));
+        output_bytes oc s
+      end;
+      close_out oc)
+    victims;
+  pid := spawn ();
+  List.iter (fun r -> ignore (ask r)) matrix;
+  let quarantined =
+    Array.to_list (Sys.readdir store_dir)
+    |> List.filter (fun f -> Filename.check_suffix f ".quarantine")
+    |> List.length
+  in
+  Printf.printf "  corrupted %d entries; %d quarantined after re-storm\n%!"
+    n_corrupt quarantined;
+  (* ---- Phase 4: backpressure under a connection burst ---- *)
+  Printf.printf "phase 4: load shedding under burst\n%!";
+  ignore (stop !pid);
+  pid := spawn ~max_queue:(if smoke then 2 else 4) ();
+  let burst = if smoke then 10 else 24 in
+  let burst_req =
+    { SrvProto.default_request with SrvProto.model = List.hd models;
+      mesh = List.hd meshes; schedule = List.hd schedules; budget;
+      no_cache = true }
+  in
+  let fds =
+    List.init burst (fun _ ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX socket);
+        SrvProto.write_request fd burst_req;
+        fd)
+  in
+  let shed = ref 0 and burst_ok = ref 0 in
+  List.iter
+    (fun fd ->
+      (match SrvProto.read_response fd with
+      | Some (SrvProto.Overloaded _) -> incr shed
+      | Some (SrvProto.Ok r) ->
+          incr burst_ok;
+          check_reply r burst_req
+      | Some (SrvProto.Error _) | None -> ()
+      | exception _ -> ());
+      try Unix.close fd with Unix.Unix_error _ -> ())
+    fds;
+  Printf.printf "  burst %d: %d served, %d shed (oldest-first)\n%!" burst
+    !burst_ok !shed;
+  (* ---- Phase 5: deadline degradation ---- *)
+  Printf.printf "phase 5: deadline cancels in-flight search\n%!";
+  let degraded_seen = ref 0 in
+  let deadline_req =
+    { SrvProto.default_request with SrvProto.model = List.hd models;
+      mesh = List.hd meshes; schedule = "autoall";
+      budget = (if smoke then 4096 else 16384);
+      deadline_ms = Some 30.; no_cache = true }
+  in
+  (match SrvClient.request ~socket_path:socket deadline_req with
+  | SrvProto.Ok r ->
+      if r.SrvProto.degraded then incr degraded_seen;
+      Printf.printf "  degraded=%b in %.1f ms (budget %d)\n%!"
+        r.SrvProto.degraded r.SrvProto.compile_ms deadline_req.SrvProto.budget
+  | _ -> Printf.printf "  deadline request failed\n%!"
+  | exception SrvClient.Unavailable m ->
+      Printf.printf "  deadline request unavailable: %s\n%!" m);
+  (* ---- Drain and report ---- *)
+  let final_status = stop !pid in
+  let clean_exit = final_status = Unix.WEXITED 0 in
+  let total = !hits + !misses in
+  let hit_rate = float_of_int !hits /. float_of_int (max 1 total) in
+  let zero_corrupt = !corrupt_served = 0 in
+  Printf.printf
+    "servebench: zero_corrupt_ok=%b cache_hit_rate=%.3f requests=%d shed=%d \
+     degraded=%d quarantined=%d clean_exit=%b\n\
+     %!"
+    zero_corrupt hit_rate total !shed !degraded_seen quarantined clean_exit;
+  emit_json out (fun oc ->
+      Printf.fprintf oc
+        "{\n\
+        \  \"mode\": \"%s\",\n\
+        \  \"distinct_requests\": %d, \"requests\": %d,\n\
+        \  \"cache_hits\": %d, \"cache_misses\": %d, \"cache_hit_rate\": %.4f,\n\
+        \  \"cold_ms_mean\": %.3f, \"warm_ms_mean\": %.3f,\n\
+        \  \"warm_ms_p50\": %.3f, \"warm_ms_p99\": %.3f, \"warm_speedup\": %.2f,\n\
+        \  \"sigkill_windows_exercised\": %d, \"torn_tmp_swept\": %b,\n\
+        \  \"entries_corrupted\": %d, \"entries_quarantined\": %d,\n\
+        \  \"burst\": %d, \"burst_served\": %d, \"burst_shed\": %d,\n\
+        \  \"degraded_replies\": %d,\n\
+        \  \"corrupt_plans_served\": %d, \"zero_corrupt_ok\": %b,\n\
+        \  \"clean_drain_exit\": %b\n\
+         }\n"
+        (if smoke then "smoke" else "full")
+        (List.length matrix) total !hits !misses hit_rate (mean cold_ms)
+        (mean !warm_ms)
+        (percentile warm_sorted 0.50)
+        (percentile warm_sorted 0.99)
+        (mean cold_ms /. Float.max 0.001 (mean !warm_ms))
+        !killed_as_expected
+        (tmp_leftover > 0 && tmp_after = 0)
+        n_corrupt quarantined burst !burst_ok !shed !degraded_seen
+        !corrupt_served zero_corrupt clean_exit);
+  if not zero_corrupt then failwith "servebench: corrupt plan served"
+
+let servebench () = servebench_at ~smoke:false ~out:"BENCH_serve.json" ()
+let servebench_smoke () = servebench_at ~smoke:true ~out:"BENCH_serve_smoke.json" ()
 
 (* ------------------------------------------------------------------ *)
 
@@ -1232,6 +1589,8 @@ let experiments =
     ("kernelbench-smoke", kernelbench_smoke);
     ("planbench", planbench);
     ("planbench-smoke", planbench_smoke);
+    ("servebench", servebench);
+    ("servebench-smoke", servebench_smoke);
   ]
 
 let () =

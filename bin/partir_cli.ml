@@ -1,149 +1,25 @@
 (* partir_cli: partition a benchmark model from the command line and report
    the per-tactic metadata (collective censuses, simulator estimates), the
    inferred input/output shardings, and optionally the device-local IR.
+   Also fronts the partition service: [serve] runs the compile daemon,
+   [request] asks a running daemon for a plan.
 
    Examples:
      dune exec bin/partir_cli.exe -- --model t32-small --schedule bp,mp,z3
      dune exec bin/partir_cli.exe -- --model unet --schedule bp,z2 \
-         --mesh batch=8,model=2 --hardware tpu_v3 --dump *)
+         --mesh batch=8,model=2 --hardware tpu_v3 --dump
+     dune exec bin/partir_cli.exe -- serve --socket /tmp/partir.sock
+     dune exec bin/partir_cli.exe -- request --model tiny2 --schedule bp *)
 
 open Partir
 module Transformer = Models.Transformer
-module Unet = Models.Unet
-module Gns = Models.Gns
-module Mlp = Models.Mlp
+module Zoo = Serve.Zoo
 module Train = Models.Train
 
-let parse_mesh spec =
-  Mesh.create
-    (List.map
-       (fun part ->
-         match String.split_on_char '=' part with
-         | [ name; size ] -> (name, int_of_string size)
-         | _ ->
-             invalid_arg
-               (Printf.sprintf
-                  "bad mesh entry %S (expected axis=size, e.g. batch=4)" part))
-       (String.split_on_char ',' spec))
-
-type prepared = {
-  func : Func.t;
-  ties : (int * int) list;
-  batch_inputs : string list;
-  model_name : string;
-  transformer_cfg : Transformer.config option;
-}
-
-let prepare = function
-  | "t32" | "t32-small" as m ->
-      let cfg =
-        if m = "t32" then Transformer.t32
-        else { Transformer.tiny with layers = 4; batch = 8; heads = 4 }
-      in
-      let step = Train.training_step (Transformer.forward cfg) in
-      {
-        func = step.Train.func;
-        ties = step.Train.ties;
-        batch_inputs = [ "tokens"; "targets" ];
-        model_name = m;
-        transformer_cfg = Some cfg;
-      }
-  | "t48" ->
-      let step = Train.training_step (Transformer.forward Transformer.t48) in
-      {
-        func = step.Train.func;
-        ties = step.Train.ties;
-        batch_inputs = [ "tokens"; "targets" ];
-        model_name = "t48";
-        transformer_cfg = Some Transformer.t48;
-      }
-  | "it32" | "it32-small" as m ->
-      let cfg =
-        if m = "it32" then Transformer.t32
-        else { Transformer.tiny with layers = 2; batch = 4; heads = 2 }
-      in
-      let steps = if m = "it32" then 1536 else 4 in
-      {
-        func = Transformer.inference cfg ~decode_steps:steps;
-        ties = [];
-        batch_inputs = [ "prompt" ];
-        model_name = m;
-        transformer_cfg = Some cfg;
-      }
-  | "unet" | "unet-small" as m ->
-      let cfg = if m = "unet" then Unet.paper else Unet.tiny in
-      let step = Train.training_step (Unet.forward cfg) in
-      {
-        func = step.Train.func;
-        ties = step.Train.ties;
-        batch_inputs = [ "x"; "temb"; "target" ];
-        model_name = m;
-        transformer_cfg = None;
-      }
-  | "gns" | "gns-small" as m ->
-      let cfg = if m = "gns" then Gns.paper else Gns.tiny in
-      let step = Train.training_step (Gns.forward cfg) in
-      {
-        func = step.Train.func;
-        ties = step.Train.ties;
-        batch_inputs = [];
-        model_name = m;
-        transformer_cfg = None;
-      }
-  | "mlp" ->
-      let step = Train.training_step (Mlp.forward Mlp.default) in
-      {
-        func = step.Train.func;
-        ties = step.Train.ties;
-        batch_inputs = [ "x"; "target" ];
-        model_name = "mlp";
-        transformer_cfg = None;
-      }
-  | other ->
-      invalid_arg
-        (Printf.sprintf
-           "unknown model %S (expected t32[-small], t48, it32[-small], \
-            unet[-small], gns[-small], or mlp)"
-           other)
-
-let tactic_of prepared hardware budget name =
-  let batch = "batch" and model = "model" in
-  match name with
-  | "bp" -> (
-      match prepared.model_name with
-      | "it32" | "it32-small" ->
-          Strategies.it32_bp ~axis:batch
-            ~layers:(Option.get prepared.transformer_cfg).Transformer.layers
-      | _ -> Strategies.bp ~axis:batch ~inputs:prepared.batch_inputs ())
-  | "mp" -> (
-      match prepared.model_name with
-      | "unet" | "unet-small" -> Strategies.unet_mp ~axis:model
-      | _ -> Strategies.transformer_mp ~axis:model)
-  | "z2" -> (
-      match prepared.model_name with
-      | "unet" | "unet-small" -> Strategies.unet_z ~level:`Z2 ~axis:batch
-      | _ -> Strategies.transformer_z2 ~axis:batch)
-  | "z3" -> (
-      match prepared.model_name with
-      | "unet" | "unet-small" -> Strategies.unet_z ~level:`Z3 ~axis:batch
-      | _ -> Strategies.transformer_z3 ~axis:batch)
-  | "emb" -> Strategies.transformer_emb ~axis:model
-  | "es" -> Strategies.gns_es ~axis:batch
-  | "mq" ->
-      Strategies.it32_mq ~axis:model ~cfg:(Option.get prepared.transformer_cfg)
-  | "auto" | "automp" ->
-      Auto.mcts ~axes:[ model ] { Auto.default_options with hardware; budget }
-  | "autobp" ->
-      Auto.mcts ~axes:[ batch ] { Auto.default_options with hardware; budget }
-  | "autoall" ->
-      Auto.mcts ~axes:[ batch; model ]
-        { Auto.default_options with hardware; budget }
-  | other ->
-      invalid_arg
-        (Printf.sprintf
-           "unknown tactic %S (expected bp, mp, z2, z3, emb, es, mq, auto, \
-            automp, autobp, or autoall)"
-           other)
+(* Exit codes beyond the usual 0/1: *)
+let exit_interrupted = 3 (* SIGINT during search; best-so-far printed *)
+let exit_overloaded = 4 (* daemon shed this request *)
+let exit_unavailable = 5 (* daemon unreachable *)
 
 (* One-line structured error instead of an uncaught-exception backtrace;
    the category names the pipeline stage that rejected the request. *)
@@ -154,9 +30,9 @@ let error category msg =
 (* Deterministic inputs for one numeric step of a prepared model: integer
    params draw token ids below the model's vocabulary, ".v" optimizer slots
    stay non-negative (mirrors the kernel benchmark's generator). *)
-let exec_args prepared (func : Func.t) =
+let exec_args (prepared : Zoo.prepared) (func : Func.t) =
   let vocab =
-    match prepared.transformer_cfg with
+    match prepared.Zoo.transformer_cfg with
     | Some cfg -> cfg.Transformer.vocab
     | None -> 8
   in
@@ -182,17 +58,34 @@ let set_executor name =
 let run_checked model schedule mesh_spec hardware_name dump single_tactic
     budget executor exec =
   set_executor executor;
-  let prepared = prepare model in
-  let mesh = parse_mesh mesh_spec in
+  let prepared = Zoo.prepare model in
+  let mesh = Zoo.parse_mesh mesh_spec in
   let hardware = Hardware.find hardware_name in
-  let tactics =
-    List.map (tactic_of prepared hardware budget) (String.split_on_char ',' schedule)
+  (* SIGINT during a long automatic search stops it at the next budget
+     checkpoint: the best-so-far schedule is applied and reported, and the
+     process exits with a distinct code instead of dying mid-search. *)
+  let sigint = ref false in
+  let interrupted = ref false in
+  let previous_sigint =
+    Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> sigint := true))
   in
+  let auto (opts : Auto.options) =
+    {
+      opts with
+      Auto.should_stop = Some (fun () -> !sigint);
+      on_stats =
+        Some (fun s -> if s.Auto.Stats.interrupted then interrupted := true);
+    }
+  in
+  let tactics = Zoo.tactics_of ~auto prepared hardware budget schedule in
   Format.printf "model %s: %d ops, mesh %s@." model
-    (Func.op_count prepared.func) (Mesh.to_string mesh);
+    (Func.op_count prepared.Zoo.func)
+    (Mesh.to_string mesh);
   let r =
-    jit ~hardware ~ties:prepared.ties ~single_tactic mesh prepared.func tactics
+    jit ~hardware ~ties:prepared.Zoo.ties ~single_tactic mesh prepared.Zoo.func
+      tactics
   in
+  Sys.set_signal Sys.sigint previous_sigint;
   List.iter
     (fun (rep : Schedule.tactic_report) ->
       Format.printf "tactic %-12s %a  conflicts:%d  (%.2fs)@."
@@ -212,7 +105,7 @@ let run_checked model schedule mesh_spec hardware_name dump single_tactic
     print_endline (Printer.func_to_string r.Schedule.program.Lower.func)
   end;
   if exec then begin
-    let args = exec_args prepared prepared.func in
+    let args = exec_args prepared prepared.Zoo.func in
     let t0 = Unix.gettimeofday () in
     let outs = Plan.run_program r.Schedule.program args in
     let dt = Unix.gettimeofday () -. t0 in
@@ -220,6 +113,12 @@ let run_checked model schedule mesh_spec hardware_name dump single_tactic
       "executed 1 step (%s executor): %d outputs in %.1f ms@."
       (Plan.Executor.to_string (Plan.Executor.get ()))
       (List.length outs) (1e3 *. dt)
+  end;
+  if !interrupted then begin
+    Format.printf
+      "search interrupted (SIGINT): best-so-far schedule applied; estimates \
+       above reflect it@.";
+    exit exit_interrupted
   end
 
 (* partir_cli verify: run the full schedule, then the static analyzers
@@ -228,20 +127,20 @@ let run_checked model schedule mesh_spec hardware_name dump single_tactic
    program both unfused and fused. Prints diagnostics; exits 1 if any are
    errors. *)
 let verify_checked model schedule mesh_spec hardware_name budget =
-  let prepared = prepare model in
-  let mesh = parse_mesh mesh_spec in
+  let prepared = Zoo.prepare model in
+  let mesh = Zoo.parse_mesh mesh_spec in
   let hardware = Hardware.find hardware_name in
-  let tactics =
-    List.map (tactic_of prepared hardware budget)
-      (String.split_on_char ',' schedule)
-  in
+  let tactics = Zoo.tactics_of prepared hardware budget schedule in
   Format.printf "verify %s: %d ops, mesh %s, schedule %s@." model
-    (Func.op_count prepared.func) (Mesh.to_string mesh) schedule;
-  let r = jit ~hardware ~ties:prepared.ties mesh prepared.func tactics in
-  let unfused = Lower.lower ~ties:prepared.ties ~fuse:false r.Schedule.staged in
+    (Func.op_count prepared.Zoo.func)
+    (Mesh.to_string mesh) schedule;
+  let r = jit ~hardware ~ties:prepared.Zoo.ties mesh prepared.Zoo.func tactics in
+  let unfused =
+    Lower.lower ~ties:prepared.Zoo.ties ~fuse:false r.Schedule.staged
+  in
   let stages =
     [
-      ("source", Analysis.check_func prepared.func);
+      ("source", Analysis.check_func prepared.Zoo.func);
       ("staged", Analysis.check_staged r.Schedule.staged);
       ("spmd-unfused", Analysis.check_program unfused);
       ("spmd-fused", Analysis.check_program r.Schedule.program);
@@ -263,6 +162,58 @@ let verify_checked model schedule mesh_spec hardware_name budget =
     exit 1
   end
 
+let serve_checked socket store hardware_name max_queue deadline_ms verbose =
+  (* Validate the hardware name up front for a structured error. *)
+  ignore (Hardware.find hardware_name);
+  ignore
+    (Serve.Server.serve
+       {
+         Serve.Server.socket_path = socket;
+         store_dir = store;
+         hardware = hardware_name;
+         max_queue;
+         default_deadline_ms = (if deadline_ms > 0. then Some deadline_ms else None);
+         verbose;
+       })
+
+let request_checked socket model schedule mesh_spec budget deadline_ms no_cache
+    dump timeout =
+  let mesh = Mesh.axes (Zoo.parse_mesh mesh_spec) in
+  let req =
+    {
+      Serve.Protocol.model;
+      mesh;
+      schedule;
+      budget;
+      deadline_ms = (if deadline_ms > 0. then Some deadline_ms else None);
+      no_cache;
+      dump;
+    }
+  in
+  match Serve.Client.request ~socket_path:socket ~timeout_s:timeout req with
+  | Serve.Protocol.Ok r ->
+      Format.printf "plan %s (%s%s) fingerprint %s@." model
+        (if r.Serve.Protocol.cache_hit then "cache hit" else "cold compile")
+        (if r.Serve.Protocol.degraded then ", degraded: deadline fired" else "")
+        r.Serve.Protocol.fingerprint;
+      Format.printf "plan digest %s@." r.Serve.Protocol.plan_digest;
+      Format.printf "%a@." Census.pp r.Serve.Protocol.census;
+      Format.printf "%a@." Cost_model.pp_estimate r.Serve.Protocol.estimate;
+      Format.printf "server time %.1f ms@." r.Serve.Protocol.compile_ms;
+      Option.iter
+        (fun text ->
+          Format.printf "@.=== device-local SPMD module ===@.";
+          print_endline text)
+        r.Serve.Protocol.spmd_text
+  | Serve.Protocol.Overloaded { queue; max_queue } ->
+      Format.eprintf "partir: overloaded: queue %d/%d; retry with backoff@."
+        queue max_queue;
+      exit exit_overloaded
+  | Serve.Protocol.Error { category; message } -> error category message
+  | exception Serve.Client.Unavailable msg ->
+      Format.eprintf "partir: daemon unavailable: %s@." msg;
+      exit exit_unavailable
+
 let with_structured_errors f =
   try f () with
   | Staged.Action_error msg -> error "action" msg
@@ -274,6 +225,7 @@ let with_structured_errors f =
       error "analysis" (Diagnostic.list_to_string diags)
   | Interp.Runtime_error msg -> error "interp" msg
   | Plan.Plan_error msg -> error "plan" msg
+  | Serve.Protocol.Protocol_error msg -> error "protocol" msg
   | Invalid_argument msg -> error "invalid argument" msg
   | Failure msg -> error "failure" msg
   | Not_found -> error "not found" "unknown hardware or mesh axis"
@@ -287,6 +239,16 @@ let run model schedule mesh_spec hardware_name dump single_tactic budget
 let verify model schedule mesh_spec hardware_name budget =
   with_structured_errors (fun () ->
       verify_checked model schedule mesh_spec hardware_name budget)
+
+let serve socket store hardware_name max_queue deadline_ms verbose =
+  with_structured_errors (fun () ->
+      serve_checked socket store hardware_name max_queue deadline_ms verbose)
+
+let request socket model schedule mesh_spec budget deadline_ms no_cache dump
+    timeout =
+  with_structured_errors (fun () ->
+      request_checked socket model schedule mesh_spec budget deadline_ms
+        no_cache dump timeout)
 
 open Cmdliner
 
@@ -320,6 +282,44 @@ let exec_flag =
     & info [ "exec" ]
         ~doc:"Numerically execute one step of the partitioned program")
 
+let socket =
+  Arg.(
+    value
+    & opt string "/tmp/partir-serve.sock"
+    & info [ "socket" ] ~doc:"Unix-domain socket path of the daemon")
+
+let store_dir =
+  Arg.(
+    value
+    & opt string "/tmp/partir-store"
+    & info [ "store" ] ~doc:"Plan-cache directory (created if absent)")
+
+let max_queue =
+  Arg.(
+    value & opt int 64
+    & info [ "max-queue" ]
+        ~doc:"Bounded request queue; overflow sheds oldest-first")
+
+let deadline =
+  Arg.(
+    value & opt float 0.
+    & info [ "deadline-ms" ]
+        ~doc:"Per-request wall budget in ms (0 = none). An expiring \
+              deadline degrades in-flight searches to best-so-far")
+
+let serve_verbose =
+  Arg.(value & flag & info [ "verbose" ] ~doc:"Per-request log lines")
+
+let no_cache =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ] ~doc:"Force a cold compile; do not cache the result")
+
+let timeout =
+  Arg.(
+    value & opt float 120.
+    & info [ "timeout" ] ~doc:"Client-side response timeout in seconds")
+
 let run_term =
   Term.(
     const run $ model $ schedule $ mesh $ hw $ dump $ single $ budget
@@ -338,9 +338,31 @@ let verify_cmd =
           exit on any error diagnostic")
     Term.(const verify $ model $ schedule $ mesh $ hw $ budget)
 
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the partition daemon: a compile service over a Unix-domain \
+          socket answering from a crash-safe content-addressed plan cache. \
+          SIGINT/SIGTERM drain the queue and exit cleanly")
+    Term.(
+      const serve $ socket $ store_dir $ hw $ max_queue $ deadline
+      $ serve_verbose)
+
+let request_cmd =
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:
+         "Ask a running daemon for a partitioned plan. Exit codes: 0 ok, 1 \
+          compile error, 4 overloaded (shed), 5 daemon unavailable")
+    Term.(
+      const request $ socket $ model $ schedule $ mesh $ budget $ deadline
+      $ no_cache $ dump $ timeout)
+
 let cmd =
   Cmd.group
     (Cmd.info "partir_cli" ~doc:"Partition benchmark models with PartIR schedules")
-    ~default:run_term [ run_cmd; verify_cmd ]
+    ~default:run_term
+    [ run_cmd; verify_cmd; serve_cmd; request_cmd ]
 
 let () = exit (Cmd.eval cmd)

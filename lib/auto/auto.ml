@@ -22,12 +22,16 @@ module Stats = struct
     baseline_cost : float;
     best_cost : float;
     trajectory : (int * float) list;
+    interrupted : bool;
+        (* the search stopped early ([should_stop] fired at a budget
+           checkpoint); the applied schedule is the best-so-far vector, a
+           valid but possibly sub-optimal answer *)
   }
 
   let pp ppf s =
     Format.fprintf ppf
       "%d iters, %d evals (%d/%d cache hits, %d infeasible%s), %d domain%s, \
-       %.2fs, best %.2fms (baseline %.2fms)"
+       %.2fs, best %.2fms (baseline %.2fms)%s"
       s.iterations s.evaluations s.cache_hits s.cache_lookups
       s.failed_evaluations
       (match s.failure_kinds with
@@ -39,6 +43,7 @@ module Stats = struct
       s.domains_used
       (if s.domains_used = 1 then "" else "s")
       s.wall_seconds s.best_cost s.baseline_cost
+      (if s.interrupted then ", INTERRUPTED (best-so-far)" else "")
 
   let to_string s = Format.asprintf "%a" pp s
 end
@@ -52,6 +57,18 @@ type options = {
   parallelism : int;
   memoize : bool;
   on_stats : (Stats.t -> unit) option;
+  table : (string, float) Hashtbl.t option;
+      (* externally owned transposition table (decision-vector key ->
+         cost). When provided (and [memoize]), the search reads and fills
+         it in place instead of a private table, so costs persist across
+         searches — the compile server saves/loads these across process
+         lifetimes. Entries are only valid for the same staged module,
+         mesh, axes and max_positions. *)
+  should_stop : (unit -> bool) option;
+      (* deadline/cancellation hook, polled at budget-checkpoint
+         granularity (between rollout batches, never inside the pipeline).
+         When it returns [true] the search stops, applies the best-so-far
+         vector, and reports [Stats.interrupted]. *)
 }
 
 let default_parallelism () = Partir_parallel.num_domains ()
@@ -66,6 +83,8 @@ let default_options =
     parallelism = default_parallelism ();
     memoize = true;
     on_stats = None;
+    table = None;
+    should_stop = None;
   }
 
 type decision = Skip | Atomic | Tile of int
@@ -251,13 +270,16 @@ let make_ctx opts (staged : Staged.t) ~axes =
     Array.of_list (positions ~max_positions:opts.max_positions staged axes)
   in
   let source_flops = Func.flops (Staged.to_func staged) in
+  let cache =
+    match opts.table with Some t -> t | None -> Hashtbl.create 256
+  in
   let ctx =
     {
       opts;
       base = staged;
       poss;
       source_flops;
-      cache = Hashtbl.create 256;
+      cache;
       skip_key = String.make (Array.length poss) (decision_char Skip);
       baseline = nan;
       lookups = 0;
@@ -268,17 +290,29 @@ let make_ctx opts (staged : Staged.t) ~axes =
       domains_used = 1;
     }
   in
-  (* All-Skip baseline: evaluated once, memoized for every later request. *)
-  let dv = Array.make (Array.length poss) Skip in
+  (* All-Skip baseline: evaluated once, memoized for every later request.
+     An imported transposition table that already holds the baseline (a
+     warm server cache) skips even that first pipeline run. *)
   ctx.lookups <- ctx.lookups + 1;
-  ctx.evals <- ctx.evals + 1;
-  let baseline, kind = raw_cost opts staged poss source_flops dv in
-  ctx.baseline <- baseline;
-  count_failures ctx [| kind |];
-  if opts.memoize then Hashtbl.replace ctx.cache ctx.skip_key ctx.baseline;
+  (match
+     if opts.memoize then Hashtbl.find_opt ctx.cache ctx.skip_key else None
+   with
+  | Some c ->
+      ctx.hits <- ctx.hits + 1;
+      ctx.baseline <- c
+  | None ->
+      let dv = Array.make (Array.length poss) Skip in
+      ctx.evals <- ctx.evals + 1;
+      let baseline, kind = raw_cost opts staged poss source_flops dv in
+      ctx.baseline <- baseline;
+      count_failures ctx [| kind |];
+      if opts.memoize then Hashtbl.replace ctx.cache ctx.skip_key ctx.baseline);
   ctx
 
-let stats_of ctx ~wall_seconds ~iterations ~best_cost ~trajectory =
+let stopped opts =
+  match opts.should_stop with Some f -> f () | None -> false
+
+let stats_of ctx ~wall_seconds ~iterations ~best_cost ~trajectory ~interrupted =
   {
     Stats.wall_seconds;
     iterations;
@@ -294,6 +328,7 @@ let stats_of ctx ~wall_seconds ~iterations ~best_cost ~trajectory =
     baseline_cost = ctx.baseline;
     best_cost;
     trajectory = List.rev trajectory;
+    interrupted;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -423,7 +458,13 @@ let mcts_search opts (staged : Staged.t) ~axes =
   in
   let iterations = max 1 (opts.budget - 1) in
   let it = ref 1 in
-  while !it <= iterations do
+  let interrupted = ref false in
+  (* Budget-checkpoint granularity: cancellation is polled between rollout
+     batches, never inside one, so a fired [should_stop] still leaves the
+     best-so-far vector from completed batches intact. *)
+  while !it <= iterations && not !interrupted do
+    if stopped opts then interrupted := true
+    else begin
     let batch = min batch_size (iterations - !it + 1) in
     let episodes =
       Array.init batch (fun k ->
@@ -445,13 +486,14 @@ let mcts_search opts (staged : Staged.t) ~axes =
         List.iter (fun nd -> nd.total_reward <- nd.total_reward +. r) path)
       episodes;
     it := !it + batch
+    end
   done;
   apply_best staged poss !best;
   let stats =
     stats_of ctx
       ~wall_seconds:(Unix.gettimeofday () -. t0)
-      ~iterations:(iterations + 1) ~best_cost:!best_cost
-      ~trajectory:!trajectory
+      ~iterations:(min !it (iterations + 1))
+      ~best_cost:!best_cost ~trajectory:!trajectory ~interrupted:!interrupted
   in
   Option.iter (fun f -> f stats) opts.on_stats;
   stats
@@ -470,7 +512,10 @@ let greedy_search opts (staged : Staged.t) ~axes =
   let best_cost = ref ctx.baseline in
   let trajectory = ref [ (0, ctx.baseline) ] in
   let used = ref 1 (* the baseline evaluation *) in
+  let interrupted = ref false in
   for i = 0 to n - 1 do
+    if !interrupted || stopped opts then interrupted := true
+    else begin
     (* Evaluate every candidate at this position (prefix of choices made so
        far, all-Skip tail) as one batch: the Skip candidate is the current
        best vector, i.e. a guaranteed cache hit, and the rest fan out over
@@ -501,12 +546,14 @@ let greedy_search opts (staged : Staged.t) ~axes =
           trajectory := (!used, costs.(j)) :: !trajectory
         end)
       reqs
+    end
   done;
   apply_best staged poss chosen;
   let stats =
     stats_of ctx
       ~wall_seconds:(Unix.gettimeofday () -. t0)
       ~iterations:!used ~best_cost:!best_cost ~trajectory:!trajectory
+      ~interrupted:!interrupted
   in
   Option.iter (fun f -> f stats) opts.on_stats;
   stats

@@ -36,6 +36,10 @@ module Stats : sig
     trajectory : (int * float) list;
         (** best-cost improvements as [(iteration, cost)]; the head is
             [(0, baseline_cost)] *)
+    interrupted : bool;
+        (** the search stopped early because [should_stop] fired at a
+            budget checkpoint; the applied schedule is the best-so-far
+            vector — valid, but possibly sub-optimal *)
   }
 
   val pp : Format.formatter -> t -> unit
@@ -62,6 +66,16 @@ type options = {
   on_stats : (Stats.t -> unit) option;
       (** called with the search statistics when a tactic built by {!mcts}
           or {!greedy} finishes *)
+  table : (string, float) Hashtbl.t option;
+      (** external transposition table to use instead of a fresh private
+          one. The search reads and writes it in place (when [memoize]),
+          so costs survive across searches of the same module — the
+          serve daemon persists this table across restarts *)
+  should_stop : (unit -> bool) option;
+      (** cooperative cancellation, polled at budget checkpoints (between
+          rollout batches / greedy positions). When it returns [true] the
+          search stops, applies the best-so-far vector, and reports
+          [Stats.interrupted] *)
 }
 
 val default_options : options

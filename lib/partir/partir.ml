@@ -48,6 +48,15 @@ module Verify = Partir_analysis.Verify
 module Shard_check = Partir_analysis.Shard_check
 module Collective_lint = Partir_analysis.Collective_lint
 
+module Serve = struct
+  module Store = Partir_serve.Store
+  module Protocol = Partir_serve.Protocol
+  module Cache = Partir_serve.Cache
+  module Zoo = Partir_serve.Zoo
+  module Server = Partir_serve.Server
+  module Client = Partir_serve.Client
+end
+
 module Check = struct
   module Gen = Partir_check.Gen
   module Oracle = Partir_check.Oracle

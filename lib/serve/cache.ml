@@ -1,0 +1,83 @@
+(* Canonical fingerprints and the on-disk plan-cache payloads. Ids are the
+   only process-dependent part of the IR records (values and ops are
+   numbered by global counters), so a dense remap in definition order plus
+   a no-sharing marshal yields bytes that depend on structure alone. *)
+
+open Partir_hlo
+module Mesh = Partir_mesh.Mesh
+module Lower = Partir_spmd.Lower
+
+let canonical_func (f : Func.t) : Func.t =
+  let vmap : (int, Value.t) Hashtbl.t = Hashtbl.create 256 in
+  let next_v = ref 0 and next_op = ref 0 in
+  let value (v : Value.t) =
+    match Hashtbl.find_opt vmap v.Value.id with
+    | Some v' -> v'
+    | None ->
+        let v' = { v with Value.id = !next_v } in
+        incr next_v;
+        Hashtbl.add vmap v.Value.id v';
+        v'
+  in
+  let rec op (o : Op.t) =
+    (* SSA order: operands are already registered, results are fresh. *)
+    let operands = List.map value o.Op.operands in
+    let results = List.map value o.Op.results in
+    let region =
+      Option.map
+        (fun (r : Op.region) ->
+          let params = List.map value r.Op.params in
+          let body = List.map op r.Op.body in
+          let yields = List.map value r.Op.yields in
+          { Op.params; body; yields })
+        o.Op.region
+    in
+    let id = !next_op in
+    incr next_op;
+    { Op.id; kind = o.Op.kind; operands; results; region }
+  in
+  let params = List.map value f.Func.params in
+  let body = List.map op f.Func.body in
+  let results = List.map value f.Func.results in
+  { Func.name = f.Func.name; params; body; results }
+
+let digest_of x = Digest.to_hex (Digest.string (Marshal.to_string x [ Marshal.No_sharing ]))
+
+let digest_func f = digest_of (canonical_func f)
+
+let fingerprint ~func ~mesh ~schedule ~budget ~hardware =
+  digest_of (canonical_func func, Mesh.axes mesh, schedule, budget, hardware)
+
+let plan_digest (p : Lower.program) =
+  digest_of
+    ( canonical_func p.Lower.func,
+      Mesh.axes p.Lower.mesh,
+      p.Lower.input_layouts,
+      p.Lower.output_layouts,
+      List.map (fun (v : Value.t) -> (v.Value.name, v.Value.ty)) p.Lower.source_params,
+      List.map (fun (v : Value.t) -> v.Value.ty) p.Lower.source_results )
+
+let table_key ~func ~mesh ~schedule ~hardware =
+  "tt-" ^ digest_of (canonical_func func, Mesh.axes mesh, schedule, hardware)
+
+let encode_reply (r : Protocol.reply) = Marshal.to_string r []
+
+let decode_reply s : Protocol.reply option =
+  try Some (Marshal.from_string s 0) with Failure _ | Invalid_argument _ -> None
+
+let save_table store ~key tbl =
+  let bindings =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+  in
+  Store.put store ~key (Marshal.to_string (bindings : (string * float) list) [])
+
+let load_table store ~key =
+  match Store.get store ~key with
+  | Store.Hit s -> (
+      match (Marshal.from_string s 0 : (string * float) list) with
+      | bindings ->
+          let t = Hashtbl.create (max 16 (2 * List.length bindings)) in
+          List.iter (fun (k, v) -> Hashtbl.replace t k v) bindings;
+          Some t
+      | exception (Failure _ | Invalid_argument _) -> None)
+  | Store.Miss | Store.Quarantined -> None

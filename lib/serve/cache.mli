@@ -1,0 +1,54 @@
+(** Content-addressed plan cache over {!Store}.
+
+    Keys are canonical fingerprints: value and op ids are remapped densely
+    in definition order before digesting, so two structurally identical
+    modules fingerprint identically even though the global id counters
+    differ between processes (or between two builds of the same model in
+    one process). Digests marshal without sharing, so physical aliasing of
+    names and shape arrays cannot perturb the bytes either.
+
+    The same canonicalization gives every lowered SPMD program a
+    {!plan_digest}: two programs digest equal iff they are structurally
+    bit-identical. The serve benchmark's zero-corruption invariant —
+    every cache hit is bit-identical to a cold compile — is checked by
+    comparing these digests. *)
+
+open Partir_hlo
+module Mesh = Partir_mesh.Mesh
+module Lower = Partir_spmd.Lower
+
+val canonical_func : Func.t -> Func.t
+(** Structurally equal copy with value/op ids remapped densely in
+    definition order (params first, then body, regions inline). *)
+
+val digest_func : Func.t -> string
+(** Hex digest of the canonical module. Stable across processes. *)
+
+val fingerprint :
+  func:Func.t ->
+  mesh:Mesh.t ->
+  schedule:string ->
+  budget:int ->
+  hardware:string ->
+  string
+(** Cache key of a compile request: canonical module + mesh axes +
+    schedule text + search budget + hardware name. *)
+
+val plan_digest : Lower.program -> string
+(** Hex digest of the canonical lowered program (device-local function,
+    mesh, layouts, source signature). *)
+
+val table_key : func:Func.t -> mesh:Mesh.t -> schedule:string -> hardware:string -> string
+(** Store key of the automatic-search transposition table shared by all
+    budgets of the same (module, mesh, schedule, hardware). *)
+
+val encode_reply : Protocol.reply -> string
+val decode_reply : string -> Protocol.reply option
+
+val save_table : Store.t -> key:string -> (string, float) Hashtbl.t -> unit
+(** Persist a transposition table (crash-safe, like any entry). Bindings
+    are sorted before marshalling, so equal tables encode identically. *)
+
+val load_table : Store.t -> key:string -> (string, float) Hashtbl.t option
+(** [None] on miss or a quarantined/undecodable entry — a corrupt table
+    never poisons a search, it just costs a cold one. *)

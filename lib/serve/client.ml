@@ -1,0 +1,47 @@
+exception Unavailable of string
+
+let connect ~socket_path ~timeout_s =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s;
+     Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout_s
+   with Unix.Unix_error _ -> ());
+  match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+  | () -> fd
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise
+        (Unavailable
+           (Printf.sprintf "connect %s: %s" socket_path (Unix.error_message e)))
+
+let request ~socket_path ?(timeout_s = 120.) req =
+  let fd = connect ~socket_path ~timeout_s in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      match
+        Protocol.write_request fd req;
+        Protocol.read_response fd
+      with
+      | Some resp -> resp
+      | None -> raise (Unavailable "daemon closed the connection")
+      | exception Unix.Unix_error (e, _, _) ->
+          raise (Unavailable (Unix.error_message e)))
+
+let wait_ready ~socket_path ?(timeout_s = 10.) () =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+    | () ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        true
+    | exception Unix.Unix_error _ ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        if Unix.gettimeofday () > deadline then false
+        else begin
+          ignore (Unix.select [] [] [] 0.05);
+          go ()
+        end
+  in
+  go ()

@@ -1,0 +1,13 @@
+(** Client side of the partition service. *)
+
+exception Unavailable of string
+(** The daemon is not reachable (connect/read failure or timeout). *)
+
+val request :
+  socket_path:string -> ?timeout_s:float -> Protocol.request -> Protocol.response
+(** One request/response round-trip (default timeout 120 s). Raises
+    {!Unavailable} if the daemon cannot be reached or the reply times
+    out; protocol violations raise {!Protocol.Protocol_error}. *)
+
+val wait_ready : socket_path:string -> ?timeout_s:float -> unit -> bool
+(** Poll until the daemon accepts connections (default 10 s). *)

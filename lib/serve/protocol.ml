@@ -1,0 +1,111 @@
+(* Length-prefixed marshalled frames. Both ends are the same binary (the
+   CLI and the daemon are built together), so Marshal is a safe and
+   complete encoding for these closure-free records. *)
+
+module Census = Partir_spmd.Census
+module Cost_model = Partir_sim.Cost_model
+
+type request = {
+  model : string;
+  mesh : (string * int) list;
+  schedule : string;
+  budget : int;
+  deadline_ms : float option;
+  no_cache : bool;
+  dump : bool;
+}
+
+let default_request =
+  {
+    model = "t32-small";
+    mesh = [ ("batch", 4); ("model", 2) ];
+    schedule = "bp,mp,z3";
+    budget = 16;
+    deadline_ms = None;
+    no_cache = false;
+    dump = false;
+  }
+
+type reply = {
+  fingerprint : string;
+  plan_digest : string;
+  estimate : Cost_model.estimate;
+  census : Census.t;
+  cache_hit : bool;
+  degraded : bool;
+  compile_ms : float;
+  spmd_text : string option;
+}
+
+type response =
+  | Ok of reply
+  | Overloaded of { queue : int; max_queue : int }
+  | Error of { category : string; message : string }
+
+let magic = "PTIRSRV1"
+let max_frame_bytes = 64 * 1024 * 1024
+
+exception Protocol_error of string
+
+let rec write_all fd b off len =
+  if len > 0 then begin
+    let n = Unix.write fd b off len in
+    write_all fd b (off + n) (len - n)
+  end
+
+let write_frame fd payload =
+  let len = String.length payload in
+  if len > max_frame_bytes then raise (Protocol_error "frame too large");
+  let hdr = Bytes.create (String.length magic + 4) in
+  Bytes.blit_string magic 0 hdr 0 (String.length magic);
+  Bytes.set_uint8 hdr 8 (len lsr 24 land 0xff);
+  Bytes.set_uint8 hdr 9 (len lsr 16 land 0xff);
+  Bytes.set_uint8 hdr 10 (len lsr 8 land 0xff);
+  Bytes.set_uint8 hdr 11 (len land 0xff);
+  write_all fd hdr 0 (Bytes.length hdr);
+  write_all fd (Bytes.unsafe_of_string payload) 0 len
+
+(* [None] on EOF at offset 0; Protocol_error on a short or torn frame. *)
+let read_exact fd n =
+  let b = Bytes.create n in
+  let rec go off =
+    if off = n then Some b
+    else
+      match Unix.read fd b off (n - off) with
+      | 0 ->
+          if off = 0 then None
+          else raise (Protocol_error "unexpected EOF mid-frame")
+      | k -> go (off + k)
+  in
+  go 0
+
+let read_frame fd =
+  match read_exact fd (String.length magic + 4) with
+  | None -> None
+  | Some hdr ->
+      if not (String.equal (Bytes.sub_string hdr 0 8) magic) then
+        raise (Protocol_error "bad frame magic");
+      let len =
+        (Bytes.get_uint8 hdr 8 lsl 24)
+        lor (Bytes.get_uint8 hdr 9 lsl 16)
+        lor (Bytes.get_uint8 hdr 10 lsl 8)
+        lor Bytes.get_uint8 hdr 11
+      in
+      if len < 0 || len > max_frame_bytes then
+        raise (Protocol_error "frame length out of bounds");
+      if len = 0 then Some ""
+      else (
+        match read_exact fd len with
+        | None -> raise (Protocol_error "unexpected EOF mid-frame")
+        | Some b -> Some (Bytes.unsafe_to_string b))
+
+let write_request fd (r : request) = write_frame fd (Marshal.to_string r [])
+let write_response fd (r : response) = write_frame fd (Marshal.to_string r [])
+
+let unmarshal payload =
+  try Marshal.from_string payload 0
+  with Failure _ | Invalid_argument _ ->
+    raise (Protocol_error "undecodable frame payload")
+
+let read_request fd : request option = Option.map unmarshal (read_frame fd)
+let read_response fd : response option = Option.map unmarshal (read_frame fd)

@@ -1,0 +1,66 @@
+(** Wire protocol of the partition service.
+
+    Length-prefixed frames over a Unix-domain socket: an 8-byte magic, a
+    4-byte big-endian payload length, then a marshalled {!request} or
+    {!response}. One request and one response per connection. Frames are
+    bounded ({!max_frame_bytes}); a reader never trusts the peer's length
+    field beyond that. *)
+
+module Census = Partir_spmd.Census
+module Cost_model = Partir_sim.Cost_model
+
+type request = {
+  model : string;  (** zoo model name (see {!Zoo.prepare}) *)
+  mesh : (string * int) list;  (** mesh axes, e.g. [["batch", 4; "model", 2]] *)
+  schedule : string;  (** comma-separated tactic names (see {!Zoo.tactic_of}) *)
+  budget : int;  (** automatic-search evaluation budget *)
+  deadline_ms : float option;
+      (** wall budget for the reply, queue time included; an expiring
+          deadline cancels in-flight search at a budget checkpoint and
+          returns the best-so-far (degraded) plan *)
+  no_cache : bool;  (** force a cold compile; the result is not cached *)
+  dump : bool;  (** include the device-local IR text in the reply *)
+}
+
+val default_request : request
+(** [t32-small], [bp,mp,z3], [batch=4,model=2]-shaped defaults matching the
+    CLI's. *)
+
+type reply = {
+  fingerprint : string;
+      (** content-addressed cache key: canonical module digest + mesh +
+          schedule + budget + hardware *)
+  plan_digest : string;
+      (** digest of the canonical lowered SPMD program — two replies with
+          equal digests carry bit-identical plans *)
+  estimate : Cost_model.estimate;  (** measured-profile simulator estimate *)
+  census : Census.t;
+  cache_hit : bool;
+  degraded : bool;
+      (** the deadline fired: the plan is valid but came from a
+          best-so-far/greedy fallback rather than a completed search.
+          Degraded plans are never cached. *)
+  compile_ms : float;  (** server-side time spent answering *)
+  spmd_text : string option;  (** device-local IR (when [dump]) *)
+}
+
+type response =
+  | Ok of reply
+  | Overloaded of { queue : int; max_queue : int }
+      (** load-shed: the bounded queue was full and this request (the
+          oldest) was evicted; retry with backoff *)
+  | Error of { category : string; message : string }
+      (** structured compile failure; [category] names the pipeline stage *)
+
+val max_frame_bytes : int
+
+exception Protocol_error of string
+
+val write_request : Unix.file_descr -> request -> unit
+val write_response : Unix.file_descr -> response -> unit
+
+val read_request : Unix.file_descr -> request option
+(** [None] on clean EOF before any byte. Raises {!Protocol_error} on a
+    malformed or oversized frame. *)
+
+val read_response : Unix.file_descr -> response option

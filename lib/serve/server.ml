@@ -1,0 +1,329 @@
+(* The partition daemon. See server.mli for the architecture. *)
+
+open Partir_hlo
+module Mesh = Partir_mesh.Mesh
+module Census = Partir_spmd.Census
+module Lower = Partir_spmd.Lower
+module Hardware = Partir_sim.Hardware
+module Cost_model = Partir_sim.Cost_model
+module Schedule = Partir_schedule.Schedule
+module Auto = Partir_auto.Auto
+module Staged = Partir_core.Staged
+module Temporal = Partir_temporal.Temporal
+module Spmd_interp = Partir_spmd.Spmd_interp
+module Interp = Partir_hlo.Interp
+module Plan = Partir_plan.Plan
+module Analysis = Partir_analysis.Analysis
+module Diagnostic = Partir_analysis.Diagnostic
+module P = Protocol
+
+type config = {
+  socket_path : string;
+  store_dir : string;
+  hardware : string;
+  max_queue : int;
+  default_deadline_ms : float option;
+  verbose : bool;
+}
+
+let default_config =
+  {
+    socket_path = "/tmp/partir-serve.sock";
+    store_dir = "/tmp/partir-store";
+    hardware = "tpu_v3";
+    max_queue = 64;
+    default_deadline_ms = None;
+    verbose = false;
+  }
+
+type stats = {
+  mutable served : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable shed : int;
+  mutable degraded : int;
+  mutable errors : int;
+  mutable quarantined : int;
+}
+
+(* Structured failure categories, mirroring the CLI's error taxonomy: the
+   category names the pipeline stage that rejected the request, so clients
+   can distinguish a bad request from a server bug. *)
+let categorize = function
+  | Staged.Action_error m -> Some ("action", m)
+  | Spmd_interp.Spmd_error m -> Some ("spmd", m)
+  | Temporal.Semantics_error m -> Some ("temporal", m)
+  | Op.Type_error m -> Some ("type", m)
+  | Func.Verification_error m -> Some ("verify", m)
+  | Analysis.Check_error diags -> Some ("analysis", Diagnostic.list_to_string diags)
+  | Interp.Runtime_error m -> Some ("interp", m)
+  | Plan.Plan_error m -> Some ("plan", m)
+  | Invalid_argument m -> Some ("invalid argument", m)
+  | Failure m -> Some ("failure", m)
+  | Not_found -> Some ("not found", "unknown hardware or mesh axis")
+  | _ -> None
+
+type state = {
+  config : config;
+  store : Store.t;
+  stats : stats;
+  prepared : (string, Zoo.prepared) Hashtbl.t;
+  fingerprints : (string * (string * int) list * string * int, string) Hashtbl.t;
+}
+
+let logf state fmt =
+  if state.config.verbose then Printf.printf (fmt ^^ "\n%!")
+  else Printf.ifprintf stdout fmt
+
+let prepare state model =
+  match Hashtbl.find_opt state.prepared model with
+  | Some p -> p
+  | None ->
+      let p = Zoo.prepare model in
+      Hashtbl.replace state.prepared model p;
+      p
+
+let fingerprint state (req : P.request) func =
+  let key = (req.P.model, req.P.mesh, req.P.schedule, req.P.budget) in
+  match Hashtbl.find_opt state.fingerprints key with
+  | Some fp -> fp
+  | None ->
+      let fp =
+        Cache.fingerprint ~func ~mesh:(Mesh.create req.P.mesh)
+          ~schedule:req.P.schedule ~budget:req.P.budget
+          ~hardware:state.config.hardware
+      in
+      Hashtbl.replace state.fingerprints key fp;
+      fp
+
+let plan_key fp = "plan-" ^ fp
+
+(* Cold compile. Automatic tactics get the persisted transposition table
+   of their (module, mesh, schedule, hardware) key and a should_stop wired
+   to the absolute deadline; a fired deadline flags the reply degraded,
+   and degraded plans are never published to the cache. *)
+let compile state (req : P.request) ~queued_at ~fp =
+  let hardware = Hardware.find state.config.hardware in
+  let prepared = prepare state req.P.model in
+  let mesh = Mesh.create req.P.mesh in
+  let deadline_ms =
+    match req.P.deadline_ms with
+    | Some _ as d -> d
+    | None -> state.config.default_deadline_ms
+  in
+  let should_stop =
+    match deadline_ms with
+    | None -> fun () -> false
+    | Some ms ->
+        let abs = queued_at +. (ms *. 1e-3) in
+        fun () -> Unix.gettimeofday () > abs
+  in
+  let degraded = ref false in
+  let used_auto = ref false in
+  let tkey =
+    Cache.table_key ~func:prepared.Zoo.func ~mesh ~schedule:req.P.schedule
+      ~hardware:state.config.hardware
+  in
+  let table =
+    lazy
+      (match Cache.load_table state.store ~key:tkey with
+      | Some t -> t
+      | None -> Hashtbl.create 256)
+  in
+  let auto (opts : Auto.options) =
+    used_auto := true;
+    {
+      opts with
+      Auto.table = Some (Lazy.force table);
+      should_stop = Some should_stop;
+      on_stats =
+        Some
+          (fun s -> if s.Auto.Stats.interrupted then degraded := true);
+    }
+  in
+  let tactics =
+    Zoo.tactics_of ~auto prepared hardware req.P.budget req.P.schedule
+  in
+  let r =
+    Schedule.jit ~hardware ~ties:prepared.Zoo.ties mesh prepared.Zoo.func
+      tactics
+  in
+  let estimate =
+    Cost_model.run Cost_model.measured hardware r.Schedule.program
+  in
+  let reply =
+    {
+      P.fingerprint = fp;
+      plan_digest = Cache.plan_digest r.Schedule.program;
+      estimate;
+      census = Census.of_program r.Schedule.program;
+      cache_hit = false;
+      degraded = !degraded;
+      compile_ms = 0.;
+      (* The IR text is always materialized into the cached entry, so a
+         later [dump] request can be answered from cache bit-identically. *)
+      spmd_text =
+        Some (Printer.func_to_string r.Schedule.program.Lower.func);
+    }
+  in
+  if (not !degraded) && not req.P.no_cache then
+    Store.put state.store ~key:(plan_key fp) (Cache.encode_reply reply);
+  if !used_auto then Cache.save_table state.store ~key:tkey (Lazy.force table);
+  reply
+
+let answer state (req : P.request) ~queued_at =
+  let t0 = Unix.gettimeofday () in
+  let prepared = prepare state req.P.model in
+  let fp = fingerprint state req prepared.Zoo.func in
+  let finish (reply : P.reply) ~hit =
+    if hit then state.stats.hits <- state.stats.hits + 1
+    else state.stats.misses <- state.stats.misses + 1;
+    if reply.P.degraded then
+      state.stats.degraded <- state.stats.degraded + 1;
+    let reply =
+      {
+        reply with
+        P.cache_hit = hit;
+        compile_ms = 1e3 *. (Unix.gettimeofday () -. t0);
+        spmd_text = (if req.P.dump then reply.P.spmd_text else None);
+      }
+    in
+    P.Ok reply
+  in
+  let cold () = finish (compile state req ~queued_at ~fp) ~hit:false in
+  if req.P.no_cache then cold ()
+  else
+    match Store.get state.store ~key:(plan_key fp) with
+    | Store.Hit s -> (
+        match Cache.decode_reply s with
+        | Some reply -> finish reply ~hit:true
+        | None ->
+            (* Checksum passed but the payload did not decode (e.g. an
+               entry from an incompatible build): drop and recompile. *)
+            state.stats.quarantined <- state.stats.quarantined + 1;
+            cold ())
+    | Store.Quarantined ->
+        state.stats.quarantined <- state.stats.quarantined + 1;
+        logf state "serve: quarantined corrupt entry for %s" fp;
+        cold ()
+    | Store.Miss -> cold ()
+
+let process state fd (req : P.request) ~queued_at =
+  let resp =
+    try answer state req ~queued_at
+    with e -> (
+      state.stats.errors <- state.stats.errors + 1;
+      match categorize e with
+      | Some (category, message) -> P.Error { category; message }
+      | None -> P.Error { category = "internal"; message = Printexc.to_string e })
+  in
+  (try P.write_response fd resp with _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  state.stats.served <- state.stats.served + 1;
+  match resp with
+  | P.Ok r ->
+      logf state "serve: %s %s %s %s%s%s (%.1f ms)" req.P.model req.P.schedule
+        r.P.fingerprint
+        (if r.P.cache_hit then "hit" else "miss")
+        (if r.P.degraded then " degraded" else "")
+        (if req.P.no_cache then " no-cache" else "")
+        r.P.compile_ms
+  | P.Error { category; message } ->
+      logf state "serve: %s %s error %s: %s" req.P.model req.P.schedule
+        category message
+  | P.Overloaded _ -> ()
+
+let serve config =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let stop = ref false in
+  let on_signal = Sys.Signal_handle (fun _ -> stop := true) in
+  Sys.set_signal Sys.sigint on_signal;
+  Sys.set_signal Sys.sigterm on_signal;
+  let store, scan = Store.open_ config.store_dir in
+  let state =
+    {
+      config;
+      store;
+      stats =
+        {
+          served = 0;
+          hits = 0;
+          misses = 0;
+          shed = 0;
+          degraded = 0;
+          errors = 0;
+          quarantined = scan.Store.quarantined;
+        };
+      prepared = Hashtbl.create 16;
+      fingerprints = Hashtbl.create 64;
+    }
+  in
+  Printf.printf
+    "serve: listening on %s (store %s: %d entries, %d quarantined, %d tmp \
+     swept)\n\
+     %!"
+    config.socket_path config.store_dir scan.Store.entries
+    scan.Store.quarantined scan.Store.removed_tmp;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
+  Unix.bind sock (Unix.ADDR_UNIX config.socket_path);
+  Unix.listen sock 128;
+  let queue : (Unix.file_descr * P.request * float) Queue.t = Queue.create () in
+  let select fds timeout =
+    match Unix.select fds [] [] timeout with
+    | ready, _, _ -> ready
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+  in
+  (* Accept and read every connection that is already waiting. A client
+     that connects but stalls mid-request is bounded by SO_RCVTIMEO. *)
+  let rec drain_accept () =
+    if (not !stop) && select [ sock ] 0. <> [] then begin
+      (match Unix.accept sock with
+      | exception Unix.Unix_error _ -> ()
+      | fd, _ -> (
+          (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 2.0
+           with Unix.Unix_error _ -> ());
+          match P.read_request fd with
+          | Some req -> Queue.add (fd, req, Unix.gettimeofday ()) queue
+          | None -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+          | exception _ -> ( try Unix.close fd with Unix.Unix_error _ -> ())));
+      drain_accept ()
+    end
+  in
+  (* Bounded queue: shed the *oldest* request with a structured reply — it
+     has burnt the most deadline already, so it is the least worth
+     finishing; the client retries with backoff. *)
+  let shed () =
+    while Queue.length queue > config.max_queue do
+      let fd, _, _ = Queue.take queue in
+      state.stats.shed <- state.stats.shed + 1;
+      (try
+         P.write_response fd
+           (P.Overloaded
+              { queue = Queue.length queue; max_queue = config.max_queue })
+       with _ -> ());
+      try Unix.close fd with Unix.Unix_error _ -> ()
+    done
+  in
+  let running = ref true in
+  while !running do
+    if !stop && Queue.is_empty queue then running := false
+    else begin
+      if Queue.is_empty queue && not !stop then
+        ignore (select [ sock ] 0.25);
+      drain_accept ();
+      shed ();
+      match Queue.take_opt queue with
+      | None -> ()
+      | Some (fd, req, queued_at) -> process state fd req ~queued_at
+    end
+  done;
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
+  Printf.printf
+    "serve: drained: served=%d hits=%d misses=%d shed=%d degraded=%d \
+     errors=%d quarantined=%d\n\
+     %!"
+    state.stats.served state.stats.hits state.stats.misses state.stats.shed
+    state.stats.degraded state.stats.errors state.stats.quarantined;
+  state.stats

@@ -1,0 +1,47 @@
+(** The partition daemon: a long-running compile service over a
+    Unix-domain socket.
+
+    One single-threaded event loop (compiles themselves still fan rollouts
+    out over the domain pool): accept every ready connection, read its
+    request, enqueue it; when the bounded queue overflows, shed load by
+    evicting the *oldest* request with a structured [Overloaded] reply;
+    then answer one request. Answers come from the crash-safe
+    content-addressed plan cache ({!Store} + {!Cache}) when possible; a
+    miss compiles cold and publishes the entry atomically. Automatic
+    searches run with the persisted transposition table of their
+    (module, mesh, schedule, hardware) key and a [should_stop] wired to
+    the request deadline — an expiring deadline degrades the reply to the
+    best-so-far plan (flagged, never cached) instead of failing it.
+
+    SIGINT/SIGTERM switch the loop into draining: no new connections are
+    accepted, queued requests are answered, tables are already flushed
+    (every search persists its table), and {!serve} returns. *)
+
+type config = {
+  socket_path : string;
+  store_dir : string;
+  hardware : string;  (** {!Partir_sim.Hardware.find} name *)
+  max_queue : int;  (** bounded request queue; overflow sheds oldest-first *)
+  default_deadline_ms : float option;
+      (** applied when a request carries no deadline *)
+  verbose : bool;  (** per-request log lines on stdout *)
+}
+
+val default_config : config
+(** [/tmp/partir-serve.sock], [/tmp/partir-store], [tpu_v3], queue 64, no
+    default deadline. *)
+
+(** Lifetime counters, returned by {!serve} and logged on exit. *)
+type stats = {
+  mutable served : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable shed : int;
+  mutable degraded : int;
+  mutable errors : int;
+  mutable quarantined : int;  (** corrupt entries detected while serving *)
+}
+
+val serve : config -> stats
+(** Run until SIGINT/SIGTERM, then drain and return. Installs handlers for
+    both signals (and ignores SIGPIPE). *)

@@ -1,0 +1,196 @@
+(* Crash-safe keyed blob store: temp file + checksum + fsync + atomic
+   rename per entry; startup scan quarantines anything that does not
+   verify. See store.mli for the contract. *)
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32 (IEEE 802.3), table-driven                                    *)
+(* ------------------------------------------------------------------ *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let i =
+        Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl)
+      in
+      c := Int32.logxor table.(i) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+(* ------------------------------------------------------------------ *)
+(* Framing: magic | payload length (u32 BE) | crc32 (u32 BE) | payload  *)
+(* ------------------------------------------------------------------ *)
+
+let magic = "PTIRSTO1"
+
+let encode payload =
+  let b = Buffer.create (String.length payload + 16) in
+  Buffer.add_string b magic;
+  let add_u32 (v : int32) =
+    for shift = 3 downto 0 do
+      Buffer.add_char b
+        (Char.chr
+           (Int32.to_int
+              (Int32.logand (Int32.shift_right_logical v (8 * shift)) 0xFFl)))
+    done
+  in
+  add_u32 (Int32.of_int (String.length payload));
+  add_u32 (crc32 payload);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let u32_at s off =
+  let byte i = Int32.of_int (Char.code s.[off + i]) in
+  List.fold_left
+    (fun acc i -> Int32.logor (Int32.shift_left acc 8) (byte i))
+    0l [ 0; 1; 2; 3 ]
+
+let decode framed =
+  let hdr = String.length magic + 8 in
+  if String.length framed < hdr then None
+  else if not (String.equal (String.sub framed 0 (String.length magic)) magic)
+  then None
+  else
+    let len = Int32.to_int (u32_at framed (String.length magic)) in
+    let crc = u32_at framed (String.length magic + 4) in
+    if len < 0 || String.length framed <> hdr + len then None
+    else
+      let payload = String.sub framed hdr len in
+      if Int32.equal (crc32 payload) crc then Some payload else None
+
+(* ------------------------------------------------------------------ *)
+(* Files                                                                *)
+(* ------------------------------------------------------------------ *)
+
+type t = { dir : string }
+
+type scan = { entries : int; quarantined : int; removed_tmp : int }
+
+let entry_suffix = ".entry"
+let dir t = t.dir
+let path t key = Filename.concat t.dir (key ^ entry_suffix)
+
+let check_key key =
+  if String.length key = 0 then invalid_arg "Store: empty key";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> ()
+      | _ -> invalid_arg (Printf.sprintf "Store: unsafe key %S" key))
+    key
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Some (really_input_string ic (in_channel_length ic)))
+
+let quarantine path =
+  (try Sys.remove (path ^ ".quarantine") with Sys_error _ -> ());
+  try Sys.rename path (path ^ ".quarantine") with Sys_error _ -> ()
+
+(* Deterministic fault injection for the self-fault harness: SIGKILL
+   ourselves mid-write ("temp") or post-write pre-rename ("rename"). *)
+let crash_knob () = Sys.getenv_opt "PARTIR_STORE_CRASH"
+
+let self_kill () = Unix.kill (Unix.getpid ()) Sys.sigkill
+
+let fsync_dir dirname =
+  match Unix.openfile dirname [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      Unix.close fd
+
+let put t ~key payload =
+  check_key key;
+  let framed = encode payload in
+  let final = path t key in
+  let tmp =
+    Filename.concat t.dir
+      (Printf.sprintf ".%s.%d.tmp" key (Unix.getpid ()))
+  in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let bytes = Bytes.unsafe_of_string framed in
+      let n = Bytes.length bytes in
+      (match crash_knob () with
+      | Some "temp" ->
+          (* Torn temp file: half the bytes, then die. The entry name is
+             never reachable, so a restart only has a .tmp to sweep. *)
+          let half = n / 2 in
+          let _ = Unix.write fd bytes 0 half in
+          self_kill ()
+      | _ -> ());
+      let rec write_all off =
+        if off < n then write_all (off + Unix.write fd bytes off (n - off))
+      in
+      write_all 0;
+      Unix.fsync fd);
+  (match crash_knob () with
+  | Some "rename" ->
+      (* Complete temp file but no rename: the entry (if any) keeps its
+         old value; the restart sweep removes the orphan temp. *)
+      self_kill ()
+  | _ -> ());
+  Unix.rename tmp final;
+  fsync_dir t.dir
+
+type read = Hit of string | Miss | Quarantined
+
+let get t ~key =
+  check_key key;
+  let p = path t key in
+  match read_file p with
+  | None -> Miss
+  | Some framed -> (
+      match decode framed with
+      | Some payload -> Hit payload
+      | None ->
+          quarantine p;
+          Quarantined)
+
+let keys t =
+  Sys.readdir t.dir |> Array.to_list
+  |> List.filter_map (fun f ->
+         if Filename.check_suffix f entry_suffix then
+           Some (Filename.chop_suffix f entry_suffix)
+         else None)
+  |> List.sort String.compare
+
+let open_ dirname =
+  if not (Sys.file_exists dirname) then Unix.mkdir dirname 0o755;
+  let t = { dir = dirname } in
+  let entries = ref 0 and quarantined = ref 0 and removed_tmp = ref 0 in
+  Array.iter
+    (fun f ->
+      let p = Filename.concat dirname f in
+      if Filename.check_suffix f ".tmp" then begin
+        (try Sys.remove p with Sys_error _ -> ());
+        incr removed_tmp
+      end
+      else if Filename.check_suffix f entry_suffix then
+        match read_file p with
+        | Some framed when Option.is_some (decode framed) -> incr entries
+        | _ ->
+            quarantine p;
+            incr quarantined)
+    (Sys.readdir dirname);
+  (t, { entries = !entries; quarantined = !quarantined; removed_tmp = !removed_tmp })

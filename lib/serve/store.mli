@@ -1,0 +1,64 @@
+(** Crash-safe content-addressed blob store.
+
+    One entry per key, one file per entry, crash-safe by construction:
+    writes go to a temp file in the same directory, are checksummed
+    (CRC-32 over the payload) and fsynced, then atomically renamed into
+    place — a reader never observes a partial entry, only the old value or
+    the new one. Torn or bit-flipped entries (a crash between the rename
+    steps, disk corruption, manual truncation) fail checksum verification
+    on read and are quarantined — renamed aside, never served.
+
+    Opening a store scans it: leftover temp files from a crashed writer
+    are removed and corrupt entries quarantined up front, so a restarted
+    daemon starts from a verified cache.
+
+    For the self-fault harness, [put] honours the [PARTIR_STORE_CRASH]
+    environment variable: ["temp"] kills the process (SIGKILL) halfway
+    through writing the temp file, ["rename"] kills it after the temp file
+    is complete but before the rename — the two torn-write windows a
+    crash-safe store must survive. *)
+
+type t
+
+(** Startup scan report. *)
+type scan = {
+  entries : int;  (** verified entries present after the scan *)
+  quarantined : int;  (** corrupt entries renamed aside *)
+  removed_tmp : int;  (** leftover temp files from a crashed writer *)
+}
+
+val open_ : string -> t * scan
+(** Open (creating the directory if needed) and scan. *)
+
+val dir : t -> string
+
+val put : t -> key:string -> string -> unit
+(** Atomically (over)write the entry. [key] must be filename-safe
+    ([A-Za-z0-9._-]); raises [Invalid_argument] otherwise. *)
+
+type read =
+  | Hit of string
+  | Miss
+  | Quarantined  (** the entry existed but failed verification; it has
+                     been renamed to [<key>.quarantine] *)
+
+val get : t -> key:string -> read
+(** Read and verify the entry. Every read re-verifies the checksum, so a
+    corrupt entry is detected (and quarantined) no matter when the
+    corruption happened. *)
+
+val keys : t -> string list
+(** Keys of the entries currently on disk (unverified), sorted. *)
+
+(** {2 Exposed for tests} *)
+
+val crc32 : string -> int32
+(** CRC-32 (IEEE) of a string. *)
+
+val encode : string -> string
+(** The on-disk framing: magic, payload length, CRC-32, payload. *)
+
+val decode : string -> string option
+(** Inverse of {!encode}; [None] unless the magic, length and checksum all
+    verify. [decode (encode p) = Some p]; any single flipped byte or
+    truncation yields [None]. *)

@@ -1,0 +1,158 @@
+(* Model zoo + tactic vocabulary (moved out of partir_cli so the serve
+   daemon resolves requests with exactly the CLI's semantics). *)
+
+open Partir_hlo
+module Mesh = Partir_mesh.Mesh
+module Transformer = Partir_models.Transformer
+module Unet = Partir_models.Unet
+module Gns = Partir_models.Gns
+module Mlp = Partir_models.Mlp
+module Train = Partir_models.Train
+module Schedule = Partir_schedule.Schedule
+module Strategies = Partir_strategies.Strategies
+module Hardware = Partir_sim.Hardware
+module Auto = Partir_auto.Auto
+
+let parse_mesh spec =
+  Mesh.create
+    (List.map
+       (fun part ->
+         match String.split_on_char '=' part with
+         | [ name; size ] -> (name, int_of_string size)
+         | _ ->
+             invalid_arg
+               (Printf.sprintf
+                  "bad mesh entry %S (expected axis=size, e.g. batch=4)" part))
+       (String.split_on_char ',' spec))
+
+type prepared = {
+  func : Func.t;
+  ties : (int * int) list;
+  batch_inputs : string list;
+  model_name : string;
+  transformer_cfg : Transformer.config option;
+}
+
+let transformer_step m cfg =
+  let step = Train.training_step (Transformer.forward cfg) in
+  {
+    func = step.Train.func;
+    ties = step.Train.ties;
+    batch_inputs = [ "tokens"; "targets" ];
+    model_name = m;
+    transformer_cfg = Some cfg;
+  }
+
+(* "tiny<k>": k-layer variant of the tiny transformer. Structurally
+   distinct per k, cheap to compile — the serve benchmark's way of
+   storming the daemon with dozens of different fingerprints. *)
+let tiny_layers name =
+  if String.length name > 4 && String.sub name 0 4 = "tiny" then
+    match int_of_string_opt (String.sub name 4 (String.length name - 4)) with
+    | Some k when k >= 1 && k <= 64 -> Some k
+    | _ -> None
+  else None
+
+let prepare = function
+  | "t32" | "t32-small" as m ->
+      let cfg =
+        if m = "t32" then Transformer.t32
+        else { Transformer.tiny with layers = 4; batch = 8; heads = 4 }
+      in
+      transformer_step m cfg
+  | "t48" -> transformer_step "t48" Transformer.t48
+  | "it32" | "it32-small" as m ->
+      let cfg =
+        if m = "it32" then Transformer.t32
+        else { Transformer.tiny with layers = 2; batch = 4; heads = 2 }
+      in
+      let steps = if m = "it32" then 1536 else 4 in
+      {
+        func = Transformer.inference cfg ~decode_steps:steps;
+        ties = [];
+        batch_inputs = [ "prompt" ];
+        model_name = m;
+        transformer_cfg = Some cfg;
+      }
+  | "unet" | "unet-small" as m ->
+      let cfg = if m = "unet" then Unet.paper else Unet.tiny in
+      let step = Train.training_step (Unet.forward cfg) in
+      {
+        func = step.Train.func;
+        ties = step.Train.ties;
+        batch_inputs = [ "x"; "temb"; "target" ];
+        model_name = m;
+        transformer_cfg = None;
+      }
+  | "gns" | "gns-small" as m ->
+      let cfg = if m = "gns" then Gns.paper else Gns.tiny in
+      let step = Train.training_step (Gns.forward cfg) in
+      {
+        func = step.Train.func;
+        ties = step.Train.ties;
+        batch_inputs = [];
+        model_name = m;
+        transformer_cfg = None;
+      }
+  | "mlp" ->
+      let step = Train.training_step (Mlp.forward Mlp.default) in
+      {
+        func = step.Train.func;
+        ties = step.Train.ties;
+        batch_inputs = [ "x"; "target" ];
+        model_name = "mlp";
+        transformer_cfg = None;
+      }
+  | other -> (
+      match tiny_layers other with
+      | Some k -> transformer_step other { Transformer.tiny with layers = k }
+      | None ->
+          invalid_arg
+            (Printf.sprintf
+               "unknown model %S (expected t32[-small], t48, it32[-small], \
+                unet[-small], gns[-small], mlp, or tiny<k>)"
+               other))
+
+let tactic_of ?(auto = Fun.id) prepared hardware budget name =
+  let batch = "batch" and model = "model" in
+  (* Evaluated only by automatic tactics: the [auto] hook may have side
+     effects (the daemon loads its persisted transposition table there). *)
+  let auto_opts () = auto { Auto.default_options with hardware; budget } in
+  match name with
+  | "bp" -> (
+      match prepared.model_name with
+      | "it32" | "it32-small" ->
+          Strategies.it32_bp ~axis:batch
+            ~layers:(Option.get prepared.transformer_cfg).Transformer.layers
+      | _ -> Strategies.bp ~axis:batch ~inputs:prepared.batch_inputs ())
+  | "mp" -> (
+      match prepared.model_name with
+      | "unet" | "unet-small" -> Strategies.unet_mp ~axis:model
+      | _ -> Strategies.transformer_mp ~axis:model)
+  | "z2" -> (
+      match prepared.model_name with
+      | "unet" | "unet-small" -> Strategies.unet_z ~level:`Z2 ~axis:batch
+      | _ -> Strategies.transformer_z2 ~axis:batch)
+  | "z3" -> (
+      match prepared.model_name with
+      | "unet" | "unet-small" -> Strategies.unet_z ~level:`Z3 ~axis:batch
+      | _ -> Strategies.transformer_z3 ~axis:batch)
+  | "emb" -> Strategies.transformer_emb ~axis:model
+  | "es" -> Strategies.gns_es ~axis:batch
+  | "mq" ->
+      Strategies.it32_mq ~axis:model ~cfg:(Option.get prepared.transformer_cfg)
+  | "auto" | "automp" -> Auto.mcts ~axes:[ model ] (auto_opts ())
+  | "autobp" -> Auto.mcts ~axes:[ batch ] (auto_opts ())
+  | "autoall" -> Auto.mcts ~axes:[ batch; model ] (auto_opts ())
+  | "greedy" -> Auto.greedy ~axes:[ batch; model ] (auto_opts ())
+  | other ->
+      invalid_arg
+        (Printf.sprintf
+           "unknown tactic %S (expected bp, mp, z2, z3, emb, es, mq, auto, \
+            automp, autobp, autoall, or greedy)"
+           other)
+
+let tactics_of ?auto prepared hardware budget schedule =
+  List.map
+    (tactic_of ?auto prepared hardware budget)
+    (String.split_on_char ',' schedule)

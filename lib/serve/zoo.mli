@@ -1,0 +1,50 @@
+(** The benchmark-model zoo and tactic vocabulary, shared by the CLI and
+    the partition service (one parser, one model list — a request means
+    the same thing on both sides of the socket). *)
+
+open Partir_hlo
+module Mesh = Partir_mesh.Mesh
+module Transformer = Partir_models.Transformer
+module Schedule = Partir_schedule.Schedule
+module Hardware = Partir_sim.Hardware
+module Auto = Partir_auto.Auto
+
+type prepared = {
+  func : Func.t;
+  ties : (int * int) list;
+  batch_inputs : string list;
+  model_name : string;
+  transformer_cfg : Transformer.config option;
+}
+
+val parse_mesh : string -> Mesh.t
+(** ["batch=4,model=2"]. Raises [Invalid_argument] on a malformed spec. *)
+
+val prepare : string -> prepared
+(** Build a zoo model: [t32[-small]], [t48], [it32[-small]],
+    [unet[-small]], [gns[-small]], [mlp], or [tiny<k>] (a [k]-layer tiny
+    transformer training step — the service benchmark's source of many
+    cheap, structurally distinct modules). Raises [Invalid_argument] on an
+    unknown name. *)
+
+val tactic_of :
+  ?auto:(Auto.options -> Auto.options) ->
+  prepared ->
+  Hardware.t ->
+  int ->
+  string ->
+  Schedule.tactic
+(** Resolve a tactic name ([bp], [mp], [z2], [z3], [emb], [es], [mq],
+    [auto], [automp], [autobp], [autoall]) against the prepared model.
+    [auto] post-processes the search options of automatic tactics — the
+    daemon injects its persisted transposition table and deadline
+    [should_stop] there; the CLI injects its SIGINT flag. *)
+
+val tactics_of :
+  ?auto:(Auto.options -> Auto.options) ->
+  prepared ->
+  Hardware.t ->
+  int ->
+  string ->
+  Schedule.tactic list
+(** [tactic_of] over a comma-separated schedule. *)

@@ -8,9 +8,47 @@ open Partir_hlo
 module Mesh = Partir_mesh.Mesh
 module Lower = Partir_spmd.Lower
 
-type retry = { timeout_ms : float; backoff : float; max_retries : int }
+type jitter = No_jitter | Decorrelated
 
-let default_retry = { timeout_ms = 5.; backoff = 2.; max_retries = 3 }
+type retry = {
+  timeout_ms : float;
+  backoff : float;
+  max_retries : int;
+  jitter : jitter;
+  seed : int;
+}
+
+let default_retry =
+  { timeout_ms = 5.; backoff = 2.; max_retries = 3; jitter = No_jitter; seed = 0 }
+
+(* Total backoff wait (seconds) for [attempts] successive delivery attempts
+   of collective [collective]. [No_jitter] is the deterministic exponential
+   timeout * backoff^i. [Decorrelated] is AWS-style decorrelated jitter:
+   attempt 0 waits the base timeout, attempt i draws uniformly from
+   [base, 3 * previous wait], capped at base * backoff^max_retries, so
+   synchronized retry storms spread out instead of re-colliding. Each draw's
+   RNG is keyed on (seed, collective, attempt), never on global state, so a
+   run is bit-reproducible for a fixed seed and independent of the order
+   collectives are simulated in. *)
+let backoff_wait r ~collective ~attempts =
+  let base = r.timeout_ms *. 1e-3 in
+  let cap = base *. (r.backoff ** float_of_int r.max_retries) in
+  let total = ref 0. and prev = ref base in
+  for i = 0 to attempts - 1 do
+    let w =
+      match r.jitter with
+      | No_jitter -> base *. (r.backoff ** float_of_int i)
+      | Decorrelated ->
+          if i = 0 then base
+          else
+            let st = Random.State.make [| r.seed; collective; i; 0x2b3d |] in
+            let hi = Float.max base (!prev *. 3.) in
+            Float.min cap (base +. Random.State.float st (hi -. base))
+    in
+    prev := w;
+    total := !total +. w
+  done;
+  !total
 
 type condition = {
   slowdown : int -> float;
@@ -126,14 +164,9 @@ let simulate ?(condition = healthy) profile hw (p : Lower.program) =
               else begin
                 let r = condition.retry in
                 let attempts = min dropped (r.max_retries + 1) in
-                let w = ref 0. in
-                for i = 0 to attempts - 1 do
-                  w := !w +. (timeout_s *. (r.backoff ** float_of_int i))
-                done;
+                let w = backoff_wait r ~collective:idx ~attempts in
                 if dropped > r.max_retries then begin
-                  let at =
-                    Array.fold_left Float.max 0. clocks +. !w
-                  in
+                  let at = Array.fold_left Float.max 0. clocks +. w in
                   raise
                     (Halt
                        ( Collective_timeout
@@ -141,8 +174,8 @@ let simulate ?(condition = healthy) profile hw (p : Lower.program) =
                          at ))
                 end;
                 retries := !retries + dropped;
-                retry_wait := !retry_wait +. !w;
-                !w
+                retry_wait := !retry_wait +. w;
+                w
               end
             in
             List.iter

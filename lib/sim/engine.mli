@@ -13,13 +13,36 @@
 
 module Lower = Partir_spmd.Lower
 
+(** Retry-wait randomization. [No_jitter] is the deterministic exponential
+    backoff [timeout * backoff^i]. [Decorrelated] is decorrelated jitter:
+    attempt 0 waits the base timeout, attempt [i] draws uniformly from
+    [base, 3 * previous wait] capped at [base * backoff^max_retries] — the
+    standard defence against synchronized retry storms re-colliding. Draws
+    are keyed on [(seed, collective, attempt)], so simulations stay
+    bit-reproducible for a fixed seed. *)
+type jitter = No_jitter | Decorrelated
+
 (** Per-collective retry policy: a dropped collective is retried after
-    [timeout_ms], then [timeout_ms *. backoff], ... up to [max_retries]
-    retries before the step is abandoned with {!Collective_timeout}. *)
-type retry = { timeout_ms : float; backoff : float; max_retries : int }
+    [timeout_ms], then [timeout_ms *. backoff], ... (jittered per [jitter])
+    up to [max_retries] retries before the step is abandoned with
+    {!Collective_timeout}. *)
+type retry = {
+  timeout_ms : float;
+  backoff : float;
+  max_retries : int;
+  jitter : jitter;
+  seed : int;  (** RNG seed for [Decorrelated]; {!Faults.run_steps} threads
+                   the fault plan's seed here *)
+}
 
 val default_retry : retry
-(** [{ timeout_ms = 5.; backoff = 2.; max_retries = 3 }] *)
+(** [{ timeout_ms = 5.; backoff = 2.; max_retries = 3; jitter = No_jitter;
+      seed = 0 }] *)
+
+val backoff_wait : retry -> collective:int -> attempts:int -> float
+(** Total wait (seconds) charged for [attempts] successive delivery attempts
+    of the given collective under the policy. Exposed for retry-accounting
+    tests. *)
 
 (** Environment a program executes under. Devices are identified by their
     linear mesh id; axes by their mesh name. *)

@@ -162,7 +162,10 @@ let condition_for plan consumed options ~baseline_s ~step ~ndev =
     crash_time;
     link_factor;
     drops;
-    retry = options.retry;
+    (* Thread the plan's seed into the retry policy so [Decorrelated]
+       jitter is derived from the same seed as the fault plan itself:
+       one integer reproduces the whole run. *)
+    retry = { options.retry with Engine.seed = plan.seed };
   }
 
 let run_steps ?(options = default_options) ~steps ~plan profile hw

@@ -176,7 +176,15 @@ let test_crash_detection () =
 let test_retry_accounting () =
   let r = t32_jit (t32_mesh ()) in
   let p = r.Schedule.program in
-  let retry = { Engine.timeout_ms = 5.; backoff = 2.; max_retries = 3 } in
+  let retry =
+    {
+      Engine.timeout_ms = 5.;
+      backoff = 2.;
+      max_retries = 3;
+      jitter = Engine.No_jitter;
+      seed = 0;
+    }
+  in
   let condition drops =
     {
       Engine.healthy with
@@ -202,6 +210,68 @@ let test_retry_accounting () =
       Alcotest.(check int) "which collective" 0 collective
   | Engine.Failed { failure; _ } ->
       Alcotest.failf "wrong failure: %a" Engine.pp_failure failure
+
+let test_retry_jitter () =
+  let r = t32_jit (t32_mesh ()) in
+  let p = r.Schedule.program in
+  let retry seed =
+    { Engine.default_retry with Engine.jitter = Engine.Decorrelated; seed }
+  in
+  let base = Engine.default_retry.Engine.timeout_ms *. 1e-3 in
+  List.iter
+    (fun seed ->
+      let w1 = Engine.backoff_wait (retry seed) ~collective:0 ~attempts:1 in
+      Alcotest.(check (float 1e-12)) "first attempt is the base timeout" base w1;
+      let w3 = Engine.backoff_wait (retry seed) ~collective:0 ~attempts:3 in
+      (* w0 = base; w1 in [base, 3*base]; w2 in [base, cap = 8*base]. *)
+      Alcotest.(check bool)
+        "within the decorrelated envelope" true
+        (w3 >= 3. *. base && w3 <= 12. *. base);
+      Alcotest.(check (float 1e-12))
+        "same seed reproduces the wait" w3
+        (Engine.backoff_wait (retry seed) ~collective:0 ~attempts:3))
+    [ 1; 2; 3; 4 ];
+  let ws =
+    List.map
+      (fun s -> Engine.backoff_wait (retry s) ~collective:0 ~attempts:4)
+      [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+  in
+  Alcotest.(check bool)
+    "seeds decorrelate the waits" true
+    (List.exists (fun w -> abs_float (w -. List.hd ws) > 1e-12) ws);
+  (* End-to-end retry accounting through Faults.run_steps: the plan's seed
+     drives the jitter (condition_for threads it into the retry policy), so
+     the same plan is bit-reproducible, the retry *count* never changes, and
+     only the *wait* moves within the jitter envelope. *)
+  let plan seed =
+    {
+      Faults.seed;
+      faults = [ Faults.Drop_collective { step = 1; collective = 0; failures = 2 } ];
+    }
+  in
+  let run seed jitter =
+    let options =
+      {
+        Faults.default_options with
+        retry = { Engine.default_retry with Engine.jitter };
+      }
+    in
+    fst (Faults.run_steps ~options ~steps:3 ~plan:(plan seed) profile hw p)
+  in
+  let m = run 11 Engine.Decorrelated and m' = run 11 Engine.Decorrelated in
+  Alcotest.(check int) "jittered retries" 2 m.Faults.retries;
+  Alcotest.(check (float 1e-12))
+    "jittered run is seed-reproducible" m.Faults.retry_wait_ms
+    m'.Faults.retry_wait_ms;
+  let det = run 11 Engine.No_jitter in
+  Alcotest.(check (float 1e-9))
+    "deterministic wait is the closed-form 5+10" 15. det.Faults.retry_wait_ms;
+  Alcotest.(check int)
+    "retry count invariant under jitter" det.Faults.retries m.Faults.retries;
+  Alcotest.(check bool)
+    "jittered wait within [10, 20] ms" true
+    (m.Faults.retry_wait_ms >= 10. -. 1e-9
+    && m.Faults.retry_wait_ms <= 20. +. 1e-9)
 
 (* ---------------- mesh shrinking ---------------- *)
 
@@ -422,6 +492,8 @@ let () =
             test_crash_detection;
           Alcotest.test_case "retry/backoff accounting is exact" `Quick
             test_retry_accounting;
+          Alcotest.test_case "decorrelated jitter is seed-reproducible" `Quick
+            test_retry_jitter;
         ] );
       ( "mesh-shrink",
         [

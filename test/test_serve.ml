@@ -1,0 +1,269 @@
+(* Tests for the partition service: the crash-safe store round-trips
+   bit-identically and detects any flipped byte (property-tested over
+   Partir_check.Gen modules), fingerprints are canonical across value-id
+   counter states, the wire protocol round-trips, cancellable searches
+   stop at budget checkpoints with a valid best-so-far, and an external
+   transposition table is reused across searches without changing the
+   result. *)
+
+open Partir_core
+module Gen = Partir_check.Gen
+module Mesh = Partir_mesh.Mesh
+module Lower = Partir_spmd.Lower
+module Hardware = Partir_sim.Hardware
+module Auto = Partir_auto.Auto
+module Store = Partir_serve.Store
+module Cache = Partir_serve.Cache
+module Protocol = Partir_serve.Protocol
+module Zoo = Partir_serve.Zoo
+
+let tmp_dir () =
+  let f = Filename.temp_file "partir-test-store" "" in
+  Sys.remove f;
+  f
+
+(* Generated-module payloads: what the plan cache actually stores. *)
+let payload_of_seed seed =
+  let case = Gen.generate ~seed in
+  let func, _, _ = Gen.build case in
+  Marshal.to_string (Cache.canonical_func func) [ Marshal.No_sharing ]
+
+let test_store_roundtrip () =
+  let store, scan = Store.open_ (tmp_dir ()) in
+  Alcotest.(check int) "fresh store is empty" 0 scan.Store.entries;
+  for seed = 0 to 9 do
+    let payload = payload_of_seed seed in
+    let key = Printf.sprintf "case-%d" seed in
+    Store.put store ~key payload;
+    match Store.get store ~key with
+    | Store.Hit p ->
+        Alcotest.(check bool)
+          "round-trip is bit-identical" true (String.equal p payload)
+    | Store.Miss | Store.Quarantined -> Alcotest.fail "entry vanished"
+  done;
+  Alcotest.(check int) "ten entries listed" 10 (List.length (Store.keys store))
+
+(* Every single-byte flip anywhere in the framed entry — magic, length,
+   checksum, payload — must be detected; so must any truncation. *)
+let test_flip_any_byte () =
+  let payload = payload_of_seed 3 in
+  let framed = Store.encode payload in
+  Alcotest.(check bool)
+    "encode/decode round-trips" true
+    (Store.decode framed = Some payload);
+  for i = 0 to String.length framed - 1 do
+    let b = Bytes.of_string framed in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
+    (match Store.decode (Bytes.to_string b) with
+    | None -> ()
+    | Some _ -> Alcotest.failf "flipped byte %d went undetected" i);
+    ()
+  done;
+  for cut = 0 to min 64 (String.length framed - 1) do
+    match Store.decode (String.sub framed 0 cut) with
+    | None -> ()
+    | Some _ -> Alcotest.failf "truncation at %d went undetected" cut
+  done
+
+let test_quarantine () =
+  let dir = tmp_dir () in
+  let store, _ = Store.open_ dir in
+  Store.put store ~key:"victim" (payload_of_seed 5);
+  let path = Filename.concat dir "victim.entry" in
+  let ic = open_in_bin path in
+  let s = Bytes.of_string (really_input_string ic (in_channel_length ic)) in
+  close_in ic;
+  Bytes.set s (Bytes.length s / 2)
+    (Char.chr (Char.code (Bytes.get s (Bytes.length s / 2)) lxor 0x10));
+  let oc = open_out_bin path in
+  output_bytes oc s;
+  close_out oc;
+  (match Store.get store ~key:"victim" with
+  | Store.Quarantined -> ()
+  | Store.Hit _ -> Alcotest.fail "corrupt entry served"
+  | Store.Miss -> Alcotest.fail "corrupt entry silently missing");
+  Alcotest.(check bool)
+    "quarantine file exists" true
+    (Sys.file_exists (path ^ ".quarantine"));
+  (match Store.get store ~key:"victim" with
+  | Store.Miss -> ()
+  | _ -> Alcotest.fail "quarantined entry still visible");
+  (* A corrupt entry present at open time is quarantined by the scan. *)
+  Store.put store ~key:"victim2" (payload_of_seed 6);
+  let path2 = Filename.concat dir "victim2.entry" in
+  let oc = open_out_bin path2 in
+  output_string oc "garbage";
+  close_out oc;
+  let _, scan = Store.open_ dir in
+  Alcotest.(check int) "scan quarantined it" 1 scan.Store.quarantined
+
+let test_fingerprint_canonical () =
+  (* Building the same generated case twice consumes fresh global value
+     ids the second time; the canonical digest must not notice. *)
+  for seed = 0 to 9 do
+    let case = Gen.generate ~seed in
+    let f1, _, _ = Gen.build case in
+    let f2, _, _ = Gen.build case in
+    Alcotest.(check string)
+      (Printf.sprintf "seed %d: canonical digest is id-independent" seed)
+      (Cache.digest_func f1) (Cache.digest_func f2)
+  done;
+  let f1, _, _ = Gen.build (Gen.generate ~seed:1) in
+  let f3, _, _ = Gen.build (Gen.generate ~seed:2) in
+  Alcotest.(check bool)
+    "distinct modules digest differently" false
+    (String.equal (Cache.digest_func f1) (Cache.digest_func f3));
+  let mesh = Mesh.create [ ("batch", 4); ("model", 2) ] in
+  let fp b =
+    Cache.fingerprint ~func:f1 ~mesh ~schedule:"bp" ~budget:b ~hardware:"tpu_v3"
+  in
+  Alcotest.(check bool)
+    "budget is part of the fingerprint" false
+    (String.equal (fp 8) (fp 16))
+
+let test_protocol_roundtrip () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close a;
+      Unix.close b)
+    (fun () ->
+      let req =
+        {
+          Protocol.model = "tiny2";
+          mesh = [ ("batch", 2); ("model", 2) ];
+          schedule = "bp,auto";
+          budget = 12;
+          deadline_ms = Some 250.;
+          no_cache = true;
+          dump = true;
+        }
+      in
+      Protocol.write_request a req;
+      (match Protocol.read_request b with
+      | Some req' -> Alcotest.(check bool) "request round-trips" true (req = req')
+      | None -> Alcotest.fail "request lost");
+      let resp = Protocol.Overloaded { queue = 65; max_queue = 64 } in
+      Protocol.write_response b resp;
+      (match Protocol.read_response a with
+      | Some resp' ->
+          Alcotest.(check bool) "response round-trips" true (resp = resp')
+      | None -> Alcotest.fail "response lost");
+      (* Clean EOF before any byte reads as None, not an error. *)
+      Unix.shutdown a Unix.SHUTDOWN_SEND;
+      match Protocol.read_request b with
+      | None -> ()
+      | Some _ -> Alcotest.fail "phantom request after EOF")
+
+let mlp_staged () =
+  let step = Partir_models.Train.training_step (Partir_models.Mlp.forward Partir_models.Mlp.default) in
+  Staged.of_func (Mesh.create [ ("batch", 4); ("model", 2) ]) step.Partir_models.Train.func
+
+let opts ?table ?should_stop () =
+  {
+    Auto.default_options with
+    hardware = Hardware.tpu_v3;
+    budget = 24;
+    parallelism = 1;
+    seed = 7;
+    max_positions = 6;
+    table;
+    should_stop;
+  }
+
+let test_should_stop () =
+  (* Firing immediately: the search stops at the first checkpoint and
+     still applies a valid (baseline) vector. *)
+  let st =
+    Auto.mcts_search (opts ~should_stop:(fun () -> true) ()) (mlp_staged ())
+      ~axes:[ "batch"; "model" ]
+  in
+  Alcotest.(check bool) "interrupted" true st.Auto.Stats.interrupted;
+  Alcotest.(check (float 1e-9))
+    "best-so-far is the baseline" st.Auto.Stats.baseline_cost
+    st.Auto.Stats.best_cost;
+  (* Never firing: stats report an uninterrupted search. *)
+  let st' =
+    Auto.mcts_search (opts ~should_stop:(fun () -> false) ()) (mlp_staged ())
+      ~axes:[ "batch"; "model" ]
+  in
+  Alcotest.(check bool) "not interrupted" false st'.Auto.Stats.interrupted;
+  let stg =
+    Auto.greedy_search (opts ~should_stop:(fun () -> true) ()) (mlp_staged ())
+      ~axes:[ "batch"; "model" ]
+  in
+  Alcotest.(check bool) "greedy interrupted" true stg.Auto.Stats.interrupted
+
+let test_external_table () =
+  (* A shared transposition table turns the second search into pure cache
+     hits without changing the outcome. *)
+  let table = Hashtbl.create 64 in
+  let cold =
+    Auto.mcts_search (opts ~table ()) (mlp_staged ()) ~axes:[ "batch"; "model" ]
+  in
+  let entries = Hashtbl.length table in
+  Alcotest.(check bool) "search populated the table" true (entries > 0);
+  let warm =
+    Auto.mcts_search (opts ~table ()) (mlp_staged ()) ~axes:[ "batch"; "model" ]
+  in
+  Alcotest.(check (float 1e-9))
+    "same best cost" cold.Auto.Stats.best_cost warm.Auto.Stats.best_cost;
+  Alcotest.(check int)
+    "warm search evaluates nothing" 0 warm.Auto.Stats.evaluations;
+  (* Round-trip the table through the store, as the daemon does. *)
+  let store, _ = Store.open_ (tmp_dir ()) in
+  Cache.save_table store ~key:"tt-test" table;
+  match Cache.load_table store ~key:"tt-test" with
+  | None -> Alcotest.fail "table did not round-trip"
+  | Some t2 ->
+      Alcotest.(check int) "same size" entries (Hashtbl.length t2);
+      Hashtbl.iter
+        (fun k v ->
+          match Hashtbl.find_opt t2 k with
+          | Some v' when v = v' -> ()
+          | _ -> Alcotest.failf "table entry %S changed" k)
+        table
+
+let test_zoo_tiny () =
+  let p2 = Zoo.prepare "tiny2" and p3 = Zoo.prepare "tiny3" in
+  Alcotest.(check bool)
+    "tiny2 and tiny3 are structurally distinct" false
+    (String.equal
+       (Cache.digest_func p2.Zoo.func)
+       (Cache.digest_func p3.Zoo.func));
+  (match Zoo.prepare "tiny0" with
+  | _ -> Alcotest.fail "tiny0 accepted"
+  | exception Invalid_argument _ -> ());
+  match Zoo.prepare "tinyx" with
+  | _ -> Alcotest.fail "tinyx accepted"
+  | exception Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "store",
+        [
+          Alcotest.test_case "round-trip is bit-identical" `Quick
+            test_store_roundtrip;
+          Alcotest.test_case "any flipped byte or truncation is detected"
+            `Quick test_flip_any_byte;
+          Alcotest.test_case "corrupt entries are quarantined, never served"
+            `Quick test_quarantine;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "fingerprints are canonical across id counters"
+            `Quick test_fingerprint_canonical;
+        ] );
+      ( "protocol",
+        [ Alcotest.test_case "frames round-trip" `Quick test_protocol_roundtrip ] );
+      ( "search",
+        [
+          Alcotest.test_case "should_stop interrupts at budget checkpoints"
+            `Quick test_should_stop;
+          Alcotest.test_case "external transposition table is reused" `Quick
+            test_external_table;
+        ] );
+      ( "zoo",
+        [ Alcotest.test_case "tiny<k> model family" `Quick test_zoo_tiny ] );
+    ]
