@@ -1568,6 +1568,211 @@ let servebench () = servebench_at ~smoke:false ~out:"BENCH_serve.json" ()
 let servebench_smoke () = servebench_at ~smoke:true ~out:"BENCH_serve_smoke.json" ()
 
 (* ------------------------------------------------------------------ *)
+(* servesimbench: continuous-batching inference serving over IT32     *)
+(* ------------------------------------------------------------------ *)
+
+(* Request-level serving simulation (DESIGN.md section 13): sweep the IT32
+   partitioning strategies against rising request rates under continuous
+   batching and report where the winning schedule crosses over. Two sweeps
+   run per scale: a fault-free one, and one with the model-axis fabric
+   degraded — batch-parallel decode has no per-step collectives, so
+   degradation restructures the ranking in BP's favor at low load while the
+   sharded combo's step-throughput edge still wins at saturation. *)
+
+let fnum x = if Float.is_nan x then "null" else Printf.sprintf "%.4f" x
+
+let servesim_cell_json (cell : Servesim.Sweep.cell) =
+  let m = cell.Servesim.Sweep.metrics in
+  Printf.sprintf
+    {|{"schedule": "%s", "qps": %.3f, "offered": %d, "completed": %d, "shed": %d, "infeasible": %d, "ttft_p50_ms": %s, "ttft_p99_ms": %s, "tpot_p50_ms": %s, "tpot_p99_ms": %s, "e2e_p50_ms": %s, "e2e_p99_ms": %s, "tokens_per_s": %.2f, "mean_batch": %.2f, "decode_steps": %d, "prefill_chunks": %d, "goodput": %.4f, "recoveries": %d, "retries": %d, "kv_peak_mb": %.2f, "kv_budget_mb": %.2f, "admission_violations": %d}|}
+    cell.Servesim.Sweep.schedule cell.Servesim.Sweep.qps m.Servesim.Sim.offered
+    m.Servesim.Sim.completed m.Servesim.Sim.shed m.Servesim.Sim.infeasible
+    (fnum m.Servesim.Sim.ttft_p50_ms)
+    (fnum m.Servesim.Sim.ttft_p99_ms)
+    (fnum m.Servesim.Sim.tpot_p50_ms)
+    (fnum m.Servesim.Sim.tpot_p99_ms)
+    (fnum m.Servesim.Sim.e2e_p50_ms)
+    (fnum m.Servesim.Sim.e2e_p99_ms)
+    m.Servesim.Sim.tokens_per_s m.Servesim.Sim.mean_batch
+    m.Servesim.Sim.decode_steps m.Servesim.Sim.prefill_chunks
+    m.Servesim.Sim.goodput m.Servesim.Sim.recoveries m.Servesim.Sim.retries
+    (m.Servesim.Sim.kv_peak_bytes /. 1e6)
+    (m.Servesim.Sim.kv_budget_bytes /. 1e6)
+    m.Servesim.Sim.admission_violations
+
+let servesim_costs_json (c : Servesim.Costs.t) =
+  let steps =
+    Array.to_list
+      (Array.mapi
+         (fun i b ->
+           let p = c.Servesim.Costs.steps.(i) in
+           Printf.sprintf
+             {|{"bucket": %d, "compute_ms": %.4f, "comm_ms": %.4f, "step_ms": %.4f}|}
+             b p.Servesim.Costs.compute_ms p.Servesim.Costs.comm_ms
+             p.Servesim.Costs.step_ms)
+         c.Servesim.Costs.buckets)
+  in
+  Printf.sprintf
+    {|{"schedule": "%s", "weights_mb_per_device": %.2f, "kv_bytes_per_token_per_device": %.0f, "activation_mb_per_device": %.2f, "kv_budget_mb": %.2f, "compile_ms": %.0f, "steps": [%s]}|}
+    c.Servesim.Costs.schedule
+    (c.Servesim.Costs.weight_bytes_per_device /. 1e6)
+    c.Servesim.Costs.kv_bytes_per_token_per_device
+    (c.Servesim.Costs.activation_bytes_per_device /. 1e6)
+    (c.Servesim.Costs.kv_budget_bytes /. 1e6)
+    c.Servesim.Costs.compile_ms (String.concat ", " steps)
+
+let servesim_sweep_json name (cfg : Servesim.Sweep.config)
+    (r : Servesim.Sweep.result) =
+  let winners =
+    List.map
+      (fun (q, w) -> Printf.sprintf {|{"qps": %.3f, "schedule": "%s"}|} q w)
+      r.Servesim.Sweep.winners
+  in
+  let crossovers =
+    List.map
+      (fun (x : Servesim.Sweep.crossover) ->
+        Printf.sprintf
+          {|{"qps_lo": %.3f, "qps_hi": %.3f, "winner_lo": "%s", "winner_hi": "%s"}|}
+          x.Servesim.Sweep.qps_lo x.Servesim.Sweep.qps_hi
+          x.Servesim.Sweep.winner_lo x.Servesim.Sweep.winner_hi)
+      r.Servesim.Sweep.crossovers
+  in
+  Printf.sprintf
+    {|{"name": "%s", "hardware": "%s", "requests": %d, "seed": %d, "costs": [%s], "cells": [%s], "winners": [%s], "crossovers": [%s], "mp_bp_crossover": %b, "sweep_admission_violations": %d}|}
+    name cfg.Servesim.Sweep.hardware.Hardware.name cfg.Servesim.Sweep.requests
+    cfg.Servesim.Sweep.seed
+    (String.concat ", " (List.map servesim_costs_json r.Servesim.Sweep.costs))
+    (String.concat ", " (List.map servesim_cell_json r.Servesim.Sweep.cells))
+    (String.concat ", " winners)
+    (String.concat ", " crossovers)
+    r.Servesim.Sweep.mp_bp_crossover
+    r.Servesim.Sweep.total_admission_violations
+
+let servesimbench_at ~smoke ~out () =
+  hr
+    (if smoke then "servesimbench (smoke): serving simulation over IT32"
+     else "servesimbench: continuous-batching serving over sharded IT32");
+  let base =
+    if smoke then Servesim.Sweep.smoke_config else Servesim.Sweep.paper_config
+  in
+  let degraded =
+    {
+      base with
+      Servesim.Sweep.faults =
+        {
+          Faults.seed = 1;
+          faults =
+            [
+              Faults.Link_degrade
+                { axis = "model"; factor = (if smoke then 0.25 else 0.02) };
+            ];
+        };
+    }
+  in
+  let run name cfg =
+    Printf.printf "  -- sweep: %s --\n%!" name;
+    let r =
+      Servesim.Sweep.run ~on_progress:(fun l -> Printf.printf "    %s\n%!" l) cfg
+    in
+    List.iter
+      (fun (q, w) -> Printf.printf "    winner qps=%-8.2f %s\n%!" q w)
+      r.Servesim.Sweep.winners;
+    List.iter
+      (fun (x : Servesim.Sweep.crossover) ->
+        Printf.printf "    crossover qps %.2f -> %.2f : %s -> %s\n%!"
+          x.Servesim.Sweep.qps_lo x.Servesim.Sweep.qps_hi
+          x.Servesim.Sweep.winner_lo x.Servesim.Sweep.winner_hi)
+      r.Servesim.Sweep.crossovers;
+    (name, cfg, r)
+  in
+  (* Bind sequentially: list elements evaluate right-to-left, and the
+     compile order must stay fixed so the op-id-keyed jitter is stable. *)
+  let fault_free = run "fault_free" base in
+  let degraded = run "degraded_fabric" degraded in
+  let sweeps = [ fault_free; degraded ] in
+  (* Goodput under a mixed fault plan (straggler + crash + dropped
+     collective) at the second QPS level, reusing the fault-free costs. *)
+  let _, _, r0 = List.hd sweeps in
+  let goodput_qps = List.nth base.Servesim.Sweep.qps_levels 1 in
+  let fault_plan =
+    {
+      Faults.seed = 7;
+      faults =
+        [
+          Faults.Straggler { device = 0; factor = 1.25 };
+          Faults.Crash { step = 25; device = 0; at_frac = 0.5 };
+          Faults.Drop_collective { step = 40; collective = 0; failures = 4 };
+        ];
+    }
+  in
+  let goodput_trace =
+    Servesim.Workload.poisson ~seed:base.Servesim.Sweep.seed ~qps:goodput_qps
+      ~requests:base.Servesim.Sweep.requests
+      ~prompt_range:base.Servesim.Sweep.prompt_range
+      ~output_range:base.Servesim.Sweep.output_range
+  in
+  Printf.printf "  -- goodput under faults (qps=%.2f) --\n%!" goodput_qps;
+  let goodput_rows =
+    List.map
+      (fun (c : Servesim.Costs.t) ->
+        let m, _ =
+          Servesim.Sim.simulate ~options:base.Servesim.Sweep.options
+            ~faults:fault_plan c goodput_trace
+        in
+        Printf.printf
+          "    %-10s goodput=%.3f recoveries=%d retries=%d busy=%.0fms\n%!"
+          c.Servesim.Costs.schedule m.Servesim.Sim.goodput
+          m.Servesim.Sim.recoveries m.Servesim.Sim.retries
+          m.Servesim.Sim.busy_ms;
+        Printf.sprintf
+          {|{"schedule": "%s", "qps": %.3f, "goodput": %.4f, "recoveries": %d, "retries": %d, "busy_ms": %.1f, "useful_ms": %.1f, "completed": %d, "offered": %d}|}
+          c.Servesim.Costs.schedule goodput_qps m.Servesim.Sim.goodput
+          m.Servesim.Sim.recoveries m.Servesim.Sim.retries
+          m.Servesim.Sim.busy_ms m.Servesim.Sim.useful_ms
+          m.Servesim.Sim.completed m.Servesim.Sim.offered)
+      r0.Servesim.Sweep.costs
+  in
+  let any_crossover =
+    List.exists (fun (_, _, r) -> r.Servesim.Sweep.crossovers <> []) sweeps
+  in
+  let any_mp_bp =
+    List.exists (fun (_, _, r) -> r.Servesim.Sweep.mp_bp_crossover) sweeps
+  in
+  let total_violations =
+    List.fold_left
+      (fun acc (_, _, r) -> acc + r.Servesim.Sweep.total_admission_violations)
+      0 sweeps
+  in
+  Printf.printf
+    "  crossover_found=%b mp_bp_crossover=%b total_admission_violations=%d\n%!"
+    any_crossover any_mp_bp total_violations;
+  emit_json out (fun oc ->
+      Printf.fprintf oc
+        {|{
+  "experiment": "servesim",
+  "smoke": %b,
+  "sweeps": [%s],
+  "goodput_under_faults": [%s],
+  "crossover_found": %b,
+  "mp_bp_crossover": %b,
+  "total_admission_violations": %d
+}
+|}
+        smoke
+        (String.concat ",\n            "
+           (List.map (fun (n, cfg, r) -> servesim_sweep_json n cfg r) sweeps))
+        (String.concat ",\n            " goodput_rows)
+        any_crossover any_mp_bp total_violations);
+  if total_violations > 0 then
+    failwith "servesimbench: KV admission invariant violated"
+
+let servesimbench () =
+  servesimbench_at ~smoke:false ~out:"BENCH_servesim.json" ()
+
+let servesimbench_smoke () =
+  servesimbench_at ~smoke:true ~out:"BENCH_servesim_smoke.json" ()
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1591,6 +1796,8 @@ let experiments =
     ("planbench-smoke", planbench_smoke);
     ("servebench", servebench);
     ("servebench-smoke", servebench_smoke);
+    ("servesimbench", servesimbench);
+    ("servesimbench-smoke", servesimbench_smoke);
   ]
 
 let () =

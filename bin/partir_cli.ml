@@ -214,6 +214,105 @@ let request_checked socket model schedule mesh_spec budget deadline_ms no_cache
       Format.eprintf "partir: daemon unavailable: %s@." msg;
       exit exit_unavailable
 
+(* partir_cli servesim: request-level continuous-batching serving simulation
+   over sharded IT32 (DESIGN.md section 13). Sweeps schedules against QPS
+   levels and reports SLO metrics, per-level winners, and crossovers. *)
+let servesim_checked model mesh_spec hardware_name schedules_s qps_s requests
+    seed max_batch queue_bound buckets_s prompt_s output_s link_degrade =
+  let base =
+    match model with
+    | "it32" -> Servesim.Sweep.paper_config
+    | "it32-small" -> Servesim.Sweep.smoke_config
+    | m ->
+        invalid_arg
+          (Printf.sprintf "unknown servesim model %S (expected it32 or \
+                           it32-small)" m)
+  in
+  let split s = String.split_on_char ',' s |> List.filter (( <> ) "") in
+  let ints s = List.map int_of_string (split s) in
+  let floats s = List.map float_of_string (split s) in
+  let range s =
+    match String.split_on_char '-' s with
+    | [ lo; hi ] -> (int_of_string lo, int_of_string hi)
+    | _ ->
+        invalid_arg (Printf.sprintf "bad range %S (expected LO-HI tokens)" s)
+  in
+  let if_set s ~parse ~default = if s = "" then default else parse s in
+  let cfg =
+    {
+      base with
+      Servesim.Sweep.mesh =
+        if_set mesh_spec ~parse:Zoo.parse_mesh ~default:base.Servesim.Sweep.mesh;
+      hardware =
+        if_set hardware_name ~parse:Hardware.find
+          ~default:base.Servesim.Sweep.hardware;
+      schedules =
+        if_set schedules_s ~parse:split ~default:base.Servesim.Sweep.schedules;
+      qps_levels =
+        if_set qps_s ~parse:floats ~default:base.Servesim.Sweep.qps_levels;
+      buckets =
+        if_set buckets_s ~parse:ints ~default:base.Servesim.Sweep.buckets;
+      prompt_range =
+        if_set prompt_s ~parse:range ~default:base.Servesim.Sweep.prompt_range;
+      output_range =
+        if_set output_s ~parse:range ~default:base.Servesim.Sweep.output_range;
+      requests =
+        (if requests > 0 then requests else base.Servesim.Sweep.requests);
+      seed;
+      options =
+        {
+          base.Servesim.Sweep.options with
+          Servesim.Sim.max_batch =
+            (if max_batch > 0 then max_batch
+             else base.Servesim.Sweep.options.Servesim.Sim.max_batch);
+          queue_bound =
+            (if queue_bound > 0 then queue_bound
+             else base.Servesim.Sweep.options.Servesim.Sim.queue_bound);
+        };
+      faults =
+        (if link_degrade > 0. then
+           {
+             Faults.seed = 1;
+             faults =
+               [ Faults.Link_degrade { axis = "model"; factor = link_degrade } ];
+           }
+         else base.Servesim.Sweep.faults);
+    }
+  in
+  Format.printf "servesim %s: mesh %s, hardware %s, %d requests, seed %d@."
+    model
+    (Mesh.to_string cfg.Servesim.Sweep.mesh)
+    cfg.Servesim.Sweep.hardware.Hardware.name cfg.Servesim.Sweep.requests seed;
+  let r =
+    Servesim.Sweep.run ~on_progress:(fun l -> Format.printf "  %s@." l) cfg
+  in
+  Format.printf "@.%-8s %-12s %10s %10s %10s %10s %8s@." "qps" "schedule"
+    "done" "ttft_p99" "tpot_p99" "e2e_p99" "goodput";
+  List.iter
+    (fun (c : Servesim.Sweep.cell) ->
+      let m = c.Servesim.Sweep.metrics in
+      Format.printf "%-8.2f %-12s %6d/%-3d %8.1fms %8.1fms %8.0fms %8.3f@."
+        c.Servesim.Sweep.qps c.Servesim.Sweep.schedule m.Servesim.Sim.completed
+        m.Servesim.Sim.offered m.Servesim.Sim.ttft_p99_ms
+        m.Servesim.Sim.tpot_p99_ms m.Servesim.Sim.e2e_p99_ms
+        m.Servesim.Sim.goodput)
+    r.Servesim.Sweep.cells;
+  Format.printf "@.";
+  List.iter
+    (fun (q, w) -> Format.printf "winner qps=%-8.2f %s@." q w)
+    r.Servesim.Sweep.winners;
+  List.iter
+    (fun (x : Servesim.Sweep.crossover) ->
+      Format.printf "crossover qps %.2f -> %.2f : %s -> %s@."
+        x.Servesim.Sweep.qps_lo x.Servesim.Sweep.qps_hi
+        x.Servesim.Sweep.winner_lo x.Servesim.Sweep.winner_hi)
+    r.Servesim.Sweep.crossovers;
+  if r.Servesim.Sweep.crossovers = [] then
+    Format.printf "no winner crossover across the swept QPS levels@.";
+  Format.printf "admission violations: %d@."
+    r.Servesim.Sweep.total_admission_violations;
+  if r.Servesim.Sweep.total_admission_violations > 0 then exit 1
+
 let with_structured_errors f =
   try f () with
   | Staged.Action_error msg -> error "action" msg
@@ -249,6 +348,12 @@ let request socket model schedule mesh_spec budget deadline_ms no_cache dump
   with_structured_errors (fun () ->
       request_checked socket model schedule mesh_spec budget deadline_ms
         no_cache dump timeout)
+
+let servesim model mesh_spec hardware_name schedules_s qps_s requests seed
+    max_batch queue_bound buckets_s prompt_s output_s link_degrade =
+  with_structured_errors (fun () ->
+      servesim_checked model mesh_spec hardware_name schedules_s qps_s requests
+        seed max_batch queue_bound buckets_s prompt_s output_s link_degrade)
 
 open Cmdliner
 
@@ -359,10 +464,92 @@ let request_cmd =
       const request $ socket $ model $ schedule $ mesh $ budget $ deadline
       $ no_cache $ dump $ timeout)
 
+(* servesim arguments: empty string / 0 means "use the model's default". *)
+let ss_model =
+  Arg.(
+    value
+    & opt string "it32-small"
+    & info [ "model" ] ~doc:"Serving model: $(b,it32) or $(b,it32-small)")
+
+let ss_mesh =
+  Arg.(value & opt string "" & info [ "mesh" ] ~doc:"Mesh axes (model default)")
+
+let ss_hw =
+  Arg.(
+    value & opt string ""
+    & info [ "hardware" ] ~doc:"Device spec (model default)")
+
+let ss_schedules =
+  Arg.(
+    value & opt string ""
+    & info [ "schedules" ]
+        ~doc:"Comma-separated schedules of +-joined tactics, e.g. \
+              $(b,BP,MP,BP+MP+MQ)")
+
+let ss_qps =
+  Arg.(
+    value & opt string ""
+    & info [ "qps" ] ~doc:"Comma-separated request rates to sweep")
+
+let ss_requests =
+  Arg.(
+    value & opt int 0
+    & info [ "requests" ] ~doc:"Requests per trace (0 = model default)")
+
+let ss_seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Trace seed")
+
+let ss_max_batch =
+  Arg.(
+    value & opt int 0
+    & info [ "max-batch" ] ~doc:"Decode join bound (0 = model default)")
+
+let ss_queue_bound =
+  Arg.(
+    value & opt int 0
+    & info [ "queue-bound" ]
+        ~doc:"Waiting-queue cap; overflow arrivals are shed (0 = default)")
+
+let ss_buckets =
+  Arg.(
+    value & opt string ""
+    & info [ "buckets" ] ~doc:"Comma-separated compiled batch sizes")
+
+let ss_prompt =
+  Arg.(
+    value & opt string ""
+    & info [ "prompt" ] ~doc:"Prompt-length range, $(b,LO-HI) tokens")
+
+let ss_output =
+  Arg.(
+    value & opt string ""
+    & info [ "output" ] ~doc:"Output-length range, $(b,LO-HI) tokens")
+
+let ss_link_degrade =
+  Arg.(
+    value & opt float 0.
+    & info [ "link-degrade" ]
+        ~doc:"Degrade the model-axis fabric to this fraction of its \
+              bandwidth (0 = healthy); batch-parallel decode has no \
+              per-step collectives, so this restructures the crossovers")
+
+let servesim_cmd =
+  Cmd.v
+    (Cmd.info "servesim"
+       ~doc:
+         "Simulate continuous-batching inference serving over the sharded \
+          IT32 decode graph: Poisson arrivals, chunked prefill, KV-cache \
+          admission control. Sweeps schedules against QPS levels and \
+          reports TTFT/per-token/e2e percentiles, goodput, per-level \
+          winners, and strategy crossovers")
+    Term.(
+      const servesim $ ss_model $ ss_mesh $ ss_hw $ ss_schedules $ ss_qps
+      $ ss_requests $ ss_seed $ ss_max_batch $ ss_queue_bound $ ss_buckets
+      $ ss_prompt $ ss_output $ ss_link_degrade)
+
 let cmd =
   Cmd.group
     (Cmd.info "partir_cli" ~doc:"Partition benchmark models with PartIR schedules")
     ~default:run_term
-    [ run_cmd; verify_cmd; serve_cmd; request_cmd ]
+    [ run_cmd; verify_cmd; serve_cmd; request_cmd; servesim_cmd ]
 
 let () = exit (Cmd.eval cmd)

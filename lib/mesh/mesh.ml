@@ -70,6 +70,16 @@ let linear_of_device t coord =
 let devices t = List.init (device_count t) (device_of_linear t)
 let coordinate t d name = d.(axis_index t name)
 
+(* The axis-index and axis-size lists below are built in lockstep from the
+   same group-axis list; a length mismatch means the caller's group axes
+   were mutated mid-walk, and deserves a named error rather than a bare
+   assertion (matching the [axis_size]/[axis_index] hardening above). *)
+let mismatched_group t ~fn group_axes =
+  invalid_arg
+    (Printf.sprintf "Mesh.%s: mismatched group axes [%s] for mesh %s" fn
+       (String.concat ", " group_axes)
+       (to_string t))
+
 let group_peers t d group_axes =
   let axis_idxs = List.map (axis_index t) group_axes in
   let sizes = List.map (fun i -> List.nth t.axes i |> snd) axis_idxs in
@@ -86,7 +96,7 @@ let group_peers t d group_axes =
             coords.(i) <- !rem / stride;
             rem := !rem mod stride;
             fill is ss
-        | _ -> assert false
+        | _ -> mismatched_group t ~fn:"group_peers" group_axes
       in
       fill axis_idxs sizes;
       coords)
@@ -98,6 +108,6 @@ let group_index t d group_axes =
     match (idxs, szs) with
     | [], [] -> acc
     | i :: is, s :: ss -> go is ss ((acc * s) + d.(i))
-    | _ -> assert false
+    | _ -> mismatched_group t ~fn:"group_index" group_axes
   in
   go axis_idxs sizes 0

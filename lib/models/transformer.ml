@@ -228,24 +228,23 @@ let inference cfg ~decode_steps =
       invariant_values
   in
   let rb = B.create "decode_body" in
-  let emb_i, blocks_i =
-    split_params invariant_params
-  in
-  ignore blocks_i;
+  (* Split the invariant copies once and index by array: re-running
+     [split_params] (and [List.nth]-ing the caches) inside the per-layer
+     loop made graph construction O(layers^2). *)
+  let emb_i, blocks_i = split_params invariant_params in
+  let blocks_i = Array.of_list blocks_i in
   let cur = List.hd carry_params in
-  let cache_params = List.tl carry_params in
+  let cache_params = Array.of_list (List.tl carry_params) in
   let zero_i32 = B.scalar rb ~dtype:Dtype.I32 0. in
   let pos_iota = B.const rb (iota_literal smax) in
   let new_caches = ref [] in
   let hidden = ref cur in
-  List.iteri
-    (fun l blk_ignore ->
-      ignore blk_ignore;
-      (* Use invariant copies of the block parameters inside the region. *)
-      let blk = List.nth (snd (split_params invariant_params)) l in
-      let k_cache = List.nth cache_params (2 * l) in
-      let v_cache = List.nth cache_params ((2 * l) + 1) in
-      let a =
+  for l = 0 to cfg.layers - 1 do
+    (* Use invariant copies of the block parameters inside the region. *)
+    let blk = blocks_i.(l) in
+    let k_cache = cache_params.(2 * l) in
+    let v_cache = cache_params.((2 * l) + 1) in
+    let a =
         B.layer_norm rb !hidden ~scale:blk.ln1_scale ~bias:(Some blk.ln1_bias)
           ~dim:1
       in
@@ -279,8 +278,8 @@ let inference cfg ~decode_steps =
         B.layer_norm rb hidden1 ~scale:blk.ln2_scale ~bias:(Some blk.ln2_bias)
           ~dim:1
       in
-      hidden := B.add2 rb hidden1 (mlp rb blk a2))
-    (List.init cfg.layers (fun i -> i));
+      hidden := B.add2 rb hidden1 (mlp rb blk a2)
+  done;
   ignore blocks;
   let logits = B.matmul rb !hidden (B.transpose rb emb_i [| 1; 0 |]) in
   (* Greedy decode without integer argmax: a max-indicator mixes the

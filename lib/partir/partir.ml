@@ -48,6 +48,8 @@ module Verify = Partir_analysis.Verify
 module Shard_check = Partir_analysis.Shard_check
 module Collective_lint = Partir_analysis.Collective_lint
 
+module Servesim = Partir_servesim.Servesim
+
 module Serve = struct
   module Store = Partir_serve.Store
   module Protocol = Partir_serve.Protocol

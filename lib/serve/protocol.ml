@@ -47,11 +47,15 @@ let max_frame_bytes = 64 * 1024 * 1024
 
 exception Protocol_error of string
 
+(* Both loops retry on [EINTR]: the daemon installs SIGINT/SIGTERM handlers
+   (queue drain) and OCaml installs handlers without SA_RESTART, so a signal
+   arriving mid-frame interrupts the syscall. Without the retry, a healthy
+   connection tears with a spurious [Unix_error] half-way through a frame. *)
 let rec write_all fd b off len =
-  if len > 0 then begin
-    let n = Unix.write fd b off len in
-    write_all fd b (off + n) (len - n)
-  end
+  if len > 0 then
+    match Unix.write fd b off len with
+    | n -> write_all fd b (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd b off len
 
 let write_frame fd payload =
   let len = String.length payload in
@@ -76,6 +80,7 @@ let read_exact fd n =
           if off = 0 then None
           else raise (Protocol_error "unexpected EOF mid-frame")
       | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
   in
   go 0
 

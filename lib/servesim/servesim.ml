@@ -1,0 +1,777 @@
+module Mesh = Partir_mesh.Mesh
+module Hardware = Partir_sim.Hardware
+module Faults = Partir_sim.Faults
+module Transformer = Partir_models.Transformer
+module Cost_model = Partir_sim.Cost_model
+module Schedule = Partir_schedule.Schedule
+module Strategies = Partir_strategies.Strategies
+module Layout = Partir_spmd.Layout
+module Func = Partir_hlo.Func
+module Value = Partir_hlo.Value
+module Shape = Partir_tensor.Shape
+module Dtype = Partir_tensor.Dtype
+
+(* Nearest-rank percentile; nan on an empty sample. *)
+let percentile samples p =
+  match samples with
+  | [] -> Float.nan
+  | _ ->
+      let a = Array.of_list samples in
+      Array.sort compare a;
+      let n = Array.length a in
+      let idx = int_of_float (ceil (p /. 100. *. float_of_int n)) - 1 in
+      a.(max 0 (min (n - 1) idx))
+
+module Workload = struct
+  type request = { id : int; arrival_ms : float; prompt : int; output : int }
+  type trace = request list
+
+  (* splitmix64: the trace must be bit-identical across runs and OCaml
+     releases, so we avoid [Random]'s unspecified generator. *)
+  let splitmix state =
+    state := Int64.add !state 0x9E3779B97F4A7C15L;
+    let z = !state in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let uniform01 state =
+    (* 53 random bits -> [0, 1) *)
+    let bits = Int64.to_float (Int64.shift_right_logical (splitmix state) 11) in
+    bits /. 9007199254740992.
+
+  let uniform_int state (lo, hi) =
+    if lo > hi then
+      invalid_arg
+        (Printf.sprintf "Servesim.Workload: empty range [%d, %d]" lo hi);
+    lo + int_of_float (uniform01 state *. float_of_int (hi - lo + 1))
+
+  let poisson ~seed ~qps ~requests ~prompt_range ~output_range =
+    if qps <= 0. then invalid_arg "Servesim.Workload.poisson: qps must be > 0";
+    if fst prompt_range < 1 then
+      invalid_arg "Servesim.Workload.poisson: prompts need >= 1 token";
+    if fst output_range < 1 then
+      invalid_arg "Servesim.Workload.poisson: outputs need >= 1 token";
+    let state = ref (Int64.of_int seed) in
+    let now = ref 0. in
+    List.init requests (fun id ->
+        let u = uniform01 state in
+        now := !now +. (-.log (1. -. u) /. qps *. 1000.);
+        {
+          id;
+          arrival_ms = !now;
+          prompt = uniform_int state prompt_range;
+          output = uniform_int state output_range;
+        })
+
+  let of_list triples =
+    let sorted =
+      List.sort (fun (a, _, _) (b, _, _) -> compare a b) triples
+    in
+    List.mapi
+      (fun id (arrival_ms, prompt, output) ->
+        if prompt < 1 || output < 1 then
+          invalid_arg "Servesim.Workload.of_list: prompt/output must be >= 1";
+        { id; arrival_ms; prompt; output })
+      sorted
+end
+
+module Costs = struct
+  type phase = { compute_ms : float; comm_ms : float; step_ms : float }
+
+  type t = {
+    schedule : string;
+    hardware : Hardware.t;
+    mesh : Mesh.t;
+    max_context : int;
+    buckets : int array;
+    steps : phase array;
+    weight_bytes_per_device : float;
+    kv_bytes_per_token_per_device : float;
+    activation_bytes_per_device : float;
+    kv_budget_bytes : float;
+    compile_ms : float;
+  }
+
+  let tactics_of_schedule ~cfg schedule =
+    let parts =
+      String.split_on_char '+' schedule
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+    in
+    if parts = [] then
+      invalid_arg "Servesim.Costs.build: empty schedule";
+    List.map
+      (fun part ->
+        match String.uppercase_ascii part with
+        | "BP" ->
+            Strategies.it32_bp ~axis:"batch" ~layers:cfg.Transformer.layers
+        | "MP" -> Strategies.transformer_mp ~axis:"model"
+        | "MQ" -> Strategies.it32_mq ~axis:"model" ~cfg
+        | other ->
+            invalid_arg
+              (Printf.sprintf
+                 "Servesim.Costs.build: unknown tactic %S (expected BP, MP \
+                  or MQ)"
+                 other))
+      parts
+
+  let is_kv_cache name =
+    let pfx p = String.length name >= String.length p
+                && String.sub name 0 (String.length p) = p in
+    pfx "k_cache" || pfx "v_cache"
+
+  (* Per-device resident bytes of the named inputs, from the inferred
+     shardings: full shape cut down by the layout, times dtype width. *)
+  let local_bytes mesh func shardings classify =
+    List.fold_left
+      (fun acc (name, layout) ->
+        if not (classify name) then acc
+        else
+          let v = Func.find_param func name in
+          let local = Layout.local_shape mesh v.Value.ty.Value.shape layout in
+          acc
+          +. float_of_int
+               (Shape.numel local * Dtype.size_in_bytes v.Value.ty.Value.dtype))
+      0. shardings
+
+  let build ?(hardware = Hardware.a100) ~mesh ~cfg ~buckets schedule =
+    (match buckets with
+    | [] -> invalid_arg "Servesim.Costs.build: no buckets"
+    | b0 :: rest ->
+        if b0 < 1 then invalid_arg "Servesim.Costs.build: bucket < 1";
+        ignore
+          (List.fold_left
+             (fun prev b ->
+               if b <= prev then
+                 invalid_arg
+                   "Servesim.Costs.build: buckets must be strictly ascending";
+               b)
+             b0 rest));
+    let t0 = Unix.gettimeofday () in
+    let jit_at ~batch ~decode_steps =
+      let cfg = { cfg with Transformer.batch } in
+      let func = Transformer.inference cfg ~decode_steps in
+      let result = Schedule.jit mesh func (tactics_of_schedule ~cfg schedule) in
+      (func, result)
+    in
+    (* The compiled program unrolls invariant prologue work (embedding
+       lookups, cache zeroing) in front of the decode loop; jitting at one
+       and two decode steps and subtracting isolates the marginal cost of
+       exactly one loop iteration. *)
+    let marginal_step batch =
+      let _, r1 = jit_at ~batch ~decode_steps:1 in
+      let _, r2 = jit_at ~batch ~decode_steps:2 in
+      let e1 = Cost_model.run_walk Cost_model.measured hardware r1.Schedule.program in
+      let e2 = Cost_model.run_walk Cost_model.measured hardware r2.Schedule.program in
+      (* Per-op jitter is keyed on op ids, which differ between the two
+         builds; clamp so noise can never produce a non-positive step. *)
+      let compute_ms =
+        Float.max 1e-6 (e2.Cost_model.compute_ms -. e1.Cost_model.compute_ms)
+      in
+      let comm_ms = Float.max 0. (e2.Cost_model.comm_ms -. e1.Cost_model.comm_ms) in
+      let runtime = Float.max 1e-6 (e2.Cost_model.runtime_ms -. e1.Cost_model.runtime_ms) in
+      { compute_ms; comm_ms; step_ms = Float.max compute_ms runtime }
+    in
+    let buckets_a = Array.of_list buckets in
+    let steps = Array.map marginal_step buckets_a in
+    let largest = buckets_a.(Array.length buckets_a - 1) in
+    let func, r = jit_at ~batch:largest ~decode_steps:1 in
+    let est = Cost_model.run_walk Cost_model.measured hardware r.Schedule.program in
+    let shardings = r.Schedule.input_shardings in
+    let weight_bytes =
+      local_bytes mesh func shardings (fun n ->
+          n <> "prompt" && not (is_kv_cache n))
+    in
+    let kv_bytes = local_bytes mesh func shardings is_kv_cache in
+    let kv_bytes_per_token_per_device =
+      kv_bytes /. float_of_int (largest * cfg.Transformer.seq)
+    in
+    let activation_bytes =
+      Float.max 0.
+        ((est.Cost_model.peak_memory_mb *. 1e6) -. weight_bytes -. kv_bytes)
+    in
+    let kv_budget_bytes =
+      Hardware.hbm_bytes hardware -. weight_bytes -. activation_bytes
+    in
+    {
+      schedule;
+      hardware;
+      mesh;
+      max_context = cfg.Transformer.seq;
+      buckets = buckets_a;
+      steps;
+      weight_bytes_per_device = weight_bytes;
+      kv_bytes_per_token_per_device;
+      activation_bytes_per_device = activation_bytes;
+      kv_budget_bytes;
+      compile_ms = (Unix.gettimeofday () -. t0) *. 1000.;
+    }
+
+  let max_bucket t = t.buckets.(Array.length t.buckets - 1)
+
+  let step_cost t ~rows =
+    if rows < 1 then invalid_arg "Servesim.Costs.step_cost: rows < 1";
+    let n = Array.length t.buckets in
+    let rec find i = if i >= n || t.buckets.(i) >= rows then i else find (i + 1) in
+    let i = find 0 in
+    if i < n then t.steps.(i)
+    else
+      (* Wider than anything compiled: the engine would run several
+         serialized max-bucket steps. *)
+      let top = t.steps.(n - 1) in
+      let k =
+        float_of_int ((rows + max_bucket t - 1) / max_bucket t)
+      in
+      {
+        compute_ms = top.compute_ms *. k;
+        comm_ms = top.comm_ms *. k;
+        step_ms = top.step_ms *. k;
+      }
+end
+
+module Sim = struct
+  type options = {
+    max_batch : int;
+    queue_bound : int;
+    restart_overhead_ms : float;
+    retry_backoff_ms : float;
+  }
+
+  let default_options =
+    {
+      max_batch = 64;
+      queue_bound = 256;
+      restart_overhead_ms = 25.;
+      retry_backoff_ms = 1.;
+    }
+
+  type outcome = {
+    request : Workload.request;
+    shed : bool;
+    infeasible : bool;
+    ttft_ms : float;
+    completion_ms : float;
+    tokens_out : int;
+  }
+
+  type metrics = {
+    schedule : string;
+    offered : int;
+    completed : int;
+    shed : int;
+    infeasible : int;
+    ttft_p50_ms : float;
+    ttft_p99_ms : float;
+    tpot_p50_ms : float;
+    tpot_p99_ms : float;
+    e2e_p50_ms : float;
+    e2e_p99_ms : float;
+    tokens_per_s : float;
+    mean_batch : float;
+    decode_steps : int;
+    prefill_chunks : int;
+    wall_ms : float;
+    busy_ms : float;
+    useful_ms : float;
+    goodput : float;
+    recoveries : int;
+    retries : int;
+    kv_peak_bytes : float;
+    kv_budget_bytes : float;
+    admission_violations : int;
+  }
+
+  (* Per-request scheduler state while admitted. *)
+  type live = {
+    req : Workload.request;
+    reserve : float;  (* KV bytes reserved on this request's behalf *)
+    mutable prefill_left : int;
+    mutable emitted : int;
+    mutable last_token_ms : float;
+    mutable ttft_ms : float;
+    mutable completion_ms : float;
+  }
+
+  let simulate ?(options = default_options) ?(faults = Faults.no_faults)
+      (costs : Costs.t) (trace : Workload.trace) =
+    if options.max_batch < 1 then
+      invalid_arg "Servesim.Sim.simulate: max_batch < 1";
+    if options.queue_bound < 1 then
+      invalid_arg "Servesim.Sim.simulate: queue_bound < 1";
+    let kv_rate = costs.Costs.kv_bytes_per_token_per_device in
+    let kv_budget = costs.Costs.kv_budget_bytes in
+    (* Persistent faults become multipliers on every engine step; transient
+       faults are indexed by the (global) engine step they hit. *)
+    let straggler =
+      List.fold_left
+        (fun acc -> function
+          | Faults.Straggler { factor; _ } -> Float.max acc factor
+          | _ -> acc)
+        1. faults.Faults.faults
+    in
+    let link =
+      List.fold_left
+        (fun acc -> function
+          | Faults.Link_degrade { factor; _ } -> acc *. factor
+          | _ -> acc)
+        1. faults.Faults.faults
+    in
+    let crashes = Hashtbl.create 8 and drops = Hashtbl.create 8 in
+    List.iter
+      (function
+        | Faults.Crash { step; at_frac; _ } ->
+            Hashtbl.replace crashes step
+              (at_frac :: Option.value ~default:[] (Hashtbl.find_opt crashes step))
+        | Faults.Drop_collective { step; failures; _ } ->
+            Hashtbl.replace drops step
+              (failures + Option.value ~default:0 (Hashtbl.find_opt drops step))
+        | _ -> ())
+      faults.Faults.faults;
+    let now = ref 0. in
+    let engine_step = ref 0 in
+    let busy = ref 0. and useful = ref 0. in
+    let recoveries = ref 0 and retries = ref 0 in
+    let decode_steps = ref 0 and prefill_chunks = ref 0 in
+    let batch_rows = ref 0 in
+    let kv_reserved = ref 0. and kv_peak = ref 0. in
+    let admission_violations = ref 0 in
+    let tpot_samples = ref [] in
+    (* Run one engine step over [rows] token-rows: apply persistent slowdowns
+       to the phase, then any transient faults scheduled for this step index
+       (a crash loses the in-flight fraction and replays after the restart
+       overhead; a dropped collective re-pays the visible communication per
+       failure). Useful time counts the fault-free cost exactly once. *)
+    let charge rows =
+      let ph = Costs.step_cost costs ~rows in
+      let compute = ph.Costs.compute_ms *. straggler in
+      let visible =
+        Float.max 0. (ph.Costs.step_ms -. ph.Costs.compute_ms) /. link
+      in
+      let eff = compute +. visible in
+      let extra = ref 0. in
+      (match Hashtbl.find_opt crashes !engine_step with
+      | Some fracs ->
+          List.iter
+            (fun frac ->
+              extra := !extra +. (frac *. eff) +. options.restart_overhead_ms;
+              incr recoveries)
+            fracs
+      | None -> ());
+      (match Hashtbl.find_opt drops !engine_step with
+      | Some failures ->
+          extra :=
+            !extra
+            +. (float_of_int failures *. (visible +. options.retry_backoff_ms));
+          retries := !retries + failures
+      | None -> ());
+      incr engine_step;
+      busy := !busy +. eff +. !extra;
+      useful := !useful +. ph.Costs.step_ms;
+      now := !now +. eff +. !extra
+    in
+    let pending = ref trace in
+    let queue = Queue.create () in
+    let prefilling = Queue.create () in
+    let decoding = Queue.create () in
+    let finished = ref [] in
+    let shed_list = ref [] and infeasible_list = ref [] in
+    let ingest () =
+      let rec go () =
+        match !pending with
+        | r :: rest when r.Workload.arrival_ms <= !now ->
+            pending := rest;
+            if Queue.length queue >= options.queue_bound then
+              shed_list := r :: !shed_list
+            else Queue.add r queue;
+            go ()
+        | _ -> ()
+      in
+      go ()
+    in
+    let active_count () = Queue.length prefilling + Queue.length decoding in
+    let admit () =
+      let continue = ref true in
+      while !continue && not (Queue.is_empty queue) do
+        let r = Queue.peek queue in
+        let reserve =
+          float_of_int (r.Workload.prompt + r.Workload.output) *. kv_rate
+        in
+        if reserve > kv_budget then (
+          (* Can never fit, even alone: reject rather than wedge the FIFO. *)
+          ignore (Queue.pop queue);
+          infeasible_list := r :: !infeasible_list)
+        else if
+          active_count () < options.max_batch
+          && !kv_reserved +. reserve <= kv_budget
+        then (
+          ignore (Queue.pop queue);
+          kv_reserved := !kv_reserved +. reserve;
+          if !kv_reserved > !kv_peak then kv_peak := !kv_reserved;
+          if !kv_reserved > kv_budget *. (1. +. 1e-9) then
+            incr admission_violations;
+          Queue.add
+            {
+              req = r;
+              reserve;
+              prefill_left = r.Workload.prompt;
+              emitted = 0;
+              last_token_ms = Float.nan;
+              ttft_ms = Float.nan;
+              completion_ms = Float.nan;
+            }
+            prefilling)
+        else continue := false
+      done
+    in
+    let release l = kv_reserved := !kv_reserved -. l.reserve in
+    let finish l =
+      l.completion_ms <- !now -. l.req.Workload.arrival_ms;
+      release l;
+      finished := l :: !finished
+    in
+    let emit_first_token l =
+      l.emitted <- 1;
+      l.ttft_ms <- !now -. l.req.Workload.arrival_ms;
+      l.last_token_ms <- !now;
+      if l.req.Workload.output = 1 then finish l else Queue.add l decoding
+    in
+    let running = ref true in
+    while !running do
+      ingest ();
+      admit ();
+      let prefill_rows =
+        Queue.fold (fun acc l -> acc + l.prefill_left) 0 prefilling
+      in
+      if prefill_rows > 0 then (
+        (* Prefill-prioritized chunking: pack waiting prompt rows, oldest
+           request first, into one engine step of at most a full bucket;
+           decoding requests stall for the step's duration. *)
+        let rows = min prefill_rows (Costs.max_bucket costs) in
+        charge rows;
+        incr prefill_chunks;
+        let left = ref rows in
+        while !left > 0 do
+          let l = Queue.peek prefilling in
+          let take = min l.prefill_left !left in
+          l.prefill_left <- l.prefill_left - take;
+          left := !left - take;
+          if l.prefill_left = 0 then (
+            ignore (Queue.pop prefilling);
+            emit_first_token l)
+        done)
+      else if not (Queue.is_empty decoding) then (
+        let rows = Queue.length decoding in
+        charge rows;
+        incr decode_steps;
+        batch_rows := !batch_rows + rows;
+        for _ = 1 to rows do
+          let l = Queue.pop decoding in
+          l.emitted <- l.emitted + 1;
+          tpot_samples := (!now -. l.last_token_ms) :: !tpot_samples;
+          l.last_token_ms <- !now;
+          if l.emitted >= l.req.Workload.output then finish l
+          else Queue.add l decoding
+        done)
+      else
+        (* Idle: nothing admitted and (because admission always drains an
+           empty engine) nothing admittable — jump to the next arrival. *)
+        match !pending with
+        | r :: _ -> now := Float.max !now r.Workload.arrival_ms
+        | [] -> running := false
+    done;
+    let outcome_of_live l =
+      {
+        request = l.req;
+        shed = false;
+        infeasible = false;
+        ttft_ms = l.ttft_ms;
+        completion_ms = l.completion_ms;
+        tokens_out = l.emitted;
+      }
+    in
+    let outcomes =
+      List.concat
+        [
+          List.map outcome_of_live !finished;
+          List.map
+            (fun r ->
+              {
+                request = r;
+                shed = true;
+                infeasible = false;
+                ttft_ms = Float.nan;
+                completion_ms = Float.nan;
+                tokens_out = 0;
+              })
+            !shed_list;
+          List.map
+            (fun r ->
+              {
+                request = r;
+                shed = false;
+                infeasible = true;
+                ttft_ms = Float.nan;
+                completion_ms = Float.nan;
+                tokens_out = 0;
+              })
+            !infeasible_list;
+        ]
+      |> List.sort (fun a b -> compare a.request.Workload.id b.request.Workload.id)
+    in
+    let completed =
+      List.length
+        (List.filter
+           (fun o -> o.tokens_out >= o.request.Workload.output)
+           outcomes)
+    in
+    let ttfts =
+      List.filter_map
+        (fun (o : outcome) ->
+          if Float.is_nan o.ttft_ms then None else Some o.ttft_ms)
+        outcomes
+    in
+    let e2es =
+      List.filter_map
+        (fun (o : outcome) ->
+          if Float.is_nan o.completion_ms then None else Some o.completion_ms)
+        outcomes
+    in
+    let wall_ms =
+      match trace with
+      | [] -> 0.
+      | r :: _ -> Float.max 0. (!now -. r.Workload.arrival_ms)
+    in
+    let tokens = List.fold_left (fun acc o -> acc + o.tokens_out) 0 outcomes in
+    let metrics =
+      {
+        schedule = costs.Costs.schedule;
+        offered = List.length trace;
+        completed;
+        shed = List.length !shed_list;
+        infeasible = List.length !infeasible_list;
+        ttft_p50_ms = percentile ttfts 50.;
+        ttft_p99_ms = percentile ttfts 99.;
+        tpot_p50_ms = percentile !tpot_samples 50.;
+        tpot_p99_ms = percentile !tpot_samples 99.;
+        e2e_p50_ms = percentile e2es 50.;
+        e2e_p99_ms = percentile e2es 99.;
+        tokens_per_s =
+          (if wall_ms > 0. then float_of_int tokens /. (wall_ms /. 1000.)
+           else 0.);
+        mean_batch =
+          (if !decode_steps > 0 then
+             float_of_int !batch_rows /. float_of_int !decode_steps
+           else 0.);
+        decode_steps = !decode_steps;
+        prefill_chunks = !prefill_chunks;
+        wall_ms;
+        busy_ms = !busy;
+        useful_ms = !useful;
+        goodput = (if !busy > 0. then !useful /. !busy else 1.);
+        recoveries = !recoveries;
+        retries = !retries;
+        kv_peak_bytes = !kv_peak;
+        kv_budget_bytes = kv_budget;
+        admission_violations = !admission_violations;
+      }
+    in
+    (metrics, outcomes)
+end
+
+module Sweep = struct
+  type config = {
+    cfg : Transformer.config;
+    mesh : Mesh.t;
+    hardware : Hardware.t;
+    buckets : int list;
+    schedules : string list;
+    qps_levels : float list;
+    requests : int;
+    seed : int;
+    prompt_range : int * int;
+    output_range : int * int;
+    options : Sim.options;
+    faults : Faults.plan;
+  }
+
+  let smoke_config =
+    {
+      cfg =
+        {
+          Transformer.layers = 6;
+          d_model = 384;
+          heads = 8;
+          vocab = 512;
+          batch = 32;
+          seq = 64;
+        };
+      mesh = Mesh.create [ ("batch", 4); ("model", 2) ];
+      hardware = Hardware.toy;
+      buckets = [ 8; 16; 32 ];
+      schedules = [ "BP"; "MP"; "BP+MP+MQ" ];
+      qps_levels = [ 0.5; 2.; 8.; 32. ];
+      requests = 48;
+      seed = 42;
+      prompt_range = (8, 24);
+      output_range = (8, 24);
+      options =
+        {
+          Sim.max_batch = 32;
+          queue_bound = 16;
+          restart_overhead_ms = 5.;
+          retry_backoff_ms = 0.5;
+        };
+      faults = Faults.no_faults;
+    }
+
+  let paper_config =
+    {
+      cfg = { Transformer.t32 with Transformer.batch = 128 };
+      mesh = Mesh.create [ ("batch", 8); ("model", 4) ];
+      hardware = Hardware.a100;
+      buckets = [ 32; 64; 128 ];
+      schedules = [ "BP"; "MP"; "BP+MP+MQ" ];
+      qps_levels = [ 1.; 4.; 16.; 64. ];
+      requests = 128;
+      seed = 42;
+      prompt_range = (64, 512);
+      output_range = (32, 128);
+      options =
+        {
+          Sim.max_batch = 128;
+          queue_bound = 64;
+          restart_overhead_ms = 25.;
+          retry_backoff_ms = 1.;
+        };
+      faults = Faults.no_faults;
+    }
+
+  type cell = { schedule : string; qps : float; metrics : Sim.metrics }
+
+  type crossover = {
+    qps_lo : float;
+    qps_hi : float;
+    winner_lo : string;
+    winner_hi : string;
+  }
+
+  type result = {
+    costs : Costs.t list;
+    cells : cell list;
+    winners : (float * string) list;
+    crossovers : crossover list;
+    mp_bp_crossover : bool;
+    total_admission_violations : int;
+  }
+
+  let winner cells =
+    if cells = [] then invalid_arg "Servesim.Sweep.winner: no cells";
+    let score c =
+      let m = c.metrics in
+      let ratio =
+        if m.Sim.offered = 0 then 1.
+        else float_of_int m.Sim.completed /. float_of_int m.Sim.offered
+      in
+      (* Completion ratio at 2% granularity: a schedule that sheds or
+         saturates loses outright; near-ties fall through to latency. *)
+      let bucket = -int_of_float (Float.floor (ratio /. 0.02)) in
+      let finite x = if Float.is_nan x then Float.infinity else x in
+      (bucket, finite m.Sim.e2e_p99_ms, finite m.Sim.ttft_p99_ms)
+    in
+    let best =
+      List.fold_left
+        (fun acc c ->
+          match acc with
+          | None -> Some (c, score c)
+          | Some (_, s) when score c < s -> Some (c, score c)
+          | Some _ -> acc)
+        None cells
+    in
+    match best with Some (c, _) -> c.schedule | None -> assert false
+
+  let contains_bp s =
+    let parts = String.split_on_char '+' s in
+    List.exists (fun p -> String.uppercase_ascii (String.trim p) = "BP") parts
+
+  let is_pure_mp s = String.uppercase_ascii (String.trim s) = "MP"
+
+  let run ?(on_progress = fun _ -> ()) c =
+    let costs =
+      List.map
+        (fun schedule ->
+          let ct =
+            Costs.build ~hardware:c.hardware ~mesh:c.mesh ~cfg:c.cfg
+              ~buckets:c.buckets schedule
+          in
+          on_progress
+            (Printf.sprintf
+               "costed %-10s step@%d=%.4fms  kv/tok=%.0fB  budget=%.1fMB \
+                (%.0fms compile)"
+               schedule
+               (Costs.max_bucket ct)
+               ct.Costs.steps.(Array.length ct.Costs.steps - 1).Costs.step_ms
+               ct.Costs.kv_bytes_per_token_per_device
+               (ct.Costs.kv_budget_bytes /. 1e6)
+               ct.Costs.compile_ms);
+          ct)
+        c.schedules
+    in
+    let cells =
+      List.concat_map
+        (fun qps ->
+          let trace =
+            Workload.poisson ~seed:c.seed ~qps ~requests:c.requests
+              ~prompt_range:c.prompt_range ~output_range:c.output_range
+          in
+          List.map
+            (fun ct ->
+              let m, _ =
+                Sim.simulate ~options:c.options ~faults:c.faults ct trace
+              in
+              on_progress
+                (Printf.sprintf
+                   "qps=%-6.2f %-10s completed=%d/%d ttft_p99=%.2fms \
+                    tpot_p99=%.2fms goodput=%.3f"
+                   qps ct.Costs.schedule m.Sim.completed m.Sim.offered
+                   m.Sim.ttft_p99_ms m.Sim.tpot_p99_ms m.Sim.goodput);
+              { schedule = ct.Costs.schedule; qps; metrics = m })
+            costs)
+        c.qps_levels
+    in
+    let winners =
+      List.map
+        (fun qps ->
+          (qps, winner (List.filter (fun cell -> cell.qps = qps) cells)))
+        c.qps_levels
+    in
+    let rec flips = function
+      | (q1, w1) :: ((q2, w2) :: _ as rest) ->
+          if w1 <> w2 then
+            { qps_lo = q1; qps_hi = q2; winner_lo = w1; winner_hi = w2 }
+            :: flips rest
+          else flips rest
+      | _ -> []
+    in
+    let crossovers = flips winners in
+    let mp_bp_crossover =
+      List.exists
+        (fun x ->
+          (is_pure_mp x.winner_lo && contains_bp x.winner_hi)
+          || (is_pure_mp x.winner_hi && contains_bp x.winner_lo))
+        crossovers
+    in
+    let total_admission_violations =
+      List.fold_left
+        (fun acc cell -> acc + cell.metrics.Sim.admission_violations)
+        0 cells
+    in
+    {
+      costs;
+      cells;
+      winners;
+      crossovers;
+      mp_bp_crossover;
+      total_admission_violations;
+    }
+end

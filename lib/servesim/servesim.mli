@@ -1,0 +1,229 @@
+(** Request-level inference serving simulation: continuous batching over
+    sharded IT32 (DESIGN.md §13).
+
+    The paper's IT32 rows (Fig 9) compare MP/BP/MQ partitionings at one
+    batch point; this module asks the production question those rows can't
+    answer — where the strategies cross over as request traffic rises. It
+    composes the existing pieces: the IT32 decode graph with explicit KV
+    caches ([Partir_models.Transformer.inference]), the partitioning
+    pipeline ([Schedule.jit] with the BP/MP/MQ tactics), the roofline cost
+    model ([Partir_sim.Cost_model]), per-device HBM capacity
+    ([Partir_sim.Hardware]), and fault plans ([Partir_sim.Faults]).
+
+    - {!Costs} compiles a schedule at a ladder of batch "buckets" and
+      extracts the marginal decode-step cost per bucket plus per-device
+      weight/KV-cache byte rates from the inferred shardings;
+    - {!Workload} draws seed-deterministic Poisson request traces;
+    - {!Sim} runs a continuous-batching scheduler (join/leave at
+      decode-step granularity, chunked prefill, KV admission control)
+      and reports SLO metrics (TTFT/per-token percentiles, goodput);
+    - {!Sweep} runs schedules x QPS levels and finds winner crossovers. *)
+
+module Mesh = Partir_mesh.Mesh
+module Hardware = Partir_sim.Hardware
+module Faults = Partir_sim.Faults
+module Transformer = Partir_models.Transformer
+
+module Workload : sig
+  type request = {
+    id : int;
+    arrival_ms : float;
+    prompt : int;  (** prompt tokens to prefill *)
+    output : int;  (** output tokens to decode (>= 1; the first comes out
+                       of prefill) *)
+  }
+
+  type trace = request list  (** sorted by arrival time *)
+
+  val poisson :
+    seed:int ->
+    qps:float ->
+    requests:int ->
+    prompt_range:int * int ->
+    output_range:int * int ->
+    trace
+  (** Seed-deterministic Poisson arrivals (exponential inter-arrival times
+      at rate [qps]) with per-request prompt/output lengths drawn uniformly
+      from the inclusive ranges. The same seed always yields the same
+      trace, independent of the QPS levels tried before it. *)
+
+  val of_list : (float * int * int) list -> trace
+  (** Trace-driven arrivals from explicit [(arrival_ms, prompt, output)]
+      triples; ids are assigned in order and the list is sorted by time. *)
+end
+
+module Costs : sig
+  type phase = {
+    compute_ms : float;
+    comm_ms : float;  (** before overlap *)
+    step_ms : float;  (** compute + unoverlapped comm: the wall time of one
+                          engine step at this bucket *)
+  }
+
+  type t = {
+    schedule : string;
+    hardware : Hardware.t;
+    mesh : Mesh.t;
+    max_context : int;  (** the compiled KV-cache length (cfg.seq) *)
+    buckets : int array;  (** ascending compiled batch sizes *)
+    steps : phase array;  (** marginal decode-step cost per bucket *)
+    weight_bytes_per_device : float;
+        (** sharded parameter bytes resident per device *)
+    kv_bytes_per_token_per_device : float;
+        (** sharded KV-cache bytes one cached token costs per device *)
+    activation_bytes_per_device : float;
+        (** peak intermediate bytes of one decode step (largest bucket) *)
+    kv_budget_bytes : float;
+        (** HBM minus weights minus activations: what admission may fill *)
+    compile_ms : float;  (** wall time spent jitting the bucket ladder *)
+  }
+
+  val build :
+    ?hardware:Hardware.t ->
+    mesh:Mesh.t ->
+    cfg:Transformer.config ->
+    buckets:int list ->
+    string ->
+    t
+  (** [build ~mesh ~cfg ~buckets schedule] jits the IT32 decode graph at
+      every bucket batch size under [schedule] (['+']-separated [BP], [MP],
+      [MQ]) and costs it with the measured roofline profile. The marginal
+      decode-step cost is the difference between the 2-step and 1-step
+      programs, so loop-invariant prologue cost is excluded. Byte rates
+      come from the inferred input shardings of the largest bucket.
+      Hardware defaults to {!Hardware.a100}. Raises [Invalid_argument] on
+      unknown schedule parts, empty/unsorted buckets, or bucket sizes the
+      mesh cannot tile. *)
+
+  val step_cost : t -> rows:int -> phase
+  (** Cost of one engine step over [rows] token-rows: the SPMD programs are
+      compiled at fixed batch sizes, so the engine pads the running batch
+      up to the smallest bucket >= [rows] (rows beyond the largest bucket
+      run as that many serialized max-bucket steps). *)
+
+  val max_bucket : t -> int
+end
+
+module Sim : sig
+  type options = {
+    max_batch : int;  (** decode join bound (<= largest bucket) *)
+    queue_bound : int;  (** waiting-queue cap; overflow arrivals are shed *)
+    restart_overhead_ms : float;  (** per-crash recovery cost *)
+    retry_backoff_ms : float;  (** per-failure wait of a dropped collective *)
+  }
+
+  val default_options : options
+  (** max_batch 64, queue_bound 256, 25 ms restarts, 1 ms retry backoff. *)
+
+  type outcome = {
+    request : Workload.request;
+    shed : bool;  (** arrived to a full queue *)
+    infeasible : bool;  (** KV reservation can never fit the budget *)
+    ttft_ms : float;  (** arrival -> first token (nan if never served) *)
+    completion_ms : float;  (** arrival -> last token (nan if unfinished) *)
+    tokens_out : int;
+  }
+
+  type metrics = {
+    schedule : string;
+    offered : int;
+    completed : int;
+    shed : int;
+    infeasible : int;
+    ttft_p50_ms : float;
+    ttft_p99_ms : float;
+    tpot_p50_ms : float;  (** per-token (inter-token) latency percentiles *)
+    tpot_p99_ms : float;
+    e2e_p50_ms : float;  (** arrival -> last token, completed requests *)
+    e2e_p99_ms : float;
+    tokens_per_s : float;
+    mean_batch : float;  (** mean decode rows per decode step *)
+    decode_steps : int;
+    prefill_chunks : int;
+    wall_ms : float;  (** arrival of the first request -> last token *)
+    busy_ms : float;  (** engine-occupied wall time, incl. fault losses *)
+    useful_ms : float;  (** fault-free cost of committed steps *)
+    goodput : float;  (** useful_ms /. busy_ms; 1.0 under no faults *)
+    recoveries : int;
+    retries : int;
+    kv_peak_bytes : float;
+    kv_budget_bytes : float;
+    admission_violations : int;
+        (** times admitted KV exceeded the budget (invariant: 0) *)
+  }
+
+  val simulate :
+    ?options:options ->
+    ?faults:Faults.plan ->
+    Costs.t ->
+    Workload.trace ->
+    metrics * outcome list
+  (** Run the continuous-batching scheduler over the trace. Requests join
+      and leave only at decode-step boundaries; prompts prefill in chunks
+      of up to the largest bucket of token-rows (prefill-prioritized, as
+      TTFT-optimized servers schedule it); a join is admitted only if its
+      KV reservation of [(prompt + output)] tokens fits the per-device
+      budget. Fault semantics: [Straggler] scales every step's compute,
+      [Link_degrade] scales the communication share, [Crash of step n]
+      loses the in-flight fraction of engine step [n] plus the restart
+      overhead and replays it, [Drop_collective] re-pays the step's
+      communication per failure. Transient faults fire once. *)
+end
+
+module Sweep : sig
+  type config = {
+    cfg : Transformer.config;  (** [batch] is ignored; buckets override it *)
+    mesh : Mesh.t;
+    hardware : Hardware.t;
+    buckets : int list;
+    schedules : string list;
+    qps_levels : float list;
+    requests : int;
+    seed : int;
+    prompt_range : int * int;
+    output_range : int * int;
+    options : Sim.options;
+    faults : Faults.plan;
+        (** injected into every cell; persistent faults (stragglers, link
+            degradation) shift the crossover structure — batch-parallel
+            decode has no per-step collectives, so it is immune to fabric
+            degradation that taxes MP/MQ schedules *)
+  }
+
+  val smoke_config : config
+  (** A megabyte-scale IT32 on {!Hardware.toy}: same phase structure as
+      paper scale, seconds to run — the CI gate target. *)
+
+  val paper_config : config
+  (** IT32 at paper scale (T32 geometry, 2048-token KV caches) on an 8x4
+      A100 mesh, sweeping BP vs MP vs BP+MP+MQ. *)
+
+  type cell = { schedule : string; qps : float; metrics : Sim.metrics }
+
+  type crossover = {
+    qps_lo : float;
+    qps_hi : float;
+    winner_lo : string;
+    winner_hi : string;
+  }
+
+  type result = {
+    costs : Costs.t list;
+    cells : cell list;
+    winners : (float * string) list;  (** best schedule per QPS level *)
+    crossovers : crossover list;  (** adjacent levels where the winner flips *)
+    mp_bp_crossover : bool;
+        (** some flip pits the pure MP schedule against a BP-bearing one *)
+    total_admission_violations : int;
+  }
+
+  val winner : cell list -> string
+  (** Rank one QPS level's cells: completion ratio first (2% granularity —
+      a saturated schedule loses), then p99 end-to-end request latency,
+      then p99 TTFT. *)
+
+  val run : ?on_progress:(string -> unit) -> config -> result
+  (** Build costs per schedule, then simulate every (schedule, QPS) cell on
+      a shared per-level trace. [on_progress] receives one line per costed
+      schedule and per simulated cell. *)
+end

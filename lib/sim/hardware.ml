@@ -33,8 +33,24 @@ let a100 =
     compute_efficiency = 0.45;
   }
 
-let registry = [ tpu_v3; a100 ]
+(* A deliberately tiny device for smoke-scale serving simulations: the
+   memory-capacity and bandwidth ratios of a real accelerator, shrunk so
+   that megabyte-scale models exhibit the same weight-read-bound vs
+   compute-bound phase structure gigabyte-scale models show on real HBM. *)
+let toy =
+  {
+    name = "toy";
+    peak_tflops = 0.05;
+    hbm_gb = 0.048;
+    mem_bw_gbps = 1.0;
+    link_gbps = [| 0.3; 0.15 |];
+    link_latency_us = 2.;
+    compute_efficiency = 0.7;
+  }
+
+let registry = [ tpu_v3; a100; toy ]
 let find name = List.find (fun t -> t.name = name) registry
+let hbm_bytes t = t.hbm_gb *. 1e9
 
 let axis_bandwidth t pos =
   let n = Array.length t.link_gbps in

@@ -17,9 +17,19 @@ type t = {
 
 val tpu_v3 : t
 val a100 : t
+
+val toy : t
+(** A shrunk device spec for smoke-scale serving simulations: keeps a real
+    accelerator's capacity/bandwidth ratios at megabyte scale, so tiny
+    models reproduce the weight-read-bound vs compute-bound phase structure
+    of paper-scale models on real HBM. *)
+
 val registry : t list
 val find : string -> t
 (** Raises [Not_found]. *)
 
 val axis_bandwidth : t -> int -> float
 (** Link bandwidth (bytes/s) for the mesh axis at the given position. *)
+
+val hbm_bytes : t -> float
+(** Per-device memory capacity in bytes. *)

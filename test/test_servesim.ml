@@ -1,0 +1,244 @@
+(* Tests for the serving simulator: traces and simulations are
+   seed-deterministic, the continuous-batching scheduler respects the KV
+   admission budget and never decodes a request past its output length,
+   goodput is exactly 1.0 fault-free and strictly below it under a fault
+   plan, and the wire protocol's blocking reads survive EINTR (signals
+   delivered mid-read must not tear a frame — the regression behind the
+   retry loops in lib/serve/protocol.ml). *)
+
+module Servesim = Partir.Servesim
+module Workload = Servesim.Workload
+module Costs = Servesim.Costs
+module Sim = Servesim.Sim
+module Mesh = Partir_mesh.Mesh
+module Hardware = Partir_sim.Hardware
+module Faults = Partir_sim.Faults
+module Transformer = Partir_models.Transformer
+module Protocol = Partir_serve.Protocol
+
+(* One smoke-scale cost table shared by every test: jitting the bucket
+   ladder is the expensive part, and the simulator itself is pure. *)
+let smoke_cfg =
+  { Transformer.layers = 6; d_model = 384; heads = 8; vocab = 512;
+    batch = 32; seq = 64 }
+
+let smoke_mesh = Mesh.create [ ("batch", 4); ("model", 2) ]
+
+let costs =
+  lazy
+    (Costs.build ~hardware:Hardware.toy ~mesh:smoke_mesh ~cfg:smoke_cfg
+       ~buckets:[ 8; 16; 32 ] "BP")
+
+let trace ?(seed = 42) ?(qps = 4.) ?(requests = 32) () =
+  Workload.poisson ~seed ~qps ~requests ~prompt_range:(8, 24)
+    ~output_range:(8, 24)
+
+let options =
+  { Sim.max_batch = 32; queue_bound = 16; restart_overhead_ms = 5.;
+    retry_backoff_ms = 0.5 }
+
+(* --- determinism ------------------------------------------------------- *)
+
+let test_trace_determinism () =
+  let t1 = trace () and t2 = trace () in
+  Alcotest.(check bool) "same seed, same trace" true (t1 = t2);
+  let t3 = trace ~seed:43 () in
+  Alcotest.(check bool) "different seed, different trace" false (t1 = t3);
+  let rec sorted = function
+    | (a : Workload.request) :: (b :: _ as rest) ->
+        a.arrival_ms <= b.arrival_ms && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "arrivals sorted" true (sorted t1)
+
+let test_sim_determinism () =
+  let c = Lazy.force costs in
+  let t = trace () in
+  let m1, o1 = Sim.simulate ~options c t in
+  let m2, o2 = Sim.simulate ~options c t in
+  Alcotest.(check bool) "identical metrics" true (m1 = m2);
+  Alcotest.(check bool) "identical outcomes" true (o1 = o2)
+
+(* --- batching invariants ----------------------------------------------- *)
+
+let test_admission_invariants () =
+  let c = Lazy.force costs in
+  (* High enough load that the batch actually fills and the KV pool sees
+     pressure; the admission controller must still never oversubscribe. *)
+  let m, _ = Sim.simulate ~options c (trace ~qps:64. ~requests:64 ()) in
+  Alcotest.(check int) "no admission violations" 0 m.Sim.admission_violations;
+  Alcotest.(check bool)
+    "KV peak within the per-device budget" true
+    (m.Sim.kv_peak_bytes <= m.Sim.kv_budget_bytes +. 1e-6)
+
+let test_output_lengths () =
+  let c = Lazy.force costs in
+  let _, outcomes = Sim.simulate ~options c (trace ()) in
+  List.iter
+    (fun (o : Sim.outcome) ->
+      Alcotest.(check bool)
+        "never decodes past the requested output" true
+        (o.tokens_out <= o.request.output);
+      if (not o.shed) && not o.infeasible then (
+        Alcotest.(check int)
+          "completed request got exactly its output" o.request.output
+          o.tokens_out;
+        Alcotest.(check bool) "completed request has a TTFT" false
+          (Float.is_nan o.ttft_ms);
+        Alcotest.(check bool)
+          "TTFT precedes completion" true
+          (o.ttft_ms <= o.completion_ms)))
+    outcomes
+
+let test_oversized_request_infeasible () =
+  let c = Lazy.force costs in
+  (* A prompt+output reservation far beyond the KV budget must be rejected
+     as infeasible, not admitted or left queued forever. *)
+  let huge =
+    int_of_float (c.Costs.kv_budget_bytes /. c.Costs.kv_bytes_per_token_per_device)
+    * 2
+  in
+  let t = Workload.of_list [ (0., huge, 8); (1., 8, 8) ] in
+  let m, outcomes = Sim.simulate ~options c t in
+  let big = List.find (fun (o : Sim.outcome) -> o.request.prompt = huge) outcomes in
+  Alcotest.(check bool) "oversized request marked infeasible" true
+    big.Sim.infeasible;
+  Alcotest.(check int) "the feasible request still completes" 1
+    m.Sim.completed;
+  Alcotest.(check int) "rejection is not a violation" 0
+    m.Sim.admission_violations
+
+(* --- goodput under fault plans ----------------------------------------- *)
+
+let test_goodput_fault_free () =
+  let c = Lazy.force costs in
+  let m, _ = Sim.simulate ~options c (trace ()) in
+  Alcotest.(check (float 1e-9)) "goodput is exactly 1 without faults" 1.0
+    m.Sim.goodput;
+  Alcotest.(check (float 1e-6)) "busy equals useful" m.Sim.useful_ms
+    m.Sim.busy_ms;
+  Alcotest.(check int) "no recoveries" 0 m.Sim.recoveries;
+  Alcotest.(check int) "no retries" 0 m.Sim.retries
+
+let test_goodput_under_faults () =
+  let c = Lazy.force costs in
+  let plan =
+    { Faults.seed = 7;
+      faults =
+        [ Faults.Straggler { device = 0; factor = 1.5 };
+          Faults.Crash { step = 5; device = 0; at_frac = 0.5 };
+          Faults.Drop_collective { step = 9; collective = 0; failures = 3 } ];
+    }
+  in
+  let t = trace () in
+  let fault_free, _ = Sim.simulate ~options c t in
+  let m, _ = Sim.simulate ~options ~faults:plan c t in
+  Alcotest.(check bool) "goodput degrades under faults" true
+    (m.Sim.goodput < 1.0);
+  Alcotest.(check bool) "goodput stays positive" true (m.Sim.goodput > 0.);
+  Alcotest.(check int) "the crash is counted as a recovery" 1
+    m.Sim.recoveries;
+  Alcotest.(check int) "dropped-collective retries are counted" 3
+    m.Sim.retries;
+  Alcotest.(check bool) "faults cost wall time" true
+    (m.Sim.busy_ms > fault_free.Sim.busy_ms);
+  Alcotest.(check bool)
+    "faults do not change what was computed" true
+    (m.Sim.completed = fault_free.Sim.completed)
+
+(* --- protocol EINTR regression ----------------------------------------- *)
+
+(* A signal delivered while the server blocks in [read_request] interrupts
+   the underlying [Unix.read] with EINTR (OCaml installs handlers without
+   SA_RESTART). The framed read must retry, not raise or tear the frame:
+   the daemon takes SIGINT/SIGTERM for graceful drain while replies are
+   still in flight. *)
+let test_read_survives_eintr () =
+  let parent_read, child_write = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let hits = ref 0 in
+  let old = Sys.signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> incr hits)) in
+  let parent = Unix.getpid () in
+  let request = { Protocol.default_request with model = "eintr-probe" } in
+  match Unix.fork () with
+  | 0 ->
+      (* Child: let the parent block in read, interrupt it twice — once
+         before any byte arrives, once mid-frame — then finish the write. *)
+      Unix.close parent_read;
+      let frame =
+        let buf = Buffer.create 256 in
+        let r, w = Unix.pipe () in
+        Protocol.write_request w request;
+        Unix.close w;
+        let b = Bytes.create 4096 in
+        let rec drain () =
+          match Unix.read r b 0 (Bytes.length b) with
+          | 0 -> ()
+          | n ->
+              Buffer.add_subbytes buf b 0 n;
+              drain ()
+        in
+        drain ();
+        Unix.close r;
+        Buffer.to_bytes buf
+      in
+      let write off len =
+        let rec go off len =
+          if len > 0 then
+            let n = Unix.write child_write frame off len in
+            go (off + n) (len - n)
+        in
+        go off len
+      in
+      Unix.sleepf 0.05;
+      Unix.kill parent Sys.sigusr1;
+      Unix.sleepf 0.05;
+      write 0 5;
+      Unix.sleepf 0.05;
+      Unix.kill parent Sys.sigusr1;
+      Unix.sleepf 0.05;
+      write 5 (Bytes.length frame - 5);
+      Unix.close child_write;
+      Unix._exit 0
+  | pid ->
+      Unix.close child_write;
+      let got =
+        Fun.protect
+          ~finally:(fun () ->
+            Unix.close parent_read;
+            ignore (Unix.waitpid [] pid);
+            ignore (Sys.signal Sys.sigusr1 old))
+          (fun () -> Protocol.read_request parent_read)
+      in
+      Alcotest.(check bool) "both signals were delivered" true (!hits >= 1);
+      match got with
+      | Some r ->
+          Alcotest.(check string) "frame survived the interruptions intact"
+            "eintr-probe" r.Protocol.model
+      | None -> Alcotest.fail "read_request returned EOF"
+
+let () =
+  Alcotest.run "servesim"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "poisson trace" `Quick test_trace_determinism;
+          Alcotest.test_case "simulation" `Quick test_sim_determinism;
+        ] );
+      ( "batching invariants",
+        [
+          Alcotest.test_case "kv admission" `Quick test_admission_invariants;
+          Alcotest.test_case "output lengths" `Quick test_output_lengths;
+          Alcotest.test_case "oversized request" `Quick
+            test_oversized_request_infeasible;
+        ] );
+      ( "goodput",
+        [
+          Alcotest.test_case "fault-free" `Quick test_goodput_fault_free;
+          Alcotest.test_case "under faults" `Quick test_goodput_under_faults;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "read survives EINTR" `Quick
+            test_read_survives_eintr;
+        ] );
+    ]
