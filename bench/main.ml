@@ -1773,6 +1773,231 @@ let servesimbench_smoke () =
   servesimbench_at ~smoke:true ~out:"BENCH_servesim_smoke.json" ()
 
 (* ------------------------------------------------------------------ *)
+(* membench: static per-device memory feasibility (Mem_check)          *)
+(* ------------------------------------------------------------------ *)
+
+(* The T48 feasibility frontier (DESIGN.md section 14): MemCheck's static
+   per-device peak against device HBM, across mesh sizes and composed
+   schedules. Capacity is the paper's TPUv3 scaled 12x: this repro runs
+   f32 without rematerialization, which EXPERIMENTS.md (Table 1) measures
+   at ~12x the paper's bf16+remat footprint — 14.48 GB there vs ~173 GB
+   here for the same composed schedule — so the 16 GB device becomes a
+   192 GB one and the paper's ~10% headroom is preserved. The gates are
+   the paper's story: unsharded and batch-only T48 do not fit anywhere,
+   the composed schedule fits at the paper's 32x4 mesh, and the frontier
+   crosses over as the mesh grows. *)
+
+let membench_at ~smoke ~out () =
+  hr
+    (if smoke then "membench (smoke): static memory feasibility at T48"
+     else "membench: static per-device memory feasibility at T48");
+  let hw_f32 =
+    Hardware.make ~name:"tpu_v3_f32" ~peak_tflops:123. ~hbm_gb:192.
+      ~mem_bw_gbps:900. ~link_gbps:[| 140.; 70. |] ~link_latency_us:2.
+      ~compute_efficiency:0.62
+  in
+  let cap_gb = Hardware.hbm_bytes hw_f32 /. 1e9 in
+  let schedules =
+    if smoke then [ "none"; "BP"; "MP"; "BP+MP+Z3+EMB" ]
+    else [ "none"; "BP"; "MP"; "BP+MP"; "BP+MP+Z3"; "BP+MP+Z3+EMB" ]
+  in
+  let meshes =
+    if smoke then [ ("32x4", [ ("batch", 32); ("model", 4) ]) ]
+    else
+      [
+        ("8x2", [ ("batch", 8); ("model", 2) ]);
+        ("16x4", [ ("batch", 16); ("model", 4) ]);
+        ("32x4", [ ("batch", 32); ("model", 4) ]);
+        ("64x8", [ ("batch", 64); ("model", 8) ]);
+      ]
+  in
+  let jit_t48 mesh schedule =
+    if schedule = "none" then
+      jit ~hardware:hw_f32 ~ties:(Lazy.force wl_t48.ties) mesh
+        (Lazy.force wl_t48.func) []
+    else jit_workload ~hardware:hw_f32 wl_t48 mesh schedule
+  in
+  Printf.printf "  %-6s %-14s %10s %10s %10s  %s\n%!" "mesh" "schedule"
+    "params_gb" "act_gb" "peak_gb" "feasible";
+  let frontier =
+    List.concat_map
+      (fun (mesh_name, axes) ->
+        let mesh = Mesh.create axes in
+        List.map
+          (fun schedule ->
+            let r = jit_t48 mesh schedule in
+            let m = Mem_check.analyze ~hardware:hw_f32 r.Schedule.program in
+            let feasible = m.Mem_check.peak_bytes <= Hardware.hbm_bytes hw_f32 in
+            Printf.printf "  %-6s %-14s %10.2f %10.2f %10.2f  %b\n%!"
+              mesh_name schedule
+              (m.Mem_check.params_bytes /. 1e9)
+              (m.Mem_check.activations_bytes /. 1e9)
+              (m.Mem_check.peak_bytes /. 1e9)
+              feasible;
+            (mesh_name, schedule, m, feasible))
+          schedules)
+      meshes
+  in
+  let feasible_at mesh_name schedule =
+    List.exists
+      (fun (mn, s, _, feasible) -> mn = mesh_name && s = schedule && feasible)
+      frontier
+  in
+  let composed = "BP+MP+Z3+EMB" in
+  let unsharded_oom = not (feasible_at "32x4" "none") in
+  let bp_only_oom = not (feasible_at "32x4" "BP") in
+  let composed_feasible = feasible_at "32x4" composed in
+  (* The frontier crossover: the composed schedule is still OOM on the
+     smallest mesh and becomes feasible as the mesh grows. *)
+  let mesh_crossover =
+    (not smoke)
+    && (not (feasible_at "8x2" composed))
+    && feasible_at "32x4" composed
+  in
+  (* Fusion monotonicity at T48 scale, statically: collective fusion only
+     removes, merges or narrows collectives, so it must never increase
+     the static peak. *)
+  let r_composed =
+    jit_workload ~hardware:hw_f32 wl_t48
+      (Mesh.create [ ("batch", 32); ("model", 4) ])
+      composed
+  in
+  let p0 =
+    Lower.lower
+      ~ties:(Lazy.force wl_t48.ties)
+      ~fuse:false r_composed.Schedule.staged
+  in
+  let m0 = Mem_check.analyze p0
+  and m1 = Mem_check.analyze r_composed.Schedule.program in
+  (* Monotonicity is gated in the discount-free arena currency (the
+     partcheck invariant); the HBM peaks are reported alongside. *)
+  let fusion_monotone_ok =
+    m1.Mem_check.arena_bound_bytes
+    <= m0.Mem_check.arena_bound_bytes *. (1. +. 1e-9)
+  in
+  Printf.printf "  fusion: unfused peak %.2f GB, fused %.2f GB, monotone=%b\n%!"
+    (m0.Mem_check.peak_bytes /. 1e9)
+    (m1.Mem_check.peak_bytes /. 1e9)
+    fusion_monotone_ok;
+  (* Bound-vs-arena on partcheck-generated cases small enough to compile
+     to plans: the static 8 B/element arena bound must dominate the
+     executor's measured live-slot peak, fused and unfused. *)
+  let cases = if smoke then 12 else 48 in
+  let violations = ref 0 in
+  for seed = 0 to cases - 1 do
+    let c = Check.Gen.generate ~seed in
+    let func, mesh, pool = Check.Gen.build c in
+    let staged = Staged.of_func mesh func in
+    let _ = Check.Oracle.apply_schedule c staged pool in
+    let p0 = Lower.lower ~fuse:false staged in
+    let p1 = { p0 with Lower.func = Fusion.run p0.Lower.func } in
+    List.iter
+      (fun p ->
+        let r = Mem_check.analyze p in
+        let measured = Plan.Spmd.peak_bytes (Plan.Spmd.compile p) in
+        if r.Mem_check.arena_bound_bytes +. 0.5 < float_of_int measured then begin
+          incr violations;
+          Printf.printf "  VIOLATION seed %d: bound %.0f B < measured %d B\n%!"
+            seed r.Mem_check.arena_bound_bytes measured
+        end)
+      [ p0; p1 ]
+  done;
+  Printf.printf "  bound-vs-arena: %d cases, %d violations\n%!" (2 * cases)
+    !violations;
+  (* HBM-constrained Auto search on a reduced transformer: the capacity
+     sits between the unsharded peak and what one good tile action
+     reaches, so the all-Skip baseline and under-sharded rollouts are
+     hard-rejected (Stats.infeasible_oom) while the search still lands on
+     a feasible schedule. *)
+  let auto_cfg =
+    { T.layers = 2; d_model = 128; heads = 4; vocab = 256; batch = 16; seq = 96 }
+  in
+  let auto_step = Train.training_step (T.forward auto_cfg) in
+  let auto_mesh = Mesh.create [ ("batch", 2); ("model", 2) ] in
+  let auto_limit = 6.8e7 in
+  let auto_staged = Staged.of_func auto_mesh auto_step.Train.func in
+  let auto_options =
+    {
+      Auto.default_options with
+      hardware = Hardware.toy;
+      budget = (if smoke then 48 else 96);
+      seed = 1;
+      max_positions = 8;
+      parallelism = 1;
+      memory_limit_bytes = Some auto_limit;
+    }
+  in
+  let auto_stats =
+    Auto.greedy_search auto_options auto_staged ~axes:[ "batch"; "model" ]
+  in
+  let auto_best_feasible = Float.is_finite auto_stats.Auto.Stats.best_cost in
+  Printf.printf "  auto (limit %.3f GB): %s\n%!" (auto_limit /. 1e9)
+    (Auto.Stats.to_string auto_stats);
+  Printf.printf
+    "  unsharded_oom=%b bp_only_oom=%b composed_feasible=%b mesh_crossover=%b \
+     oom_rejected=%d violations=%d\n%!"
+    unsharded_oom bp_only_oom composed_feasible mesh_crossover
+    auto_stats.Auto.Stats.infeasible_oom !violations;
+  emit_json out (fun oc ->
+      let frontier_rows =
+        List.map
+          (fun (mesh_name, schedule, (m : Mem_check.report), feasible) ->
+            Printf.sprintf
+              {|    { "mesh": "%s", "schedule": "%s", "params_gb": %.3f, "activations_gb": %.3f, "peak_gb": %.3f, "hbm_gb": %.1f, "feasible": %b }|}
+              mesh_name schedule
+              (m.Mem_check.params_bytes /. 1e9)
+              (m.Mem_check.activations_bytes /. 1e9)
+              (m.Mem_check.peak_bytes /. 1e9)
+              cap_gb feasible)
+          frontier
+      in
+      Printf.fprintf oc
+        {|{
+  "experiment": "mem",
+  "smoke": %b,
+  "hardware": { "name": "tpu_v3_f32", "hbm_gb": %.1f,
+    "note": "paper TPUv3 scaled 12x: this repro is f32 without remat (EXPERIMENTS.md Table 1)" },
+  "model": "T48 training step (32B params at f32)",
+  "frontier": [
+%s
+  ],
+  "unsharded_oom": %b,
+  "bp_only_oom": %b,
+  "composed_feasible": %b,
+  "mesh_crossover": %b,
+  "fusion": { "unfused_peak_gb": %.3f, "fused_peak_gb": %.3f, "monotone_ok": %b },
+  "bound_vs_arena": { "cases": %d, "violations": %d, "ok": %b },
+  "auto_search": { "model": "transformer l2 d128 b16 s96", "mesh": "2x2",
+    "hardware": "toy", "limit_gb": %.4f, "budget": %d,
+    "infeasible_oom": %d, "evaluations": %d, "best_cost_ms": %s,
+    "feasible_best": %b }
+}
+|}
+        smoke cap_gb
+        (String.concat ",\n" frontier_rows)
+        unsharded_oom bp_only_oom composed_feasible mesh_crossover
+        (m0.Mem_check.peak_bytes /. 1e9)
+        (m1.Mem_check.peak_bytes /. 1e9)
+        fusion_monotone_ok (2 * cases) !violations (!violations = 0)
+        (auto_limit /. 1e9) auto_options.Auto.budget
+        auto_stats.Auto.Stats.infeasible_oom auto_stats.Auto.Stats.evaluations
+        (if auto_best_feasible then
+           Printf.sprintf "%.2f" auto_stats.Auto.Stats.best_cost
+         else "null")
+        auto_best_feasible);
+  let gates_ok =
+    unsharded_oom && bp_only_oom && composed_feasible && fusion_monotone_ok
+    && !violations = 0
+    && auto_stats.Auto.Stats.infeasible_oom > 0
+    && auto_best_feasible
+    && (smoke || mesh_crossover)
+  in
+  if not gates_ok then failwith "membench: feasibility gates violated"
+
+let membench () = membench_at ~smoke:false ~out:"BENCH_mem.json" ()
+let membench_smoke () = membench_at ~smoke:true ~out:"BENCH_mem_smoke.json" ()
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1798,6 +2023,8 @@ let experiments =
     ("servebench-smoke", servebench_smoke);
     ("servesimbench", servesimbench);
     ("servesimbench-smoke", servesimbench_smoke);
+    ("membench", membench);
+    ("membench-smoke", membench_smoke);
   ]
 
 let () =

@@ -121,19 +121,37 @@ let run_checked model schedule mesh_spec hardware_name dump single_tactic
     exit exit_interrupted
   end
 
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
 (* partir_cli verify: run the full schedule, then the static analyzers
-   (Verify / ShardCheck / CollectiveLint) over every IR the pipeline
-   produced — the source function, the staged module, and the lowered
-   program both unfused and fused. Prints diagnostics; exits 1 if any are
-   errors. *)
-let verify_checked model schedule mesh_spec hardware_name budget =
+   (Verify / ShardCheck / CollectiveLint / MemCheck) over every IR the
+   pipeline produced — the source function, the staged module, and the
+   lowered program both unfused and fused — plus a per-device memory
+   report against the --hardware spec. Prints diagnostics (or, with
+   --json, one machine-readable report); exits 1 if any are errors. *)
+let verify_checked model schedule mesh_spec hardware_name budget json =
   let prepared = Zoo.prepare model in
   let mesh = Zoo.parse_mesh mesh_spec in
   let hardware = Hardware.find hardware_name in
   let tactics = Zoo.tactics_of prepared hardware budget schedule in
-  Format.printf "verify %s: %d ops, mesh %s, schedule %s@." model
-    (Func.op_count prepared.Zoo.func)
-    (Mesh.to_string mesh) schedule;
+  if not json then
+    Format.printf "verify %s: %d ops, mesh %s, schedule %s@." model
+      (Func.op_count prepared.Zoo.func)
+      (Mesh.to_string mesh) schedule;
   let r = jit ~hardware ~ties:prepared.Zoo.ties mesh prepared.Zoo.func tactics in
   let unfused =
     Lower.lower ~ties:prepared.Zoo.ties ~fuse:false r.Schedule.staged
@@ -142,25 +160,81 @@ let verify_checked model schedule mesh_spec hardware_name budget =
     [
       ("source", Analysis.check_func prepared.Zoo.func);
       ("staged", Analysis.check_staged r.Schedule.staged);
-      ("spmd-unfused", Analysis.check_program unfused);
-      ("spmd-fused", Analysis.check_program r.Schedule.program);
+      ("spmd-unfused", Analysis.check_program ~hardware unfused);
+      ("spmd-fused", Analysis.check_program ~hardware r.Schedule.program);
     ]
   in
+  let mem = Mem_check.analyze ~hardware r.Schedule.program in
+  let hbm = Hardware.hbm_bytes hardware in
+  let feasible = mem.Mem_check.peak_bytes <= hbm in
   let n_errors =
     List.fold_left
-      (fun acc (stage, diags) ->
-        List.iter
-          (fun d -> Format.printf "%s: %s@." stage (Diagnostic.to_string d))
-          diags;
-        acc + List.length (Diagnostic.errors diags))
+      (fun acc (_, diags) -> acc + List.length (Diagnostic.errors diags))
       0 stages
   in
-  if n_errors = 0 then Format.printf "verify %s: OK (0 diagnostics)@." model
-  else begin
-    Format.printf "verify %s: %d error%s@." model n_errors
-      (if n_errors = 1 then "" else "s");
-    exit 1
+  if json then begin
+    let diag_json (d : Diagnostic.t) =
+      Printf.sprintf
+        "{\"code\": %S, \"severity\": %S, \"path\": \"%s\", \"message\": \
+         \"%s\"}"
+        d.Diagnostic.code
+        (Diagnostic.severity_to_string d.Diagnostic.severity)
+        (json_escape d.Diagnostic.path)
+        (json_escape d.Diagnostic.message)
+    in
+    let stage_json (stage, diags) =
+      Printf.sprintf "    {\"stage\": %S, \"diagnostics\": [%s]}" stage
+        (String.concat ", " (List.map diag_json diags))
+    in
+    Printf.printf
+      "{\n\
+      \  \"model\": %S,\n\
+      \  \"schedule\": %S,\n\
+      \  \"mesh\": %S,\n\
+      \  \"hardware\": %S,\n\
+      \  \"stages\": [\n\
+       %s\n\
+      \  ],\n\
+      \  \"memory\": {\"params_gb\": %.6f, \"activations_gb\": %.6f, \
+       \"peak_gb\": %.6f, \"arena_bound_gb\": %.6f, \"hbm_gb\": %.6f, \
+       \"feasible\": %b, \"peak_path\": \"%s\"},\n\
+      \  \"errors\": %d\n\
+       }\n"
+      model schedule (Mesh.to_string mesh) hardware_name
+      (String.concat ",\n" (List.map stage_json stages))
+      (mem.Mem_check.params_bytes /. 1e9)
+      (mem.Mem_check.activations_bytes /. 1e9)
+      (mem.Mem_check.peak_bytes /. 1e9)
+      (mem.Mem_check.arena_bound_bytes /. 1e9)
+      (hbm /. 1e9) feasible
+      (json_escape mem.Mem_check.peak_path)
+      n_errors
   end
+  else begin
+    List.iter
+      (fun (stage, diags) ->
+        List.iter
+          (fun d -> Format.printf "%s: %s@." stage (Diagnostic.to_string d))
+          diags)
+      stages;
+    Format.printf
+      "per-device memory (%s): params %.3f GB + activations %.3f GB = %.3f \
+       GB peak vs HBM %.3f GB: %s@."
+      hardware_name
+      (mem.Mem_check.params_bytes /. 1e9)
+      (mem.Mem_check.activations_bytes /. 1e9)
+      (mem.Mem_check.peak_bytes /. 1e9)
+      (hbm /. 1e9)
+      (if feasible then "OK" else "OVER CAPACITY");
+    Format.printf "  peak at %s; plan arena bound %.3f GB@."
+      mem.Mem_check.peak_path
+      (mem.Mem_check.arena_bound_bytes /. 1e9);
+    if n_errors = 0 then Format.printf "verify %s: OK (0 error diagnostics)@." model
+    else
+      Format.printf "verify %s: %d error%s@." model n_errors
+        (if n_errors = 1 then "" else "s")
+  end;
+  if n_errors > 0 then exit 1
 
 let serve_checked socket store hardware_name max_queue deadline_ms verbose =
   (* Validate the hardware name up front for a structured error. *)
@@ -335,9 +409,9 @@ let run model schedule mesh_spec hardware_name dump single_tactic budget
       run_checked model schedule mesh_spec hardware_name dump single_tactic
         budget executor exec)
 
-let verify model schedule mesh_spec hardware_name budget =
+let verify model schedule mesh_spec hardware_name budget json =
   with_structured_errors (fun () ->
-      verify_checked model schedule mesh_spec hardware_name budget)
+      verify_checked model schedule mesh_spec hardware_name budget json)
 
 let serve socket store hardware_name max_queue deadline_ms verbose =
   with_structured_errors (fun () ->
@@ -434,14 +508,24 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Partition a model and report per-tactic metadata")
     run_term
 
+let verify_json =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Machine-readable output: one JSON document with per-stage \
+           diagnostics (code, severity, op path, message) and the \
+           per-device memory report")
+
 let verify_cmd =
   Cmd.v
     (Cmd.info "verify"
        ~doc:
          "Run the static analyzers (IR verifier, sharding type-checker, \
-          collective lint) over every IR the schedule produces; nonzero \
-          exit on any error diagnostic")
-    Term.(const verify $ model $ schedule $ mesh $ hw $ budget)
+          collective lint, memory check against --hardware) over every IR \
+          the schedule produces, and report the per-device peak-memory \
+          bound; nonzero exit on any error diagnostic")
+    Term.(const verify $ model $ schedule $ mesh $ hw $ budget $ verify_json)
 
 let serve_cmd =
   Cmd.v

@@ -16,11 +16,17 @@ let () =
 let check_func = Verify.func
 let check_staged = Verify.staged
 
-let check_program p =
+let check_program ?hardware p =
+  let mem =
+    match hardware with
+    | None -> []
+    | Some hardware -> Mem_check.program ~hardware p
+  in
   D.sort
     (Verify.func ~mesh:p.Lower.mesh p.Lower.func
     @ Shard_check.program p
-    @ Collective_lint.program p)
+    @ Collective_lint.program p
+    @ mem)
 
 (* {1 Debug-mode assertions}
 

@@ -1,6 +1,7 @@
-(** Facade over the three analysis passes ({!Verify}, {!Shard_check},
-    {!Collective_lint}) plus the debug-mode assertion hooks that wire them
-    into [Staged] actions, [Lower.lower], and every [Fusion] rewrite. *)
+(** Facade over the four analysis passes ({!Verify}, {!Shard_check},
+    {!Collective_lint}, {!Mem_check}) plus the debug-mode assertion hooks
+    that wire them into [Staged] actions, [Lower.lower], and every
+    [Fusion] rewrite. *)
 
 exception Check_error of Diagnostic.t list
 (** Raised by the debug-mode hooks when a transform produces an
@@ -14,10 +15,14 @@ val check_staged : Partir_core.Staged.t -> Diagnostic.t list
 (** {!Verify.staged}: function verification plus staged well-formedness
     (V and S codes). *)
 
-val check_program : Partir_spmd.Lower.program -> Diagnostic.t list
-(** All three passes over a lowered program: {!Verify.func} with the
-    program's mesh, {!Shard_check.program}, and
-    {!Collective_lint.program} (V, SC, and CL codes), sorted. *)
+val check_program :
+  ?hardware:Partir_sim.Hardware.t ->
+  Partir_spmd.Lower.program ->
+  Diagnostic.t list
+(** All passes over a lowered program: {!Verify.func} with the program's
+    mesh, {!Shard_check.program}, {!Collective_lint.program}, and — when a
+    [hardware] spec is given — {!Mem_check.program} (V, SC, CL, and MC
+    codes), sorted. *)
 
 val debug_checks_enabled : unit -> bool
 

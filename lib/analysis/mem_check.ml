@@ -1,0 +1,360 @@
+open Partir_hlo
+module Shape = Partir_tensor.Shape
+module Mesh = Partir_mesh.Mesh
+module Layout = Partir_spmd.Layout
+module Lower = Partir_spmd.Lower
+module Hardware = Partir_sim.Hardware
+module D = Diagnostic
+
+(* {1 MemCheck: static per-device peak-memory bound (MC codes)}
+
+   A liveness-based abstract interpretation over the device-local function
+   of a lowered program. One walk maintains two independent accumulators:
+
+   - [peak_bytes] (dtype-aware): resident parameters plus the live-range
+     peak of intermediate buffers, collective staging and loop overhead,
+     each value priced at [Value.size_in_bytes]. This is the number
+     compared against {!Hardware.hbm_bytes} and the number Auto search
+     uses to hard-reject infeasible schedules.
+   - [arena_bound_bytes] (8 bytes per element): the same walk priced in
+     the plan executor's currency (the arena stores every element as an
+     OCaml float) and restricted to what the plan actually allocates from
+     its slot arena — op results, the matmul packed-operand scratch, and
+     For-loop carry/staging/iteration slots, but not parameters (param
+     registers alias the caller's literals) and not collective staging
+     (the executor exchanges buffers directly). partcheck asserts
+     [arena_bound_bytes >= Plan peak] on every generated program.
+
+   Soundness direction: both numbers are upper bounds for their
+   respective executors. The HBM currency prices the same backend the
+   simulator's {!Cost_model.peak_memory} prices (paper A.5.2): results of
+   elementwise and broadcast ops that are consumed exactly once never
+   materialize — the backend fuses them into their consumer — so they are
+   not charged. The arena currency never takes that discount (nor
+   in-place claims or For results aliasing carry slots): the reference
+   plan executor allocates a slot for every result it retains. At every
+   op both walks assume the worst-case ordering — results, staging and
+   loop overhead are charged while all operands are still live, and
+   operand deaths are applied only after the op completes. Unused results
+   are charged transiently at their op point (the executor allocates
+   before it can discard). *)
+
+type report = {
+  params_bytes : float;  (** resident device-local parameters *)
+  activations_bytes : float;
+      (** live-range peak of intermediates, staging and loop overhead *)
+  peak_bytes : float;  (** params + activations: the per-device HBM bound *)
+  arena_bound_bytes : float;
+      (** 8 B/element bound on the plan executor's live-slot peak *)
+  peak_path : string;  (** op path where [peak_bytes] is reached *)
+  largest_param_bytes : float;
+  max_staging_bytes : float;  (** largest single collective staging buffer *)
+  diags : D.t list;
+}
+
+let op_path parent i (op : Op.t) =
+  Printf.sprintf "%s/op#%d(%s)" parent i (Op.kind_name op.kind)
+
+let bytes_of (v : Value.t) = float_of_int (Value.size_in_bytes v)
+
+(* Plan-arena currency: the executor stores every element as a float. *)
+let arena_of (v : Value.t) =
+  8. *. float_of_int (Shape.numel v.Value.ty.Value.shape)
+
+let sum f xs = List.fold_left (fun acc x -> acc +. f x) 0. xs
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: tl -> x :: take (n - 1) tl
+
+(* Transient buffers an op occupies while executing, beyond its operands
+   and results, in (dtype bytes, arena bytes).
+
+   Collectives: one extra transfer-boundary copy, priced from the
+   device-local shapes the op itself carries — [All_reduce], [All_gather]
+   and [All_to_all] stage their result, [Reduce_scatter] stages its
+   (larger) unreduced operand, [All_slice] is a pure local slice. The
+   plan arena holds no collective staging (the executor exchanges
+   buffers directly), so the arena component is 0.
+
+   Matmul: the executor packs the second operand into a [k*n] scratch
+   slot allocated from the arena, so both currencies charge it. *)
+let staging (op : Op.t) =
+  match (op.kind, op.operands, op.results) with
+  | Op.All_reduce _, _, [ r ] | Op.All_gather _, _, [ r ] -> (bytes_of r, 0.)
+  | Op.All_to_all _, _, [ r ] -> (bytes_of r, 0.)
+  | Op.Reduce_scatter _, [ x ], _ -> (bytes_of x, 0.)
+  | Op.All_slice _, _, _ -> (0., 0.)
+  | Op.Matmul, [ _; b ], _ ->
+      let s = b.Value.ty.Value.shape in
+      let rank = Array.length s in
+      if rank >= 2 then
+        let kn = float_of_int (s.(rank - 2) * s.(rank - 1)) in
+        let db =
+          float_of_int (Partir_tensor.Dtype.size_in_bytes b.Value.ty.Value.dtype)
+        in
+        (db *. kn, 8. *. kn)
+      else (0., 0.)
+  | _ -> (0., 0.)
+
+(* Diagnostic thresholds, as fractions of HBM capacity. *)
+let param_warn_fraction = 0.25
+let staging_warn_fraction = 0.25
+let carry_warn_fraction = 0.5
+
+let gb b = b /. 1e9
+
+type ctx = {
+  hardware : Hardware.t option;
+  fused : (int, unit) Hashtbl.t;
+      (* single-use elementwise/broadcast results: never materialized by
+         the fusing backend, so charged 0 in the HBM currency (still
+         fully charged in the arena currency) *)
+  mutable diags : D.t list;
+  mutable max_staging : float;
+}
+
+(* The same fusion model as {!Cost_model.peak_memory}: a result of an
+   elementwise or broadcast op consumed exactly once is computed in its
+   consumer's registers. *)
+let fused_defs (f : Func.t) =
+  let use_counts = Hashtbl.create 256 in
+  let rec count ops =
+    List.iter
+      (fun (op : Op.t) ->
+        List.iter
+          (fun (v : Value.t) ->
+            Hashtbl.replace use_counts v.Value.id
+              (1 + Option.value ~default:0 (Hashtbl.find_opt use_counts v.Value.id)))
+          op.operands;
+        match op.region with Some r -> count r.body | None -> ())
+      ops
+  in
+  count f.Func.body;
+  let fused = Hashtbl.create 256 in
+  let rec mark ops =
+    List.iter
+      (fun (op : Op.t) ->
+        (match op.kind with
+        | k
+          when Op.is_elementwise k
+               || (match k with Op.Broadcast _ -> true | _ -> false) ->
+            List.iter
+              (fun (v : Value.t) ->
+                if Hashtbl.find_opt use_counts v.Value.id = Some 1 then
+                  Hashtbl.replace fused v.Value.id ())
+              op.results
+        | _ -> ());
+        match op.region with Some r -> mark r.body | None -> ())
+      ops
+  in
+  mark f.Func.body;
+  fused
+
+let add_diag ctx d = ctx.diags <- d :: ctx.diags
+
+let capacity ctx =
+  match ctx.hardware with
+  | Some hw -> Hardware.hbm_bytes hw
+  | None -> Float.infinity
+
+let hw_name ctx =
+  match ctx.hardware with Some hw -> hw.Hardware.name | None -> "?"
+
+type scope_result = { pd : float; pa : float; pd_path : string }
+
+(* Peak of one scope (relative to an empty live set at scope entry).
+   [terms] stay live through the end of the scope. Region parameters and
+   function parameters never enter [alive]: carries are charged by the
+   For op's overhead term, invariant captures stay live as the For op's
+   operands, and resident parameters are priced separately. *)
+let rec scope_peak ctx parent (ops : Op.t list) (terms : Value.t list) =
+  let n = List.length ops in
+  let uses : Value.t list array = Array.make (max n 1) [] in
+  let last_use : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iteri
+    (fun i (op : Op.t) ->
+      let vs =
+        match op.region with
+        | Some r -> op.operands @ Interp.free_values_of_region r
+        | None -> op.operands
+      in
+      uses.(i) <- vs;
+      List.iter (fun (v : Value.t) -> Hashtbl.replace last_use v.Value.id i) vs)
+    ops;
+  List.iter
+    (fun (v : Value.t) -> Hashtbl.replace last_use v.Value.id max_int)
+    terms;
+  (* id -> (dtype bytes, arena bytes) of values added to the live set. *)
+  let alive : (int, float * float) Hashtbl.t = Hashtbl.create 64 in
+  let live_d = ref 0. and live_a = ref 0. in
+  let pd = ref 0. and pa = ref 0. and pd_path = ref parent in
+  List.iteri
+    (fun i (op : Op.t) ->
+      let path = op_path parent i op in
+      let stage_d, stage_a = staging op in
+      (if stage_d > 0. && stage_a = 0. then begin
+         (* A collective staging buffer. *)
+         ctx.max_staging <- Float.max ctx.max_staging stage_d;
+         let cap = capacity ctx in
+         if stage_d > cap then
+           add_diag ctx
+             (D.error ~code:"MC003" ~path
+                "collective staging buffer of %.3f GB alone exceeds %s HBM \
+                 (%.3f GB)"
+                (gb stage_d) (hw_name ctx) (gb cap))
+         else if stage_d > staging_warn_fraction *. cap then
+           add_diag ctx
+             (D.warning ~code:"MC003" ~path
+                "collective staging buffer of %.3f GB is %.0f%% of %s HBM \
+                 (%.3f GB); prefer reduce-scatter / collective fusion"
+                (gb stage_d)
+                (100. *. stage_d /. cap)
+                (hw_name ctx) (gb cap))
+       end);
+      let inner_d, inner_a, inner_path, over_d, over_a =
+        match (op.region, op.kind) with
+        | Some r, Op.For { n_carries; _ } ->
+            let carries = take n_carries op.operands in
+            let cd = sum bytes_of carries and ca = sum arena_of carries in
+            (* Carry slots plus worst-case staging copies plus the
+               iteration-counter slot, held for the whole loop. *)
+            let over_d = 8. +. (2. *. cd) and over_a = 8. +. (2. *. ca) in
+            (let cap = capacity ctx in
+             let foot = 2. *. cd in
+             if foot > cap then
+               add_diag ctx
+                 (D.error ~code:"MC004" ~path
+                    "loop carries of %.3f GB (plus staging copies: %.3f GB) \
+                     exceed %s HBM (%.3f GB)"
+                    (gb cd) (gb foot) (hw_name ctx) (gb cap))
+             else if foot > carry_warn_fraction *. cap then
+               add_diag ctx
+                 (D.warning ~code:"MC004" ~path
+                    "loop carries of %.3f GB occupy %.0f%% of %s HBM with \
+                     staging copies (%.3f GB)"
+                    (gb cd)
+                    (100. *. foot /. cap)
+                    (hw_name ctx) (gb foot)))
+            ;
+            let inner = scope_peak ctx path r.body r.yields in
+            (inner.pd, inner.pa, inner.pd_path, over_d, over_a)
+        | Some r, _ ->
+            let inner = scope_peak ctx path r.body r.yields in
+            (inner.pd, inner.pa, inner.pd_path, 0., 0.)
+        | None, _ -> (0., 0., path, 0., 0.)
+      in
+      let produced_d =
+        sum
+          (fun (v : Value.t) ->
+            if Hashtbl.mem ctx.fused v.Value.id then 0. else bytes_of v)
+          op.results
+      in
+      let produced_a = sum arena_of op.results in
+      (* Worst-case op point: operands still live, all results and staging
+         and loop overhead allocated, inner-region peak on top. *)
+      let cand_d = !live_d +. produced_d +. stage_d +. over_d +. inner_d in
+      if cand_d > !pd then begin
+        pd := cand_d;
+        pd_path := (if op.region <> None then inner_path else path)
+      end;
+      let cand_a = !live_a +. produced_a +. stage_a +. over_a +. inner_a in
+      if cand_a > !pa then pa := cand_a;
+      (* Retain results that are used later (or are scope terms); unused
+         results were charged transiently above. *)
+      List.iter
+        (fun (v : Value.t) ->
+          if Hashtbl.mem last_use v.Value.id && not (Hashtbl.mem alive v.Value.id)
+          then begin
+            let bd =
+              if Hashtbl.mem ctx.fused v.Value.id then 0. else bytes_of v
+            in
+            Hashtbl.replace alive v.Value.id (bd, arena_of v);
+            live_d := !live_d +. bd;
+            live_a := !live_a +. arena_of v
+          end)
+        op.results;
+      (* Deaths: operands (and region captures) whose last use is here and
+         that were added to this scope's live set. *)
+      List.iter
+        (fun (v : Value.t) ->
+          match (Hashtbl.find_opt last_use v.Value.id, Hashtbl.find_opt alive v.Value.id) with
+          | Some last, Some (bd, ba) when last = i ->
+              Hashtbl.remove alive v.Value.id;
+              live_d := !live_d -. bd;
+              live_a := !live_a -. ba
+          | _ -> ())
+        uses.(i))
+    ops;
+  { pd = !pd; pa = !pa; pd_path = !pd_path }
+
+let analyze ?hardware (p : Lower.program) =
+  let f = p.Lower.func in
+  let ctx = { hardware; fused = fused_defs f; diags = []; max_staging = 0. } in
+  let params = f.Func.params in
+  let params_bytes = sum bytes_of params in
+  let largest_param_bytes =
+    List.fold_left (fun acc v -> Float.max acc (bytes_of v)) 0. params
+  in
+  (* MC002: a parameter that alone exceeds capacity is an error; a large
+     parameter left fully replicated across a multi-device mesh is a
+     warning (it is the thing sharding exists to fix). *)
+  (match hardware with
+  | None -> ()
+  | Some hw ->
+      let cap = Hardware.hbm_bytes hw in
+      let ndev = Mesh.num_devices p.Lower.mesh in
+      let layouts =
+        if List.length p.Lower.input_layouts = List.length params then
+          List.map Option.some p.Lower.input_layouts
+        else List.map (fun _ -> None) params
+      in
+      List.iter2
+        (fun (v : Value.t) layout ->
+          let b = bytes_of v in
+          let path = Printf.sprintf "param(%s)" v.Value.name in
+          if b > cap then
+            add_diag ctx
+              (D.error ~code:"MC002" ~path
+                 "parameter %s of %.3f GB alone exceeds %s HBM (%.3f GB)"
+                 v.Value.name (gb b) hw.Hardware.name (gb cap))
+          else if
+            ndev > 1 && b > param_warn_fraction *. cap
+            && (match layout with
+               | Some l -> Layout.is_replicated l
+               | None -> false)
+          then
+            add_diag ctx
+              (D.warning ~code:"MC002" ~path
+                 "parameter %s of %.3f GB is replicated across %d devices \
+                  (%.0f%% of %s HBM); shard it"
+                 v.Value.name (gb b) ndev
+                 (100. *. b /. cap)
+                 hw.Hardware.name))
+        params layouts);
+  let r = scope_peak ctx "func" f.Func.body f.Func.results in
+  let peak_bytes = params_bytes +. r.pd in
+  (match hardware with
+  | None -> ()
+  | Some hw ->
+      let cap = Hardware.hbm_bytes hw in
+      if peak_bytes > cap then
+        add_diag ctx
+          (D.error ~code:"MC001" ~path:r.pd_path
+             "estimated per-device peak of %.3f GB (params %.3f GB + \
+              activations %.3f GB) exceeds %s HBM (%.3f GB)"
+             (gb peak_bytes) (gb params_bytes) (gb r.pd) hw.Hardware.name
+             (gb cap)));
+  {
+    params_bytes;
+    activations_bytes = r.pd;
+    peak_bytes;
+    arena_bound_bytes = r.pa;
+    peak_path = r.pd_path;
+    largest_param_bytes;
+    max_staging_bytes = ctx.max_staging;
+    diags = D.sort (List.rev ctx.diags);
+  }
+
+let program ~hardware (p : Lower.program) = (analyze ~hardware p).diags

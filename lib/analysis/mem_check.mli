@@ -1,0 +1,47 @@
+(** MemCheck: static per-device peak-memory analysis over lowered programs
+    (MC diagnostic codes).
+
+    A liveness-based abstract interpretation over the device-local function
+    of a {!Partir_spmd.Lower.program}. Computes a sound (upper-bound)
+    per-device peak: resident parameters, live activations, For-loop
+    carries, collective staging buffers and the executor's matmul packing
+    scratch, each priced from the inferred device-local shapes. The HBM
+    bound prices the same fusing backend as the simulator's
+    {!Partir_sim.Cost_model.peak_memory} (paper A.5.2): single-use
+    elementwise/broadcast results are fused into their consumer and never
+    materialize. The arena bound takes no such discount.
+
+    Codes:
+    - [MC001] (error): estimated peak exceeds the device's HBM capacity.
+    - [MC002]: a parameter alone exceeds capacity (error), or a large
+      parameter is left fully replicated across a multi-device mesh
+      (warning).
+    - [MC003]: a collective staging buffer alone exceeds capacity (error)
+      or is a large fraction of it (warning).
+    - [MC004]: For-loop carries (with their staging copies) exceed
+      capacity (error) or a large fraction of it (warning). *)
+
+type report = {
+  params_bytes : float;  (** resident device-local parameters *)
+  activations_bytes : float;
+      (** live-range peak of intermediates, staging and loop overhead *)
+  peak_bytes : float;  (** params + activations: the per-device HBM bound *)
+  arena_bound_bytes : float;
+      (** the same walk priced at the plan executor's 8 bytes/element and
+          restricted to what the executor allocates from its slot arena;
+          an upper bound on [Partir_plan.Plan.peak_bytes] of the compiled
+          program (the partcheck memory invariant) *)
+  peak_path : string;  (** op path where [peak_bytes] is reached *)
+  largest_param_bytes : float;
+  max_staging_bytes : float;  (** largest single collective staging buffer *)
+  diags : Diagnostic.t list;
+      (** empty unless a [hardware] spec was supplied *)
+}
+
+val analyze : ?hardware:Partir_sim.Hardware.t -> Partir_spmd.Lower.program -> report
+(** One walk, both bounds. Capacity diagnostics (MC codes) are emitted
+    only when [hardware] is given. *)
+
+val program :
+  hardware:Partir_sim.Hardware.t -> Partir_spmd.Lower.program -> Diagnostic.t list
+(** Diagnostics of {!analyze}, for the {!Analysis.check_program} facade. *)

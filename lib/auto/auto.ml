@@ -16,6 +16,11 @@ module Stats = struct
     failure_kinds : (string * int) list;
         (* infeasible-rollout counts by structured cause ("action",
            "spmd", "temporal", "type", "verify", ...), most common first *)
+    infeasible_oom : int;
+        (* rollouts whose static Mem_check peak exceeded the memory limit
+           and were hard-rejected (scored infinity); counted separately
+           from [failed_evaluations] — an OOM schedule is a legal program
+           that does not fit, not a pipeline failure *)
     cache_lookups : int;
     cache_hits : int;
     domains_used : int;
@@ -30,10 +35,13 @@ module Stats = struct
 
   let pp ppf s =
     Format.fprintf ppf
-      "%d iters, %d evals (%d/%d cache hits, %d infeasible%s), %d domain%s, \
+      "%d iters, %d evals (%d/%d cache hits, %d infeasible%s%s), %d domain%s, \
        %.2fs, best %.2fms (baseline %.2fms)%s"
       s.iterations s.evaluations s.cache_hits s.cache_lookups
       s.failed_evaluations
+      (if s.infeasible_oom > 0 then
+         Printf.sprintf ", %d OOM-rejected" s.infeasible_oom
+       else "")
       (match s.failure_kinds with
       | [] -> ""
       | kinds ->
@@ -89,16 +97,34 @@ let default_options =
 
 type decision = Skip | Atomic | Tile of int
 
+exception Infeasible_oom of { peak_bytes : float; limit_bytes : float }
+
+let () =
+  Printexc.register_printer (function
+    | Infeasible_oom { peak_bytes; limit_bytes } ->
+        Some
+          (Printf.sprintf
+             "Partir_auto.Auto.Infeasible_oom: static peak %.3f GB exceeds \
+              memory limit %.3f GB"
+             (peak_bytes /. 1e9) (limit_bytes /. 1e9))
+    | _ -> None)
+
 let evaluate ?source_flops opts (staged : Staged.t) =
   let program = Partir_spmd.Lower.lower ?source_flops staged in
   let est = Cost_model.run Cost_model.analytic opts.hardware program in
-  let limit =
+  let limit_bytes =
     Option.value opts.memory_limit_bytes
-      ~default:(opts.hardware.Hardware.hbm_gb *. 1e9)
+      ~default:(Hardware.hbm_bytes opts.hardware)
   in
-  let mem = est.Cost_model.peak_memory_mb *. 1e6 in
-  let penalty = if mem > limit then 1. +. (10. *. (mem -. limit) /. limit) else 1. in
-  est.Cost_model.runtime_ms *. penalty
+  (* Feasibility gate: the static Mem_check peak (sound upper bound over
+     params, activations, loop carries and collective staging) against the
+     per-device memory limit. An over-limit schedule is hard-rejected —
+     scored infinity by the search — rather than soft-penalized: at paper
+     scale OOM is a cliff, not a slowdown. *)
+  let report = Partir_analysis.Mem_check.analyze program in
+  let peak_bytes = report.Partir_analysis.Mem_check.peak_bytes in
+  if peak_bytes > limit_bytes then raise (Infeasible_oom { peak_bytes; limit_bytes });
+  est.Cost_model.runtime_ms
 
 (* The decision positions: one per (module input, axis), biggest inputs
    first, interleaving axes per input so the largest inputs keep all their
@@ -162,6 +188,7 @@ type eval_ctx = {
   mutable evals : int;
   mutable failed : int;
   failed_by_kind : (string, int) Hashtbl.t;
+  mutable oom : int;
   mutable domains_used : int;
 }
 
@@ -179,6 +206,7 @@ let raw_cost opts base poss source_flops (dv : decision array) =
     ignore (Propagate.run staged);
     (evaluate ~source_flops opts staged, None)
   with
+  | Infeasible_oom _ -> (infinity, Some "oom")
   | Staged.Action_error _ -> (infinity, Some "action")
   | Partir_spmd.Spmd_interp.Spmd_error _ -> (infinity, Some "spmd")
   | Partir_temporal.Temporal.Semantics_error _ -> (infinity, Some "temporal")
@@ -193,6 +221,7 @@ let count_failures ctx (kinds : string option array) =
   Array.iter
     (function
       | None -> ()
+      | Some "oom" -> ctx.oom <- ctx.oom + 1
       | Some k ->
           ctx.failed <- ctx.failed + 1;
           Hashtbl.replace ctx.failed_by_kind k
@@ -287,6 +316,7 @@ let make_ctx opts (staged : Staged.t) ~axes =
       evals = 0;
       failed = 0;
       failed_by_kind = Hashtbl.create 8;
+      oom = 0;
       domains_used = 1;
     }
   in
@@ -322,6 +352,7 @@ let stats_of ctx ~wall_seconds ~iterations ~best_cost ~trajectory ~interrupted =
       Hashtbl.fold (fun k n acc -> (k, n) :: acc) ctx.failed_by_kind []
       |> List.sort (fun (ka, na) (kb, nb) ->
              if na <> nb then Int.compare nb na else String.compare ka kb);
+    infeasible_oom = ctx.oom;
     cache_lookups = ctx.lookups;
     cache_hits = ctx.hits;
     domains_used = ctx.domains_used;
@@ -378,7 +409,15 @@ let mcts_search opts (staged : Staged.t) ~axes =
         nd
   in
   let baseline = ctx.baseline in
-  let reward cost = baseline /. (cost +. (0.01 *. baseline)) in
+  (* Infeasible (infinite-cost) rollouts earn 0. An infeasible *baseline*
+     (the unsharded module does not fit — the memory-forces-composition
+     regime) flattens rewards to a feasibility indicator: any feasible
+     completion earns 1, and best-cost tracking still orders them. *)
+  let reward cost =
+    if not (Float.is_finite cost) then 0.
+    else if Float.is_finite baseline then baseline /. (cost +. (0.01 *. baseline))
+    else 1.
+  in
   let best_cost = ref baseline in
   let best = ref (Array.make n Skip) in
   let trajectory = ref [ (0, baseline) ] in

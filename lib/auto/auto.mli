@@ -2,9 +2,9 @@
 
     The [AutomaticPartition] tactic is an interface for any optimization
     algorithm; like the paper we implement a Monte-Carlo tree search over
-    PartIR actions, guided by the analytical simulator's runtime estimate
-    with a penalty for exceeding device memory, plus a cheaper greedy
-    search. Both issue exactly the same tile/atomic actions manual tactics
+    PartIR actions, guided by the analytical simulator's runtime estimate,
+    hard-rejecting schedules whose static {!Partir_analysis.Mem_check}
+    peak exceeds device memory, plus a cheaper greedy search. Both issue exactly the same tile/atomic actions manual tactics
     do, so they compose with manual tactics in a schedule.
 
     Search evaluations are served by a shared engine: every complete
@@ -28,6 +28,12 @@ module Stats : sig
         (** the same failures attributed to their structured cause —
             ["action"], ["spmd"], ["temporal"], ["type"], ["verify"],
             ["invalid-argument"], ["failure"] — most common first *)
+    infeasible_oom : int;
+        (** rollouts whose static {!Partir_analysis.Mem_check} peak
+            exceeded [memory_limit_bytes] and were hard-rejected (scored
+            infinity). Counted separately from [failed_evaluations]: an
+            OOM schedule is a legal program that does not fit, not a
+            pipeline failure *)
     cache_lookups : int;
     cache_hits : int;
     domains_used : int;  (** max domains evaluating one batch *)
@@ -111,9 +117,17 @@ val greedy_search :
   options -> Partir_core.Staged.t -> axes:string list -> Stats.t
 (** The search behind {!greedy}. *)
 
+exception Infeasible_oom of { peak_bytes : float; limit_bytes : float }
+(** Raised by {!evaluate} when the static {!Partir_analysis.Mem_check}
+    peak of the lowered module exceeds the per-device memory limit
+    ([memory_limit_bytes], defaulting to the hardware HBM capacity). The
+    searches catch it and score the rollout infinity
+    ({!Stats.infeasible_oom}). *)
+
 val evaluate :
   ?source_flops:float -> options -> Partir_core.Staged.t -> float
-(** Cost of a staged module: simulated runtime (ms), multiplied by a
-    penalty when estimated memory exceeds the limit. [source_flops] skips
-    recomputing the unpartitioned flop count (see {!Partir_spmd.Lower.lower}).
-    Exposed for tests. *)
+(** Cost of a staged module: simulated runtime (ms). Raises
+    {!Infeasible_oom} when the static per-device peak-memory bound exceeds
+    the memory limit — OOM is a hard feasibility cliff, not a soft
+    penalty. [source_flops] skips recomputing the unpartitioned flop count
+    (see {!Partir_spmd.Lower.lower}). Exposed for tests. *)

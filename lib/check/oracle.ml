@@ -14,6 +14,7 @@ module Hardware = Partir_sim.Hardware
 module Cost_model = Partir_sim.Cost_model
 module Engine = Partir_sim.Engine
 module Auto = Partir_auto.Auto
+module Mem_check = Partir_analysis.Mem_check
 
 type failure = { label : string; detail : string }
 
@@ -207,6 +208,38 @@ let check_cost_invariants mesh (p0 : Lower.program) (p1 : Lower.program) =
     [ p0; p1 ];
   c1
 
+(* {1 Memory invariants} *)
+
+(* Soundness of the fourth analysis pass against the executor: on every
+   generated program, the static Mem_check arena bound (8 B/element over
+   what the plan allocates from its slot arena) must dominate the
+   measured live-slot peak of the compiled plan; and fusion — which only
+   removes, merges or narrows collectives — must never increase that
+   bound. The monotonicity check runs in the arena currency on purpose:
+   the HBM bound models the backend's elementwise fusion (single-use
+   results are free), and merging collectives can change use counts, so
+   a value that was free before fusion may materialize after it — the
+   discounted peak is not monotone, the discount-free one is. *)
+let check_memory_invariants (p0 : Lower.program) (p1 : Lower.program) ~sp1 =
+  let r0 = Mem_check.analyze p0 and r1 = Mem_check.analyze p1 in
+  List.iter
+    (fun (label, (r : Mem_check.report), measured) ->
+      if r.Mem_check.arena_bound_bytes +. 0.5 < float_of_int measured then
+        failf label
+          "static arena bound %.0f B < measured plan live-slot peak %d B"
+          r.Mem_check.arena_bound_bytes measured)
+    [
+      ("mem-bound-unfused", r0, Plan.Spmd.peak_bytes (Plan.Spmd.compile p0));
+      ("mem-bound-fused", r1, Plan.Spmd.peak_bytes sp1);
+    ];
+  if
+    r1.Mem_check.arena_bound_bytes
+    > r0.Mem_check.arena_bound_bytes *. (1. +. 1e-9)
+  then
+    failf "fusion-mem-peak"
+      "fused static arena bound %.0f B > unfused %.0f B"
+      r1.Mem_check.arena_bound_bytes r0.Mem_check.arena_bound_bytes
+
 (* {1 The oracle} *)
 
 (* Static-analysis invariant: every staged module and every lowered
@@ -236,7 +269,9 @@ let run_case_exn (c : Gen.t) =
   check_verified "verifier-fused" (Partir_analysis.Analysis.check_program p1);
   check_outputs "spmd-unfused" ~reference (Spmd_interp.run p0 args);
   check_outputs "spmd-fused" ~reference (Spmd_interp.run p1 args);
-  check_outputs "plan-spmd" ~reference (Plan.Spmd.run (Plan.Spmd.compile p1) args);
+  let sp1 = Plan.Spmd.compile p1 in
+  check_outputs "plan-spmd" ~reference (Plan.Spmd.run sp1 args);
+  check_memory_invariants p0 p1 ~sp1;
   (match gspmd_annotations c mesh func (List.length pool) with
   | annos -> (
       match Gspmd.partition ~variant:`No_internal mesh func annos with

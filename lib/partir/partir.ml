@@ -44,6 +44,7 @@ module Auto = Partir_auto.Auto
 module Gspmd = Partir_gspmd.Gspmd
 module Diagnostic = Partir_analysis.Diagnostic
 module Analysis = Partir_analysis.Analysis
+module Mem_check = Partir_analysis.Mem_check
 module Verify = Partir_analysis.Verify
 module Shard_check = Partir_analysis.Shard_check
 module Collective_lint = Partir_analysis.Collective_lint

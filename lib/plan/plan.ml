@@ -178,6 +178,7 @@ type stats = {
   n_inplace : int;
   n_slots : int;
   arena_bytes : int;
+  peak_bytes : int;
   naive_bytes : int;
 }
 
@@ -187,6 +188,8 @@ type comp = {
   mutable n_slots : int;
   rc : (int, int) Hashtbl.t;  (** slot id -> live name count *)
   free : (int, int list ref) Hashtbl.t;  (** exact size -> free slot ids *)
+  mutable live_elems : int;  (** elements in slots with a live name *)
+  mutable peak_elems : int;  (** max of [live_elems] over the compile walk *)
   mutable naive_bytes : int;
   mutable n_instrs : int;
   mutable n_chains : int;
@@ -208,6 +211,12 @@ let alloc comp n =
         id
   in
   Hashtbl.replace comp.rc id 1;
+  (* Measured arena peak: compile order is execution order, so the maximum
+     of the live-slot element count over this walk is the executor's true
+     simultaneous-occupancy peak (the arena footprint [arena_bytes] can
+     exceed it through exact-size free-list fragmentation). *)
+  comp.live_elems <- comp.live_elems + n;
+  if comp.live_elems > comp.peak_elems then comp.peak_elems <- comp.live_elems;
   id
 
 let retain comp = function
@@ -223,6 +232,7 @@ let release comp = function
       Hashtbl.replace comp.rc i c;
       if c = 0 then begin
         let n = Hashtbl.find comp.sizes i in
+        comp.live_elems <- comp.live_elems - n;
         let l =
           match Hashtbl.find_opt comp.free n with
           | Some l -> l
@@ -1398,6 +1408,8 @@ let compile_core ~allow_collectives (f : Func.t) =
       n_slots = 0;
       rc = Hashtbl.create 64;
       free = Hashtbl.create 32;
+      live_elems = 0;
+      peak_elems = 0;
       naive_bytes = 0;
       n_instrs = 0;
       n_chains = 0;
@@ -1434,6 +1446,7 @@ let compile_core ~allow_collectives (f : Func.t) =
         n_inplace = comp.n_inplace;
         n_slots = comp.n_slots;
         arena_bytes = 8 * Array.fold_left ( + ) 0 slot_sizes;
+        peak_bytes = 8 * comp.peak_elems;
         naive_bytes = comp.naive_bytes;
       };
   }
@@ -1448,6 +1461,7 @@ let compile (f : Func.t) =
   { core; state = make_state core }
 
 let stats t = t.core.cstats
+let peak_bytes t = t.core.cstats.peak_bytes
 
 let bind_args core (st : state) where (args : Literal.t array) =
   let np = Array.length core.param_shapes in
@@ -1496,7 +1510,10 @@ let execute (t : t) (args : Literal.t array) =
        (fun (k, dt, dw, n) ->
          Printf.eprintf "%-16s %4d steps  %8.3f ms  %10.0f words\n%!" k n
            (1e3 *. dt) dw)
-       (List.sort (fun (_, a, _, _) (_, b, _, _) -> compare b a) rows)
+       (List.sort (fun (_, a, _, _) (_, b, _, _) -> compare b a) rows);
+     Printf.eprintf "arena %d bytes (%d slots), live-slot peak %d bytes\n%!"
+       t.core.cstats.arena_bytes t.core.cstats.n_slots
+       t.core.cstats.peak_bytes
    end
    else Array.iter (exec_step t.state) t.core.steps);
   read_results t.core t.state
@@ -1514,6 +1531,7 @@ module Spmd = struct
     { program = p; core; states = Array.init ndev (fun _ -> make_state core) }
 
   let stats sp = sp.core.cstats
+  let peak_bytes sp = sp.core.cstats.peak_bytes
 
   (* Devices advance in lockstep through the shared instruction stream:
      Run steps execute sequentially per device (each kernel parallelizes

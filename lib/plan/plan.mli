@@ -38,6 +38,12 @@ type stats = {
   n_inplace : int;  (** instructions writing over a dying input *)
   n_slots : int;  (** distinct arena slots *)
   arena_bytes : int;  (** total arena footprint *)
+  peak_bytes : int;
+      (** measured live-slot peak: the maximum bytes simultaneously held by
+          live slots over the compile walk (compile order is execution
+          order). At most [arena_bytes] (exact-size free-list
+          fragmentation can strand slots); the partcheck memory invariant
+          checks it against [Mem_check.arena_bound_bytes] *)
   naive_bytes : int;
       (** bytes a no-reuse evaluator would allocate for the same
           instructions (loop bodies counted once) *)
@@ -55,6 +61,10 @@ val execute : t -> Literal.t array -> Literal.t array
 
 val stats : t -> stats
 
+val peak_bytes : t -> int
+(** [stats t].peak_bytes: the measured arena peak, shared by the partcheck
+    memory invariant and [PARTIR_PLAN_PROFILE]. *)
+
 (** Plans over lowered SPMD programs: every device runs the same compiled
     instruction stream over its own arena, in lockstep at collectives
     (which reuse {!Spmd_interp.eval_collective}). *)
@@ -63,6 +73,10 @@ module Spmd : sig
 
   val compile : Lower.program -> plan
   val stats : plan -> stats
+
+  val peak_bytes : plan -> int
+  (** Per-device measured arena peak (all devices share one compiled
+      core, so one number covers each device's arena). *)
 
   val run : plan -> Literal.t list -> Literal.t list
   (** Same contract as {!Spmd_interp.run}: full-size inputs and outputs,

@@ -14,6 +14,7 @@ module Spmd_interp = Partir_spmd.Spmd_interp
 module Interp = Partir_hlo.Interp
 module Plan = Partir_plan.Plan
 module Analysis = Partir_analysis.Analysis
+module Mem_check = Partir_analysis.Mem_check
 module Diagnostic = Partir_analysis.Diagnostic
 module P = Protocol
 
@@ -42,6 +43,7 @@ type stats = {
   mutable misses : int;
   mutable shed : int;
   mutable degraded : int;
+  mutable infeasible_oom : int;
   mutable errors : int;
   mutable quarantined : int;
 }
@@ -151,6 +153,19 @@ let compile state (req : P.request) ~queued_at ~fp =
   let estimate =
     Cost_model.run Cost_model.measured hardware r.Schedule.program
   in
+  (* Feasibility gate: a compiled schedule whose static Mem_check peak
+     exceeds the device's HBM is answered (the client sees the estimate
+     and diagnostics it asked for) but never published to the plan cache —
+     an infeasible plan must not be served as a warm hit later. *)
+  let infeasible =
+    let report = Mem_check.analyze ~hardware r.Schedule.program in
+    report.Mem_check.peak_bytes > Hardware.hbm_bytes hardware
+  in
+  if infeasible then begin
+    state.stats.infeasible_oom <- state.stats.infeasible_oom + 1;
+    logf state "compile: %s is OOM-infeasible on %s (not cached)" req.P.model
+      state.config.hardware
+  end;
   let reply =
     {
       P.fingerprint = fp;
@@ -166,7 +181,7 @@ let compile state (req : P.request) ~queued_at ~fp =
         Some (Printer.func_to_string r.Schedule.program.Lower.func);
     }
   in
-  if (not !degraded) && not req.P.no_cache then
+  if (not !degraded) && (not infeasible) && not req.P.no_cache then
     Store.put state.store ~key:(plan_key fp) (Cache.encode_reply reply);
   if !used_auto then Cache.save_table state.store ~key:tkey (Lazy.force table);
   reply
@@ -251,6 +266,7 @@ let serve config =
           misses = 0;
           shed = 0;
           degraded = 0;
+          infeasible_oom = 0;
           errors = 0;
           quarantined = scan.Store.quarantined;
         };
@@ -322,8 +338,9 @@ let serve config =
   (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
   Printf.printf
     "serve: drained: served=%d hits=%d misses=%d shed=%d degraded=%d \
-     errors=%d quarantined=%d\n\
+     infeasible=%d errors=%d quarantined=%d\n\
      %!"
     state.stats.served state.stats.hits state.stats.misses state.stats.shed
-    state.stats.degraded state.stats.errors state.stats.quarantined;
+    state.stats.degraded state.stats.infeasible_oom state.stats.errors
+    state.stats.quarantined;
   state.stats

@@ -38,6 +38,9 @@ type stats = {
   mutable misses : int;
   mutable shed : int;
   mutable degraded : int;
+  mutable infeasible_oom : int;
+      (** compiled schedules whose static [Mem_check] peak exceeded the
+          device HBM; answered but never published to the plan cache *)
   mutable errors : int;
   mutable quarantined : int;  (** corrupt entries detected while serving *)
 }

@@ -136,6 +136,9 @@ module Costs = struct
       0. shardings
 
   let build ?(hardware = Hardware.a100) ~mesh ~cfg ~buckets schedule =
+    (* The KV budget below subtracts from [hbm_bytes]; a non-positive or
+       non-finite spec must fail loudly here, not as a nonsense budget. *)
+    let hardware = Hardware.validate hardware in
     (match buckets with
     | [] -> invalid_arg "Servesim.Costs.build: no buckets"
     | b0 :: rest ->

@@ -8,6 +8,55 @@ type t = {
   compute_efficiency : float;
 }
 
+(* Downstream consumers divide by these fields and budget against them
+   (servesim's KV admission trusts [hbm_gb]; the cost model divides by
+   bandwidths and efficiency), so a zero or negative spec must die at
+   construction, not as a nonsense budget later. *)
+let validate t =
+  let positive field v =
+    if not (Float.is_finite v) || v <= 0. then
+      invalid_arg
+        (Printf.sprintf "Hardware.%s: %s must be positive and finite, got %g"
+           t.name field v)
+  in
+  positive "peak_tflops" t.peak_tflops;
+  positive "hbm_gb" t.hbm_gb;
+  positive "mem_bw_gbps" t.mem_bw_gbps;
+  if Array.length t.link_gbps = 0 then
+    invalid_arg
+      (Printf.sprintf "Hardware.%s: link_gbps must be non-empty" t.name);
+  Array.iteri
+    (fun i v -> positive (Printf.sprintf "link_gbps[%d]" i) v)
+    t.link_gbps;
+  if not (Float.is_finite t.link_latency_us) || t.link_latency_us < 0. then
+    invalid_arg
+      (Printf.sprintf
+         "Hardware.%s: link_latency_us must be non-negative and finite, got %g"
+         t.name t.link_latency_us);
+  if
+    (not (Float.is_finite t.compute_efficiency))
+    || t.compute_efficiency <= 0.
+    || t.compute_efficiency > 1.
+  then
+    invalid_arg
+      (Printf.sprintf
+         "Hardware.%s: compute_efficiency must be in (0, 1], got %g" t.name
+         t.compute_efficiency);
+  t
+
+let make ~name ~peak_tflops ~hbm_gb ~mem_bw_gbps ~link_gbps ~link_latency_us
+    ~compute_efficiency =
+  validate
+    {
+      name;
+      peak_tflops;
+      hbm_gb;
+      mem_bw_gbps;
+      link_gbps;
+      link_latency_us;
+      compute_efficiency;
+    }
+
 (* TPUv3 (paper §A.2): 123 TFLOPs bf16 per chip, 16 GiB HBM per core,
    four 70 GB/s links. We model a device as one core. *)
 let tpu_v3 =
@@ -48,7 +97,7 @@ let toy =
     compute_efficiency = 0.7;
   }
 
-let registry = [ tpu_v3; a100; toy ]
+let registry = List.map validate [ tpu_v3; a100; toy ]
 let find name = List.find (fun t -> t.name = name) registry
 let hbm_bytes t = t.hbm_gb *. 1e9
 

@@ -24,6 +24,25 @@ val toy : t
     models reproduce the weight-read-bound vs compute-bound phase structure
     of paper-scale models on real HBM. *)
 
+val make :
+  name:string ->
+  peak_tflops:float ->
+  hbm_gb:float ->
+  mem_bw_gbps:float ->
+  link_gbps:float array ->
+  link_latency_us:float ->
+  compute_efficiency:float ->
+  t
+(** Validating constructor: see {!validate}. *)
+
+val validate : t -> t
+(** Returns the spec unchanged, or raises a structured [Invalid_argument]
+    ("Hardware.<name>: <field> must be ...") if any capacity, bandwidth or
+    efficiency field is non-positive or non-finite ([link_latency_us] may
+    be zero; [compute_efficiency] must lie in (0, 1]). Registry entries
+    are validated at module initialization; custom specs handed to
+    servesim or the cost model should pass through here. *)
+
 val registry : t list
 val find : string -> t
 (** Raises [Not_found]. *)

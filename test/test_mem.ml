@@ -1,0 +1,272 @@
+(* Tests for MemCheck, the static per-device peak-memory pass: each
+   planted defect must be reported with its exact MC code; the benchmark
+   models at paper-scale hardware must produce zero memory diagnostics
+   (no false positives); and on partcheck-generated cases the static
+   arena bound must dominate the measured live-slot peak of the compiled
+   plan, before and after fusion. *)
+
+open Partir
+module Gen = Partir_check.Gen
+module Oracle = Partir_check.Oracle
+module Zoo = Serve.Zoo
+
+let ty shape dtype = Value.ttype shape dtype
+let f32 shape = ty shape Dtype.F32
+
+let codes diags = List.map (fun (d : Diagnostic.t) -> d.Diagnostic.code) diags
+
+let check_has_code what code diags =
+  if not (Diagnostic.has_code code diags) then
+    Alcotest.failf "%s: expected %s among [%s]" what code
+      (String.concat "; " (codes diags))
+
+let check_no_mem_diags what diags =
+  match
+    List.filter
+      (fun (d : Diagnostic.t) ->
+        String.length d.Diagnostic.code >= 2
+        && String.sub d.Diagnostic.code 0 2 = "MC")
+      diags
+  with
+  | [] -> ()
+  | mc ->
+      Alcotest.failf "%s: expected zero memory diagnostics, got:\n%s" what
+        (Diagnostic.list_to_string mc)
+
+let program_of ~mesh ~params ~input_layouts ~body ~results ~output_layouts =
+  {
+    Lower.mesh;
+    func = { Func.name = "m_spmd"; params; body; results };
+    source_params = params;
+    source_results = results;
+    input_layouts;
+    output_layouts;
+    source_flops = 0.;
+  }
+
+(* Toy hardware: 0.048 GB HBM = 4.8e7 bytes capacity. *)
+let toy = Hardware.toy
+
+(* {1 Planted defects} *)
+
+(* A 4000x4000 f32 parameter is 6.4e7 B — larger than the whole toy HBM:
+   MC002 (error) on the parameter, MC001 (error) on the peak. *)
+let test_oversized_param () =
+  let mesh = Mesh.create [ ("d", 1) ] in
+  let x = Value.fresh ~name:"w" (f32 [| 4000; 4000 |]) in
+  let op = Op.make (Op.Binary Op.Add) [ x; x ] () in
+  let p =
+    program_of ~mesh ~params:[ x ]
+      ~input_layouts:[ [| []; [] |] ]
+      ~body:[ op ] ~results:op.Op.results
+      ~output_layouts:[ [| []; [] |] ]
+  in
+  let diags = Mem_check.program ~hardware:toy p in
+  check_has_code "oversized parameter" "MC002" diags;
+  check_has_code "peak over capacity" "MC001" diags;
+  if Diagnostic.errors diags = [] then
+    Alcotest.fail "oversized parameter must be an error, not a warning"
+
+(* A 1800x1800 f32 parameter (1.3e7 B) fits, but replicating it across a
+   2-device mesh wastes >25% of each device's HBM: MC002 as a warning
+   only — no errors. *)
+let test_replicated_param_warning () =
+  let mesh = Mesh.create [ ("d", 2) ] in
+  let x = Value.fresh ~name:"w" (f32 [| 1800; 1800 |]) in
+  let op = Op.make (Op.Binary Op.Add) [ x; x ] () in
+  let p =
+    program_of ~mesh ~params:[ x ]
+      ~input_layouts:[ [| []; [] |] ]
+      ~body:[ op ] ~results:op.Op.results
+      ~output_layouts:[ [| []; [] |] ]
+  in
+  let diags = Mem_check.program ~hardware:toy p in
+  check_has_code "replicated parameter" "MC002" diags;
+  (match Diagnostic.errors diags with
+  | [] -> ()
+  | errs ->
+      Alcotest.failf "replication waste must only warn, got errors:\n%s"
+        (Diagnostic.list_to_string errs));
+  (* The same program on a single-device mesh has nowhere to shard to —
+     no MC002. *)
+  let mesh1 = Mesh.create [ ("d", 1) ] in
+  let p1 = { p with Lower.mesh = mesh1 } in
+  check_no_mem_diags "single device" (Mem_check.program ~hardware:toy p1)
+
+(* A For whose carry is 2.5e7 B: with the iter/carry slots and staging
+   copies the loop alone needs ~5e7 B > 4.8e7 B capacity: MC004 error. *)
+let test_oom_loop_carry () =
+  let b = Builder.create "loopy" in
+  let x = Builder.param b "x" [| 2500; 2500 |] Dtype.F32 in
+  let iter = Value.fresh ~name:"i" (ty Shape.scalar Dtype.I32) in
+  let carry = Value.fresh ~name:"acc" (f32 [| 2500; 2500 |]) in
+  let rb = Builder.create "body" in
+  let acc' = Builder.add2 rb carry carry in
+  let region = { Op.params = [ iter; carry ]; body = Builder.ops rb; yields = [ acc' ] } in
+  let results =
+    Builder.add_multi b (Op.For { trip_count = 2; n_carries = 1 }) [ x ] ~region ()
+  in
+  let f = Builder.finish b [ List.hd results ] in
+  let mesh = Mesh.create [ ("d", 1) ] in
+  let p =
+    program_of ~mesh ~params:f.Func.params
+      ~input_layouts:[ [| []; [] |] ]
+      ~body:f.Func.body ~results:f.Func.results
+      ~output_layouts:[ [| []; [] |] ]
+  in
+  let diags = Mem_check.program ~hardware:toy p in
+  check_has_code "OOM loop carry" "MC004" diags;
+  check_has_code "loop drives peak over capacity" "MC001" diags
+
+(* An all_gather over d:2 doubles a 2.5e7 B shard into a 5e7 B staging
+   buffer — larger than the toy HBM: MC003 error. *)
+let test_staging_blowup () =
+  let mesh = Mesh.create [ ("d", 2) ] in
+  let x = Value.fresh ~name:"x" (f32 [| 2500; 2500 |]) in
+  let op =
+    Op.make (Op.All_gather { dim_axes = [| [ ("d", 2) ]; [] |] }) [ x ] ()
+  in
+  let p =
+    program_of ~mesh ~params:[ x ]
+      ~input_layouts:[ [| [ "d" ]; [] |] ]
+      ~body:[ op ] ~results:op.Op.results
+      ~output_layouts:[ [| []; [] |] ]
+  in
+  let diags = Mem_check.program ~hardware:toy p in
+  check_has_code "staging blowup" "MC003" diags;
+  if Diagnostic.errors diags = [] then
+    Alcotest.fail "over-capacity staging must be an error";
+  (* A smaller gather (1.35e7 B result, 28% of HBM) only warns. *)
+  let y = Value.fresh ~name:"y" (f32 [| 1300; 1300 |]) in
+  let op2 =
+    Op.make (Op.All_gather { dim_axes = [| [ ("d", 2) ]; [] |] }) [ y ] ()
+  in
+  let p2 =
+    program_of ~mesh ~params:[ y ]
+      ~input_layouts:[ [| [ "d" ]; [] |] ]
+      ~body:[ op2 ] ~results:op2.Op.results
+      ~output_layouts:[ [| []; [] |] ]
+  in
+  let diags2 = Mem_check.program ~hardware:toy p2 in
+  check_has_code "large staging fraction" "MC003" diags2;
+  match Diagnostic.errors diags2 with
+  | [] -> ()
+  | errs ->
+      Alcotest.failf "28%% staging must only warn, got errors:\n%s"
+        (Diagnostic.list_to_string errs)
+
+(* {1 Hardware spec validation} *)
+
+let test_hardware_validate () =
+  let expect_invalid what f =
+    match f () with
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" what
+    | exception Invalid_argument msg ->
+        if not (String.length msg > 0) then
+          Alcotest.failf "%s: empty validation message" what
+  in
+  let mk ?(hbm_gb = 16.) ?(mem_bw_gbps = 900.) ?(link_gbps = [| 70. |])
+      ?(compute_efficiency = 0.6) () =
+    Hardware.make ~name:"bad" ~peak_tflops:100. ~hbm_gb ~mem_bw_gbps
+      ~link_gbps ~link_latency_us:2. ~compute_efficiency
+  in
+  expect_invalid "zero HBM" (fun () -> mk ~hbm_gb:0. ());
+  expect_invalid "negative HBM" (fun () -> mk ~hbm_gb:(-4.) ());
+  expect_invalid "NaN bandwidth" (fun () -> mk ~mem_bw_gbps:Float.nan ());
+  expect_invalid "empty links" (fun () -> mk ~link_gbps:[||] ());
+  expect_invalid "non-positive link" (fun () -> mk ~link_gbps:[| 70.; 0. |] ());
+  expect_invalid "efficiency > 1" (fun () -> mk ~compute_efficiency:1.5 ());
+  (* The shipped registry must validate against its own rules. *)
+  List.iter (fun h -> ignore (Hardware.validate h)) Hardware.registry
+
+(* {1 No false positives on the benchmark models} *)
+
+(* The CI benchmark matrix: every model/schedule pair must analyze with
+   zero MC diagnostics at paper-scale (tpu_v3, 16 GB HBM) — the small
+   variants are all well under capacity, so anything MemCheck reports
+   here is a false positive. *)
+let benchmark_matrix =
+  [
+    ("t32-small", "bp,mp,z3", "batch=4,model=2");
+    ("it32-small", "bp,mq", "batch=2,model=2");
+    ("unet-small", "bp,z2", "batch=2,model=2");
+    ("gns-small", "bp,es", "batch=4,model=2");
+    ("mlp", "bp,z3", "batch=4,model=2");
+  ]
+
+let test_benchmark_models_clean () =
+  let hardware = Hardware.tpu_v3 in
+  List.iter
+    (fun (model, schedule, mesh_spec) ->
+      let prepared = Zoo.prepare model in
+      let mesh = Zoo.parse_mesh mesh_spec in
+      let tactics = Zoo.tactics_of prepared hardware 32 schedule in
+      let r = jit ~ties:prepared.Zoo.ties mesh prepared.Zoo.func tactics in
+      let report = Mem_check.analyze ~hardware r.Schedule.program in
+      check_no_mem_diags
+        (Printf.sprintf "%s %s" model schedule)
+        report.Mem_check.diags;
+      if not (report.Mem_check.peak_bytes <= Hardware.hbm_bytes hardware) then
+        Alcotest.failf "%s %s: peak %.0f B over tpu_v3 HBM" model schedule
+          report.Mem_check.peak_bytes;
+      if not (report.Mem_check.peak_bytes > 0.) then
+        Alcotest.failf "%s %s: vacuous zero peak" model schedule)
+    benchmark_matrix
+
+(* {1 Property: static arena bound dominates the measured plan peak} *)
+
+(* On >= 100 partcheck-generated cases (random programs, meshes and
+   schedules): the 8 B/element arena bound from the static walk must be
+   an upper bound on the live-slot peak the plan executor actually
+   reaches, and fusion must never increase that bound (monotonicity is
+   asserted in the discount-free arena currency — the HBM bound's
+   elementwise-fusion discount shifts with use counts under collective
+   fusion). No numeric execution — just lower, analyze, compile. *)
+let test_bound_dominates_arena () =
+  for seed = 0 to 119 do
+    let c = Gen.generate ~seed in
+    let func, mesh, pool = Gen.build c in
+    let staged = Staged.of_func mesh func in
+    let _applied, _skipped = Oracle.apply_schedule c staged pool in
+    let p0 = Lower.lower ~fuse:false staged in
+    let p1 = { p0 with Lower.func = Fusion.run p0.Lower.func } in
+    let r0 = Mem_check.analyze p0 and r1 = Mem_check.analyze p1 in
+    List.iter
+      (fun (what, (r : Mem_check.report), p) ->
+        let measured = Plan.Spmd.peak_bytes (Plan.Spmd.compile p) in
+        if r.Mem_check.arena_bound_bytes +. 0.5 < float_of_int measured then
+          Alcotest.failf "seed %d %s: static arena bound %.0f B < measured %d B"
+            seed what r.Mem_check.arena_bound_bytes measured)
+      [ ("unfused", r0, p0); ("fused", r1, p1) ];
+    if
+      r1.Mem_check.arena_bound_bytes
+      > r0.Mem_check.arena_bound_bytes *. (1. +. 1e-9)
+    then
+      Alcotest.failf "seed %d: fusion raised static arena bound %.0f -> %.0f B"
+        seed r0.Mem_check.arena_bound_bytes r1.Mem_check.arena_bound_bytes
+  done
+
+let () =
+  Alcotest.run "mem"
+    [
+      ( "memcheck-planted",
+        [
+          Alcotest.test_case "oversized parameter" `Quick test_oversized_param;
+          Alcotest.test_case "replicated parameter" `Quick
+            test_replicated_param_warning;
+          Alcotest.test_case "OOM loop carry" `Quick test_oom_loop_carry;
+          Alcotest.test_case "staging blowup" `Quick test_staging_blowup;
+        ] );
+      ( "hardware",
+        [ Alcotest.test_case "spec validation" `Quick test_hardware_validate ] );
+      ( "memcheck-models",
+        [
+          Alcotest.test_case "benchmark matrix clean" `Quick
+            test_benchmark_models_clean;
+        ] );
+      ( "memcheck-property",
+        [
+          Alcotest.test_case "bound vs arena (120 cases)" `Quick
+            test_bound_dominates_arena;
+        ] );
+    ]

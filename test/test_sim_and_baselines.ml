@@ -140,16 +140,22 @@ let gspmd_tests =
 
 let auto_tests =
   [
-    Alcotest.test_case "memory penalty raises the cost" `Quick (fun () ->
+    Alcotest.test_case "over-limit schedules are hard-rejected" `Quick
+      (fun () ->
         let step = Lazy.force mlp_step in
         let mesh = Mesh.create [ ("batch", 4) ] in
         let staged = Staged.of_func mesh step.Train.func in
         let opts = Auto.default_options in
         let plain = Auto.evaluate opts staged in
-        let squeezed =
+        Alcotest.(check bool) "feasible on default HBM" true
+          (Float.is_finite plain && plain > 0.);
+        match
           Auto.evaluate { opts with memory_limit_bytes = Some 1. } staged
-        in
-        Alcotest.(check bool) "penalized" true (squeezed > 2. *. plain));
+        with
+        | _ -> Alcotest.fail "expected Infeasible_oom on a 1-byte limit"
+        | exception Auto.Infeasible_oom { peak_bytes; limit_bytes } ->
+            Alcotest.(check bool) "peak above limit" true
+              (peak_bytes > limit_bytes));
     Alcotest.test_case "greedy beats or matches no partitioning" `Quick
       (fun () ->
         let step = Lazy.force mlp_step in
