@@ -1998,6 +1998,182 @@ let membench () = membench_at ~smoke:false ~out:"BENCH_mem.json" ()
 let membench_smoke () = membench_at ~smoke:true ~out:"BENCH_mem_smoke.json" ()
 
 (* ------------------------------------------------------------------ *)
+(* overlapbench: async collectives vs barrier-mode execution           *)
+(* ------------------------------------------------------------------ *)
+
+(* Per comm-bound schedule: the async engine (issue/wait replay of the
+   communication schedule, transfers hidden under compute on per-link
+   occupancy channels) against barrier-mode execution ([Cost_model.sync]:
+   every collective stalls the critical path for its full price), the
+   exposed-vs-total comm split, schedule-structure stats, a
+   zero-diagnostic run of the CL007–CL009 schedule lint, and bit-parity
+   of async plan execution against barrier-mode plans. *)
+let overlapbench_at ~smoke ~out () =
+  hr
+    (Printf.sprintf
+       "Overlap benchmark: async collectives vs barrier execution%s"
+       (if smoke then " (smoke)" else ""));
+  let hw = Hardware.tpu_v3 in
+  let rows_spec =
+    if smoke then
+      [
+        (wl_t32_small, Mesh.create [ ("batch", 4); ("model", 2) ], "BP+MP");
+        (wl_t32_small, Mesh.create [ ("batch", 4); ("model", 2) ], "BP+MP+Z3");
+      ]
+    else
+      [
+        (wl_t32, Mesh.create [ ("batch", 16); ("model", 2) ], "BP+MP");
+        (wl_t32, mesh84 (), "BP+MP+Z3");
+        (wl_t48, Mesh.create [ ("batch", 16); ("model", 2) ], "BP+MP");
+        (wl_t48, mesh84 (), "BP+MP+Z3");
+      ]
+  in
+  Printf.printf "%-10s %-10s | %9s %9s %7s | %9s %9s %6s | %s\n" "Model"
+    "Schedule" "sync(ms)" "async(ms)" "speedup" "comm(ms)" "expos(ms)" "frac"
+    "windows/buckets/decomp";
+  let row (wl, mesh, schedule) =
+    let r = cached_jit ~budget:6 wl mesh schedule in
+    let program = r.Schedule.program in
+    let sch = Comm_schedule.of_program program in
+    let st = sch.Comm_schedule.stats in
+    let async =
+      match Engine.simulate Cost_model.measured hw program with
+      | Engine.Completed rep -> rep
+      | Engine.Failed { failure; _ } ->
+          failwith
+            (Format.asprintf "overlapbench: fault-free run failed: %a"
+               Engine.pp_failure failure)
+    in
+    let sync = Engine.estimate (Cost_model.sync Cost_model.measured) hw program in
+    let async_ms = async.Engine.estimate.Cost_model.runtime_ms in
+    let sync_ms = sync.Cost_model.runtime_ms in
+    let total_ms = async.Engine.estimate.Cost_model.comm_ms in
+    let exposed_ms = async.Engine.exposed_comm_ms in
+    let speedup = sync_ms /. Float.max 1e-12 async_ms in
+    let frac = exposed_ms /. Float.max 1e-12 total_ms in
+    let lint = Collective_lint.schedule program in
+    Printf.printf
+      "%-10s %-10s | %9.3f %9.3f %6.2fx | %9.3f %9.3f %5.1f%% | %d/%d/%d%s\n%!"
+      wl.name schedule sync_ms async_ms speedup total_ms exposed_ms
+      (100. *. frac) st.Comm_schedule.windows st.Comm_schedule.buckets
+      st.Comm_schedule.decomposed
+      (if lint = [] then "" else "  LINT-FAIL");
+    (wl.name, schedule, sync_ms, async_ms, total_ms, exposed_ms, st, lint)
+  in
+  let rows = List.map row rows_spec in
+  (* Bit-parity: async plan execution must equal barrier-mode plans on
+     real numerics, across domain counts (the oracle enforces the same on
+     generated programs; this pins it on the transformer workloads). *)
+  let bits_equal xs ys =
+    List.length xs = List.length ys
+    && List.for_all2
+         (fun (a : Literal.t) (b : Literal.t) ->
+           Shape.equal a.Literal.shape b.Literal.shape
+           && Array.for_all2
+                (fun x y -> Int64.bits_of_float x = Int64.bits_of_float y)
+                a.Literal.data b.Literal.data)
+         xs ys
+  in
+  let parity_spec =
+    let m = Mesh.create [ ("batch", 4); ("model", 2) ] in
+    if smoke then [ (wl_t32_small, m, "BP+MP") ]
+    else [ (wl_t32_small, m, "BP+MP"); (wl_t32_small, m, "BP+MP+Z3") ]
+  in
+  let parity_row (wl, mesh, schedule) =
+    let r = cached_jit ~budget:6 wl mesh schedule in
+    let program = r.Schedule.program in
+    let args = kb_args ~vocab:12 17 (Lazy.force wl.func) in
+    let reference = Plan.Spmd.run (Plan.Spmd.compile ~async:false program) args in
+    let sp = Plan.Spmd.compile program in
+    let at n =
+      Parallel.set_num_domains n;
+      Fun.protect
+        ~finally:(fun () -> Parallel.clear_num_domains ())
+        (fun () -> bits_equal reference (Plan.Spmd.run sp args))
+    in
+    let ok = at 1 && at 2 && at 4 in
+    Printf.printf "parity %-10s %-10s async==barrier (domains 1/2/4): %s\n%!"
+      wl.name schedule
+      (if ok then "ok" else "FAIL");
+    (wl.name, schedule, ok)
+  in
+  let parity = List.map parity_row parity_spec in
+  let all_parity_ok = List.for_all (fun (_, _, ok) -> ok) parity in
+  (* Gates (ISSUE 10 acceptance): async never slower than barrier mode,
+     exposed comm a strict sub-part of total on the T32 BP+MP schedule,
+     zero schedule-lint diagnostics, and bit-parity across the board. *)
+  let no_slowdown =
+    List.for_all
+      (fun (_, _, sync_ms, async_ms, _, _, _, _) ->
+        async_ms <= sync_ms *. (1. +. 1e-9))
+      rows
+  in
+  let exposed_bounded =
+    List.for_all
+      (fun (_, _, _, _, total, exposed, _, _) ->
+        exposed <= total *. (1. +. 1e-9))
+      rows
+  in
+  let overlap_hides =
+    List.exists
+      (fun (name, schedule, _, _, total, exposed, _, _) ->
+        String.length name >= 3
+        && String.sub name 0 3 = "T32"
+        && schedule = "BP+MP" && total > 0. && exposed < total)
+      rows
+  in
+  let lint_clean = List.for_all (fun (_, _, _, _, _, _, _, l) -> l = []) rows in
+  Printf.printf
+    "gates: parity %b, no_slowdown %b, exposed<=total %b, overlap_hides_comm \
+     %b, lint_clean %b\n\
+     %!"
+    all_parity_ok no_slowdown exposed_bounded overlap_hides lint_clean;
+  emit_json out (fun oc ->
+      let json_row (name, schedule, sync_ms, async_ms, total, exposed, st, lint)
+          =
+        Printf.sprintf
+          {|    { "model": "%s", "schedule": "%s", "sync_ms": %.6f, "async_ms": %.6f, "speedup": %.4f, "total_comm_ms": %.6f, "exposed_comm_ms": %.6f, "exposed_frac": %.4f, "collectives": %d, "windows": %d, "max_gap": %d, "buckets": %d, "bucketed": %d, "decomposed": %d, "lint_diagnostics": %d }|}
+          name schedule sync_ms async_ms
+          (sync_ms /. Float.max 1e-12 async_ms)
+          total exposed
+          (exposed /. Float.max 1e-12 total)
+          st.Comm_schedule.collectives st.Comm_schedule.windows
+          st.Comm_schedule.max_gap st.Comm_schedule.buckets
+          st.Comm_schedule.bucketed st.Comm_schedule.decomposed
+          (List.length lint)
+      in
+      let json_parity (name, schedule, ok) =
+        Printf.sprintf
+          {|    { "model": "%s", "schedule": "%s", "parity_ok": %b }|} name
+          schedule ok
+      in
+      Printf.fprintf oc
+        "{\n\
+        \  \"mode\": \"%s\", \"hardware\": \"tpu_v3\",\n\
+        \  \"rows\": [\n\
+         %s\n\
+        \  ],\n\
+        \  \"parity\": [\n\
+         %s\n\
+        \  ],\n\
+        \  \"all_parity_ok\": %b,\n\
+        \  \"gates\": { \"no_slowdown\": %b, \"exposed_bounded\": %b, \
+         \"overlap_hides_comm\": %b, \"lint_clean\": %b }\n\
+         }\n"
+        (if smoke then "smoke" else "full")
+        (String.concat ",\n" (List.map json_row rows))
+        (String.concat ",\n" (List.map json_parity parity))
+        all_parity_ok no_slowdown exposed_bounded overlap_hides lint_clean);
+  if not (all_parity_ok && no_slowdown && exposed_bounded && overlap_hides
+          && lint_clean)
+  then failwith "overlapbench: acceptance gates violated"
+
+let overlapbench () = overlapbench_at ~smoke:false ~out:"BENCH_overlap.json" ()
+
+let overlapbench_smoke () =
+  overlapbench_at ~smoke:true ~out:"BENCH_overlap_smoke.json" ()
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -2025,6 +2201,8 @@ let experiments =
     ("servesimbench-smoke", servesimbench_smoke);
     ("membench", membench);
     ("membench-smoke", membench_smoke);
+    ("overlapbench", overlapbench);
+    ("overlapbench-smoke", overlapbench_smoke);
   ]
 
 let () =

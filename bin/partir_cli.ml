@@ -56,7 +56,7 @@ let set_executor name =
         (Printf.sprintf "unknown executor %S (expected interp or plan)" name)
 
 let run_checked model schedule mesh_spec hardware_name dump single_tactic
-    budget executor exec =
+    budget executor exec legacy_overlap =
   set_executor executor;
   let prepared = Zoo.prepare model in
   let mesh = Zoo.parse_mesh mesh_spec in
@@ -97,9 +97,26 @@ let run_checked model schedule mesh_spec hardware_name dump single_tactic
         rep.Schedule.estimate)
     r.Schedule.reports;
   Format.printf "total partition time: %.2fs@." r.Schedule.partition_seconds;
-  let measured = Cost_model.run Cost_model.measured hardware r.Schedule.program in
+  let profile =
+    if legacy_overlap then Cost_model.legacy Cost_model.measured
+    else Cost_model.measured
+  in
+  let measured = Cost_model.run profile hardware r.Schedule.program in
   Format.printf "measured (discrete-event) estimate: %a@." Cost_model.pp_estimate
     measured;
+  if legacy_overlap then
+    Format.printf
+      "warning: --legacy-overlap: communication overlap priced by the fixed \
+       overlap_fraction scalar (%.2f) — no communication schedule was \
+       derived; exposed comm is an assumption, not a critical path@."
+      profile.Cost_model.overlap_fraction
+  else begin
+    let ov = Cost_model.walk_overlap profile hardware r.Schedule.program in
+    Format.printf
+      "overlap: comm %.3f ms total, %.3f ms exposed on the critical path \
+       (schedule-derived)@."
+      ov.Cost_model.total_comm_ms ov.Cost_model.exposed_comm_ms
+  end;
   if dump then begin
     Format.printf "@.=== device-local SPMD module ===@.";
     print_endline (Printer.func_to_string r.Schedule.program.Lower.func)
@@ -165,6 +182,9 @@ let verify_checked model schedule mesh_spec hardware_name budget json =
     ]
   in
   let mem = Mem_check.analyze ~hardware r.Schedule.program in
+  let overlap =
+    Cost_model.walk_overlap Cost_model.analytic hardware r.Schedule.program
+  in
   let hbm = Hardware.hbm_bytes hardware in
   let feasible = mem.Mem_check.peak_bytes <= hbm in
   let n_errors =
@@ -198,6 +218,8 @@ let verify_checked model schedule mesh_spec hardware_name budget json =
       \  \"memory\": {\"params_gb\": %.6f, \"activations_gb\": %.6f, \
        \"peak_gb\": %.6f, \"arena_bound_gb\": %.6f, \"hbm_gb\": %.6f, \
        \"feasible\": %b, \"peak_path\": \"%s\"},\n\
+      \  \"overlap\": {\"total_comm_ms\": %.6f, \"exposed_comm_ms\": %.6f, \
+       \"schedule_derived\": %b, \"legacy_overlap\": %.4f},\n\
       \  \"errors\": %d\n\
        }\n"
       model schedule (Mesh.to_string mesh) hardware_name
@@ -208,6 +230,9 @@ let verify_checked model schedule mesh_spec hardware_name budget json =
       (mem.Mem_check.arena_bound_bytes /. 1e9)
       (hbm /. 1e9) feasible
       (json_escape mem.Mem_check.peak_path)
+      overlap.Cost_model.total_comm_ms overlap.Cost_model.exposed_comm_ms
+      Cost_model.analytic.Cost_model.comm_schedule
+      Cost_model.analytic.Cost_model.overlap_fraction
       n_errors
   end
   else begin
@@ -229,6 +254,9 @@ let verify_checked model schedule mesh_spec hardware_name budget json =
     Format.printf "  peak at %s; plan arena bound %.3f GB@."
       mem.Mem_check.peak_path
       (mem.Mem_check.arena_bound_bytes /. 1e9);
+    Format.printf
+      "overlap: comm %.3f ms total, %.3f ms exposed (schedule-derived)@."
+      overlap.Cost_model.total_comm_ms overlap.Cost_model.exposed_comm_ms;
     if n_errors = 0 then Format.printf "verify %s: OK (0 error diagnostics)@." model
     else
       Format.printf "verify %s: %d error%s@." model n_errors
@@ -404,10 +432,10 @@ let with_structured_errors f =
   | Not_found -> error "not found" "unknown hardware or mesh axis"
 
 let run model schedule mesh_spec hardware_name dump single_tactic budget
-    executor exec =
+    executor exec legacy_overlap =
   with_structured_errors (fun () ->
       run_checked model schedule mesh_spec hardware_name dump single_tactic
-        budget executor exec)
+        budget executor exec legacy_overlap)
 
 let verify model schedule mesh_spec hardware_name budget json =
   with_structured_errors (fun () ->
@@ -499,10 +527,21 @@ let timeout =
     value & opt float 120.
     & info [ "timeout" ] ~doc:"Client-side response timeout in seconds")
 
+let legacy_overlap_flag =
+  Arg.(
+    value & flag
+    & info [ "legacy-overlap" ]
+        ~doc:
+          "Price communication overlap with the deprecated fixed \
+           $(b,overlap_fraction) scalar instead of deriving a \
+           communication schedule (issue/wait critical path). Kept as the \
+           pure-analytic fallback; a warning marks the estimate as \
+           assumption-based")
+
 let run_term =
   Term.(
     const run $ model $ schedule $ mesh $ hw $ dump $ single $ budget
-    $ executor $ exec_flag)
+    $ executor $ exec_flag $ legacy_overlap_flag)
 
 let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Partition a model and report per-tactic metadata")

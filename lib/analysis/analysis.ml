@@ -26,6 +26,7 @@ let check_program ?hardware p =
     (Verify.func ~mesh:p.Lower.mesh p.Lower.func
     @ Shard_check.program p
     @ Collective_lint.program p
+    @ Collective_lint.schedule p
     @ mem)
 
 (* {1 Debug-mode assertions}

@@ -241,6 +241,184 @@ let check_traces mesh (traces : event list array) =
   end;
   D.sort (List.rev !diags)
 
+(* {1 Async-window discipline}
+
+   The communication schedule ([Comm_schedule]) splits every communicating
+   collective into an issue and a wait. Three properties must hold for the
+   async execution to be sound on real hardware (and they are what the
+   plan executor's arena discipline relies on):
+
+   - CL007: issues and waits pair up exactly, within one scope — no wait
+     without a live window, no double-issue of a window, no window left
+     open at scope end;
+   - CL008: nothing reads the collective's result inside the window (the
+     transfer has not landed yet);
+   - CL009: nothing writes the collective's source or destination buffer
+     while the transfer is in flight (the DMA owns both).
+
+   The checker runs over a flat event stream so synthetic streams can
+   exercise the failure paths directly; [async_events] derives the stream
+   of a real schedule. *)
+
+type async_event =
+  | Ev_scope_begin of string
+  | Ev_scope_end of string
+  | Ev_issue of { window : int; path : string; src : int; dst : int }
+  | Ev_wait of { window : int; path : string }
+  | Ev_access of { path : string; reads : int list; writes : int list }
+
+type window_info = { w_path : string; w_src : int; w_dst : int }
+
+let check_async (events : async_event list) =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let inflight : (int, window_info) Hashtbl.t = Hashtbl.create 8 in
+  let scopes = ref [] in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Ev_scope_begin _ -> scopes := ref [] :: !scopes
+      | Ev_scope_end path ->
+          (match !scopes with
+          | top :: rest ->
+              List.iter
+                (fun w ->
+                  match Hashtbl.find_opt inflight w with
+                  | Some i ->
+                      add
+                        (D.error ~code:"CL007" ~path:i.w_path
+                           "collective issued but never waited before the end \
+                            of scope %s"
+                           path);
+                      Hashtbl.remove inflight w
+                  | None -> ())
+                !top;
+              scopes := rest
+          | [] ->
+              add
+                (D.error ~code:"CL007" ~path "scope end without a scope begin"))
+      | Ev_issue { window; path; src; dst } -> (
+          (match !scopes with
+          | top :: _ -> top := window :: !top
+          | [] ->
+              add (D.error ~code:"CL007" ~path "issue outside any scope"));
+          match Hashtbl.find_opt inflight window with
+          | Some prev ->
+              add
+                (D.error ~code:"CL007" ~path
+                   "window #%d issued twice (previous issue at %s)" window
+                   prev.w_path)
+          | None ->
+              Hashtbl.replace inflight window
+                { w_path = path; w_src = src; w_dst = dst })
+      | Ev_wait { window; path } -> (
+          match Hashtbl.find_opt inflight window with
+          | Some _ -> Hashtbl.remove inflight window
+          | None ->
+              add
+                (D.error ~code:"CL007" ~path
+                   "wait on window #%d which has no in-flight issue" window))
+      | Ev_access { path; reads; writes } ->
+          Hashtbl.iter
+            (fun window i ->
+              if List.mem i.w_dst reads then
+                add
+                  (D.error ~code:"CL008" ~path
+                     "reads %%%d before the wait of in-flight collective \
+                      window #%d (issued at %s)"
+                     i.w_dst window i.w_path);
+              List.iter
+                (fun w ->
+                  if w = i.w_src || w = i.w_dst then
+                    add
+                      (D.error ~code:"CL009" ~path
+                         "writes buffer %%%d of in-flight collective window \
+                          #%d (issued at %s) — the transfer owns it until \
+                          the wait"
+                         w window i.w_path))
+                writes)
+            inflight)
+    events;
+  List.iter
+    (fun w ->
+      match Hashtbl.find_opt inflight w with
+      | Some i ->
+          add
+            (D.error ~code:"CL007" ~path:i.w_path
+               "collective issued but never waited");
+          Hashtbl.remove inflight w
+      | None -> ())
+    (Hashtbl.fold (fun w _ acc -> w :: acc) inflight []);
+  D.sort (List.rev !diags)
+
+module Comm_schedule = Partir_spmd.Comm_schedule
+
+let async_events (sch : Comm_schedule.t) =
+  let value_ids vs = List.map (fun (v : Value.t) -> v.Value.id) vs in
+  let path_of (op : Op.t) =
+    match op.Op.results with
+    | (r : Value.t) :: _ ->
+        Printf.sprintf "%s->%%%d" (Op.kind_name op.Op.kind) r.Value.id
+    | [] -> Op.kind_name op.Op.kind
+  in
+  let events = ref [] in
+  let push e = events := e :: !events in
+  let rec walk name (s : Comm_schedule.scope) =
+    push (Ev_scope_begin name);
+    List.iter
+      (fun item ->
+        match item with
+        | Comm_schedule.Compute op ->
+            push
+              (Ev_access
+                 {
+                   path = path_of op;
+                   reads = value_ids (Comm_schedule.reads_of op);
+                   writes = value_ids op.Op.results;
+                 })
+        | Comm_schedule.Enter (op, sub) ->
+            push
+              (Ev_access
+                 {
+                   path = path_of op;
+                   reads = value_ids (Comm_schedule.reads_of op);
+                   writes = value_ids op.Op.results;
+                 });
+            walk (path_of op) sub
+        | Comm_schedule.Issue slot ->
+            let e = s.Comm_schedule.entries.(slot) in
+            let op = e.Comm_schedule.op in
+            let src =
+              match op.Op.operands with
+              | (v : Value.t) :: _ -> v.Value.id
+              | [] -> -1
+            in
+            let dst =
+              match op.Op.results with
+              | (v : Value.t) :: _ -> v.Value.id
+              | [] -> -1
+            in
+            push
+              (Ev_issue
+                 { window = e.Comm_schedule.index; path = path_of op; src; dst })
+        | Comm_schedule.Wait slot ->
+            let e = s.Comm_schedule.entries.(slot) in
+            push
+              (Ev_wait
+                 {
+                   window = e.Comm_schedule.index;
+                   path = path_of e.Comm_schedule.op;
+                 }))
+      s.Comm_schedule.items;
+    push (Ev_scope_end name);
+    ()
+  in
+  walk "top" sch.Comm_schedule.top;
+  List.rev !events
+
+let schedule (p : Lower.program) =
+  check_async (async_events (Comm_schedule.of_program p))
+
 let max_simulated_devices = 128
 
 let func ~mesh (f : Func.t) =

@@ -15,7 +15,11 @@
       own device, names devices outside the mesh, or disagrees between
       members)
     - [CL005] mismatched/misordered collectives between group members
-    - [CL006] a device finishes while group peers still wait on it *)
+    - [CL006] a device finishes while group peers still wait on it
+    - [CL007] async issue/wait pairing broken (wait without a live window,
+      double-issue, or a window still open at scope end)
+    - [CL008] a collective's result is read before its wait
+    - [CL009] a buffer owned by an in-flight collective is written *)
 
 open Partir_hlo
 module Mesh = Partir_mesh.Mesh
@@ -41,3 +45,30 @@ val func : mesh:Mesh.t -> Func.t -> Diagnostic.t list
 
 val program : Partir_spmd.Lower.program -> Diagnostic.t list
 (** [func] applied to a lowered program's device-local function. *)
+
+(** {2 Async-window discipline (CL007–CL009)}
+
+    Checks the issue/wait structure a communication schedule
+    ([Partir_spmd.Comm_schedule]) puts on a program: pairing, no
+    use-before-wait, no writes to in-flight buffers. *)
+
+type async_event =
+  | Ev_scope_begin of string
+  | Ev_scope_end of string
+  | Ev_issue of { window : int; path : string; src : int; dst : int }
+      (** [src]/[dst] are value ids of the buffers the transfer owns *)
+  | Ev_wait of { window : int; path : string }
+  | Ev_access of { path : string; reads : int list; writes : int list }
+
+val check_async : async_event list -> Diagnostic.t list
+(** Scan a flat event stream for CL007–CL009. Exposed so tests can plant
+    broken streams; streams from [async_events] over schedules built by
+    [Comm_schedule.of_program] are clean by construction — the partcheck
+    oracle enforces exactly that. *)
+
+val async_events : Partir_spmd.Comm_schedule.t -> async_event list
+(** Flatten a communication schedule into the event stream
+    [check_async] consumes. *)
+
+val schedule : Partir_spmd.Lower.program -> Diagnostic.t list
+(** [check_async] over the program's derived communication schedule. *)

@@ -31,12 +31,17 @@ module Stats = struct
         (* the search stopped early ([should_stop] fired at a budget
            checkpoint); the applied schedule is the best-so-far vector, a
            valid but possibly sub-optimal answer *)
+    total_comm_ms : float;
+        (* analytic communication time of the applied (best) schedule *)
+    exposed_comm_ms : float;
+        (* the part of [total_comm_ms] left on the critical path after
+           issue/wait overlap scheduling — 0 when fully hidden *)
   }
 
   let pp ppf s =
     Format.fprintf ppf
       "%d iters, %d evals (%d/%d cache hits, %d infeasible%s%s), %d domain%s, \
-       %.2fs, best %.2fms (baseline %.2fms)%s"
+       %.2fs, best %.2fms (baseline %.2fms)%s%s"
       s.iterations s.evaluations s.cache_hits s.cache_lookups
       s.failed_evaluations
       (if s.infeasible_oom > 0 then
@@ -51,6 +56,10 @@ module Stats = struct
       s.domains_used
       (if s.domains_used = 1 then "" else "s")
       s.wall_seconds s.best_cost s.baseline_cost
+      (if s.total_comm_ms > 0. then
+         Printf.sprintf ", comm %.2fms (%.2fms exposed)" s.total_comm_ms
+           s.exposed_comm_ms
+       else "")
       (if s.interrupted then ", INTERRUPTED (best-so-far)" else "")
 
   let to_string s = Format.asprintf "%a" pp s
@@ -342,7 +351,18 @@ let make_ctx opts (staged : Staged.t) ~axes =
 let stopped opts =
   match opts.should_stop with Some f -> f () | None -> false
 
-let stats_of ctx ~wall_seconds ~iterations ~best_cost ~trajectory ~interrupted =
+(* Overlap report of the applied schedule: lower the (already rewritten)
+   staged module once more and replay its communication schedule. Search
+   never depends on this — a lowering failure just zeroes the report. *)
+let overlap_of ctx staged =
+  match Partir_spmd.Lower.lower ~source_flops:ctx.source_flops staged with
+  | p ->
+      let ov = Cost_model.walk_overlap Cost_model.analytic ctx.opts.hardware p in
+      (ov.Cost_model.total_comm_ms, ov.Cost_model.exposed_comm_ms)
+  | exception _ -> (0., 0.)
+
+let stats_of ctx ~wall_seconds ~iterations ~best_cost ~trajectory ~interrupted
+    ~overlap:(total_comm_ms, exposed_comm_ms) =
   {
     Stats.wall_seconds;
     iterations;
@@ -360,6 +380,8 @@ let stats_of ctx ~wall_seconds ~iterations ~best_cost ~trajectory ~interrupted =
     best_cost;
     trajectory = List.rev trajectory;
     interrupted;
+    total_comm_ms;
+    exposed_comm_ms;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -533,6 +555,7 @@ let mcts_search opts (staged : Staged.t) ~axes =
       ~wall_seconds:(Unix.gettimeofday () -. t0)
       ~iterations:(min !it (iterations + 1))
       ~best_cost:!best_cost ~trajectory:!trajectory ~interrupted:!interrupted
+      ~overlap:(overlap_of ctx staged)
   in
   Option.iter (fun f -> f stats) opts.on_stats;
   stats
@@ -593,6 +616,7 @@ let greedy_search opts (staged : Staged.t) ~axes =
       ~wall_seconds:(Unix.gettimeofday () -. t0)
       ~iterations:!used ~best_cost:!best_cost ~trajectory:!trajectory
       ~interrupted:!interrupted
+      ~overlap:(overlap_of ctx staged)
   in
   Option.iter (fun f -> f stats) opts.on_stats;
   stats

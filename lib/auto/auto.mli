@@ -46,6 +46,13 @@ module Stats : sig
         (** the search stopped early because [should_stop] fired at a
             budget checkpoint; the applied schedule is the best-so-far
             vector — valid, but possibly sub-optimal *)
+    total_comm_ms : float;
+        (** analytic communication time of the applied (best) schedule *)
+    exposed_comm_ms : float;
+        (** the part of [total_comm_ms] still on the critical path after
+            issue/wait overlap scheduling
+            ({!Partir_sim.Cost_model.walk_overlap}) — 0 when every
+            transfer hides under compute *)
   }
 
   val pp : Format.formatter -> t -> unit

@@ -167,26 +167,84 @@ let check_cost_invariants mesh (p0 : Lower.program) (p1 : Lower.program) =
   then
     failf "fusion-comm-time" "fused comm %.9f ms > unfused comm %.9f ms"
       w1.Cost_model.comm_ms w0.Cost_model.comm_ms;
-  (* Each collective stage crosses at least one link: a collective over k
-     nontrivial axes can never be cheaper than k link latencies. *)
+  (* Per-hop latency floor: a ring stage over an axis of size s crosses
+     2(s-1) links for all_reduce (reduce-scatter sweep + all-gather
+     sweep) and (s-1) otherwise, and every hop pays the link latency —
+     so a collective moving any bytes at all can never be cheaper than
+     its total hop count times the latency. *)
   let latency = hw.Hardware.link_latency_us *. 1e-6 in
   List.iter
     (fun (p : Lower.program) ->
       List.iter
         (fun (op : Op.t) ->
-          let k =
-            List.length
-              (List.filter
-                 (fun a -> Mesh.axis_size mesh a > 1)
-                 (Cost_model.collective_group_axes op.Op.kind))
+          let hops_per a =
+            let s = Mesh.axis_size mesh a in
+            match op.Op.kind with
+            | Op.All_reduce _ -> 2 * (s - 1)
+            | _ -> s - 1
+          in
+          let hops =
+            List.fold_left
+              (fun acc a -> acc + hops_per a)
+              0
+              (Cost_model.collective_group_axes op.Op.kind)
+          in
+          let bytes =
+            match op.Op.operands with
+            | v :: _ -> Value.size_in_bytes v
+            | [] -> 0
           in
           let t = Cost_model.comm_time Cost_model.analytic hw mesh op in
-          if t +. 1e-15 < float_of_int k *. latency then
+          if bytes > 0 && t +. 1e-15 < float_of_int hops *. latency then
             failf "comm-latency-floor"
-              "%s over %d nontrivial axes modeled at %.3g s < %d x link \
+              "%s traversing %d ring hops modeled at %.3g s < %d x link \
                latency %.3g s"
-              (Op.kind_name op.Op.kind) k t k latency)
+              (Op.kind_name op.Op.kind) hops t hops latency)
         (collect_collectives [] p.Lower.func.Func.body))
+    [ p0; p1 ];
+  (* Overlap invariants: the schedule-derived critical path can never
+     beat compute alone nor exceed the barrier bound (sync = compute +
+     full comm); exposed comm is a sub-part of total comm; and the
+     schedule only re-times execution — the nominal compute/comm totals
+     must not depend on it. *)
+  List.iter
+    (fun (p : Lower.program) ->
+      List.iter
+        (fun profile ->
+          let async = Cost_model.run_walk profile hw p in
+          let sync = Cost_model.run_walk (Cost_model.sync profile) hw p in
+          if
+            async.Cost_model.runtime_ms
+            > (sync.Cost_model.runtime_ms *. (1. +. 1e-9)) +. 1e-12
+          then
+            failf "overlap-bound"
+              "async critical path %.9f ms > barrier bound %.9f ms"
+              async.Cost_model.runtime_ms sync.Cost_model.runtime_ms;
+          if
+            async.Cost_model.runtime_ms
+            < (async.Cost_model.compute_ms *. (1. -. 1e-9)) -. 1e-12
+          then
+            failf "overlap-bound"
+              "async critical path %.9f ms < compute alone %.9f ms"
+              async.Cost_model.runtime_ms async.Cost_model.compute_ms;
+          List.iter
+            (fun (what, a, b) ->
+              if not (rel_close a b) then
+                failf "overlap-nominal-totals"
+                  "async %s %.12f ms != sync %s %.12f ms" what a what b)
+            [
+              ("compute", async.Cost_model.compute_ms, sync.Cost_model.compute_ms);
+              ("comm", async.Cost_model.comm_ms, sync.Cost_model.comm_ms);
+            ];
+          let ov = Cost_model.walk_overlap profile hw p in
+          if
+            ov.Cost_model.exposed_comm_ms
+            > (ov.Cost_model.total_comm_ms *. (1. +. 1e-9)) +. 1e-12
+          then
+            failf "overlap-exposed"
+              "exposed comm %.9f ms > total comm %.9f ms"
+              ov.Cost_model.exposed_comm_ms ov.Cost_model.total_comm_ms)
+        [ Cost_model.analytic; Cost_model.measured ])
     [ p0; p1 ];
   List.iter
     (fun (p : Lower.program) ->
@@ -270,7 +328,21 @@ let run_case_exn (c : Gen.t) =
   check_outputs "spmd-unfused" ~reference (Spmd_interp.run p0 args);
   check_outputs "spmd-fused" ~reference (Spmd_interp.run p1 args);
   let sp1 = Plan.Spmd.compile p1 in
-  check_outputs "plan-spmd" ~reference (Plan.Spmd.run sp1 args);
+  let async_out = Plan.Spmd.run sp1 args in
+  check_outputs "plan-spmd" ~reference async_out;
+  (* Async issue/wait execution must be BIT-identical to barrier-mode
+     execution: the schedule moves transfers, never values. *)
+  let sync_out = Plan.Spmd.run (Plan.Spmd.compile ~async:false p1) args in
+  if List.length async_out <> List.length sync_out then
+    failf "plan-async-parity" "async %d outputs, sync %d"
+      (List.length async_out) (List.length sync_out);
+  List.iteri
+    (fun i (a, s) ->
+      let d = Literal.max_abs_diff a s in
+      if d <> 0.0 then
+        failf "plan-async-parity"
+          "output %d: async differs from barrier-mode by %g (must be 0)" i d)
+    (List.combine async_out sync_out);
   check_memory_invariants p0 p1 ~sp1;
   (match gspmd_annotations c mesh func (List.length pool) with
   | annos -> (

@@ -29,6 +29,7 @@ module Layout = Partir_spmd.Layout
 module Lower = Partir_spmd.Lower
 module Fusion = Partir_spmd.Fusion
 module Census = Partir_spmd.Census
+module Comm_schedule = Partir_spmd.Comm_schedule
 module Spmd_interp = Partir_spmd.Spmd_interp
 module Plan = Partir_plan.Plan
 module Hardware = Partir_sim.Hardware

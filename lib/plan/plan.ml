@@ -137,6 +137,14 @@ let fetch st = function
 type step =
   | Run of (state -> unit)
   | Collective of { kind : Op.kind; src : reg; dst : reg }
+  | Collective_issue of { token : int; kind : Op.kind; src : reg; dst : reg }
+      (** start the transfer: the source is snapshotted here (the same
+          program point the synchronous [Collective] ran at, so async
+          execution is bit-identical), [dst]'s arena slot is already
+          allocated and stays live across the window *)
+  | Collective_wait of { token : int; dst : reg }
+      (** complete the transfer: lands the in-flight result in [dst],
+          just before its first consumer *)
   | Loop of {
       trips : int;
       iter_slot : int;
@@ -152,7 +160,7 @@ let blit_into st (r : reg) slot =
 
 let rec exec_step st = function
   | Run f -> f st
-  | Collective _ ->
+  | Collective _ | Collective_issue _ | Collective_wait _ ->
       raise (Plan_error "plan: collective instruction in single-device plan")
   | Loop l ->
       Array.iter (fun (r, s) -> blit_into st r s) l.init;
@@ -177,6 +185,7 @@ type stats = {
   n_fused : int;
   n_inplace : int;
   n_slots : int;
+  n_windows : int;  (** async collective issue/wait windows *)
   arena_bytes : int;
   peak_bytes : int;
   naive_bytes : int;
@@ -195,7 +204,9 @@ type comp = {
   mutable n_chains : int;
   mutable n_fused : int;
   mutable n_inplace : int;
+  mutable n_windows : int;
   allow_collectives : bool;
+  async : bool;  (** split collectives into issue/wait *)
 }
 
 let alloc comp n =
@@ -346,6 +357,48 @@ let rec compile_ops comp (ops : Op.t list) ~(extra : Value.t list) :
     { b = Slot (alloc comp (Shape.numel shape)); shape; dtype }
   in
   let count_naive nel = comp.naive_bytes <- comp.naive_bytes + (8 * nel) in
+
+  (* Async collectives: first consumer index of each value at this level
+     (region-bearing items read their region's free values), and the
+     waits registered by issues but not yet emitted. A wait is flushed
+     just before the first item that reads its destination; waits whose
+     destination is only read by the scope boundary flush at scope end. *)
+  let first_use = Hashtbl.create 64 in
+  if comp.async then
+    Array.iteri
+      (fun i (op : Op.t) ->
+        let note (v : Value.t) =
+          if not (Hashtbl.mem first_use v.Value.id) then
+            Hashtbl.replace first_use v.Value.id i
+        in
+        List.iter note op.Op.operands;
+        match op.Op.region with
+        | Some r -> List.iter note (Interp.free_values_of_region r)
+        | None -> ())
+      opsa;
+  let pending = ref [] in
+  (* Emit every pending wait whose destination is first read by an item
+     before [upto] (registration order = issue order). *)
+  let flush_waits upto =
+    let ready, rest =
+      List.partition (fun (fu, _) -> fu < upto) !pending
+    in
+    pending := rest;
+    List.iter
+      (fun (_, s) ->
+        cur_name := "collective.wait";
+        emit s)
+      ready
+  in
+  let flush_all_waits () =
+    let rest = !pending in
+    pending := [];
+    List.iter
+      (fun (_, s) ->
+        cur_name := "collective.wait";
+        emit s)
+      rest
+  in
 
   (* ---- single elementwise instruction ---- *)
   let emit_ew (op : Op.t) idx =
@@ -1308,7 +1361,30 @@ let rec compile_ops comp (ops : Op.t list) ~(extra : Value.t list) :
         (* Result allocated before operand deaths: a collective's
            destination must never alias its source. *)
         let r = alloc_res out_shape rv.Value.ty.Value.dtype in
-        emit (Collective { kind = op.Op.kind; src = x; dst = r });
+        let communicating =
+          match op.Op.kind with Op.All_slice _ -> false | _ -> true
+        in
+        if comp.async && communicating then begin
+          (* Issue at the same program point the synchronous collective
+             ran (the source is snapshotted here, so numerics are
+             bit-identical); the wait sinks to just before the first
+             consumer. A result nothing reads waits immediately — its
+             slot is released right after this op, and the transfer must
+             land before the slot can be reused. *)
+          let token = comp.n_windows in
+          comp.n_windows <- comp.n_windows + 1;
+          emit (Collective_issue { token; kind = op.Op.kind; src = x; dst = r });
+          let wait = Collective_wait { token; dst = r } in
+          (match Hashtbl.find_opt first_use rv.Value.id with
+          | Some fu -> pending := !pending @ [ (fu, wait) ]
+          | None ->
+              if use_of rv = None then begin
+                cur_name := "collective.wait";
+                emit wait
+              end
+              else pending := !pending @ [ (max_int, wait) ])
+        end
+        else emit (Collective { kind = op.Op.kind; src = x; dst = r });
         count_naive (Shape.numel out_shape);
         define comp rv r
     | k, _ ->
@@ -1369,22 +1445,28 @@ let rec compile_ops comp (ops : Op.t list) ~(extra : Value.t list) :
         | _ -> false
       in
       if m >= 2 || not has_direct_kernel then begin
+        (* The chain covers ops [idx, !j): any in-flight result one of
+           them reads must land before the chain starts. *)
+        flush_waits !j;
         cur_name := Printf.sprintf "chain[%d]" m;
         emit_chain idx nel (Array.sub opsa idx m);
         i := !j
       end
       else begin
+        flush_waits (idx + 1);
         cur_name := Op.kind_name op.Op.kind;
         emit_ew op idx;
         incr i
       end
     end
     else begin
+      flush_waits (idx + 1);
       cur_name := Op.kind_name op.Op.kind;
       emit_simple op idx;
       incr i
     end
   done;
+  flush_all_waits ();
   (List.rev !steps, List.rev !names, local)
 
 (* ------------------------------------------------------------------ *)
@@ -1400,7 +1482,7 @@ type core = {
   cstats : stats;
 }
 
-let compile_core ~allow_collectives (f : Func.t) =
+let compile_core ~allow_collectives ~async (f : Func.t) =
   let comp =
     {
       regs = Hashtbl.create 256;
@@ -1415,7 +1497,9 @@ let compile_core ~allow_collectives (f : Func.t) =
       n_chains = 0;
       n_fused = 0;
       n_inplace = 0;
+      n_windows = 0;
       allow_collectives;
+      async;
     }
   in
   List.iteri
@@ -1445,6 +1529,7 @@ let compile_core ~allow_collectives (f : Func.t) =
         n_fused = comp.n_fused;
         n_inplace = comp.n_inplace;
         n_slots = comp.n_slots;
+        n_windows = comp.n_windows;
         arena_bytes = 8 * Array.fold_left ( + ) 0 slot_sizes;
         peak_bytes = 8 * comp.peak_elems;
         naive_bytes = comp.naive_bytes;
@@ -1457,7 +1542,7 @@ let make_state core =
 type t = { core : core; state : state }
 
 let compile (f : Func.t) =
-  let core = compile_core ~allow_collectives:false f in
+  let core = compile_core ~allow_collectives:false ~async:false f in
   { core; state = make_state core }
 
 let stats t = t.core.cstats
@@ -1525,8 +1610,8 @@ let execute (t : t) (args : Literal.t array) =
 module Spmd = struct
   type plan = { program : Lower.program; core : core; states : state array }
 
-  let compile (p : Lower.program) =
-    let core = compile_core ~allow_collectives:true p.Lower.func in
+  let compile ?(async = true) (p : Lower.program) =
+    let core = compile_core ~allow_collectives:true ~async p.Lower.func in
     let ndev = Mesh.num_devices p.Lower.mesh in
     { program = p; core; states = Array.init ndev (fun _ -> make_state core) }
 
@@ -1536,8 +1621,13 @@ module Spmd = struct
   (* Devices advance in lockstep through the shared instruction stream:
      Run steps execute sequentially per device (each kernel parallelizes
      internally over the fixed 64-chunk grid, preserving determinism),
-     Collective steps exchange across all device states. *)
-  let rec exec_all mesh (sts : state array) = function
+     Collective steps exchange across all device states. An issue
+     evaluates the exchange on a snapshot of the sources (eagerly, at
+     the exact program point the synchronous collective would run — so
+     async plans are bit-identical to sync plans by construction) and
+     parks the outputs in [inflight] under its window token; the wait
+     lands them in the destination slots. *)
+  let rec exec_all mesh inflight (sts : state array) = function
     | Run f -> Array.iter f sts
     | Collective { kind; src; dst } ->
         let inputs =
@@ -1552,6 +1642,43 @@ module Spmd = struct
             let o = outputs.(i).Literal.data in
             if o != d then Array.blit o 0 d 0 (Array.length d))
           sts
+    | Collective_issue { token; kind; src; dst = _ } ->
+        let inputs =
+          Array.map
+            (fun st -> Literal.create src.dtype src.shape (fetch st src.b))
+            sts
+        in
+        let outputs = Spmd_interp.eval_collective mesh kind inputs in
+        (* An output that aliases a source buffer (degenerate groups pass
+           the input literal through) must be snapshotted: the source
+           slot can be released and reused while the window is open. *)
+        let outputs =
+          Array.map
+            (fun (o : Literal.t) ->
+              if
+                Array.exists
+                  (fun (inp : Literal.t) ->
+                    inp.Literal.data == o.Literal.data)
+                  inputs
+              then
+                Literal.create o.Literal.dtype o.Literal.shape
+                  (Array.copy o.Literal.data)
+              else o)
+            outputs
+        in
+        Hashtbl.replace inflight token outputs
+    | Collective_wait { token; dst } -> (
+        match Hashtbl.find_opt inflight token with
+        | None ->
+            raise (Plan_error "plan: collective wait without a matching issue")
+        | Some outputs ->
+            Hashtbl.remove inflight token;
+            Array.iteri
+              (fun i st ->
+                let d = fetch st dst.b in
+                let o = outputs.(i).Literal.data in
+                if o != d then Array.blit o 0 d 0 (Array.length d))
+              sts)
     | Loop l ->
         Array.iter
           (fun st -> Array.iter (fun (r, s) -> blit_into st r s) l.init)
@@ -1560,7 +1687,7 @@ module Spmd = struct
           Array.iter
             (fun st -> st.bufs.(l.iter_slot).(0) <- float_of_int step)
             sts;
-          Array.iter (fun stp -> exec_all mesh sts stp) l.body;
+          Array.iter (fun stp -> exec_all mesh inflight sts stp) l.body;
           Array.iter
             (fun st ->
               Array.iter (fun (r, s) -> blit_into st r s) l.next;
@@ -1584,7 +1711,8 @@ module Spmd = struct
           (Printf.sprintf "device %d: " i)
           (Array.of_list inputs.(i)))
       sp.states;
-    Array.iter (fun stp -> exec_all mesh sp.states stp) sp.core.steps;
+    let inflight = Hashtbl.create 8 in
+    Array.iter (fun stp -> exec_all mesh inflight sp.states stp) sp.core.steps;
     Array.map
       (fun st -> Array.to_list (read_results sp.core st))
       sp.states

@@ -37,6 +37,10 @@ type stats = {
   n_fused : int;  (** elementwise ops folded into those chains *)
   n_inplace : int;  (** instructions writing over a dying input *)
   n_slots : int;  (** distinct arena slots *)
+  n_windows : int;
+      (** async collective windows: issue/wait instruction pairs whose
+          destination slot stays live across the window (0 in
+          single-device and sync SPMD plans) *)
   arena_bytes : int;  (** total arena footprint *)
   peak_bytes : int;
       (** measured live-slot peak: the maximum bytes simultaneously held by
@@ -71,7 +75,16 @@ val peak_bytes : t -> int
 module Spmd : sig
   type plan
 
-  val compile : Lower.program -> plan
+  val compile : ?async:bool -> Lower.program -> plan
+  (** With [async] (the default), communicating collectives compile to
+      [Collective_issue]/[Collective_wait] pairs: the issue snapshots the
+      sources and starts the exchange at the exact program point the
+      synchronous collective would run — so results are bit-identical to
+      [~async:false] — and the wait lands the result just before its
+      first consumer, modeling the in-flight window the communication
+      schedule prices ([Comm_schedule], DESIGN.md §15). [all_slice] is
+      device-local and always synchronous. *)
+
   val stats : plan -> stats
 
   val peak_bytes : plan -> int

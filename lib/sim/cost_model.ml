@@ -1,6 +1,7 @@
 open Partir_hlo
 module Mesh = Partir_mesh.Mesh
 module Lower = Partir_spmd.Lower
+module Comm_schedule = Partir_spmd.Comm_schedule
 
 type profile = {
   fused_elementwise : bool;
@@ -10,6 +11,7 @@ type profile = {
   jitter : bool;
   memory_margin : float;
   overlap_fraction : float;
+  comm_schedule : bool;
   discrete_event : bool;
 }
 
@@ -22,6 +24,7 @@ let analytic =
     jitter = false;
     memory_margin = 0.10;
     overlap_fraction = 0.25;
+    comm_schedule = true;
     discrete_event = false;
   }
 
@@ -34,8 +37,18 @@ let measured =
     jitter = true;
     memory_margin = 0.;
     overlap_fraction = 0.35;
+    comm_schedule = true;
     discrete_event = true;
   }
+
+(* Fallback profiles. [legacy] prices overlap with the scalar
+   [overlap_fraction] instead of the communication schedule — the
+   pre-async model, kept for comparison and for callers that need a
+   schedule-free analytic answer. [sync] additionally hides nothing:
+   runtime = compute + comm exactly, the barrier-execution upper bound
+   the async schedule is measured against. *)
+let legacy p = { p with comm_schedule = false }
+let sync p = { p with comm_schedule = false; overlap_fraction = 0. }
 
 type estimate = {
   runtime_ms : float;
@@ -81,57 +94,65 @@ let is_collective = function
    standard decomposition on torus/switch topologies: a 2D-sharded
    all_reduce is a ring all_reduce along the first axis followed by one
    along the second), so each stage is priced with that axis's own ring
-   size and link bandwidth and is charged one link latency. Pricing the
-   whole group as a single ring of n = prod(sizes) devices at the minimum
-   link bandwidth — the previous model — both undercounts latency and
-   mischarges the stages running on the faster axes. Size-1 axes
-   contribute no stage. *)
-let comm_time profile hw mesh (op : Op.t) =
-  let axes = axes_of_collective op.kind in
-  let op_bytes, _ = collective_bytes op in
-  let stage_time payload axis =
-    if payload <= 0. then 0.
-    else
-      let bw = Hardware.axis_bandwidth hw (Mesh.axis_index mesh axis) in
-      let bw =
-        if profile.small_message_degradation then
-          bw *. (payload /. (payload +. 262144.))
-        else bw
-      in
-      (payload /. bw) +. (hw.Hardware.link_latency_us *. 1e-6)
-  in
-  let ring_frac s = float_of_int (s - 1) /. float_of_int s in
+   size and link bandwidth. A ring stage over s devices is 2(s-1) hops for
+   all_reduce (reduce-scatter sweep + all-gather sweep) and (s-1) hops
+   otherwise, and every hop pays the link latency — charging one latency
+   per stage (the previous model) hid the latency floor DDP-style
+   bucketing exists to amortize. Size-1 axes contribute no stage. *)
+let ring_frac s = float_of_int (s - 1) /. float_of_int s
+
+let stage_time profile hw mesh payload hops axis =
+  if payload <= 0. then 0.
+  else
+    let bw = Hardware.axis_bandwidth hw (Mesh.axis_index mesh axis) in
+    let bw =
+      if profile.small_message_degradation then
+        bw *. (payload /. (payload +. 262144.))
+      else bw
+    in
+    (payload /. bw)
+    +. (float_of_int hops *. hw.Hardware.link_latency_us *. 1e-6)
+
+(* Per-axis ring stages of a collective moving [op_bytes]:
+   (axis, payload, hops) in execution order. *)
+let stage_specs (op : Op.t) op_bytes =
   match op.kind with
-  | Op.All_reduce _ ->
+  | Op.All_reduce { axes; _ } ->
       (* Bidirectional ring per axis; buffer size is invariant. *)
-      List.fold_left
-        (fun acc (a, s) -> acc +. stage_time (2. *. ring_frac s *. op_bytes) a)
-        0. axes
-  | Op.All_gather _ ->
+      List.map
+        (fun (a, s) -> (a, 2. *. ring_frac s *. op_bytes, 2 * (s - 1)))
+        axes
+  | Op.All_gather { dim_axes } ->
       (* Stages grow the buffer: each stage ring-gathers the buffer as of
          that stage (outermost axis first, matching [gather_offsets]). *)
-      let acc, _ =
+      let axes = Array.to_list dim_axes |> List.concat in
+      let specs, _ =
         List.fold_left
           (fun (acc, cur) (a, s) ->
             let cur = cur *. float_of_int s in
-            (acc +. stage_time (ring_frac s *. cur) a, cur))
-          (0., op_bytes) axes
+            ((a, ring_frac s *. cur, s - 1) :: acc, cur))
+          ([], op_bytes) axes
       in
-      acc
-  | Op.Reduce_scatter _ ->
+      List.rev specs
+  | Op.Reduce_scatter { dim_axes; _ } ->
       (* Stages shrink the buffer symmetrically to all_gather. *)
-      let acc, _ =
+      let axes = Array.to_list dim_axes |> List.concat in
+      let specs, _ =
         List.fold_left
           (fun (acc, cur) (a, s) ->
-            (acc +. stage_time (ring_frac s *. cur) a, cur /. float_of_int s))
-          (0., op_bytes) axes
+            ((a, ring_frac s *. cur, s - 1) :: acc, cur /. float_of_int s))
+          ([], op_bytes) axes
       in
-      acc
-  | Op.All_to_all _ ->
-      List.fold_left
-        (fun acc (a, s) -> acc +. stage_time (ring_frac s *. op_bytes) a)
-        0. axes
-  | _ -> 0.
+      List.rev specs
+  | Op.All_to_all { axes; _ } ->
+      List.map (fun (a, s) -> (a, ring_frac s *. op_bytes, s - 1)) axes
+  | _ -> []
+
+let comm_time profile hw mesh (op : Op.t) =
+  let op_bytes, _ = collective_bytes op in
+  List.fold_left
+    (fun acc (a, p, h) -> acc +. stage_time profile hw mesh p h a)
+    0. (stage_specs op op_bytes)
 
 (* Relayout cost (seconds) charged to compute when a collective's result
    must be materialised in a new layout. *)
@@ -202,6 +223,155 @@ let rec walk profile hw mesh (ops : Op.t list) =
           compute := !compute +. (j *. op_compute_seconds profile hw op))
     ops;
   (!compute, !comm, !flops_total)
+
+(* {2 Schedule-derived critical path}
+
+   With [comm_schedule] set, runtime is no longer compute + scalar-scaled
+   comm: the communication schedule is replayed against one device
+   timeline plus one occupancy channel per mesh axis. A collective's
+   transfer occupies its axis links from its issue; the device only
+   stalls at the wait, and only for the part of the transfer that compute
+   did not cover — hidden comm costs ~0, exposed comm full price. The
+   [compute]/[comm] accumulators stay nominal (the same per-op totals the
+   plain walk produces) so the reported split is schedule-independent;
+   only [runtime] and [exposed] depend on the schedule. *)
+
+(* Jittered link-occupancy chunks (axis, seconds) of the transfer an
+   issue puts on the wire. Singletons occupy their per-axis ring stages;
+   a decomposed all-reduce splits each stage into two half-stages
+   (reduce-scatter sweep, then all-gather sweep in reverse axis order) so
+   a wait landing between them exposes only half; a multi-member bucket
+   transfers the combined payload in one go — the latency floor is paid
+   once, and the slowest member's jitter is replaced by the bucket's best
+   (min) jitter since one fused kernel launches the transfer. *)
+let occupancy_chunks profile hw mesh (entries : Comm_schedule.entry array)
+    (e : Comm_schedule.entry) =
+  let jit id = if profile.jitter then jitter_of id else 1. in
+  match e.Comm_schedule.bucket_members with
+  | _ :: _ :: _ as members ->
+      let bytes =
+        List.fold_left
+          (fun acc m ->
+            acc +. Comm_schedule.payload_bytes entries.(m).Comm_schedule.op)
+          0. members
+      in
+      let j =
+        List.fold_left
+          (fun acc m -> Float.min acc (jit entries.(m).Comm_schedule.op.Op.id))
+          infinity members
+      in
+      (match e.Comm_schedule.op.Op.kind with
+      | Op.All_reduce { axes; _ } ->
+          List.filter_map
+            (fun (a, s) ->
+              let p = 2. *. ring_frac s *. bytes in
+              if p <= 0. then None
+              else Some (a, j *. stage_time profile hw mesh p (2 * (s - 1)) a))
+            axes
+      | _ -> [])
+  | _ ->
+      let j = jit e.Comm_schedule.op.Op.id in
+      let op_bytes, _ = collective_bytes e.Comm_schedule.op in
+      let specs =
+        List.filter (fun (_, p, _) -> p > 0.)
+          (stage_specs e.Comm_schedule.op op_bytes)
+      in
+      if e.Comm_schedule.decompose then
+        (* Half-split of the fused stage time (not a re-priced
+           half-payload transfer): the same bytes cross the same links,
+           so the bucket-combined efficiency is kept and the two halves
+           sum exactly to the undecomposed occupancy. *)
+        let halves =
+          List.map
+            (fun (a, p, h) ->
+              (a, 0.5 *. (j *. stage_time profile hw mesh p h a)))
+            specs
+        in
+        halves @ List.rev halves
+      else
+        List.map
+          (fun (a, p, h) -> (a, j *. stage_time profile hw mesh p h a))
+          specs
+
+let walk_schedule profile hw mesh (sch : Comm_schedule.t) =
+  let compute = ref 0. and comm = ref 0. and flops = ref 0. in
+  let exposed = ref 0. in
+  let t_dev = ref 0. in
+  let links : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  let link_end a = Option.value ~default:0. (Hashtbl.find_opt links a) in
+  let rec exec scale (s : Comm_schedule.scope) =
+    let done_ = Array.make (max 1 (Array.length s.Comm_schedule.entries)) 0. in
+    List.iter
+      (fun item ->
+        match item with
+        | Comm_schedule.Compute op ->
+            (* [all_slice] lands here: device-local, zero modeled cost,
+               matching the plain walk. *)
+            if not (is_collective op.Op.kind) then begin
+              let j = if profile.jitter then jitter_of op.Op.id else 1. in
+              let t = j *. op_compute_seconds profile hw op *. scale in
+              flops := !flops +. (Op.flops op *. scale);
+              compute := !compute +. t;
+              t_dev := !t_dev +. t
+            end
+        | Comm_schedule.Enter (op, sub) -> (
+            match op.Op.kind with
+            | Op.For { trip_count; _ } ->
+                exec (scale *. float_of_int trip_count) sub
+            | _ -> ())
+        | Comm_schedule.Issue slot ->
+            let e = s.Comm_schedule.entries.(slot) in
+            let j =
+              if profile.jitter then jitter_of e.Comm_schedule.op.Op.id else 1.
+            in
+            comm :=
+              !comm
+              +. (j *. comm_time profile hw mesh e.Comm_schedule.op *. scale);
+            if e.Comm_schedule.bucket_last then begin
+              let chunks =
+                occupancy_chunks profile hw mesh s.Comm_schedule.entries e
+              in
+              let front = ref !t_dev in
+              List.iter
+                (fun (a, sec) ->
+                  let st = Float.max !front (link_end a) in
+                  let en = st +. (sec *. scale) in
+                  Hashtbl.replace links a en;
+                  front := en)
+                chunks;
+              List.iter
+                (fun m -> done_.(m) <- !front)
+                e.Comm_schedule.bucket_members
+            end
+        | Comm_schedule.Wait slot ->
+            let e = s.Comm_schedule.entries.(slot) in
+            let dn = done_.(slot) in
+            if dn > !t_dev then begin
+              exposed := !exposed +. (dn -. !t_dev);
+              t_dev := dn
+            end;
+            let rl = relayout_seconds profile hw e.Comm_schedule.op *. scale in
+            compute := !compute +. rl;
+            t_dev := !t_dev +. rl)
+      s.Comm_schedule.items
+  in
+  exec 1. sch.Comm_schedule.top;
+  (!t_dev, !compute, !comm, !flops, !exposed)
+
+type overlap = { total_comm_ms : float; exposed_comm_ms : float }
+
+let walk_overlap profile hw (p : Lower.program) =
+  if profile.comm_schedule then
+    let _, _, comm, _, exposed =
+      walk_schedule profile hw p.Lower.mesh (Comm_schedule.of_program p)
+    in
+    { total_comm_ms = comm *. 1e3; exposed_comm_ms = exposed *. 1e3 }
+  else
+    let _, comm, _ = walk profile hw p.Lower.mesh p.Lower.func.Func.body in
+    {
+      total_comm_ms = comm *. 1e3;
+      exposed_comm_ms = comm *. (1. -. profile.overlap_fraction) *. 1e3;
+    }
 
 (* Peak device memory: resident inputs plus the live-range peak of
    intermediate buffers. With [fused_elementwise], single-use elementwise
@@ -305,9 +475,15 @@ let peak_memory profile (f : Func.t) =
   (resident +. activations) *. (1. +. profile.memory_margin)
 
 let run_walk profile hw (p : Lower.program) =
-  let compute_s, comm_s, flops = walk profile hw p.Lower.mesh p.Lower.func.Func.body in
-  let runtime_s =
-    compute_s +. (comm_s *. (1. -. profile.overlap_fraction))
+  let runtime_s, compute_s, comm_s, flops =
+    if profile.comm_schedule then
+      let rt, c, m, f, _exposed =
+        walk_schedule profile hw p.Lower.mesh (Comm_schedule.of_program p)
+      in
+      (rt, c, m, f)
+    else
+      let c, m, f = walk profile hw p.Lower.mesh p.Lower.func.Func.body in
+      (c +. (m *. (1. -. profile.overlap_fraction)), c, m, f)
   in
   let mem = peak_memory profile p.Lower.func in
   let ndev = float_of_int (Mesh.num_devices p.Lower.mesh) in

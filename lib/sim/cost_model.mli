@@ -24,7 +24,12 @@ type profile = {
   small_message_degradation : bool;
   jitter : bool;  (** deterministic ±3% per-op noise *)
   memory_margin : float;  (** fractional overestimation bias *)
-  overlap_fraction : float;  (** fraction of comm hidden under compute *)
+  overlap_fraction : float;
+      (** deprecated scalar fallback: fraction of comm hidden under
+          compute, used only when [comm_schedule] is off (see {!legacy}) *)
+  comm_schedule : bool;
+      (** derive overlap from the communication schedule (issue/wait
+          critical path) instead of [overlap_fraction] *)
   discrete_event : bool;
       (** route {!run} through the per-device discrete-event engine when one
           is registered (see {!set_engine}) *)
@@ -32,6 +37,16 @@ type profile = {
 
 val analytic : profile
 val measured : profile
+
+val legacy : profile -> profile
+(** Same profile with [comm_schedule] off: overlap priced by the scalar
+    [overlap_fraction] — the pre-async model, kept as the documented
+    fallback for pure-analytic costing. *)
+
+val sync : profile -> profile
+(** Same profile with [comm_schedule] off and [overlap_fraction] zero:
+    runtime = compute + comm exactly — the barrier-execution upper bound
+    async schedules are measured against. *)
 
 type estimate = {
   runtime_ms : float;
@@ -67,6 +82,39 @@ val op_compute_seconds : profile -> Hardware.t -> Partir_hlo.Op.t -> float
 val relayout_seconds : profile -> Hardware.t -> Partir_hlo.Op.t -> float
 (** Re-layout memory pass charged when a collective materialises its result
     in a new layout (0 unless [relayout_penalty]). *)
+
+val occupancy_chunks :
+  profile ->
+  Hardware.t ->
+  Partir_mesh.Mesh.t ->
+  Partir_spmd.Comm_schedule.entry array ->
+  Partir_spmd.Comm_schedule.entry ->
+  (string * float) list
+(** Jittered link-occupancy chunks [(axis, seconds)] the [bucket_last]
+    issue of an entry puts on the wire: per-axis ring stages, split in
+    half for a decomposed all-reduce, combined-payload stages for a
+    bucket (per-hop latency paid once). Chunks on an axis occupy that
+    axis's channel back-to-back. *)
+
+val walk_schedule :
+  profile ->
+  Hardware.t ->
+  Partir_mesh.Mesh.t ->
+  Partir_spmd.Comm_schedule.t ->
+  float * float * float * float * float
+(** Replay a communication schedule against one device timeline and
+    per-axis link channels. Returns
+    [(runtime_s, compute_s, comm_s, flops, exposed_s)]; compute/comm are
+    the nominal per-op totals (identical to the plain walk), runtime is
+    the critical path, exposed the comm time the device actually stalled
+    on. *)
+
+type overlap = { total_comm_ms : float; exposed_comm_ms : float }
+
+val walk_overlap : profile -> Hardware.t -> Partir_spmd.Lower.program -> overlap
+(** Exposed-vs-total communication of a program under the profile's
+    overlap model (schedule replay, or the [overlap_fraction] scalar for
+    {!legacy} profiles). *)
 
 val peak_memory : profile -> Partir_hlo.Func.t -> float
 (** Peak per-device memory in bytes (live-range analysis, DESIGN.md §1). *)

@@ -7,6 +7,7 @@
 open Partir_hlo
 module Mesh = Partir_mesh.Mesh
 module Lower = Partir_spmd.Lower
+module Comm_schedule = Partir_spmd.Comm_schedule
 
 type jitter = No_jitter | Decorrelated
 
@@ -85,6 +86,7 @@ type report = {
   collectives : int;
   retries : int;
   retry_wait_ms : float;
+  exposed_comm_ms : float;
 }
 
 type outcome =
@@ -100,6 +102,7 @@ let simulate ?(condition = healthy) profile hw (p : Lower.program) =
   (* Nominal (healthy single-device) accumulators, kept walk-compatible so
      the reported compute/comm split matches Cost_model.run_walk. *)
   let compute = ref 0. and comm = ref 0. and flops = ref 0. in
+  let exposed = ref 0. in
   let collective_idx = ref 0 in
   let retries = ref 0 and retry_wait = ref 0. in
   let overlap = 1. -. profile.Cost_model.overlap_fraction in
@@ -215,6 +218,155 @@ let simulate ?(condition = healthy) profile hw (p : Lower.program) =
             done)
       ops
   in
+  (* Asynchronous path ([comm_schedule] profiles): replay the program's
+     communication schedule. Issues put jittered occupancy chunks on
+     per-(axis, group) link channels starting no earlier than the group
+     front; devices keep computing and only stall at the wait, for
+     whatever part of the transfer their compute did not cover. Faults
+     attach to the in-flight window: dropped deliveries push the arrival
+     time out by the backoff wait, a crashed member is detected when its
+     group's wait observes the frozen clock, and degraded links stretch
+     the chunks on that axis. Fault-free, per-device clocks reproduce
+     [Cost_model.walk_schedule] bit-exactly (the per-group channels all
+     evolve like the walk's single channel). *)
+  let exec_schedule (sch : Comm_schedule.t) =
+    let links : (string * int, float) Hashtbl.t = Hashtbl.create 16 in
+    let link_end k = Option.value ~default:0. (Hashtbl.find_opt links k) in
+    let rec go scale (s : Comm_schedule.scope) =
+      let nent = Array.length s.Comm_schedule.entries in
+      (* Per-entry arrival time of the transfer, per group leader. *)
+      let arrivals = Array.init (max 1 nent) (fun _ -> Hashtbl.create 4) in
+      List.iter
+        (fun item ->
+          match item with
+          | Comm_schedule.Compute op ->
+              if not (Cost_model.is_collective op.Op.kind) then begin
+                let j =
+                  if profile.Cost_model.jitter then Cost_model.jitter_of op.Op.id
+                  else 1.
+                in
+                let t = Cost_model.op_compute_seconds profile hw op in
+                flops := !flops +. (Op.flops op *. scale);
+                compute := !compute +. (j *. t *. scale);
+                for d = 0 to n - 1 do
+                  advance d (j *. t *. scale *. condition.slowdown d)
+                done
+              end
+          | Comm_schedule.Enter (op, sub) -> (
+              match op.Op.kind with
+              | Op.For { trip_count; _ } ->
+                  go (scale *. float_of_int trip_count) sub
+              | _ -> ())
+          | Comm_schedule.Issue slot ->
+              let e = s.Comm_schedule.entries.(slot) in
+              let eop = e.Comm_schedule.op in
+              incr collective_idx;
+              let j =
+                if profile.Cost_model.jitter then Cost_model.jitter_of eop.Op.id
+                else 1.
+              in
+              let group_axes =
+                Cost_model.collective_group_axes eop.Op.kind
+              in
+              let link =
+                List.fold_left
+                  (fun acc a -> Float.min acc (condition.link_factor a))
+                  1. group_axes
+              in
+              let link = if link > 0. then link else 1e-9 in
+              comm :=
+                !comm
+                +. (j *. (Cost_model.comm_time profile hw mesh eop /. link)
+                   *. scale);
+              if e.Comm_schedule.bucket_last then begin
+                let chunks =
+                  Cost_model.occupancy_chunks profile hw mesh
+                    s.Comm_schedule.entries e
+                in
+                List.iter
+                  (fun (leader, members) ->
+                    let front =
+                      List.fold_left
+                        (fun acc d -> Float.max acc clocks.(d))
+                        0. members
+                    in
+                    let front = ref front in
+                    List.iter
+                      (fun (a, sec) ->
+                        let lf = condition.link_factor a in
+                        let lf = if lf > 0. then lf else 1e-9 in
+                        let st = Float.max !front (link_end (a, leader)) in
+                        let en = st +. (sec /. lf *. scale) in
+                        Hashtbl.replace links (a, leader) en;
+                        front := en)
+                      chunks;
+                    List.iter
+                      (fun m -> Hashtbl.replace arrivals.(m) leader !front)
+                      e.Comm_schedule.bucket_members)
+                  (groups_of group_axes)
+              end
+          | Comm_schedule.Wait slot ->
+              let e = s.Comm_schedule.entries.(slot) in
+              let eop = e.Comm_schedule.op in
+              let idx = e.Comm_schedule.index in
+              let dropped = condition.drops idx in
+              let wait =
+                if dropped = 0 then 0.
+                else begin
+                  let r = condition.retry in
+                  let attempts = min dropped (r.max_retries + 1) in
+                  let w = backoff_wait r ~collective:idx ~attempts in
+                  if dropped > r.max_retries then begin
+                    let at = Array.fold_left Float.max 0. clocks +. w in
+                    raise
+                      (Halt
+                         ( Collective_timeout
+                             { collective = idx; at_ms = at *. 1e3 },
+                           at ))
+                  end;
+                  retries := !retries + dropped;
+                  retry_wait := !retry_wait +. w;
+                  w
+                end
+              in
+              let t_relayout = Cost_model.relayout_seconds profile hw eop in
+              compute := !compute +. (t_relayout *. scale);
+              let group_axes =
+                Cost_model.collective_group_axes eop.Op.kind
+              in
+              List.iteri
+                (fun gi (leader, members) ->
+                  let front =
+                    List.fold_left
+                      (fun acc d -> Float.max acc clocks.(d))
+                      0. members
+                  in
+                  let arrival =
+                    Option.value ~default:front
+                      (Hashtbl.find_opt arrivals.(slot) leader)
+                    +. wait
+                  in
+                  (match crashed_member members arrival with
+                  | Some d ->
+                      let at = arrival +. timeout_s in
+                      raise
+                        (Halt
+                           ( Device_crash
+                               { device = d; detected_at_ms = at *. 1e3 },
+                             at ))
+                  | None -> ());
+                  if gi = 0 && arrival > front then
+                    exposed := !exposed +. (arrival -. front);
+                  List.iter
+                    (fun d ->
+                      clocks.(d) <- Float.max clocks.(d) arrival;
+                      advance d (t_relayout *. scale))
+                    members)
+                (groups_of group_axes))
+        s.Comm_schedule.items
+    in
+    go 1. sch.Comm_schedule.top
+  in
   let mk_report () =
     let runtime_s = Array.fold_left Float.max 0. clocks in
     let mem = Cost_model.peak_memory profile p.Lower.func in
@@ -239,10 +391,15 @@ let simulate ?(condition = healthy) profile hw (p : Lower.program) =
       collectives = !collective_idx;
       retries = !retries;
       retry_wait_ms = !retry_wait *. 1e3;
+      exposed_comm_ms =
+        (if profile.Cost_model.comm_schedule then !exposed *. 1e3
+         else !comm *. (1. -. profile.Cost_model.overlap_fraction) *. 1e3);
     }
   in
   try
-    exec 1. p.Lower.func.Func.body;
+    (if profile.Cost_model.comm_schedule then
+       exec_schedule (Comm_schedule.of_program p)
+     else exec 1. p.Lower.func.Func.body);
     (* End-of-step barrier: a crash after the last collective still blocks
        the step boundary (checkpoint / metrics sync). *)
     let finish = Array.fold_left Float.max 0. clocks in

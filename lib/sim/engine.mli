@@ -80,6 +80,9 @@ type report = {
   collectives : int;  (** collectives executed (static count) *)
   retries : int;  (** collective delivery retries performed *)
   retry_wait_ms : float;  (** total backoff time spent waiting on retries *)
+  exposed_comm_ms : float;
+      (** communication the devices actually stalled on at waits (total
+          comm minus what the schedule hid under compute) *)
 }
 
 type outcome =

@@ -1,0 +1,374 @@
+(* Communication scheduling over lowered SPMD programs (DESIGN.md §15).
+
+   Each communicating collective is split into an early *issue* — hoisted
+   to just after the op producing its operand (or the scope entry when the
+   operand is a parameter or free value) — and a late *wait* — sunk to
+   just before its first consumer (or the scope end when the result is
+   only read by the scope boundary). The compute items between the two
+   events are the window the transfer can hide under.
+
+   Two peephole optimizations run on the schedule, both priced by the cost
+   model and the discrete-event engine but never changing execution
+   numerics (the executors still evaluate the original collective op):
+
+   - ring all-reduces with a nonempty window and no bucket partner are
+     *decomposed* into reduce-scatter + all-gather halves, so the link
+     occupancy splits into two separately schedulable chunks;
+   - small same-signature all-reduces whose issues are adjacent (no
+     member's wait intervenes) are *bucketed* DDP-style: one combined
+     transfer pays the per-hop latency floor once instead of once per
+     gradient.
+
+   The schedule is a side structure over [Lower.program] — op order, IR
+   and semantics are untouched; [Cost_model] and [Engine] replay the item
+   sequence to derive the critical-path time, and [Collective_lint] checks
+   its issue/wait pairing and buffer discipline. *)
+
+open Partir_hlo
+
+(* DDP-style bucketing thresholds: an all-reduce joins a bucket only when
+   its payload is at most [small_bytes]; a bucket stops accepting members
+   at [cap_bytes] combined. *)
+let small_bytes = 1_048_576.
+let cap_bytes = 26_214_400.
+
+type entry = {
+  op : Op.t;  (** the original collective op *)
+  index : int;  (** static collective index, program order *)
+  gap : int;  (** compute items strictly between issue and wait *)
+  decompose : bool;  (** all-reduce timed as reduce-scatter + all-gather *)
+  bucket : int;  (** scope-local slot of the bucket leader *)
+  bucket_last : bool;  (** this issue schedules the bucket's transfer *)
+  bucket_members : int list;
+      (** scope-local slots of every member, set on the [bucket_last]
+          entry (singletons list just themselves) *)
+}
+
+type item =
+  | Compute of Op.t  (** device-local op (including [all_slice]) *)
+  | Enter of Op.t * scope  (** a [For] op and its region's schedule *)
+  | Issue of int  (** scope-local entry slot *)
+  | Wait of int
+
+and scope = { items : item list; entries : entry array }
+
+type stats = {
+  collectives : int;
+  windows : int;  (** issues with at least one compute item hidden under *)
+  max_gap : int;
+  buckets : int;  (** multi-member buckets formed *)
+  bucketed : int;  (** members absorbed into those buckets *)
+  decomposed : int;
+}
+
+type t = { top : scope; stats : stats }
+
+let communicating (op : Op.t) =
+  match op.Op.kind with
+  | Op.All_reduce _ | Op.All_gather _ | Op.Reduce_scatter _ | Op.All_to_all _
+    ->
+      true
+  | _ -> false
+
+let reads_of (op : Op.t) =
+  op.Op.operands
+  @ (match op.Op.region with
+    | Some r -> Interp.free_values_of_region r
+    | None -> [])
+
+let payload_bytes (op : Op.t) =
+  match op.Op.operands with
+  | v :: _ -> float_of_int (Value.size_in_bytes v)
+  | [] -> 0.
+
+(* The across-group communication signature: two all-reduces may share a
+   bucket only when they reduce the same way over the same axes. *)
+let bucket_signature (op : Op.t) =
+  match op.Op.kind with
+  | Op.All_reduce { axes; reduce } ->
+      Some
+        ((match reduce with Op.Rsum -> "sum" | Op.Rmax -> "max" | Op.Rmin -> "min")
+        ^ "|"
+        ^ String.concat ","
+            (List.map (fun (a, s) -> Printf.sprintf "%s:%d" a s) axes))
+  | _ -> None
+
+(* Mutable build-time view of an entry. *)
+type draft = {
+  d_op : Op.t;
+  d_index : int;
+  mutable d_gap : int;
+  mutable d_decompose : bool;
+  mutable d_bucket : int;
+  mutable d_bucket_last : bool;
+  mutable d_bucket_members : int list;
+}
+
+type draft_item = D_compute of Op.t | D_enter of Op.t * scope | D_issue of int | D_wait of int
+
+let rec build_scope counter (ops : Op.t list) : scope =
+  let opsa = Array.of_list ops in
+  let n = Array.length opsa in
+  (* Position of each value's defining op within this scope. *)
+  let defpos : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun i (op : Op.t) ->
+      List.iter
+        (fun (v : Value.t) -> Hashtbl.replace defpos v.Value.id i)
+        op.Op.results)
+    opsa;
+  (* Position of each value's first consumer ([For] reads both explicit
+     operands and region free values). *)
+  let firstuse : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun i (op : Op.t) ->
+      List.iter
+        (fun (v : Value.t) ->
+          if not (Hashtbl.mem firstuse v.Value.id) then
+            Hashtbl.replace firstuse v.Value.id i)
+        (reads_of op))
+    opsa;
+  (* Nested schedules and entry drafts, in program order so [counter]
+     numbers collectives exactly the way the barrier engine did. *)
+  let subs : (int, scope) Hashtbl.t = Hashtbl.create 4 in
+  let drafts = ref [] in
+  let slot_of_pos : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let nslots = ref 0 in
+  Array.iteri
+    (fun i (op : Op.t) ->
+      match op.Op.kind with
+      | Op.For _ -> (
+          match op.Op.region with
+          | Some r -> Hashtbl.replace subs i (build_scope counter r.Op.body)
+          | None -> ())
+      | _ when communicating op ->
+          let index = !counter in
+          incr counter;
+          let slot = !nslots in
+          incr nslots;
+          Hashtbl.replace slot_of_pos i slot;
+          drafts :=
+            {
+              d_op = op;
+              d_index = index;
+              d_gap = 0;
+              d_decompose = false;
+              d_bucket = slot;
+              d_bucket_last = true;
+              d_bucket_members = [ slot ];
+            }
+            :: !drafts
+      | _ -> ())
+    opsa;
+  let drafts = Array.of_list (List.rev !drafts) in
+  (* Placement tables. An entry's issue anchors to its producer: right
+     after the producing compute item, right after the producer's wait
+     when the producer is itself a collective, or the scope entry when the
+     operand arrives from outside the scope. Waits anchor to the first
+     consumer's position, or the scope end. *)
+  let issue_at_start = ref [] in
+  let issue_after_op = Array.make (max n 1) [] in
+  let issue_after_wait = Array.make (max 1 (Array.length drafts)) [] in
+  let waits_before = Array.make (max n 1) [] in
+  let waits_at_end = ref [] in
+  let push arr i s = arr.(i) <- s :: arr.(i) in
+  Hashtbl.iter
+    (fun _pos slot ->
+      let d = drafts.(slot) in
+      (match
+         match d.d_op.Op.operands with
+         | v :: _ -> Hashtbl.find_opt defpos v.Value.id
+         | [] -> None
+       with
+      | None -> issue_at_start := slot :: !issue_at_start
+      | Some p -> (
+          match Hashtbl.find_opt slot_of_pos p with
+          | Some pslot -> push issue_after_wait pslot slot
+          | None -> push issue_after_op p slot));
+      match
+        match d.d_op.Op.results with
+        | v :: _ -> Hashtbl.find_opt firstuse v.Value.id
+        | [] -> None
+      with
+      | Some q -> push waits_before q slot
+      | None -> waits_at_end := slot :: !waits_at_end)
+    slot_of_pos;
+  let sorted l = List.sort compare l in
+  (* Emission: waits ahead of their consumer, each wait immediately
+     followed by the issues whose operand it delivers. *)
+  let items = ref [] in
+  let rec emit_issue s =
+    items := D_issue s :: !items
+  and emit_wait s =
+    items := D_wait s :: !items;
+    List.iter emit_issue (sorted issue_after_wait.(s))
+  in
+  List.iter emit_issue (sorted !issue_at_start);
+  Array.iteri
+    (fun i (op : Op.t) ->
+      List.iter emit_wait (sorted waits_before.(i));
+      (match op.Op.kind with
+      | Op.For _ -> (
+          match Hashtbl.find_opt subs i with
+          | Some sub -> items := D_enter (op, sub) :: !items
+          | None -> ())
+      | _ when communicating op -> ()
+      | _ -> items := D_compute op :: !items);
+      List.iter emit_issue (sorted issue_after_op.(i)))
+    opsa;
+  List.iter emit_wait (sorted !waits_at_end);
+  let items = List.rev !items in
+  (* Window sizes: compute/enter items between each issue and its wait. *)
+  let issued_at = Array.make (max 1 (Array.length drafts)) 0 in
+  let ticks = ref 0 in
+  List.iter
+    (fun it ->
+      match it with
+      | D_compute _ | D_enter _ -> incr ticks
+      | D_issue s -> issued_at.(s) <- !ticks
+      | D_wait s -> drafts.(s).d_gap <- !ticks - issued_at.(s))
+    items;
+  (* Bucketing: scan in schedule order; an issue of a small all-reduce
+     joins the open bucket of its signature (or opens one); the first
+     member wait — or a full bucket, or the scope end — closes it. *)
+  let open_buckets : (string, int list ref) Hashtbl.t = Hashtbl.create 4 in
+  let close sig_ =
+    match Hashtbl.find_opt open_buckets sig_ with
+    | None -> ()
+    | Some members ->
+        (match !members with
+        | last :: _ :: _ as rev_members ->
+            let members = List.rev rev_members in
+            let leader = List.hd members in
+            List.iter
+              (fun s ->
+                drafts.(s).d_bucket <- leader;
+                drafts.(s).d_bucket_last <- false;
+                drafts.(s).d_bucket_members <- [])
+              members;
+            drafts.(last).d_bucket_last <- true;
+            drafts.(last).d_bucket_members <- members
+        | _ -> ());
+        Hashtbl.remove open_buckets sig_
+  in
+  let bucket_bytes members =
+    List.fold_left (fun acc s -> acc +. payload_bytes drafts.(s).d_op) 0. members
+  in
+  List.iter
+    (fun it ->
+      match it with
+      | D_issue s -> (
+          let d = drafts.(s) in
+          match bucket_signature d.d_op with
+          | Some sig_ when payload_bytes d.d_op <= small_bytes -> (
+              match Hashtbl.find_opt open_buckets sig_ with
+              | Some members
+                when bucket_bytes !members +. payload_bytes d.d_op <= cap_bytes
+                ->
+                  members := s :: !members
+              | _ ->
+                  close sig_;
+                  Hashtbl.replace open_buckets sig_ (ref [ s ]))
+          | _ -> ())
+      | D_wait s -> (
+          let d = drafts.(s) in
+          match bucket_signature d.d_op with
+          | Some sig_ -> (
+              match Hashtbl.find_opt open_buckets sig_ with
+              | Some members when List.mem s !members -> close sig_
+              | _ -> ())
+          | None -> ())
+      | D_enter _ ->
+          (* Conservative: windows do not bucket across a loop boundary. *)
+          List.iter close
+            (Hashtbl.fold (fun k _ acc -> k :: acc) open_buckets [])
+      | D_compute _ -> ())
+    items;
+  List.iter close (Hashtbl.fold (fun k _ acc -> k :: acc) open_buckets []);
+  (* Decomposition: an all-reduce with a window, not sharing a bucket. *)
+  Array.iter
+    (fun d ->
+      match d.d_op.Op.kind with
+      | Op.All_reduce _
+        when d.d_gap > 0 && d.d_bucket_last && d.d_bucket_members = [ d.d_bucket ]
+        ->
+          d.d_decompose <- true
+      | _ -> ())
+    drafts;
+  let entries =
+    Array.map
+      (fun d ->
+        {
+          op = d.d_op;
+          index = d.d_index;
+          gap = d.d_gap;
+          decompose = d.d_decompose;
+          bucket = d.d_bucket;
+          bucket_last = d.d_bucket_last;
+          bucket_members = d.d_bucket_members;
+        })
+      drafts
+  in
+  {
+    items =
+      List.map
+        (function
+          | D_compute op -> Compute op
+          | D_enter (op, sub) -> Enter (op, sub)
+          | D_issue s -> Issue s
+          | D_wait s -> Wait s)
+        items;
+    entries;
+  }
+
+let rec scope_stats acc (s : scope) =
+  let acc =
+    Array.fold_left
+      (fun acc e ->
+        {
+          acc with
+          collectives = acc.collectives + 1;
+          windows = (acc.windows + if e.gap > 0 then 1 else 0);
+          max_gap = max acc.max_gap e.gap;
+          decomposed = (acc.decomposed + if e.decompose then 1 else 0);
+        })
+      acc s.entries
+  in
+  let acc =
+    Array.fold_left
+      (fun acc e ->
+        match e.bucket_members with
+        | _ :: _ :: _ as members ->
+            { acc with buckets = acc.buckets + 1;
+                       bucketed = acc.bucketed + List.length members }
+        | _ -> acc)
+      acc s.entries
+  in
+  List.fold_left
+    (fun acc it -> match it with Enter (_, sub) -> scope_stats acc sub | _ -> acc)
+    acc s.items
+
+let of_func (f : Func.t) =
+  let counter = ref 0 in
+  let top = build_scope counter f.Func.body in
+  let stats =
+    scope_stats
+      {
+        collectives = 0;
+        windows = 0;
+        max_gap = 0;
+        buckets = 0;
+        bucketed = 0;
+        decomposed = 0;
+      }
+      top
+  in
+  { top; stats }
+
+let of_program (p : Lower.program) = of_func p.Lower.func
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%d collectives, %d windows (max gap %d), %d buckets (%d members), %d \
+     decomposed"
+    s.collectives s.windows s.max_gap s.buckets s.bucketed s.decomposed

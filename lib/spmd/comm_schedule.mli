@@ -1,0 +1,61 @@
+(** Communication scheduling: split collectives into issue/wait events.
+
+    A schedule is a side structure over a lowered program. Op order, IR
+    and execution semantics are untouched — the schedule only records,
+    per scope, the item sequence a device executes when collectives are
+    asynchronous: compute items interleaved with early issues (hoisted to
+    just after each collective's producer) and late waits (sunk to just
+    before the first consumer). [Cost_model] and [Engine] replay this
+    sequence to derive the critical-path time; [Collective_lint] checks
+    the pairing and buffer discipline. *)
+
+open Partir_hlo
+
+type entry = {
+  op : Op.t;  (** the original collective op *)
+  index : int;  (** static collective index, program order *)
+  gap : int;  (** compute items strictly between issue and wait *)
+  decompose : bool;  (** all-reduce timed as reduce-scatter + all-gather *)
+  bucket : int;  (** scope-local slot of the bucket leader *)
+  bucket_last : bool;  (** this issue schedules the bucket's transfer *)
+  bucket_members : int list;
+      (** every member slot, set on the [bucket_last] entry *)
+}
+
+type item =
+  | Compute of Op.t  (** device-local op (including [all_slice]) *)
+  | Enter of Op.t * scope  (** a [For] op and its region's schedule *)
+  | Issue of int  (** scope-local entry slot *)
+  | Wait of int
+
+and scope = { items : item list; entries : entry array }
+
+type stats = {
+  collectives : int;
+  windows : int;  (** issues with at least one compute item hidden under *)
+  max_gap : int;
+  buckets : int;  (** multi-member buckets formed *)
+  bucketed : int;  (** members absorbed into those buckets *)
+  decomposed : int;
+}
+
+type t = { top : scope; stats : stats }
+
+(** Payload ceiling for an all-reduce to join a bucket, and the combined
+    ceiling at which a bucket stops accepting members. *)
+val small_bytes : float
+
+val cap_bytes : float
+
+val communicating : Op.t -> bool
+(** True for the four across-group collectives ([all_slice] is local). *)
+
+val reads_of : Op.t -> Value.t list
+(** Values an op consumes: operands plus its region's free values. *)
+
+val payload_bytes : Op.t -> float
+(** Operand bytes of a collective (0 for nullary ops). *)
+
+val of_func : Func.t -> t
+val of_program : Lower.program -> t
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,403 @@
+(* Async collectives (communication scheduling): structural invariants of
+   Comm_schedule (issue-before-wait pairing, collective coverage), the
+   regression that overlapped measured time never exceeds barrier-mode
+   time on the five benchmark models, determinism of async execution —
+   bit-identical numerics across 1/2/4 domains and bit-identical engine
+   timelines under a crash+straggler+link-degrade fault plan — and the
+   CL007–CL009 lint on synthetic broken event streams. *)
+
+open Partir_tensor
+open Partir_hlo
+module Parallel = Partir_parallel
+module Mesh = Partir_mesh.Mesh
+module Lower = Partir_spmd.Lower
+module Comm_schedule = Partir_spmd.Comm_schedule
+module Census = Partir_spmd.Census
+module Plan = Partir_plan.Plan
+module Schedule = Partir_schedule.Schedule
+module Strategies = Partir_strategies.Strategies
+module Hardware = Partir_sim.Hardware
+module Cost_model = Partir_sim.Cost_model
+module Engine = Partir_sim.Engine
+module Faults = Partir_sim.Faults
+module Collective_lint = Partir_analysis.Collective_lint
+module Train = Partir_models.Train
+module Transformer = Partir_models.Transformer
+module Unet = Partir_models.Unet
+module Gns = Partir_models.Gns
+module Mlp = Partir_models.Mlp
+
+let hw = Hardware.tpu_v3
+
+(* ---------------- workloads (tiny variants of the benchmark five) ----- *)
+
+let jit_of step mesh tactics =
+  Schedule.jit ~hardware:hw ~ties:step.Train.ties mesh step.Train.func tactics
+
+let t32_cfg = { Transformer.tiny with layers = 4; batch = 8; heads = 4 }
+let t48_cfg = { Transformer.tiny with layers = 6; batch = 8; heads = 4 }
+
+let transformer_jit cfg =
+  let step = Train.training_step (Transformer.forward cfg) in
+  jit_of step
+    (Mesh.create [ ("batch", 4); ("model", 2) ])
+    [
+      Strategies.bp ~axis:"batch" ~inputs:[ "tokens"; "targets" ] ();
+      Strategies.transformer_mp ~axis:"model";
+    ]
+
+let unet_jit () =
+  let step = Train.training_step (Unet.forward Unet.tiny) in
+  jit_of step
+    (Mesh.create [ ("batch", 2); ("model", 2) ])
+    [
+      Strategies.bp ~axis:"batch" ~inputs:[ "x"; "temb"; "target" ] ();
+      Strategies.unet_z ~level:`Z3 ~axis:"batch";
+    ]
+
+let gns_jit () =
+  let step = Train.training_step (Gns.forward Gns.tiny) in
+  jit_of step
+    (Mesh.create [ ("batch", 2) ])
+    [ Strategies.gns_es ~axis:"batch" ]
+
+let mlp_jit () =
+  let step = Train.training_step (Mlp.forward Mlp.default) in
+  jit_of step
+    (Mesh.create [ ("batch", 4) ])
+    [ Strategies.bp ~axis:"batch" ~inputs:[ "x"; "target" ] () ]
+
+let five_models () =
+  [
+    ("T32", (transformer_jit t32_cfg).Schedule.program);
+    ("T48", (transformer_jit t48_cfg).Schedule.program);
+    ("UNet", (unet_jit ()).Schedule.program);
+    ("GNS", (gns_jit ()).Schedule.program);
+    ("MLP", (mlp_jit ()).Schedule.program);
+  ]
+
+let t32_program () = (transformer_jit t32_cfg).Schedule.program
+
+let random_args seed (f : Func.t) =
+  let st = Random.State.make [| seed |] in
+  List.map
+    (fun (p : Value.t) ->
+      let is_int = Dtype.is_integer p.Value.ty.Value.dtype in
+      let non_negative = Filename.check_suffix p.Value.name ".v" in
+      Literal.init p.Value.ty.Value.dtype p.Value.ty.Value.shape (fun _ ->
+          if is_int then float_of_int (Random.State.int st 8)
+          else
+            let x = Random.State.float st 0.2 -. 0.1 in
+            if non_negative then Float.abs x else x))
+    f.Func.params
+
+let bits_equal (a : Literal.t) (b : Literal.t) =
+  Shape.equal a.Literal.shape b.Literal.shape
+  && Array.for_all2
+       (fun x y -> Int64.bits_of_float x = Int64.bits_of_float y)
+       a.Literal.data b.Literal.data
+
+let check_bits label xs ys =
+  Alcotest.(check int) (label ^ ": output count") (List.length xs)
+    (List.length ys);
+  List.iteri
+    (fun i (x, y) ->
+      if not (bits_equal x y) then
+        Alcotest.failf "%s: output %d differs (max |delta| = %g)" label i
+          (Literal.max_abs_diff x y))
+    (List.combine xs ys)
+
+(* ---------------- schedule structure ---------------- *)
+
+(* Every communicating collective gets exactly one issue and one wait, the
+   issue precedes the wait in its scope, and the schedule covers exactly
+   the program's communicating collectives. *)
+let test_schedule_structure () =
+  let p = t32_program () in
+  let sch = Comm_schedule.of_program p in
+  let rec check_scope (s : Comm_schedule.scope) =
+    let n = Array.length s.Comm_schedule.entries in
+    let issued = Array.make n false in
+    let waited = Array.make n false in
+    List.iter
+      (function
+        | Comm_schedule.Issue i ->
+            if issued.(i) then Alcotest.failf "slot %d issued twice" i;
+            issued.(i) <- true
+        | Comm_schedule.Wait i ->
+            if not issued.(i) then
+              Alcotest.failf "slot %d waited before its issue" i;
+            if waited.(i) then Alcotest.failf "slot %d waited twice" i;
+            waited.(i) <- true
+        | Comm_schedule.Enter (_, inner) -> check_scope inner
+        | Comm_schedule.Compute _ -> ())
+      s.Comm_schedule.items;
+    Array.iteri
+      (fun i ok -> if not ok then Alcotest.failf "slot %d never issued" i)
+      issued;
+    Array.iteri
+      (fun i ok -> if not ok then Alcotest.failf "slot %d never waited" i)
+      waited
+  in
+  check_scope sch.Comm_schedule.top;
+  let c = Census.of_program p in
+  let communicating =
+    c.Census.all_gather + c.Census.all_reduce + c.Census.reduce_scatter
+    + c.Census.all_to_all
+  in
+  Alcotest.(check int)
+    "schedule covers every communicating collective" communicating
+    sch.Comm_schedule.stats.Comm_schedule.collectives;
+  Alcotest.(check bool)
+    "some collectives overlap compute" true
+    (sch.Comm_schedule.stats.Comm_schedule.windows > 0)
+
+(* ---------------- async <= sync regression (five models) -------------- *)
+
+let engine_report = function
+  | Engine.Completed r -> r
+  | Engine.Failed { failure; _ } ->
+      Alcotest.failf "unexpected failure: %a" Engine.pp_failure failure
+
+let test_async_never_slower () =
+  List.iter
+    (fun (name, p) ->
+      let async = engine_report (Engine.simulate Cost_model.measured hw p) in
+      let sync =
+        Engine.estimate (Cost_model.sync Cost_model.measured) hw p
+      in
+      let a = async.Engine.estimate.Cost_model.runtime_ms in
+      let s = sync.Cost_model.runtime_ms in
+      if a > s *. (1. +. 1e-9) then
+        Alcotest.failf "%s: async %.6f ms > barrier-mode %.6f ms" name a s;
+      let total = async.Engine.estimate.Cost_model.comm_ms in
+      if async.Engine.exposed_comm_ms > total *. (1. +. 1e-9) then
+        Alcotest.failf "%s: exposed comm %.6f ms > total %.6f ms" name
+          async.Engine.exposed_comm_ms total;
+      (* The analytic walk obeys the same bound. *)
+      let wa = Cost_model.run_walk Cost_model.analytic hw p in
+      let ws = Cost_model.run_walk (Cost_model.sync Cost_model.analytic) hw p in
+      if wa.Cost_model.runtime_ms > ws.Cost_model.runtime_ms *. (1. +. 1e-9)
+      then
+        Alcotest.failf "%s: analytic async %.6f ms > barrier %.6f ms" name
+          wa.Cost_model.runtime_ms ws.Cost_model.runtime_ms)
+    (five_models ())
+
+(* On T32 BP+MP (gradient all-reduces with optimizer updates downstream)
+   the overlap must actually hide communication, not merely break even. *)
+let test_overlap_hides_comm () =
+  let p = t32_program () in
+  let r = engine_report (Engine.simulate Cost_model.measured hw p) in
+  let total = r.Engine.estimate.Cost_model.comm_ms in
+  Alcotest.(check bool) "program communicates" true (total > 0.);
+  Alcotest.(check bool)
+    "exposed comm strictly below total" true
+    (r.Engine.exposed_comm_ms < total)
+
+(* ---------------- determinism ---------------- *)
+
+(* Async plan execution: bit-identical to barrier-mode plans and across
+   domain counts. *)
+let test_async_domains () =
+  let step = Train.training_step (Transformer.forward t32_cfg) in
+  let r =
+    jit_of step
+      (Mesh.create [ ("batch", 4); ("model", 2) ])
+      [
+        Strategies.bp ~axis:"batch" ~inputs:[ "tokens"; "targets" ] ();
+        Strategies.transformer_mp ~axis:"model";
+      ]
+  in
+  let p = r.Schedule.program in
+  let sp_async = Plan.Spmd.compile p in
+  let sp_sync = Plan.Spmd.compile ~async:false p in
+  let args = random_args 23 step.Train.func in
+  let run sp n =
+    Parallel.set_num_domains n;
+    Fun.protect
+      ~finally:(fun () -> Parallel.clear_num_domains ())
+      (fun () -> Plan.Spmd.run sp args)
+  in
+  let reference = run sp_sync 1 in
+  check_bits "async==sync (1 domain)" reference (run sp_async 1);
+  check_bits "async==sync (2 domains)" reference (run sp_async 2);
+  check_bits "async==sync (4 domains)" reference (run sp_async 4)
+
+(* Engine timelines under a crash + straggler + degraded-link fault plan:
+   repeated runs are bit-identical (same failures, same clocks, same
+   retry accounting). *)
+let test_fault_determinism () =
+  let p = t32_program () in
+  let plan =
+    {
+      Faults.seed = 31;
+      faults =
+        [
+          Faults.Crash { step = 2; device = 3; at_frac = 0.4 };
+          Faults.Straggler { device = 1; factor = 1.5 };
+          Faults.Link_degrade { axis = "model"; factor = 0.5 };
+        ];
+    }
+  in
+  let run () =
+    Faults.run_steps ~steps:4 ~plan Cost_model.measured hw p |> fst
+  in
+  let m1 = run () in
+  let m2 = run () in
+  let bits x = Int64.bits_of_float x in
+  Alcotest.(check int) "steps" m1.Faults.steps m2.Faults.steps;
+  Alcotest.(check int64) "wall_ms bits" (bits m1.Faults.wall_ms)
+    (bits m2.Faults.wall_ms);
+  Alcotest.(check int64) "useful_ms bits" (bits m1.Faults.useful_ms)
+    (bits m2.Faults.useful_ms);
+  Alcotest.(check int64) "recovery_ms bits" (bits m1.Faults.recovery_ms)
+    (bits m2.Faults.recovery_ms);
+  Alcotest.(check int) "retries" m1.Faults.retries m2.Faults.retries;
+  Alcotest.(check int) "recoveries" m1.Faults.recoveries m2.Faults.recoveries;
+  (* and a faulted single-step simulation has identical per-device clocks *)
+  let condition d =
+    {
+      Engine.healthy with
+      Engine.slowdown = (fun dev -> if dev = d then 1.5 else 1.);
+      link_factor = (fun axis -> if axis = "model" then 0.5 else 1.);
+    }
+  in
+  let r1 = Engine.simulate ~condition:(condition 1) Cost_model.measured hw p in
+  let r2 = Engine.simulate ~condition:(condition 1) Cost_model.measured hw p in
+  match (r1, r2) with
+  | Engine.Completed a, Engine.Completed b ->
+      Array.iteri
+        (fun i x ->
+          Alcotest.(check int64)
+            (Printf.sprintf "device %d clock bits" i)
+            (bits x)
+            (bits b.Engine.device_ms.(i)))
+        a.Engine.device_ms
+  | _ -> Alcotest.fail "faulted (non-crash) simulation should complete"
+
+(* ---------------- CL007-CL009 on synthetic streams ---------------- *)
+
+let codes diags =
+  List.sort_uniq compare
+    (List.map (fun d -> d.Partir_analysis.Diagnostic.code) diags)
+
+(* Issues are only legal inside a scope; wrap synthetic streams in one so
+   the intended defect is the only diagnostic. *)
+let in_scope evs =
+  (Collective_lint.Ev_scope_begin "top" :: evs)
+  @ [ Collective_lint.Ev_scope_end "top" ]
+
+let test_lint_pairing () =
+  let open Collective_lint in
+  (* wait without a live window *)
+  Alcotest.(check (list string)) "orphan wait" [ "CL007" ]
+    (codes (check_async (in_scope [ Ev_wait { window = 0; path = "w" } ])));
+  (* double issue of one window *)
+  Alcotest.(check (list string)) "double issue" [ "CL007" ]
+    (codes
+       (check_async
+          (in_scope
+             [
+               Ev_issue { window = 1; path = "a"; src = 10; dst = 11 };
+               Ev_issue { window = 1; path = "b"; src = 12; dst = 13 };
+               Ev_wait { window = 1; path = "a" };
+             ])));
+  (* window left open at scope end *)
+  Alcotest.(check (list string)) "open at scope end" [ "CL007" ]
+    (codes
+       (check_async
+          [
+            Ev_scope_begin "for";
+            Ev_issue { window = 2; path = "a"; src = 1; dst = 2 };
+            Ev_scope_end "for";
+          ]));
+  (* clean stream *)
+  Alcotest.(check (list string)) "clean stream" []
+    (codes
+       (check_async
+          (in_scope
+             [
+               Ev_issue { window = 3; path = "a"; src = 1; dst = 2 };
+               Ev_access { path = "c"; reads = [ 5 ]; writes = [ 6 ] };
+               Ev_wait { window = 3; path = "a" };
+               Ev_access { path = "d"; reads = [ 2 ]; writes = [ 7 ] };
+             ])))
+
+let test_lint_use_before_wait () =
+  let open Collective_lint in
+  Alcotest.(check (list string)) "read of in-flight dst" [ "CL008" ]
+    (codes
+       (check_async
+          (in_scope
+             [
+               Ev_issue { window = 0; path = "ar"; src = 1; dst = 2 };
+               Ev_access { path = "consumer"; reads = [ 2 ]; writes = [ 3 ] };
+               Ev_wait { window = 0; path = "ar" };
+             ])))
+
+let test_lint_inflight_write () =
+  let open Collective_lint in
+  Alcotest.(check (list string)) "write to in-flight src" [ "CL009" ]
+    (codes
+       (check_async
+          (in_scope
+             [
+               Ev_issue { window = 0; path = "ar"; src = 1; dst = 2 };
+               Ev_access { path = "clobber"; reads = []; writes = [ 1 ] };
+               Ev_wait { window = 0; path = "ar" };
+             ])));
+  Alcotest.(check (list string)) "write to in-flight dst" [ "CL009" ]
+    (codes
+       (check_async
+          (in_scope
+             [
+               Ev_issue { window = 0; path = "ar"; src = 1; dst = 2 };
+               Ev_access { path = "clobber"; reads = []; writes = [ 2 ] };
+               Ev_wait { window = 0; path = "ar" };
+             ])))
+
+(* Schedules derived from real programs are clean by construction. *)
+let test_lint_real_schedules_clean () =
+  List.iter
+    (fun (name, p) ->
+      match Collective_lint.schedule p with
+      | [] -> ()
+      | diags ->
+          Alcotest.failf "%s: schedule lint found %d diagnostics: %s" name
+            (List.length diags)
+            (Partir_analysis.Diagnostic.list_to_string diags))
+    (five_models ())
+
+let () =
+  Alcotest.run "overlap"
+    [
+      ( "schedule",
+        [
+          Alcotest.test_case "issue/wait structure and coverage" `Quick
+            test_schedule_structure;
+        ] );
+      ( "regression",
+        [
+          Alcotest.test_case "async never slower than barrier (5 models)"
+            `Quick test_async_never_slower;
+          Alcotest.test_case "T32 BP+MP hides communication" `Quick
+            test_overlap_hides_comm;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "async==sync plans, domains 1/2/4" `Quick
+            test_async_domains;
+          Alcotest.test_case "crash+straggler+link-degrade is bit-stable"
+            `Quick test_fault_determinism;
+        ] );
+      ( "lint",
+        [
+          Alcotest.test_case "CL007 pairing" `Quick test_lint_pairing;
+          Alcotest.test_case "CL008 use-before-wait" `Quick
+            test_lint_use_before_wait;
+          Alcotest.test_case "CL009 in-flight writes" `Quick
+            test_lint_inflight_write;
+          Alcotest.test_case "real schedules are clean" `Quick
+            test_lint_real_schedules_clean;
+        ] );
+    ]
